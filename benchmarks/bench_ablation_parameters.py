@@ -1,0 +1,80 @@
+"""Ablation A2 — sensitivity to model and EM parameters.
+
+The paper reports that results are insensitive to the number of hidden
+states (N = 1..4), the number of delay symbols (M = 5 vs finer), and the
+EM convergence threshold (1e-4 vs 1e-5).  This ablation verifies those
+insensitivities on the strong headline setting — and additionally
+documents the one place where this reproduction departs from the paper's
+stated setup: with a *fully random* MMHD transition initialisation and no
+warm start, EM can land in a degenerate basin that explains losses with a
+rare delay symbol (see DESIGN.md and repro.models.initialization).  The
+data-driven initialisation and the freeze-c warm start select the
+physical basin.
+"""
+
+import common
+from repro.core import DelayDiscretizer, ground_truth_distribution
+from repro.core.virtual_delay import mmhd_distribution
+from repro.experiments.reporting import format_table
+from repro.models.base import EMConfig
+
+
+def run_ablation(strong_run):
+    trace = strong_run.trace
+    observation = trace.observation()
+    rows = []
+
+    def fit(label, n_symbols, n_hidden, **em_kwargs):
+        disc = DelayDiscretizer.from_observation(observation, n_symbols)
+        truth = ground_truth_distribution(trace, disc)
+        config = EMConfig(**{
+            "tol": common.EM_TOL, "max_iter": common.EM_MAX_ITER,
+            **em_kwargs,
+        })
+        dist, fitted = mmhd_distribution(observation, disc,
+                                         n_hidden=n_hidden, config=config)
+        rows.append({
+            "label": label,
+            "tv": dist.total_variation(truth),
+            "top_mass": float(dist.pmf[-1]) if n_symbols == 5 else None,
+            "iters": fitted.n_iter,
+        })
+
+    for n_hidden in (1, 2, 4):
+        fit(f"N={n_hidden}, M=5", 5, n_hidden)
+    fit("N=2, M=10", 10, 2)
+    fit("N=2, M=5, tol=1e-4", 5, 2, tol=1e-4, max_iter=300)
+    fit("N=2, M=5, paper-init (random, no warm start)", 5, 2,
+        data_driven_init=False, freeze_loss_iters=0)
+    fit("N=2, M=5, random init + warm start", 5, 2,
+        data_driven_init=False)
+    fit("N=2, M=5, no loss prior", 5, 2,
+        loss_prior_losses=0.0, loss_prior_observations=0.0)
+    return rows
+
+
+def test_ablation_parameters(benchmark, strong_run):
+    rows = common.once(benchmark, lambda: run_ablation(strong_run))
+    text = format_table(
+        ["configuration", "TV vs ns", "EM iters"],
+        [[r["label"], f"{r['tv']:.3f}", r["iters"]] for r in rows],
+        title="Ablation A2 — parameter sensitivity (strong DCL setting)",
+    )
+    common.write_artifact("ablation_parameters", text)
+
+    by_label = {r["label"]: r for r in rows}
+    # Insensitive to N (paper: results similar for N = 1..4)...
+    for n_hidden in (1, 2, 4):
+        assert by_label[f"N={n_hidden}, M=5"]["tv"] < 0.1
+    # ...to M...
+    assert by_label["N=2, M=10"]["tv"] < 0.15
+    # ...and to the convergence threshold.
+    assert by_label["N=2, M=5, tol=1e-4"]["tv"] < 0.1
+    # The warm start alone rescues even the fully random initialisation.
+    assert by_label["N=2, M=5, random init + warm start"]["tv"] < 0.1
+    # The loss prior is not needed at M=5 (it matters for fine bins).
+    assert by_label["N=2, M=5, no loss prior"]["tv"] < 0.1
+    # The degenerate basin exists: this row is allowed (and expected) to
+    # be much worse — we only document it, never rely on it.
+    paper_init = by_label["N=2, M=5, paper-init (random, no warm start)"]
+    assert paper_init["tv"] >= 0.0  # recorded in the artifact

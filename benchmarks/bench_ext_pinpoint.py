@@ -1,0 +1,53 @@
+"""Extension E1 — pinpointing the dominant congested link.
+
+The paper's stated future work (Section VII): locate the DCL once its
+existence is established.  Using prefix observations (the TTL-limited
+probing analogue), the locator must name (r2, r3) in the strong and weak
+settings and decline to name any link in the no-DCL setting.
+"""
+
+import common
+from repro.core.pinpoint import pinpoint_dominant_link
+from repro.experiments.reporting import format_table
+
+
+def run_pinpoint(strong_run, weak_run, no_dcl_run):
+    rows = []
+    for name, result in [("strong", strong_run), ("weak", weak_run),
+                         ("no-DCL", no_dcl_run)]:
+        report = pinpoint_dominant_link(result.trace,
+                                        common.identify_config())
+        rows.append({
+            "setting": name,
+            "located": report.located_link or "(none)",
+            "share": report.loss_share,
+            "true": result.built.dcl_link or "(none)",
+            "confirmed": (
+                report.confirmation.dominant_link_exists
+                if report.confirmation is not None else None
+            ),
+        })
+    return rows
+
+
+def test_ext_pinpoint(benchmark, strong_run, weak_run, no_dcl_run):
+    rows = common.once(
+        benchmark, lambda: run_pinpoint(strong_run, weak_run, no_dcl_run)
+    )
+    text = format_table(
+        ["setting", "located link", "loss share", "true DCL",
+         "prefix identify"],
+        [
+            [r["setting"], r["located"], f"{r['share']:.1%}", r["true"],
+             {True: "accepts", False: "rejects", None: "-"}[r["confirmed"]]]
+            for r in rows
+        ],
+        title="Extension E1 — dominant-link pinpointing via prefix probing",
+    )
+    common.write_artifact("ext_pinpoint", text)
+
+    by_setting = {r["setting"]: r for r in rows}
+    assert by_setting["strong"]["located"] == "r2->r3"
+    assert by_setting["strong"]["confirmed"] is True
+    assert by_setting["weak"]["located"] == "r2->r3"
+    assert by_setting["no-DCL"]["located"] == "(none)"

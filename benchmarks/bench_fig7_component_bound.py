@@ -1,0 +1,60 @@
+"""Fig. 7 — fine-grained PMF and the connected-component bound (weak DCL).
+
+Paper: to bound the weakly dominant link's maximum queuing delay, delays
+are rediscretized with M = 40; the PMF of the virtual queuing delay shows
+a dominant connected component, and the smallest significantly-positive
+delay inside it (symbol 31 in the paper's instance) converts to an upper
+bound that exactly matches the actual maximum queuing delay (230.4 ms
+there).
+
+Reproduced shape: the M = 40 MMHD PMF has a heaviest connected component
+whose anchor converts to a bound within ~15% of the true ``Q_k``; the
+minor link's stray mass sits in a separate, lighter component.
+"""
+
+import numpy as np
+
+import common
+from repro.core import (
+    DelayDiscretizer,
+    connected_component_bound,
+    mmhd_distribution,
+)
+from repro.core.bounds import pmf_components
+from repro.experiments.reporting import format_table
+
+
+def run_fig7(weak_run):
+    trace = weak_run.trace
+    observation = trace.observation()
+    disc = DelayDiscretizer.from_observation(observation, 40)
+    dist, _ = mmhd_distribution(observation, disc, n_hidden=2,
+                                config=common.em_config())
+    bound = connected_component_bound(dist)
+    components = pmf_components(dist.pmf, mass_epsilon=1e-3)
+    return dist, bound, components
+
+
+def test_fig7_component_bound(benchmark, weak_run):
+    dist, bound, components = common.once(benchmark,
+                                          lambda: run_fig7(weak_run))
+    q_k = weak_run.built.dominant_max_queuing_delay()
+    nonzero = [
+        [m + 1, f"{p:.4f}"] for m, p in enumerate(dist.pmf) if p > 1e-3
+    ]
+    text = format_table(
+        ["symbol (of 40)", "pmf"], nonzero,
+        title="Fig. 7 — fine-grained (M=40) virtual delay PMF, weak DCL",
+    )
+    text += (
+        f"\ncomponents: {[(s + 1, e, round(m, 3)) for s, e, m in components]}"
+        f"\nbound: symbol {bound.symbol} -> {bound.seconds * 1e3:.1f} ms"
+        f"  (actual Q_k = {q_k * 1e3:.1f} ms)"
+    )
+    common.write_artifact("fig7_component_bound", text)
+
+    # The heaviest component anchors a bound near the true Q_k.
+    np.testing.assert_allclose(bound.seconds, q_k, rtol=0.15)
+    # The dominant component holds most of the mass.
+    heaviest = max(components, key=lambda c: c[2])
+    assert heaviest[2] > 0.8

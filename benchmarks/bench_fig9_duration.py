@@ -1,0 +1,63 @@
+"""Fig. 9 — correct-identification ratio vs probing duration (ns settings).
+
+Paper: segments are drawn at random from the long trace and identified;
+with a weakly dominant congested link the correct ratio reaches ~1 beyond
+~80 s of probing; with no dominant congested link it takes ~250 s.  Strong
+settings need only tens of seconds.
+
+Reproduced shape: the ratio is non-decreasing-ish in duration, reaches
+>= 0.9 at the longest tested duration for both settings, and the no-DCL
+setting needs at least as much probing as the weak setting.
+"""
+
+import common
+from repro.experiments.duration import correctness_vs_duration
+from repro.experiments.reporting import format_table
+
+DURATIONS = [10.0, 20.0, 40.0, 80.0, 160.0]
+
+
+def run_fig9(weak_run, no_dcl_run):
+    weak_sweep = correctness_vs_duration(
+        weak_run.trace, expected_dcl=True, durations=DURATIONS,
+        n_reps=common.SWEEP_REPS, config=common.identify_config(), seed=9,
+    )
+    none_sweep = correctness_vs_duration(
+        no_dcl_run.trace, expected_dcl=False, durations=DURATIONS,
+        n_reps=common.SWEEP_REPS, config=common.identify_config(), seed=9,
+    )
+    return weak_sweep, none_sweep
+
+
+def test_fig9_duration_sweeps(benchmark, weak_run, no_dcl_run):
+    weak_sweep, none_sweep = common.once(
+        benchmark, lambda: run_fig9(weak_run, no_dcl_run)
+    )
+    text = format_table(
+        ["duration (s)", "weak-DCL correct", "no-DCL correct"],
+        [
+            [f"{d:.0f}", f"{w:.0%}", f"{n:.0%}"]
+            for d, w, n in zip(DURATIONS, weak_sweep.ratios,
+                               none_sweep.ratios)
+        ],
+        title="Fig. 9 — correct identification ratio vs probing duration",
+    )
+    weak_knee = weak_sweep.knee(0.9) or DURATIONS[-1]
+    none_knee = none_sweep.knee(0.9) or DURATIONS[-1]
+    text += (f"\nknees (first duration with ratio >= 90%): "
+             f"weak-DCL {weak_knee:.0f} s, no-DCL {none_knee:.0f} s")
+    common.write_artifact("fig9_duration", text)
+
+    # Long segments identify reliably in both settings (the paper's
+    # central claim: minutes of probing suffice).
+    assert weak_sweep.ratios[-1] >= 0.9, weak_sweep.ratios
+    assert none_sweep.ratios[-1] >= 0.9, none_sweep.ratios
+    # Short segments are unreliable in both settings — tens of seconds
+    # are needed even at our (higher-loss) benchmark scale.  The paper's
+    # specific knees (80 s / 250 s) depend on its loss rates; the knee
+    # *values* are recorded in the artifact rather than asserted.
+    assert weak_sweep.ratios[0] < 0.9, weak_sweep.ratios
+    assert none_sweep.ratios[0] < 0.9, none_sweep.ratios
+    # More probing never makes the longest-horizon result worse.
+    assert weak_sweep.ratios[-1] >= weak_sweep.ratios[0]
+    assert none_sweep.ratios[-1] >= none_sweep.ratios[0]

@@ -1,0 +1,45 @@
+"""Session-scoped scenario runs shared across benchmark modules."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import common  # noqa: E402
+from repro.experiments import run_scenario  # noqa: E402
+from repro.experiments.scenarios import (  # noqa: E402
+    no_dcl_scenario,
+    strong_dcl_scenario,
+    weak_dcl_scenario,
+)
+
+
+@pytest.fixture(scope="session")
+def strong_run():
+    """The Table II / Fig. 5 headline setting: 1 Mb/s bottleneck."""
+    return run_scenario(
+        strong_dcl_scenario(1.0), seed=1,
+        duration=common.SIM_DURATION, warmup=common.SIM_WARMUP,
+        with_loss_pairs=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def weak_run():
+    """The Table III / Figs. 6-7 headline setting: (0.7, 0.2) Mb/s."""
+    return run_scenario(
+        weak_dcl_scenario((0.7, 0.2)), seed=1,
+        duration=common.SIM_DURATION, warmup=common.SIM_WARMUP,
+        with_loss_pairs=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def no_dcl_run():
+    """The Table IV / Fig. 8 headline setting: (0.1, 0.2) Mb/s."""
+    return run_scenario(
+        no_dcl_scenario((0.1, 0.2)), seed=1,
+        duration=common.SIM_DURATION, warmup=common.SIM_WARMUP,
+    )

@@ -1,0 +1,49 @@
+"""Droptail vs Adaptive RED: where the method's assumption matters.
+
+The identification method assumes droptail queues (losses mean "the queue
+was full").  This example re-runs the strong-DCL setting with Adaptive
+RED (gentle) at two minimum-threshold positions and shows the paper's
+Section VI-A5 finding: aggressive early dropping (min_th = buffer/5)
+defeats identification; conservative RED (min_th = buffer/2) behaves
+droptail-like and identification succeeds:
+
+    python examples/red_queues.py [--duration 200]
+"""
+
+import argparse
+
+from repro.core import IdentifyConfig, ground_truth_distribution, identify
+from repro.experiments import run_scenario
+from repro.experiments.scenarios import red_strong_scenario, strong_dcl_scenario
+from repro.experiments.reporting import format_pmf_series
+
+
+def run_and_report(scenario, duration, seed):
+    result = run_scenario(scenario, seed=seed, duration=duration, warmup=30.0)
+    report = identify(result.trace, IdentifyConfig())
+    truth = ground_truth_distribution(result.trace, report.discretizer)
+    print(f"\n== {scenario.description}")
+    print(f"   loss rate {result.loss_rate:.2%}")
+    print(format_pmf_series(
+        [truth.pmf, report.distribution.pmf],
+        ["ns virtual", "MMHD N=2"],
+    ))
+    print("   " + report.wdcl.summary())
+    verdict = "identified" if report.wdcl.accepted else "NOT identified"
+    print(f"   -> dominant congested link {verdict} "
+          f"(it exists in all three runs)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=200.0)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    run_and_report(strong_dcl_scenario(1.0), args.duration, args.seed)
+    run_and_report(red_strong_scenario(0.5), args.duration, args.seed)
+    run_and_report(red_strong_scenario(0.2), args.duration, args.seed)
+
+
+if __name__ == "__main__":
+    main()

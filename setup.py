@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in environments without the ``wheel`` module (offline
+boxes), via ``pip install -e . --no-build-isolation`` falling back to
+``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the workflow a measurement operator runs:
+
+* ``simulate`` — build one of the paper's scenarios, probe it, and write
+  the observation CSV (optionally the full ground-truth trace as NPZ);
+* ``identify`` — run the identification pipeline on an observation CSV;
+* ``bound`` — estimate the dominant link's maximum queuing delay;
+* ``clock`` — remove clock skew from a measured observation;
+* ``pinpoint`` — locate the dominant link from an archived trace (NPZ,
+  which carries the per-hop records that stand in for TTL probing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.identify import IdentifyConfig, estimate_bound, identify
+from repro.core.pinpoint import pinpoint_dominant_link
+from repro.measurement.clock import remove_clock_effects
+from repro.measurement.traceio import (
+    load_observation,
+    load_trace,
+    save_observation,
+    save_trace,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _scenario_by_name(name: str):
+    from repro.experiments.internet import adsl_path_scenario, ethernet_path_scenario
+    from repro.experiments.scenarios import (
+        no_dcl_scenario,
+        red_no_dcl_scenario,
+        red_strong_scenario,
+        strong_dcl_scenario,
+        weak_dcl_scenario,
+    )
+
+    factories = {
+        "strong": lambda: strong_dcl_scenario(1.0),
+        "weak": lambda: weak_dcl_scenario((0.7, 0.2)),
+        "none": lambda: no_dcl_scenario((0.1, 0.2)),
+        "red-strong": lambda: red_strong_scenario(0.5),
+        "red-none": lambda: red_no_dcl_scenario(0.5),
+        "internet-ethernet": ethernet_path_scenario,
+        "internet-ufpr": lambda: adsl_path_scenario("ufpr"),
+        "internet-usevilla": lambda: adsl_path_scenario("usevilla"),
+        "internet-snu": lambda: adsl_path_scenario("snu"),
+    }
+    if name not in factories:
+        raise SystemExit(
+            f"unknown scenario {name!r}; choose from {sorted(factories)}"
+        )
+    return factories[name]()
+
+
+def _identify_config(args) -> IdentifyConfig:
+    return IdentifyConfig(
+        n_symbols=args.symbols,
+        n_hidden=args.hidden,
+        model=args.model,
+        beta0=args.beta0,
+        beta1=args.beta1,
+        propagation_delay=getattr(args, "propagation", None),
+    )
+
+
+def _add_identify_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--symbols", type=int, default=5,
+                        help="number of delay symbols M (default 5)")
+    parser.add_argument("--hidden", type=int, default=2,
+                        help="number of hidden states N (default 2)")
+    parser.add_argument("--model", choices=["mmhd", "hmm"], default="mmhd")
+    parser.add_argument("--beta0", type=float, default=0.06)
+    parser.add_argument("--beta1", type=float, default=0.0)
+    parser.add_argument("--propagation", type=float, default=None,
+                        help="known propagation delay P (default: use the "
+                             "minimum observed delay)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dominant congested link identification (IMC 2003).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run a scenario and export the probe observation"
+    )
+    simulate.add_argument("--scenario", default="strong")
+    simulate.add_argument("--duration", type=float, default=200.0)
+    simulate.add_argument("--warmup", type=float, default=30.0)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument("--out", required=True,
+                          help="observation CSV output path")
+    simulate.add_argument("--trace-out", default=None,
+                          help="also archive the full trace (NPZ)")
+
+    ident = commands.add_parser(
+        "identify", help="identify a dominant congested link from a CSV"
+    )
+    ident.add_argument("observation", help="observation CSV")
+    _add_identify_options(ident)
+
+    bound = commands.add_parser(
+        "bound", help="bound the dominant link's maximum queuing delay"
+    )
+    bound.add_argument("observation", help="observation CSV")
+    bound.add_argument("--verdict", choices=["strong", "weak"],
+                       default=None,
+                       help="hypothesis to bound under (default: identify "
+                            "first and use its verdict)")
+    bound.add_argument("--bound-symbols", type=int, default=40)
+    _add_identify_options(bound)
+
+    clock = commands.add_parser(
+        "clock", help="remove clock skew from a measured observation"
+    )
+    clock.add_argument("observation", help="observation CSV (measured)")
+    clock.add_argument("--out", required=True, help="repaired CSV path")
+
+    pinpoint = commands.add_parser(
+        "pinpoint", help="locate the dominant link from an archived trace"
+    )
+    pinpoint.add_argument("trace", help="trace NPZ from 'simulate --trace-out'")
+    _add_identify_options(pinpoint)
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    from repro.experiments.runner import run_scenario
+
+    scenario = _scenario_by_name(args.scenario)
+    print(f"scenario: {scenario.description}")
+    result = run_scenario(scenario, seed=args.seed, duration=args.duration,
+                          warmup=args.warmup)
+    trace = result.trace
+    print(f"probes: {len(trace)}   loss rate: {trace.loss_rate:.2%}")
+    save_observation(trace.observation(), args.out)
+    print(f"observation written to {args.out}")
+    if args.trace_out:
+        save_trace(trace, args.trace_out)
+        print(f"full trace written to {args.trace_out}")
+    return 0
+
+
+def _cmd_identify(args) -> int:
+    observation = load_observation(args.observation)
+    report = identify(observation, _identify_config(args))
+    print(report.summary())
+    return 0
+
+
+def _cmd_bound(args) -> int:
+    observation = load_observation(args.observation)
+    config = _identify_config(args)
+    verdict = args.verdict
+    if verdict is None:
+        report = identify(observation, config)
+        print(report.summary())
+        if not report.dominant_link_exists:
+            print("no dominant congested link identified; nothing to bound")
+            return 1
+        verdict = report.verdict
+    bound = estimate_bound(observation, verdict, config,
+                           n_symbols=args.bound_symbols)
+    print(f"max queuing delay bound ({bound.method}): "
+          f"{bound.seconds * 1e3:.1f} ms  (symbol {bound.symbol} "
+          f"of {args.bound_symbols})")
+    return 0
+
+
+def _cmd_clock(args) -> int:
+    observation = load_observation(args.observation)
+    repaired, fit = remove_clock_effects(observation)
+    save_observation(repaired, args.out)
+    print(f"estimated skew {fit.skew:.3e}, offset {fit.offset:.6f} s")
+    print(f"repaired observation written to {args.out}")
+    return 0
+
+
+def _cmd_pinpoint(args) -> int:
+    trace = load_trace(args.trace)
+    report = pinpoint_dominant_link(trace, _identify_config(args))
+    print(report.summary())
+    return 0 if report.located else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "identify": _cmd_identify,
+        "bound": _cmd_bound,
+        "clock": _cmd_clock,
+        "pinpoint": _cmd_pinpoint,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module is exercised via main()
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The paper's contribution: dominant congested link identification.
+
+Submodules:
+
+* :mod:`repro.core.discretize` — delay-to-symbol binning;
+* :mod:`repro.core.distributions` — PMFs/CDFs over delay symbols;
+* :mod:`repro.core.virtual_delay` — the four ``G`` estimators (ground
+  truth, loss pair, HMM, MMHD);
+* :mod:`repro.core.hypothesis` — SDCL-Test and WDCL-Test;
+* :mod:`repro.core.bounds` — maximum queuing delay upper bounds;
+* :mod:`repro.core.losspair` — the Liu-Crovella baseline;
+* :mod:`repro.core.identify` — the end-to-end pipeline.
+"""
+
+from repro.core.bootstrap import BootstrapResult, bootstrap_identification
+from repro.core.bounds import (
+    DelayBound,
+    connected_component_bound,
+    strong_dcl_bound,
+    weak_dcl_bound,
+)
+from repro.core.discretize import DelayDiscretizer
+from repro.core.distributions import DelayDistribution
+from repro.core.hypothesis import TestResult, gdcl_test, sdcl_test, wdcl_test
+from repro.core.identify import (
+    IdentificationReport,
+    IdentifyConfig,
+    estimate_bound,
+    identify,
+)
+from repro.core.losspair import losspair_distribution, losspair_max_queuing_delay
+from repro.core.pinpoint import PinpointReport, pinpoint_dominant_link
+from repro.core.virtual_delay import (
+    ground_truth_distribution,
+    hmm_distribution,
+    mmhd_distribution,
+    observed_delay_distribution,
+)
+
+__all__ = [
+    "BootstrapResult",
+    "DelayBound",
+    "DelayDiscretizer",
+    "DelayDistribution",
+    "IdentificationReport",
+    "IdentifyConfig",
+    "PinpointReport",
+    "TestResult",
+    "bootstrap_identification",
+    "connected_component_bound",
+    "estimate_bound",
+    "gdcl_test",
+    "ground_truth_distribution",
+    "hmm_distribution",
+    "identify",
+    "losspair_distribution",
+    "losspair_max_queuing_delay",
+    "mmhd_distribution",
+    "observed_delay_distribution",
+    "pinpoint_dominant_link",
+    "sdcl_test",
+    "strong_dcl_bound",
+    "wdcl_test",
+    "weak_dcl_bound",
+]

@@ -1,0 +1,145 @@
+"""Upper bounds on the dominant link's maximum queuing delay (Section IV-B).
+
+Once a dominant congested link is identified, its maximum queuing delay
+``Q_k`` is a path characteristic of independent interest.  Three bounds:
+
+* **strong**: all losses occur at link ``k``, so every lost probe's delay
+  is at least ``Q_k``; the smallest symbol with positive mass, converted
+  to its bin's upper edge, bounds ``Q_k`` from above.
+* **weak**: at most ``β0`` of the loss mass can sit below ``Q_k``; take
+  the smallest symbol with ``G(m) >= β0``.
+* **connected component** (heuristic, for small ``β0`` and fine bins):
+  with nearly all losses at link ``k``, the PMF of the virtual delay has
+  one dominant connected component starting at ``Q_k``; take the smallest
+  significantly-positive symbol of the heaviest component.  The paper
+  demonstrates this on Fig. 7 with ``M = 40``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.distributions import DelayDistribution
+
+__all__ = [
+    "DelayBound",
+    "strong_dcl_bound",
+    "weak_dcl_bound",
+    "connected_component_bound",
+]
+
+
+class DelayBound:
+    """An upper bound on ``Q_k``, in symbols and (if possible) seconds."""
+
+    def __init__(
+        self,
+        symbol: int,
+        seconds: Optional[float],
+        method: str,
+    ):
+        self.symbol = int(symbol)
+        self.seconds = None if seconds is None else float(seconds)
+        self.method = method
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        secs = "?" if self.seconds is None else f"{self.seconds * 1e3:.1f} ms"
+        return f"DelayBound({self.method}: symbol<={self.symbol}, Q_k<={secs})"
+
+
+def _to_seconds(distribution: DelayDistribution, symbol: int) -> Optional[float]:
+    if distribution.discretizer is None:
+        return None
+    return distribution.seconds_upper_edge(symbol)
+
+
+def strong_dcl_bound(
+    distribution: DelayDistribution,
+    tolerance: float = 1e-3,
+) -> DelayBound:
+    """Bound for a strongly dominant congested link.
+
+    ``d* = min{m : G(m) > 0}`` (with mass tolerance); ``Q_k <= d* · w``.
+    """
+    d_star = distribution.min_symbol_with_mass(threshold=tolerance)
+    return DelayBound(
+        symbol=d_star,
+        seconds=_to_seconds(distribution, d_star),
+        method="strong",
+    )
+
+
+def weak_dcl_bound(
+    distribution: DelayDistribution,
+    beta0: float,
+) -> DelayBound:
+    """Bound for a weakly dominant congested link with loss parameter β0.
+
+    ``d* = min{m : G(m) >= β0}``; by Theorem 2, ``Q_k <= d* · w``.
+    """
+    if not 0 < beta0 < 0.5:
+        raise ValueError(f"beta0 must lie in (0, 1/2), got {beta0}")
+    d_star = distribution.min_symbol_with_cdf(level=beta0)
+    return DelayBound(
+        symbol=d_star,
+        seconds=_to_seconds(distribution, d_star),
+        method="weak",
+    )
+
+
+def pmf_components(
+    pmf: np.ndarray,
+    mass_epsilon: float,
+) -> List[Tuple[int, int, float]]:
+    """Maximal runs of consecutive bins with mass above ``mass_epsilon``.
+
+    Returns ``(start, stop, mass)`` tuples with 0-based half-open
+    ``[start, stop)`` bin ranges, in left-to-right order.
+    """
+    positive = pmf > mass_epsilon
+    components: List[Tuple[int, int, float]] = []
+    start = None
+    for i, flag in enumerate(positive):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            components.append((start, i, float(pmf[start:i].sum())))
+            start = None
+    if start is not None:
+        components.append((start, len(pmf), float(pmf[start:].sum())))
+    return components
+
+
+def connected_component_bound(
+    distribution: DelayDistribution,
+    mass_epsilon: float = 1e-3,
+    significance: float = 0.01,
+) -> DelayBound:
+    """The paper's PMF connected-component heuristic (Section IV-B, Fig. 7).
+
+    Find the connected component of the PMF carrying the most mass; within
+    it, take the smallest symbol whose probability is "significantly larger
+    than 0" (``> significance``).  Its bin upper edge bounds ``Q_k``.
+
+    Parameters
+    ----------
+    mass_epsilon:
+        Bins at or below this mass separate components.
+    significance:
+        Minimum probability for a bin to anchor the bound.
+    """
+    pmf = distribution.pmf
+    components = pmf_components(pmf, mass_epsilon)
+    if not components:
+        raise ValueError("PMF has no mass above epsilon; cannot find components")
+    start, stop, _ = max(components, key=lambda comp: comp[2])
+    significant = np.flatnonzero(pmf[start:stop] > significance)
+    anchor = start if significant.size == 0 else start + int(significant[0])
+    symbol = anchor + 1  # back to 1-based symbols
+    return DelayBound(
+        symbol=symbol,
+        seconds=_to_seconds(distribution, symbol),
+        method="connected-component",
+    )

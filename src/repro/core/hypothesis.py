@@ -1,0 +1,195 @@
+"""The SDCL and WDCL hypothesis tests (paper Section IV-A, Figs. 2-3).
+
+Both tests read the CDF ``G`` of the (discretized, virtual) queuing delay
+of lost probes:
+
+**SDCL-Test** (Theorem 1).  Null hypothesis: a *strongly* dominant
+congested link exists.  Let ``d* = min{m : G(m) > 0}``.  If the null
+holds, every lost probe saw ``Q_k`` at the dominant link plus at most
+``Q_k`` elsewhere, so its delay lies in ``[Q_k, 2 Q_k]``; discretized,
+``G(2 d*) = 1``.  Reject when ``G(2 d*) < 1``.
+
+**WDCL-Test** (Theorem 2).  Null hypothesis: a *weakly* dominant congested
+link with parameters ``(β0, β1)`` exists — at least ``1-β0`` of losses at
+the link, delay dominance with probability at least ``1-β1``.  Let
+``d* = min{m : G(m) >= β0}``.  Under the null, ``d*`` is at least the
+discretized ``Q_k``, and the mass within ``2 d*`` is at least
+``(1-β0)(1-β1)``.  Reject when ``G(2 d*) < (1-β0)(1-β1)``.
+
+Estimated CDFs carry numerical noise, so "``> 0``" and "``= 1``" take a
+small tolerance (configurable; default ``1e-3``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.distributions import DelayDistribution
+
+__all__ = ["TestResult", "sdcl_test", "wdcl_test", "gdcl_test"]
+
+#: Default tolerance for "G(m) > 0" / "G(m) = 1" on estimated CDFs.
+DEFAULT_TOLERANCE = 1e-3
+
+
+class TestResult:
+    """Outcome of a hypothesis test.
+
+    Attributes
+    ----------
+    accepted:
+        ``True`` if the null hypothesis (a dominant congested link exists)
+        was accepted.
+    d_star:
+        The test's ``d*`` (smallest relevant delay symbol); this doubles
+        as the discretized upper bound on the dominant link's maximum
+        queuing delay when the null is accepted (Section IV-B).
+    cdf_at_2d_star:
+        ``G(2 d*)``, the quantity compared against the threshold.
+    threshold:
+        Acceptance threshold (``1`` for SDCL, ``(1-β0)(1-β1)`` for WDCL),
+        before tolerance.
+    """
+
+    def __init__(
+        self,
+        test_name: str,
+        accepted: bool,
+        d_star: int,
+        cdf_at_2d_star: float,
+        threshold: float,
+        beta0: Optional[float] = None,
+        beta1: Optional[float] = None,
+    ):
+        self.test_name = test_name
+        self.accepted = bool(accepted)
+        self.d_star = int(d_star)
+        self.cdf_at_2d_star = float(cdf_at_2d_star)
+        self.threshold = float(threshold)
+        self.beta0 = beta0
+        self.beta1 = beta1
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    def summary(self) -> str:
+        """One-line verdict with d*, G(2d*), and the threshold."""
+        verdict = "ACCEPT" if self.accepted else "REJECT"
+        params = ""
+        if self.beta0 is not None:
+            params = f" (beta0={self.beta0}, beta1={self.beta1})"
+        return (
+            f"{self.test_name}{params}: {verdict}  "
+            f"[d*={self.d_star}, G(2d*)={self.cdf_at_2d_star:.4f}, "
+            f"threshold={self.threshold:.4f}]"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TestResult({self.summary()})"
+
+
+def sdcl_test(
+    distribution: DelayDistribution,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> TestResult:
+    """SDCL-Test (Fig. 2): does a strongly dominant congested link exist?
+
+    Parameters
+    ----------
+    distribution:
+        The (estimated) virtual queuing delay distribution of lost probes.
+    tolerance:
+        Mass below ``tolerance`` counts as zero when locating ``d*``, and
+        ``G(2 d*) >= 1 - tolerance`` counts as 1.
+    """
+    d_star = distribution.min_symbol_with_mass(threshold=tolerance)
+    g_2d = distribution.cdf_at(2 * d_star)
+    accepted = g_2d >= 1.0 - tolerance
+    return TestResult(
+        test_name="SDCL-Test",
+        accepted=accepted,
+        d_star=d_star,
+        cdf_at_2d_star=g_2d,
+        threshold=1.0,
+    )
+
+
+def wdcl_test(
+    distribution: DelayDistribution,
+    beta0: float,
+    beta1: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> TestResult:
+    """WDCL-Test (Fig. 3): does a weakly dominant congested link with
+    parameters ``(β0, β1)`` exist?
+
+    ``β0, β1 ∈ [0, 1/2)``: lower values are more stringent; ``β0 = β1 = 0``
+    recovers the strong test.
+    """
+    if not 0 <= beta0 < 0.5:
+        raise ValueError(f"beta0 must lie in [0, 1/2), got {beta0}")
+    if not 0 <= beta1 < 0.5:
+        raise ValueError(f"beta1 must lie in [0, 1/2), got {beta1}")
+    if beta0 == 0:
+        # Degenerate to the strong test's d* rule (G(m) > 0 with tolerance).
+        d_star = distribution.min_symbol_with_mass(threshold=tolerance)
+    else:
+        d_star = distribution.min_symbol_with_cdf(level=beta0)
+    g_2d = distribution.cdf_at(2 * d_star)
+    threshold = (1.0 - beta0) * (1.0 - beta1)
+    accepted = g_2d >= threshold - tolerance
+    return TestResult(
+        test_name="WDCL-Test",
+        accepted=accepted,
+        d_star=d_star,
+        cdf_at_2d_star=g_2d,
+        threshold=threshold,
+        beta0=beta0,
+        beta1=beta1,
+    )
+
+
+def gdcl_test(
+    distribution: DelayDistribution,
+    beta0: float,
+    beta1: float,
+    delay_factor: float = 1.0,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> TestResult:
+    """Generalised DCL test with a delay-dominance factor ``λ``.
+
+    The paper notes (Section III) that the definitions generalise by a
+    parameter in the delay condition: link ``k`` dominates with factor
+    ``λ`` when, on seeing its maximum queuing delay, ``Q_k >= λ *`` (the
+    aggregate queuing elsewhere).  A lost probe's delay then lies in
+    ``[Q_k, (1 + 1/λ) Q_k]``, so the acceptance check becomes
+    ``G(ceil((1 + 1/λ) d*)) >= (1-β0)(1-β1)``.
+
+    ``delay_factor = 1`` recovers :func:`wdcl_test` exactly; larger ``λ``
+    demands a more dominant link (a tighter window above ``d*``), smaller
+    ``λ`` relaxes it.
+    """
+    if delay_factor <= 0:
+        raise ValueError(f"delay factor must be positive, got {delay_factor}")
+    if not 0 <= beta0 < 0.5:
+        raise ValueError(f"beta0 must lie in [0, 1/2), got {beta0}")
+    if not 0 <= beta1 < 0.5:
+        raise ValueError(f"beta1 must lie in [0, 1/2), got {beta1}")
+    if beta0 == 0:
+        d_star = distribution.min_symbol_with_mass(threshold=tolerance)
+    else:
+        d_star = distribution.min_symbol_with_cdf(level=beta0)
+    window_top = int(math.ceil((1.0 + 1.0 / delay_factor) * d_star - 1e-12))
+    g_top = distribution.cdf_at(window_top)
+    threshold = (1.0 - beta0) * (1.0 - beta1)
+    accepted = g_top >= threshold - tolerance
+    return TestResult(
+        test_name=f"GDCL-Test(lambda={delay_factor:g})",
+        accepted=accepted,
+        d_star=d_star,
+        cdf_at_2d_star=g_top,
+        threshold=threshold,
+        beta0=beta0,
+        beta1=beta1,
+    )

@@ -1,0 +1,74 @@
+"""The loss-pair baseline (Liu & Crovella 2001).
+
+A *loss pair* is two back-to-back probes of which exactly one is lost.
+Assuming both probes met the same queue state, the surviving probe's delay
+stands in for the lost probe's virtual delay.  The paper compares its
+model-based estimator against this baseline and shows loss pairs degrade
+when links other than the dominant one contribute queuing (Table III:
+up to 51 ms error vs 5 ms for MMHD).
+
+Two consumers:
+
+* :func:`losspair_distribution` — a virtual-delay distribution estimate
+  to feed the same hypothesis tests;
+* :func:`losspair_max_queuing_delay` — the Liu-Crovella style estimate of
+  the dominant link's maximum queuing delay (the dominant mode of the
+  companion-delay histogram).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.discretize import DelayDiscretizer
+from repro.core.distributions import DelayDistribution
+from repro.netsim.trace import LossPairTrace
+
+__all__ = ["losspair_distribution", "losspair_max_queuing_delay"]
+
+
+def losspair_distribution(
+    trace: LossPairTrace,
+    discretizer: DelayDiscretizer,
+) -> DelayDistribution:
+    """Virtual-delay distribution from loss-pair companions.
+
+    Companion one-way delays (base + queuing) are symbolized with the same
+    discretizer used by the model-based estimators, so results compare
+    directly.
+    """
+    queuing = trace.loss_pair_delays()
+    if queuing.size == 0:
+        raise ValueError("no loss pairs observed; cannot build a distribution")
+    delays = trace.base_delay + queuing
+    symbols = discretizer.symbols_of(delays)
+    return DelayDistribution.from_samples(
+        symbols, discretizer.n_symbols, discretizer=discretizer, label="loss-pair"
+    )
+
+
+def losspair_max_queuing_delay(
+    trace: LossPairTrace,
+    bin_width: float = 0.002,
+    min_samples: int = 3,
+) -> float:
+    """Estimate the dominant link's ``Q_k`` from loss-pair companions.
+
+    Histogram the companion *queuing* delays at ``bin_width`` resolution
+    and return the upper edge of the dominant mode — the loss-pair
+    analogue of "the queue was full when the companion passed".
+
+    Raises ``ValueError`` with fewer than ``min_samples`` loss pairs (a
+    couple of pairs say nothing about the mode).
+    """
+    queuing = trace.loss_pair_delays()
+    if queuing.size < min_samples:
+        raise ValueError(
+            f"only {queuing.size} loss pairs; need at least {min_samples}"
+        )
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be positive, got {bin_width}")
+    edges = np.arange(0.0, queuing.max() + 2 * bin_width, bin_width)
+    counts, edges = np.histogram(queuing, bins=edges)
+    mode = int(np.argmax(counts))
+    return float(edges[mode + 1])

@@ -1,0 +1,184 @@
+"""Pinpointing the dominant congested link (the paper's future work).
+
+Section VII of the paper leaves open "how to pinpoint a dominant
+congested link after identifying such a link exists".  This module
+implements the natural extension: probe path *prefixes* (in practice,
+TTL-limited probes toward successive routers; in the simulator, prefix
+projections of the ghost-probe records) and locate the hop at which the
+end-to-end loss/delay signature first appears.
+
+Method
+------
+For each prefix length ``k``:
+
+1. compute the prefix loss rate; the dominant link is the first hop
+   whose inclusion raises the prefix loss rate to (essentially) the
+   end-to-end loss rate — under the DCL hypothesis, at least ``1 - β0``
+   of the losses happen there;
+2. confirm with the model: run the identification pipeline on the first
+   prefix containing that hop; it must accept a dominant link, and the
+   bound on its maximum queuing delay must agree with the end-to-end
+   bound (the dominant queue is *inside* the prefix, so the inferred
+   ``d*`` converts to the same seconds value).
+
+Both signals are returned so callers can see agreement or tension.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.identify import IdentificationReport, IdentifyConfig, identify
+from repro.netsim.trace import ProbeTrace
+
+__all__ = ["PrefixDiagnostics", "PinpointReport", "pinpoint_dominant_link"]
+
+
+class PrefixDiagnostics:
+    """Per-prefix measurements driving the localisation."""
+
+    def __init__(self, n_hops: int, link_name: str, loss_rate: float):
+        self.n_hops = int(n_hops)
+        self.link_name = link_name
+        self.loss_rate = float(loss_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PrefixDiagnostics(hops={self.n_hops}, up to {self.link_name}, "
+            f"loss={self.loss_rate:.3%})"
+        )
+
+
+class PinpointReport:
+    """Where the dominant congested link sits, with the evidence.
+
+    Attributes
+    ----------
+    located_link:
+        Name of the link charged with the dominant loss share, or
+        ``None`` when no single hop accounts for the required share
+        (consistent with "no dominant congested link").
+    hop_index:
+        0-based index of that link along the path.
+    prefixes:
+        Per-prefix loss diagnostics.
+    confirmation:
+        Identification report on the shortest prefix containing the
+        located link (``None`` when nothing was located).
+    """
+
+    def __init__(
+        self,
+        located_link: Optional[str],
+        hop_index: Optional[int],
+        prefixes: List[PrefixDiagnostics],
+        confirmation: Optional[IdentificationReport],
+        loss_share: float,
+    ):
+        self.located_link = located_link
+        self.hop_index = hop_index
+        self.prefixes = prefixes
+        self.confirmation = confirmation
+        self.loss_share = float(loss_share)
+
+    @property
+    def located(self) -> bool:
+        """Whether a dominant link was located."""
+        return self.located_link is not None
+
+    def summary(self) -> str:
+        """Prefix loss profile plus the located link, if any."""
+        lines = ["prefix loss profile:"]
+        for diag in self.prefixes:
+            lines.append(
+                f"  through {diag.link_name:<16} loss={diag.loss_rate:7.3%}"
+            )
+        if self.located:
+            lines.append(
+                f"located dominant congested link: {self.located_link} "
+                f"(hop {self.hop_index}, {self.loss_share:.1%} of losses)"
+            )
+            if self.confirmation is not None:
+                lines.append(
+                    "prefix identification: "
+                    + ("accepts" if self.confirmation.dominant_link_exists
+                       else "rejects")
+                    + " a dominant congested link"
+                )
+        else:
+            lines.append("no single link carries a dominant loss share")
+        return "\n".join(lines)
+
+
+def pinpoint_dominant_link(
+    trace: ProbeTrace,
+    config: Optional[IdentifyConfig] = None,
+    min_share: Optional[float] = None,
+    confirm: bool = True,
+) -> PinpointReport:
+    """Locate the dominant congested link from prefix observations.
+
+    Parameters
+    ----------
+    trace:
+        A periodic probe trace (prefix projections come from its per-hop
+        records; with real TTL-limited probing, each prefix would be its
+        own measured stream).
+    config:
+        Identification configuration for the confirmation step; its
+        ``beta0`` also sets the default loss-share requirement.
+    min_share:
+        Minimum fraction of end-to-end losses one hop must carry to be
+        declared dominant; defaults to ``1 - beta0``.
+    confirm:
+        Run the model-based pipeline on the located prefix (skippable
+        when only the loss profile is wanted).
+    """
+    config = config or IdentifyConfig()
+    if min_share is None:
+        min_share = 1.0 - config.beta0
+    n_links = len(trace.link_names)
+    end_to_end_losses = int(trace.lost.sum())
+    if end_to_end_losses == 0:
+        raise ValueError("trace has no losses; nothing to pinpoint")
+
+    prefixes = []
+    previous_losses = 0
+    located_hop: Optional[int] = None
+    best_share = 0.0
+    for k in range(1, n_links + 1):
+        loss_hops = trace.loss_hops
+        losses_in_prefix = int(((loss_hops >= 0) & (loss_hops < k)).sum())
+        prefixes.append(
+            PrefixDiagnostics(
+                n_hops=k,
+                link_name=trace.link_names[k - 1],
+                loss_rate=losses_in_prefix / len(trace),
+            )
+        )
+        hop_share = (losses_in_prefix - previous_losses) / end_to_end_losses
+        if hop_share > best_share:
+            best_share = hop_share
+            if hop_share >= min_share:
+                located_hop = k - 1
+        previous_losses = losses_in_prefix
+
+    if located_hop is None:
+        return PinpointReport(None, None, prefixes, None, best_share)
+
+    confirmation = None
+    if confirm:
+        prefix_obs = trace.prefix_observation(located_hop + 1)
+        try:
+            confirmation = identify(prefix_obs, config)
+        except (ValueError, FloatingPointError):
+            confirmation = None
+    return PinpointReport(
+        located_link=trace.link_names[located_hop],
+        hop_index=located_hop,
+        prefixes=prefixes,
+        confirmation=confirmation,
+        loss_share=best_share,
+    )

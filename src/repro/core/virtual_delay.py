@@ -1,0 +1,103 @@
+"""Virtual queuing delay distribution estimators (paper Section V).
+
+Four ways to obtain ``G``, the distribution of the (discretized) virtual
+queuing delay of lost probes:
+
+* :func:`ground_truth_distribution` — read it off the simulator's
+  virtual-probe records (the paper's "directly from ns" curves);
+* :func:`losspair_distribution` — the empirical baseline (re-exported
+  from :mod:`repro.core.losspair`);
+* :func:`hmm_distribution` / :func:`mmhd_distribution` — the paper's
+  model-based estimators: interpret losses as missing delay values, fit
+  by EM, and read ``Ĝ`` from eq. (5).
+
+:func:`observed_delay_distribution` gives the distribution of *observed*
+(surviving-probe) delays — only for illustration (Fig. 5); the paper is
+explicit that observed and virtual distributions differ dramatically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.discretize import DelayDiscretizer
+from repro.core.distributions import DelayDistribution
+from repro.core.losspair import losspair_distribution
+from repro.models.base import EMConfig, FittedModel
+from repro.models.hmm import fit_hmm
+from repro.models.mmhd import fit_mmhd
+from repro.netsim.trace import PathObservation, ProbeTrace
+
+__all__ = [
+    "ground_truth_distribution",
+    "observed_delay_distribution",
+    "losspair_distribution",
+    "hmm_distribution",
+    "mmhd_distribution",
+]
+
+
+def ground_truth_distribution(
+    trace: ProbeTrace,
+    discretizer: DelayDiscretizer,
+) -> DelayDistribution:
+    """``G`` from the simulator's own virtual-probe records.
+
+    Lost probes' end-end virtual delays (base + per-hop queuing, with the
+    loss hop contributing its discipline's loss delay) are symbolized with
+    the same discretizer as every other estimator.
+    """
+    lost = trace.lost
+    if not lost.any():
+        raise ValueError("trace has no losses; virtual delay of lost probes empty")
+    virtual_delays = trace.base_delay + trace.virtual_queuing_delays[lost]
+    symbols = discretizer.symbols_of(virtual_delays)
+    return DelayDistribution.from_samples(
+        symbols, discretizer.n_symbols, discretizer=discretizer, label="ns virtual"
+    )
+
+
+def observed_delay_distribution(
+    trace: ProbeTrace,
+    discretizer: DelayDiscretizer,
+) -> DelayDistribution:
+    """Distribution of surviving probes' observed delays (Fig. 5 contrast)."""
+    observation = trace.observation()
+    symbols = discretizer.symbols_of(observation.observed)
+    return DelayDistribution.from_samples(
+        symbols, discretizer.n_symbols, discretizer=discretizer, label="observed"
+    )
+
+
+def hmm_distribution(
+    observation: PathObservation,
+    discretizer: DelayDiscretizer,
+    n_hidden: int = 2,
+    config: Optional[EMConfig] = None,
+) -> Tuple[DelayDistribution, FittedModel]:
+    """Fit the HMM estimator; returns ``(Ĝ, fitted_model)``."""
+    seq = discretizer.observation_sequence(observation)
+    fitted = fit_hmm(seq, n_hidden=n_hidden, config=config)
+    distribution = DelayDistribution(
+        fitted.virtual_delay_pmf,
+        discretizer=discretizer,
+        label=f"HMM N={n_hidden}",
+    )
+    return distribution, fitted
+
+
+def mmhd_distribution(
+    observation: PathObservation,
+    discretizer: DelayDiscretizer,
+    n_hidden: int = 2,
+    config: Optional[EMConfig] = None,
+) -> Tuple[DelayDistribution, FittedModel]:
+    """Fit the MMHD estimator; returns ``(Ĝ, fitted_model)``."""
+    seq = discretizer.observation_sequence(observation)
+    fitted = fit_mmhd(seq, n_hidden=n_hidden, config=config)
+    distribution = DelayDistribution(
+        fitted.virtual_delay_pmf,
+        discretizer=discretizer,
+        label=f"MMHD N={n_hidden}",
+    )
+    return distribution, fitted

@@ -1,0 +1,47 @@
+"""Reproduction harnesses: scenarios, runners, sweeps, and reporting."""
+
+from repro.experiments import duration, internet, reporting, scenarios
+from repro.experiments.duration import (
+    DurationSweep,
+    consistency_vs_duration,
+    correctness_vs_duration,
+)
+from repro.experiments.internet import (
+    InternetRun,
+    adsl_path_scenario,
+    ethernet_path_scenario,
+    run_internet_experiment,
+)
+from repro.experiments.runner import ExperimentResult, run_scenario
+from repro.experiments.scenarios import (
+    BuiltScenario,
+    Scenario,
+    no_dcl_scenario,
+    red_no_dcl_scenario,
+    red_strong_scenario,
+    strong_dcl_scenario,
+    weak_dcl_scenario,
+)
+
+__all__ = [
+    "BuiltScenario",
+    "DurationSweep",
+    "ExperimentResult",
+    "InternetRun",
+    "Scenario",
+    "adsl_path_scenario",
+    "consistency_vs_duration",
+    "correctness_vs_duration",
+    "duration",
+    "ethernet_path_scenario",
+    "internet",
+    "no_dcl_scenario",
+    "red_no_dcl_scenario",
+    "red_strong_scenario",
+    "reporting",
+    "run_internet_experiment",
+    "run_scenario",
+    "scenarios",
+    "strong_dcl_scenario",
+    "weak_dcl_scenario",
+]

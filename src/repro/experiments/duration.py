@@ -1,0 +1,159 @@
+"""Probing-duration sweeps (paper Figs. 9 and 14).
+
+The paper asks: how long must the probe stream be for reliable
+identification?  Methodology (Section VI-A4): pick random segments of a
+given duration from one long trace, identify on each segment, and report
+the fraction of correct (Fig. 9) or reference-consistent (Fig. 14)
+identifications versus segment duration.  Fig. 14 additionally contrasts
+*known* propagation delay against the minimum-delay approximation and
+finds them identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.identify import IdentifyConfig, identify
+from repro.netsim.trace import PathObservation, ProbeTrace
+
+__all__ = ["DurationSweep", "correctness_vs_duration", "consistency_vs_duration"]
+
+
+class DurationSweep:
+    """Result of a duration sweep: per-duration correctness ratios."""
+
+    def __init__(
+        self,
+        durations: Sequence[float],
+        ratios: Sequence[float],
+        n_reps: int,
+        label: str = "",
+    ):
+        self.durations = list(durations)
+        self.ratios = list(ratios)
+        self.n_reps = int(n_reps)
+        self.label = label
+
+    def knee(self, level: float = 0.9) -> Optional[float]:
+        """Shortest tested duration whose ratio reaches ``level``."""
+        for duration, ratio in zip(self.durations, self.ratios):
+            if ratio >= level:
+                return duration
+        return None
+
+    def rows(self) -> List[str]:
+        """Aligned text rows (duration, ratio) for reports."""
+        return [
+            f"{duration:8.1f} s   {ratio:6.1%}"
+            for duration, ratio in zip(self.durations, self.ratios)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(
+            f"{d:.0f}s:{r:.0%}" for d, r in zip(self.durations, self.ratios)
+        )
+        return f"DurationSweep({self.label}: {pairs})"
+
+
+def _segment_observation(
+    observation: PathObservation,
+    segment_len: int,
+    rng: np.random.Generator,
+) -> PathObservation:
+    if segment_len >= len(observation):
+        return observation
+    start = int(rng.integers(0, len(observation) - segment_len))
+    return observation.segment(start, start + segment_len)
+
+
+def _accepts_dcl(report) -> bool:
+    return report.wdcl.accepted
+
+
+def correctness_vs_duration(
+    trace: ProbeTrace,
+    expected_dcl: bool,
+    durations: Sequence[float],
+    n_reps: int = 25,
+    config: Optional[IdentifyConfig] = None,
+    seed: int = 0,
+) -> DurationSweep:
+    """Fig. 9: fraction of correct identifications vs segment duration.
+
+    ``expected_dcl`` is whether a (weakly) dominant congested link truly
+    exists; a segment's identification is correct when its WDCL verdict
+    matches.  Segments are drawn uniformly from ``trace``.
+    """
+    config = config or IdentifyConfig()
+    observation = trace.observation()
+    rng = np.random.default_rng(seed)
+    ratios = []
+    for duration in durations:
+        segment_len = max(10, int(round(duration / trace.probe_interval)))
+        correct = 0
+        attempts = 0
+        for _ in range(n_reps):
+            segment = _segment_observation(observation, segment_len, rng)
+            try:
+                report = identify(segment, config)
+            except (ValueError, FloatingPointError):
+                # Segment without losses (or degenerate): counts as wrong
+                # unless no DCL is expected and no losses means no verdict.
+                attempts += 1
+                continue
+            attempts += 1
+            if _accepts_dcl(report) == expected_dcl:
+                correct += 1
+        ratios.append(correct / attempts if attempts else 0.0)
+    return DurationSweep(durations, ratios, n_reps, label="correctness")
+
+
+def consistency_vs_duration(
+    observation: PathObservation,
+    reference_accepts_dcl: bool,
+    durations: Sequence[float],
+    probe_interval: float,
+    n_reps: int = 25,
+    config: Optional[IdentifyConfig] = None,
+    known_propagation: Optional[float] = None,
+    seed: int = 0,
+) -> DurationSweep:
+    """Fig. 14: fraction of segments consistent with the full-trace result.
+
+    ``known_propagation`` switches between the paper's "known P" case
+    (pass the true propagation delay) and the default minimum-delay
+    approximation (``None``).
+    """
+    config = config or IdentifyConfig()
+    if known_propagation is not None:
+        config = IdentifyConfig(
+            n_symbols=config.n_symbols,
+            n_hidden=config.n_hidden,
+            model=config.model,
+            beta0=config.beta0,
+            beta1=config.beta1,
+            tolerance=config.tolerance,
+            propagation_delay=known_propagation,
+            em=config.em,
+        )
+    rng = np.random.default_rng(seed)
+    ratios = []
+    for duration in durations:
+        segment_len = max(10, int(round(duration / probe_interval)))
+        consistent = 0
+        attempts = 0
+        for _ in range(n_reps):
+            segment = _segment_observation(observation, segment_len, rng)
+            try:
+                report = identify(segment, config)
+            except (ValueError, FloatingPointError):
+                attempts += 1
+                continue
+            attempts += 1
+            if _accepts_dcl(report) == reference_accepts_dcl:
+                consistent += 1
+        ratios.append(consistent / attempts if attempts else 0.0)
+    label = "known P" if known_propagation is not None else "unknown P"
+    return DurationSweep(durations, ratios, n_reps, label=label)

@@ -1,0 +1,405 @@
+"""Synthetic "Internet" experiments (paper Section VI-B, Figs. 12-14).
+
+The paper's Internet validation runs 20-ms UDP probes over PlanetLab
+paths (11-20 hops) and an ADSL-terminated path, with tcpdump timestamps
+and clock offset/skew removal.  We rebuild the same *measurement
+conditions* synthetically, with ground truth the paper could not have:
+
+* long router chains (11/15/20 hops) of fast links, with one — or, for
+  the SNU-like reject case, two — slow congested links placed where
+  pchar located them in the paper (inside Brazil; at the ADSL tail; at
+  the 13th hop);
+* very low probe loss rates (a few tenths of a percent, as measured);
+* benign queuing on non-lossy links (web cross traffic) so the delay
+  range is not set by the dominant link alone;
+* receiver clock offset and skew *injected* into the one-way delays and
+  then removed with :mod:`repro.measurement.clock`, exactly as the paper
+  post-processes tcpdump timestamps with the algorithm of [40].
+
+The builders return the same :class:`~repro.experiments.scenarios.Scenario`
+objects as the ns-2 settings, so the runner and harnesses are shared.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentResult, run_scenario
+from repro.experiments.scenarios import (
+    BuiltScenario,
+    Scenario,
+    _saturate_link,
+)
+from repro.measurement.clock import ClockFit, apply_clock_effects, remove_clock_effects
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import chain_network
+from repro.netsim.http import start_web_sessions
+from repro.netsim.trace import PathObservation
+
+__all__ = [
+    "ethernet_path_scenario",
+    "adsl_path_scenario",
+    "wireless_path_scenario",
+    "InternetRun",
+    "run_internet_experiment",
+    "ADSL_SENDERS",
+]
+
+MBPS = 1e6
+
+#: The paper's second experiment set: senders toward the ADSL receiver.
+ADSL_SENDERS = ("ufpr", "usevilla", "snu")
+
+
+def _uniform_props(rng: np.random.Generator, n: int, low: float, high: float):
+    return [float(rng.uniform(low, high)) for _ in range(n)]
+
+
+def _internet_chain(
+    seed: int,
+    n_hops: int,
+    slow_links: List[Tuple[int, float, int]],
+    base_bandwidth: float = 100 * MBPS,
+    base_buffer: int = 2_000_000,
+    prop_range: Tuple[float, float] = (0.001, 0.008),
+):
+    """A long chain with ``slow_links`` = [(index, bandwidth, buffer)]."""
+    rng = np.random.default_rng(seed ^ 0x9E3779B9)
+    bandwidths = [base_bandwidth] * n_hops
+    buffers = [base_buffer] * n_hops
+    for index, bandwidth, buffer_bytes in slow_links:
+        bandwidths[index] = bandwidth
+        buffers[index] = buffer_bytes
+    net = chain_network(
+        router_bandwidths_bps=bandwidths,
+        router_buffers_bytes=buffers,
+        seed=seed,
+        router_prop_delay=0.0,  # overridden below per link
+        stub_hosts_per_router=2,
+    )
+    # Randomise per-hop propagation (chain_network used 0 above; patch the
+    # forward/backward chain links directly for wide-area realism).
+    props = _uniform_props(rng, n_hops, *prop_range)
+    for i in range(n_hops):
+        net.links[(f"r{i}", f"r{i + 1}")].prop_delay = props[i]
+        net.links[(f"r{i + 1}", f"r{i}")].prop_delay = props[i]
+    return net
+
+
+def _background_web(net, n_hops: int, sessions_per_span: int = 2) -> None:
+    """Benign cross traffic: web sessions over a few multi-hop spans.
+
+    Their bursts create visible (loss-free) queuing on the fast links, so
+    the observed delay range is not set by the dominant link alone — as
+    on a real wide-area path.
+    """
+    spans = [
+        (1, max(2, n_hops // 3)),
+        (max(2, n_hops // 3), max(3, 2 * n_hops // 3)),
+        (max(3, 2 * n_hops // 3), n_hops),
+    ]
+    for index, (enter, exit_) in enumerate(spans):
+        if enter >= exit_:
+            continue
+        start_web_sessions(
+            net,
+            f"src{enter}_1",
+            f"snk{exit_}_1",
+            count=sessions_per_span,
+            session_prefix=f"bg{index}",
+            mean_think_time=2.0,
+        )
+
+
+def ethernet_path_scenario(
+    n_hops: int = 11,
+    congested_hop: int = 6,
+    congested_bandwidth: float = 10 * MBPS,
+    congested_buffer: int = 12_500,
+    transit_hop: int = 3,
+    transit_bandwidth: float = 5 * MBPS,
+    hold_duration: float = 1.2,
+    period: float = 21.0,
+) -> Scenario:
+    """Fig. 12: Cornell -> UFPR-like path, Ethernet receiver.
+
+    Eleven hops; one congested 10 Mb/s link inside "Brazil" (hop 6) whose
+    ``Q_k`` (10 ms) is *small* against the path's delay range — a
+    loss-free 5 Mb/s transit link (hop 3) with heavy web bursts sets the
+    range, so ``Ĝ`` concentrates on delay symbol 1 exactly as the paper's
+    Fig. 12 shows, and WDCL accepts with ``d* = 1``.
+    """
+
+    def build(seed: int) -> BuiltScenario:
+        net = _internet_chain(
+            seed,
+            n_hops,
+            slow_links=[
+                (congested_hop, congested_bandwidth, congested_buffer),
+                (transit_hop, transit_bandwidth, 2_000_000),  # deep, loss-free
+            ],
+        )
+        _background_web(net, n_hops)
+        # Heavy (but loss-free) bursts across the transit link: they set
+        # D_max well above the dominant link's Q_k.
+        start_web_sessions(
+            net,
+            f"src{transit_hop}_1",
+            f"snk{transit_hop + 1}_1",
+            count=6,
+            session_prefix="transit",
+            mean_think_time=1.5,
+        )
+        _saturate_link(
+            net,
+            congested_hop,
+            congested_hop + 1,
+            congested_bandwidth,
+            congested_buffer,
+            hold_duration,
+            period,
+            "brazil-congestion",
+            start=5.0,
+        )
+        chain_links = [f"r{i}->r{i + 1}" for i in range(n_hops)]
+        return BuiltScenario(
+            network=net,
+            probe_src="src0_0",
+            probe_dst=f"snk{n_hops}_0",
+            chain_link_names=chain_links,
+            expected_verdict="weak",
+            dcl_link=f"r{congested_hop}->r{congested_hop + 1}",
+            max_queuing_delays={
+                name: net.links[(f"r{i}", f"r{i + 1}")].queue.max_queuing_delay()
+                for i, name in enumerate(chain_links)
+            },
+        )
+
+    return Scenario(
+        name="internet-ethernet-ufpr",
+        description=(
+            f"{n_hops}-hop Ethernet-receiver path with one congested "
+            f"{congested_bandwidth / MBPS:.0f} Mb/s link at hop {congested_hop} "
+            "(Fig. 12, Cornell->UFPR)"
+        ),
+        builder=build,
+        expected_verdict="weak",
+    )
+
+
+def adsl_path_scenario(sender: str = "ufpr") -> Scenario:
+    """Fig. 13: sender -> ADSL receiver paths.
+
+    ``sender`` selects the paper's three cases:
+
+    * ``"ufpr"`` — 15 hops, ADSL tail congested: accept (Fig. 13a);
+    * ``"usevilla"`` — 11 hops, ADSL tail congested, higher loss:
+      accept (Fig. 13b);
+    * ``"snu"`` — 20 hops, ADSL tail *plus* a congested 13th hop with a
+      comparable loss share: reject (Fig. 13c), consistent with pchar
+      finding a second low-bandwidth link mid-path.
+    """
+    sender = sender.lower()
+    if sender not in ADSL_SENDERS:
+        raise ValueError(f"sender must be one of {ADSL_SENDERS}, got {sender!r}")
+    adsl_bandwidth = 1.5 * MBPS
+    adsl_buffer = 15_000  # Q ~ 80 ms: small against the path's range
+    if sender == "ufpr":
+        n_hops, mid_congestion = 15, None
+        hold, period = 1.0, 23.0
+        expected = "weak"
+    elif sender == "usevilla":
+        n_hops, mid_congestion = 11, None
+        hold, period = 1.5, 13.0  # the paper's highest loss rate
+        expected = "weak"
+    else:  # snu
+        n_hops = 20
+        # Second congested link at hop 13: 3 Mb/s with a large buffer so
+        # its Q (~0.4 s) clearly exceeds the ADSL tail's.
+        mid_congestion = (13, 3 * MBPS, 150_000)
+        hold, period = 1.0, 23.0
+        expected = "none"
+    tail_hop = n_hops - 1
+
+    def build(seed: int) -> BuiltScenario:
+        slow = [(tail_hop, adsl_bandwidth, adsl_buffer)]
+        if mid_congestion is not None:
+            slow.append(mid_congestion)
+        net = _internet_chain(seed, n_hops, slow_links=slow)
+        _background_web(net, n_hops)
+        _saturate_link(
+            net,
+            tail_hop,
+            tail_hop + 1,
+            adsl_bandwidth,
+            adsl_buffer,
+            hold,
+            period,
+            "adsl-congestion",
+            start=5.0,
+        )
+        if mid_congestion is not None:
+            hop, bandwidth, buffer_bytes = mid_congestion
+            _saturate_link(
+                net,
+                hop,
+                hop + 1,
+                bandwidth,
+                buffer_bytes,
+                hold,
+                period * 1.4,
+                "mid-congestion",
+                start=12.0,
+            )
+        chain_links = [f"r{i}->r{i + 1}" for i in range(n_hops)]
+        return BuiltScenario(
+            network=net,
+            probe_src="src0_0",
+            probe_dst=f"snk{n_hops}_0",
+            chain_link_names=chain_links,
+            expected_verdict=expected,
+            dcl_link=f"r{tail_hop}->r{tail_hop + 1}" if expected == "weak" else None,
+            max_queuing_delays={
+                name: net.links[(f"r{i}", f"r{i + 1}")].queue.max_queuing_delay()
+                for i, name in enumerate(chain_links)
+            },
+        )
+
+    return Scenario(
+        name=f"internet-adsl-{sender}",
+        description=f"{sender.upper()} -> ADSL receiver path (Fig. 13)",
+        builder=build,
+        expected_verdict=expected,
+    )
+
+
+def wireless_path_scenario(
+    n_hops: int = 8,
+    wireless_hop: Optional[int] = None,
+    loss_bad: float = 0.35,
+    mean_good: float = 2.0,
+    mean_bad: float = 0.25,
+) -> Scenario:
+    """Section VII's caveat: a path whose last hop loses from fading.
+
+    The wireless hop drops packets (and probes) from a Gilbert-Elliott
+    channel, *uncorrelated with queuing*; there is no congested queue
+    anywhere.  The premise of Theorem 1 (a lost probe saw a full queue)
+    fails, and the method's output becomes unreliable: lost probes carry
+    ordinary (small) ambient delays, so ``Ĝ`` concentrates on symbol 1
+    and the WDCL-Test *accepts* a phantom dominant congested link with a
+    tiny inferred ``Q_k`` — a false positive.  The scenario's
+    ``expected_verdict`` is the ground truth ("none") while
+    ``expected_identification`` records the method's (wrong, expected)
+    answer, exactly as for the aggressive-RED case.
+    """
+    from repro.netsim.wireless import GilbertElliottLink
+
+    wireless_hop = n_hops - 1 if wireless_hop is None else wireless_hop
+
+    def build(seed: int) -> BuiltScenario:
+        net = _internet_chain(seed, n_hops, slow_links=[])
+        # Rebuild the chosen hop as a wireless link (same rate/queue).
+        src_name = f"r{wireless_hop}"
+        dst_name = f"r{wireless_hop + 1}"
+        old = net.links.pop((src_name, dst_name))
+        wireless = GilbertElliottLink(
+            net.sim,
+            name=old.name,
+            src_name=src_name,
+            dst=net.nodes[dst_name],
+            bandwidth_bps=old.bandwidth_bps,
+            prop_delay=old.prop_delay,
+            queue=DropTailQueue(2_000_000),
+            loss_bad=loss_bad,
+            mean_good=mean_good,
+            mean_bad=mean_bad,
+        )
+        net.links[(src_name, dst_name)] = wireless
+        net.compute_routes()
+        _background_web(net, n_hops)
+        chain_links = [f"r{i}->r{i + 1}" for i in range(n_hops)]
+        return BuiltScenario(
+            network=net,
+            probe_src="src0_0",
+            probe_dst=f"snk{n_hops}_0",
+            chain_link_names=chain_links,
+            expected_verdict="none",
+            dcl_link=None,
+            max_queuing_delays={
+                name: net.links[(f"r{i}", f"r{i + 1}")].queue.max_queuing_delay()
+                for i, name in enumerate(chain_links)
+            },
+        )
+
+    return Scenario(
+        name="internet-wireless",
+        description=(
+            f"{n_hops}-hop path with a fading wireless hop "
+            f"{wireless_hop} and no congested queue (Section VII caveat)"
+        ),
+        builder=build,
+        expected_verdict="none",
+        # Known, documented false positive: queue-uncorrelated losses
+        # defeat the droptail premise (see the docstring).
+        expected_identification="weak",
+    )
+
+
+class InternetRun:
+    """An Internet-style experiment: raw, distorted, and repaired views."""
+
+    def __init__(
+        self,
+        result: ExperimentResult,
+        raw: PathObservation,
+        distorted: PathObservation,
+        repaired: PathObservation,
+        injected: ClockFit,
+        estimated: ClockFit,
+    ):
+        self.result = result
+        self.raw = raw
+        self.distorted = distorted
+        self.repaired = repaired
+        self.injected = injected
+        self.estimated = estimated
+
+    @property
+    def trace(self):
+        """The underlying periodic probe trace."""
+        return self.result.trace
+
+    def skew_error(self) -> float:
+        """Absolute error of the estimated clock skew."""
+        return abs(self.estimated.skew - self.injected.skew)
+
+
+def run_internet_experiment(
+    scenario: Scenario,
+    seed: int = 0,
+    duration: float = 300.0,
+    warmup: float = 30.0,
+    clock_offset: float = 0.35,
+    clock_skew: float = 5e-5,
+) -> InternetRun:
+    """Run an Internet scenario with clock distortion and repair.
+
+    The receiver clock runs ``clock_offset`` seconds ahead and drifts at
+    ``clock_skew`` (50 ppm by default — ordinary crystal error; over a
+    20-minute trace it accumulates tens of ms, large against queuing).
+    """
+    result = run_scenario(scenario, seed=seed, duration=duration, warmup=warmup)
+    raw = result.trace.observation()
+    distorted = apply_clock_effects(raw, offset=clock_offset, skew=clock_skew)
+    repaired, estimated = remove_clock_effects(distorted)
+    return InternetRun(
+        result=result,
+        raw=raw,
+        distorted=distorted,
+        repaired=repaired,
+        injected=ClockFit(offset=clock_offset, skew=clock_skew),
+        estimated=estimated,
+    )

@@ -1,0 +1,60 @@
+"""Plain-text table/series formatting for the reproduction harnesses.
+
+Every benchmark prints the same rows/series the paper's tables and
+figures report; these helpers keep that output uniform and dependency
+free (no plotting — series print as aligned text, which diffs cleanly in
+CI logs and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_pmf_series", "format_cdf_line"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_pmf_series(
+    pmfs: Sequence[np.ndarray],
+    labels: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render PMFs over symbols 1..M side by side (one figure's curves)."""
+    if not pmfs:
+        raise ValueError("need at least one pmf")
+    n_symbols = len(pmfs[0])
+    headers = ["symbol"] + list(labels)
+    rows = []
+    for m in range(n_symbols):
+        rows.append([m + 1] + [f"{pmf[m]:.3f}" for pmf in pmfs])
+    return format_table(headers, rows, title=title)
+
+
+def format_cdf_line(pmf: np.ndarray, label: str = "G") -> str:
+    """One-line CDF rendering, e.g. ``G: 1:0.02 2:0.02 ... 5:1.00``."""
+    cdf = np.cumsum(pmf)
+    body = " ".join(f"{m + 1}:{v:.2f}" for m, v in enumerate(cdf))
+    return f"{label}: {body}"

@@ -1,0 +1,41 @@
+"""Trace post-processing: clock repair, stationarity, path tools."""
+
+from repro.measurement.clock import (
+    ClockFit,
+    apply_clock_effects,
+    estimate_clock,
+    remove_clock_effects,
+)
+from repro.measurement.pathtools import PcharProber, PcharResult
+from repro.measurement.pipeline import PreparedObservation, prepare_observation
+from repro.measurement.stationarity import (
+    WindowSummary,
+    select_stationary_segment,
+    summarize_windows,
+)
+from repro.measurement.traceio import (
+    load_observation,
+    load_timestamp_pair,
+    load_trace,
+    save_observation,
+    save_trace,
+)
+
+__all__ = [
+    "ClockFit",
+    "PcharProber",
+    "PcharResult",
+    "PreparedObservation",
+    "WindowSummary",
+    "apply_clock_effects",
+    "estimate_clock",
+    "load_observation",
+    "load_timestamp_pair",
+    "load_trace",
+    "prepare_observation",
+    "remove_clock_effects",
+    "save_observation",
+    "save_trace",
+    "select_stationary_segment",
+    "summarize_windows",
+]

@@ -1,0 +1,155 @@
+"""Clock offset and skew removal for one-way delay measurements.
+
+The paper's Internet experiments measure one-way delays between hosts with
+unsynchronised clocks and remove offset and skew with the algorithm of
+Zhang, Liu & Xia (INFOCOM 2002).  The measured delay of probe ``i`` is
+
+    measured_i = true_i + offset + skew * send_time_i
+
+The skew/offset estimate is the linear-programming fit: the line lying
+*below* every measured point that minimises the total vertical distance to
+the points.  The LP optimum is attained on an edge of the lower convex
+hull of ``(send_time, measured_delay)`` — specifically the edge whose time
+span contains the mean send time — so we solve it exactly with a monotone
+chain hull in O(n log n), no LP solver needed.
+
+Removing the fitted line leaves delays whose minimum is (near) zero; the
+true propagation delay is unrecoverable from one-way data, which is fine:
+the identification pipeline only needs delays up to a constant (it
+approximates ``P`` by the minimum observed delay anyway, Section V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.trace import PathObservation
+
+__all__ = ["ClockFit", "estimate_clock", "remove_clock_effects", "apply_clock_effects"]
+
+
+class ClockFit:
+    """A fitted clock model: ``measured ≈ baseline + offset + skew * t``."""
+
+    def __init__(self, offset: float, skew: float):
+        self.offset = float(offset)
+        self.skew = float(skew)
+
+    def line(self, times: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted clock line at the given send times."""
+        return self.offset + self.skew * np.asarray(times, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClockFit(offset={self.offset:.6g}s, skew={self.skew:.3g})"
+
+
+def _lower_hull(points: np.ndarray) -> np.ndarray:
+    """Lower convex hull (Andrew's monotone chain); points sorted by x."""
+    hull = []
+    for point in points:
+        while len(hull) >= 2:
+            o, a = hull[-2], hull[-1]
+            cross = (a[0] - o[0]) * (point[1] - o[1]) - (a[1] - o[1]) * (
+                point[0] - o[0]
+            )
+            if cross <= 0:
+                hull.pop()
+            else:
+                break
+        hull.append(point)
+    return np.array(hull)
+
+
+def estimate_clock(times, delays) -> ClockFit:
+    """Fit the skew line under the measured one-way delays.
+
+    Parameters
+    ----------
+    times, delays:
+        Send times and measured delays; NaN delays (losses) are ignored.
+
+    Returns the LP-optimal under-line as a :class:`ClockFit` whose
+    ``skew`` is the relative clock drift and whose ``offset`` is the line
+    value at ``t = 0`` (clock offset plus the unknowable propagation
+    delay).
+    """
+    times = np.asarray(times, dtype=float)
+    delays = np.asarray(delays, dtype=float)
+    if times.shape != delays.shape:
+        raise ValueError("times and delays must have equal length")
+    observed = ~np.isnan(delays)
+    times, delays = times[observed], delays[observed]
+    if times.size < 2:
+        raise ValueError("need at least two observed delays to fit a clock")
+    order = np.argsort(times, kind="stable")
+    points = np.column_stack([times[order], delays[order]])
+    # Collapse duplicate send times to their minimum delay (hull needs
+    # strictly increasing x to stay stable).
+    _, first = np.unique(points[:, 0], return_index=True)
+    if len(first) < len(points):
+        mins = np.minimum.reduceat(points[:, 1], first)
+        points = np.column_stack([points[first, 0], mins])
+    if len(points) == 1:
+        return ClockFit(offset=float(points[0, 1]), skew=0.0)
+    hull = _lower_hull(points)
+    if len(hull) == 1:
+        return ClockFit(offset=float(hull[0, 1]), skew=0.0)
+    # The LP objective sum(d_i - a - b t_i) decreases in b while the mean
+    # time exceeds the pivot; optimum is the hull edge spanning mean(t).
+    mean_t = times.mean()
+    for (x0, y0), (x1, y1) in zip(hull[:-1], hull[1:]):
+        if x0 <= mean_t <= x1:
+            skew = (y1 - y0) / (x1 - x0)
+            return ClockFit(offset=float(y0 - skew * x0), skew=float(skew))
+    # mean(t) outside the hull span only if numerically degenerate; fall
+    # back to the overall hull chord.
+    (x0, y0), (x1, y1) = hull[0], hull[-1]
+    skew = (y1 - y0) / (x1 - x0)
+    return ClockFit(offset=float(y0 - skew * x0), skew=float(skew))
+
+
+def remove_clock_effects(
+    observation: PathObservation,
+    fit: Optional[ClockFit] = None,
+    keep_level: bool = True,
+) -> Tuple[PathObservation, ClockFit]:
+    """Return a skew-corrected copy of ``observation`` plus the fit used.
+
+    With ``keep_level`` the corrected delays are shifted so their minimum
+    matches the original minimum (only the *slope* is removed — the level
+    carries the unknown propagation + offset and is harmless downstream).
+    """
+    if fit is None:
+        fit = estimate_clock(observation.send_times, observation.delays)
+    corrected = observation.delays - fit.skew * observation.send_times
+    if keep_level:
+        observed = ~np.isnan(corrected)
+        if observed.any():
+            original_min = np.nanmin(observation.delays)
+            corrected = corrected - np.nanmin(corrected) + original_min
+    return (
+        PathObservation(
+            observation.send_times,
+            corrected,
+            propagation_delay=None,  # level is no longer physical
+        ),
+        fit,
+    )
+
+
+def apply_clock_effects(
+    observation: PathObservation,
+    offset: float,
+    skew: float,
+) -> PathObservation:
+    """Distort delays as an unsynchronised receiver clock would.
+
+    Used by the synthetic Internet experiments: the receiver timestamps
+    with a clock running ``offset`` ahead and drifting at rate ``skew``,
+    so the measured delay becomes ``delay + offset + skew * arrival_time``
+    (we use send time; the difference is second-order in skew).
+    """
+    distorted = observation.delays + offset + skew * observation.send_times
+    return PathObservation(observation.send_times, distorted, propagation_delay=None)

@@ -1,0 +1,93 @@
+"""The paper's Internet measurement workflow as one call.
+
+Section VI-B processes each measured path the same way: derive one-way
+delays from sender/receiver timestamps, remove clock offset and skew
+(per [40]), select a stationary probing sequence, then identify.  This
+module packages the pre-identification steps so library users and the
+CLI share one tested path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.measurement.clock import ClockFit, remove_clock_effects
+from repro.measurement.stationarity import select_stationary_segment
+from repro.netsim.trace import PathObservation
+
+__all__ = ["PreparedObservation", "prepare_observation"]
+
+
+class PreparedObservation:
+    """A measurement readied for identification, with its provenance."""
+
+    def __init__(
+        self,
+        observation: PathObservation,
+        clock_fit: Optional[ClockFit],
+        segment_range: Tuple[int, int],
+        original_length: int,
+    ):
+        self.observation = observation
+        self.clock_fit = clock_fit
+        self.segment_range = segment_range
+        self.original_length = int(original_length)
+
+    @property
+    def used_fraction(self) -> float:
+        """Share of the raw record that survived stationarity selection."""
+        start, stop = self.segment_range
+        if self.original_length == 0:
+            return 0.0
+        return (stop - start) / self.original_length
+
+    def summary(self) -> str:
+        """Human-readable provenance of the preparation steps."""
+        lines = []
+        if self.clock_fit is not None:
+            lines.append(
+                f"clock: skew {self.clock_fit.skew:.3e} removed "
+                f"(offset {self.clock_fit.offset:.6f} s)"
+            )
+        start, stop = self.segment_range
+        lines.append(
+            f"stationary segment: probes [{start}, {stop}) of "
+            f"{self.original_length} ({self.used_fraction:.0%})"
+        )
+        lines.append(
+            f"loss rate on segment: {self.observation.loss_rate:.2%}"
+        )
+        return "\n".join(lines)
+
+
+def prepare_observation(
+    observation: PathObservation,
+    repair_clock: bool = True,
+    select_stationary: bool = True,
+    window: int = 1000,
+    delay_tolerance: float = 0.2,
+    loss_tolerance: float = 0.05,
+) -> PreparedObservation:
+    """Clock repair + stationary-segment selection.
+
+    Either stage can be disabled; with both disabled the observation is
+    returned unchanged (with full-range provenance).
+    """
+    original_length = len(observation)
+    clock_fit = None
+    if repair_clock:
+        observation, clock_fit = remove_clock_effects(observation)
+    segment_range = (0, original_length)
+    if select_stationary:
+        observation, segment_range = select_stationary_segment(
+            observation,
+            window=window,
+            delay_tolerance=delay_tolerance,
+            loss_tolerance=loss_tolerance,
+        )
+    return PreparedObservation(
+        observation=observation,
+        clock_fit=clock_fit,
+        segment_range=segment_range,
+        original_length=original_length,
+    )

@@ -1,0 +1,127 @@
+"""Stationary-segment selection for long probe traces.
+
+The paper's Internet experiments "select a stationary probing sequence of
+20 min" from each one-hour trace — the identification method assumes the
+loss/delay process is stationary over the analysed window.  This module
+provides a pragmatic selector: split the trace into windows, summarise
+each (median delay, loss rate), and return the longest contiguous run of
+windows whose summaries stay within tolerance bands of the run's own
+medians.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.trace import PathObservation
+
+__all__ = ["WindowSummary", "summarize_windows", "select_stationary_segment"]
+
+
+class WindowSummary:
+    """Per-window statistics used by the stationarity scan."""
+
+    def __init__(self, start: int, stop: int, median_delay: float, loss_rate: float):
+        self.start = int(start)
+        self.stop = int(stop)
+        self.median_delay = float(median_delay)
+        self.loss_rate = float(loss_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WindowSummary([{self.start}:{self.stop}), "
+            f"median={self.median_delay:.4f}s, loss={self.loss_rate:.3%})"
+        )
+
+
+def summarize_windows(
+    observation: PathObservation, window: int
+) -> List[WindowSummary]:
+    """Split into ``window``-sized chunks and summarise each.
+
+    Windows that are entirely losses get a NaN median and are never part
+    of a stationary run.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    summaries = []
+    n = len(observation)
+    for start in range(0, n - window + 1, window):
+        stop = start + window
+        chunk = observation.delays[start:stop]
+        observed = chunk[~np.isnan(chunk)]
+        median = float(np.median(observed)) if observed.size else float("nan")
+        loss_rate = float(np.mean(np.isnan(chunk)))
+        summaries.append(WindowSummary(start, stop, median, loss_rate))
+    return summaries
+
+
+def _run_is_stationary(
+    summaries: List[WindowSummary],
+    delay_tolerance: float,
+    loss_tolerance: float,
+) -> bool:
+    medians = np.array([s.median_delay for s in summaries])
+    losses = np.array([s.loss_rate for s in summaries])
+    if np.any(np.isnan(medians)):
+        return False
+    center = np.median(medians)
+    if center <= 0:
+        return False
+    if np.max(np.abs(medians - center)) > delay_tolerance * center:
+        return False
+    loss_center = np.median(losses)
+    return bool(np.max(np.abs(losses - loss_center)) <= loss_tolerance)
+
+
+def select_stationary_segment(
+    observation: PathObservation,
+    window: int = 1000,
+    delay_tolerance: float = 0.2,
+    loss_tolerance: float = 0.05,
+    min_windows: int = 2,
+) -> Tuple[PathObservation, Tuple[int, int]]:
+    """Longest contiguous stationary run of windows.
+
+    Parameters
+    ----------
+    window:
+        Probes per window (1000 probes = 20 s at the paper's rate).
+    delay_tolerance:
+        Allowed relative deviation of window median delays from the run
+        median.
+    loss_tolerance:
+        Allowed absolute deviation of window loss rates.
+    min_windows:
+        Shortest acceptable run; if nothing qualifies, the full trace is
+        returned (with its own index range) rather than failing — the
+        caller can inspect the range to detect that fallback.
+
+    Returns
+    -------
+    (segment, (start, stop)):
+        The selected sub-observation and its probe index range.
+    """
+    summaries = summarize_windows(observation, window)
+    if not summaries:
+        return observation, (0, len(observation))
+    best: Optional[Tuple[int, int]] = None
+    n = len(summaries)
+    start = 0
+    while start < n:
+        stop = start + 1
+        # Greedily extend while the run stays stationary.
+        while stop <= n and _run_is_stationary(
+            summaries[start:stop], delay_tolerance, loss_tolerance
+        ):
+            stop += 1
+        run_len = stop - 1 - start
+        if run_len >= min_windows and (best is None or run_len > best[1] - best[0]):
+            best = (start, stop - 1)
+        start = max(stop - 1, start + 1)
+    if best is None:
+        return observation, (0, len(observation))
+    probe_range = (summaries[best[0]].start, summaries[best[1] - 1].stop)
+    return observation.segment(*probe_range), probe_range

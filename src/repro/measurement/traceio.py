@@ -1,0 +1,146 @@
+"""Trace persistence and import.
+
+Three formats:
+
+* **observation CSV** — ``send_time,delay`` rows with the literal
+  ``lost`` for lost probes; the interchange format for the CLI and for
+  sharing measured paths;
+* **trace NPZ** — full :class:`~repro.netsim.trace.ProbeTrace` including
+  per-hop ground truth (simulator output archival);
+* **timestamp pairs** — two tcpdump-style text files (``seq  time`` per
+  line) from the sender and receiver; sequence numbers missing on the
+  receiver side are losses, exactly how the paper's Internet experiments
+  derive one-way delays (clock repair is the caller's next step:
+  :mod:`repro.measurement.clock`).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.netsim.trace import PathObservation, ProbeRecord, ProbeTrace
+
+__all__ = [
+    "save_observation",
+    "load_observation",
+    "save_trace",
+    "load_trace",
+    "load_timestamp_pair",
+]
+
+LOST_MARKER = "lost"
+
+
+def save_observation(observation: PathObservation, path) -> Path:
+    """Write an observation as ``send_time,delay`` CSV (losses: ``lost``)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["send_time", "delay"])
+        for send_time, delay in zip(observation.send_times,
+                                    observation.delays):
+            cell = LOST_MARKER if np.isnan(delay) else f"{delay:.9f}"
+            writer.writerow([f"{send_time:.9f}", cell])
+    return path
+
+
+def load_observation(path) -> PathObservation:
+    """Read an observation CSV written by :func:`save_observation`."""
+    path = Path(path)
+    send_times = []
+    delays = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [h.strip() for h in header[:2]] != ["send_time",
+                                                                 "delay"]:
+            raise ValueError(f"{path}: not an observation CSV (bad header)")
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) < 2:
+                raise ValueError(f"{path}:{line_number}: expected 2 columns")
+            send_times.append(float(row[0]))
+            cell = row[1].strip().lower()
+            delays.append(np.nan if cell == LOST_MARKER else float(row[1]))
+    if not send_times:
+        raise ValueError(f"{path}: empty observation")
+    return PathObservation(np.array(send_times), np.array(delays))
+
+
+def save_trace(trace: ProbeTrace, path) -> Path:
+    """Archive a full probe trace (with ground truth) as NPZ."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        link_names=np.array(trace.link_names),
+        base_delay=np.array([trace.base_delay]),
+        probe_interval=np.array([trace.probe_interval]),
+        probe_size=np.array([trace.probe_size]),
+        send_times=trace.send_times,
+        hop_queuing=trace.hop_queuing_matrix,
+        loss_hops=trace.loss_hops,
+    )
+    return path
+
+
+def load_trace(path) -> ProbeTrace:
+    """Restore a probe trace archived by :func:`save_trace`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        trace = ProbeTrace(
+            link_names=[str(name) for name in data["link_names"]],
+            base_delay=float(data["base_delay"][0]),
+            probe_interval=float(data["probe_interval"][0]),
+            probe_size=int(data["probe_size"][0]),
+        )
+        send_times = data["send_times"]
+        hop_queuing = data["hop_queuing"]
+        loss_hops = data["loss_hops"]
+    for send_time, hops, loss_hop in zip(send_times, hop_queuing, loss_hops):
+        trace.append(ProbeRecord(float(send_time), hops, int(loss_hop)))
+    return trace
+
+
+def _read_timestamps(path) -> Dict[int, float]:
+    stamps: Dict[int, float] = {}
+    with Path(path).open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'seq time', got {line!r}"
+                )
+            stamps[int(parts[0])] = float(parts[1])
+    return stamps
+
+
+def load_timestamp_pair(sender_path, receiver_path) -> PathObservation:
+    """Build an observation from sender/receiver timestamp logs.
+
+    Probes present at the sender but absent at the receiver are losses;
+    delays are receiver-clock minus sender-clock (repair skew afterwards
+    with :func:`repro.measurement.clock.remove_clock_effects`).
+    """
+    sent = _read_timestamps(sender_path)
+    received = _read_timestamps(receiver_path)
+    if not sent:
+        raise ValueError(f"{sender_path}: no probes recorded")
+    unknown = set(received) - set(sent)
+    if unknown:
+        raise ValueError(
+            f"receiver has sequence numbers never sent: {sorted(unknown)[:5]}"
+        )
+    order = sorted(sent)
+    send_times = np.array([sent[seq] for seq in order])
+    delays = np.array([
+        received[seq] - sent[seq] if seq in received else np.nan
+        for seq in order
+    ])
+    return PathObservation(send_times, delays)

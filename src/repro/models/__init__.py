@@ -1,0 +1,42 @@
+"""Statistical models: HMM and MMHD with losses as missing observations.
+
+Both models operate on a symbol sequence in which each probe contributes
+either a discretized delay symbol or the :data:`LOSS` marker.  They are
+fitted by EM (Baum-Welch style), and expose the paper's key quantity: the
+inferred distribution ``G(m) = P(delay symbol m | loss)`` of the *virtual*
+queuing delay of lost probes (eq. (5) of the paper).
+"""
+
+from repro.models.base import (
+    LOSS,
+    EMConfig,
+    FittedModel,
+    ObservationSequence,
+)
+from repro.models.decode import decode_loss_symbols, viterbi_hmm, viterbi_mmhd
+from repro.models.hmm import HiddenMarkovModel, fit_hmm
+from repro.models.mmhd import MarkovModelHiddenDimension, fit_mmhd
+from repro.models.selection import ModelSelection, bic, select_n_hidden
+from repro.models.synthetic import (
+    sticky_markov_sequence,
+    two_population_sequence,
+)
+
+__all__ = [
+    "LOSS",
+    "EMConfig",
+    "FittedModel",
+    "HiddenMarkovModel",
+    "MarkovModelHiddenDimension",
+    "ModelSelection",
+    "ObservationSequence",
+    "bic",
+    "decode_loss_symbols",
+    "fit_hmm",
+    "fit_mmhd",
+    "select_n_hidden",
+    "sticky_markov_sequence",
+    "two_population_sequence",
+    "viterbi_hmm",
+    "viterbi_mmhd",
+]

@@ -1,0 +1,214 @@
+"""Shared model infrastructure: observation encoding and EM bookkeeping.
+
+Observation sequences are integer arrays: delay symbols ``1..M`` for probes
+that arrived, :data:`LOSS` (``-1``) for probes that were lost.  Internally
+models index symbols ``0..M-1``; the public surface keeps the paper's
+1-based convention.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["LOSS", "ObservationSequence", "EMConfig", "FittedModel"]
+
+#: Marker for a lost probe (a delay observation with a missing value).
+LOSS = -1
+
+
+class ObservationSequence:
+    """A validated (symbols, n_symbols) pair.
+
+    Parameters
+    ----------
+    symbols:
+        Integer sequence with values in ``{1..n_symbols}`` or :data:`LOSS`.
+    n_symbols:
+        The paper's ``M``.
+    """
+
+    def __init__(self, symbols: Sequence[int], n_symbols: int):
+        symbols = np.asarray(symbols, dtype=int)
+        if symbols.ndim != 1:
+            raise ValueError("symbols must be a 1-D sequence")
+        if len(symbols) == 0:
+            raise ValueError("empty observation sequence")
+        if n_symbols < 1:
+            raise ValueError(f"need at least one symbol, got {n_symbols}")
+        valid = (symbols == LOSS) | ((symbols >= 1) & (symbols <= n_symbols))
+        if not np.all(valid):
+            bad = symbols[~valid]
+            raise ValueError(
+                f"symbols out of range 1..{n_symbols} (or LOSS): {bad[:5]}"
+            )
+        if np.all(symbols == LOSS):
+            raise ValueError("all observations are losses; nothing to fit")
+        self.symbols = symbols
+        self.n_symbols = int(n_symbols)
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    @property
+    def losses(self) -> np.ndarray:
+        """Boolean mask of loss observations."""
+        return self.symbols == LOSS
+
+    @property
+    def n_losses(self) -> int:
+        """Number of loss observations."""
+        return int(np.sum(self.losses))
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of observations that are losses."""
+        return self.n_losses / len(self.symbols)
+
+    def zero_based(self) -> np.ndarray:
+        """Symbols shifted to ``0..M-1`` with losses still ``LOSS``."""
+        out = self.symbols.copy()
+        observed = out != LOSS
+        out[observed] -= 1
+        return out
+
+    def empirical_symbol_pmf(self) -> np.ndarray:
+        """Frequencies of observed (non-loss) symbols; smoothed, sums to 1."""
+        observed = self.symbols[self.symbols != LOSS]
+        counts = np.bincount(observed - 1, minlength=self.n_symbols).astype(float)
+        counts += 1.0  # Laplace smoothing so no symbol starts impossible
+        return counts / counts.sum()
+
+
+class EMConfig:
+    """EM iteration control.
+
+    Parameters
+    ----------
+    tol:
+        Convergence threshold on the maximum absolute change of any model
+        parameter between iterations (the paper uses 1e-4 / 1e-5 and
+        reports both behave the same).
+    max_iter:
+        Hard iteration cap.
+    min_prob:
+        Probability floor applied after each M-step so EM never paints
+        itself into a zero-probability corner (then rows are renormalised).
+    n_restarts:
+        Number of independent random initialisations; the fit with the
+        best final log-likelihood wins.  Restart ``r`` uses ``seed + r``.
+    seed:
+        Base seed for random initialisation.
+    freeze_loss_iters:
+        Hold ``P(loss | symbol)`` at its (flat) initial value for this many
+        EM iterations so the transition structure is learned before the
+        loss channel can differentiate.  This keeps EM in the physically
+        meaningful basin (see :mod:`repro.models.initialization`); 0
+        disables the warm start.
+    data_driven_init:
+        Seed the MMHD transition matrix from observed symbol bigrams
+        (default) instead of the paper's plain random rows.
+    loss_prior_losses, loss_prior_observations:
+        Beta(a, b) prior pseudo-counts for the per-symbol loss probability
+        ``c_m``; the M-step becomes the MAP estimate
+        ``(loss_mass + a) / (total_mass + a + b)``.  This keeps nearly
+        unobserved delay bins from acquiring large loss probabilities —
+        with fine discretizations (M = 40 for the bounds) EM could
+        otherwise park the loss mass in an empty bin at no cost to the
+        observed-data likelihood.  Symbols with real traffic wash the
+        prior out.  Set both to 0 for the plain MLE update.
+    """
+
+    def __init__(
+        self,
+        tol: float = 1e-4,
+        max_iter: int = 200,
+        min_prob: float = 1e-10,
+        n_restarts: int = 1,
+        seed: int = 0,
+        freeze_loss_iters: int = 5,
+        data_driven_init: bool = True,
+        loss_prior_losses: float = 1.0,
+        loss_prior_observations: float = 50.0,
+    ):
+        if tol <= 0:
+            raise ValueError(f"tol must be positive, got {tol}")
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        if n_restarts < 1:
+            raise ValueError(f"n_restarts must be >= 1, got {n_restarts}")
+        if freeze_loss_iters < 0:
+            raise ValueError(f"freeze_loss_iters must be >= 0, got {freeze_loss_iters}")
+        self.tol = float(tol)
+        self.max_iter = int(max_iter)
+        self.min_prob = float(min_prob)
+        self.n_restarts = int(n_restarts)
+        self.seed = int(seed)
+        if loss_prior_losses < 0 or loss_prior_observations < 0:
+            raise ValueError("loss prior pseudo-counts must be >= 0")
+        self.freeze_loss_iters = int(freeze_loss_iters)
+        self.data_driven_init = bool(data_driven_init)
+        self.loss_prior_losses = float(loss_prior_losses)
+        self.loss_prior_observations = float(loss_prior_observations)
+
+
+class FittedModel:
+    """Common result surface for fitted HMM/MMHD models.
+
+    Attributes
+    ----------
+    virtual_delay_pmf:
+        ``Ĝ``'s PMF over symbols ``1..M`` — eq. (5): the model's posterior
+        distribution of the delay symbol at loss instants.
+    log_likelihoods:
+        Per-iteration log-likelihood trail (monotone non-decreasing up to
+        floating-point noise; property-tested).
+    converged:
+        Whether the parameter-change threshold was reached before
+        ``max_iter``.
+    """
+
+    def __init__(
+        self,
+        virtual_delay_pmf: np.ndarray,
+        log_likelihoods: List[float],
+        converged: bool,
+        n_iter: int,
+    ):
+        self.virtual_delay_pmf = np.asarray(virtual_delay_pmf, dtype=float)
+        self.log_likelihoods = list(log_likelihoods)
+        self.converged = bool(converged)
+        self.n_iter = int(n_iter)
+
+    @property
+    def log_likelihood(self) -> float:
+        """Final log-likelihood."""
+        return self.log_likelihoods[-1]
+
+    @property
+    def n_symbols(self) -> int:
+        """Number of delay symbols M."""
+        return len(self.virtual_delay_pmf)
+
+    def virtual_delay_cdf(self) -> np.ndarray:
+        """``Ĝ`` as a CDF over symbols ``1..M``."""
+        return np.cumsum(self.virtual_delay_pmf)
+
+
+def floor_and_normalize(matrix: np.ndarray, min_prob: float) -> np.ndarray:
+    """Clamp probabilities to at least ``min_prob`` and renormalise rows.
+
+    Works for 1-D (distributions) and 2-D (stochastic matrices, row-wise).
+    """
+    floored = np.maximum(matrix, min_prob)
+    if floored.ndim == 1:
+        return floored / floored.sum()
+    return floored / floored.sum(axis=1, keepdims=True)
+
+
+def max_param_change(old: Sequence[np.ndarray], new: Sequence[np.ndarray]) -> float:
+    """Largest absolute elementwise change across parameter arrays."""
+    return max(
+        float(np.max(np.abs(np.asarray(a) - np.asarray(b)))) for a, b in zip(old, new)
+    )

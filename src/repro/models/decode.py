@@ -1,0 +1,76 @@
+"""Posterior decoding: most-likely state paths and loss-symbol series.
+
+Diagnostics on top of the fitted models: the Viterbi path through the
+hidden chain and, more usefully for the paper's problem, the per-loss
+most-likely delay symbol — "what delay did each lost probe most probably
+experience?"  These are not needed for identification (which uses only
+the aggregate ``Ĝ``) but make individual congestion episodes visible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.models.base import LOSS, ObservationSequence
+from repro.models.hmm import HiddenMarkovModel
+from repro.models.mmhd import MarkovModelHiddenDimension
+
+__all__ = ["viterbi_hmm", "viterbi_mmhd", "decode_loss_symbols"]
+
+
+def _viterbi(pi, transition, likes) -> np.ndarray:
+    """Generic log-space Viterbi over per-step state likelihoods."""
+    n_steps, n_states = likes.shape
+    with np.errstate(divide="ignore"):
+        log_pi = np.log(pi)
+        log_transition = np.log(transition)
+        log_likes = np.log(likes)
+    delta = log_pi + log_likes[0]
+    backpointers = np.zeros((n_steps, n_states), dtype=int)
+    for t in range(1, n_steps):
+        scores = delta[:, None] + log_transition
+        backpointers[t] = scores.argmax(axis=0)
+        delta = scores.max(axis=0) + log_likes[t]
+    path = np.empty(n_steps, dtype=int)
+    path[-1] = int(delta.argmax())
+    for t in range(n_steps - 2, -1, -1):
+        path[t] = backpointers[t + 1, path[t + 1]]
+    return path
+
+
+def viterbi_hmm(
+    model: HiddenMarkovModel, seq: ObservationSequence
+) -> np.ndarray:
+    """Most likely hidden-state path under an HMM, shape ``(T,)``."""
+    likes = model._observation_likelihoods(seq.zero_based())
+    return _viterbi(model.pi, model.transition, likes)
+
+
+def viterbi_mmhd(
+    model: MarkovModelHiddenDimension, seq: ObservationSequence
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Most likely joint path under an MMHD.
+
+    Returns ``(hidden_path, symbol_path)``; at observed instants the
+    symbol path necessarily equals the observation, at loss instants it
+    is the decoded (most likely) delay symbol, 1-based.
+    """
+    likes = model._observation_likelihoods(seq.zero_based())
+    states = _viterbi(model.pi, model.transition, likes)
+    hidden = states // model.n_symbols
+    symbols = states % model.n_symbols + 1
+    return hidden, symbols
+
+
+def decode_loss_symbols(
+    model: MarkovModelHiddenDimension, seq: ObservationSequence
+) -> np.ndarray:
+    """Most-likely delay symbol of each *lost* probe, in trace order.
+
+    The per-instant analogue of the aggregate ``Ĝ``: useful to see which
+    congestion episode each loss belongs to.
+    """
+    _, symbols = viterbi_mmhd(model, seq)
+    return symbols[seq.symbols == LOSS]

@@ -1,0 +1,278 @@
+"""Hidden Markov model with losses as missing delay observations.
+
+The classic Rabiner HMM over delay symbols, extended as the paper
+describes: a lost probe is a delay observation whose value is missing.
+Concretely, with hidden states ``i = 1..N``, emission matrix
+``B[i, m] = P(symbol m | state i)`` and ``c[m] = P(loss | symbol m)``,
+the per-step observation likelihood is
+
+* observed symbol ``m``:  ``B[i, m] * (1 - c[m])``;
+* loss:                   ``sum_m B[i, m] * c[m]``.
+
+EM marginalises the missing symbol at loss instants, and the paper's
+eq. (5) posterior ``G(m) = P(symbol m | loss)`` falls out of the E-step.
+All recursions are scaled (Rabiner Section V) so 10^5-observation
+sequences pose no underflow risk.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import (
+    LOSS,
+    EMConfig,
+    FittedModel,
+    ObservationSequence,
+    floor_and_normalize,
+    max_param_change,
+)
+from repro.models.initialization import hmm_initial_parameters
+
+__all__ = ["HiddenMarkovModel", "fit_hmm"]
+
+
+class HiddenMarkovModel:
+    """An HMM over delay symbols with a loss channel.
+
+    Parameters
+    ----------
+    pi:
+        Initial hidden-state distribution, shape ``(N,)``.
+    transition:
+        Hidden-state transition matrix, shape ``(N, N)``, row-stochastic.
+    emission:
+        ``B[i, m] = P(symbol m+1 | state i)``, shape ``(N, M)``.
+    loss_given_symbol:
+        ``c[m] = P(loss | symbol m+1)``, shape ``(M,)``, entries in (0, 1).
+    """
+
+    def __init__(
+        self,
+        pi: np.ndarray,
+        transition: np.ndarray,
+        emission: np.ndarray,
+        loss_given_symbol: np.ndarray,
+    ):
+        pi = np.asarray(pi, dtype=float)
+        transition = np.asarray(transition, dtype=float)
+        emission = np.asarray(emission, dtype=float)
+        loss_given_symbol = np.asarray(loss_given_symbol, dtype=float)
+        n_hidden = len(pi)
+        if transition.shape != (n_hidden, n_hidden):
+            raise ValueError("transition must be (N, N) matching pi")
+        if emission.ndim != 2 or emission.shape[0] != n_hidden:
+            raise ValueError("emission must be (N, M)")
+        if loss_given_symbol.shape != (emission.shape[1],):
+            raise ValueError("loss_given_symbol must have one entry per symbol")
+        _check_stochastic(pi, "pi")
+        _check_stochastic(transition, "transition")
+        _check_stochastic(emission, "emission")
+        if np.any(loss_given_symbol <= 0) or np.any(loss_given_symbol >= 1):
+            raise ValueError("loss_given_symbol entries must lie in (0, 1)")
+        self.pi = pi
+        self.transition = transition
+        self.emission = emission
+        self.loss_given_symbol = loss_given_symbol
+
+    @property
+    def n_hidden(self) -> int:
+        """Number of hidden states N."""
+        return len(self.pi)
+
+    @property
+    def n_symbols(self) -> int:
+        """Number of delay symbols M."""
+        return self.emission.shape[1]
+
+    def parameters(self) -> Tuple[np.ndarray, ...]:
+        """All parameter arrays, for convergence checks."""
+        return (self.pi, self.transition, self.emission, self.loss_given_symbol)
+
+    # ------------------------------------------------------------------
+    # Likelihood machinery
+    # ------------------------------------------------------------------
+    def _observation_likelihoods(self, symbols0: np.ndarray) -> np.ndarray:
+        """Per-step state likelihoods, shape ``(T, N)``."""
+        n_steps = len(symbols0)
+        likes = np.empty((n_steps, self.n_hidden))
+        lost = symbols0 == LOSS
+        observed_syms = symbols0[~lost]
+        survive = 1.0 - self.loss_given_symbol
+        likes[~lost] = (self.emission[:, observed_syms] * survive[observed_syms]).T
+        likes[lost] = (self.emission @ self.loss_given_symbol)[None, :]
+        return likes
+
+    def _forward_backward(self, likes: np.ndarray):
+        """Scaled forward-backward.
+
+        Returns ``(alpha, beta, scales, log_likelihood)`` with ``alpha``
+        normalised per step so ``gamma = alpha * beta`` directly.
+        """
+        n_steps, n_hidden = likes.shape
+        alpha = np.empty_like(likes)
+        scales = np.empty(n_steps)
+        state = self.pi * likes[0]
+        scales[0] = state.sum()
+        if scales[0] <= 0:
+            raise FloatingPointError("zero likelihood at t=0")
+        alpha[0] = state / scales[0]
+        transition = self.transition
+        for t in range(1, n_steps):
+            state = (alpha[t - 1] @ transition) * likes[t]
+            total = state.sum()
+            if total <= 0:
+                raise FloatingPointError(f"zero likelihood at t={t}")
+            scales[t] = total
+            alpha[t] = state / total
+
+        beta = np.empty_like(likes)
+        beta[n_steps - 1] = 1.0
+        for t in range(n_steps - 2, -1, -1):
+            beta[t] = transition @ (likes[t + 1] * beta[t + 1]) / scales[t + 1]
+        return alpha, beta, scales, float(np.log(scales).sum())
+
+    def log_likelihood(self, seq: ObservationSequence) -> float:
+        """Log-likelihood of the observation sequence under this model."""
+        likes = self._observation_likelihoods(seq.zero_based())
+        _, _, _, loglik = self._forward_backward(likes)
+        return loglik
+
+    # ------------------------------------------------------------------
+    # EM
+    # ------------------------------------------------------------------
+    def _expectations(self, seq: ObservationSequence):
+        """E-step: posterior sufficient statistics.
+
+        Returns ``(gamma, xi_sum, joint_obs, joint_loss, loglik)`` where
+        ``joint_obs[i, m]`` / ``joint_loss[i, m]`` are expected counts of
+        (state, symbol) pairs accumulated over observed / loss instants.
+        """
+        symbols0 = seq.zero_based()
+        likes = self._observation_likelihoods(symbols0)
+        alpha, beta, scales, loglik = self._forward_backward(likes)
+        gamma = alpha * beta
+        # xi_sum[i, j] = sum_t P(s_t = i, s_{t+1} = j | obs)
+        weighted = likes[1:] * beta[1:] / scales[1:, None]
+        xi_sum = self.transition * (alpha[:-1].T @ weighted)
+
+        lost = symbols0 == LOSS
+        n_hidden, n_symbols = self.emission.shape
+        joint_obs = np.zeros((n_hidden, n_symbols))
+        for m in range(n_symbols):
+            rows = gamma[symbols0 == m]
+            if rows.size:
+                joint_obs[:, m] = rows.sum(axis=0)
+        # At a loss instant, P(state i, symbol m | obs) =
+        #   gamma_t(i) * B[i, m] c[m] / (B c)[i].
+        gamma_loss_total = gamma[lost].sum(axis=0)
+        loss_like = self.emission @ self.loss_given_symbol
+        joint_loss = (
+            (gamma_loss_total / loss_like)[:, None]
+            * self.emission
+            * self.loss_given_symbol[None, :]
+        )
+        return gamma, xi_sum, joint_obs, joint_loss, loglik
+
+    def em_step(
+        self,
+        seq: ObservationSequence,
+        min_prob: float = 1e-10,
+        loss_prior=(0.0, 0.0),
+    ):
+        """One EM iteration.
+
+        ``loss_prior = (a, b)`` applies a Beta(a, b)-style MAP update to
+        ``c`` (see :class:`~repro.models.base.EMConfig`); ``(0, 0)`` is
+        the plain MLE.  Returns ``(new_model, loglik_of_current_model)``.
+        """
+        gamma, xi_sum, joint_obs, joint_loss, loglik = self._expectations(seq)
+        pi = floor_and_normalize(gamma[0], min_prob)
+        transition = floor_and_normalize(xi_sum, min_prob)
+        joint_total = joint_obs + joint_loss
+        emission = floor_and_normalize(joint_total, min_prob)
+        symbol_mass = joint_total.sum(axis=0)
+        loss_mass = joint_loss.sum(axis=0)
+        prior_losses, prior_observations = loss_prior
+        loss_given_symbol = (loss_mass + prior_losses) / np.maximum(
+            symbol_mass + prior_losses + prior_observations, 1e-300
+        )
+        loss_given_symbol = np.clip(loss_given_symbol, min_prob, 1.0 - min_prob)
+        model = HiddenMarkovModel(pi, transition, emission, loss_given_symbol)
+        return model, loglik
+
+    def virtual_delay_pmf(self, seq: ObservationSequence) -> np.ndarray:
+        """Eq. (5): ``Ĝ(m) = P(symbol m | loss)`` under this model."""
+        _, _, _, joint_loss, _ = self._expectations(seq)
+        mass = joint_loss.sum(axis=0)
+        total = mass.sum()
+        if total <= 0:
+            raise ValueError("no losses in the observation sequence")
+        return mass / total
+
+
+def fit_hmm(
+    seq: ObservationSequence,
+    n_hidden: int,
+    config: Optional[EMConfig] = None,
+) -> "FittedHMM":
+    """Fit an HMM by EM, with optional random restarts.
+
+    Returns the best fit (by final log-likelihood) across
+    ``config.n_restarts`` initialisations.
+    """
+    config = config or EMConfig()
+    best: Optional[FittedHMM] = None
+    for restart in range(config.n_restarts):
+        rng = np.random.default_rng(config.seed + restart)
+        pi, transition, emission, c = hmm_initial_parameters(seq, n_hidden, rng)
+        model = HiddenMarkovModel(pi, transition, emission, c)
+        logliks: List[float] = []
+        converged = False
+        prior = (config.loss_prior_losses, config.loss_prior_observations)
+        for iteration in range(config.max_iter):
+            new_model, loglik = model.em_step(
+                seq, min_prob=config.min_prob, loss_prior=prior
+            )
+            logliks.append(loglik)
+            if iteration < config.freeze_loss_iters:
+                # Warm start: learn dynamics before the loss channel.
+                new_model = HiddenMarkovModel(
+                    new_model.pi, new_model.transition, new_model.emission, c
+                )
+            elif (
+                max_param_change(model.parameters(), new_model.parameters())
+                < config.tol
+            ):
+                model = new_model
+                converged = True
+                break
+            model = new_model
+        fitted = FittedHMM(
+            model=model,
+            virtual_delay_pmf=model.virtual_delay_pmf(seq),
+            log_likelihoods=logliks + [model.log_likelihood(seq)],
+            converged=converged,
+            n_iter=len(logliks),
+        )
+        if best is None or fitted.log_likelihood > best.log_likelihood:
+            best = fitted
+    return best
+
+
+class FittedHMM(FittedModel):
+    """A fitted HMM plus the shared :class:`FittedModel` surface."""
+
+    def __init__(self, model: HiddenMarkovModel, **kwargs):
+        super().__init__(**kwargs)
+        self.model = model
+
+
+def _check_stochastic(array: np.ndarray, name: str, atol: float = 1e-6) -> None:
+    sums = array.sum(axis=-1)
+    if not np.allclose(sums, 1.0, atol=atol):
+        raise ValueError(f"{name} rows must sum to 1 (got sums {sums})")
+    if np.any(array < 0):
+        raise ValueError(f"{name} must be non-negative")

@@ -1,0 +1,113 @@
+"""Initial parameter strategies for the EM fits.
+
+The paper initialises the HMM "based on guidelines in [Rabiner 1989]"
+(roughly-uniform transition rows, emission rows seeded from the data) and
+the MMHD with a random transition matrix and uniform initial state / loss
+distributions.
+
+One practical finding of this reproduction (documented in DESIGN.md):
+with a *fully random* MMHD transition matrix, EM can converge to a
+degenerate solution in which losses are explained by a dedicated
+rare-symbol state — that solution even has higher likelihood, because the
+delay symbol of a lost probe is unobserved and a private loss state buys
+``P(loss | symbol) ≈ 1``.  The physically meaningful basin is selected by
+initialising the symbol-to-symbol transition structure from the *observed*
+bigrams (queues evolve smoothly, so observed dynamics are the right
+prior), which is what :func:`mmhd_initial_parameters` does by default;
+``data_driven=False`` recovers the paper's plain random initialisation.
+The freeze-``c`` warm start in :class:`repro.models.base.EMConfig` guards
+the same basin from the other side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import LOSS, ObservationSequence
+
+__all__ = [
+    "hmm_initial_parameters",
+    "mmhd_initial_parameters",
+    "observed_bigram_matrix",
+]
+
+
+def _perturbed_uniform_rows(
+    rng: np.random.Generator, n_rows: int, n_cols: int, jitter: float = 0.2
+) -> np.ndarray:
+    """Rows near uniform with multiplicative jitter, normalised."""
+    rows = 1.0 + jitter * rng.random((n_rows, n_cols))
+    return rows / rows.sum(axis=1, keepdims=True)
+
+
+def _initial_loss_given_symbol(seq: ObservationSequence) -> np.ndarray:
+    """Start ``c_m = P(loss | symbol m)`` flat at the observed loss rate.
+
+    A strictly-interior starting point; EM shapes it from there.
+    """
+    rate = min(0.5, max(1e-4, seq.loss_rate))
+    return np.full(seq.n_symbols, rate)
+
+
+def hmm_initial_parameters(seq: ObservationSequence, n_hidden: int, rng):
+    """Rabiner-style HMM start: ``(pi, transition, emission, loss_given_symbol)``.
+
+    Emission rows start at the empirical symbol frequencies (distinctly
+    jittered per hidden state so states can differentiate), transitions
+    near-uniform.
+    """
+    if n_hidden < 1:
+        raise ValueError(f"need at least one hidden state, got {n_hidden}")
+    pi = np.full(n_hidden, 1.0 / n_hidden)
+    transition = _perturbed_uniform_rows(rng, n_hidden, n_hidden)
+    empirical = seq.empirical_symbol_pmf()
+    emission = empirical[None, :] * (1.0 + 0.5 * rng.random((n_hidden, seq.n_symbols)))
+    emission /= emission.sum(axis=1, keepdims=True)
+    return pi, transition, emission, _initial_loss_given_symbol(seq)
+
+
+def observed_bigram_matrix(seq: ObservationSequence, smoothing: float = 0.5):
+    """Symbol-to-symbol transition frequencies of the observed subsequence.
+
+    Consecutive pairs with a loss on either side are skipped; ``smoothing``
+    pseudo-counts keep every transition possible.
+    """
+    symbols0 = seq.zero_based()
+    n = seq.n_symbols
+    counts = np.full((n, n), float(smoothing))
+    valid = (symbols0[:-1] != LOSS) & (symbols0[1:] != LOSS)
+    np.add.at(counts, (symbols0[:-1][valid], symbols0[1:][valid]), 1.0)
+    return counts / counts.sum(axis=1, keepdims=True)
+
+
+def mmhd_initial_parameters(
+    seq: ObservationSequence, n_hidden: int, rng, data_driven: bool = True
+):
+    """MMHD start: ``(pi, transition, loss_given_symbol)``.
+
+    The joint state is ``(h, d)`` flattened as ``h * M + d``; the initial
+    distribution is uniform (uniform ``h0`` and ``d0``).  By default the
+    transition matrix is seeded from the observed symbol bigrams (each
+    ``(h, d) -> (h', d')`` block follows the empirical ``d -> d'``
+    frequencies, jittered per hidden pair); ``data_driven=False`` gives
+    the paper's plain random (Dirichlet-like) rows.
+    """
+    if n_hidden < 1:
+        raise ValueError(f"need at least one hidden state, got {n_hidden}")
+    n_symbols = seq.n_symbols
+    n_states = n_hidden * n_symbols
+    pi = np.full(n_states, 1.0 / n_states)
+    if data_driven:
+        bigrams = observed_bigram_matrix(seq)
+        transition = np.empty((n_states, n_states))
+        for h_from in range(n_hidden):
+            for h_to in range(n_hidden):
+                block = bigrams * (1.0 + 0.2 * rng.random((n_symbols, n_symbols)))
+                rows = slice(h_from * n_symbols, (h_from + 1) * n_symbols)
+                cols = slice(h_to * n_symbols, (h_to + 1) * n_symbols)
+                transition[rows, cols] = block
+    else:
+        # Exponential draws normalised per row = flat Dirichlet sample.
+        transition = rng.exponential(1.0, size=(n_states, n_states))
+    transition /= transition.sum(axis=1, keepdims=True)
+    return pi, transition, _initial_loss_given_symbol(seq)

@@ -1,0 +1,116 @@
+"""Synthetic observation generators with known ground truth.
+
+Validating an identification configuration (M, N, EM settings) against
+data whose true loss-symbol distribution is *known* is the fastest way to
+catch a mis-set pipeline — no simulator required.  These generators
+produce the canonical shapes:
+
+* :func:`sticky_markov_sequence` — one congested regime: a sticky Markov
+  chain over delay symbols with loss probability rising in the symbol
+  (the strong/weak-DCL signature);
+* :func:`two_population_sequence` — two alternating congestion episodes
+  with separated delay levels (the no-DCL signature the WDCL-Test must
+  reject).
+
+Each returns ``(ObservationSequence, true_G)`` where ``true_G`` is the
+empirical PMF of the hidden symbols at loss instants — the quantity the
+EM fit estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.base import ObservationSequence
+
+__all__ = ["sticky_markov_sequence", "two_population_sequence"]
+
+
+def sticky_markov_sequence(
+    n_steps: int = 6000,
+    n_symbols: int = 5,
+    loss_given_symbol: Optional[Sequence[float]] = None,
+    stickiness: float = 0.85,
+    seed: int = 0,
+) -> Tuple[ObservationSequence, np.ndarray]:
+    """A sticky symbol chain with symbol-dependent loss.
+
+    Parameters
+    ----------
+    loss_given_symbol:
+        ``P(loss | symbol m)``; defaults to a profile rising steeply at
+        the top symbol (droptail-like).
+    stickiness:
+        Self-transition probability (the temporal correlation the MMHD
+        exploits; values below ~0.5 make inference legitimately hard).
+    """
+    if not 0 < stickiness < 1:
+        raise ValueError(f"stickiness must lie in (0, 1), got {stickiness}")
+    if loss_given_symbol is None:
+        loss_given_symbol = np.geomspace(1e-3, 0.5, n_symbols)
+    loss_probs = np.asarray(loss_given_symbol, dtype=float)
+    if loss_probs.shape != (n_symbols,):
+        raise ValueError("need one loss probability per symbol")
+    rng = np.random.default_rng(seed)
+    transition = np.full(
+        (n_symbols, n_symbols),
+        (1 - stickiness) / max(1, n_symbols - 1),
+    )
+    np.fill_diagonal(transition, stickiness)
+    symbols = np.empty(n_steps, dtype=int)
+    state = 0
+    for t in range(n_steps):
+        symbols[t] = state + 1
+        state = rng.choice(n_symbols, p=transition[state])
+    lost = rng.random(n_steps) < loss_probs[symbols - 1]
+    if not lost.any():
+        lost[n_steps // 2] = True
+    observed = symbols.copy()
+    observed[lost] = -1
+    true_g = np.bincount(symbols[lost] - 1, minlength=n_symbols).astype(float)
+    true_g /= true_g.sum()
+    return ObservationSequence(observed, n_symbols), true_g
+
+
+def two_population_sequence(
+    n_steps: int = 6000,
+    n_symbols: int = 5,
+    low_symbol: int = 2,
+    high_symbol: int = 5,
+    episode: int = 150,
+    loss_prob: float = 0.4,
+    seed: int = 0,
+) -> Tuple[ObservationSequence, np.ndarray]:
+    """Alternating congestion episodes at two delay levels (no DCL).
+
+    Even episodes congest at ``low_symbol``, odd ones at ``high_symbol``;
+    between ramps the chain idles at symbol 1.  Loss mass splits between
+    the two levels, so a correct test rejects a dominant link.
+    """
+    if not 1 <= low_symbol < high_symbol <= n_symbols:
+        raise ValueError("need 1 <= low_symbol < high_symbol <= n_symbols")
+    rng = np.random.default_rng(seed)
+    symbols = np.empty(n_steps, dtype=int)
+    lost = np.zeros(n_steps, dtype=bool)
+    for t in range(n_steps):
+        phase = t % episode
+        target = low_symbol if (t // episode) % 2 == 0 else high_symbol
+        ramp = episode // 3
+        if phase < ramp:
+            level = 1 + round((target - 1) * phase / max(1, ramp - 1))
+        elif phase < 2 * ramp:
+            level = target
+            lost[t] = rng.random() < loss_prob
+        else:
+            drain = (episode - phase) / max(1, episode - 2 * ramp)
+            level = 1 + round((target - 1) * drain)
+        symbols[t] = min(n_symbols, max(1, level))
+    if not lost.any():
+        lost[episode // 2] = True
+    observed = symbols.copy()
+    observed[lost] = -1
+    true_g = np.bincount(symbols[lost] - 1, minlength=n_symbols).astype(float)
+    true_g /= true_g.sum()
+    return ObservationSequence(observed, n_symbols), true_g

@@ -1,0 +1,47 @@
+"""Discrete-event, packet-level network simulator (the ns-2 substitute).
+
+The simulator provides everything the paper's evaluation needs from ns-2:
+
+* store-and-forward links with droptail or Adaptive-RED queues
+  (:mod:`repro.netsim.queues`, :mod:`repro.netsim.link`);
+* TCP-Reno FTP sources, ns-style empirical web traffic, and exponential
+  UDP ON-OFF sources (:mod:`repro.netsim.tcp`, :mod:`repro.netsim.http`,
+  :mod:`repro.netsim.traffic`);
+* periodic probe streams with exact virtual-probe ground truth
+  (:mod:`repro.netsim.probes`, :mod:`repro.netsim.trace`);
+* a topology builder with the paper's Fig.-4 four-router chain
+  (:mod:`repro.netsim.topology`).
+"""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.monitor import QueueMonitor, QueueStats
+from repro.netsim.node import Host, Node, Router
+from repro.netsim.packet import Packet
+from repro.netsim.probes import LossPairProber, PeriodicProber
+from repro.netsim.queues import AdaptiveREDQueue, DropTailQueue, REDQueue
+from repro.netsim.topology import Network, chain_network
+from repro.netsim.trace import PathObservation, ProbeRecord, ProbeTrace
+from repro.netsim.wireless import GilbertElliottLink
+
+__all__ = [
+    "AdaptiveREDQueue",
+    "DropTailQueue",
+    "GilbertElliottLink",
+    "Host",
+    "Link",
+    "LossPairProber",
+    "Network",
+    "Node",
+    "Packet",
+    "PathObservation",
+    "PeriodicProber",
+    "ProbeRecord",
+    "ProbeTrace",
+    "QueueMonitor",
+    "QueueStats",
+    "REDQueue",
+    "Router",
+    "Simulator",
+    "chain_network",
+]

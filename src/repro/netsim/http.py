@@ -1,0 +1,163 @@
+"""Web-like (HTTP) traffic, after the ns-2 empirical web model.
+
+The paper generates HTTP cross traffic "using the empirical data provided
+by ns".  ns-2's PagePool/WebTraf model is a session model: users alternate
+between *think times* and page downloads; each page consists of several
+objects fetched over TCP, with heavy-tailed object sizes.  We reproduce
+that structure with the standard published parameterisation (Barford &
+Crovella-style distributions as shipped with ns-2):
+
+* inter-page think time — exponential;
+* objects per page — bounded Pareto;
+* object size — bounded Pareto (heavy tail, 12 kB mean by default).
+
+Each object is a finite TCP transfer from the web "server" host to the
+"client" host; successive objects of a page are fetched sequentially
+(HTTP/1.0-without-pipelining behaviour), pages repeat forever.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.netsim.node import Host
+from repro.netsim.tcp import open_tcp_connection
+from repro.netsim.topology import Network
+
+__all__ = ["BoundedPareto", "WebSession", "start_web_sessions"]
+
+
+class BoundedPareto:
+    """Pareto distribution truncated to ``[minimum, maximum]``."""
+
+    def __init__(self, shape: float, minimum: float, maximum: float):
+        if shape <= 0:
+            raise ValueError(f"shape must be positive, got {shape}")
+        if not 0 < minimum < maximum:
+            raise ValueError("need 0 < minimum < maximum")
+        self.shape = float(shape)
+        self.minimum = float(minimum)
+        self.maximum = float(maximum)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value by inverse-CDF sampling."""
+        # Inverse-CDF sampling of the bounded Pareto.
+        alpha, low, high = self.shape, self.minimum, self.maximum
+        u = rng.random()
+        ratio = (low / high) ** alpha
+        return low / (1.0 - u * (1.0 - ratio)) ** (1.0 / alpha)
+
+    def mean(self) -> float:
+        """Analytic mean of the bounded Pareto."""
+        alpha, low, high = self.shape, self.minimum, self.maximum
+        if math.isclose(alpha, 1.0):
+            norm = 1.0 - (low / high) ** alpha
+            return (alpha * low**alpha) * math.log(high / low) / norm
+        norm = 1.0 - (low / high) ** alpha
+        integral = (
+            alpha
+            * low**alpha
+            / (1.0 - alpha)
+            * (high ** (1.0 - alpha) - low ** (1.0 - alpha))
+        )
+        return integral / norm
+
+
+#: ns-2-style defaults: ~4 objects/page, ~12 kB mean object size.
+DEFAULT_OBJECTS_PER_PAGE = BoundedPareto(shape=1.5, minimum=2, maximum=30)
+DEFAULT_OBJECT_SIZE = BoundedPareto(shape=1.2, minimum=2_000, maximum=500_000)
+
+
+class WebSession:
+    """One user's endless browse loop: think, fetch page, repeat."""
+
+    def __init__(
+        self,
+        network: Network,
+        server: str,
+        client: str,
+        session_id: str,
+        mean_think_time: float = 5.0,
+        objects_per_page: Optional[BoundedPareto] = None,
+        object_size: Optional[BoundedPareto] = None,
+        mss: int = 1000,
+        start: float = 0.0,
+    ):
+        self.network = network
+        self.sim = network.sim
+        server_node = network.nodes[server]
+        client_node = network.nodes[client]
+        if not isinstance(server_node, Host) or not isinstance(client_node, Host):
+            raise TypeError("web endpoints must be hosts")
+        self.server: Host = server_node
+        self.client: Host = client_node
+        self.session_id = session_id
+        self.mean_think_time = float(mean_think_time)
+        self.objects_per_page = objects_per_page or DEFAULT_OBJECTS_PER_PAGE
+        self.object_size = object_size or DEFAULT_OBJECT_SIZE
+        self.mss = int(mss)
+        self._rng = self.sim.rng(f"web:{session_id}")
+        self.pages_fetched = 0
+        self.objects_fetched = 0
+        self._transfer_counter = 0
+        self.sim.schedule_at(max(start, self.sim.now), self._think)
+
+    def _think(self) -> None:
+        think = self._rng.exponential(self.mean_think_time)
+        self.sim.schedule(think, self._start_page)
+
+    def _start_page(self) -> None:
+        remaining = max(1, int(round(self.objects_per_page.sample(self._rng))))
+        self._fetch_object(remaining)
+
+    def _fetch_object(self, remaining: int) -> None:
+        size_bytes = self.object_size.sample(self._rng)
+        segments = max(1, int(math.ceil(size_bytes / self.mss)))
+        self._transfer_counter += 1
+        flow_id = f"{self.session_id}.{self._transfer_counter}"
+
+        def done() -> None:
+            self.objects_fetched += 1
+            if remaining > 1:
+                self._fetch_object(remaining - 1)
+            else:
+                self.pages_fetched += 1
+                self._think()
+
+        sender = open_tcp_connection(
+            self.server,
+            self.client,
+            flow_id=flow_id,
+            total_segments=segments,
+            mss=self.mss,
+            on_complete=done,
+        )
+        sender.start()
+
+
+def start_web_sessions(
+    network: Network,
+    server: str,
+    client: str,
+    count: int,
+    session_prefix: str = "web",
+    mean_think_time: float = 5.0,
+    stagger: float = 0.25,
+) -> list:
+    """Start ``count`` concurrent web sessions from server to client."""
+    sessions = []
+    for i in range(count):
+        sessions.append(
+            WebSession(
+                network,
+                server,
+                client,
+                session_id=f"{session_prefix}{i}",
+                mean_think_time=mean_think_time,
+                start=network.sim.now + i * stagger,
+            )
+        )
+    return sessions

@@ -1,0 +1,164 @@
+"""Store-and-forward links.
+
+A :class:`Link` is a unidirectional pipe from one node to another with a
+transmission rate, a propagation delay, and an attached queue discipline.
+It models a single transmission server: the head-of-line packet occupies the
+wire for ``size * 8 / bandwidth`` seconds, then propagates for
+``prop_delay`` seconds, after which the downstream node receives it.
+
+Ghost probes do not enter the queue; :meth:`Link.probe_transit` computes the
+per-hop loss/queuing-delay sample exactly as the paper's virtual probes do.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.queues import QueueDiscipline, REDQueue
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A unidirectional link with an attached queue.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    name:
+        Human-readable identifier, e.g. ``"r2->r3"``.
+    src_name, dst:
+        The upstream node name and the downstream node object (anything
+        with a ``receive(packet)`` method).
+    bandwidth_bps:
+        Transmission rate in bits per second.
+    prop_delay:
+        Propagation delay in seconds.
+    queue:
+        Queue discipline instance; the link attaches it (supplying the
+        drain rate) at construction.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        src_name: str,
+        dst,
+        bandwidth_bps: float,
+        prop_delay: float,
+        queue: QueueDiscipline,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if prop_delay < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {prop_delay}")
+        self.sim = sim
+        self.name = name
+        self.src_name = src_name
+        self.dst = dst
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.prop_delay = float(prop_delay)
+        self.queue = queue
+        queue.attach(sim, self.bandwidth_bps)
+        self._busy = False
+        self._service_end = 0.0
+        self._rng = sim.rng(f"link:{name}")
+        # Statistics.
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self._busy_accum = 0.0
+        self.drop_listeners: List[Callable[[Packet], None]] = []
+
+    # ------------------------------------------------------------------
+    # Real packet path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link; returns ``False`` if dropped."""
+        admitted = self.queue.offer(packet, self.sim.now, self._rng)
+        if not admitted:
+            for listener in self.drop_listeners:
+                listener(packet)
+            return False
+        if not self._busy:
+            self._start_service()
+        return True
+
+    def _start_service(self) -> None:
+        packet = self.queue.pop()
+        if packet is None:
+            self._busy = False
+            if isinstance(self.queue, REDQueue):
+                self.queue.notify_idle(self.sim.now)
+            return
+        self._busy = True
+        tx_time = packet.size * 8.0 / self.bandwidth_bps
+        self._service_end = self.sim.now + tx_time
+        self._busy_accum += tx_time
+        self.sim.schedule(tx_time, lambda p=packet: self._transmitted(p))
+
+    def _transmitted(self, packet: Packet) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        self.sim.schedule(self.prop_delay, lambda p=packet: self.dst.receive(p))
+        self._start_service()
+
+    # ------------------------------------------------------------------
+    # Ghost probes (virtual probes)
+    # ------------------------------------------------------------------
+    def service_residual(self) -> float:
+        """Remaining transmission time of the in-service packet (or 0)."""
+        if not self._busy:
+            return 0.0
+        return max(0.0, self._service_end - self.sim.now)
+
+    def probe_transit(self, size: int, rng, extra_packets: int = 0) -> "ProbeHop":
+        """Sample a ghost probe crossing this link *now*.
+
+        Returns the per-hop record the paper's virtual probe would write:
+        whether the probe takes a loss mark here, its queuing delay at this
+        hop, and the hop latency (queuing + transmission + propagation)
+        after which it reaches the next node.  ``extra_packets`` accounts
+        for pair companions virtually occupying buffer slots ahead of this
+        probe (see :meth:`QueueDiscipline.probe_loss`).
+        """
+        lost, queuing_delay = self.queue.probe_observe(
+            size, self.sim.now, rng, self.service_residual(),
+            extra_packets=extra_packets,
+        )
+        tx_time = size * 8.0 / self.bandwidth_bps
+        latency = queuing_delay + tx_time + self.prop_delay
+        return ProbeHop(lost=lost, queuing_delay=queuing_delay, latency=latency)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of time the server has been busy."""
+        horizon = self.sim.now if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        busy = self._busy_accum
+        if self._busy:
+            busy -= self.service_residual()
+        return min(1.0, busy / horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.name}, {self.bandwidth_bps / 1e6:.3g} Mb/s, "
+            f"{self.prop_delay * 1e3:.3g} ms, backlog={self.queue.backlog_bytes}B)"
+        )
+
+
+class ProbeHop:
+    """Per-hop ghost-probe sample: loss mark, queuing delay, hop latency."""
+
+    __slots__ = ("lost", "queuing_delay", "latency")
+
+    def __init__(self, lost: bool, queuing_delay: float, latency: float):
+        self.lost = lost
+        self.queuing_delay = queuing_delay
+        self.latency = latency

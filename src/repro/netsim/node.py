@@ -1,0 +1,99 @@
+"""Nodes: hosts and routers.
+
+Routing is static by destination name: each node keeps a table mapping a
+destination to the outgoing :class:`~repro.netsim.link.Link`.  Hosts
+additionally own *agents* (TCP endpoints, UDP sinks, traffic sources) keyed
+by port; a packet addressed to the host is handed to the agent on its
+``dst_port``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+
+__all__ = ["Node", "Router", "Host"]
+
+
+class Node:
+    """A forwarding element identified by a unique name."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.routes: Dict[str, Link] = {}
+        self.packets_forwarded = 0
+        self.packets_delivered = 0
+        self.routing_failures = 0
+
+    def add_route(self, dst_name: str, link: Link) -> None:
+        """Route packets destined to ``dst_name`` out of ``link``."""
+        self.routes[dst_name] = link
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving packet: deliver locally or forward."""
+        if packet.dst == self.name:
+            self.packets_delivered += 1
+            self.deliver(packet)
+            return
+        link = self.routes.get(packet.dst)
+        if link is None:
+            # No route: the packet is silently discarded but counted, so a
+            # mis-built topology shows up in statistics instead of nowhere.
+            self.routing_failures += 1
+            return
+        self.packets_forwarded += 1
+        link.send(packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Local delivery; plain routers have no local agents."""
+
+    def send(self, packet: Packet) -> bool:
+        """Originate ``packet`` from this node."""
+        if packet.dst == self.name:
+            self.receive(packet)
+            return True
+        link = self.routes.get(packet.dst)
+        if link is None:
+            self.routing_failures += 1
+            return False
+        return link.send(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+class Router(Node):
+    """A pure forwarding node."""
+
+
+class Host(Node):
+    """An end host that owns port-addressed agents.
+
+    Agents must expose ``handle_packet(packet)``; anything from a TCP
+    endpoint to a trivial sink qualifies.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        self.agents: Dict[int, object] = {}
+        self._next_port = 1
+
+    def bind(self, agent, port: Optional[int] = None) -> int:
+        """Attach ``agent``; returns the port it is reachable on."""
+        if port is None:
+            port = self._next_port
+            self._next_port += 1
+        if port in self.agents:
+            raise ValueError(f"port {port} already bound on {self.name}")
+        self.agents[port] = agent
+        self._next_port = max(self._next_port, port + 1)
+        return port
+
+    def deliver(self, packet: Packet) -> None:
+        agent = self.agents.get(packet.dst_port)
+        if agent is not None:
+            agent.handle_packet(packet)

@@ -1,0 +1,91 @@
+"""Packet model.
+
+A :class:`Packet` is a plain record: the simulator moves the same object
+through queues and links, so components may annotate it (e.g. TCP sequence
+numbers) without copying.  Sizes are in bytes; times in seconds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+__all__ = ["Packet", "PacketKind"]
+
+_packet_ids = itertools.count()
+
+
+class PacketKind:
+    """Symbolic packet kinds (plain strings; no enum import ceremony)."""
+
+    DATA = "data"
+    ACK = "ack"
+    UDP = "udp"
+    PROBE = "probe"
+
+
+class Packet:
+    """A network packet.
+
+    Attributes
+    ----------
+    src, dst:
+        Node names.  Routing is by destination name.
+    dst_port:
+        Identifies the receiving agent on the destination host.
+    size:
+        Wire size in bytes (headers included; we do not model headers
+        separately -- the paper's experiments only depend on wire size).
+    kind:
+        One of :class:`PacketKind`; used by traces and by TCP demux.
+    flow_id:
+        Identifies the sending flow (TCP connection, UDP source, prober).
+    seq:
+        Flow-level sequence number (TCP byte sequence or probe index).
+    created_at:
+        Simulation time the packet entered the network.
+    """
+
+    __slots__ = (
+        "uid",
+        "src",
+        "dst",
+        "dst_port",
+        "size",
+        "kind",
+        "flow_id",
+        "seq",
+        "created_at",
+        "payload",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        kind: str = PacketKind.DATA,
+        flow_id: str = "",
+        seq: int = 0,
+        created_at: float = 0.0,
+        dst_port: int = 0,
+        payload: Optional[object] = None,
+    ):
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.uid = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.dst_port = dst_port
+        self.size = int(size)
+        self.kind = kind
+        self.flow_id = flow_id
+        self.seq = seq
+        self.created_at = created_at
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(uid={self.uid}, {self.src}->{self.dst}:{self.dst_port}, "
+            f"kind={self.kind}, size={self.size}, flow={self.flow_id}, seq={self.seq})"
+        )

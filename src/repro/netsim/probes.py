@@ -1,0 +1,211 @@
+"""Probe streams: periodic probing and loss pairs.
+
+Probes are implemented as *ghost* packets, exactly matching the paper's
+virtual probes (Section III): a probe samples each queue on arrival but
+never occupies buffer space or wire time that would perturb cross traffic
+(the real probing load, 10 bytes / 20 ms = 4 kb/s, is negligible against
+the Mb/s links of the evaluation).  At each hop the probe either
+
+* records the queuing delay it would experience, or
+* takes a **loss mark** (at most once) and records the discipline-specific
+  loss delay (``Q_k`` for droptail, the instantaneous delay for RED),
+
+then continues — virtually — to the next hop after queuing + transmission
++ propagation.  The end-of-path record holds both the ground-truth virtual
+view and, via :class:`~repro.netsim.trace.ProbeTrace`, the real observation
+(delay, or loss) a measurement host would log.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netsim.link import Link
+from repro.netsim.topology import Network
+from repro.netsim.trace import LossPairTrace, ProbeRecord, ProbeTrace
+
+__all__ = ["PeriodicProber", "LossPairProber"]
+
+#: Paper defaults: 10-byte probes every 20 ms.
+DEFAULT_PROBE_SIZE = 10
+DEFAULT_PROBE_INTERVAL = 0.020
+
+
+def _base_delay(path: List[Link], probe_size: int) -> float:
+    """Constant component of a probe's one-way delay on ``path``."""
+    return sum(
+        link.prop_delay + probe_size * 8.0 / link.bandwidth_bps for link in path
+    )
+
+
+class _GhostProbe:
+    """State of one in-flight ghost probe walking the path hop by hop."""
+
+    __slots__ = ("send_time", "hop_queuing", "loss_hop")
+
+    def __init__(self, send_time: float):
+        self.send_time = send_time
+        self.hop_queuing: List[float] = []
+        self.loss_hop = -1
+
+    def to_record(self) -> ProbeRecord:
+        """Freeze the walk into an immutable trace record."""
+        return ProbeRecord(self.send_time, self.hop_queuing, self.loss_hop)
+
+
+class _ProberBase:
+    """Shared ghost-probe walking machinery."""
+
+    def __init__(
+        self,
+        network: Network,
+        src: str,
+        dst: str,
+        probe_size: int,
+        rng_name: str,
+    ):
+        self.network = network
+        self.sim = network.sim
+        self.src = src
+        self.dst = dst
+        self.probe_size = int(probe_size)
+        self.path = network.path_links(src, dst)
+        if not self.path:
+            raise ValueError(f"empty path from {src} to {dst}")
+        self._rng = self.sim.rng(rng_name)
+        self._active = False
+
+    def _walk(
+        self, probe: _GhostProbe, hop_index: int, on_done, extra_packets: int = 0
+    ) -> None:
+        """Advance ``probe`` through hop ``hop_index``; recurse via events.
+
+        ``extra_packets`` carries pair-companion occupancy for loss-pair
+        probes (0 for ordinary periodic probes).
+        """
+        if hop_index == len(self.path):
+            on_done(probe)
+            return
+        link = self.path[hop_index]
+        hop = link.probe_transit(
+            self.probe_size, self._rng, extra_packets=extra_packets
+        )
+        probe.hop_queuing.append(hop.queuing_delay)
+        if hop.lost and probe.loss_hop < 0:
+            probe.loss_hop = hop_index
+        self.sim.schedule(
+            hop.latency,
+            lambda: self._walk(probe, hop_index + 1, on_done, extra_packets),
+        )
+
+
+class PeriodicProber(_ProberBase):
+    """Sends one ghost probe every ``interval`` seconds from src to dst.
+
+    Parameters mirror the paper: 10-byte probes at 20 ms intervals.  The
+    accumulated :class:`~repro.netsim.trace.ProbeTrace` is available as
+    :attr:`trace` and is ordered by send time (periodic sending guarantees
+    completion order too).
+
+    ``round_trip=True`` makes each probe traverse the forward path and
+    then the reverse path back to the source — RTT probing, which needs
+    no clock synchronization at all.  The trace's hops then cover both
+    directions, and the identification applies to the *round-trip* path
+    (a congested reverse link is indistinguishable from a forward one, as
+    with any RTT measurement).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        src: str,
+        dst: str,
+        interval: float = DEFAULT_PROBE_INTERVAL,
+        probe_size: int = DEFAULT_PROBE_SIZE,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+        round_trip: bool = False,
+    ):
+        super().__init__(
+            network, src, dst, probe_size, rng_name=f"prober:{src}->{dst}"
+        )
+        if round_trip:
+            self.path = self.path + network.path_links(dst, src)
+        if interval <= 0:
+            raise ValueError(f"probe interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.stop = stop
+        self.trace = ProbeTrace(
+            link_names=[link.name for link in self.path],
+            base_delay=_base_delay(self.path, probe_size),
+            probe_interval=self.interval,
+            probe_size=probe_size,
+        )
+        self.sim.schedule_at(max(start, self.sim.now), self._send_one)
+
+    def _send_one(self) -> None:
+        if self.stop is not None and self.sim.now >= self.stop:
+            return
+        probe = _GhostProbe(self.sim.now)
+        self._walk(probe, 0, lambda p: self.trace.append(p.to_record()))
+        self.sim.schedule(self.interval, self._send_one)
+
+
+class LossPairProber(_ProberBase):
+    """Sends back-to-back probe pairs (the Liu–Crovella baseline's input).
+
+    A pair is two ghost probes separated by ``pair_spacing`` (default: one
+    probe transmission time on the first hop, i.e. truly back-to-back);
+    pairs are sent every ``pair_interval`` seconds.  The paper uses 40 ms
+    pair intervals so the probe count matches 20 ms periodic probing.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        src: str,
+        dst: str,
+        pair_interval: float = 2 * DEFAULT_PROBE_INTERVAL,
+        probe_size: int = DEFAULT_PROBE_SIZE,
+        pair_spacing: Optional[float] = None,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        super().__init__(
+            network, src, dst, probe_size, rng_name=f"losspair:{src}->{dst}"
+        )
+        if pair_interval <= 0:
+            raise ValueError(f"pair interval must be positive, got {pair_interval}")
+        self.pair_interval = float(pair_interval)
+        if pair_spacing is None:
+            pair_spacing = probe_size * 8.0 / self.path[0].bandwidth_bps
+        self.pair_spacing = float(pair_spacing)
+        self.stop = stop
+        self.trace = LossPairTrace(
+            base_delay=_base_delay(self.path, probe_size),
+            pair_interval=self.pair_interval,
+            probe_size=probe_size,
+        )
+        self.sim.schedule_at(max(start, self.sim.now), self._send_pair)
+
+    def _send_pair(self) -> None:
+        if self.stop is not None and self.sim.now >= self.stop:
+            return
+        results: List[Optional[ProbeRecord]] = [None, None]
+
+        def finish(index: int, probe: _GhostProbe) -> None:
+            results[index] = probe.to_record()
+            if all(r is not None for r in results):
+                self.trace.append(results[0], results[1])
+
+        first = _GhostProbe(self.sim.now)
+        self._walk(first, 0, lambda p: finish(0, p))
+        self.sim.schedule(self.pair_spacing, lambda: self._launch_second(finish))
+        self.sim.schedule(self.pair_interval, self._send_pair)
+
+    def _launch_second(self, finish) -> None:
+        # The second probe of a back-to-back pair travels one buffer slot
+        # behind its companion: it is dropped exactly when the companion
+        # took the queue's last free position — how real loss pairs form.
+        second = _GhostProbe(self.sim.now)
+        self._walk(second, 0, lambda p: finish(1, p), extra_packets=1)

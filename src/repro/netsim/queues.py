@@ -1,0 +1,367 @@
+"""Router queue disciplines: droptail and (Adaptive) RED.
+
+The paper's definitions assume droptail queues: a packet is lost iff it
+arrives to a full buffer, so a lost probe "sees" the maximum queuing delay
+``Q_k = buffer / bandwidth``.  Section VI-A5 of the paper studies what
+happens under Adaptive RED (gentle mode), where drops occur at partial
+occupancy; we implement both so the RED experiments (Figs. 10-11) can be
+reproduced.
+
+Queues buffer whole packets and are drained by the owning
+:class:`repro.netsim.link.Link`.  As in ns-2, buffers are **packet-counted**:
+the paper's byte buffer sizes (e.g. 20 kB) are converted to a packet limit at
+a nominal packet size (1000 bytes by default, the cross-traffic MSS), so a
+20 kB buffer holds 20 packets.  This matters for probes: a 10-byte probe is
+dropped exactly when the packet buffer is full — which is how the paper's
+tiny probes observe per-percent loss rates.  RED thresholds are likewise in
+packets, as in ns-2.
+
+Ghost-probe support
+-------------------
+Virtual probes never occupy the buffer.  :meth:`QueueDiscipline.probe_loss`
+answers "would a tiny packet arriving now be dropped?" without mutating
+queue state (RED's average/count bookkeeping is only advanced by real
+arrivals).  The owning link combines this with the backlog to produce the
+probe's per-hop queuing delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.netsim.packet import Packet
+
+__all__ = ["QueueDiscipline", "DropTailQueue", "REDQueue", "AdaptiveREDQueue"]
+
+
+class QueueDiscipline:
+    """Base class for queue disciplines.
+
+    Subclasses implement :meth:`offer` (real-packet admission) and
+    :meth:`probe_loss` (side-effect-free ghost-probe admission test).
+    """
+
+    def __init__(self, capacity_bytes: int, nominal_packet_size: int = 1000):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        if nominal_packet_size <= 0:
+            raise ValueError(
+                f"nominal packet size must be positive, got {nominal_packet_size}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self.nominal_packet_size = int(nominal_packet_size)
+        self.capacity_packets = max(
+            1, int(round(capacity_bytes / nominal_packet_size))
+        )
+        self._buffer: Deque[Packet] = deque()
+        self.backlog_bytes = 0
+        # Statistics.
+        self.arrivals = 0
+        self.drops = 0
+        self.bytes_in = 0
+        self.bytes_dropped = 0
+
+    # -- link integration ------------------------------------------------
+    def attach(self, sim, drain_rate_bps: float) -> None:
+        """Called by the owning link once the drain rate is known.
+
+        The base implementation records the rate; RED variants also use the
+        hook to start their adaptation timers.
+        """
+        self.drain_rate_bps = float(drain_rate_bps)
+
+    # -- real packets ----------------------------------------------------
+    def offer(self, packet: Packet, now: float, rng: np.random.Generator) -> bool:
+        """Try to admit ``packet``; return ``False`` if it is dropped."""
+        raise NotImplementedError
+
+    def pop(self) -> Optional[Packet]:
+        """Remove and return the head-of-line packet, or ``None`` if empty."""
+        if not self._buffer:
+            return None
+        packet = self._buffer.popleft()
+        self.backlog_bytes -= packet.size
+        return packet
+
+    # -- ghost probes ------------------------------------------------------
+    def probe_loss(
+        self,
+        size: int,
+        now: float,
+        rng: np.random.Generator,
+        extra_packets: int = 0,
+    ) -> bool:
+        """Would a ``size``-byte packet arriving now be dropped?
+
+        Must not mutate queue state: ghost probes are invisible to the
+        network (paper Section III, virtual probes).  ``extra_packets``
+        models companions of a back-to-back pair that are (virtually)
+        occupying buffer slots ahead of this probe — how the second probe
+        of a loss pair gets dropped exactly when the first took the last
+        free position.
+        """
+        raise NotImplementedError
+
+    def probe_observe(
+        self,
+        size: int,
+        now: float,
+        rng: np.random.Generator,
+        residual: float,
+        extra_packets: int = 0,
+    ):
+        """Ghost-probe sample: ``(lost, queuing_delay)`` at this queue.
+
+        ``residual`` is the remaining service time of the packet currently
+        on the wire, supplied by the owning link.  No queue state is
+        mutated.
+
+        The recorded delay is the actual backlog drain time in both cases
+        (plus any pair companions ahead of this probe).  For a droptail
+        loss the backlog *is* a full buffer, so the delay equals the
+        paper's ``Q_k`` whenever the buffered packets are nominal-sized
+        (exactly the ns behaviour the paper reads its ground truth from);
+        under RED a loss can occur at partial occupancy, which is
+        precisely why Theorem 1 degrades there (Section VI-A5).
+        """
+        lost = self.probe_loss(size, now, rng, extra_packets=extra_packets)
+        backlog = self.backlog_bytes + extra_packets * size
+        return lost, residual + backlog * 8.0 / self.drain_rate_bps
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def backlog_packets(self) -> int:
+        """Number of buffered packets (excluding the one in service)."""
+        return len(self._buffer)
+
+    @property
+    def loss_ratio(self) -> float:
+        """Fraction of real arrivals dropped so far."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.drops / self.arrivals
+
+    def max_queuing_delay(self) -> float:
+        """``Q_k``: the time to drain a full buffer, in seconds.
+
+        With packet-counted buffers the full-buffer byte content is the
+        packet limit times the nominal packet size — which recovers the
+        paper's ``buffer / bandwidth`` when cross traffic uses the nominal
+        size.
+        """
+        full_bytes = self.capacity_packets * self.nominal_packet_size
+        return full_bytes * 8.0 / self.drain_rate_bps
+
+    def _admit(self, packet: Packet) -> None:
+        self._buffer.append(packet)
+        self.backlog_bytes += packet.size
+
+    def _count_arrival(self, packet: Packet) -> None:
+        self.arrivals += 1
+        self.bytes_in += packet.size
+
+    def _count_drop(self, packet: Packet) -> None:
+        self.drops += 1
+        self.bytes_dropped += packet.size
+
+
+class DropTailQueue(QueueDiscipline):
+    """FIFO queue dropping arrivals that would overflow the byte buffer."""
+
+    def offer(self, packet: Packet, now: float, rng: np.random.Generator) -> bool:
+        self._count_arrival(packet)
+        if self.backlog_packets >= self.capacity_packets:
+            self._count_drop(packet)
+            return False
+        self._admit(packet)
+        return True
+
+    def probe_loss(
+        self,
+        size: int,
+        now: float,
+        rng: np.random.Generator,
+        extra_packets: int = 0,
+    ) -> bool:
+        return self.backlog_packets + extra_packets >= self.capacity_packets
+
+
+class REDQueue(QueueDiscipline):
+    """Random Early Detection with the *gentle* option.
+
+    Implements the classic RED of Floyd & Jacobson: an EWMA of the queue
+    length (in packets) drives a drop probability that rises linearly from
+    0 to ``max_p`` between ``min_th`` and ``max_th`` and — in gentle mode —
+    from ``max_p`` to 1 between ``max_th`` and ``2 * max_th``.  The
+    inter-drop "count" correction spreads drops uniformly.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Physical buffer (packets overflowing it are dropped regardless).
+    min_th, max_th:
+        Thresholds in packets.
+    max_p:
+        Initial maximum drop probability.
+    weight:
+        EWMA weight ``w_q``.
+    mean_packet_size:
+        Used to estimate the typical transmission time when decaying the
+        average across idle periods.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        min_th: float,
+        max_th: Optional[float] = None,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        mean_packet_size: int = 1000,
+    ):
+        super().__init__(capacity_bytes)
+        if min_th <= 0:
+            raise ValueError(f"min_th must be positive, got {min_th}")
+        self.min_th = float(min_th)
+        self.max_th = float(max_th) if max_th is not None else 3.0 * self.min_th
+        if self.max_th <= self.min_th:
+            raise ValueError("max_th must exceed min_th")
+        self.max_p = float(max_p)
+        self.weight = float(weight)
+        self.mean_packet_size = int(mean_packet_size)
+        self.avg = 0.0
+        self._count = 0  # packets since last drop while in the drop region
+        self._idle_since: Optional[float] = None
+        self.early_drops = 0
+        self.forced_drops = 0
+
+    # -- EWMA maintenance --------------------------------------------------
+    def _typical_tx_time(self) -> float:
+        return self.mean_packet_size * 8.0 / self.drain_rate_bps
+
+    def _update_average(self, now: float) -> None:
+        if self._idle_since is not None:
+            # Decay the average as if empty-queue samples arrived at the
+            # typical transmission rate during the idle period.
+            idle = max(0.0, now - self._idle_since)
+            m = idle / self._typical_tx_time()
+            self.avg *= (1.0 - self.weight) ** m
+            self._idle_since = None
+        self.avg = (1.0 - self.weight) * self.avg + self.weight * self.backlog_packets
+
+    def notify_idle(self, now: float) -> None:
+        """Called by the link when the queue (and server) go idle."""
+        self._idle_since = now
+
+    # -- drop curve ----------------------------------------------------------
+    def _drop_probability(self) -> float:
+        """Instantaneous drop probability ``p_b`` from the gentle RED curve."""
+        avg = self.avg
+        if avg < self.min_th:
+            return 0.0
+        if avg < self.max_th:
+            return self.max_p * (avg - self.min_th) / (self.max_th - self.min_th)
+        if avg < 2.0 * self.max_th:
+            return self.max_p + (1.0 - self.max_p) * (avg - self.max_th) / self.max_th
+        return 1.0
+
+    def offer(self, packet: Packet, now: float, rng: np.random.Generator) -> bool:
+        self._count_arrival(packet)
+        self._update_average(now)
+        if self.backlog_packets >= self.capacity_packets:
+            self._count_drop(packet)
+            self.forced_drops += 1
+            self._count = 0
+            return False
+        p_b = self._drop_probability()
+        if p_b >= 1.0:
+            self._count_drop(packet)
+            self.early_drops += 1
+            self._count = 0
+            return False
+        if p_b > 0.0:
+            # Uniform spreading: p_a = p_b / (1 - count * p_b).
+            denom = 1.0 - self._count * p_b
+            p_a = 1.0 if denom <= 0.0 else min(1.0, p_b / denom)
+            if rng.random() < p_a:
+                self._count_drop(packet)
+                self.early_drops += 1
+                self._count = 0
+                return False
+            self._count += 1
+        else:
+            self._count = 0
+        self._admit(packet)
+        return True
+
+    def probe_loss(
+        self,
+        size: int,
+        now: float,
+        rng: np.random.Generator,
+        extra_packets: int = 0,
+    ) -> bool:
+        """Sample the fate a tiny real packet would meet, without side effects.
+
+        Ghost probes draw from the instantaneous drop probability ``p_b``
+        (no count correction — they are not part of the real arrival
+        process) and are also lost on physical overflow.
+        """
+        if self.backlog_packets + extra_packets >= self.capacity_packets:
+            return True
+        p_b = self._drop_probability()
+        if p_b <= 0.0:
+            return False
+        return bool(rng.random() < p_b)
+
+
+class AdaptiveREDQueue(REDQueue):
+    """Adaptive RED (Floyd, Gummadi, Shenker 2001), gentle mode.
+
+    ``max_p`` is adapted every ``interval`` seconds by AIMD so the average
+    queue tracks the middle of ``[min_th, max_th]``:
+
+    * ``avg > min_th + 0.6 (max_th - min_th)`` and ``max_p < 0.5``:
+      ``max_p += min(0.01, max_p / 4)``;
+    * ``avg < min_th + 0.4 (max_th - min_th)`` and ``max_p > 0.01``:
+      ``max_p *= 0.9``.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        min_th: float,
+        max_th: Optional[float] = None,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        mean_packet_size: int = 1000,
+        interval: float = 0.5,
+    ):
+        super().__init__(
+            capacity_bytes,
+            min_th,
+            max_th=max_th,
+            max_p=max_p,
+            weight=weight,
+            mean_packet_size=mean_packet_size,
+        )
+        self.interval = float(interval)
+        self._sim = None
+
+    def attach(self, sim, drain_rate_bps: float) -> None:
+        super().attach(sim, drain_rate_bps)
+        self._sim = sim
+        sim.schedule(self.interval, self._adapt)
+
+    def _adapt(self) -> None:
+        span = self.max_th - self.min_th
+        target_low = self.min_th + 0.4 * span
+        target_high = self.min_th + 0.6 * span
+        if self.avg > target_high and self.max_p < 0.5:
+            self.max_p = min(0.5, self.max_p + min(0.01, self.max_p / 4.0))
+        elif self.avg < target_low and self.max_p > 0.01:
+            self.max_p = max(0.01, self.max_p * 0.9)
+        self._sim.schedule(self.interval, self._adapt)

@@ -1,0 +1,387 @@
+"""TCP endpoints (Reno by default, Tahoe selectable).
+
+A segment-granularity TCP implementation sufficient for generating
+realistic congestion: slow start, congestion avoidance, fast
+retransmit/recovery (NewReno-style partial-ACK handling; Tahoe falls back
+to slow start instead of recovering), and an RTO with Jacobson/Karels
+estimation and Karn's rule.  Sequence numbers count MSS segments, not
+bytes — byte-level framing adds nothing for the paper's experiments,
+where TCP's role is to fill and overflow droptail buffers with the
+characteristic sawtooth.  The receiver optionally runs delayed ACKs
+(every second segment, 200 ms cap), as ns-2's DelAck sink does.
+
+Wire sizes: data segments are ``mss + header_size`` bytes on the wire,
+ACKs are ``header_size`` bytes (40 by default, as in ns-2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.engine import Event, Simulator
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet, PacketKind
+
+__all__ = ["TcpSender", "TcpReceiver", "open_tcp_connection"]
+
+HEADER_SIZE = 40
+INITIAL_RTO = 1.0
+MIN_RTO = 0.2
+MAX_RTO = 60.0
+
+
+class TcpReceiver:
+    """Receiving endpoint: cumulative ACKs, out-of-order reassembly.
+
+    With ``delayed_ack`` the receiver ACKs every second in-order segment
+    (or after ``ack_delay`` seconds, whichever first), but always ACKs
+    immediately on out-of-order data so fast retransmit still works.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        port: Optional[int] = None,
+        delayed_ack: bool = False,
+        ack_delay: float = 0.2,
+    ):
+        self.host = host
+        self.port = host.bind(self, port)
+        self.expected_seq = 0
+        self._out_of_order = set()
+        self.segments_received = 0
+        self.duplicate_segments = 0
+        self.acks_sent = 0
+        self.delayed_ack = bool(delayed_ack)
+        self.ack_delay = float(ack_delay)
+        self._pending_acks = 0
+        self._ack_timer: Optional[Event] = None
+        self._last_packet: Optional[Packet] = None
+
+    def handle_packet(self, packet: Packet) -> None:
+        if packet.kind != PacketKind.DATA:
+            return
+        self.segments_received += 1
+        self._last_packet = packet
+        seq = packet.seq
+        in_order = seq == self.expected_seq
+        if in_order:
+            self.expected_seq += 1
+            while self.expected_seq in self._out_of_order:
+                self._out_of_order.discard(self.expected_seq)
+                self.expected_seq += 1
+        elif seq > self.expected_seq:
+            self._out_of_order.add(seq)
+        else:
+            self.duplicate_segments += 1
+        if self.delayed_ack and in_order:
+            self._pending_acks += 1
+            if self._pending_acks >= 2:
+                self._send_ack()
+            elif self._ack_timer is None:
+                self._ack_timer = self.host.sim.schedule(
+                    self.ack_delay, self._send_ack
+                )
+        else:
+            # Out-of-order (or duplicate) data: immediate ACK so the
+            # sender's duplicate-ACK counter advances.
+            self._send_ack()
+
+    def _send_ack(self) -> None:
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+        self._pending_acks = 0
+        packet = self._last_packet
+        if packet is None:
+            return
+        ack = Packet(
+            src=self.host.name,
+            dst=packet.src,
+            dst_port=packet.payload,  # sender's port travels in the payload
+            size=HEADER_SIZE,
+            kind=PacketKind.ACK,
+            flow_id=packet.flow_id,
+            seq=self.expected_seq,
+            created_at=self.host.sim.now,
+        )
+        self.acks_sent += 1
+        self.host.send(ack)
+
+
+class TcpSender:
+    """Sending endpoint (TCP Reno).
+
+    Parameters
+    ----------
+    host:
+        The host this sender runs on.
+    dst, dst_port:
+        Receiver's host name and port.
+    total_segments:
+        ``None`` for an unbounded (FTP) transfer; otherwise the sender
+        stops after this many segments are acknowledged and invokes
+        ``on_complete``.
+    mss:
+        Maximum segment size in bytes (payload).
+    on_complete:
+        Callback fired once the whole transfer is acknowledged.
+    variant:
+        ``"reno"`` (default) or ``"tahoe"`` — Tahoe reacts to triple
+        duplicate ACKs like a timeout (retransmit, cwnd back to 1, slow
+        start) instead of entering fast recovery.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        dst: str,
+        dst_port: int,
+        flow_id: str,
+        total_segments: Optional[int] = None,
+        mss: int = 1000,
+        initial_ssthresh: int = 64,
+        on_complete: Optional[Callable[[], None]] = None,
+        port: Optional[int] = None,
+        variant: str = "reno",
+    ):
+        if variant not in ("reno", "tahoe"):
+            raise ValueError(f"variant must be 'reno' or 'tahoe', got {variant!r}")
+        self.variant = variant
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.dst = dst
+        self.dst_port = dst_port
+        self.flow_id = flow_id
+        self.port = host.bind(self, port)
+        self.mss = int(mss)
+        self.total_segments = total_segments
+        self.on_complete = on_complete
+
+        # Congestion control state (cwnd in segments, may be fractional).
+        self.cwnd = 1.0
+        self.ssthresh = float(initial_ssthresh)
+        self.next_seq = 0  # next new segment to send
+        self.highest_acked = 0  # cumulative ACK point
+        self.dupacks = 0
+        self.in_fast_recovery = False
+        self.recover_seq = 0
+
+        # RTT estimation.
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = INITIAL_RTO
+        self._timed_seq: Optional[int] = None
+        self._timed_at = 0.0
+        self._max_seq_sent = 0  # segments below this have been sent before
+        self._timer: Optional[Event] = None
+        self._started = False
+        self._completed = False
+
+        # Statistics.
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, at: Optional[float] = None) -> None:
+        """Begin transmitting at time ``at`` (default: now)."""
+        if self._started:
+            return
+        self._started = True
+        when = self.sim.now if at is None else at
+        self.sim.schedule_at(when, self._try_send)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _window(self) -> int:
+        return max(1, int(self.cwnd))
+
+    def _flight_size(self) -> int:
+        return self.next_seq - self.highest_acked
+
+    def _data_remaining(self) -> bool:
+        if self.total_segments is None:
+            return True
+        return self.next_seq < self.total_segments
+
+    def _try_send(self) -> None:
+        if self._completed:
+            return
+        while self._flight_size() < self._window() and self._data_remaining():
+            self._transmit(self.next_seq)
+            self.next_seq += 1
+
+    def _transmit(self, seq: int) -> None:
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst,
+            dst_port=self.dst_port,
+            size=self.mss + HEADER_SIZE,
+            kind=PacketKind.DATA,
+            flow_id=self.flow_id,
+            seq=seq,
+            created_at=self.sim.now,
+            payload=self.port,  # so the receiver can address its ACKs
+        )
+        self.segments_sent += 1
+        # Time one segment at a time, never a retransmission (Karn's rule).
+        if self._timed_seq is None and seq >= self._max_seq_sent:
+            self._timed_seq = seq
+            self._timed_at = self.sim.now
+        self._max_seq_sent = max(self._max_seq_sent, seq + 1)
+        self.host.send(packet)
+        if self._timer is None:
+            self._arm_timer()
+
+    # ------------------------------------------------------------------
+    # Timer
+    # ------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        self._cancel_timer()
+        self._timer = self.sim.schedule(self.rto, self._on_timeout)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self._completed or self._flight_size() == 0:
+            return
+        self.timeouts += 1
+        self.ssthresh = max(self._flight_size() / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.dupacks = 0
+        self.in_fast_recovery = False
+        self.next_seq = self.highest_acked  # go-back-N from the ACK point
+        self._timed_seq = None
+        self.rto = min(MAX_RTO, self.rto * 2.0)  # exponential backoff
+        self._arm_timer()
+        self._try_send()
+
+    def _update_rtt(self, sample: float) -> None:
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = min(MAX_RTO, max(MIN_RTO, self.srtt + 4.0 * self.rttvar))
+
+    # ------------------------------------------------------------------
+    # Receiving ACKs
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet) -> None:
+        if packet.kind != PacketKind.ACK or self._completed:
+            return
+        ack = packet.seq
+        if ack > self.highest_acked:
+            self._on_new_ack(ack)
+        elif ack == self.highest_acked:
+            self._on_dup_ack(ack)
+        self._check_complete()
+        self._try_send()
+
+    def _on_new_ack(self, ack: int) -> None:
+        if self._timed_seq is not None and ack > self._timed_seq:
+            self._update_rtt(self.sim.now - self._timed_at)
+            self._timed_seq = None
+        if self.in_fast_recovery:
+            if ack >= self.recover_seq:
+                # Full recovery: deflate to ssthresh.
+                self.in_fast_recovery = False
+                self.cwnd = self.ssthresh
+                self.dupacks = 0
+            else:
+                # NewReno partial ACK: retransmit the next hole, stay in FR.
+                self.highest_acked = ack
+                self.retransmissions += 1
+                self._transmit(ack)
+                self.cwnd = max(1.0, self.cwnd - 1.0)
+                self._arm_timer()
+                return
+        else:
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0  # slow start
+            else:
+                self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+            self.dupacks = 0
+        self.highest_acked = ack
+        if self.next_seq < ack:
+            self.next_seq = ack
+        if self._flight_size() > 0:
+            self._arm_timer()
+        else:
+            self._cancel_timer()
+
+    def _on_dup_ack(self, ack: int) -> None:
+        if self._flight_size() == 0:
+            return
+        self.dupacks += 1
+        if self.in_fast_recovery:
+            self.cwnd += 1.0  # window inflation per extra dup ACK
+        elif self.dupacks == 3:
+            self.ssthresh = max(self._flight_size() / 2.0, 2.0)
+            self.fast_retransmits += 1
+            self.retransmissions += 1
+            if self.variant == "tahoe":
+                # Tahoe: retransmit and fall back to slow start.
+                self.cwnd = 1.0
+                self.dupacks = 0
+                self.next_seq = self.highest_acked
+                self._timed_seq = None
+                self._transmit(self.next_seq)
+                self.next_seq += 1
+                self._arm_timer()
+                return
+            self.in_fast_recovery = True
+            self.recover_seq = self.next_seq
+            self._transmit(ack)
+            self.cwnd = self.ssthresh + 3.0
+            self._arm_timer()
+
+    def _check_complete(self) -> None:
+        if (
+            self.total_segments is not None
+            and self.highest_acked >= self.total_segments
+            and not self._completed
+        ):
+            self._completed = True
+            self._cancel_timer()
+            if self.on_complete is not None:
+                self.on_complete()
+
+    @property
+    def completed(self) -> bool:
+        """Whether the whole transfer has been acknowledged."""
+        return self._completed
+
+
+def open_tcp_connection(
+    src_host: Host,
+    dst_host: Host,
+    flow_id: str,
+    total_segments: Optional[int] = None,
+    mss: int = 1000,
+    on_complete: Optional[Callable[[], None]] = None,
+    variant: str = "reno",
+    delayed_ack: bool = False,
+) -> TcpSender:
+    """Wire up a receiver on ``dst_host`` and a sender on ``src_host``."""
+    receiver = TcpReceiver(dst_host, delayed_ack=delayed_ack)
+    return TcpSender(
+        src_host,
+        dst=dst_host.name,
+        dst_port=receiver.port,
+        flow_id=flow_id,
+        total_segments=total_segments,
+        mss=mss,
+        on_complete=on_complete,
+        variant=variant,
+    )

@@ -1,0 +1,254 @@
+"""Topology construction and the paper's Fig.-4 chain.
+
+:class:`Network` wraps a :class:`~repro.netsim.engine.Simulator` plus the
+node/link inventory, computes static shortest-path routes (hop count), and
+can extract the ordered list of links between two nodes — which is what the
+probers traverse.
+
+:func:`chain_network` builds the evaluation topology of the paper's Fig. 4:
+routers ``r0..r{n}`` in a line, with per-router-pair access stubs for
+traffic sources and sinks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Host, Node, Router
+from repro.netsim.queues import DropTailQueue, QueueDiscipline
+
+__all__ = ["Network", "chain_network"]
+
+#: Default access-link bandwidth (10 Mb/s, as in the paper).
+ACCESS_BANDWIDTH = 10e6
+#: Default access-link buffer, large enough that no loss occurs there.
+ACCESS_BUFFER = 1_000_000
+
+
+class Network:
+    """A simulator plus its nodes and links.
+
+    Typical use::
+
+        net = Network(seed=7)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.add_link("a", "b", bandwidth_bps=1e6, prop_delay=0.005,
+                     queue=DropTailQueue(20_000))
+        net.compute_routes()
+    """
+
+    def __init__(self, seed: int = 0, sim: Optional[Simulator] = None):
+        self.sim = sim if sim is not None else Simulator(seed)
+        self.nodes: Dict[str, Node] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_router(self, name: str) -> Router:
+        """Add a pure forwarding node."""
+        return self._add_node(Router(self.sim, name))
+
+    def add_host(self, name: str) -> Host:
+        """Add an end host that can carry agents."""
+        return self._add_node(Host(self.sim, name))
+
+    def _add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        bandwidth_bps: float,
+        prop_delay: float,
+        queue: QueueDiscipline,
+        link_class=Link,
+        **link_kwargs,
+    ) -> Link:
+        """Add a unidirectional link ``src -> dst``.
+
+        ``link_class`` (plus extra keyword arguments) selects a custom
+        link type, e.g. :class:`repro.netsim.wireless.GilbertElliottLink`.
+        """
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError(f"both endpoints must exist: {src!r}, {dst!r}")
+        key = (src, dst)
+        if key in self.links:
+            raise ValueError(f"duplicate link {src}->{dst}")
+        link = link_class(
+            self.sim,
+            name=f"{src}->{dst}",
+            src_name=src,
+            dst=self.nodes[dst],
+            bandwidth_bps=bandwidth_bps,
+            prop_delay=prop_delay,
+            queue=queue,
+            **link_kwargs,
+        )
+        self.links[key] = link
+        return link
+
+    def add_duplex_link(
+        self,
+        a: str,
+        b: str,
+        bandwidth_bps: float,
+        prop_delay: float,
+        queue_factory,
+    ) -> Tuple[Link, Link]:
+        """Add links in both directions, each with its own queue instance."""
+        forward = self.add_link(a, b, bandwidth_bps, prop_delay, queue_factory())
+        backward = self.add_link(b, a, bandwidth_bps, prop_delay, queue_factory())
+        return forward, backward
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def compute_routes(self) -> None:
+        """Install hop-count shortest-path routes at every node."""
+        adjacency: Dict[str, List[str]] = {name: [] for name in self.nodes}
+        for (src, dst) in self.links:
+            adjacency[src].append(dst)
+        for origin in self.nodes:
+            # BFS from origin; record each destination's first hop.
+            first_hop: Dict[str, str] = {}
+            queue = deque([origin])
+            seen = {origin}
+            while queue:
+                current = queue.popleft()
+                for neighbour in adjacency[current]:
+                    if neighbour in seen:
+                        continue
+                    seen.add(neighbour)
+                    first_hop[neighbour] = (
+                        neighbour if current == origin else first_hop[current]
+                    )
+                    queue.append(neighbour)
+            node = self.nodes[origin]
+            for destination, hop in first_hop.items():
+                node.add_route(destination, self.links[(origin, hop)])
+
+    def path_links(self, src: str, dst: str) -> List[Link]:
+        """The ordered links a packet from ``src`` to ``dst`` traverses."""
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError(f"unknown endpoint: {src!r} or {dst!r}")
+        path: List[Link] = []
+        current = src
+        visited = {src}
+        while current != dst:
+            link = self.nodes[current].routes.get(dst)
+            if link is None:
+                raise ValueError(f"no route from {src} to {dst} (stuck at {current})")
+            path.append(link)
+            current = link.dst.name
+            if current in visited:
+                raise ValueError(f"routing loop from {src} to {dst} at {current}")
+            visited.add(current)
+        return path
+
+    def propagation_delay(self, src: str, dst: str) -> float:
+        """Sum of propagation delays along the route (no queuing)."""
+        return sum(link.prop_delay for link in self.path_links(src, dst))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> None:
+        """Advance the simulation to time ``until``."""
+        self.sim.run(until=until)
+
+
+def chain_network(
+    router_bandwidths_bps: List[float],
+    router_buffers_bytes: List[int],
+    seed: int = 0,
+    router_prop_delay: float = 0.005,
+    access_bandwidth_bps: float = ACCESS_BANDWIDTH,
+    access_buffer_bytes: int = ACCESS_BUFFER,
+    stub_hosts_per_router: int = 2,
+    queue_factory=None,
+    access_prop_delay_range: Tuple[float, float] = (0.0001, 0.0005),
+) -> Network:
+    """Build the paper's Fig.-4 topology.
+
+    Routers ``r0 .. r{K}`` form a chain where link ``(r_i, r_{i+1})`` has
+    bandwidth ``router_bandwidths_bps[i]`` and buffer
+    ``router_buffers_bytes[i]``.  Each router additionally gets
+    ``stub_hosts_per_router`` source hosts (``src{i}_{j}``) and sink hosts
+    (``snk{i}_{j}``) on fast access links, used to inject cross traffic
+    entering/leaving at arbitrary routers.
+
+    Parameters
+    ----------
+    queue_factory:
+        Optional ``f(capacity_bytes, link_index) -> QueueDiscipline`` for
+        the chain links; defaults to droptail.  Access links are always
+        droptail with huge buffers (no loss there, as in the paper).
+    access_prop_delay_range:
+        Uniform range for stub propagation delays (the paper draws them
+        uniformly in [0.1, 0.5] ms).
+    """
+    if len(router_bandwidths_bps) != len(router_buffers_bytes):
+        raise ValueError("need one buffer size per chain link")
+    net = Network(seed=seed)
+    rng = net.sim.rng("topology")
+    n_links = len(router_bandwidths_bps)
+    router_names = [f"r{i}" for i in range(n_links + 1)]
+    for name in router_names:
+        net.add_router(name)
+
+    if queue_factory is None:
+        def queue_factory(capacity_bytes, link_index):
+            return DropTailQueue(capacity_bytes)
+
+    for i in range(n_links):
+        net.add_link(
+            router_names[i],
+            router_names[i + 1],
+            bandwidth_bps=router_bandwidths_bps[i],
+            prop_delay=router_prop_delay,
+            queue=queue_factory(router_buffers_bytes[i], i),
+        )
+        # Reverse direction for ACK traffic: same bandwidth, ample buffer
+        # (the paper's congestion is one-directional).
+        net.add_link(
+            router_names[i + 1],
+            router_names[i],
+            bandwidth_bps=router_bandwidths_bps[i],
+            prop_delay=router_prop_delay,
+            queue=DropTailQueue(access_buffer_bytes),
+        )
+
+    def add_stub(host_name: str, router_name: str) -> None:
+        net.add_host(host_name)
+        delay = float(rng.uniform(*access_prop_delay_range))
+        net.add_link(
+            host_name,
+            router_name,
+            bandwidth_bps=access_bandwidth_bps,
+            prop_delay=delay,
+            queue=DropTailQueue(access_buffer_bytes),
+        )
+        net.add_link(
+            router_name,
+            host_name,
+            bandwidth_bps=access_bandwidth_bps,
+            prop_delay=delay,
+            queue=DropTailQueue(access_buffer_bytes),
+        )
+
+    for i, router_name in enumerate(router_names):
+        for j in range(stub_hosts_per_router):
+            add_stub(f"src{i}_{j}", router_name)
+            add_stub(f"snk{i}_{j}", router_name)
+
+    net.compute_routes()
+    return net

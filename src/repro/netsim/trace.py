@@ -1,0 +1,324 @@
+"""Probe traces: what the measurement host records, plus ground truth.
+
+The simulator's ghost probes yield, per probe, the full virtual-probe
+record of the paper (per-hop queuing delays and the loss-mark hop, if any).
+From it we derive the *real* observation a measurement host would log:
+either a one-way delay, or a loss.
+
+:class:`ProbeTrace` carries both views; :class:`PathObservation` is the
+estimator-facing projection (send times + delays with NaN for losses) that
+the core library consumes — whether it came from the simulator or from a
+post-processed "Internet" trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ProbeRecord", "ProbeTrace", "PathObservation", "LossPairTrace"]
+
+
+class ProbeRecord:
+    """One virtual probe: per-hop ground truth.
+
+    Attributes
+    ----------
+    send_time:
+        Departure time at the source.
+    hop_queuing:
+        Queuing delay experienced (or virtually experienced) at each hop.
+    loss_hop:
+        Index of the hop where the probe took its loss mark, or ``-1``.
+    """
+
+    __slots__ = ("send_time", "hop_queuing", "loss_hop")
+
+    def __init__(self, send_time: float, hop_queuing: Sequence[float], loss_hop: int):
+        self.send_time = send_time
+        self.hop_queuing = tuple(hop_queuing)
+        self.loss_hop = loss_hop
+
+    @property
+    def lost(self) -> bool:
+        """Whether this probe took a loss mark."""
+        return self.loss_hop >= 0
+
+    @property
+    def total_queuing(self) -> float:
+        """End-end (virtual) queuing delay: the paper's ``D_t``."""
+        return float(sum(self.hop_queuing))
+
+
+class ProbeTrace:
+    """A complete periodic-probing run over one path.
+
+    Parameters
+    ----------
+    link_names:
+        Names of the links along the probed path, in order.
+    base_delay:
+        Constant per-probe latency: propagation plus probe transmission
+        times over every hop.  Observed one-way delay is
+        ``base_delay + total_queuing``.
+    probe_interval, probe_size:
+        Probing parameters (20 ms / 10 bytes in the paper).
+    """
+
+    def __init__(
+        self,
+        link_names: Sequence[str],
+        base_delay: float,
+        probe_interval: float,
+        probe_size: int,
+    ):
+        self.link_names = list(link_names)
+        self.base_delay = float(base_delay)
+        self.probe_interval = float(probe_interval)
+        self.probe_size = int(probe_size)
+        self.records: List[ProbeRecord] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def append(self, record: ProbeRecord) -> None:
+        if len(record.hop_queuing) != len(self.link_names):
+            raise ValueError(
+                f"record has {len(record.hop_queuing)} hops, "
+                f"path has {len(self.link_names)}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Ground-truth views (what the paper reads from ns traces)
+    # ------------------------------------------------------------------
+    @property
+    def send_times(self) -> np.ndarray:
+        return np.array([r.send_time for r in self.records])
+
+    @property
+    def lost(self) -> np.ndarray:
+        return np.array([r.lost for r in self.records], dtype=bool)
+
+    @property
+    def loss_hops(self) -> np.ndarray:
+        return np.array([r.loss_hop for r in self.records], dtype=int)
+
+    @property
+    def hop_queuing_matrix(self) -> np.ndarray:
+        """Shape ``(n_probes, n_hops)`` matrix of per-hop queuing delays."""
+        return np.array([r.hop_queuing for r in self.records])
+
+    @property
+    def virtual_queuing_delays(self) -> np.ndarray:
+        """End-end virtual queuing delay of every probe (lost or not)."""
+        return np.array([r.total_queuing for r in self.records])
+
+    @property
+    def loss_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean(self.lost))
+
+    def loss_share_by_hop(self) -> np.ndarray:
+        """Fraction of losses charged to each hop (sums to 1 if any loss)."""
+        hops = self.loss_hops
+        losses = hops[hops >= 0]
+        shares = np.zeros(len(self.link_names))
+        if losses.size == 0:
+            return shares
+        counts = np.bincount(losses, minlength=len(self.link_names))
+        return counts / losses.size
+
+    # ------------------------------------------------------------------
+    # Real-observation views (what a measurement host records)
+    # ------------------------------------------------------------------
+    @property
+    def observed_delays(self) -> np.ndarray:
+        """One-way delays with ``NaN`` where the probe was lost."""
+        delays = self.base_delay + self.virtual_queuing_delays
+        delays = delays.copy()
+        delays[self.lost] = np.nan
+        return delays
+
+    def observation(self, known_propagation: bool = False) -> "PathObservation":
+        """Project to the estimator-facing :class:`PathObservation`."""
+        return PathObservation(
+            send_times=self.send_times,
+            delays=self.observed_delays,
+            propagation_delay=self.base_delay if known_propagation else None,
+        )
+
+    def prefix_observation(
+        self,
+        n_hops: int,
+        per_hop_base: Optional[Sequence[float]] = None,
+    ) -> "PathObservation":
+        """Observation of the path *prefix* covering the first ``n_hops``.
+
+        This is what TTL-limited probing toward the ``n_hops``-th router
+        would record: a probe is lost on the prefix iff its loss mark lies
+        within the prefix; otherwise its delay is the prefix base delay
+        plus the prefix queuing.  Used by the pinpointing extension
+        (:mod:`repro.core.pinpoint`).
+
+        ``per_hop_base`` optionally gives each hop's constant latency
+        (propagation + probe transmission); without it the total base
+        delay is split evenly — only the constant offset shifts, which
+        the discretizer's minimum-delay handling absorbs.
+        """
+        if not 1 <= n_hops <= len(self.link_names):
+            raise ValueError(
+                f"prefix must cover 1..{len(self.link_names)} hops, got {n_hops}"
+            )
+        if per_hop_base is None:
+            base = self.base_delay * n_hops / len(self.link_names)
+        else:
+            if len(per_hop_base) != len(self.link_names):
+                raise ValueError("per_hop_base must have one entry per hop")
+            base = float(sum(per_hop_base[:n_hops]))
+        send_times = self.send_times
+        hop_matrix = self.hop_queuing_matrix[:, :n_hops]
+        delays = base + hop_matrix.sum(axis=1)
+        loss_hops = self.loss_hops
+        lost_in_prefix = (loss_hops >= 0) & (loss_hops < n_hops)
+        delays = delays.copy()
+        delays[lost_in_prefix] = np.nan
+        return PathObservation(send_times, delays)
+
+    # ------------------------------------------------------------------
+    # Segmentation (for duration sweeps)
+    # ------------------------------------------------------------------
+    def segment(self, start: int, stop: int) -> "ProbeTrace":
+        """A sub-trace over records ``[start:stop]``."""
+        sub = ProbeTrace(
+            self.link_names, self.base_delay, self.probe_interval, self.probe_size
+        )
+        sub.records = self.records[start:stop]
+        return sub
+
+    def segment_by_time(self, t_start: float, t_stop: float) -> "ProbeTrace":
+        """A sub-trace of probes sent in ``[t_start, t_stop)``."""
+        sub = ProbeTrace(
+            self.link_names, self.base_delay, self.probe_interval, self.probe_size
+        )
+        sub.records = [r for r in self.records if t_start <= r.send_time < t_stop]
+        return sub
+
+
+class PathObservation:
+    """What the estimators see: send times and delays with NaN losses.
+
+    This is deliberately minimal — it is the single interface between the
+    measurement substrate (simulator or processed Internet-style traces)
+    and the identification library.
+    """
+
+    def __init__(
+        self,
+        send_times: np.ndarray,
+        delays: np.ndarray,
+        propagation_delay: Optional[float] = None,
+    ):
+        send_times = np.asarray(send_times, dtype=float)
+        delays = np.asarray(delays, dtype=float)
+        if send_times.shape != delays.shape:
+            raise ValueError("send_times and delays must have equal length")
+        self.send_times = send_times
+        self.delays = delays
+        self.propagation_delay = propagation_delay
+
+    def __len__(self) -> int:
+        return len(self.delays)
+
+    @property
+    def lost(self) -> np.ndarray:
+        return np.isnan(self.delays)
+
+    @property
+    def loss_rate(self) -> float:
+        if len(self.delays) == 0:
+            return 0.0
+        return float(np.mean(self.lost))
+
+    @property
+    def observed(self) -> np.ndarray:
+        """Delays of the probes that arrived."""
+        return self.delays[~self.lost]
+
+    @property
+    def min_delay(self) -> float:
+        """Smallest observed delay (the paper's ``D_min``, approximates P)."""
+        observed = self.observed
+        if observed.size == 0:
+            raise ValueError("no surviving probes in observation")
+        return float(observed.min())
+
+    @property
+    def max_delay(self) -> float:
+        """Largest observed delay (the paper's ``D_max``)."""
+        observed = self.observed
+        if observed.size == 0:
+            raise ValueError("no surviving probes in observation")
+        return float(observed.max())
+
+    def duration(self) -> float:
+        """Span of send times in seconds."""
+        if len(self.send_times) < 2:
+            return 0.0
+        return float(self.send_times[-1] - self.send_times[0])
+
+    def segment(self, start: int, stop: int) -> "PathObservation":
+        """Sub-observation over probes ``[start:stop)``."""
+        return PathObservation(
+            self.send_times[start:stop],
+            self.delays[start:stop],
+            propagation_delay=self.propagation_delay,
+        )
+
+
+class LossPairTrace:
+    """Back-to-back probe pairs for the loss-pair baseline.
+
+    Each pair is two probes sent (essentially) simultaneously; the baseline
+    uses the delay of the surviving probe of a pair in which exactly one
+    probe was lost as a stand-in for the lost probe's virtual delay.
+    """
+
+    def __init__(self, base_delay: float, pair_interval: float, probe_size: int):
+        self.base_delay = float(base_delay)
+        self.pair_interval = float(pair_interval)
+        self.probe_size = int(probe_size)
+        self.pairs: List[Tuple[ProbeRecord, ProbeRecord]] = []
+
+    def append(self, first: ProbeRecord, second: ProbeRecord) -> None:
+        self.pairs.append((first, second))
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def loss_pair_delays(self) -> np.ndarray:
+        """Companion (surviving-probe) queuing delays over loss pairs.
+
+        Returns the end-end *queuing* delay of the surviving probe for each
+        pair where exactly one probe was lost — the loss-pair estimate of
+        the virtual queuing delay of lost probes.
+        """
+        delays = []
+        for first, second in self.pairs:
+            if first.lost != second.lost:
+                survivor = second if first.lost else first
+                delays.append(survivor.total_queuing)
+        return np.array(delays)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of individual probes lost."""
+        if not self.pairs:
+            return 0.0
+        losses = sum(int(a.lost) + int(b.lost) for a, b in self.pairs)
+        return losses / (2 * len(self.pairs))

@@ -1,0 +1,316 @@
+"""Cross-traffic sources: UDP ON-OFF, CBR, and FTP-over-TCP helpers.
+
+These are the paper's three traffic conditions (Section VI-A): FTP flows,
+empirical HTTP traffic (see :mod:`repro.netsim.http`), and exponential
+UDP ON-OFF sources.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet, PacketKind
+from repro.netsim.tcp import TcpSender, open_tcp_connection
+from repro.netsim.topology import Network
+
+__all__ = ["UdpSink", "UdpOnOffSource", "CbrSource", "start_ftp_flows"]
+
+
+class UdpSink:
+    """Counts and discards arriving UDP packets."""
+
+    def __init__(self, host: Host, port: Optional[int] = None):
+        self.host = host
+        self.port = host.bind(self, port)
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    def handle_packet(self, packet: Packet) -> None:
+        """Count and discard one arriving packet."""
+        self.packets_received += 1
+        self.bytes_received += packet.size
+
+
+class UdpOnOffSource:
+    """Exponential ON-OFF UDP source.
+
+    During ON periods it emits ``packet_size``-byte packets at ``rate_bps``;
+    ON and OFF period lengths are exponential with the given means.  This is
+    the ns-2 ``Application/Traffic/Exponential`` equivalent used by the
+    paper's second and third traffic conditions.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        dst: str,
+        dst_port: int,
+        flow_id: str,
+        rate_bps: float,
+        packet_size: int = 500,
+        mean_on: float = 0.5,
+        mean_off: float = 0.5,
+        start: float = 0.0,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self.host = host
+        self.sim = host.sim
+        self.dst = dst
+        self.dst_port = dst_port
+        self.flow_id = flow_id
+        self.rate_bps = float(rate_bps)
+        self.packet_size = int(packet_size)
+        self.mean_on = float(mean_on)
+        self.mean_off = float(mean_off)
+        self._rng = self.sim.rng(f"onoff:{flow_id}")
+        self._interval = self.packet_size * 8.0 / self.rate_bps
+        self._on = False
+        self._phase_end = 0.0
+        self.packets_sent = 0
+        self.sim.schedule_at(max(start, self.sim.now), self._begin_on)
+
+    def _begin_on(self) -> None:
+        self._on = True
+        duration = self._rng.exponential(self.mean_on)
+        self._phase_end = self.sim.now + duration
+        self.sim.schedule(duration, self._begin_off)
+        self._emit()
+
+    def _begin_off(self) -> None:
+        self._on = False
+        self.sim.schedule(self._rng.exponential(self.mean_off), self._begin_on)
+
+    def _emit(self) -> None:
+        if not self._on or self.sim.now > self._phase_end:
+            return
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst,
+            dst_port=self.dst_port,
+            size=self.packet_size,
+            kind=PacketKind.UDP,
+            flow_id=self.flow_id,
+            created_at=self.sim.now,
+            seq=self.packets_sent,
+        )
+        self.packets_sent += 1
+        self.host.send(packet)
+        self.sim.schedule(self._interval, self._emit)
+
+
+class PeriodicBurstSource:
+    """Deterministic ON bursts: ``burst_duration`` at ``rate_bps``, every
+    ``period`` seconds.
+
+    Useful when an experiment needs a *controlled* minority of congestion
+    on one link (e.g. the weak-DCL scenarios): unlike exponential ON-OFF,
+    the loss contribution is stable across seeds.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        dst: str,
+        dst_port: int,
+        flow_id: str,
+        rate_bps: float,
+        burst_duration: float,
+        period: float,
+        packet_size: int = 500,
+        start: float = 0.0,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if burst_duration <= 0 or period <= burst_duration:
+            raise ValueError("need 0 < burst_duration < period")
+        self.host = host
+        self.sim = host.sim
+        self.dst = dst
+        self.dst_port = dst_port
+        self.flow_id = flow_id
+        self.packet_size = int(packet_size)
+        self._interval = self.packet_size * 8.0 / float(rate_bps)
+        self.burst_duration = float(burst_duration)
+        self.period = float(period)
+        self._burst_end = 0.0
+        self.packets_sent = 0
+        self.sim.schedule_at(max(start, self.sim.now), self._begin_burst)
+
+    def _begin_burst(self) -> None:
+        self._burst_end = self.sim.now + self.burst_duration
+        self.sim.schedule(self.period, self._begin_burst)
+        self._emit()
+
+    def _emit(self) -> None:
+        if self.sim.now >= self._burst_end:
+            return
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst,
+            dst_port=self.dst_port,
+            size=self.packet_size,
+            kind=PacketKind.UDP,
+            flow_id=self.flow_id,
+            created_at=self.sim.now,
+            seq=self.packets_sent,
+        )
+        self.packets_sent += 1
+        self.host.send(packet)
+        self.sim.schedule(self._interval, self._emit)
+
+
+class SaturatingBurstSource:
+    """Periodic two-phase overload: fill fast, then hold at slight overload.
+
+    Each period the source first transmits at ``fill_rate_bps`` for
+    ``fill_duration`` (ramping the target queue to full quickly), then at
+    ``hold_rate_bps`` — typically just above the link capacity — for
+    ``hold_duration``.  During the hold phase the droptail queue
+    oscillates between full and one-below-full at the packet timescale,
+    which drops a fraction of arrivals while probes see short, flickering
+    loss runs (the regime the paper's congested links exhibit) rather
+    than seconds-long pinned-full periods.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        dst: str,
+        dst_port: int,
+        flow_id: str,
+        fill_rate_bps: float,
+        fill_duration: float,
+        hold_rate_bps: float,
+        hold_duration: float,
+        period: float,
+        packet_size: int = 1000,
+        start: float = 0.0,
+    ):
+        if fill_rate_bps <= 0 or hold_rate_bps <= 0:
+            raise ValueError("rates must be positive")
+        if fill_duration <= 0 or hold_duration <= 0:
+            raise ValueError("durations must be positive")
+        if period <= fill_duration + hold_duration:
+            raise ValueError("period must exceed fill + hold duration")
+        self.host = host
+        self.sim = host.sim
+        self.dst = dst
+        self.dst_port = dst_port
+        self.flow_id = flow_id
+        self.packet_size = int(packet_size)
+        self.fill_interval = self.packet_size * 8.0 / float(fill_rate_bps)
+        self.hold_interval = self.packet_size * 8.0 / float(hold_rate_bps)
+        self.fill_duration = float(fill_duration)
+        self.hold_duration = float(hold_duration)
+        self.period = float(period)
+        self._phase_end = 0.0
+        self._interval = self.fill_interval
+        self._chain = 0  # generation token: stale emit chains stop themselves
+        self.packets_sent = 0
+        self.sim.schedule_at(max(start, self.sim.now), self._begin_fill)
+
+    def _begin_fill(self) -> None:
+        self._interval = self.fill_interval
+        self._phase_end = self.sim.now + self.fill_duration
+        self._chain += 1
+        self.sim.schedule(self.fill_duration, self._begin_hold)
+        self.sim.schedule(self.period, self._begin_fill)
+        self._emit(self._chain)
+
+    def _begin_hold(self) -> None:
+        self._interval = self.hold_interval
+        self._phase_end = self.sim.now + self.hold_duration
+        self._chain += 1
+        self._emit(self._chain)
+
+    def _emit(self, chain: int) -> None:
+        if chain != self._chain or self.sim.now >= self._phase_end:
+            return
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst,
+            dst_port=self.dst_port,
+            size=self.packet_size,
+            kind=PacketKind.UDP,
+            flow_id=self.flow_id,
+            created_at=self.sim.now,
+            seq=self.packets_sent,
+        )
+        self.packets_sent += 1
+        self.host.send(packet)
+        self.sim.schedule(self._interval, lambda: self._emit(chain))
+
+
+class CbrSource:
+    """Constant-bit-rate UDP source."""
+
+    def __init__(
+        self,
+        host: Host,
+        dst: str,
+        dst_port: int,
+        flow_id: str,
+        rate_bps: float,
+        packet_size: int = 500,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self.host = host
+        self.sim = host.sim
+        self.dst = dst
+        self.dst_port = dst_port
+        self.flow_id = flow_id
+        self.packet_size = int(packet_size)
+        self._interval = self.packet_size * 8.0 / float(rate_bps)
+        self.stop = stop
+        self.packets_sent = 0
+        self.sim.schedule_at(max(start, self.sim.now), self._emit)
+
+    def _emit(self) -> None:
+        if self.stop is not None and self.sim.now >= self.stop:
+            return
+        packet = Packet(
+            src=self.host.name,
+            dst=self.dst,
+            dst_port=self.dst_port,
+            size=self.packet_size,
+            kind=PacketKind.UDP,
+            flow_id=self.flow_id,
+            created_at=self.sim.now,
+            seq=self.packets_sent,
+        )
+        self.packets_sent += 1
+        self.host.send(packet)
+        self.sim.schedule(self._interval, self._emit)
+
+
+def start_ftp_flows(
+    network: Network,
+    src: str,
+    dst: str,
+    count: int,
+    flow_prefix: str = "ftp",
+    mss: int = 1000,
+    stagger: float = 0.1,
+) -> List[TcpSender]:
+    """Start ``count`` long-lived FTP (bulk TCP) flows from src to dst.
+
+    Flows start ``stagger`` seconds apart to avoid synchronised slow
+    starts; the paper uses 1-10 FTP flows as TCP cross traffic.
+    """
+    src_host = network.nodes[src]
+    dst_host = network.nodes[dst]
+    if not isinstance(src_host, Host) or not isinstance(dst_host, Host):
+        raise TypeError("FTP endpoints must be hosts")
+    senders = []
+    for i in range(count):
+        sender = open_tcp_connection(
+            src_host, dst_host, flow_id=f"{flow_prefix}{i}", mss=mss
+        )
+        sender.start(at=network.sim.now + i * stagger)
+        senders.append(sender)
+    return senders

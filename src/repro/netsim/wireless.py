@@ -1,0 +1,111 @@
+"""Wireless-style links: losses from the channel, not the queue.
+
+Section VII of the paper warns that on a path with a wireless first/last
+hop, "losses at this link can be due to interference and fading, which is
+not correlated with long queuing delays, and hence our approach does not
+apply."  This module provides that link type so the caveat can be
+demonstrated rather than asserted: a :class:`GilbertElliottLink` drops
+packets (and marks ghost probes lost) according to a two-state
+Gilbert-Elliott channel — bursty, queue-independent loss.
+
+State dwell times are exponential; the *good* state loses packets rarely,
+the *bad* state heavily.  Both real packets and ghost probes face the
+same channel, so the measurement host sees realistic wireless loss while
+the virtual-probe ground truth shows losses at arbitrary queue occupancy.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link, ProbeHop
+from repro.netsim.packet import Packet
+from repro.netsim.queues import QueueDiscipline
+
+__all__ = ["GilbertElliottLink"]
+
+
+class GilbertElliottLink(Link):
+    """A link whose transmissions additionally face a fading channel.
+
+    Parameters
+    ----------
+    loss_good, loss_bad:
+        Per-packet loss probability in the good / bad channel state.
+    mean_good, mean_bad:
+        Mean dwell time (seconds) in each state.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        src_name: str,
+        dst,
+        bandwidth_bps: float,
+        prop_delay: float,
+        queue: QueueDiscipline,
+        loss_good: float = 0.001,
+        loss_bad: float = 0.3,
+        mean_good: float = 2.0,
+        mean_bad: float = 0.2,
+    ):
+        super().__init__(sim, name, src_name, dst, bandwidth_bps,
+                         prop_delay, queue)
+        if not 0 <= loss_good <= 1 or not 0 <= loss_bad <= 1:
+            raise ValueError("loss probabilities must lie in [0, 1]")
+        if mean_good <= 0 or mean_bad <= 0:
+            raise ValueError("state dwell times must be positive")
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+        self.mean_good = float(mean_good)
+        self.mean_bad = float(mean_bad)
+        self._channel_rng = sim.rng(f"wireless:{name}")
+        self._bad = False
+        self.channel_losses = 0
+        self._schedule_flip()
+
+    # ------------------------------------------------------------------
+    # Channel dynamics
+    # ------------------------------------------------------------------
+    @property
+    def in_bad_state(self) -> bool:
+        """Whether the channel is currently fading (bad state)."""
+        return self._bad
+
+    def _schedule_flip(self) -> None:
+        dwell = self._channel_rng.exponential(
+            self.mean_bad if self._bad else self.mean_good
+        )
+        self.sim.schedule(dwell, self._flip)
+
+    def _flip(self) -> None:
+        self._bad = not self._bad
+        self._schedule_flip()
+
+    def _channel_loss_probability(self) -> float:
+        return self.loss_bad if self._bad else self.loss_good
+
+    # ------------------------------------------------------------------
+    # Real packets: drop after the wire, before delivery
+    # ------------------------------------------------------------------
+    def _transmitted(self, packet: Packet) -> None:
+        if self._channel_rng.random() < self._channel_loss_probability():
+            self.channel_losses += 1
+            self.packets_sent += 1  # it did occupy the wire
+            self.bytes_sent += packet.size
+            self._start_service()
+            return
+        super()._transmitted(packet)
+
+    # ------------------------------------------------------------------
+    # Ghost probes: same channel, queue-independent loss
+    # ------------------------------------------------------------------
+    def probe_transit(self, size: int, rng, extra_packets: int = 0) -> ProbeHop:
+        hop = super().probe_transit(size, rng, extra_packets=extra_packets)
+        if not hop.lost and rng.random() < self._channel_loss_probability():
+            # Channel loss: the probe dies regardless of queue occupancy,
+            # recording whatever queuing it would have seen — exactly the
+            # decorrelation that breaks Theorem 1's premise.
+            return ProbeHop(lost=True, queuing_delay=hop.queuing_delay,
+                            latency=hop.latency)
+        return hop

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite.
+
+Simulation fixtures are deliberately small (tens of seconds of simulated
+time) so the whole suite stays fast; the full paper-scale runs live in
+``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.base import EMConfig, ObservationSequence
+from repro.netsim.engine import Simulator
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network, chain_network
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def two_host_network():
+    """a --(1 Mb/s, 5 ms, 10 kB)--> b, both directions."""
+    net = Network(seed=7)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", bandwidth_bps=1e6, prop_delay=0.005,
+                 queue=DropTailQueue(10_000))
+    net.add_link("b", "a", bandwidth_bps=1e6, prop_delay=0.005,
+                 queue=DropTailQueue(10_000))
+    net.compute_routes()
+    return net
+
+
+@pytest.fixture
+def small_chain():
+    """The Fig.-4 chain with a 1 Mb/s bottleneck on (r2, r3)."""
+    return chain_network(
+        router_bandwidths_bps=[10e6, 10e6, 1e6],
+        router_buffers_bytes=[80_000, 80_000, 20_000],
+        seed=11,
+    )
+
+
+def make_markov_sequence(
+    n_steps=6000,
+    n_symbols=5,
+    loss_given_symbol=(0.001, 0.001, 0.01, 0.05, 0.5),
+    stickiness=0.85,
+    seed=0,
+):
+    """A sticky Markov symbol chain with symbol-dependent losses.
+
+    Returns ``(ObservationSequence, true_G_pmf)`` where the true ``G`` is
+    the empirical distribution of the (hidden) symbols at loss instants.
+    """
+    rng = np.random.default_rng(seed)
+    transition = np.full((n_symbols, n_symbols), (1 - stickiness) / (n_symbols - 1))
+    np.fill_diagonal(transition, stickiness)
+    symbols = np.empty(n_steps, dtype=int)
+    state = 0
+    for t in range(n_steps):
+        symbols[t] = state + 1
+        state = rng.choice(n_symbols, p=transition[state])
+    loss_probs = np.asarray(loss_given_symbol)
+    lost = rng.random(n_steps) < loss_probs[symbols - 1]
+    if not lost.any():  # force at least one loss for G to exist
+        lost[n_steps // 2] = True
+    observed = symbols.copy()
+    observed[lost] = -1
+    true_g = np.bincount(symbols[lost] - 1, minlength=n_symbols).astype(float)
+    true_g /= true_g.sum()
+    return ObservationSequence(observed, n_symbols), true_g
+
+
+@pytest.fixture
+def markov_sequence():
+    return make_markov_sequence()
+
+
+@pytest.fixture
+def fast_em():
+    """EM config tuned for test speed."""
+    return EMConfig(tol=1e-3, max_iter=60, freeze_loss_iters=3)

@@ -1,0 +1,80 @@
+"""Tests for the block-bootstrap confidence machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import bootstrap_identification
+from repro.core.identify import IdentifyConfig
+from repro.models.base import EMConfig
+from repro.netsim.trace import PathObservation
+
+
+def strong_observation(n=2500, q_k=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    send = np.arange(n) * 0.02
+    delays = np.empty(n)
+    queue = 0.0
+    for i in range(n):
+        queue = min(q_k, max(0.0, queue + rng.uniform(-0.012, 0.015)))
+        if queue >= q_k - 1e-12 and rng.random() < 0.7:
+            delays[i] = np.nan
+        else:
+            delays[i] = 0.02 + queue
+    return PathObservation(send, delays)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = IdentifyConfig(em=EMConfig(max_iter=30, tol=1e-2))
+    return bootstrap_identification(
+        strong_observation(), config, n_replicates=8, seed=3,
+        replicate_max_iter=15,
+    )
+
+
+class TestBootstrap:
+    def test_replicate_count(self, result):
+        assert result.n_replicates == 8
+        assert result.pmfs.shape == (8, 5)
+
+    def test_strong_case_has_high_acceptance(self, result):
+        # Every replicate of a clean strong case should accept.
+        assert result.wdcl_acceptance_rate >= 0.75
+        assert result.sdcl_acceptance_rate >= 0.5
+
+    def test_pmf_bands_bracket_the_mode(self, result):
+        lower, upper = result.pmf_interval(0.9)
+        assert (lower <= upper + 1e-12).all()
+        # The dominant symbol's band sits high.
+        assert upper[-1] > 0.9
+
+    def test_invalid_interval_level(self, result):
+        with pytest.raises(ValueError):
+            result.pmf_interval(1.5)
+
+    def test_invalid_replicate_count(self):
+        with pytest.raises(ValueError):
+            bootstrap_identification(strong_observation(), n_replicates=0)
+
+    def test_summary_renders(self, result):
+        text = result.summary()
+        assert "SDCL acceptance rate" in text
+        assert "90% bands" in text
+
+    def test_deterministic_given_seed(self):
+        config = IdentifyConfig(em=EMConfig(max_iter=15, tol=1e-2))
+        a = bootstrap_identification(strong_observation(), config,
+                                     n_replicates=3, seed=7,
+                                     replicate_max_iter=10)
+        b = bootstrap_identification(strong_observation(), config,
+                                     n_replicates=3, seed=7,
+                                     replicate_max_iter=10)
+        np.testing.assert_array_equal(a.pmfs, b.pmfs)
+
+    def test_block_length_default_scales_with_trace(self):
+        config = IdentifyConfig(em=EMConfig(max_iter=10, tol=1e-2))
+        result = bootstrap_identification(
+            strong_observation(n=400), config, n_replicates=2, seed=1,
+            replicate_max_iter=8,
+        )
+        assert result.block_length <= 100

@@ -1,0 +1,127 @@
+"""Tests for the maximum queuing delay bounds (Section IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    connected_component_bound,
+    pmf_components,
+    strong_dcl_bound,
+    weak_dcl_bound,
+)
+from repro.core.discretize import DelayDiscretizer
+from repro.core.distributions import DelayDistribution
+
+
+def dist(pmf, queuing_range=1.0):
+    disc = DelayDiscretizer(len(pmf), 0.0, queuing_range)
+    return DelayDistribution(np.asarray(pmf, float), discretizer=disc)
+
+
+class TestStrongBound:
+    def test_bound_at_support_minimum(self):
+        bound = strong_dcl_bound(dist([0, 0, 0.6, 0.4, 0]))
+        assert bound.symbol == 3
+        assert bound.seconds == pytest.approx(3 / 5)
+
+    def test_bound_dominates_true_qk(self):
+        # If all losses occur at the DCL, every lost probe's delay is at
+        # least Q_k, so the smallest positive symbol's upper edge bounds it.
+        q_k = 0.47
+        disc = DelayDiscretizer(10, 0.0, 1.0)
+        delays = q_k + np.random.default_rng(0).uniform(0, 0.3, size=200)
+        symbols = disc.symbols_of(delays)
+        distribution = DelayDistribution.from_samples(symbols, 10,
+                                                      discretizer=disc)
+        bound = strong_dcl_bound(distribution)
+        assert bound.seconds >= q_k
+
+    def test_without_discretizer_seconds_is_none(self):
+        bound = strong_dcl_bound(DelayDistribution([0, 1.0]))
+        assert bound.seconds is None
+        assert bound.symbol == 2
+
+
+class TestWeakBound:
+    def test_skips_minor_mass(self):
+        bound = weak_dcl_bound(dist([0.04, 0, 0, 0.96, 0]), beta0=0.06)
+        assert bound.symbol == 4
+
+    def test_counts_mass_at_beta0(self):
+        bound = weak_dcl_bound(dist([0.06, 0, 0, 0.94, 0]), beta0=0.06)
+        assert bound.symbol == 1
+
+    def test_invalid_beta0(self):
+        with pytest.raises(ValueError):
+            weak_dcl_bound(dist([1.0]), beta0=0.0)
+
+
+class TestComponents:
+    def test_single_component(self):
+        comps = pmf_components(np.array([0, 0.5, 0.5, 0]), 1e-6)
+        assert comps == [(1, 3, pytest.approx(1.0))]
+
+    def test_multiple_components(self):
+        comps = pmf_components(np.array([0.2, 0, 0, 0.3, 0.5]), 1e-6)
+        assert len(comps) == 2
+        assert comps[0][:2] == (0, 1)
+        assert comps[1][:2] == (3, 5)
+
+    def test_component_at_end(self):
+        comps = pmf_components(np.array([0, 0, 1.0]), 1e-6)
+        assert comps == [(2, 3, pytest.approx(1.0))]
+
+    def test_epsilon_separates(self):
+        pmf = np.array([0.5, 1e-4, 0.5])
+        assert len(pmf_components(pmf, 1e-3)) == 2
+        assert len(pmf_components(pmf, 1e-6)) == 1
+
+
+class TestComponentBound:
+    def test_paper_fig7_structure(self):
+        # Minor mass low, dominant connected component higher up: the
+        # bound anchors at the component's first significant bin.
+        pmf = np.zeros(40)
+        pmf[4] = 0.03                      # stray minor mass
+        pmf[30:36] = [0.2, 0.3, 0.2, 0.15, 0.1, 0.02]
+        bound = connected_component_bound(dist(pmf, queuing_range=0.4))
+        assert bound.symbol == 31
+        assert bound.seconds == pytest.approx(31 * 0.01)
+
+    def test_significance_threshold_skips_trace_mass(self):
+        pmf = np.zeros(10)
+        pmf[5] = 0.005                    # insignificant leading bin
+        pmf[6:8] = [0.5, 0.495]
+        bound = connected_component_bound(dist(pmf), mass_epsilon=1e-4,
+                                          significance=0.01)
+        assert bound.symbol == 7
+
+    def test_all_mass_significant_uses_component_start(self):
+        pmf = np.zeros(10)
+        pmf[3:5] = 0.5
+        bound = connected_component_bound(dist(pmf))
+        assert bound.symbol == 4
+
+    def test_no_components_raises(self):
+        distribution = dist([0.2] * 5)
+        with pytest.raises(ValueError):
+            connected_component_bound(distribution, mass_epsilon=0.5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        start=st.integers(min_value=0, max_value=30),
+        width=st.integers(min_value=1, max_value=8),
+        minor=st.floats(min_value=0.0, max_value=0.04),
+    )
+    def test_heaviest_component_always_wins(self, start, width, minor):
+        pmf = np.zeros(40)
+        stop = min(40, start + width)
+        pmf[start:stop] = (1.0 - minor) / (stop - start)
+        minor_bin = (start + 20) % 40
+        if not (start <= minor_bin < stop):
+            pmf[minor_bin] = minor
+        bound = connected_component_bound(dist(pmf, queuing_range=4.0),
+                                          significance=0.0)
+        assert start + 1 <= bound.symbol <= stop

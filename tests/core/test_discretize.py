@@ -1,0 +1,99 @@
+"""Tests for delay discretization."""
+
+import numpy as np
+import pytest
+
+from repro.core.discretize import DelayDiscretizer
+from repro.models.base import LOSS
+from repro.netsim.trace import PathObservation
+
+
+@pytest.fixture
+def disc():
+    # P = 10 ms, D_max = 60 ms, M = 5: bins of 10 ms queuing delay.
+    return DelayDiscretizer(n_symbols=5, propagation_delay=0.010,
+                            max_delay=0.060)
+
+
+class TestConstruction:
+    def test_bin_width(self, disc):
+        assert disc.bin_width == pytest.approx(0.010)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            DelayDiscretizer(5, propagation_delay=0.05, max_delay=0.05)
+
+    def test_invalid_symbol_count_rejected(self):
+        with pytest.raises(ValueError):
+            DelayDiscretizer(0, 0.0, 1.0)
+
+    def test_from_observation_uses_min_delay_when_p_unknown(self):
+        obs = PathObservation(np.arange(3.0),
+                              np.array([0.02, 0.05, np.nan]))
+        disc = DelayDiscretizer.from_observation(obs, 5)
+        assert disc.propagation_delay == pytest.approx(0.02)
+        assert disc.max_delay == pytest.approx(0.05)
+
+    def test_from_observation_prefers_known_p(self):
+        obs = PathObservation(np.arange(2.0), np.array([0.02, 0.05]),
+                              propagation_delay=0.015)
+        disc = DelayDiscretizer.from_observation(obs, 5)
+        assert disc.propagation_delay == pytest.approx(0.015)
+
+    def test_from_observation_explicit_override(self):
+        obs = PathObservation(np.arange(2.0), np.array([0.02, 0.05]),
+                              propagation_delay=0.015)
+        disc = DelayDiscretizer.from_observation(obs, 5,
+                                                 propagation_delay=0.01)
+        assert disc.propagation_delay == pytest.approx(0.01)
+
+
+class TestSymbolization:
+    def test_bin_edges_are_half_open_upper(self, disc):
+        # Queuing delay in ((m-1)w, mw] -> symbol m.
+        assert disc.symbol_of(0.010 + 0.010) == 1
+        assert disc.symbol_of(0.010 + 0.0101) == 2
+        assert disc.symbol_of(0.010 + 0.050) == 5
+
+    def test_zero_queuing_maps_to_symbol_one(self, disc):
+        assert disc.symbol_of(0.010) == 1
+
+    def test_clipping_below_and_above(self, disc):
+        assert disc.symbol_of(0.005) == 1      # below P
+        assert disc.symbol_of(0.500) == 5      # beyond D_max
+
+    def test_losses_map_to_loss_marker(self, disc):
+        symbols = disc.symbols_of([0.02, np.nan, 0.03])
+        assert symbols[1] == LOSS
+        assert symbols[0] != LOSS
+
+    def test_observation_sequence_roundtrip(self, disc):
+        obs = PathObservation(np.arange(4.0),
+                              np.array([0.015, np.nan, 0.035, 0.055]))
+        seq = disc.observation_sequence(obs)
+        np.testing.assert_array_equal(seq.symbols, [1, LOSS, 3, 5])
+        assert seq.n_symbols == 5
+
+
+class TestUnitConversion:
+    def test_upper_edge(self, disc):
+        assert disc.queuing_upper_edge(3) == pytest.approx(0.030)
+
+    def test_lower_edge(self, disc):
+        assert disc.queuing_lower_edge(3) == pytest.approx(0.020)
+
+    def test_midpoint(self, disc):
+        assert disc.queuing_midpoint(3) == pytest.approx(0.025)
+
+    def test_out_of_range_symbol_rejected(self, disc):
+        with pytest.raises(ValueError):
+            disc.queuing_upper_edge(0)
+        with pytest.raises(ValueError):
+            disc.queuing_upper_edge(6)
+
+    def test_symbolize_then_convert_bounds_delay(self, disc):
+        # The true queuing delay always lies within its symbol's bin.
+        for queuing in np.linspace(0.001, 0.049, 25):
+            symbol = disc.symbol_of(0.010 + queuing)
+            assert disc.queuing_lower_edge(symbol) <= queuing + 1e-12
+            assert queuing <= disc.queuing_upper_edge(symbol) + 1e-12

@@ -1,0 +1,124 @@
+"""Tests for DelayDistribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.discretize import DelayDiscretizer
+from repro.core.distributions import DelayDistribution
+
+
+class TestConstruction:
+    def test_normalises_on_entry(self):
+        dist = DelayDistribution([2.0, 2.0])
+        np.testing.assert_allclose(dist.pmf, [0.5, 0.5])
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ValueError):
+            DelayDistribution([0.5, -0.5])
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            DelayDistribution([0.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DelayDistribution([])
+
+    def test_discretizer_symbol_count_must_match(self):
+        disc = DelayDiscretizer(3, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            DelayDistribution([0.5, 0.5], discretizer=disc)
+
+    def test_from_samples(self):
+        dist = DelayDistribution.from_samples([1, 1, 2, 5], n_symbols=5)
+        np.testing.assert_allclose(dist.pmf, [0.5, 0.25, 0, 0, 0.25])
+
+    def test_from_samples_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DelayDistribution.from_samples([0, 1], n_symbols=5)
+        with pytest.raises(ValueError):
+            DelayDistribution.from_samples([], n_symbols=5)
+
+
+class TestQueries:
+    @pytest.fixture
+    def dist(self):
+        return DelayDistribution([0.0, 0.1, 0.0, 0.4, 0.5])
+
+    def test_cdf_monotone_to_one(self, dist):
+        cdf = dist.cdf()
+        assert cdf[-1] == pytest.approx(1.0)
+        assert (np.diff(cdf) >= 0).all()
+
+    def test_cdf_at_saturates(self, dist):
+        assert dist.cdf_at(0) == 0.0
+        assert dist.cdf_at(10) == 1.0
+        assert dist.cdf_at(2) == pytest.approx(0.1)
+
+    def test_pmf_at(self, dist):
+        assert dist.pmf_at(4) == pytest.approx(0.4)
+        assert dist.pmf_at(0) == 0.0
+        assert dist.pmf_at(99) == 0.0
+
+    def test_min_symbol_with_mass(self, dist):
+        assert dist.min_symbol_with_mass() == 2
+        assert dist.min_symbol_with_mass(threshold=0.3) == 4
+
+    def test_min_symbol_with_cdf(self, dist):
+        assert dist.min_symbol_with_cdf(0.06) == 2
+        assert dist.min_symbol_with_cdf(0.5) == 4
+        assert dist.min_symbol_with_cdf(1.0) == 5
+
+    def test_min_symbol_with_cdf_handles_exact_boundary(self):
+        dist = DelayDistribution([0.06, 0.94, 0, 0, 0])
+        assert dist.min_symbol_with_cdf(0.06) == 1
+
+    def test_mean_symbol(self):
+        dist = DelayDistribution([0.5, 0.0, 0.5])
+        assert dist.mean_symbol() == pytest.approx(2.0)
+
+    def test_total_variation(self):
+        a = DelayDistribution([1.0, 0.0])
+        b = DelayDistribution([0.0, 1.0])
+        assert a.total_variation(b) == pytest.approx(1.0)
+        assert a.total_variation(a) == 0.0
+
+    def test_total_variation_size_mismatch(self):
+        with pytest.raises(ValueError):
+            DelayDistribution([1.0]).total_variation(DelayDistribution([1, 1]))
+
+    def test_wasserstein_counts_distance_moved(self):
+        a = DelayDistribution([1.0, 0, 0, 0])
+        b = DelayDistribution([0, 0, 0, 1.0])
+        assert a.wasserstein(b) == pytest.approx(3.0)
+
+    def test_wasserstein_adjacent_bin_is_cheap(self):
+        a = DelayDistribution([0, 0, 1.0, 0])
+        b = DelayDistribution([0, 0, 0.5, 0.5])
+        assert a.total_variation(b) == pytest.approx(0.5)
+        assert a.wasserstein(b) == pytest.approx(0.5)
+        far = DelayDistribution([0.5, 0, 1.0 - 0.5, 0])
+        # Same TV, but W1 sees the far mass as twice as bad.
+        assert far.wasserstein(a) == pytest.approx(1.0)
+
+    def test_wasserstein_size_mismatch(self):
+        with pytest.raises(ValueError):
+            DelayDistribution([1.0]).wasserstein(DelayDistribution([1, 1]))
+
+    def test_quantile_symbol(self):
+        dist = DelayDistribution([0.25, 0.25, 0.25, 0.25])
+        assert dist.quantile_symbol(0.5) == 2
+        assert dist.quantile_symbol(1.0) == 4
+        with pytest.raises(ValueError):
+            dist.quantile_symbol(0.0)
+
+
+class TestUnits:
+    def test_seconds_upper_edge_requires_discretizer(self):
+        with pytest.raises(ValueError):
+            DelayDistribution([1.0]).seconds_upper_edge(1)
+
+    def test_seconds_upper_edge(self):
+        disc = DelayDiscretizer(4, 0.0, 0.4)
+        dist = DelayDistribution([0.25] * 4, discretizer=disc)
+        assert dist.seconds_upper_edge(2) == pytest.approx(0.2)

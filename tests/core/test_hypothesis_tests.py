@@ -1,0 +1,173 @@
+"""Tests for SDCL-Test and WDCL-Test (paper Theorems 1 and 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import DelayDistribution
+from repro.core.hypothesis import gdcl_test, sdcl_test, wdcl_test
+
+
+def dist(pmf):
+    return DelayDistribution(np.asarray(pmf, dtype=float))
+
+
+class TestSDCL:
+    def test_accepts_concentrated_distribution(self):
+        # The paper's strong case: all loss mass at the top symbol.
+        result = sdcl_test(dist([0, 0, 0, 0, 1.0]))
+        assert result.accepted
+        assert result.d_star == 5
+
+    def test_accepts_when_mass_within_doubling_window(self):
+        # d* = 3, everything within 2 d* = 6.
+        result = sdcl_test(dist([0, 0, 0.5, 0.3, 0.2]))
+        assert result.accepted
+
+    def test_rejects_spread_distribution(self):
+        # Mass at 2 and at 5: G(4) = 0.5 < 1.
+        result = sdcl_test(dist([0, 0.5, 0, 0, 0.5]))
+        assert not result.accepted
+        assert result.d_star == 2
+        assert result.cdf_at_2d_star == pytest.approx(0.5)
+
+    def test_paper_weak_example_rejected_by_strong_test(self):
+        # Fig. 6's situation: a small low-delay component breaks SDCL.
+        result = sdcl_test(dist([0, 0.03, 0, 0, 0.97]))
+        assert not result.accepted
+
+    def test_tolerance_ignores_negligible_mass(self):
+        result = sdcl_test(dist([1e-5, 0, 0, 0, 1.0]), tolerance=1e-3)
+        assert result.accepted
+        assert result.d_star == 5
+
+    def test_tight_tolerance_sees_small_mass(self):
+        result = sdcl_test(dist([1e-3, 0, 0, 0, 1.0]), tolerance=1e-5)
+        assert not result.accepted
+
+    def test_result_is_truthy_on_accept(self):
+        assert bool(sdcl_test(dist([0, 0, 1.0])))
+        assert not bool(sdcl_test(dist([0.5, 0, 0, 0, 0.5])))
+
+    def test_summary_mentions_verdict(self):
+        assert "ACCEPT" in sdcl_test(dist([0, 0, 1.0])).summary()
+
+
+class TestWDCL:
+    def test_accepts_paper_weak_case(self):
+        # 3% of losses at a minor link (symbol 2), 97% at the dominant
+        # (symbol 5): beta0 = 0.06 skips the minor mass, d* = 5.
+        result = wdcl_test(dist([0, 0.03, 0, 0, 0.97]), beta0=0.06, beta1=0.0)
+        assert result.accepted
+        assert result.d_star == 5
+
+    def test_rejects_with_tighter_beta0(self):
+        # Same distribution, beta0 = 0.02: minor mass now counts, d* = 2,
+        # G(4) = 0.03 < (1-0.02): reject — the paper's Section VI-A2.
+        result = wdcl_test(dist([0, 0.03, 0, 0, 0.97]), beta0=0.02, beta1=0.0)
+        assert not result.accepted
+
+    def test_rejects_no_dcl_case(self):
+        # Fig. 8: comparable mass at 2 and 5.
+        result = wdcl_test(dist([0, 0.5, 0, 0, 0.5]), beta0=0.06, beta1=0.0)
+        assert not result.accepted
+        assert result.d_star == 2
+
+    def test_beta1_relaxes_threshold(self):
+        spread = dist([0, 0.5, 0, 0.4, 0.1])
+        strict = wdcl_test(spread, beta0=0.06, beta1=0.0)
+        relaxed = wdcl_test(spread, beta0=0.45, beta1=0.4)
+        assert not strict.accepted
+        assert relaxed.accepted
+
+    def test_threshold_formula(self):
+        result = wdcl_test(dist([0, 0, 1.0]), beta0=0.1, beta1=0.2)
+        assert result.threshold == pytest.approx(0.9 * 0.8)
+
+    def test_beta_zero_matches_sdcl(self):
+        for pmf in ([0, 0, 0, 0, 1.0], [0, 0.5, 0, 0, 0.5], [0.2] * 5):
+            strong = sdcl_test(dist(pmf))
+            weak = wdcl_test(dist(pmf), beta0=0.0, beta1=0.0)
+            assert strong.accepted == weak.accepted
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            wdcl_test(dist([1.0]), beta0=0.5, beta1=0.0)
+        with pytest.raises(ValueError):
+            wdcl_test(dist([1.0]), beta0=0.0, beta1=-0.1)
+
+    def test_records_parameters(self):
+        result = wdcl_test(dist([0, 0, 1.0]), beta0=0.06, beta1=0.01)
+        assert result.beta0 == 0.06
+        assert result.beta1 == 0.01
+        assert "beta0=0.06" in result.summary()
+
+
+class TestGeneralizedTest:
+    def test_lambda_one_matches_wdcl(self):
+        for pmf in ([0, 0.03, 0, 0, 0.97], [0, 0.5, 0, 0, 0.5], [0.2] * 5):
+            weak = wdcl_test(dist(pmf), beta0=0.06, beta1=0.0)
+            general = gdcl_test(dist(pmf), beta0=0.06, beta1=0.0,
+                                delay_factor=1.0)
+            assert weak.accepted == general.accepted
+            assert weak.d_star == general.d_star
+
+    def test_small_lambda_relaxes_the_window(self):
+        # Mass at 2 and 5: rejected at lambda=1 (window 4) but accepted
+        # at lambda=1/2 (window ceil(3 * 2) = 6 covers everything).
+        spread = dist([0, 0.5, 0, 0, 0.5])
+        assert not gdcl_test(spread, 0.06, 0.0, delay_factor=1.0).accepted
+        assert gdcl_test(spread, 0.06, 0.0, delay_factor=0.5).accepted
+
+    def test_large_lambda_tightens_the_window(self):
+        # Mass at 3 and 6 of 8: accepted at lambda=1 (window 6) but
+        # rejected at lambda=2 (window ceil(4.5) = 5 misses symbol 6).
+        pmf = [0, 0, 0.6, 0, 0, 0.4, 0, 0]
+        assert gdcl_test(dist(pmf), 0.06, 0.0, delay_factor=1.0).accepted
+        assert not gdcl_test(dist(pmf), 0.06, 0.0, delay_factor=2.0).accepted
+
+    def test_invalid_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            gdcl_test(dist([1.0]), 0.06, 0.0, delay_factor=0)
+
+    def test_name_records_lambda(self):
+        result = gdcl_test(dist([0, 0, 1.0]), 0.06, 0.0, delay_factor=2.0)
+        assert "lambda=2" in result.test_name
+
+
+class TestTheoremProperties:
+    """Soundness: if a true (strong/weak) DCL generated G, the test accepts."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        d_star=st.integers(min_value=1, max_value=5),
+        spread=st.floats(min_value=0.0, max_value=1.0),
+        n_symbols=st.integers(min_value=5, max_value=12),
+    )
+    def test_strong_dcl_always_accepted(self, d_star, spread, n_symbols):
+        # A strong DCL puts all loss mass in [d*, min(2 d*, M)].
+        d_star = min(d_star, n_symbols)
+        top = min(2 * d_star, n_symbols)
+        pmf = np.zeros(n_symbols)
+        pmf[d_star - 1] = 1.0 - spread
+        pmf[top - 1] += spread
+        result = sdcl_test(DelayDistribution(pmf))
+        assert result.accepted
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        beta0=st.floats(min_value=0.01, max_value=0.3),
+        minor=st.floats(min_value=0.0, max_value=0.9),
+        q_sym=st.integers(min_value=2, max_value=6),
+    )
+    def test_weak_dcl_always_accepted(self, beta0, minor, q_sym):
+        # Mass below the dominant symbol at most beta0 (strictly), the
+        # rest within [q_sym, 2 q_sym]; Theorem 2 accepts.
+        n_symbols = 12
+        minor_mass = minor * beta0 * 0.99
+        pmf = np.zeros(n_symbols)
+        pmf[0] = minor_mass
+        pmf[q_sym - 1] = 1.0 - minor_mass
+        result = wdcl_test(DelayDistribution(pmf), beta0=beta0, beta1=0.0)
+        assert result.accepted

@@ -1,0 +1,135 @@
+"""Tests for the end-to-end identification pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import (
+    IdentificationReport,
+    IdentifyConfig,
+    estimate_bound,
+    identify,
+)
+from repro.models.base import EMConfig
+from repro.netsim.trace import PathObservation, ProbeRecord, ProbeTrace
+
+
+def strong_observation(n=2000, q_k=0.1, base=0.02, seed=0):
+    """Synthetic path: single dominant queue; losses only at its top."""
+    rng = np.random.default_rng(seed)
+    send = np.arange(n) * 0.02
+    delays = np.empty(n)
+    queue = 0.0
+    for i in range(n):
+        queue = min(q_k, max(0.0, queue + rng.uniform(-0.012, 0.015)))
+        if queue >= q_k - 1e-12 and rng.random() < 0.7:
+            delays[i] = np.nan
+        else:
+            delays[i] = base + queue
+    return PathObservation(send, delays)
+
+
+def two_population_observation(n=3000, seed=0):
+    """Two independently congested queues: no dominant link."""
+    rng = np.random.default_rng(seed)
+    send = np.arange(n) * 0.02
+    delays = np.empty(n)
+    q_small, q_big = 0.04, 0.3
+    queue_a = queue_b = 0.0
+    for i in range(n):
+        # Alternating congestion episodes.
+        phase = (i // 300) % 2
+        if phase == 0:
+            queue_a = min(q_small, queue_a + rng.uniform(-0.004, 0.006))
+            queue_b = max(0.0, queue_b - 0.01)
+        else:
+            queue_b = min(q_big, queue_b + rng.uniform(-0.02, 0.03))
+            queue_a = max(0.0, queue_a - 0.004)
+        queue_a = max(0.0, queue_a)
+        queue_b = max(0.0, queue_b)
+        lost_a = queue_a >= q_small - 1e-12 and rng.random() < 0.5
+        lost_b = queue_b >= q_big - 1e-12 and rng.random() < 0.5
+        if lost_a or lost_b:
+            delays[i] = np.nan
+        else:
+            delays[i] = 0.02 + queue_a + queue_b
+    return PathObservation(send, delays)
+
+
+@pytest.fixture
+def fast_config():
+    return IdentifyConfig(em=EMConfig(max_iter=50, tol=1e-3))
+
+
+class TestIdentify:
+    def test_strong_case_accepted(self, fast_config):
+        report = identify(strong_observation(), fast_config)
+        assert report.verdict == "strong"
+        assert report.sdcl.accepted
+        assert report.wdcl.accepted
+        assert report.dominant_link_exists
+
+    def test_no_dcl_case_rejected(self, fast_config):
+        report = identify(two_population_observation(), fast_config)
+        assert not report.wdcl.accepted
+        assert report.verdict == "none"
+
+    def test_accepts_probe_trace_input(self, fast_config):
+        trace = ProbeTrace(["l0"], 0.02, 0.02, 10)
+        rng = np.random.default_rng(3)
+        queue = 0.0
+        for i in range(1500):
+            queue = min(0.1, max(0.0, queue + rng.uniform(-0.012, 0.015)))
+            lost = queue >= 0.1 - 1e-12 and rng.random() < 0.7
+            trace.append(ProbeRecord(i * 0.02, (queue,), 0 if lost else -1))
+        report = identify(trace, fast_config)
+        assert isinstance(report, IdentificationReport)
+        assert report.verdict == "strong"
+
+    def test_rejects_unknown_input_type(self, fast_config):
+        with pytest.raises(TypeError):
+            identify([1, 2, 3], fast_config)
+
+    def test_hmm_model_selectable(self):
+        config = IdentifyConfig(model="hmm", em=EMConfig(max_iter=30))
+        report = identify(strong_observation(), config)
+        assert "HMM" in report.distribution.label
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError):
+            IdentifyConfig(model="lstm")
+
+    def test_summary_contains_tests_and_verdict(self, fast_config):
+        report = identify(strong_observation(), fast_config)
+        text = report.summary()
+        assert "SDCL-Test" in text
+        assert "WDCL-Test" in text
+        assert "verdict" in text
+
+    def test_report_exposes_fit_diagnostics(self, fast_config):
+        report = identify(strong_observation(), fast_config)
+        assert report.fitted.n_iter >= 1
+        assert len(report.fitted.log_likelihoods) >= 1
+
+
+class TestEstimateBound:
+    def test_strong_bound_dominates_true_qk(self, fast_config):
+        observation = strong_observation(q_k=0.1)
+        bound = estimate_bound(observation, "strong", fast_config,
+                               n_symbols=20)
+        assert bound.seconds is not None
+        assert bound.seconds >= 0.1 - 0.01
+        # And it is reasonably tight: within two fine bins.
+        assert bound.seconds <= 0.1 + 0.03
+
+    def test_weak_bound_methods(self, fast_config):
+        observation = strong_observation(q_k=0.1, seed=2)
+        component = estimate_bound(observation, "weak", fast_config,
+                                   n_symbols=20, use_component_heuristic=True)
+        quantile = estimate_bound(observation, "weak", fast_config,
+                                  n_symbols=20, use_component_heuristic=False)
+        assert component.method == "connected-component"
+        assert quantile.method == "weak"
+
+    def test_no_dcl_rejected(self, fast_config):
+        with pytest.raises(ValueError):
+            estimate_bound(strong_observation(), "none", fast_config)

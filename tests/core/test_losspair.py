@@ -1,0 +1,76 @@
+"""Tests for the loss-pair baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.discretize import DelayDiscretizer
+from repro.core.losspair import losspair_distribution, losspair_max_queuing_delay
+from repro.netsim.trace import LossPairTrace, ProbeRecord
+
+
+def make_trace(companion_queuings, base_delay=0.01):
+    """Pairs where the first probe is lost and the second survives with
+    the given queuing delay."""
+    trace = LossPairTrace(base_delay, 0.04, 10)
+    for queuing in companion_queuings:
+        lost = ProbeRecord(0.0, (queuing,), loss_hop=0)
+        survivor = ProbeRecord(0.0, (queuing,), loss_hop=-1)
+        trace.append(lost, survivor)
+    return trace
+
+
+class TestDistribution:
+    def test_symbolizes_companion_delays(self):
+        trace = make_trace([0.05, 0.05, 0.15])
+        disc = DelayDiscretizer(4, propagation_delay=0.01, max_delay=0.21)
+        dist = losspair_distribution(trace, disc)
+        np.testing.assert_allclose(dist.pmf, [2 / 3, 0, 1 / 3, 0])
+        assert dist.label == "loss-pair"
+
+    def test_no_pairs_raises(self):
+        trace = LossPairTrace(0.01, 0.04, 10)
+        disc = DelayDiscretizer(4, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            losspair_distribution(trace, disc)
+
+    def test_pairs_with_both_outcomes_identical_are_skipped(self):
+        trace = LossPairTrace(0.01, 0.04, 10)
+        both_lost = ProbeRecord(0.0, (0.1,), 0)
+        trace.append(both_lost, both_lost)
+        disc = DelayDiscretizer(4, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            losspair_distribution(trace, disc)
+
+
+class TestMaxQueuingEstimate:
+    def test_mode_recovers_concentrated_qk(self):
+        # Companions saw an (almost) full queue: Q_k ~ 100 ms.
+        rng = np.random.default_rng(0)
+        queuings = 0.1 - rng.uniform(0, 0.004, size=100)
+        estimate = losspair_max_queuing_delay(make_trace(queuings),
+                                              bin_width=0.002)
+        assert estimate == pytest.approx(0.1, abs=0.004)
+
+    def test_mode_ignores_sparse_outliers(self):
+        queuings = [0.1] * 50 + [0.35, 0.4]
+        estimate = losspair_max_queuing_delay(make_trace(queuings),
+                                              bin_width=0.002)
+        assert estimate == pytest.approx(0.1, abs=0.004)
+
+    def test_contaminated_companions_overestimate(self):
+        # The paper's Table III point: cross traffic elsewhere inflates
+        # companion delays, so the loss-pair estimate overshoots Q_k.
+        q_k = 0.1
+        rng = np.random.default_rng(1)
+        queuings = q_k + rng.uniform(0.03, 0.05, size=100)
+        estimate = losspair_max_queuing_delay(make_trace(queuings),
+                                              bin_width=0.002)
+        assert estimate > q_k + 0.02
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            losspair_max_queuing_delay(make_trace([0.1, 0.1]))
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            losspair_max_queuing_delay(make_trace([0.1] * 5), bin_width=0)

@@ -1,0 +1,139 @@
+"""Tests for dominant-link pinpointing (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import IdentifyConfig
+from repro.core.pinpoint import pinpoint_dominant_link
+from repro.models.base import EMConfig
+from repro.netsim.trace import ProbeRecord, ProbeTrace
+
+
+def chain_trace(loss_hop_shares, n=3000, q_values=(0.02, 0.05, 0.1), seed=0,
+                window=150, episode=40):
+    """Synthetic 3-hop trace; losses land on hops per ``loss_hop_shares``.
+
+    Congestion arrives in persistent *episodes* (the temporal correlation
+    the model-based method feeds on): every ``window`` probes one hop —
+    chosen by ``loss_hop_shares`` — ramps its queue to full, loses probes
+    while full, then drains.  Lost probes see the full queue
+    (``q_values[hop]``) at their loss hop plus small ambient queuing
+    elsewhere, matching droptail semantics.
+    """
+    rng = np.random.default_rng(seed)
+    names = [f"l{i}" for i in range(3)]
+    trace = ProbeTrace(names, base_delay=0.03, probe_interval=0.02,
+                       probe_size=10)
+    shares = np.asarray(loss_hop_shares, dtype=float)
+    shares = shares / shares.sum()
+    queues = np.zeros(3)
+    active_hop = -1
+    for i in range(n):
+        phase = i % window
+        if phase == 0:
+            active_hop = int(rng.choice(3, p=shares))
+        ambient_drift = rng.uniform(-0.0015, 0.0015, size=3)
+        queues = np.clip(queues + ambient_drift, 0.0, 0.004)
+        loss_hop = -1
+        if phase < episode:
+            cap = q_values[active_hop]
+            # Ramp up over the first half of the episode, hold full, drain.
+            if phase < episode * 0.4:
+                queues[active_hop] = cap * phase / (episode * 0.4)
+            elif phase < episode * 0.8:
+                queues[active_hop] = cap
+                if rng.random() < 0.7:
+                    loss_hop = active_hop
+            else:
+                queues[active_hop] = cap * (episode - phase) / (episode * 0.2)
+        trace.append(ProbeRecord(i * 0.02, queues.copy(), loss_hop))
+    return trace
+
+
+@pytest.fixture
+def fast_config():
+    return IdentifyConfig(em=EMConfig(max_iter=30, tol=1e-3))
+
+
+class TestPinpoint:
+    def test_locates_single_loss_hop(self, fast_config):
+        trace = chain_trace([0, 0, 1.0])
+        report = pinpoint_dominant_link(trace, fast_config)
+        assert report.located
+        assert report.located_link == "l2"
+        assert report.hop_index == 2
+        assert report.loss_share == pytest.approx(1.0)
+
+    def test_locates_dominant_hop_with_minor_losses(self, fast_config):
+        trace = chain_trace([0.04, 0, 0.96], seed=1)
+        report = pinpoint_dominant_link(trace, fast_config)
+        assert report.located
+        assert report.located_link == "l2"
+        assert report.loss_share > 0.9
+
+    def test_no_location_when_losses_split(self, fast_config):
+        trace = chain_trace([0.5, 0, 0.5], seed=2)
+        report = pinpoint_dominant_link(trace, fast_config, confirm=False)
+        assert not report.located
+        assert report.located_link is None
+        # Episode assignment is random, so the split is only roughly even.
+        assert 0.3 < report.loss_share < 0.75
+
+    def test_prefix_profile_is_cumulative(self, fast_config):
+        trace = chain_trace([0.2, 0.3, 0.5], seed=3)
+        report = pinpoint_dominant_link(trace, fast_config, confirm=False,
+                                        min_share=0.45)
+        rates = [diag.loss_rate for diag in report.prefixes]
+        assert rates == sorted(rates)
+        assert rates[-1] == pytest.approx(trace.loss_rate)
+
+    def test_confirmation_runs_identification_on_prefix(self, fast_config):
+        trace = chain_trace([0, 0, 1.0], seed=4)
+        report = pinpoint_dominant_link(trace, fast_config, confirm=True)
+        assert report.confirmation is not None
+        assert report.confirmation.dominant_link_exists
+
+    def test_no_losses_raises(self, fast_config):
+        trace = ProbeTrace(["l0"], 0.01, 0.02, 10)
+        trace.append(ProbeRecord(0.0, (0.001,), -1))
+        with pytest.raises(ValueError):
+            pinpoint_dominant_link(trace, fast_config)
+
+    def test_summary_mentions_location(self, fast_config):
+        trace = chain_trace([0, 0, 1.0], seed=5)
+        report = pinpoint_dominant_link(trace, fast_config, confirm=False)
+        assert "l2" in report.summary()
+
+
+class TestPrefixObservation:
+    def test_prefix_loss_semantics(self):
+        trace = chain_trace([0, 0, 1.0], n=500)
+        # Losses are at hop 2: prefixes of 1-2 hops see no loss.
+        assert trace.prefix_observation(1).loss_rate == 0.0
+        assert trace.prefix_observation(2).loss_rate == 0.0
+        assert trace.prefix_observation(3).loss_rate == pytest.approx(
+            trace.loss_rate
+        )
+
+    def test_prefix_delay_excludes_downstream_queuing(self):
+        trace = chain_trace([0, 0, 1.0], n=200)
+        full = trace.observation()
+        prefix = trace.prefix_observation(2)
+        observed = ~np.isnan(full.delays)
+        assert (prefix.delays[observed] <= full.delays[observed] + 1e-12).all()
+
+    def test_invalid_prefix_rejected(self):
+        trace = chain_trace([0, 0, 1.0], n=50)
+        with pytest.raises(ValueError):
+            trace.prefix_observation(0)
+        with pytest.raises(ValueError):
+            trace.prefix_observation(4)
+
+    def test_per_hop_base_override(self):
+        trace = chain_trace([0, 0, 1.0], n=50)
+        prefix = trace.prefix_observation(2, per_hop_base=[0.01, 0.005, 0.015])
+        observed = prefix.delays[~np.isnan(prefix.delays)]
+        # Base is 15 ms; ambient queuing adds < 10 ms.
+        assert observed.min() >= 0.015
+        with pytest.raises(ValueError):
+            trace.prefix_observation(2, per_hop_base=[0.01])

@@ -1,0 +1,86 @@
+"""Tests for the virtual-delay distribution estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.discretize import DelayDiscretizer
+from repro.core.virtual_delay import (
+    ground_truth_distribution,
+    hmm_distribution,
+    mmhd_distribution,
+    observed_delay_distribution,
+)
+from repro.models.base import EMConfig
+from repro.netsim.trace import ProbeRecord, ProbeTrace
+
+
+def synthetic_trace(n=400, q_dominant=0.08, base=0.01, seed=0):
+    """Queue ramps 0 -> full; probes at the top are lost."""
+    rng = np.random.default_rng(seed)
+    trace = ProbeTrace(["l0"], base, 0.02, 10)
+    queue = 0.0
+    for i in range(n):
+        queue = min(q_dominant, max(0.0, queue + rng.uniform(-0.01, 0.012)))
+        lost = queue >= q_dominant - 1e-12 and rng.random() < 0.7
+        trace.append(ProbeRecord(i * 0.02, (queue,), 0 if lost else -1))
+    return trace
+
+
+class TestGroundTruth:
+    def test_lost_probe_delays_only(self):
+        trace = synthetic_trace()
+        disc = DelayDiscretizer.from_observation(trace.observation(), 5)
+        dist = ground_truth_distribution(trace, disc)
+        # All losses occur at the full queue: top symbol.
+        assert dist.pmf[-1] > 0.95
+
+    def test_raises_without_losses(self):
+        trace = ProbeTrace(["l0"], 0.01, 0.02, 10)
+        trace.append(ProbeRecord(0.0, (0.01,), -1))
+        trace.append(ProbeRecord(0.02, (0.02,), -1))
+        disc = DelayDiscretizer.from_observation(trace.observation(), 5)
+        with pytest.raises(ValueError):
+            ground_truth_distribution(trace, disc)
+
+    def test_observed_distribution_spreads(self):
+        # Fig. 5's contrast: observed delays cover low symbols too.
+        trace = synthetic_trace()
+        disc = DelayDiscretizer.from_observation(trace.observation(), 5)
+        observed = observed_delay_distribution(trace, disc)
+        virtual = ground_truth_distribution(trace, disc)
+        # The observed distribution has mass below the top symbol; the
+        # virtual (lost-probe) distribution concentrates at the top.
+        assert observed.pmf[:4].sum() > 0.2
+        assert observed.pmf[:3].sum() > virtual.pmf[:3].sum()
+        assert virtual.pmf[:3].sum() < 0.05
+
+
+class TestModelEstimators:
+    @pytest.fixture
+    def trace(self):
+        return synthetic_trace(n=1500, seed=1)
+
+    def test_mmhd_matches_ground_truth(self, trace):
+        disc = DelayDiscretizer.from_observation(trace.observation(), 5)
+        dist, fitted = mmhd_distribution(
+            trace.observation(), disc, n_hidden=1,
+            config=EMConfig(max_iter=60),
+        )
+        truth = ground_truth_distribution(trace, disc)
+        assert dist.total_variation(truth) < 0.1
+        assert fitted.virtual_delay_pmf.sum() == pytest.approx(1.0)
+
+    def test_hmm_estimator_runs(self, trace):
+        disc = DelayDiscretizer.from_observation(trace.observation(), 5)
+        dist, fitted = hmm_distribution(
+            trace.observation(), disc, n_hidden=2,
+            config=EMConfig(max_iter=40),
+        )
+        assert dist.pmf.sum() == pytest.approx(1.0)
+        assert "HMM" in dist.label
+
+    def test_labels_identify_estimators(self, trace):
+        disc = DelayDiscretizer.from_observation(trace.observation(), 5)
+        dist, _ = mmhd_distribution(trace.observation(), disc, n_hidden=2,
+                                    config=EMConfig(max_iter=10))
+        assert dist.label == "MMHD N=2"

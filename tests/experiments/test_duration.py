@@ -1,0 +1,98 @@
+"""Tests for duration sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import IdentifyConfig
+from repro.experiments.duration import (
+    DurationSweep,
+    consistency_vs_duration,
+    correctness_vs_duration,
+)
+from repro.models.base import EMConfig
+from repro.netsim.trace import ProbeRecord, ProbeTrace
+
+
+def synthetic_strong_trace(n=6000, q_k=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    trace = ProbeTrace(["l0"], 0.02, 0.02, 10)
+    queue = 0.0
+    for i in range(n):
+        queue = min(q_k, max(0.0, queue + rng.uniform(-0.012, 0.015)))
+        lost = queue >= q_k - 1e-12 and rng.random() < 0.7
+        trace.append(ProbeRecord(i * 0.02, (queue,), 0 if lost else -1))
+    return trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthetic_strong_trace()
+
+
+@pytest.fixture
+def fast_config():
+    return IdentifyConfig(em=EMConfig(max_iter=30, tol=1e-3))
+
+
+class TestDurationSweep:
+    def test_knee_finds_first_level_crossing(self):
+        sweep = DurationSweep([10, 20, 40], [0.5, 0.95, 1.0], n_reps=10)
+        assert sweep.knee(0.9) == 20
+
+    def test_knee_none_when_never_reached(self):
+        sweep = DurationSweep([10, 20], [0.5, 0.6], n_reps=10)
+        assert sweep.knee(0.9) is None
+
+    def test_rows_render(self):
+        sweep = DurationSweep([10.0], [0.5], n_reps=10)
+        assert "10.0" in sweep.rows()[0]
+
+
+class TestCorrectness:
+    def test_long_segments_identify_correctly(self, trace, fast_config):
+        sweep = correctness_vs_duration(
+            trace, expected_dcl=True, durations=[60.0], n_reps=5,
+            config=fast_config, seed=1,
+        )
+        assert sweep.ratios[0] >= 0.8
+
+    def test_ratio_improves_with_duration(self, trace, fast_config):
+        sweep = correctness_vs_duration(
+            trace, expected_dcl=True, durations=[4.0, 60.0], n_reps=6,
+            config=fast_config, seed=2,
+        )
+        assert sweep.ratios[1] >= sweep.ratios[0]
+
+    def test_segments_without_losses_count_as_failures(self, fast_config):
+        # A nearly loss-free trace: tiny segments often contain no loss
+        # and cannot be identified.
+        trace = synthetic_strong_trace(n=4000, seed=3)
+        # Remove most losses to make empty segments likely.
+        for record in trace.records:
+            if record.loss_hop >= 0 and record.send_time % 1.0 > 0.05:
+                record.loss_hop = -1
+        sweep = correctness_vs_duration(
+            trace, expected_dcl=True, durations=[1.0], n_reps=8,
+            config=fast_config, seed=3,
+        )
+        assert sweep.ratios[0] < 1.0
+
+
+class TestConsistency:
+    def test_known_and_unknown_p_agree_on_long_segments(self, trace,
+                                                        fast_config):
+        observation = trace.observation()
+        common = dict(
+            reference_accepts_dcl=True,
+            durations=[60.0],
+            probe_interval=0.02,
+            n_reps=4,
+            config=fast_config,
+            seed=4,
+        )
+        unknown = consistency_vs_duration(observation, **common)
+        known = consistency_vs_duration(observation,
+                                        known_propagation=0.02, **common)
+        assert unknown.ratios[0] == known.ratios[0]
+        assert unknown.label == "unknown P"
+        assert known.label == "known P"

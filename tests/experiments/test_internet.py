@@ -1,0 +1,102 @@
+"""Tests for the synthetic Internet experiments."""
+
+import pytest
+
+from repro.experiments.internet import (
+    ADSL_SENDERS,
+    adsl_path_scenario,
+    ethernet_path_scenario,
+    run_internet_experiment,
+    wireless_path_scenario,
+)
+from repro.netsim.wireless import GilbertElliottLink
+
+
+class TestScenarioStructure:
+    def test_ethernet_path_has_eleven_hops(self):
+        built = ethernet_path_scenario().build(seed=0)
+        assert len(built.chain_link_names) == 11
+        assert built.dcl_link == "r6->r7"
+
+    def test_adsl_hop_counts_match_paper(self):
+        assert len(adsl_path_scenario("ufpr").build(0).chain_link_names) == 15
+        assert len(adsl_path_scenario("usevilla").build(0).chain_link_names) == 11
+        assert len(adsl_path_scenario("snu").build(0).chain_link_names) == 20
+
+    def test_snu_expects_rejection(self):
+        assert adsl_path_scenario("snu").expected_verdict == "none"
+
+    def test_accept_cases_name_the_adsl_tail(self):
+        built = adsl_path_scenario("ufpr").build(0)
+        assert built.dcl_link == "r14->r15"
+
+    def test_unknown_sender_rejected(self):
+        with pytest.raises(ValueError):
+            adsl_path_scenario("mit")
+
+    def test_all_senders_enumerated(self):
+        assert set(ADSL_SENDERS) == {"ufpr", "usevilla", "snu"}
+
+    def test_adsl_tail_is_slow_link(self):
+        built = adsl_path_scenario("ufpr").build(0)
+        tail = built.network.links[("r14", "r15")]
+        assert tail.bandwidth_bps == pytest.approx(1.5e6)
+
+
+class TestWirelessScenario:
+    def test_wireless_hop_is_gilbert_elliott(self):
+        built = wireless_path_scenario(n_hops=6).build(seed=0)
+        link = built.network.links[("r5", "r6")]
+        assert isinstance(link, GilbertElliottLink)
+
+    def test_ground_truth_vs_expected_identification(self):
+        scenario = wireless_path_scenario()
+        # Truth: no DCL; the method's documented answer: a false accept.
+        assert scenario.expected_verdict == "none"
+        assert scenario.expected_identification == "weak"
+
+    def test_custom_hop_position(self):
+        built = wireless_path_scenario(n_hops=6, wireless_hop=2).build(seed=1)
+        assert isinstance(built.network.links[("r2", "r3")],
+                          GilbertElliottLink)
+        assert not isinstance(built.network.links[("r4", "r5")],
+                              GilbertElliottLink)
+
+    def test_probes_lose_without_queueing(self):
+        built = wireless_path_scenario(n_hops=5, loss_bad=0.5).build(seed=2)
+        from repro.netsim.probes import PeriodicProber
+
+        prober = PeriodicProber(built.network, built.probe_src,
+                                built.probe_dst, start=2.0, stop=40.0)
+        built.network.run(until=42.0)
+        trace = prober.trace
+        assert trace.loss_rate > 0.01
+        # Losses carry only ambient queuing — no full-queue signature.
+        lost_vq = trace.virtual_queuing_delays[trace.lost]
+        assert lost_vq.max() < 0.05
+
+
+class TestInternetRun:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_internet_experiment(
+            ethernet_path_scenario(), seed=1, duration=60.0, warmup=10.0,
+            clock_offset=0.2, clock_skew=4e-5,
+        )
+
+    def test_distortion_applied(self, run):
+        # Distorted delays drift upward relative to raw ones.
+        drift = run.distorted.delays - run.raw.delays
+        observed = ~run.raw.lost
+        assert drift[observed][-1] > drift[observed][0]
+
+    def test_skew_recovered(self, run):
+        assert run.skew_error() < 5e-6
+
+    def test_repaired_preserves_losses(self, run):
+        assert (run.repaired.lost == run.raw.lost).all()
+
+    def test_losses_only_at_congested_hop(self, run):
+        shares = run.trace.loss_share_by_hop()
+        dominant = run.trace.link_names.index("r6->r7")
+        assert shares[dominant] > 0.95

@@ -1,0 +1,49 @@
+"""Tests for report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import (
+    format_cdf_line,
+    format_pmf_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert lines[1].startswith("---")
+        assert "long-name" in lines[3]
+
+    def test_title_included(self):
+        text = format_table(["x"], [[1]], title="Table II")
+        assert text.splitlines()[0] == "Table II"
+
+    def test_wide_cells_extend_columns(self):
+        text = format_table(["h"], [["wide-content"]])
+        header = text.splitlines()[0]
+        assert len(header) >= len("wide-content")
+
+
+class TestPmfSeries:
+    def test_rows_per_symbol(self):
+        text = format_pmf_series(
+            [np.array([0.5, 0.5]), np.array([1.0, 0.0])],
+            labels=["ns", "MMHD"],
+        )
+        lines = text.splitlines()
+        assert "ns" in lines[0] and "MMHD" in lines[0]
+        assert len(lines) == 2 + 2  # header + rule + 2 symbols
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_pmf_series([], labels=[])
+
+
+class TestCdfLine:
+    def test_values_are_cumulative(self):
+        line = format_cdf_line(np.array([0.25, 0.25, 0.5]), label="G")
+        assert line == "G: 1:0.25 2:0.50 3:1.00"

@@ -1,0 +1,52 @@
+"""Tests for the scenario runner."""
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import strong_dcl_scenario
+
+
+class TestRunScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # One short shared run keeps this module fast.
+        return run_scenario(strong_dcl_scenario(1.0), seed=2, duration=40.0,
+                            warmup=10.0, with_loss_pairs=True)
+
+    def test_probe_count_matches_duration(self, result):
+        assert len(result.trace) == pytest.approx(2000, abs=5)
+
+    def test_probing_starts_after_warmup(self, result):
+        assert result.trace.send_times[0] >= 10.0
+
+    def test_losses_present_and_located(self, result):
+        assert result.loss_rate > 0.01
+        assert result.loss_share_of_dcl() > 0.95
+
+    def test_loss_pair_trace_collected(self, result):
+        assert result.losspair_trace is not None
+        assert len(result.losspair_trace) == pytest.approx(1000, abs=5)
+
+    def test_ground_truth_available(self, result):
+        assert result.built.dominant_max_queuing_delay() == pytest.approx(0.16)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario(strong_dcl_scenario(1.0), duration=0)
+
+    def test_invalid_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario(strong_dcl_scenario(1.0), duration=10, warmup=-1)
+
+    def test_loss_pairs_disabled_by_default(self):
+        result = run_scenario(strong_dcl_scenario(1.0), seed=3, duration=5.0,
+                              warmup=2.0)
+        assert result.losspair_trace is None
+
+    def test_runs_reproducible(self):
+        a = run_scenario(strong_dcl_scenario(1.0), seed=4, duration=10.0,
+                         warmup=2.0)
+        b = run_scenario(strong_dcl_scenario(1.0), seed=4, duration=10.0,
+                         warmup=2.0)
+        assert a.trace.loss_rate == b.trace.loss_rate
+        assert (a.trace.lost == b.trace.lost).all()

@@ -1,0 +1,132 @@
+"""Tests for scenario builders (structure; behaviour is in integration)."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    NO_DCL_BANDWIDTH_PAIRS,
+    STRONG_DCL_BANDWIDTHS,
+    WEAK_DCL_BANDWIDTH_PAIRS,
+    no_dcl_scenario,
+    red_no_dcl_scenario,
+    red_strong_scenario,
+    strong_dcl_scenario,
+    weak_dcl_scenario,
+)
+from repro.netsim.queues import AdaptiveREDQueue, DropTailQueue
+
+
+class TestStrongScenario:
+    def test_build_produces_ground_truth(self):
+        built = strong_dcl_scenario(1.0).build(seed=0)
+        assert built.expected_verdict == "strong"
+        assert built.dcl_link == "r2->r3"
+        assert built.dominant_max_queuing_delay() == pytest.approx(0.16)
+
+    def test_bottleneck_bandwidth_applied(self):
+        built = strong_dcl_scenario(0.4).build(seed=0)
+        link = built.network.links[("r2", "r3")]
+        assert link.bandwidth_bps == pytest.approx(0.4e6)
+
+    def test_all_table2_bandwidths_build(self):
+        for bandwidth in STRONG_DCL_BANDWIDTHS:
+            built = strong_dcl_scenario(bandwidth).build(seed=0)
+            assert built.probe_src in built.network.nodes
+
+    def test_dominant_q_exceeds_other_queues(self):
+        # Definition 1's delay condition must be satisfiable.
+        built = strong_dcl_scenario(1.0).build(seed=0)
+        q = built.max_queuing_delays
+        others = sum(v for k, v in q.items() if k != built.dcl_link)
+        assert q[built.dcl_link] >= others
+
+
+class TestWeakScenario:
+    def test_dominant_is_slower_link(self):
+        with pytest.raises(ValueError):
+            weak_dcl_scenario((0.2, 0.7))
+
+    def test_all_table3_pairs_build(self):
+        for pair in WEAK_DCL_BANDWIDTH_PAIRS:
+            built = weak_dcl_scenario(pair).build(seed=0)
+            assert built.expected_verdict == "weak"
+            assert built.dcl_link == "r2->r3"
+
+    def test_buffers_match_paper(self):
+        built = weak_dcl_scenario().build(seed=0)
+        net = built.network
+        assert net.links[("r0", "r1")].queue.capacity_bytes == 76_800
+        assert net.links[("r1", "r2")].queue.capacity_bytes == 25_600
+        assert net.links[("r2", "r3")].queue.capacity_bytes == 25_600
+
+
+class TestNoDclScenario:
+    def test_no_dominant_link_declared(self):
+        built = no_dcl_scenario().build(seed=0)
+        assert built.dcl_link is None
+        with pytest.raises(ValueError):
+            built.dominant_max_queuing_delay()
+
+    def test_all_table4_pairs_build(self):
+        for pair in NO_DCL_BANDWIDTH_PAIRS:
+            built = no_dcl_scenario(pair).build(seed=0)
+            assert built.expected_verdict == "none"
+
+    def test_middle_link_has_large_buffer(self):
+        built = no_dcl_scenario().build(seed=0)
+        assert built.network.links[("r1", "r2")].queue.capacity_bytes == 128_000
+
+
+class TestRedScenarios:
+    def test_red_queues_on_chain(self):
+        built = red_strong_scenario(0.5).build(seed=0)
+        queue = built.network.links[("r2", "r3")].queue
+        assert isinstance(queue, AdaptiveREDQueue)
+
+    def test_min_th_fraction_positions_threshold(self):
+        built = red_strong_scenario(0.2).build(seed=0)
+        queue = built.network.links[("r2", "r3")].queue
+        assert queue.min_th == pytest.approx(5, abs=1)
+
+    def test_small_min_th_expects_misidentification(self):
+        scenario = red_strong_scenario(0.2)
+        assert scenario.expected_verdict == "strong"
+        assert scenario.expected_identification == "none"
+
+    def test_large_min_th_expects_success(self):
+        scenario = red_strong_scenario(0.5)
+        assert scenario.expected_identification == "strong"
+
+    def test_red_no_dcl_head_link_droptail(self):
+        built = red_no_dcl_scenario(0.5).build(seed=0)
+        assert isinstance(built.network.links[("r0", "r1")].queue,
+                          DropTailQueue)
+        assert isinstance(built.network.links[("r1", "r2")].queue,
+                          AdaptiveREDQueue)
+
+
+class TestTrafficMixes:
+    def test_tcp_only_builds_without_udp(self):
+        built = strong_dcl_scenario(1.0, n_ftp=2, n_web=1,
+                                    udp_fraction=0.0).build(seed=0)
+        built.network.run(until=5.0)
+        # The bottleneck still carries traffic (TCP only).
+        assert built.network.links[("r2", "r3")].packets_sent > 0
+
+    def test_udp_only_builds_without_tcp(self):
+        built = strong_dcl_scenario(1.0, n_ftp=0, n_web=0,
+                                    udp_fraction=1.2).build(seed=0)
+        built.network.run(until=5.0)
+        assert built.network.links[("r2", "r3")].packets_sent > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_network(self):
+        a = strong_dcl_scenario(1.0).build(seed=5)
+        b = strong_dcl_scenario(1.0).build(seed=5)
+        link_a = a.network.links[("src0_0", "r0")]
+        link_b = b.network.links[("src0_0", "r0")]
+        assert link_a.prop_delay == link_b.prop_delay
+
+    def test_scenario_name_reflects_parameters(self):
+        assert "0.4" in strong_dcl_scenario(0.4).name
+        assert "0.7-0.2" in weak_dcl_scenario((0.7, 0.2)).name

@@ -1,0 +1,55 @@
+"""Tests for the pchar-style capacity estimator."""
+
+import pytest
+
+from repro.measurement.pathtools import PcharProber
+from repro.netsim.topology import chain_network
+from repro.netsim.traffic import CbrSource, UdpSink
+
+
+class TestPchar:
+    def test_recovers_capacities_on_idle_path(self):
+        net = chain_network([10e6, 2e6, 5e6], [100_000] * 3, seed=0)
+        prober = PcharProber(net, "src0_0", "snk3_0", repetitions=8,
+                             interval=0.02)
+        prober.start(at=0.0)
+        net.run(until=30.0)
+        result = prober.estimate()
+        # The chain hops sit at indices 1..3 of the stub-to-stub path.
+        estimates = dict(zip(result.link_names, result.capacities_bps))
+        assert estimates["r0->r1"] == pytest.approx(10e6, rel=0.05)
+        assert estimates["r1->r2"] == pytest.approx(2e6, rel=0.05)
+        assert estimates["r2->r3"] == pytest.approx(5e6, rel=0.05)
+
+    def test_narrow_link_identified(self):
+        net = chain_network([10e6, 2e6, 5e6], [100_000] * 3, seed=0)
+        prober = PcharProber(net, "src0_0", "snk3_0", repetitions=8,
+                             interval=0.02)
+        prober.start(at=0.0)
+        net.run(until=30.0)
+        assert prober.estimate().narrow_link() == "r1->r2"
+
+    def test_min_filter_defeats_cross_traffic(self):
+        net = chain_network([10e6, 2e6, 5e6], [100_000] * 3, seed=1)
+        sink = UdpSink(net.nodes["snk3_1"])
+        CbrSource(net.nodes["src0_1"], "snk3_1", sink.port, "load",
+                  rate_bps=1e6, packet_size=1000)
+        prober = PcharProber(net, "src0_0", "snk3_0", repetitions=24,
+                             interval=0.03)
+        prober.start(at=1.0)
+        net.run(until=60.0)
+        result = prober.estimate()
+        assert result.narrow_link() == "r1->r2"
+        estimates = dict(zip(result.link_names, result.capacities_bps))
+        assert estimates["r1->r2"] == pytest.approx(2e6, rel=0.25)
+
+    def test_estimate_before_completion_raises(self):
+        net = chain_network([10e6], [100_000], seed=0)
+        prober = PcharProber(net, "src0_0", "snk1_0", repetitions=8)
+        with pytest.raises(ValueError):
+            prober.estimate()
+
+    def test_needs_two_sizes(self):
+        net = chain_network([10e6], [100_000], seed=0)
+        with pytest.raises(ValueError):
+            PcharProber(net, "src0_0", "snk1_0", sizes=[100])

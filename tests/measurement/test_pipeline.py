@@ -1,0 +1,71 @@
+"""Tests for the measurement preparation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.pipeline import prepare_observation
+from repro.netsim.trace import PathObservation
+
+
+def measured_observation(n=4000, skew=5e-5, seed=0):
+    rng = np.random.default_rng(seed)
+    send = np.arange(n) * 0.02
+    delay = 0.05 + rng.exponential(0.008, n)
+    delay[rng.random(n) < 0.1] = 0.05 + rng.uniform(0, 1e-4)
+    delay[rng.random(n) < 0.02] = np.nan  # losses
+    measured = delay + 0.25 + skew * send
+    return PathObservation(send, measured), skew
+
+
+class TestPrepare:
+    def test_clock_removed_and_reported(self):
+        observation, skew = measured_observation()
+        prepared = prepare_observation(observation)
+        assert prepared.clock_fit is not None
+        assert prepared.clock_fit.skew == pytest.approx(skew, abs=5e-6)
+
+    def test_stationary_segment_range_recorded(self):
+        observation, _ = measured_observation()
+        prepared = prepare_observation(observation, window=500)
+        start, stop = prepared.segment_range
+        assert 0 <= start < stop <= len(observation)
+        assert len(prepared.observation) == stop - start
+        assert 0 < prepared.used_fraction <= 1
+
+    def test_stages_can_be_disabled(self):
+        observation, _ = measured_observation()
+        prepared = prepare_observation(observation, repair_clock=False,
+                                       select_stationary=False)
+        assert prepared.clock_fit is None
+        assert prepared.segment_range == (0, len(observation))
+        np.testing.assert_array_equal(prepared.observation.delays,
+                                      observation.delays)
+
+    def test_nonstationary_head_is_trimmed(self):
+        observation, _ = measured_observation(seed=1)
+        # Corrupt the head: a very different delay regime.
+        delays = observation.delays.copy()
+        delays[:1000] = delays[:1000] + 0.5
+        shifted = PathObservation(observation.send_times, delays)
+        prepared = prepare_observation(shifted, repair_clock=False,
+                                       window=500)
+        start, _ = prepared.segment_range
+        assert start >= 1000
+
+    def test_summary_mentions_stages(self):
+        observation, _ = measured_observation(seed=2)
+        prepared = prepare_observation(observation)
+        text = prepared.summary()
+        assert "clock" in text
+        assert "stationary segment" in text
+
+    def test_identification_runs_on_prepared(self):
+        # Composition smoke test: prepared output feeds identify().
+        from repro.core import IdentifyConfig, identify
+        from repro.models.base import EMConfig
+
+        observation, _ = measured_observation(seed=3)
+        prepared = prepare_observation(observation)
+        report = identify(prepared.observation,
+                          IdentifyConfig(em=EMConfig(max_iter=20, tol=1e-2)))
+        assert report.distribution.pmf.sum() == pytest.approx(1.0)

@@ -1,0 +1,140 @@
+"""Tests for trace persistence and import."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.traceio import (
+    load_observation,
+    load_timestamp_pair,
+    load_trace,
+    save_observation,
+    save_trace,
+)
+from repro.netsim.trace import PathObservation, ProbeRecord, ProbeTrace
+
+
+@pytest.fixture
+def observation():
+    return PathObservation(
+        np.array([0.0, 0.02, 0.04, 0.06]),
+        np.array([0.051, np.nan, 0.0530001, 0.052]),
+    )
+
+
+class TestObservationCsv:
+    def test_roundtrip(self, observation, tmp_path):
+        path = save_observation(observation, tmp_path / "obs.csv")
+        loaded = load_observation(path)
+        np.testing.assert_allclose(loaded.send_times, observation.send_times)
+        np.testing.assert_allclose(loaded.delays[~loaded.lost],
+                                   observation.delays[~observation.lost])
+        np.testing.assert_array_equal(loaded.lost, observation.lost)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,rtt\n0.0,0.05\n")
+        with pytest.raises(ValueError):
+            load_observation(path)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("send_time,delay\n0.0\n")
+        with pytest.raises(ValueError):
+            load_observation(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("send_time,delay\n")
+        with pytest.raises(ValueError):
+            load_observation(path)
+
+    def test_lost_marker_case_insensitive(self, tmp_path):
+        path = tmp_path / "obs.csv"
+        path.write_text("send_time,delay\n0.0,LOST\n0.02,0.05\n")
+        loaded = load_observation(path)
+        assert loaded.lost[0] and not loaded.lost[1]
+
+
+class TestTraceNpz:
+    def test_roundtrip_preserves_ground_truth(self, tmp_path):
+        trace = ProbeTrace(["l0", "l1"], 0.015, 0.02, 10)
+        trace.append(ProbeRecord(0.0, (0.01, 0.02), -1))
+        trace.append(ProbeRecord(0.02, (0.05, 0.0), 0))
+        path = save_trace(trace, tmp_path / "trace.npz")
+        loaded = load_trace(path)
+        assert loaded.link_names == trace.link_names
+        assert loaded.base_delay == trace.base_delay
+        assert loaded.probe_interval == trace.probe_interval
+        np.testing.assert_allclose(loaded.hop_queuing_matrix,
+                                   trace.hop_queuing_matrix)
+        np.testing.assert_array_equal(loaded.loss_hops, trace.loss_hops)
+
+    def test_roundtrip_through_observation(self, tmp_path):
+        trace = ProbeTrace(["l0"], 0.01, 0.02, 10)
+        for i in range(20):
+            trace.append(ProbeRecord(i * 0.02, (0.001 * i,),
+                                     0 if i % 7 == 0 else -1))
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        np.testing.assert_array_equal(loaded.lost, trace.lost)
+        np.testing.assert_allclose(
+            loaded.observation().delays, trace.observation().delays
+        )
+
+
+class TestTimestampPairs:
+    def test_losses_from_missing_receiver_seqs(self, tmp_path):
+        sender = tmp_path / "send.txt"
+        receiver = tmp_path / "recv.txt"
+        sender.write_text("0 10.0\n1 10.02\n2 10.04\n")
+        receiver.write_text("# receiver log\n0 10.051\n2 10.093\n")
+        obs = load_timestamp_pair(sender, receiver)
+        np.testing.assert_allclose(obs.send_times, [10.0, 10.02, 10.04])
+        assert obs.lost[1]
+        assert obs.delays[0] == pytest.approx(0.051)
+        assert obs.delays[2] == pytest.approx(0.053)
+
+    def test_unknown_receiver_seq_rejected(self, tmp_path):
+        sender = tmp_path / "send.txt"
+        receiver = tmp_path / "recv.txt"
+        sender.write_text("0 10.0\n")
+        receiver.write_text("0 10.05\n7 11.0\n")
+        with pytest.raises(ValueError):
+            load_timestamp_pair(sender, receiver)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        sender = tmp_path / "send.txt"
+        sender.write_text("0\n")
+        receiver = tmp_path / "recv.txt"
+        receiver.write_text("")
+        with pytest.raises(ValueError):
+            load_timestamp_pair(sender, receiver)
+
+    def test_empty_sender_rejected(self, tmp_path):
+        sender = tmp_path / "send.txt"
+        sender.write_text("# nothing\n")
+        receiver = tmp_path / "recv.txt"
+        receiver.write_text("")
+        with pytest.raises(ValueError):
+            load_timestamp_pair(sender, receiver)
+
+    def test_clock_repair_composes(self, tmp_path):
+        # End-to-end: timestamps with skewed receiver clock -> import ->
+        # repair -> sane delays.
+        from repro.measurement.clock import remove_clock_effects
+
+        rng = np.random.default_rng(0)
+        n = 500
+        send = 100.0 + np.arange(n) * 0.02
+        true_delay = 0.05 + rng.exponential(0.01, n)
+        true_delay[rng.random(n) < 0.1] = 0.05 + 1e-5
+        skew = 1e-4
+        recv = send + true_delay + 0.3 + skew * send
+        sender = tmp_path / "s.txt"
+        receiver = tmp_path / "r.txt"
+        sender.write_text("\n".join(f"{i} {t:.9f}" for i, t in enumerate(send)))
+        receiver.write_text("\n".join(
+            f"{i} {t:.9f}" for i, t in enumerate(recv)
+        ))
+        obs = load_timestamp_pair(sender, receiver)
+        repaired, fit = remove_clock_effects(obs)
+        assert fit.skew == pytest.approx(skew, abs=5e-6)

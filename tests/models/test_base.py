@@ -1,0 +1,90 @@
+"""Tests for model infrastructure: observation encoding and EM config."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import (
+    LOSS,
+    EMConfig,
+    ObservationSequence,
+    floor_and_normalize,
+    max_param_change,
+)
+
+
+class TestObservationSequence:
+    def test_valid_sequence(self):
+        seq = ObservationSequence([1, 2, LOSS, 3], n_symbols=3)
+        assert len(seq) == 4
+        assert seq.n_losses == 1
+        assert seq.loss_rate == 0.25
+
+    def test_out_of_range_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationSequence([1, 4], n_symbols=3)
+        with pytest.raises(ValueError):
+            ObservationSequence([0, 1], n_symbols=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationSequence([], n_symbols=3)
+
+    def test_all_losses_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationSequence([LOSS, LOSS], n_symbols=3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationSequence([[1, 2]], n_symbols=3)
+
+    def test_zero_based_shifts_observations_only(self):
+        seq = ObservationSequence([1, LOSS, 3], n_symbols=3)
+        np.testing.assert_array_equal(seq.zero_based(), [0, LOSS, 2])
+
+    def test_losses_mask(self):
+        seq = ObservationSequence([1, LOSS, 2], n_symbols=2)
+        np.testing.assert_array_equal(seq.losses, [False, True, False])
+
+    def test_empirical_pmf_sums_to_one(self):
+        seq = ObservationSequence([1, 1, 2, LOSS], n_symbols=3)
+        pmf = seq.empirical_symbol_pmf()
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf[0] > pmf[2]  # symbol 1 more frequent than unseen 3
+
+    def test_empirical_pmf_smoothing_keeps_all_positive(self):
+        seq = ObservationSequence([1] * 10, n_symbols=5)
+        assert (seq.empirical_symbol_pmf() > 0).all()
+
+
+class TestEMConfig:
+    def test_defaults(self):
+        config = EMConfig()
+        assert config.tol == 1e-4
+        assert config.freeze_loss_iters == 5
+        assert config.data_driven_init
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EMConfig(tol=0)
+        with pytest.raises(ValueError):
+            EMConfig(max_iter=0)
+        with pytest.raises(ValueError):
+            EMConfig(n_restarts=0)
+        with pytest.raises(ValueError):
+            EMConfig(freeze_loss_iters=-1)
+
+
+class TestHelpers:
+    def test_floor_and_normalize_vector(self):
+        out = floor_and_normalize(np.array([0.0, 1.0]), 1e-6)
+        assert out.sum() == pytest.approx(1.0)
+        assert out[0] > 0
+
+    def test_floor_and_normalize_matrix_rows(self):
+        out = floor_and_normalize(np.array([[0.0, 2.0], [1.0, 1.0]]), 1e-6)
+        np.testing.assert_allclose(out.sum(axis=1), [1.0, 1.0])
+
+    def test_max_param_change(self):
+        old = [np.array([1.0, 2.0]), np.array([[0.0]])]
+        new = [np.array([1.0, 2.5]), np.array([[0.1]])]
+        assert max_param_change(old, new) == pytest.approx(0.5)

@@ -1,0 +1,86 @@
+"""Tests for Viterbi decoding."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import LOSS, EMConfig, ObservationSequence
+from repro.models.decode import decode_loss_symbols, viterbi_hmm, viterbi_mmhd
+from repro.models.hmm import HiddenMarkovModel, fit_hmm
+from repro.models.mmhd import MarkovModelHiddenDimension, fit_mmhd
+from tests.conftest import make_markov_sequence
+
+
+def sticky_mmhd(n_symbols=3, stick=0.9, loss=0.1):
+    n = n_symbols
+    pi = np.full(n, 1 / n)
+    transition = np.full((n, n), (1 - stick) / (n - 1))
+    np.fill_diagonal(transition, stick)
+    c = np.full(n, loss)
+    return MarkovModelHiddenDimension(pi, transition, c, n)
+
+
+class TestViterbiMMHD:
+    def test_observed_symbols_are_respected(self):
+        model = sticky_mmhd()
+        seq = ObservationSequence([1, 2, 3, 2, 1], n_symbols=3)
+        _, symbols = viterbi_mmhd(model, seq)
+        np.testing.assert_array_equal(symbols, [1, 2, 3, 2, 1])
+
+    def test_loss_between_identical_neighbours_decodes_to_them(self):
+        model = sticky_mmhd(stick=0.95)
+        seq = ObservationSequence([2, 2, LOSS, 2, 2], n_symbols=3)
+        _, symbols = viterbi_mmhd(model, seq)
+        assert symbols[2] == 2
+
+    def test_decode_loss_symbols_orders_by_loss(self):
+        model = sticky_mmhd(stick=0.95)
+        seq = ObservationSequence([1, LOSS, 1, 3, LOSS, 3], n_symbols=3)
+        decoded = decode_loss_symbols(model, seq)
+        np.testing.assert_array_equal(decoded, [1, 3])
+
+    def test_hidden_path_shape(self):
+        model = MarkovModelHiddenDimension(
+            np.full(6, 1 / 6), np.full((6, 6), 1 / 6), np.full(3, 0.1), 3
+        )
+        seq = ObservationSequence([1, LOSS, 2], n_symbols=3)
+        hidden, symbols = viterbi_mmhd(model, seq)
+        assert hidden.shape == symbols.shape == (3,)
+        assert set(hidden) <= {0, 1}
+        assert all(1 <= s <= 3 for s in symbols)
+
+    def test_decoding_matches_truth_on_fitted_model(self):
+        seq, _ = make_markov_sequence(n_steps=3000, seed=11)
+        fitted = fit_mmhd(seq, n_hidden=1,
+                          config=EMConfig(max_iter=40, tol=1e-3))
+        decoded = decode_loss_symbols(fitted.model, seq)
+        # Most losses happen at symbol 5 (the generator's design); the
+        # decoder should say so for the bulk of them.
+        assert (decoded >= 4).mean() > 0.8
+
+
+class TestViterbiHMM:
+    def test_path_shape_and_range(self):
+        model = HiddenMarkovModel(
+            np.array([0.5, 0.5]),
+            np.array([[0.9, 0.1], [0.1, 0.9]]),
+            np.array([[0.8, 0.1, 0.1], [0.1, 0.1, 0.8]]),
+            np.full(3, 0.1),
+        )
+        seq = ObservationSequence([1, 1, LOSS, 3, 3], n_symbols=3)
+        path = viterbi_hmm(model, seq)
+        assert path.shape == (5,)
+        assert set(path) <= {0, 1}
+
+    def test_distinct_emission_states_tracked(self):
+        # State 0 emits symbol 1, state 1 emits symbol 3.
+        model = HiddenMarkovModel(
+            np.array([0.5, 0.5]),
+            np.array([[0.95, 0.05], [0.05, 0.95]]),
+            np.array([[0.98, 0.01, 0.01], [0.01, 0.01, 0.98]]),
+            np.full(3, 0.1),
+        )
+        seq = ObservationSequence([1, 1, 1, 3, 3, 3], n_symbols=3)
+        path = viterbi_hmm(model, seq)
+        assert (path[:3] == path[0]).all()
+        assert (path[3:] == path[3]).all()
+        assert path[0] != path[3]

@@ -1,0 +1,108 @@
+"""Tests for initial-parameter strategies."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import LOSS, ObservationSequence
+from repro.models.initialization import (
+    hmm_initial_parameters,
+    mmhd_initial_parameters,
+    observed_bigram_matrix,
+)
+
+
+@pytest.fixture
+def sticky_seq():
+    # 1,1,1,2,2,2,... strongly sticky observed bigrams.
+    symbols = [1] * 20 + [2] * 20 + [LOSS] + [1] * 20
+    return ObservationSequence(symbols, n_symbols=3)
+
+
+class TestBigrams:
+    def test_rows_are_distributions(self, sticky_seq):
+        bigrams = observed_bigram_matrix(sticky_seq)
+        np.testing.assert_allclose(bigrams.sum(axis=1), 1.0)
+
+    def test_sticky_data_gives_sticky_rows(self, sticky_seq):
+        bigrams = observed_bigram_matrix(sticky_seq)
+        assert bigrams[0, 0] > 0.8
+        assert bigrams[1, 1] > 0.8
+
+    def test_loss_adjacent_pairs_skipped(self):
+        # Transition 2 -> LOSS -> 1 must not count as 2 -> 1.
+        seq = ObservationSequence([2, LOSS, 1], n_symbols=2)
+        bigrams = observed_bigram_matrix(seq, smoothing=0.5)
+        # Only smoothing mass: rows are uniform.
+        np.testing.assert_allclose(bigrams, 0.5)
+
+    def test_smoothing_keeps_all_transitions_possible(self, sticky_seq):
+        assert (observed_bigram_matrix(sticky_seq) > 0).all()
+
+
+class TestHMMInit:
+    def test_shapes(self, sticky_seq):
+        rng = np.random.default_rng(0)
+        pi, transition, emission, c = hmm_initial_parameters(sticky_seq, 3, rng)
+        assert pi.shape == (3,)
+        assert transition.shape == (3, 3)
+        assert emission.shape == (3, 3)
+        assert c.shape == (3,)
+
+    def test_stochasticity(self, sticky_seq):
+        rng = np.random.default_rng(0)
+        pi, transition, emission, c = hmm_initial_parameters(sticky_seq, 2, rng)
+        assert pi.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(transition.sum(axis=1), 1.0)
+        np.testing.assert_allclose(emission.sum(axis=1), 1.0)
+        assert ((c > 0) & (c < 1)).all()
+
+    def test_emission_rows_differ_between_states(self, sticky_seq):
+        rng = np.random.default_rng(0)
+        _, _, emission, _ = hmm_initial_parameters(sticky_seq, 2, rng)
+        assert not np.allclose(emission[0], emission[1])
+
+    def test_invalid_hidden_count(self, sticky_seq):
+        with pytest.raises(ValueError):
+            hmm_initial_parameters(sticky_seq, 0, np.random.default_rng(0))
+
+
+class TestMMHDInit:
+    def test_shapes(self, sticky_seq):
+        rng = np.random.default_rng(0)
+        pi, transition, c = mmhd_initial_parameters(sticky_seq, 2, rng)
+        assert pi.shape == (6,)
+        assert transition.shape == (6, 6)
+        assert c.shape == (3,)
+
+    def test_uniform_initial_distribution(self, sticky_seq):
+        rng = np.random.default_rng(0)
+        pi, _, _ = mmhd_initial_parameters(sticky_seq, 2, rng)
+        np.testing.assert_allclose(pi, 1 / 6)
+
+    def test_data_driven_blocks_follow_bigrams(self, sticky_seq):
+        rng = np.random.default_rng(0)
+        _, transition, _ = mmhd_initial_parameters(sticky_seq, 1, rng,
+                                                   data_driven=True)
+        # Sticky observed dynamics: self-transition for symbol 1 dominates.
+        assert transition[0, 0] > transition[0, 1]
+
+    def test_random_init_differs_from_data_driven(self, sticky_seq):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        _, driven, _ = mmhd_initial_parameters(sticky_seq, 1, rng_a,
+                                               data_driven=True)
+        _, random_, _ = mmhd_initial_parameters(sticky_seq, 1, rng_b,
+                                                data_driven=False)
+        assert not np.allclose(driven, random_)
+
+    def test_rows_stochastic_either_way(self, sticky_seq):
+        for data_driven in (True, False):
+            rng = np.random.default_rng(1)
+            _, transition, _ = mmhd_initial_parameters(
+                sticky_seq, 2, rng, data_driven=data_driven
+            )
+            np.testing.assert_allclose(transition.sum(axis=1), 1.0)
+
+    def test_invalid_hidden_count(self, sticky_seq):
+        with pytest.raises(ValueError):
+            mmhd_initial_parameters(sticky_seq, 0, np.random.default_rng(0))

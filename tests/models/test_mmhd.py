@@ -1,0 +1,140 @@
+"""Tests for the MMHD model (Appendix B EM)."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import LOSS, EMConfig, ObservationSequence
+from repro.models.mmhd import MarkovModelHiddenDimension, fit_mmhd
+from tests.conftest import make_markov_sequence
+
+
+def uniform_mmhd(n_hidden=1, n_symbols=3, loss=0.1):
+    n_states = n_hidden * n_symbols
+    pi = np.full(n_states, 1 / n_states)
+    transition = np.full((n_states, n_states), 1 / n_states)
+    c = np.full(n_symbols, loss)
+    return MarkovModelHiddenDimension(pi, transition, c, n_symbols)
+
+
+class TestConstruction:
+    def test_state_count_must_be_multiple_of_symbols(self):
+        with pytest.raises(ValueError):
+            MarkovModelHiddenDimension(np.full(5, 0.2), np.full((5, 5), 0.2),
+                                       np.full(3, 0.1), 3)
+
+    def test_transition_shape_validated(self):
+        with pytest.raises(ValueError):
+            MarkovModelHiddenDimension(np.full(3, 1 / 3), np.full((2, 2), 0.5),
+                                       np.full(3, 0.1), 3)
+
+    def test_loss_vector_length_validated(self):
+        with pytest.raises(ValueError):
+            MarkovModelHiddenDimension(np.full(3, 1 / 3), np.full((3, 3), 1 / 3),
+                                       np.full(2, 0.1), 3)
+
+    def test_state_symbol_mapping(self):
+        model = uniform_mmhd(n_hidden=2, n_symbols=3)
+        np.testing.assert_array_equal(model.state_symbol, [0, 1, 2, 0, 1, 2])
+
+    def test_degenerates_to_markov_with_one_hidden_state(self):
+        model = uniform_mmhd(n_hidden=1, n_symbols=4)
+        assert model.n_hidden == 1
+        assert model.n_states == 4
+
+
+class TestLikelihood:
+    def test_observed_symbol_constrains_state_column(self):
+        model = uniform_mmhd(n_hidden=2, n_symbols=3, loss=0.2)
+        likes = model._observation_likelihoods(np.array([1]))
+        # Only states with d = 1 (indices 1 and 4) are possible.
+        expected = np.zeros(6)
+        expected[[1, 4]] = 0.8
+        np.testing.assert_allclose(likes[0], expected)
+
+    def test_loss_row_uses_c_of_each_symbol(self):
+        model = uniform_mmhd(n_hidden=1, n_symbols=3, loss=0.3)
+        likes = model._observation_likelihoods(np.array([LOSS]))
+        np.testing.assert_allclose(likes[0], [0.3, 0.3, 0.3])
+
+    def test_uniform_model_likelihood_analytic(self):
+        model = uniform_mmhd(n_hidden=1, n_symbols=3, loss=0.2)
+        seq = ObservationSequence([1, 2, LOSS], n_symbols=3)
+        # Each observed step: P = (1/3)(1-c); the loss step marginalises
+        # over the uniform state: sum_d (1/3) c = c.
+        expected = 2 * np.log((1 / 3) * 0.8) + np.log(0.2)
+        assert model.log_likelihood(seq) == pytest.approx(expected)
+
+    def test_em_monotone_likelihood(self, markov_sequence):
+        seq, _ = markov_sequence
+        model = uniform_mmhd(n_hidden=2, n_symbols=5)
+        previous = model.log_likelihood(seq)
+        for _ in range(5):
+            model, _ = model.em_step(seq)
+            current = model.log_likelihood(seq)
+            assert current >= previous - 1e-6
+            previous = current
+
+
+class TestEMFit:
+    def test_recovers_true_virtual_delay_distribution(self):
+        seq, true_g = make_markov_sequence(seed=5)
+        fitted = fit_mmhd(seq, n_hidden=1,
+                          config=EMConfig(max_iter=60, freeze_loss_iters=3))
+        assert np.abs(fitted.virtual_delay_pmf - true_g).max() < 0.05
+
+    def test_recovers_with_hidden_states(self):
+        seq, true_g = make_markov_sequence(seed=6)
+        fitted = fit_mmhd(seq, n_hidden=2,
+                          config=EMConfig(max_iter=60, freeze_loss_iters=3))
+        tv = 0.5 * np.abs(fitted.virtual_delay_pmf - true_g).sum()
+        assert tv < 0.1
+
+    def test_results_stable_across_n_hidden(self):
+        # Paper: inference results are similar for N = 1..4.
+        seq, _ = make_markov_sequence(seed=7, n_steps=4000)
+        pmfs = []
+        for n_hidden in (1, 2):
+            fitted = fit_mmhd(seq, n_hidden=n_hidden,
+                              config=EMConfig(max_iter=60, freeze_loss_iters=3))
+            pmfs.append(fitted.virtual_delay_pmf)
+        tv = 0.5 * np.abs(pmfs[0] - pmfs[1]).sum()
+        assert tv < 0.15
+
+    def test_pmf_is_distribution(self, markov_sequence, fast_em):
+        seq, _ = markov_sequence
+        fitted = fit_mmhd(seq, n_hidden=2, config=fast_em)
+        assert fitted.virtual_delay_pmf.sum() == pytest.approx(1.0)
+        assert (fitted.virtual_delay_pmf >= 0).all()
+
+    def test_freeze_keeps_c_flat_during_warmup(self, markov_sequence):
+        seq, _ = markov_sequence
+        model = uniform_mmhd(n_hidden=1, n_symbols=5, loss=seq.loss_rate)
+        frozen_c = model.loss_given_symbol.copy()
+        new_model, _ = model.em_step(seq)
+        # An explicit manual freeze mirrors what fit_mmhd does internally.
+        refrozen = MarkovModelHiddenDimension(
+            new_model.pi, new_model.transition, frozen_c, 5
+        )
+        np.testing.assert_array_equal(refrozen.loss_given_symbol, frozen_c)
+
+    def test_deterministic_given_seed(self, markov_sequence):
+        seq, _ = markov_sequence
+        config = EMConfig(max_iter=20, seed=9)
+        a = fit_mmhd(seq, n_hidden=2, config=config).virtual_delay_pmf
+        b = fit_mmhd(seq, n_hidden=2, config=config).virtual_delay_pmf
+        np.testing.assert_array_equal(a, b)
+
+    def test_handles_very_low_loss_rate(self):
+        seq, true_g = make_markov_sequence(
+            seed=8, n_steps=8000,
+            loss_given_symbol=(0.0, 0.0, 0.0, 0.002, 0.02),
+        )
+        fitted = fit_mmhd(seq, n_hidden=1,
+                          config=EMConfig(max_iter=60, freeze_loss_iters=3))
+        assert fitted.virtual_delay_pmf[3:].sum() > 0.8
+
+    def test_no_losses_raises_in_posterior(self):
+        model = uniform_mmhd()
+        seq = ObservationSequence([1, 2, 3], n_symbols=3)
+        with pytest.raises(ValueError):
+            model.virtual_delay_pmf(seq)

@@ -1,0 +1,115 @@
+"""Tests for the synthetic generators and model-order selection."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import EMConfig
+from repro.models.mmhd import fit_mmhd
+from repro.models.selection import ModelSelection, bic, select_n_hidden
+from repro.models.synthetic import (
+    sticky_markov_sequence,
+    two_population_sequence,
+)
+
+
+class TestStickyGenerator:
+    def test_returns_valid_sequence_and_distribution(self):
+        seq, true_g = sticky_markov_sequence(n_steps=2000, seed=1)
+        assert len(seq) == 2000
+        assert true_g.shape == (5,)
+        assert true_g.sum() == pytest.approx(1.0)
+
+    def test_loss_profile_concentrates_high(self):
+        _, true_g = sticky_markov_sequence(n_steps=8000, seed=2)
+        assert true_g[-1] > 0.5
+
+    def test_custom_loss_profile(self):
+        seq, true_g = sticky_markov_sequence(
+            n_steps=6000, loss_given_symbol=[0.3, 0.0001, 0.0001, 0.0001,
+                                            0.0001], seed=3,
+        )
+        assert true_g[0] > 0.8
+
+    def test_deterministic(self):
+        a = sticky_markov_sequence(seed=4)[0].symbols
+        b = sticky_markov_sequence(seed=4)[0].symbols
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sticky_markov_sequence(stickiness=1.0)
+        with pytest.raises(ValueError):
+            sticky_markov_sequence(loss_given_symbol=[0.1, 0.1])
+
+    def test_em_recovers_truth(self):
+        seq, true_g = sticky_markov_sequence(n_steps=6000, seed=5)
+        fitted = fit_mmhd(seq, n_hidden=1,
+                          config=EMConfig(max_iter=50, tol=1e-3))
+        tv = 0.5 * np.abs(fitted.virtual_delay_pmf - true_g).sum()
+        assert tv < 0.08
+
+
+class TestTwoPopulationGenerator:
+    def test_split_loss_mass(self):
+        _, true_g = two_population_sequence(n_steps=6000, seed=1)
+        assert true_g[1] > 0.2   # low population at symbol 2
+        assert true_g[4] > 0.2   # high population at symbol 5
+
+    def test_wdcl_rejects_on_truth(self):
+        from repro.core import DelayDistribution, wdcl_test
+
+        _, true_g = two_population_sequence(n_steps=6000, seed=2)
+        assert not wdcl_test(DelayDistribution(true_g), 0.06, 0.0).accepted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_population_sequence(low_symbol=4, high_symbol=3)
+
+    def test_symbols_in_range(self):
+        seq, _ = two_population_sequence(n_steps=1000, seed=3)
+        observed = seq.symbols[seq.symbols > 0]
+        assert observed.min() >= 1 and observed.max() <= 5
+
+
+class TestSelection:
+    @pytest.fixture(scope="class")
+    def selection(self):
+        seq, _ = sticky_markov_sequence(n_steps=3000, seed=6)
+        return select_n_hidden(
+            seq, candidates=(1, 2),
+            config=EMConfig(max_iter=25, tol=1e-2),
+        )
+
+    def test_returns_all_candidates(self, selection):
+        assert set(selection.fits) == {1, 2}
+        assert set(selection.bics) == {1, 2}
+
+    def test_best_is_bic_minimal(self, selection):
+        assert selection.bics[selection.best_n] == min(selection.bics.values())
+
+    def test_bic_penalises_parameters(self):
+        # The N=2 MMHD has ~4x the transitions; on a chain that N=1
+        # explains fully, BIC must prefer N=1.
+        seq, _ = sticky_markov_sequence(n_steps=3000, seed=7)
+        selection = select_n_hidden(seq, candidates=(1, 2),
+                                    config=EMConfig(max_iter=25, tol=1e-2))
+        assert selection.best_n == 1
+
+    def test_bic_value_formula(self):
+        seq, _ = sticky_markov_sequence(n_steps=1500, seed=8)
+        fitted = fit_mmhd(seq, n_hidden=1,
+                          config=EMConfig(max_iter=15, tol=1e-2))
+        value = bic(fitted, seq)
+        # Reconstruct: k = (S-1) + S(S-1) + M with S = M = 5.
+        k = 4 + 20 + 5
+        expected = k * np.log(len(seq)) - 2 * fitted.log_likelihood
+        assert value == pytest.approx(expected)
+
+    def test_summary_marks_selection(self, selection):
+        text = selection.summary()
+        assert "selected" in text
+
+    def test_empty_candidates_rejected(self):
+        seq, _ = sticky_markov_sequence(n_steps=500, seed=9)
+        with pytest.raises(ValueError):
+            select_n_hidden(seq, candidates=())

@@ -1,0 +1,128 @@
+"""Tests for the discrete-event engine."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self, sim):
+        order = []
+        sim.schedule(0.3, lambda: order.append("c"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.2, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self, sim):
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_can_schedule_events(self, sim):
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(0.25, lambda: seen.append(sim.now))
+
+        sim.schedule(0.5, first)
+        sim.run()
+        assert seen == [0.5, 0.75]
+
+    def test_run_until_stops_clock_at_bound(self, sim):
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(True))
+        sim.run(until=1.0)
+        assert not fired
+        assert sim.now == 1.0
+        sim.run(until=3.0)
+        assert fired
+
+    def test_run_until_is_inclusive(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(True))
+        sim.run(until=1.0)
+        assert fired
+
+    def test_step_runs_exactly_one_event(self, sim):
+        seen = []
+        sim.schedule(0.1, lambda: seen.append(1))
+        sim.schedule(0.2, lambda: seen.append(2))
+        assert sim.step()
+        assert seen == [1]
+        assert sim.step()
+        assert seen == [1, 2]
+        assert not sim.step()
+
+    def test_processed_event_count(self, sim):
+        for _ in range(5):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.processed_events == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(0.1, lambda: fired.append(True))
+        event.cancel()
+        sim.run()
+        assert not fired
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(0.1, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_cancelled_events_are_skipped_by_step(self, sim):
+        seen = []
+        event = sim.schedule(0.1, lambda: seen.append("cancelled"))
+        sim.schedule(0.2, lambda: seen.append("kept"))
+        event.cancel()
+        assert sim.step()
+        assert seen == ["kept"]
+
+
+class TestRandomness:
+    def test_same_name_returns_same_stream(self, sim):
+        assert sim.rng("x") is sim.rng("x")
+
+    def test_streams_are_deterministic_across_simulators(self):
+        a = Simulator(seed=5).rng("flow").random(8)
+        b = Simulator(seed=5).rng("flow").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_give_different_streams(self):
+        sim = Simulator(seed=5)
+        a = sim.rng("one").random(8)
+        b = sim.rng("two").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_give_different_streams(self):
+        a = Simulator(seed=1).rng("x").random(8)
+        b = Simulator(seed=2).rng("x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_seed_property(self):
+        assert Simulator(seed=9).seed == 9

@@ -1,0 +1,100 @@
+"""Tests for the web (HTTP) traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.http import (
+    BoundedPareto,
+    WebSession,
+    start_web_sessions,
+)
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network
+
+
+class TestBoundedPareto:
+    def test_samples_respect_bounds(self):
+        dist = BoundedPareto(shape=1.2, minimum=100, maximum=10_000)
+        rng = np.random.default_rng(0)
+        samples = [dist.sample(rng) for _ in range(2000)]
+        assert min(samples) >= 100
+        assert max(samples) <= 10_000
+
+    def test_sample_mean_matches_analytic_mean(self):
+        dist = BoundedPareto(shape=1.5, minimum=100, maximum=10_000)
+        rng = np.random.default_rng(1)
+        samples = np.array([dist.sample(rng) for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_heavy_tail_present(self):
+        dist = BoundedPareto(shape=1.2, minimum=1000, maximum=500_000)
+        rng = np.random.default_rng(2)
+        samples = np.array([dist.sample(rng) for _ in range(5000)])
+        # A heavy-tailed distribution has mean well above the median.
+        assert samples.mean() > 1.5 * np.median(samples)
+
+    def test_shape_one_mean(self):
+        dist = BoundedPareto(shape=1.0, minimum=10, maximum=1000)
+        rng = np.random.default_rng(3)
+        samples = np.array([dist.sample(rng) for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedPareto(shape=0, minimum=1, maximum=2)
+        with pytest.raises(ValueError):
+            BoundedPareto(shape=1, minimum=5, maximum=5)
+
+
+def build_web_path():
+    net = Network(seed=4)
+    net.add_host("server")
+    net.add_host("client")
+    net.add_link("server", "client", 10e6, 0.005, DropTailQueue(1_000_000))
+    net.add_link("client", "server", 10e6, 0.005, DropTailQueue(1_000_000))
+    net.compute_routes()
+    return net
+
+
+class TestWebSession:
+    def test_pages_are_fetched_over_time(self):
+        net = build_web_path()
+        session = WebSession(net, "server", "client", session_id="s",
+                             mean_think_time=0.5)
+        net.run(until=60.0)
+        assert session.pages_fetched >= 3
+        assert session.objects_fetched >= session.pages_fetched
+
+    def test_sessions_are_independent_streams(self):
+        net = build_web_path()
+        a = WebSession(net, "server", "client", session_id="a",
+                       mean_think_time=0.5)
+        b = WebSession(net, "server", "client", session_id="b",
+                       mean_think_time=0.5)
+        net.run(until=30.0)
+        # Both make progress; counts differ (independent randomness).
+        assert a.pages_fetched > 0 and b.pages_fetched > 0
+
+    def test_start_web_sessions_helper(self):
+        net = build_web_path()
+        sessions = start_web_sessions(net, "server", "client", count=3,
+                                      mean_think_time=0.5)
+        assert len(sessions) == 3
+        net.run(until=30.0)
+        assert all(s.objects_fetched > 0 for s in sessions)
+
+    def test_requires_host_endpoints(self):
+        net = build_web_path()
+        net.add_router("r")
+        with pytest.raises(TypeError):
+            WebSession(net, "r", "client", session_id="s")
+
+    def test_deterministic_given_seed(self):
+        counts = []
+        for _ in range(2):
+            net = build_web_path()
+            session = WebSession(net, "server", "client", session_id="s",
+                                 mean_think_time=0.5)
+            net.run(until=20.0)
+            counts.append((session.pages_fetched, session.objects_fetched))
+        assert counts[0] == counts[1]

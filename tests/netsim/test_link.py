@@ -1,0 +1,149 @@
+"""Tests for store-and-forward links."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+
+
+class Collector:
+    """Minimal downstream node: records (time, packet)."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append((self.sim.now, packet))
+
+
+@pytest.fixture
+def wire():
+    sim = Simulator(0)
+    sink = Collector(sim)
+    link = Link(
+        sim,
+        name="a->b",
+        src_name="a",
+        dst=sink,
+        bandwidth_bps=1e6,
+        prop_delay=0.01,
+        queue=DropTailQueue(10_000),
+    )
+    return sim, link, sink
+
+
+def make_packet(size=1000, seq=0):
+    return Packet(src="a", dst="b", size=size, seq=seq)
+
+
+class TestTransmission:
+    def test_delivery_time_is_tx_plus_prop(self, wire):
+        sim, link, sink = wire
+        link.send(make_packet(size=1000))
+        sim.run()
+        # 1000 B * 8 / 1 Mb/s = 8 ms tx; + 10 ms prop.
+        assert sink.received[0][0] == pytest.approx(0.018)
+
+    def test_back_to_back_packets_serialize(self, wire):
+        sim, link, sink = wire
+        link.send(make_packet(seq=0))
+        link.send(make_packet(seq=1))
+        sim.run()
+        t0, t1 = sink.received[0][0], sink.received[1][0]
+        assert t1 - t0 == pytest.approx(0.008)  # one transmission time apart
+
+    def test_fifo_delivery_order(self, wire):
+        sim, link, sink = wire
+        for i in range(4):
+            link.send(make_packet(seq=i))
+        sim.run()
+        assert [p.seq for _, p in sink.received] == [0, 1, 2, 3]
+
+    def test_drop_returns_false(self, wire):
+        sim, link, sink = wire
+        results = [link.send(make_packet(seq=i)) for i in range(15)]
+        # capacity 10 packets + 1 in service = 11 admitted.
+        assert results.count(False) == 4
+        sim.run()
+        assert len(sink.received) == 11
+
+    def test_drop_listener_invoked(self, wire):
+        sim, link, sink = wire
+        dropped = []
+        link.drop_listeners.append(dropped.append)
+        for i in range(15):
+            link.send(make_packet(seq=i))
+        assert len(dropped) == 4
+
+    def test_statistics(self, wire):
+        sim, link, sink = wire
+        for i in range(3):
+            link.send(make_packet(seq=i))
+        sim.run()
+        assert link.packets_sent == 3
+        assert link.bytes_sent == 3000
+
+    def test_utilization_reflects_busy_time(self, wire):
+        sim, link, sink = wire
+        link.send(make_packet(size=1000))
+        sim.run(until=1.0)
+        assert link.utilization() == pytest.approx(0.008, rel=0.01)
+
+    def test_idle_link_has_zero_residual(self, wire):
+        _, link, _ = wire
+        assert link.service_residual() == 0.0
+
+    def test_residual_during_service(self, wire):
+        sim, link, sink = wire
+        link.send(make_packet(size=1000))
+        sim.run(until=0.002)
+        assert link.service_residual() == pytest.approx(0.006)
+
+
+class TestProbeTransit:
+    def test_empty_link_probe_latency(self, wire):
+        sim, link, sink = wire
+        hop = link.probe_transit(10, sim.rng("p"))
+        assert not hop.lost
+        assert hop.queuing_delay == 0.0
+        assert hop.latency == pytest.approx(0.01 + 10 * 8 / 1e6)
+
+    def test_probe_sees_backlog_delay(self, wire):
+        sim, link, sink = wire
+        link.send(make_packet(size=1000))  # in service
+        link.send(make_packet(size=1000))  # queued
+        hop = link.probe_transit(10, sim.rng("p"))
+        # residual (full tx, just started) + one queued packet.
+        assert hop.queuing_delay == pytest.approx(0.016)
+
+    def test_probe_lost_on_full_queue(self, wire):
+        sim, link, sink = wire
+        for i in range(11):
+            link.send(make_packet(seq=i))
+        hop = link.probe_transit(10, sim.rng("p"))
+        assert hop.lost
+
+    def test_probe_does_not_disturb_traffic(self, wire):
+        sim, link, sink = wire
+        link.send(make_packet(seq=0))
+        for _ in range(100):
+            link.probe_transit(10, sim.rng("p"))
+        sim.run()
+        assert len(sink.received) == 1
+
+
+class TestValidation:
+    def test_bad_bandwidth_rejected(self):
+        sim = Simulator(0)
+        with pytest.raises(ValueError):
+            Link(sim, "l", "a", Collector(sim), bandwidth_bps=0,
+                 prop_delay=0.01, queue=DropTailQueue(1000))
+
+    def test_negative_prop_delay_rejected(self):
+        sim = Simulator(0)
+        with pytest.raises(ValueError):
+            Link(sim, "l", "a", Collector(sim), bandwidth_bps=1e6,
+                 prop_delay=-1, queue=DropTailQueue(1000))

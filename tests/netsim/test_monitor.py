@@ -1,0 +1,86 @@
+"""Tests for queue monitoring."""
+
+import pytest
+
+from repro.netsim.monitor import QueueMonitor
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network
+from repro.netsim.traffic import CbrSource, UdpSink
+
+
+def loaded_link(rate=1e6, load=0.5, buffer_bytes=10_000, seed=0):
+    net = Network(seed=seed)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", rate, 0.005, DropTailQueue(buffer_bytes))
+    net.compute_routes()
+    sink = UdpSink(net.nodes["b"])
+    CbrSource(net.nodes["a"], "b", sink.port, "load",
+              rate_bps=load * rate, packet_size=1000)
+    return net, net.links[("a", "b")]
+
+
+class TestQueueMonitor:
+    def test_utilization_tracks_offered_load(self):
+        net, link = loaded_link(load=0.5)
+        monitor = QueueMonitor(link, interval=0.003, start=1.0)
+        net.run(until=60.0)
+        stats = monitor.stats()
+        assert stats.utilization == pytest.approx(0.5, abs=0.08)
+
+    def test_idle_link_statistics(self):
+        net, link = loaded_link(load=0.01)
+        monitor = QueueMonitor(link, interval=0.01, start=0.0)
+        net.run(until=20.0)
+        stats = monitor.stats()
+        assert stats.mean_occupancy_packets < 0.2
+        assert stats.full_fraction == 0.0
+
+    def test_full_fraction_matches_probe_loss_on_overload(self):
+        # The paper-relevant identity: a periodic ghost probe's loss rate
+        # equals the fraction of time the droptail queue is full.
+        from repro.netsim.probes import PeriodicProber
+
+        net, link = loaded_link(load=1.5, buffer_bytes=5_000, seed=1)
+        monitor = QueueMonitor(link, interval=0.02, start=5.0)
+        prober = PeriodicProber(net, "a", "b", interval=0.02, start=5.01)
+        net.run(until=60.0)
+        stats = monitor.stats()
+        assert stats.full_fraction == pytest.approx(prober.trace.loss_rate,
+                                                    abs=0.05)
+        assert stats.full_fraction > 0.5
+
+    def test_stop_bound_respected(self):
+        net, link = loaded_link()
+        monitor = QueueMonitor(link, interval=0.01, start=0.0, stop=1.0)
+        net.run(until=5.0)
+        assert monitor.n_samples == pytest.approx(100, abs=2)
+
+    def test_no_samples_raises(self):
+        net, link = loaded_link()
+        monitor = QueueMonitor(link, interval=0.01, start=10.0)
+        with pytest.raises(ValueError):
+            monitor.stats()
+
+    def test_invalid_interval(self):
+        net, link = loaded_link()
+        with pytest.raises(ValueError):
+            QueueMonitor(link, interval=0)
+
+
+class TestRunnerIntegration:
+    def test_runner_collects_chain_statistics(self):
+        from repro.experiments import run_scenario, strong_dcl_scenario
+
+        result = run_scenario(strong_dcl_scenario(1.0), seed=2,
+                              duration=30.0, warmup=10.0,
+                              monitor_queues=True)
+        assert set(result.queue_stats) == {"r0->r1", "r1->r2", "r2->r3"}
+        bottleneck = result.queue_stats["r2->r3"]
+        # The bottleneck is highly utilised; its full-queue fraction is
+        # close to the probe loss rate.
+        assert bottleneck.utilization > 0.8
+        assert bottleneck.full_fraction == pytest.approx(
+            result.trace.loss_rate, abs=0.06
+        )
+        assert result.queue_stats["r0->r1"].utilization < 0.5

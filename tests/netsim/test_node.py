@@ -1,0 +1,86 @@
+"""Tests for hosts and routers."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.node import Host, Router
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network
+
+
+class RecordingAgent:
+    def __init__(self):
+        self.packets = []
+
+    def handle_packet(self, packet):
+        self.packets.append(packet)
+
+
+class TestHost:
+    def test_bind_assigns_sequential_ports(self, sim):
+        host = Host(sim, "h")
+        assert host.bind(RecordingAgent()) == 1
+        assert host.bind(RecordingAgent()) == 2
+
+    def test_bind_explicit_port(self, sim):
+        host = Host(sim, "h")
+        assert host.bind(RecordingAgent(), port=9) == 9
+        # Auto ports continue above the explicit one.
+        assert host.bind(RecordingAgent()) == 10
+
+    def test_bind_duplicate_port_rejected(self, sim):
+        host = Host(sim, "h")
+        host.bind(RecordingAgent(), port=3)
+        with pytest.raises(ValueError):
+            host.bind(RecordingAgent(), port=3)
+
+    def test_delivery_demuxes_by_port(self, sim):
+        host = Host(sim, "h")
+        agent_a, agent_b = RecordingAgent(), RecordingAgent()
+        port_a = host.bind(agent_a)
+        port_b = host.bind(agent_b)
+        host.receive(Packet(src="x", dst="h", dst_port=port_b, size=10))
+        assert not agent_a.packets
+        assert len(agent_b.packets) == 1
+
+    def test_delivery_to_unbound_port_is_dropped(self, sim):
+        host = Host(sim, "h")
+        host.receive(Packet(src="x", dst="h", dst_port=99, size=10))
+        assert host.packets_delivered == 1  # counted, silently discarded
+
+
+class TestRouting:
+    def test_forwarding_uses_route_table(self, two_host_network):
+        net = two_host_network
+        agent = RecordingAgent()
+        port = net.nodes["b"].bind(agent)
+        net.nodes["a"].send(Packet(src="a", dst="b", dst_port=port, size=100))
+        net.run(until=1.0)
+        assert len(agent.packets) == 1
+
+    def test_missing_route_counts_failure(self, sim):
+        router = Router(sim, "r")
+        router.receive(Packet(src="x", dst="elsewhere", size=10))
+        assert router.routing_failures == 1
+
+    def test_send_to_self_delivers_locally(self, sim):
+        host = Host(sim, "h")
+        agent = RecordingAgent()
+        port = host.bind(agent)
+        host.send(Packet(src="h", dst="h", dst_port=port, size=10))
+        assert len(agent.packets) == 1
+
+    def test_send_without_route_fails(self, sim):
+        host = Host(sim, "h")
+        assert not host.send(Packet(src="h", dst="b", size=10))
+        assert host.routing_failures == 1
+
+    def test_forward_counter(self, two_host_network):
+        net = two_host_network
+        net.add_router("m")  # not on any path; counters on a only
+        agent = RecordingAgent()
+        port = net.nodes["b"].bind(agent)
+        net.nodes["a"].send(Packet(src="a", dst="b", dst_port=port, size=100))
+        net.run(until=1.0)
+        assert net.nodes["b"].packets_delivered == 1

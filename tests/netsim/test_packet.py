@@ -1,0 +1,41 @@
+"""Tests for the packet model."""
+
+import pytest
+
+from repro.netsim.packet import Packet, PacketKind
+
+
+class TestPacket:
+    def test_unique_ids(self):
+        a = Packet(src="a", dst="b", size=10)
+        b = Packet(src="a", dst="b", size=10)
+        assert a.uid != b.uid
+
+    def test_fields_stored(self):
+        packet = Packet(
+            src="a", dst="b", size=100, kind=PacketKind.ACK,
+            flow_id="f", seq=7, created_at=1.5, dst_port=3, payload="x",
+        )
+        assert packet.src == "a"
+        assert packet.dst == "b"
+        assert packet.size == 100
+        assert packet.kind == "ack"
+        assert packet.flow_id == "f"
+        assert packet.seq == 7
+        assert packet.created_at == 1.5
+        assert packet.dst_port == 3
+        assert packet.payload == "x"
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src="a", dst="b", size=0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src="a", dst="b", size=-5)
+
+    def test_size_coerced_to_int(self):
+        assert Packet(src="a", dst="b", size=10.0).size == 10
+
+    def test_default_kind_is_data(self):
+        assert Packet(src="a", dst="b", size=10).kind == PacketKind.DATA

@@ -1,0 +1,133 @@
+"""Tests for probe streams and virtual-probe semantics."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.probes import LossPairProber, PeriodicProber
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network, chain_network
+from repro.netsim.traffic import CbrSource, UdpSink
+
+
+def saturated_single_link(buffer_bytes=5_000, rate=1e6, overload=1.5, seed=0):
+    """One bottleneck driven to sustained overload (full queue)."""
+    net = Network(seed=seed)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", rate, 0.005, DropTailQueue(buffer_bytes))
+    net.add_link("b", "a", rate, 0.005, DropTailQueue(1_000_000))
+    net.compute_routes()
+    sink = UdpSink(net.nodes["b"])
+    CbrSource(net.nodes["a"], "b", sink.port, "load",
+              rate_bps=overload * rate, packet_size=1000)
+    return net
+
+
+class TestPeriodicProber:
+    def test_probe_count_matches_duration(self, small_chain):
+        prober = PeriodicProber(small_chain, "src0_0", "snk3_0",
+                                interval=0.02, start=0.0, stop=10.0)
+        small_chain.run(until=11.0)
+        assert len(prober.trace) == pytest.approx(500, abs=2)
+
+    def test_send_times_are_periodic(self, small_chain):
+        prober = PeriodicProber(small_chain, "src0_0", "snk3_0",
+                                interval=0.02, stop=1.0)
+        small_chain.run(until=2.0)
+        diffs = np.diff(prober.trace.send_times)
+        np.testing.assert_allclose(diffs, 0.02, atol=1e-9)
+
+    def test_base_delay_matches_idle_path(self, small_chain):
+        prober = PeriodicProber(small_chain, "src0_0", "snk3_0", stop=1.0)
+        small_chain.run(until=2.0)
+        # No cross traffic: every observed delay equals the base delay.
+        obs = prober.trace.observation()
+        np.testing.assert_allclose(obs.observed, prober.trace.base_delay,
+                                   atol=1e-9)
+
+    def test_losses_occur_on_saturated_link(self):
+        net = saturated_single_link()
+        prober = PeriodicProber(net, "a", "b", stop=20.0)
+        net.run(until=21.0)
+        assert prober.trace.loss_rate > 0.3
+
+    def test_lost_probe_records_full_queue_delay(self):
+        net = saturated_single_link(buffer_bytes=5_000, rate=1e6)
+        prober = PeriodicProber(net, "a", "b", stop=20.0)
+        net.run(until=21.0)
+        trace = prober.trace
+        lost_vq = trace.virtual_queuing_delays[trace.lost]
+        # Full queue of 5 x 1000 B at 1 Mb/s = 40 ms (+ residual < 8 ms).
+        assert lost_vq.min() >= 0.040 - 1e-9
+        assert lost_vq.max() <= 0.050
+
+    def test_loss_mark_taken_at_most_once(self):
+        # Two saturated links in series: loss_hop must be a single index.
+        net = chain_network([1e6, 1e6], [5_000, 5_000], seed=3)
+        sink_a = UdpSink(net.nodes["snk1_0"])
+        CbrSource(net.nodes["src0_0"], "snk1_0", sink_a.port, "l1",
+                  rate_bps=1.5e6, packet_size=1000)
+        sink_b = UdpSink(net.nodes["snk2_0"])
+        CbrSource(net.nodes["src1_0"], "snk2_0", sink_b.port, "l2",
+                  rate_bps=1.5e6, packet_size=1000)
+        prober = PeriodicProber(net, "src0_1", "snk2_1", stop=20.0)
+        net.run(until=25.0)
+        trace = prober.trace
+        assert trace.loss_rate > 0.5
+        # Every lost probe has exactly one loss hop, the first full queue.
+        hops = trace.loss_hops[trace.lost]
+        assert (hops >= 0).all()
+        first_chain_hop = trace.link_names.index("r0->r1")
+        assert (hops == first_chain_hop).mean() > 0.9
+
+    def test_virtual_probe_continues_past_loss(self):
+        net = saturated_single_link()
+        prober = PeriodicProber(net, "a", "b", stop=10.0)
+        net.run(until=11.0)
+        trace = prober.trace
+        # Lost probes still have per-hop queuing recorded for every hop.
+        lost_records = [r for r in trace.records if r.lost]
+        assert lost_records
+        assert all(len(r.hop_queuing) == len(trace.link_names)
+                   for r in lost_records)
+
+    def test_invalid_interval_rejected(self, small_chain):
+        with pytest.raises(ValueError):
+            PeriodicProber(small_chain, "src0_0", "snk3_0", interval=0)
+
+
+class TestLossPairProber:
+    def test_pairs_are_recorded(self, small_chain):
+        prober = LossPairProber(small_chain, "src0_0", "snk3_0",
+                                pair_interval=0.04, stop=2.0)
+        small_chain.run(until=3.0)
+        assert len(prober.trace) == pytest.approx(50, abs=2)
+
+    def test_pair_probes_sample_similar_state_without_traffic(self, small_chain):
+        prober = LossPairProber(small_chain, "src0_0", "snk3_0", stop=2.0)
+        small_chain.run(until=3.0)
+        for first, second in prober.trace.pairs:
+            # The second probe sees one extra (companion) slot per hop:
+            # a few probe transmission times, well under a millisecond.
+            assert second.total_queuing == pytest.approx(first.total_queuing,
+                                                         abs=5e-4)
+            assert second.total_queuing >= first.total_queuing
+
+    def test_loss_pairs_capture_companion_delay(self):
+        net = saturated_single_link(overload=1.2)
+        prober = LossPairProber(net, "a", "b", pair_interval=0.04, stop=60.0)
+        net.run(until=61.0)
+        delays = prober.trace.loss_pair_delays()
+        assert delays.size > 0
+        # Companion of a lost probe saw a (nearly) full queue: ~40 ms.
+        assert np.median(delays) > 0.030
+
+    def test_loss_rate_counts_both_probes(self):
+        net = saturated_single_link()
+        prober = LossPairProber(net, "a", "b", stop=20.0)
+        net.run(until=21.0)
+        assert 0 < prober.trace.loss_rate <= 1
+
+    def test_invalid_interval_rejected(self, small_chain):
+        with pytest.raises(ValueError):
+            LossPairProber(small_chain, "src0_0", "snk3_0", pair_interval=0)

@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for simulator invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue, REDQueue
+
+
+class Collector:
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def drive_link(sizes, capacity_bytes=10_000, bandwidth=1e6, queue_cls=None):
+    sim = Simulator(0)
+    sink = Collector(sim)
+    queue = (queue_cls or DropTailQueue)(capacity_bytes)
+    link = Link(sim, "a->b", "a", sink, bandwidth, 0.005, queue)
+    admitted = sum(link.send(Packet(src="a", dst="b", size=s, seq=i))
+                   for i, s in enumerate(sizes))
+    sim.run()
+    return link, sink, admitted
+
+
+sizes_strategy = st.lists(st.integers(min_value=40, max_value=1500),
+                          min_size=1, max_size=60)
+
+
+class TestLinkInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=sizes_strategy)
+    def test_conservation(self, sizes):
+        link, sink, admitted = drive_link(sizes)
+        assert admitted + link.queue.drops == len(sizes)
+        assert len(sink.received) == admitted
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=sizes_strategy)
+    def test_fifo_delivery(self, sizes):
+        _, sink, _ = drive_link(sizes)
+        seqs = [p.seq for _, p in sink.received]
+        assert seqs == sorted(seqs)
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=sizes_strategy)
+    def test_work_conservation(self, sizes):
+        # Every admitted byte occupies the wire exactly size*8/bw seconds;
+        # the last delivery time is at least the total service demand.
+        link, sink, _ = drive_link(sizes)
+        if not sink.received:
+            return
+        total_service = sum(p.size for _, p in sink.received) * 8 / 1e6
+        last_delivery = sink.received[-1][0]
+        assert last_delivery >= total_service - 1e-9
+        # And no idling while work is queued: back-to-back arrivals mean
+        # the span equals service + one propagation.
+        assert last_delivery == pytest.approx(total_service + 0.005)
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=sizes_strategy)
+    def test_delivery_times_strictly_ordered(self, sizes):
+        _, sink, _ = drive_link(sizes)
+        times = [t for t, _ in sink.received]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(sizes=sizes_strategy, seed=st.integers(0, 20))
+    def test_red_conservation(self, sizes, seed):
+        link, sink, admitted = drive_link(
+            sizes, queue_cls=lambda c: REDQueue(c, min_th=3, max_th=9)
+        )
+        assert admitted + link.queue.drops == len(sizes)
+        assert len(sink.received) == admitted
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=sizes_strategy)
+    def test_backlog_returns_to_zero(self, sizes):
+        link, _, _ = drive_link(sizes)
+        assert link.queue.backlog_bytes == 0
+        assert link.queue.backlog_packets == 0
+        assert link.service_residual() == 0.0
+
+
+class TestDiscretizerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.011, max_value=0.5, allow_nan=False),
+            min_size=2, max_size=100,
+        ),
+        n_symbols=st.integers(min_value=1, max_value=40),
+    )
+    def test_symbols_in_range_and_monotone(self, delays, n_symbols):
+        from repro.core.discretize import DelayDiscretizer
+
+        delays = np.asarray(delays)
+        disc = DelayDiscretizer(n_symbols, 0.01, delays.max() + 1e-6)
+        symbols = disc.symbols_of(delays)
+        assert ((symbols >= 1) & (symbols <= n_symbols)).all()
+        # Symbolization preserves order: larger delay, no smaller symbol.
+        order = np.argsort(delays, kind="stable")
+        assert (np.diff(symbols[order]) >= 0).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        queuing=st.floats(min_value=1e-6, max_value=0.39),
+        n_symbols=st.integers(min_value=1, max_value=40),
+    )
+    def test_bin_edges_bracket_value(self, queuing, n_symbols):
+        from repro.core.discretize import DelayDiscretizer
+
+        disc = DelayDiscretizer(n_symbols, 0.01, 0.41)
+        symbol = disc.symbol_of(0.01 + queuing)
+        assert disc.queuing_lower_edge(symbol) <= queuing + 1e-9
+        assert queuing <= disc.queuing_upper_edge(symbol) + 1e-9

@@ -1,0 +1,202 @@
+"""Tests for droptail and (Adaptive) RED queues."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.queues import AdaptiveREDQueue, DropTailQueue, REDQueue
+
+
+def make_packet(size=1000, seq=0):
+    return Packet(src="a", dst="b", size=size, seq=seq)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def attached(queue, rate=1e6, sim=None):
+    queue.attach(sim or Simulator(0), rate)
+    return queue
+
+
+class TestDropTail:
+    def test_fifo_order(self, rng):
+        queue = attached(DropTailQueue(10_000))
+        packets = [make_packet(seq=i) for i in range(5)]
+        for packet in packets:
+            assert queue.offer(packet, 0.0, rng)
+        assert [queue.pop().seq for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_pop_empty_returns_none(self):
+        queue = attached(DropTailQueue(10_000))
+        assert queue.pop() is None
+
+    def test_capacity_in_packets_from_bytes(self):
+        queue = DropTailQueue(20_000, nominal_packet_size=1000)
+        assert queue.capacity_packets == 20
+
+    def test_drop_when_packet_count_full(self, rng):
+        queue = attached(DropTailQueue(3_000))
+        for i in range(3):
+            assert queue.offer(make_packet(seq=i), 0.0, rng)
+        assert not queue.offer(make_packet(seq=3), 0.0, rng)
+        assert queue.drops == 1
+        assert queue.arrivals == 4
+
+    def test_small_packets_also_count_against_packet_limit(self, rng):
+        # ns-2 semantics: a 40-byte ACK occupies a whole buffer slot.
+        queue = attached(DropTailQueue(2_000))
+        assert queue.offer(make_packet(size=40), 0.0, rng)
+        assert queue.offer(make_packet(size=40), 0.0, rng)
+        assert not queue.offer(make_packet(size=40), 0.0, rng)
+
+    def test_backlog_bytes_tracks_contents(self, rng):
+        queue = attached(DropTailQueue(10_000))
+        queue.offer(make_packet(size=400), 0.0, rng)
+        queue.offer(make_packet(size=600), 0.0, rng)
+        assert queue.backlog_bytes == 1000
+        queue.pop()
+        assert queue.backlog_bytes == 600
+
+    def test_loss_ratio(self, rng):
+        queue = attached(DropTailQueue(1_000))
+        queue.offer(make_packet(), 0.0, rng)
+        queue.offer(make_packet(), 0.0, rng)
+        assert queue.loss_ratio == 0.5
+
+    def test_max_queuing_delay_matches_paper_definition(self):
+        queue = attached(DropTailQueue(20_000), rate=1e6)
+        # 20 packets x 1000 B x 8 / 1 Mb/s = 0.16 s
+        assert queue.max_queuing_delay() == pytest.approx(0.16)
+
+    def test_probe_loss_only_when_full(self, rng):
+        queue = attached(DropTailQueue(2_000))
+        assert not queue.probe_loss(10, 0.0, rng)
+        queue.offer(make_packet(), 0.0, rng)
+        assert not queue.probe_loss(10, 0.0, rng)
+        queue.offer(make_packet(), 0.0, rng)
+        assert queue.probe_loss(10, 0.0, rng)
+
+    def test_probe_observe_reports_backlog_drain_time(self, rng):
+        queue = attached(DropTailQueue(10_000), rate=1e6)
+        queue.offer(make_packet(size=1000), 0.0, rng)
+        lost, delay = queue.probe_observe(10, 0.0, rng, residual=0.002)
+        assert not lost
+        assert delay == pytest.approx(0.002 + 1000 * 8 / 1e6)
+
+    def test_probe_observe_does_not_mutate_state(self, rng):
+        queue = attached(DropTailQueue(10_000))
+        queue.offer(make_packet(), 0.0, rng)
+        before = (queue.backlog_bytes, queue.backlog_packets, queue.arrivals)
+        queue.probe_observe(10, 0.0, rng, residual=0.0)
+        assert (queue.backlog_bytes, queue.backlog_packets, queue.arrivals) == before
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+        with pytest.raises(ValueError):
+            DropTailQueue(1000, nominal_packet_size=0)
+
+
+class TestRED:
+    def test_no_drops_below_min_threshold(self, rng):
+        queue = attached(REDQueue(100_000, min_th=10, max_th=30))
+        for i in range(5):
+            assert queue.offer(make_packet(seq=i), i * 0.001, rng)
+        assert queue.drops == 0
+
+    def test_average_tracks_queue(self, rng):
+        queue = attached(REDQueue(100_000, min_th=5, weight=0.5))
+        for i in range(10):
+            queue.offer(make_packet(seq=i), 0.0, rng)
+        assert queue.avg > 0
+
+    def test_forced_drop_on_physical_overflow(self, rng):
+        queue = attached(REDQueue(3_000, min_th=100, max_th=200))
+        for i in range(3):
+            queue.offer(make_packet(seq=i), 0.0, rng)
+        assert not queue.offer(make_packet(seq=3), 0.0, rng)
+        assert queue.forced_drops == 1
+
+    def test_early_drops_occur_in_drop_region(self, rng):
+        queue = attached(REDQueue(1_000_000, min_th=2, max_th=6, max_p=0.5,
+                                  weight=0.5))
+        dropped = 0
+        for i in range(200):
+            if not queue.offer(make_packet(seq=i), 0.0, rng):
+                dropped += 1
+            if queue.backlog_packets > 4:
+                queue.pop()
+        assert dropped > 0
+        assert queue.early_drops == dropped
+
+    def test_gentle_region_drop_probability(self):
+        queue = attached(REDQueue(1_000_000, min_th=10, max_th=30, max_p=0.1))
+        queue.avg = 45.0  # between max_th and 2*max_th
+        p = queue._drop_probability()
+        assert 0.1 < p < 1.0
+        queue.avg = 60.0
+        assert queue._drop_probability() == 1.0
+
+    def test_drop_probability_linear_between_thresholds(self):
+        queue = attached(REDQueue(1_000_000, min_th=10, max_th=30, max_p=0.1))
+        queue.avg = 20.0  # midway
+        assert queue._drop_probability() == pytest.approx(0.05)
+
+    def test_idle_decay_reduces_average(self, rng):
+        queue = attached(REDQueue(100_000, min_th=5, weight=0.25))
+        for i in range(8):
+            queue.offer(make_packet(seq=i), 0.0, rng)
+        for _ in range(8):
+            queue.pop()
+        avg_before = queue.avg
+        queue.notify_idle(0.0)
+        queue.offer(make_packet(seq=99), 10.0, rng)  # long idle gap
+        assert queue.avg < avg_before
+
+    def test_probe_loss_respects_drop_curve(self, rng):
+        queue = attached(REDQueue(1_000_000, min_th=5, max_th=15, max_p=1.0))
+        queue.avg = 0.0
+        assert not queue.probe_loss(10, 0.0, rng)
+        queue.avg = 14.9  # p_b ~ 0.99
+        losses = sum(queue.probe_loss(10, 0.0, rng) for _ in range(100))
+        assert losses > 80
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            REDQueue(10_000, min_th=0)
+        with pytest.raises(ValueError):
+            REDQueue(10_000, min_th=10, max_th=5)
+
+
+class TestAdaptiveRED:
+    def test_max_p_increases_under_sustained_load(self, rng):
+        sim = Simulator(0)
+        queue = AdaptiveREDQueue(1_000_000, min_th=5, max_th=15, max_p=0.05,
+                                 interval=0.1)
+        queue.attach(sim, 1e6)
+        queue.avg = 14.0  # above target band
+        initial = queue.max_p
+        sim.run(until=1.0)
+        assert queue.max_p > initial
+
+    def test_max_p_decreases_when_underloaded(self, rng):
+        sim = Simulator(0)
+        queue = AdaptiveREDQueue(1_000_000, min_th=5, max_th=15, max_p=0.2,
+                                 interval=0.1)
+        queue.attach(sim, 1e6)
+        queue.avg = 5.5  # below target band
+        sim.run(until=1.0)
+        assert queue.max_p < 0.2
+
+    def test_max_p_bounded(self):
+        sim = Simulator(0)
+        queue = AdaptiveREDQueue(1_000_000, min_th=5, max_th=15, max_p=0.49,
+                                 interval=0.05)
+        queue.attach(sim, 1e6)
+        queue.avg = 14.9
+        sim.run(until=5.0)
+        assert queue.max_p <= 0.5

@@ -1,0 +1,81 @@
+"""Tests for round-trip (RTT) probing."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.probes import PeriodicProber
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network, chain_network
+from repro.netsim.traffic import UdpOnOffSource, UdpSink
+
+
+def onoff_load(net, src, dst, rate_bps, flow="load"):
+    sink = UdpSink(net.nodes[dst])
+    UdpOnOffSource(net.nodes[src], dst, sink.port, flow,
+                   rate_bps=rate_bps, packet_size=1000,
+                   mean_on=0.5, mean_off=0.5)
+
+
+class TestRoundTripProber:
+    def test_path_covers_both_directions(self, small_chain):
+        prober = PeriodicProber(small_chain, "src0_0", "snk3_0",
+                                round_trip=True, stop=1.0)
+        names = prober.trace.link_names
+        assert "r2->r3" in names and "r3->r2" in names
+        assert names[0] == "src0_0->r0"
+        assert names[-1] == "r0->src0_0"
+
+    def test_idle_rtt_is_twice_one_way(self, small_chain):
+        one_way = PeriodicProber(small_chain, "src0_0", "snk3_0", stop=0.5)
+        rtt = PeriodicProber(small_chain, "src0_0", "snk3_0",
+                             round_trip=True, stop=0.5)
+        small_chain.run(until=2.0)
+        # The chain is symmetric, so base RTT = 2x base one-way delay.
+        assert rtt.trace.base_delay == pytest.approx(
+            2 * one_way.trace.base_delay, rel=1e-9
+        )
+
+    def test_forward_congestion_visible_in_rtt(self):
+        net = chain_network([10e6, 10e6, 1e6], [80_000, 80_000, 20_000],
+                            seed=5)
+        onoff_load(net, "src0_1", "snk3_1", rate_bps=2.5e6)
+        prober = PeriodicProber(net, "src0_0", "snk3_0", round_trip=True,
+                                start=5.0, stop=40.0)
+        net.run(until=45.0)
+        trace = prober.trace
+        assert trace.loss_rate > 0.1
+        shares = trace.loss_share_by_hop()
+        assert shares[trace.link_names.index("r2->r3")] > 0.99
+
+    def test_reverse_congestion_also_visible(self):
+        # An RTT probe cannot tell forward from reverse congestion —
+        # the loss hop lands on the reverse link.
+        net = chain_network([10e6, 10e6, 10e6], [80_000] * 3, seed=6)
+        # Congest r3->r2 (reverse direction): slow it down and give it a
+        # small buffer (the builder's reverse links are ample by default).
+        reverse_link = net.links[("r3", "r2")]
+        reverse_link.bandwidth_bps = 1e6
+        reverse_link.queue = DropTailQueue(20_000)
+        reverse_link.queue.attach(net.sim, 1e6)
+        onoff_load(net, "src3_1", "snk0_1", rate_bps=2.5e6)
+        prober = PeriodicProber(net, "src0_0", "snk3_0", round_trip=True,
+                                start=5.0, stop=40.0)
+        net.run(until=45.0)
+        trace = prober.trace
+        assert trace.loss_rate > 0.1
+        shares = trace.loss_share_by_hop()
+        assert shares[trace.link_names.index("r3->r2")] > 0.99
+
+    def test_identification_works_on_rtt_observation(self):
+        from repro.core import IdentifyConfig, identify
+        from repro.models.base import EMConfig
+
+        net = chain_network([10e6, 10e6, 1e6], [80_000, 80_000, 20_000],
+                            seed=7)
+        onoff_load(net, "src0_1", "snk3_1", rate_bps=2.5e6)
+        prober = PeriodicProber(net, "src0_0", "snk3_0", round_trip=True,
+                                start=5.0, stop=100.0)
+        net.run(until=105.0)
+        report = identify(prober.trace,
+                          IdentifyConfig(em=EMConfig(max_iter=40, tol=1e-3)))
+        assert report.dominant_link_exists

@@ -1,0 +1,153 @@
+"""Tests for the TCP Reno implementation."""
+
+import pytest
+
+from repro.netsim.node import Host
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.tcp import TcpReceiver, TcpSender, open_tcp_connection
+from repro.netsim.topology import Network
+
+
+def build_path(bandwidth=1e6, buffer_bytes=10_000, prop=0.005, seed=0):
+    net = Network(seed=seed)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", bandwidth, prop, DropTailQueue(buffer_bytes))
+    net.add_link("b", "a", bandwidth, prop, DropTailQueue(1_000_000))
+    net.compute_routes()
+    return net
+
+
+class TestTransferCompletion:
+    def test_finite_transfer_completes(self):
+        net = build_path()
+        done = []
+        sender = open_tcp_connection(
+            net.nodes["a"], net.nodes["b"], flow_id="f",
+            total_segments=50, on_complete=lambda: done.append(net.sim.now),
+        )
+        sender.start()
+        net.run(until=60.0)
+        assert done, "transfer did not complete"
+        assert sender.completed
+        assert sender.highest_acked == 50
+
+    def test_receiver_sees_all_segments_in_order(self):
+        net = build_path()
+        receiver = TcpReceiver(net.nodes["b"])
+        sender = TcpSender(net.nodes["a"], dst="b", dst_port=receiver.port,
+                           flow_id="f", total_segments=30)
+        sender.start()
+        net.run(until=60.0)
+        assert receiver.expected_seq == 30
+
+    def test_completion_callback_fires_once(self):
+        net = build_path()
+        done = []
+        sender = open_tcp_connection(
+            net.nodes["a"], net.nodes["b"], flow_id="f",
+            total_segments=10, on_complete=lambda: done.append(1),
+        )
+        sender.start()
+        net.run(until=60.0)
+        assert done == [1]
+
+    def test_throughput_approaches_capacity(self):
+        # A long transfer over a 1 Mb/s link should move ~1 Mb/s of goodput.
+        net = build_path(buffer_bytes=20_000)
+        sender = open_tcp_connection(net.nodes["a"], net.nodes["b"], flow_id="f")
+        sender.start()
+        net.run(until=50.0)
+        goodput_bps = sender.highest_acked * 1000 * 8 / 50.0
+        assert goodput_bps > 0.7e6
+
+    def test_transfer_over_lossy_bottleneck_still_completes(self):
+        net = build_path(buffer_bytes=3_000)  # 3-packet buffer: heavy loss
+        done = []
+        sender = open_tcp_connection(
+            net.nodes["a"], net.nodes["b"], flow_id="f",
+            total_segments=100, on_complete=lambda: done.append(1),
+        )
+        sender.start()
+        net.run(until=300.0)
+        assert done
+
+
+class TestCongestionControl:
+    def test_slow_start_doubles_window(self):
+        net = build_path(bandwidth=10e6, buffer_bytes=1_000_000)
+        sender = open_tcp_connection(net.nodes["a"], net.nodes["b"], flow_id="f")
+        sender.start()
+        net.run(until=0.5)
+        # Several RTTs (~11 ms each) of pure slow start: cwnd grew well
+        # past the initial 1.
+        assert sender.cwnd > 8
+
+    def test_losses_trigger_fast_retransmit(self):
+        net = build_path(buffer_bytes=5_000)
+        sender = open_tcp_connection(net.nodes["a"], net.nodes["b"], flow_id="f")
+        sender.start()
+        net.run(until=30.0)
+        assert sender.fast_retransmits > 0
+
+    def test_ssthresh_updated_on_loss(self):
+        net = build_path(buffer_bytes=5_000)
+        sender = open_tcp_connection(net.nodes["a"], net.nodes["b"], flow_id="f")
+        initial_ssthresh = sender.ssthresh
+        sender.start()
+        net.run(until=30.0)
+        assert sender.ssthresh != initial_ssthresh
+
+    def test_rtt_estimator_converges(self):
+        net = build_path(bandwidth=10e6, buffer_bytes=1_000_000)
+        sender = open_tcp_connection(net.nodes["a"], net.nodes["b"], flow_id="f")
+        sender.start()
+        net.run(until=2.0)
+        # Path RTT is ~10.8 ms idle; srtt should land in the right decade.
+        assert sender.srtt is not None
+        assert 0.005 < sender.srtt < 0.2
+
+    def test_no_timeouts_on_clean_path(self):
+        net = build_path(bandwidth=10e6, buffer_bytes=1_000_000)
+        sender = open_tcp_connection(
+            net.nodes["a"], net.nodes["b"], flow_id="f", total_segments=200
+        )
+        sender.start()
+        net.run(until=10.0)
+        assert sender.timeouts == 0
+        assert sender.completed
+
+    def test_flight_size_never_negative(self):
+        net = build_path(buffer_bytes=5_000)
+        sender = open_tcp_connection(net.nodes["a"], net.nodes["b"], flow_id="f")
+        sender.start()
+        net.run(until=10.0)
+        assert sender._flight_size() >= 0
+
+
+class TestReceiver:
+    def test_out_of_order_reassembly(self, sim):
+        host = Host(sim, "b")
+        receiver = TcpReceiver(host)
+        from repro.netsim.packet import Packet, PacketKind
+
+        def data(seq):
+            return Packet(src="a", dst="b", dst_port=receiver.port, size=1040,
+                          kind=PacketKind.DATA, flow_id="f", seq=seq, payload=1)
+
+        receiver.handle_packet(data(0))
+        receiver.handle_packet(data(2))  # hole at 1
+        assert receiver.expected_seq == 1
+        receiver.handle_packet(data(1))
+        assert receiver.expected_seq == 3
+
+    def test_duplicate_segments_counted(self, sim):
+        host = Host(sim, "b")
+        receiver = TcpReceiver(host)
+        from repro.netsim.packet import Packet, PacketKind
+
+        packet = Packet(src="a", dst="b", dst_port=receiver.port, size=1040,
+                        kind=PacketKind.DATA, flow_id="f", seq=0, payload=1)
+        receiver.handle_packet(packet)
+        receiver.handle_packet(packet)
+        assert receiver.duplicate_segments == 1

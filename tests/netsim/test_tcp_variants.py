@@ -1,0 +1,106 @@
+"""Tests for TCP Tahoe and delayed ACKs."""
+
+import pytest
+
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.tcp import TcpReceiver, TcpSender, open_tcp_connection
+from repro.netsim.topology import Network
+
+
+def build_path(bandwidth=1e6, buffer_bytes=10_000, seed=0):
+    net = Network(seed=seed)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", bandwidth, 0.005, DropTailQueue(buffer_bytes))
+    net.add_link("b", "a", bandwidth, 0.005, DropTailQueue(1_000_000))
+    net.compute_routes()
+    return net
+
+
+class TestTahoe:
+    def test_invalid_variant_rejected(self):
+        net = build_path()
+        with pytest.raises(ValueError):
+            open_tcp_connection(net.nodes["a"], net.nodes["b"], flow_id="f",
+                                variant="cubic")
+
+    def test_tahoe_completes_transfers(self):
+        net = build_path(buffer_bytes=5_000)
+        done = []
+        sender = open_tcp_connection(
+            net.nodes["a"], net.nodes["b"], flow_id="f", variant="tahoe",
+            total_segments=150, on_complete=lambda: done.append(1),
+        )
+        sender.start()
+        net.run(until=120.0)
+        assert done
+
+    def test_tahoe_never_enters_fast_recovery(self):
+        net = build_path(buffer_bytes=5_000)
+        sender = open_tcp_connection(net.nodes["a"], net.nodes["b"],
+                                     flow_id="f", variant="tahoe")
+        sender.start()
+        recovery_seen = []
+        for _ in range(60):
+            net.run(until=net.sim.now + 0.5)
+            recovery_seen.append(sender.in_fast_recovery)
+        assert sender.fast_retransmits > 0  # losses did occur
+        assert not any(recovery_seen)
+
+    def test_tahoe_slower_than_reno_under_loss(self):
+        # The classic comparison: with the same loss environment Tahoe's
+        # cwnd resets cost throughput relative to Reno's fast recovery.
+        goodput = {}
+        for variant in ("reno", "tahoe"):
+            net = build_path(buffer_bytes=5_000, seed=2)
+            sender = open_tcp_connection(net.nodes["a"], net.nodes["b"],
+                                         flow_id="f", variant=variant)
+            sender.start()
+            net.run(until=60.0)
+            goodput[variant] = sender.highest_acked
+        assert goodput["reno"] >= goodput["tahoe"]
+
+
+class TestDelayedAck:
+    def test_fewer_acks_than_segments(self):
+        net = build_path(bandwidth=10e6, buffer_bytes=1_000_000)
+        receiver = TcpReceiver(net.nodes["b"], delayed_ack=True)
+        sender = TcpSender(net.nodes["a"], dst="b", dst_port=receiver.port,
+                           flow_id="f", total_segments=200)
+        sender.start()
+        net.run(until=20.0)
+        assert sender.completed
+        # Roughly one ACK per two segments (plus timer flushes).
+        assert receiver.acks_sent < 0.75 * receiver.segments_received
+
+    def test_ack_timer_flushes_odd_segment(self):
+        net = build_path(bandwidth=10e6, buffer_bytes=1_000_000)
+        receiver = TcpReceiver(net.nodes["b"], delayed_ack=True,
+                               ack_delay=0.1)
+        sender = TcpSender(net.nodes["a"], dst="b", dst_port=receiver.port,
+                           flow_id="f", total_segments=1)
+        sender.start()
+        net.run(until=5.0)
+        assert sender.completed  # the lone segment was eventually ACKed
+        assert receiver.acks_sent == 1
+
+    def test_out_of_order_still_acked_immediately(self):
+        net = build_path(buffer_bytes=4_000, seed=3)
+        sender = open_tcp_connection(net.nodes["a"], net.nodes["b"],
+                                     flow_id="f", delayed_ack=True)
+        sender.start()
+        net.run(until=30.0)
+        # Losses occurred and fast retransmit still fired: duplicate ACKs
+        # must have been immediate despite delayed ACKs.
+        assert sender.fast_retransmits > 0
+
+    def test_delayed_ack_transfer_completes(self):
+        net = build_path(buffer_bytes=5_000, seed=4)
+        done = []
+        sender = open_tcp_connection(
+            net.nodes["a"], net.nodes["b"], flow_id="f", delayed_ack=True,
+            total_segments=100, on_complete=lambda: done.append(1),
+        )
+        sender.start()
+        net.run(until=120.0)
+        assert done

@@ -1,0 +1,150 @@
+"""Tests for topology construction and routing."""
+
+import pytest
+
+from repro.netsim.node import Host, Router
+from repro.netsim.packet import Packet
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network, chain_network
+
+
+class TestNetwork:
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_host("a")
+        with pytest.raises(ValueError):
+            net.add_router("a")
+
+    def test_link_requires_existing_endpoints(self):
+        net = Network()
+        net.add_host("a")
+        with pytest.raises(KeyError):
+            net.add_link("a", "missing", 1e6, 0.01, DropTailQueue(1000))
+
+    def test_duplicate_link_rejected(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.add_link("a", "b", 1e6, 0.01, DropTailQueue(1000))
+        with pytest.raises(ValueError):
+            net.add_link("a", "b", 1e6, 0.01, DropTailQueue(1000))
+
+    def test_duplex_link_creates_both_directions(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        forward, backward = net.add_duplex_link(
+            "a", "b", 1e6, 0.01, lambda: DropTailQueue(1000)
+        )
+        assert ("a", "b") in net.links and ("b", "a") in net.links
+        assert forward.queue is not backward.queue
+
+    def test_routes_follow_shortest_path(self):
+        net = Network()
+        for name in "abcd":
+            net.add_router(name)
+        # a-b-d (2 hops) and a-c-d (2 hops) plus direct a-d (1 hop).
+        for src, dst in [("a", "b"), ("b", "d"), ("a", "c"), ("c", "d"), ("a", "d")]:
+            net.add_link(src, dst, 1e6, 0.01, DropTailQueue(1000))
+        net.compute_routes()
+        path = net.path_links("a", "d")
+        assert [link.name for link in path] == ["a->d"]
+
+    def test_path_links_order(self):
+        net = Network()
+        for name in ["a", "m", "b"]:
+            net.add_host(name) if name != "m" else net.add_router(name)
+        net.add_link("a", "m", 1e6, 0.01, DropTailQueue(1000))
+        net.add_link("m", "b", 1e6, 0.01, DropTailQueue(1000))
+        net.compute_routes()
+        assert [l.name for l in net.path_links("a", "b")] == ["a->m", "m->b"]
+
+    def test_no_route_raises(self):
+        net = Network()
+        net.add_host("a")
+        net.add_host("b")
+        net.compute_routes()
+        with pytest.raises(ValueError):
+            net.path_links("a", "b")
+
+    def test_unknown_endpoint_raises(self):
+        net = Network()
+        net.add_host("a")
+        with pytest.raises(KeyError):
+            net.path_links("a", "nope")
+
+    def test_propagation_delay_sums_hops(self):
+        net = Network()
+        net.add_host("a")
+        net.add_router("m")
+        net.add_host("b")
+        net.add_link("a", "m", 1e6, 0.003, DropTailQueue(1000))
+        net.add_link("m", "b", 1e6, 0.007, DropTailQueue(1000))
+        net.compute_routes()
+        assert net.propagation_delay("a", "b") == pytest.approx(0.010)
+
+
+class TestChainNetwork:
+    def test_router_and_stub_inventory(self):
+        net = chain_network([1e6, 1e6], [10_000, 10_000], stub_hosts_per_router=2)
+        routers = [n for n in net.nodes.values() if isinstance(n, Router)]
+        hosts = [n for n in net.nodes.values() if isinstance(n, Host)]
+        assert len(routers) == 3
+        # 2 src + 2 snk stubs per router.
+        assert len(hosts) == 3 * 4
+
+    def test_chain_link_parameters(self):
+        net = chain_network([1e6, 2e6], [10_000, 20_000])
+        link = net.links[("r1", "r2")]
+        assert link.bandwidth_bps == 2e6
+        assert link.queue.capacity_bytes == 20_000
+
+    def test_mismatched_buffer_list_rejected(self):
+        with pytest.raises(ValueError):
+            chain_network([1e6], [10_000, 20_000])
+
+    def test_end_to_end_route_exists(self):
+        net = chain_network([1e6, 1e6, 1e6], [10_000] * 3)
+        path = net.path_links("src0_0", "snk3_0")
+        names = [link.name for link in path]
+        assert names[0] == "src0_0->r0"
+        assert names[-1] == "r3->snk3_0"
+        assert "r0->r1" in names and "r2->r3" in names
+
+    def test_reverse_route_for_acks(self):
+        net = chain_network([1e6, 1e6], [10_000] * 2)
+        path = net.path_links("snk2_0", "src0_0")
+        assert [l.name for l in path][1:3] == ["r2->r1", "r1->r0"]
+
+    def test_custom_queue_factory_applied_to_chain_only(self):
+        calls = []
+
+        def factory(capacity, index):
+            calls.append(index)
+            return DropTailQueue(capacity)
+
+        chain_network([1e6, 1e6], [10_000] * 2, queue_factory=factory)
+        assert calls == [0, 1]
+
+    def test_deterministic_construction(self):
+        a = chain_network([1e6], [10_000], seed=3)
+        b = chain_network([1e6], [10_000], seed=3)
+        assert (
+            a.links[("src0_0", "r0")].prop_delay
+            == b.links[("src0_0", "r0")].prop_delay
+        )
+
+    def test_packet_travels_end_to_end(self):
+        net = chain_network([1e6, 1e6], [10_000] * 2)
+        dst = net.nodes["snk2_0"]
+        got = []
+
+        class Sink:
+            def handle_packet(self, packet):
+                got.append(packet)
+
+        port = dst.bind(Sink())
+        src = net.nodes["src0_0"]
+        src.send(Packet(src="src0_0", dst="snk2_0", dst_port=port, size=100))
+        net.run(until=1.0)
+        assert len(got) == 1

@@ -1,0 +1,137 @@
+"""Tests for trace data structures."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.trace import (
+    LossPairTrace,
+    PathObservation,
+    ProbeRecord,
+    ProbeTrace,
+)
+
+
+def make_trace(records, link_names=("l0", "l1"), base_delay=0.01):
+    trace = ProbeTrace(list(link_names), base_delay, probe_interval=0.02,
+                       probe_size=10)
+    for record in records:
+        trace.append(record)
+    return trace
+
+
+class TestProbeRecord:
+    def test_lost_flag(self):
+        assert ProbeRecord(0.0, (0.1, 0.2), loss_hop=1).lost
+        assert not ProbeRecord(0.0, (0.1, 0.2), loss_hop=-1).lost
+
+    def test_total_queuing(self):
+        record = ProbeRecord(0.0, (0.1, 0.25), loss_hop=-1)
+        assert record.total_queuing == pytest.approx(0.35)
+
+
+class TestProbeTrace:
+    def test_append_validates_hop_count(self):
+        trace = ProbeTrace(["l0", "l1"], 0.01, 0.02, 10)
+        with pytest.raises(ValueError):
+            trace.append(ProbeRecord(0.0, (0.1,), loss_hop=-1))
+
+    def test_loss_rate(self):
+        records = [ProbeRecord(i * 0.02, (0, 0), -1 if i % 2 else 0)
+                   for i in range(10)]
+        assert make_trace(records).loss_rate == 0.5
+
+    def test_loss_share_by_hop(self):
+        records = [
+            ProbeRecord(0.0, (0, 0), 0),
+            ProbeRecord(0.02, (0, 0), 0),
+            ProbeRecord(0.04, (0, 0), 1),
+            ProbeRecord(0.06, (0, 0), -1),
+        ]
+        shares = make_trace(records).loss_share_by_hop()
+        np.testing.assert_allclose(shares, [2 / 3, 1 / 3])
+
+    def test_loss_share_no_losses(self):
+        records = [ProbeRecord(0.0, (0, 0), -1)]
+        np.testing.assert_array_equal(make_trace(records).loss_share_by_hop(),
+                                      [0.0, 0.0])
+
+    def test_observed_delays_nan_for_losses(self):
+        records = [
+            ProbeRecord(0.0, (0.05, 0.0), -1),
+            ProbeRecord(0.02, (0.1, 0.0), 0),
+        ]
+        delays = make_trace(records).observed_delays
+        assert delays[0] == pytest.approx(0.06)
+        assert np.isnan(delays[1])
+
+    def test_virtual_delays_exist_for_losses(self):
+        records = [ProbeRecord(0.0, (0.1, 0.05), 0)]
+        trace = make_trace(records)
+        assert trace.virtual_queuing_delays[0] == pytest.approx(0.15)
+
+    def test_segment_by_index(self):
+        records = [ProbeRecord(i * 0.02, (0, 0), -1) for i in range(10)]
+        segment = make_trace(records).segment(2, 5)
+        assert len(segment) == 3
+        assert segment.send_times[0] == pytest.approx(0.04)
+
+    def test_segment_by_time(self):
+        records = [ProbeRecord(i * 0.02, (0, 0), -1) for i in range(10)]
+        segment = make_trace(records).segment_by_time(0.05, 0.1)
+        assert len(segment) == 2  # probes at 0.06, 0.08
+
+    def test_hop_queuing_matrix_shape(self):
+        records = [ProbeRecord(i * 0.02, (0.1, 0.2), -1) for i in range(4)]
+        assert make_trace(records).hop_queuing_matrix.shape == (4, 2)
+
+
+class TestPathObservation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PathObservation(np.array([0.0]), np.array([0.1, 0.2]))
+
+    def test_loss_mask_and_rate(self):
+        obs = PathObservation(np.arange(4.0), np.array([0.1, np.nan, 0.2, np.nan]))
+        assert obs.loss_rate == 0.5
+        np.testing.assert_array_equal(obs.lost, [False, True, False, True])
+
+    def test_min_max_ignore_losses(self):
+        obs = PathObservation(np.arange(3.0), np.array([0.3, np.nan, 0.1]))
+        assert obs.min_delay == pytest.approx(0.1)
+        assert obs.max_delay == pytest.approx(0.3)
+
+    def test_min_delay_all_lost_raises(self):
+        obs = PathObservation(np.arange(2.0), np.array([np.nan, np.nan]))
+        with pytest.raises(ValueError):
+            obs.min_delay
+
+    def test_duration(self):
+        obs = PathObservation(np.array([1.0, 2.0, 4.0]), np.array([0.1] * 3))
+        assert obs.duration() == pytest.approx(3.0)
+
+    def test_segment_preserves_propagation(self):
+        obs = PathObservation(np.arange(5.0), np.full(5, 0.1),
+                              propagation_delay=0.05)
+        assert obs.segment(1, 3).propagation_delay == 0.05
+
+
+class TestLossPairTrace:
+    def make_pair(self, first_lost, second_lost, q=0.1):
+        first = ProbeRecord(0.0, (q,), 0 if first_lost else -1)
+        second = ProbeRecord(0.0, (q,), 0 if second_lost else -1)
+        return first, second
+
+    def test_loss_pair_delays_from_mixed_pairs(self):
+        trace = LossPairTrace(0.01, 0.04, 10)
+        trace.append(*self.make_pair(True, False, q=0.2))   # usable
+        trace.append(*self.make_pair(False, False, q=0.3))  # both survive
+        trace.append(*self.make_pair(True, True, q=0.4))    # both lost
+        trace.append(*self.make_pair(False, True, q=0.5))   # usable
+        delays = trace.loss_pair_delays()
+        np.testing.assert_allclose(sorted(delays), [0.2, 0.5])
+
+    def test_loss_rate_over_individual_probes(self):
+        trace = LossPairTrace(0.01, 0.04, 10)
+        trace.append(*self.make_pair(True, False))
+        trace.append(*self.make_pair(False, False))
+        assert trace.loss_rate == 0.25

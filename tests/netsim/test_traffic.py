@@ -1,0 +1,166 @@
+"""Tests for UDP traffic sources."""
+
+import pytest
+
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network
+from repro.netsim.traffic import (
+    CbrSource,
+    PeriodicBurstSource,
+    SaturatingBurstSource,
+    UdpOnOffSource,
+    UdpSink,
+    start_ftp_flows,
+)
+
+
+@pytest.fixture
+def pipe():
+    net = Network(seed=1)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 10e6, 0.001, DropTailQueue(1_000_000))
+    net.add_link("b", "a", 10e6, 0.001, DropTailQueue(1_000_000))
+    net.compute_routes()
+    sink = UdpSink(net.nodes["b"])
+    return net, sink
+
+
+class TestCbr:
+    def test_rate_is_respected(self, pipe):
+        net, sink = pipe
+        CbrSource(net.nodes["a"], "b", sink.port, "cbr", rate_bps=80_000,
+                  packet_size=1000)
+        net.run(until=10.0)
+        # 80 kb/s = 10 pkt/s for 10 s = ~100 packets.
+        assert 95 <= sink.packets_received <= 105
+
+    def test_stop_time_honoured(self, pipe):
+        net, sink = pipe
+        CbrSource(net.nodes["a"], "b", sink.port, "cbr", rate_bps=80_000,
+                  packet_size=1000, stop=1.0)
+        net.run(until=10.0)
+        assert sink.packets_received <= 11
+
+    def test_invalid_rate_rejected(self, pipe):
+        net, sink = pipe
+        with pytest.raises(ValueError):
+            CbrSource(net.nodes["a"], "b", sink.port, "cbr", rate_bps=0)
+
+
+class TestOnOff:
+    def test_average_rate_near_half_peak(self, pipe):
+        net, sink = pipe
+        UdpOnOffSource(net.nodes["a"], "b", sink.port, "oo",
+                       rate_bps=400_000, packet_size=1000,
+                       mean_on=0.5, mean_off=0.5)
+        net.run(until=60.0)
+        avg_bps = sink.bytes_received * 8 / 60.0
+        assert 0.3 * 400_000 < avg_bps < 0.7 * 400_000
+
+    def test_deterministic_given_seed(self):
+        counts = []
+        for _ in range(2):
+            net = Network(seed=5)
+            net.add_host("a")
+            net.add_host("b")
+            net.add_link("a", "b", 10e6, 0.001, DropTailQueue(1_000_000))
+            net.compute_routes()
+            sink = UdpSink(net.nodes["b"])
+            UdpOnOffSource(net.nodes["a"], "b", sink.port, "oo",
+                           rate_bps=100_000)
+            net.run(until=20.0)
+            counts.append(sink.packets_received)
+        assert counts[0] == counts[1]
+
+    def test_invalid_rate_rejected(self, pipe):
+        net, sink = pipe
+        with pytest.raises(ValueError):
+            UdpOnOffSource(net.nodes["a"], "b", sink.port, "oo", rate_bps=-1)
+
+
+class TestPeriodicBurst:
+    def test_burst_count_matches_geometry(self, pipe):
+        net, sink = pipe
+        PeriodicBurstSource(net.nodes["a"], "b", sink.port, "pb",
+                            rate_bps=800_000, burst_duration=0.5,
+                            period=2.0, packet_size=1000)
+        net.run(until=10.0)
+        # 5 bursts x 0.5 s x 100 pkt/s = ~250 packets.
+        assert 230 <= sink.packets_received <= 260
+
+    def test_silent_between_bursts(self, pipe):
+        net, sink = pipe
+        PeriodicBurstSource(net.nodes["a"], "b", sink.port, "pb",
+                            rate_bps=800_000, burst_duration=0.2,
+                            period=5.0, packet_size=1000)
+        net.run(until=0.5)
+        during = sink.packets_received
+        net.run(until=4.5)
+        assert sink.packets_received == during  # nothing between bursts
+
+    def test_invalid_geometry_rejected(self, pipe):
+        net, sink = pipe
+        with pytest.raises(ValueError):
+            PeriodicBurstSource(net.nodes["a"], "b", sink.port, "pb",
+                                rate_bps=1e5, burst_duration=3.0, period=2.0)
+
+
+class TestSaturatingBurst:
+    def test_two_phase_rates(self, pipe):
+        net, sink = pipe
+        SaturatingBurstSource(net.nodes["a"], "b", sink.port, "sat",
+                              fill_rate_bps=800_000, fill_duration=1.0,
+                              hold_rate_bps=80_000, hold_duration=2.0,
+                              period=10.0, packet_size=1000)
+        net.run(until=1.0)
+        fill_packets = sink.packets_received
+        net.run(until=3.0)
+        hold_packets = sink.packets_received - fill_packets
+        assert fill_packets == pytest.approx(100, abs=5)
+        assert hold_packets == pytest.approx(20, abs=4)
+
+    def test_no_double_emission_chains(self, pipe):
+        # Regression: stale fill chains must not survive into the hold
+        # phase (would double the hold rate).
+        net, sink = pipe
+        SaturatingBurstSource(net.nodes["a"], "b", sink.port, "sat",
+                              fill_rate_bps=400_000, fill_duration=0.5,
+                              hold_rate_bps=100_000, hold_duration=4.0,
+                              period=10.0, packet_size=1000)
+        net.run(until=4.5)
+        total = sink.packets_received
+        # 0.5 s x 50 pkt/s + 4 s x 12.5 pkt/s = 75.
+        assert total == pytest.approx(75, abs=6)
+
+    def test_repeats_each_period(self, pipe):
+        net, sink = pipe
+        SaturatingBurstSource(net.nodes["a"], "b", sink.port, "sat",
+                              fill_rate_bps=800_000, fill_duration=0.2,
+                              hold_rate_bps=80_000, hold_duration=0.5,
+                              period=2.0, packet_size=1000)
+        net.run(until=1.9)  # strictly inside period 1, after its burst
+        first_cycle = sink.packets_received
+        net.run(until=3.9)
+        second_cycle = sink.packets_received - first_cycle
+        assert second_cycle == pytest.approx(first_cycle, abs=4)
+
+    def test_invalid_period_rejected(self, pipe):
+        net, sink = pipe
+        with pytest.raises(ValueError):
+            SaturatingBurstSource(net.nodes["a"], "b", sink.port, "sat",
+                                  fill_rate_bps=1e5, fill_duration=1.0,
+                                  hold_rate_bps=1e5, hold_duration=1.0,
+                                  period=1.5)
+
+
+class TestFtpHelper:
+    def test_start_ftp_flows_creates_senders(self, small_chain):
+        senders = start_ftp_flows(small_chain, "src0_0", "snk3_0", count=3)
+        assert len(senders) == 3
+        small_chain.run(until=5.0)
+        assert all(s.segments_sent > 0 for s in senders)
+
+    def test_ftp_requires_hosts(self, small_chain):
+        with pytest.raises(TypeError):
+            start_ftp_flows(small_chain, "r0", "r3", count=1)

@@ -1,0 +1,91 @@
+"""Tests for the Gilbert-Elliott wireless link."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.probes import PeriodicProber
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.topology import Network
+from repro.netsim.traffic import CbrSource, UdpSink
+from repro.netsim.wireless import GilbertElliottLink
+
+
+def wireless_network(loss_good=0.0, loss_bad=1.0, mean_good=1.0,
+                     mean_bad=1.0, seed=0):
+    net = Network(seed=seed)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link(
+        "a", "b", 10e6, 0.005, DropTailQueue(1_000_000),
+        link_class=GilbertElliottLink,
+        loss_good=loss_good, loss_bad=loss_bad,
+        mean_good=mean_good, mean_bad=mean_bad,
+    )
+    net.add_link("b", "a", 10e6, 0.005, DropTailQueue(1_000_000))
+    net.compute_routes()
+    return net
+
+
+class TestChannel:
+    def test_good_state_is_lossless_when_p_zero(self):
+        net = wireless_network(loss_good=0.0, loss_bad=0.0)
+        sink = UdpSink(net.nodes["b"])
+        CbrSource(net.nodes["a"], "b", sink.port, "cbr", rate_bps=1e5,
+                  packet_size=1000)
+        net.run(until=20.0)
+        link = net.links[("a", "b")]
+        assert link.channel_losses == 0
+        assert sink.packets_received > 0
+
+    def test_bad_state_drops_packets(self):
+        net = wireless_network(loss_good=0.0, loss_bad=0.8,
+                               mean_good=0.5, mean_bad=0.5)
+        sink = UdpSink(net.nodes["b"])
+        CbrSource(net.nodes["a"], "b", sink.port, "cbr", rate_bps=4e5,
+                  packet_size=1000)
+        net.run(until=60.0)
+        link = net.links[("a", "b")]
+        assert link.channel_losses > 0
+        # Roughly: half the time in the bad state at 80% loss -> ~40%.
+        total = link.channel_losses + sink.packets_received
+        assert 0.2 < link.channel_losses / total < 0.6
+
+    def test_probes_face_the_same_channel(self):
+        net = wireless_network(loss_good=0.0, loss_bad=0.9,
+                               mean_good=0.5, mean_bad=0.5)
+        prober = PeriodicProber(net, "a", "b", stop=60.0)
+        net.run(until=61.0)
+        assert 0.2 < prober.trace.loss_rate < 0.7
+
+    def test_wireless_losses_uncorrelated_with_queue(self):
+        # Probes lost on the wireless hop record *small* queuing delays —
+        # the decorrelation that breaks the paper's droptail premise.
+        net = wireless_network(loss_good=0.0, loss_bad=0.9,
+                               mean_good=0.5, mean_bad=0.5)
+        prober = PeriodicProber(net, "a", "b", stop=30.0)
+        net.run(until=31.0)
+        trace = prober.trace
+        lost_vq = trace.virtual_queuing_delays[trace.lost]
+        assert lost_vq.max() < 0.01  # queue never near its ~0.8 s drain
+
+    def test_parameter_validation(self):
+        sim = Simulator(0)
+        net = Network(sim=sim)
+        net.add_host("a")
+        net.add_host("b")
+        with pytest.raises(ValueError):
+            net.add_link("a", "b", 1e6, 0.01, DropTailQueue(1000),
+                         link_class=GilbertElliottLink, loss_bad=1.5)
+        with pytest.raises(ValueError):
+            net.add_link("a", "b", 1e6, 0.01, DropTailQueue(1000),
+                         link_class=GilbertElliottLink, mean_good=0)
+
+    def test_state_flips_over_time(self):
+        net = wireless_network(mean_good=0.2, mean_bad=0.2)
+        link = net.links[("a", "b")]
+        states = set()
+        for _ in range(50):
+            net.run(until=net.sim.now + 0.2)
+            states.add(link.in_bad_state)
+        assert states == {True, False}

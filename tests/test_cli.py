@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.measurement.traceio import load_observation, save_observation
+from repro.netsim.trace import PathObservation
+
+
+def strong_csv(tmp_path, n=2000, q_k=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    send = np.arange(n) * 0.02
+    delays = np.empty(n)
+    queue = 0.0
+    for i in range(n):
+        queue = min(q_k, max(0.0, queue + rng.uniform(-0.012, 0.015)))
+        if queue >= q_k - 1e-12 and rng.random() < 0.7:
+            delays[i] = np.nan
+        else:
+            delays[i] = 0.02 + queue
+    path = tmp_path / "obs.csv"
+    save_observation(PathObservation(send, delays), path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        parser.parse_args(["simulate", "--out", "x.csv"])
+        parser.parse_args(["identify", "obs.csv"])
+        parser.parse_args(["bound", "obs.csv", "--verdict", "strong"])
+        parser.parse_args(["clock", "obs.csv", "--out", "y.csv"])
+        parser.parse_args(["pinpoint", "trace.npz"])
+
+    def test_unknown_scenario_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--scenario", "bogus",
+                  "--out", str(tmp_path / "x.csv")])
+
+
+class TestCommands:
+    def test_identify_command(self, tmp_path, capsys):
+        csv_path = strong_csv(tmp_path)
+        code = main(["identify", str(csv_path), "--hidden", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: strong" in out
+
+    def test_bound_command_with_explicit_verdict(self, tmp_path, capsys):
+        csv_path = strong_csv(tmp_path)
+        code = main(["bound", str(csv_path), "--verdict", "strong",
+                     "--hidden", "1", "--bound-symbols", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "max queuing delay bound" in out
+
+    def test_clock_command_roundtrip(self, tmp_path, capsys):
+        rng = np.random.default_rng(1)
+        n = 1500
+        send = np.arange(n) * 0.02
+        delay = 0.05 + rng.exponential(0.01, n)
+        delay[rng.random(n) < 0.1] = 0.05 + 1e-5
+        measured = delay + 4e-5 * send
+        in_path = tmp_path / "in.csv"
+        out_path = tmp_path / "out.csv"
+        save_observation(PathObservation(send, measured), in_path)
+        code = main(["clock", str(in_path), "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "estimated skew" in out
+        repaired = load_observation(out_path)
+        # The upward drift is gone: late delays no longer exceed early
+        # ones systematically.
+        early = np.nanmean(repaired.delays[:300])
+        late = np.nanmean(repaired.delays[-300:])
+        assert abs(late - early) < 0.005
+
+    @pytest.mark.slow
+    def test_simulate_then_identify_then_pinpoint(self, tmp_path, capsys):
+        obs_path = tmp_path / "sim.csv"
+        trace_path = tmp_path / "sim.npz"
+        code = main([
+            "simulate", "--scenario", "strong", "--duration", "60",
+            "--warmup", "15", "--out", str(obs_path),
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        code = main(["identify", str(obs_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: strong" in out
+        code = main(["pinpoint", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "r2->r3" in out

@@ -1,0 +1,23 @@
+"""Package-level smoke tests: public API surface."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        for module in (repro.core, repro.models, repro.netsim,
+                       repro.measurement, repro.experiments):
+            for name in module.__all__:
+                assert getattr(module, name) is not None
+
+    def test_identify_reachable_from_top_level(self):
+        # repro.core.identify is rebound to the function by the package's
+        # from-import; both spellings must reach the same callable.
+        assert repro.identify is repro.core.identify
