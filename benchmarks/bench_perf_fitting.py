@@ -1,0 +1,196 @@
+"""Fitting-performance benchmark: serial fast path vs dense vs parallel.
+
+Times the EM fitting layer on the Table II strong-DCL probe trace:
+
+* ``mmhd_serial_fast`` — 4-restart MMHD fit, one process, structured
+  (support-restricted) E-step.  This is the number the CI smoke guards.
+* ``mmhd_serial_dense`` — same fit with ``fast_path=False``: the dense
+  reference E-step, computation-equivalent to the pre-optimisation code.
+  ``fast_path_speedup`` is the single-core win of this PR.
+* ``mmhd_parallel`` — same fit with ``n_jobs=4`` restart fan-out.
+  ``parallel_speedup`` only exceeds 1 on multi-core machines; the JSON
+  records ``cpu_count`` so readers can interpret it.
+* ``hmm_serial`` — 4-restart HMM fit for cross-model context.
+
+The script asserts the serial and parallel MMHD fits are numerically
+identical before reporting any speedup, then writes
+``benchmarks/output/BENCH_fitting.json``.  ``--check-baseline`` instead
+compares the fresh serial-fast timing against the committed JSON and
+exits non-zero on a >2x regression (results go to a ``.check.json``
+sidecar so the committed baseline is never clobbered by CI).
+
+Run: ``PYTHONPATH=src python benchmarks/bench_perf_fitting.py``
+(``REPRO_BENCH_SCALE=paper`` for full horizons).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import common  # noqa: E402
+from repro.core.discretize import DelayDiscretizer  # noqa: E402
+from repro.experiments.runner import run_scenario  # noqa: E402
+from repro.experiments.scenarios import strong_dcl_scenario  # noqa: E402
+from repro.models.hmm import fit_hmm  # noqa: E402
+from repro.models.mmhd import fit_mmhd  # noqa: E402
+from repro.parallel import shutdown_pools  # noqa: E402
+
+N_RESTARTS = 4
+PARALLEL_JOBS = 4
+BASELINE_PATH = common.OUTPUT_DIR / "BENCH_fitting.json"
+#: CI may only tolerate this much slowdown of the guarded serial timing.
+MAX_REGRESSION = 2.0
+
+
+def _observation_sequence():
+    result = run_scenario(
+        strong_dcl_scenario(1.0), seed=1,
+        duration=common.SIM_DURATION, warmup=common.SIM_WARMUP,
+    )
+    observation = result.trace.observation()
+    disc = DelayDiscretizer.from_observation(observation, 5)
+    return disc.observation_sequence(observation)
+
+
+#: Timed repetitions per configuration (best-of, interleaved across
+#: configurations so machine drift hits every config equally).  The
+#: paper scale is expensive enough that one repetition must do.
+REPS = 1 if common.SCALE == "paper" else 2
+
+
+def _time(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def _fit_summary(fitted):
+    return {
+        "log_likelihood": float(fitted.log_likelihood),
+        "virtual_delay_pmf": [float(p) for p in fitted.virtual_delay_pmf],
+        "n_iter": int(fitted.n_iter),
+        "converged": bool(fitted.converged),
+    }
+
+
+def run_benchmark() -> dict:
+    seq = _observation_sequence()
+    base = common.em_config().replace(n_restarts=N_RESTARTS)
+
+    serial_fast = base.replace(n_jobs=1, fast_path=True)
+    serial_dense = base.replace(n_jobs=1, fast_path=False)
+    parallel = base.replace(n_jobs=PARALLEL_JOBS, fast_path=True)
+
+    # Warm the worker pool and the numpy/BLAS caches outside the timed
+    # region, so the parallel number reflects steady-state fan-out (not
+    # one-time fork cost) and the first timed config isn't penalised.
+    warm = dict(max_iter=2, tol=1e30)
+    fit_mmhd(seq, n_hidden=2, config=parallel.replace(**warm))
+    fit_mmhd(seq, n_hidden=2, config=serial_fast.replace(**warm))
+    fit_mmhd(seq, n_hidden=2, config=serial_dense.replace(**warm))
+
+    cases = {
+        "mmhd_serial_fast": lambda: fit_mmhd(seq, n_hidden=2,
+                                             config=serial_fast),
+        "mmhd_serial_dense": lambda: fit_mmhd(seq, n_hidden=2,
+                                              config=serial_dense),
+        "mmhd_parallel": lambda: fit_mmhd(seq, n_hidden=2, config=parallel),
+        "hmm_serial": lambda: fit_hmm(seq, n_hidden=2, config=serial_fast),
+    }
+    timings = {name: float("inf") for name in cases}
+    fits = {}
+    for _ in range(REPS):
+        for name, fn in cases.items():
+            elapsed, fitted = _time(fn)
+            timings[name] = min(timings[name], elapsed)
+            fits[name] = fitted
+    fit_serial = fits["mmhd_serial_fast"]
+    fit_dense = fits["mmhd_serial_dense"]
+    fit_parallel = fits["mmhd_parallel"]
+
+    identical = (
+        np.allclose(fit_serial.virtual_delay_pmf,
+                    fit_parallel.virtual_delay_pmf, rtol=0, atol=0)
+        and fit_serial.log_likelihood == fit_parallel.log_likelihood
+    )
+    assert identical, "serial and parallel MMHD fits diverged"
+    fast_vs_dense = np.allclose(fit_serial.virtual_delay_pmf,
+                                fit_dense.virtual_delay_pmf, atol=1e-6)
+
+    return {
+        "scale": common.SCALE,
+        "cpu_count": os.cpu_count(),
+        "n_probes": len(seq),
+        "n_losses": seq.n_losses,
+        "n_restarts": N_RESTARTS,
+        "parallel_n_jobs": PARALLEL_JOBS,
+        "em_tol": common.EM_TOL,
+        "em_max_iter": common.EM_MAX_ITER,
+        "timings_seconds": {k: round(v, 4) for k, v in timings.items()},
+        "fast_path_speedup": round(
+            timings["mmhd_serial_dense"] / timings["mmhd_serial_fast"], 3),
+        "parallel_speedup": round(
+            timings["mmhd_serial_fast"] / timings["mmhd_parallel"], 3),
+        "serial_parallel_identical": bool(identical),
+        "fast_dense_agree": bool(fast_vs_dense),
+        "mmhd_fit": _fit_summary(fit_serial),
+    }
+
+
+def check_baseline(report: dict) -> int:
+    if not BASELINE_PATH.exists():
+        print(f"no committed baseline at {BASELINE_PATH}; skipping check")
+        return 0
+    baseline = json.loads(BASELINE_PATH.read_text())
+    if baseline.get("scale") != report["scale"]:
+        print(f"baseline scale {baseline.get('scale')!r} != "
+              f"current {report['scale']!r}; skipping check")
+        return 0
+    old = baseline["timings_seconds"]["mmhd_serial_fast"]
+    new = report["timings_seconds"]["mmhd_serial_fast"]
+    ratio = new / old
+    print(f"serial MMHD fit: baseline {old:.3f}s, now {new:.3f}s "
+          f"({ratio:.2f}x)")
+    if ratio > MAX_REGRESSION:
+        print(f"FAIL: serial fitting regressed more than "
+              f"{MAX_REGRESSION:.0f}x vs the committed baseline")
+        return 1
+    print("OK: within the regression budget")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="compare against the committed JSON instead of replacing it",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark()
+    shutdown_pools()
+    print(json.dumps(report, indent=2))
+
+    if args.check_baseline:
+        status = check_baseline(report)
+        out = BASELINE_PATH.with_suffix(".check.json")
+    else:
+        status = 0
+        out = BASELINE_PATH
+    common.OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[written to {out}]")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

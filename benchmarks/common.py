@@ -11,6 +11,11 @@ Scale: the paper simulates 2000 s and analyses 1000 s (50 000 probes) with
 whole suite finishes in tens of minutes; set ``REPRO_BENCH_SCALE=paper``
 to run the full horizons.  EXPERIMENTS.md records which scale produced the
 committed numbers.
+
+Parallelism: ``REPRO_N_JOBS`` sets the worker-process count the
+benchmarks pass to fit/bootstrap/sweep entry points (``-1`` = all CPUs;
+default ``1``, serial).  Results are numerically identical at any value —
+the knob trades wall-clock for cores, never reproducibility.
 """
 
 from __future__ import annotations
@@ -25,6 +30,9 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 
 #: "quick" (default) or "paper".
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+#: Worker processes for parallel-capable benchmark stages.
+N_JOBS = int(os.environ.get("REPRO_N_JOBS", "1"))
 
 if SCALE == "paper":
     SIM_DURATION = 1000.0
@@ -41,7 +49,8 @@ else:
 
 
 def em_config(max_iter: int = None) -> EMConfig:
-    return EMConfig(tol=EM_TOL, max_iter=max_iter or EM_MAX_ITER)
+    return EMConfig(tol=EM_TOL, max_iter=max_iter or EM_MAX_ITER,
+                    n_jobs=N_JOBS)
 
 
 def identify_config(n_symbols: int = 5, n_hidden: int = 2,

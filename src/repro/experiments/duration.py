@@ -7,6 +7,12 @@ the fraction of correct (Fig. 9) or reference-consistent (Fig. 14)
 identifications versus segment duration.  Fig. 14 additionally contrasts
 *known* propagation delay against the minimum-delay approximation and
 finds them identical.
+
+Each segment's identification is an independent EM fit, so both sweeps
+accept ``n_jobs``: segments are drawn serially up front (one RNG stream,
+so the sampled segments do not depend on the worker count) and the fits
+fan out over worker processes with results reduced in draw order —
+serial and parallel sweeps report identical ratios.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import numpy as np
 
 from repro.core.identify import IdentifyConfig, identify
 from repro.netsim.trace import PathObservation, ProbeTrace
+from repro.parallel import parallel_map, resolve_n_jobs
 
 __all__ = ["DurationSweep", "correctness_vs_duration", "consistency_vs_duration"]
 
@@ -72,6 +79,71 @@ def _accepts_dcl(report) -> bool:
     return report.wdcl.accepted
 
 
+def _segment_verdict(task):
+    """Identify one segment (parallel-map worker).
+
+    Returns the WDCL acceptance, or ``None`` when the segment is
+    degenerate (e.g. loss-free) and yields no verdict.
+    """
+    segment, config = task
+    try:
+        report = identify(segment, config)
+    except (ValueError, FloatingPointError):
+        return None
+    return _accepts_dcl(report)
+
+
+def _worker_config(config: IdentifyConfig, n_jobs: int) -> IdentifyConfig:
+    """The per-segment config: serial EM inside parallel sweep workers."""
+    if resolve_n_jobs(n_jobs) <= 1 or config.em.n_jobs == 1:
+        return config
+    return IdentifyConfig(
+        n_symbols=config.n_symbols,
+        n_hidden=config.n_hidden,
+        model=config.model,
+        beta0=config.beta0,
+        beta1=config.beta1,
+        tolerance=config.tolerance,
+        propagation_delay=config.propagation_delay,
+        em=config.em.replace(n_jobs=1),
+    )
+
+
+def _sweep_ratios(
+    observation: PathObservation,
+    durations: Sequence[float],
+    probe_interval: float,
+    n_reps: int,
+    config: IdentifyConfig,
+    seed: int,
+    n_jobs: int,
+    target: bool,
+) -> List[float]:
+    """Shared engine of both sweeps: draw segments, identify, aggregate.
+
+    Segments are drawn serially in (duration, rep) order from one RNG
+    stream — exactly the order the old serial loop consumed it — then
+    all identifications fan out in a single batch so chunking amortises
+    across the whole sweep, not per duration.  A degenerate segment
+    (no verdict) counts as a miss, as before.
+    """
+    rng = np.random.default_rng(seed)
+    worker_config = _worker_config(config, n_jobs)
+    tasks = []
+    for duration in durations:
+        segment_len = max(10, int(round(duration / probe_interval)))
+        for _ in range(n_reps):
+            segment = _segment_observation(observation, segment_len, rng)
+            tasks.append((segment, worker_config))
+    verdicts = parallel_map(_segment_verdict, tasks, n_jobs=n_jobs)
+    ratios = []
+    for i in range(len(durations)):
+        chunk = verdicts[i * n_reps:(i + 1) * n_reps]
+        hits = sum(1 for verdict in chunk if verdict == target)
+        ratios.append(hits / n_reps if n_reps else 0.0)
+    return ratios
+
+
 def correctness_vs_duration(
     trace: ProbeTrace,
     expected_dcl: bool,
@@ -79,34 +151,21 @@ def correctness_vs_duration(
     n_reps: int = 25,
     config: Optional[IdentifyConfig] = None,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> DurationSweep:
     """Fig. 9: fraction of correct identifications vs segment duration.
 
     ``expected_dcl`` is whether a (weakly) dominant congested link truly
     exists; a segment's identification is correct when its WDCL verdict
-    matches.  Segments are drawn uniformly from ``trace``.
+    matches.  Segments are drawn uniformly from ``trace``.  ``n_jobs``
+    fans the per-segment fits out over worker processes (``-1`` = all
+    CPUs) without changing the reported ratios.
     """
     config = config or IdentifyConfig()
-    observation = trace.observation()
-    rng = np.random.default_rng(seed)
-    ratios = []
-    for duration in durations:
-        segment_len = max(10, int(round(duration / trace.probe_interval)))
-        correct = 0
-        attempts = 0
-        for _ in range(n_reps):
-            segment = _segment_observation(observation, segment_len, rng)
-            try:
-                report = identify(segment, config)
-            except (ValueError, FloatingPointError):
-                # Segment without losses (or degenerate): counts as wrong
-                # unless no DCL is expected and no losses means no verdict.
-                attempts += 1
-                continue
-            attempts += 1
-            if _accepts_dcl(report) == expected_dcl:
-                correct += 1
-        ratios.append(correct / attempts if attempts else 0.0)
+    ratios = _sweep_ratios(
+        trace.observation(), durations, trace.probe_interval,
+        n_reps, config, seed, n_jobs, target=expected_dcl,
+    )
     return DurationSweep(durations, ratios, n_reps, label="correctness")
 
 
@@ -119,12 +178,14 @@ def consistency_vs_duration(
     config: Optional[IdentifyConfig] = None,
     known_propagation: Optional[float] = None,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> DurationSweep:
     """Fig. 14: fraction of segments consistent with the full-trace result.
 
     ``known_propagation`` switches between the paper's "known P" case
     (pass the true propagation delay) and the default minimum-delay
-    approximation (``None``).
+    approximation (``None``).  ``n_jobs`` fans the per-segment fits out
+    over worker processes without changing the reported ratios.
     """
     config = config or IdentifyConfig()
     if known_propagation is not None:
@@ -138,22 +199,9 @@ def consistency_vs_duration(
             propagation_delay=known_propagation,
             em=config.em,
         )
-    rng = np.random.default_rng(seed)
-    ratios = []
-    for duration in durations:
-        segment_len = max(10, int(round(duration / probe_interval)))
-        consistent = 0
-        attempts = 0
-        for _ in range(n_reps):
-            segment = _segment_observation(observation, segment_len, rng)
-            try:
-                report = identify(segment, config)
-            except (ValueError, FloatingPointError):
-                attempts += 1
-                continue
-            attempts += 1
-            if _accepts_dcl(report) == reference_accepts_dcl:
-                consistent += 1
-        ratios.append(consistent / attempts if attempts else 0.0)
+    ratios = _sweep_ratios(
+        observation, durations, probe_interval,
+        n_reps, config, seed, n_jobs, target=reference_accepts_dcl,
+    )
     label = "known P" if known_propagation is not None else "unknown P"
     return DurationSweep(durations, ratios, n_reps, label=label)

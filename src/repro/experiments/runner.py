@@ -5,20 +5,25 @@ prefix, and analyse the remaining probe trace.  The paper warms up for
 1000 s and analyses 1000 s; the runner defaults are shorter so the full
 benchmark suite finishes in minutes, and every harness can ask for
 paper-scale horizons.
+
+Multi-seed replications of one scenario are independent simulations, so
+:func:`run_scenario_sweep` fans them out over worker processes.  Live
+simulator state (the network, with its scheduled event closures) cannot
+cross a process pipe, so sweep workers rebuild the scenario from a
+module-level factory and return results with that state stripped.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from typing import Dict
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.scenarios import BuiltScenario, Scenario
 from repro.netsim.monitor import QueueMonitor, QueueStats
 from repro.netsim.probes import LossPairProber, PeriodicProber
 from repro.netsim.trace import LossPairTrace, ProbeTrace
+from repro.parallel import parallel_map
 
-__all__ = ["ExperimentResult", "run_scenario"]
+__all__ = ["ExperimentResult", "run_scenario", "run_scenario_sweep"]
 
 
 class ExperimentResult:
@@ -131,3 +136,76 @@ def run_scenario(
         queue_stats={name: monitor.stats()
                      for name, monitor in monitors.items()},
     )
+
+
+def strip_live_state(result: ExperimentResult) -> ExperimentResult:
+    """Drop the live simulator from a result so it can cross a process pipe.
+
+    The network holds scheduled event closures and is both unpicklable
+    and useless after the run; the scenario's builder is a closure too.
+    Everything a scorer needs — traces, ground truth, queue statistics —
+    survives.  Applied on both the serial and the parallel sweep path so
+    the returned objects are structurally identical either way.
+    """
+    result.built.network = None
+    result.scenario._builder = None
+    return result
+
+
+def _run_sweep_task(task):
+    """Build, run, and reduce one sweep replication (parallel-map worker)."""
+    factory, factory_kwargs, seed, run_kwargs, reduce_fn = task
+    scenario = factory(**factory_kwargs)
+    result = run_scenario(scenario, seed=seed, **run_kwargs)
+    return reduce_fn(result)
+
+
+def run_scenario_sweep(
+    scenario_factory: Callable[..., Scenario],
+    seeds: Sequence[int],
+    factory_kwargs: Optional[Dict] = None,
+    duration: float = 200.0,
+    warmup: float = 30.0,
+    probe_interval: float = 0.020,
+    with_loss_pairs: bool = False,
+    monitor_queues: bool = False,
+    reduce: Callable[[ExperimentResult], object] = strip_live_state,
+    n_jobs: int = 1,
+) -> List[object]:
+    """Run one scenario at several seeds, optionally in parallel.
+
+    Parameters
+    ----------
+    scenario_factory:
+        A module-level scenario factory (e.g.
+        :func:`repro.experiments.scenarios.strong_dcl_scenario`).  The
+        factory — not a built :class:`Scenario`, whose builder is an
+        unpicklable closure — is what crosses into worker processes;
+        each worker builds its own scenario from it.
+    seeds:
+        One independent simulation per seed.  Results come back in seed
+        order regardless of worker scheduling, and each simulation's
+        RNG stream depends only on its seed, so serial and parallel
+        sweeps are numerically identical.
+    reduce:
+        Module-level callable applied to each :class:`ExperimentResult`
+        inside the worker; whatever it returns must be picklable.  The
+        default strips live simulator state and returns the result
+        itself.  Pass a custom reducer to ship back only a small summary
+        (scores, loss rates) from large sweeps.
+    n_jobs:
+        Worker processes (``-1`` = all CPUs, ``1`` = serial in-process).
+    """
+    factory_kwargs = dict(factory_kwargs or {})
+    run_kwargs = dict(
+        duration=duration,
+        warmup=warmup,
+        probe_interval=probe_interval,
+        with_loss_pairs=with_loss_pairs,
+        monitor_queues=monitor_queues,
+    )
+    tasks = [
+        (scenario_factory, factory_kwargs, int(seed), run_kwargs, reduce)
+        for seed in seeds
+    ]
+    return parallel_map(_run_sweep_task, tasks, n_jobs=n_jobs)

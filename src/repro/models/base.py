@@ -12,7 +12,14 @@ from typing import List, Sequence
 
 import numpy as np
 
-__all__ = ["LOSS", "ObservationSequence", "EMConfig", "FittedModel"]
+__all__ = [
+    "LOSS",
+    "ObservationSequence",
+    "SymbolIndex",
+    "EMConfig",
+    "FittedModel",
+    "require_losses",
+]
 
 #: Marker for a lost probe (a delay observation with a missing value).
 LOSS = -1
@@ -81,6 +88,80 @@ class ObservationSequence:
         return counts / counts.sum()
 
 
+class SymbolIndex:
+    """Precomputed index structure of an observation sequence.
+
+    The symbols never change between EM iterations — only model
+    parameters do — so every quantity derivable from the symbols alone
+    (zero-based codes, loss mask, per-symbol position lists, the
+    consecutive-pair groups the MMHD fast path batches over) is computed
+    once per fit and shared by all iterations and both E-pass consumers
+    (``em_step`` and ``virtual_delay_pmf``).
+    """
+
+    def __init__(self, seq: "ObservationSequence"):
+        self.seq = seq
+        self.n_symbols = seq.n_symbols
+        self.symbols0 = seq.zero_based()
+        #: plain-python copy for fast scalar access in recursion loops
+        self.symbol_list = self.symbols0.tolist()
+        self.lost = self.symbols0 == LOSS
+        self.loss_idx = np.flatnonzero(self.lost)
+        self.observed_idx = np.flatnonzero(~self.lost)
+        self.observed_symbols = self.symbols0[self.observed_idx]
+        #: positions of each observed symbol ``m`` (index masks of the
+        #: old per-E-step ``for m in range(n_symbols)`` scan)
+        self.symbol_positions = [
+            np.flatnonzero(self.symbols0 == m) for m in range(seq.n_symbols)
+        ]
+        self.n_losses = int(len(self.loss_idx))
+        #: map absolute step -> rank among loss steps (-1 if observed)
+        self.loss_rank = np.full(len(self.symbols0), -1)
+        self.loss_rank[self.loss_idx] = np.arange(self.n_losses)
+        self._pair_groups = None
+
+    def __len__(self) -> int:
+        return len(self.symbols0)
+
+    def pair_groups(self):
+        """Consecutive-step pairs grouped by (symbol_prev, symbol_cur).
+
+        Returns ``(oo, ol, lo, ll)``: ``oo[(mp, m)]``, ``ol[mp]`` and
+        ``lo[m]`` map to arrays of the *later* step index ``t`` of each
+        pair; ``ll`` is a plain array.  Grouping is sort-based (one
+        ``argsort`` per fit), not one boolean scan per symbol pair.
+        """
+        if self._pair_groups is not None:
+            return self._pair_groups
+        prev = self.symbols0[:-1]
+        cur = self.symbols0[1:]
+        n = self.n_symbols
+        # Encode pairs on a (n+1)^2 grid with LOSS mapped to slot n.
+        prev_code = np.where(prev == LOSS, n, prev)
+        cur_code = np.where(cur == LOSS, n, cur)
+        codes = prev_code * (n + 1) + cur_code
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        uniques, starts = np.unique(sorted_codes, return_index=True)
+        bounds = np.append(starts, len(sorted_codes))
+        oo, ol, lo = {}, {}, {}
+        ll = np.empty(0, dtype=int)
+        for code, lo_bound, hi_bound in zip(uniques, bounds[:-1], bounds[1:]):
+            ts = order[lo_bound:hi_bound] + 1  # later index of the pair
+            ts.sort()
+            mp, m = divmod(int(code), n + 1)
+            if mp < n and m < n:
+                oo[(mp, m)] = ts
+            elif mp < n:
+                ol[mp] = ts
+            elif m < n:
+                lo[m] = ts
+            else:
+                ll = ts
+        self._pair_groups = (oo, ol, lo, ll)
+        return self._pair_groups
+
+
 class EMConfig:
     """EM iteration control.
 
@@ -97,7 +178,11 @@ class EMConfig:
         itself into a zero-probability corner (then rows are renormalised).
     n_restarts:
         Number of independent random initialisations; the fit with the
-        best final log-likelihood wins.  Restart ``r`` uses ``seed + r``.
+        best final log-likelihood wins.  Restart 0 draws from
+        ``default_rng(seed)`` (bit-compatible with single-restart fits
+        from earlier releases); restarts >= 1 use collision-free spawned
+        streams keyed by ``(seed, restart)`` — see
+        :func:`repro.parallel.restart_rng`.
     seed:
         Base seed for random initialisation.
     freeze_loss_iters:
@@ -118,6 +203,19 @@ class EMConfig:
         otherwise park the loss mass in an empty bin at no cost to the
         observed-data likelihood.  Symbols with real traffic wash the
         prior out.  Set both to 0 for the plain MLE update.
+    n_jobs:
+        Worker processes for embarrassingly-parallel fit work (random
+        restarts; layers above reuse the same knob for replicates and
+        sweeps).  ``1`` (default) runs serially in-process; ``-1`` uses
+        every CPU.  Parallel and serial fits are numerically identical:
+        each restart's RNG stream depends only on ``(seed, restart)``
+        and the best-fit reduction happens in restart order.
+    fast_path:
+        Use the structured E-step (per-symbol index caching; for the
+        MMHD, support-restricted forward-backward recursions).  The
+        dense reference E-step (``False``) computes the same quantities
+        the textbook way; it exists for cross-checking and benchmarking
+        and agrees with the fast path to floating-point round-off.
     """
 
     def __init__(
@@ -131,6 +229,8 @@ class EMConfig:
         data_driven_init: bool = True,
         loss_prior_losses: float = 1.0,
         loss_prior_observations: float = 50.0,
+        n_jobs: int = 1,
+        fast_path: bool = True,
     ):
         if tol <= 0:
             raise ValueError(f"tol must be positive, got {tol}")
@@ -151,6 +251,36 @@ class EMConfig:
         self.data_driven_init = bool(data_driven_init)
         self.loss_prior_losses = float(loss_prior_losses)
         self.loss_prior_observations = float(loss_prior_observations)
+        if n_jobs is not None and int(n_jobs) < -1:
+            raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+        self.n_jobs = 1 if n_jobs is None else int(n_jobs)
+        self.fast_path = bool(fast_path)
+
+    def replace(self, **overrides) -> "EMConfig":
+        """A copy of this config with the given fields overridden.
+
+        Used by layers that fan fits out to worker processes and need a
+        per-task variant (e.g. a different ``seed``, or ``n_jobs=1`` so
+        pool workers never nest pools of their own).
+        """
+        fields = dict(
+            tol=self.tol,
+            max_iter=self.max_iter,
+            min_prob=self.min_prob,
+            n_restarts=self.n_restarts,
+            seed=self.seed,
+            freeze_loss_iters=self.freeze_loss_iters,
+            data_driven_init=self.data_driven_init,
+            loss_prior_losses=self.loss_prior_losses,
+            loss_prior_observations=self.loss_prior_observations,
+            n_jobs=self.n_jobs,
+            fast_path=self.fast_path,
+        )
+        unknown = set(overrides) - set(fields)
+        if unknown:
+            raise TypeError(f"unknown EMConfig fields: {sorted(unknown)}")
+        fields.update(overrides)
+        return EMConfig(**fields)
 
 
 class FittedModel:
@@ -194,6 +324,21 @@ class FittedModel:
     def virtual_delay_cdf(self) -> np.ndarray:
         """``Ĝ`` as a CDF over symbols ``1..M``."""
         return np.cumsum(self.virtual_delay_pmf)
+
+
+def require_losses(seq: ObservationSequence, what: str) -> None:
+    """Fail fast when a computation needs loss observations.
+
+    The loss-channel M-step and the eq. (5) posterior both divide by the
+    expected loss mass; without this guard a loss-free sequence fails
+    deep inside that division with an opaque numerical error.
+    """
+    if seq.n_losses == 0:
+        raise ValueError(
+            f"{what} requires lost probes, but the observation sequence has "
+            f"0 losses in {len(seq)} observations; the paper's estimators "
+            "are posteriors at loss instants and are undefined without them"
+        )
 
 
 def floor_and_normalize(matrix: np.ndarray, min_prob: float) -> np.ndarray:

@@ -13,6 +13,13 @@ EM marginalises the missing symbol at loss instants, and the paper's
 eq. (5) posterior ``G(m) = P(symbol m | loss)`` falls out of the E-step.
 All recursions are scaled (Rabiner Section V) so 10^5-observation
 sequences pose no underflow risk.
+
+Fit-loop fast path: the symbol-derived index structure
+(:class:`~repro.models.base.SymbolIndex`) is computed once per fit and
+shared across EM iterations (the old code re-derived masks and scanned
+``for m in range(n_symbols)`` every E-step), and the final
+log-likelihood and eq. (5) posterior both come from a single trailing
+E-pass instead of two separate full passes.
 """
 
 from __future__ import annotations
@@ -26,12 +33,28 @@ from repro.models.base import (
     EMConfig,
     FittedModel,
     ObservationSequence,
+    SymbolIndex,
     floor_and_normalize,
     max_param_change,
+    require_losses,
 )
 from repro.models.initialization import hmm_initial_parameters
+from repro.parallel import parallel_map, restart_rng
 
 __all__ = ["HiddenMarkovModel", "fit_hmm"]
+
+
+class _EStepStats:
+    """Sufficient statistics of one E-pass of the loss-channel HMM."""
+
+    __slots__ = ("gamma0", "xi_sum", "joint_obs", "joint_loss", "loglik")
+
+    def __init__(self, gamma0, xi_sum, joint_obs, joint_loss, loglik):
+        self.gamma0 = gamma0
+        self.xi_sum = xi_sum
+        self.joint_obs = joint_obs
+        self.joint_loss = joint_loss
+        self.loglik = loglik
 
 
 class HiddenMarkovModel:
@@ -105,6 +128,15 @@ class HiddenMarkovModel:
         likes[lost] = (self.emission @ self.loss_given_symbol)[None, :]
         return likes
 
+    def _likelihoods_from_index(self, index: SymbolIndex) -> np.ndarray:
+        """Per-step state likelihoods using the precomputed index."""
+        likes = np.empty((len(index), self.n_hidden))
+        survive = 1.0 - self.loss_given_symbol
+        syms = index.observed_symbols
+        likes[index.observed_idx] = (self.emission[:, syms] * survive[syms]).T
+        likes[index.loss_idx] = (self.emission @ self.loss_given_symbol)[None, :]
+        return likes
+
     def _forward_backward(self, likes: np.ndarray):
         """Scaled forward-backward.
 
@@ -143,21 +175,50 @@ class HiddenMarkovModel:
     # ------------------------------------------------------------------
     # EM
     # ------------------------------------------------------------------
-    def _expectations(self, seq: ObservationSequence):
-        """E-step: posterior sufficient statistics.
+    def _estep(self, index: SymbolIndex) -> _EStepStats:
+        """E-step: posterior sufficient statistics from one pass.
 
-        Returns ``(gamma, xi_sum, joint_obs, joint_loss, loglik)`` where
         ``joint_obs[i, m]`` / ``joint_loss[i, m]`` are expected counts of
         (state, symbol) pairs accumulated over observed / loss instants.
         """
-        symbols0 = seq.zero_based()
-        likes = self._observation_likelihoods(symbols0)
+        likes = self._likelihoods_from_index(index)
         alpha, beta, scales, loglik = self._forward_backward(likes)
         gamma = alpha * beta
         # xi_sum[i, j] = sum_t P(s_t = i, s_{t+1} = j | obs)
         weighted = likes[1:] * beta[1:] / scales[1:, None]
         xi_sum = self.transition * (alpha[:-1].T @ weighted)
 
+        n_hidden, n_symbols = self.emission.shape
+        # Expected (state, symbol) counts over observed instants, grouped
+        # by symbol in one C-level scatter-add (the old code scanned the
+        # whole gamma array once per symbol, every iteration).
+        joint_obs_by_symbol = np.zeros((n_symbols, n_hidden))
+        np.add.at(
+            joint_obs_by_symbol, index.observed_symbols, gamma[index.observed_idx]
+        )
+        joint_obs = joint_obs_by_symbol.T
+        # At a loss instant, P(state i, symbol m | obs) =
+        #   gamma_t(i) * B[i, m] c[m] / (B c)[i].
+        gamma_loss_total = gamma[index.loss_idx].sum(axis=0)
+        loss_like = self.emission @ self.loss_given_symbol
+        joint_loss = (
+            (gamma_loss_total / loss_like)[:, None]
+            * self.emission
+            * self.loss_given_symbol[None, :]
+        )
+        return _EStepStats(gamma[0], xi_sum, joint_obs, joint_loss, loglik)
+
+    def _expectations(self, seq: ObservationSequence):
+        """E-step over a raw sequence (compatibility surface).
+
+        Returns ``(gamma, xi_sum, joint_obs, joint_loss, loglik)``.
+        """
+        symbols0 = seq.zero_based()
+        likes = self._observation_likelihoods(symbols0)
+        alpha, beta, scales, loglik = self._forward_backward(likes)
+        gamma = alpha * beta
+        weighted = likes[1:] * beta[1:] / scales[1:, None]
+        xi_sum = self.transition * (alpha[:-1].T @ weighted)
         lost = symbols0 == LOSS
         n_hidden, n_symbols = self.emission.shape
         joint_obs = np.zeros((n_hidden, n_symbols))
@@ -165,8 +226,6 @@ class HiddenMarkovModel:
             rows = gamma[symbols0 == m]
             if rows.size:
                 joint_obs[:, m] = rows.sum(axis=0)
-        # At a loss instant, P(state i, symbol m | obs) =
-        #   gamma_t(i) * B[i, m] c[m] / (B c)[i].
         gamma_loss_total = gamma[lost].sum(axis=0)
         loss_like = self.emission @ self.loss_given_symbol
         joint_loss = (
@@ -176,41 +235,102 @@ class HiddenMarkovModel:
         )
         return gamma, xi_sum, joint_obs, joint_loss, loglik
 
-    def em_step(
+    def _maximize(
         self,
-        seq: ObservationSequence,
-        min_prob: float = 1e-10,
-        loss_prior=(0.0, 0.0),
-    ):
-        """One EM iteration.
-
-        ``loss_prior = (a, b)`` applies a Beta(a, b)-style MAP update to
-        ``c`` (see :class:`~repro.models.base.EMConfig`); ``(0, 0)`` is
-        the plain MLE.  Returns ``(new_model, loglik_of_current_model)``.
-        """
-        gamma, xi_sum, joint_obs, joint_loss, loglik = self._expectations(seq)
-        pi = floor_and_normalize(gamma[0], min_prob)
-        transition = floor_and_normalize(xi_sum, min_prob)
-        joint_total = joint_obs + joint_loss
+        stats: _EStepStats,
+        min_prob: float,
+        loss_prior: Tuple[float, float],
+    ) -> "HiddenMarkovModel":
+        """M-step from one E-pass's statistics."""
+        pi = floor_and_normalize(stats.gamma0, min_prob)
+        transition = floor_and_normalize(stats.xi_sum, min_prob)
+        joint_total = stats.joint_obs + stats.joint_loss
         emission = floor_and_normalize(joint_total, min_prob)
         symbol_mass = joint_total.sum(axis=0)
-        loss_mass = joint_loss.sum(axis=0)
+        loss_mass = stats.joint_loss.sum(axis=0)
         prior_losses, prior_observations = loss_prior
         loss_given_symbol = (loss_mass + prior_losses) / np.maximum(
             symbol_mass + prior_losses + prior_observations, 1e-300
         )
         loss_given_symbol = np.clip(loss_given_symbol, min_prob, 1.0 - min_prob)
-        model = HiddenMarkovModel(pi, transition, emission, loss_given_symbol)
-        return model, loglik
+        return HiddenMarkovModel(pi, transition, emission, loss_given_symbol)
 
-    def virtual_delay_pmf(self, seq: ObservationSequence) -> np.ndarray:
+    def em_step(
+        self,
+        seq: ObservationSequence,
+        min_prob: float = 1e-10,
+        loss_prior=(0.0, 0.0),
+        index: Optional[SymbolIndex] = None,
+    ):
+        """One EM iteration.
+
+        ``loss_prior = (a, b)`` applies a Beta(a, b)-style MAP update to
+        ``c`` (see :class:`~repro.models.base.EMConfig`); ``(0, 0)`` is
+        the plain MLE.  ``index`` reuses a precomputed
+        :class:`SymbolIndex` across iterations.  Returns
+        ``(new_model, loglik_of_current_model)``.
+        """
+        require_losses(seq, "em_step")
+        if index is None:
+            index = SymbolIndex(seq)
+        stats = self._estep(index)
+        return self._maximize(stats, min_prob, loss_prior), stats.loglik
+
+    def virtual_delay_pmf(
+        self,
+        seq: ObservationSequence,
+        index: Optional[SymbolIndex] = None,
+    ) -> np.ndarray:
         """Eq. (5): ``Ĝ(m) = P(symbol m | loss)`` under this model."""
-        _, _, _, joint_loss, _ = self._expectations(seq)
-        mass = joint_loss.sum(axis=0)
+        require_losses(seq, "virtual_delay_pmf")
+        if index is None:
+            index = SymbolIndex(seq)
+        stats = self._estep(index)
+        mass = stats.joint_loss.sum(axis=0)
         total = mass.sum()
         if total <= 0:
             raise ValueError("no losses in the observation sequence")
         return mass / total
+
+
+def _fit_hmm_restart(task) -> "FittedHMM":
+    """One EM run from one random initialisation (parallel-map worker)."""
+    seq, n_hidden, config, restart = task
+    rng = restart_rng(config.seed, restart)
+    pi, transition, emission, c = hmm_initial_parameters(seq, n_hidden, rng)
+    model = HiddenMarkovModel(pi, transition, emission, c)
+    index = SymbolIndex(seq)
+    logliks: List[float] = []
+    converged = False
+    prior = (config.loss_prior_losses, config.loss_prior_observations)
+    for iteration in range(config.max_iter):
+        stats = model._estep(index)
+        new_model = model._maximize(stats, config.min_prob, prior)
+        logliks.append(stats.loglik)
+        if iteration < config.freeze_loss_iters:
+            # Warm start: learn dynamics before the loss channel.
+            new_model = HiddenMarkovModel(
+                new_model.pi, new_model.transition, new_model.emission, c
+            )
+        elif (
+            max_param_change(model.parameters(), new_model.parameters())
+            < config.tol
+        ):
+            model = new_model
+            converged = True
+            break
+        model = new_model
+    # One final E-pass yields both the trailing log-likelihood and the
+    # eq. (5) posterior — the seed ran two separate full passes here.
+    final_stats = model._estep(index)
+    loss_symbol_mass = final_stats.joint_loss.sum(axis=0)
+    return FittedHMM(
+        model=model,
+        virtual_delay_pmf=loss_symbol_mass / loss_symbol_mass.sum(),
+        log_likelihoods=logliks + [final_stats.loglik],
+        converged=converged,
+        n_iter=len(logliks),
+    )
 
 
 def fit_hmm(
@@ -221,43 +341,17 @@ def fit_hmm(
     """Fit an HMM by EM, with optional random restarts.
 
     Returns the best fit (by final log-likelihood) across
-    ``config.n_restarts`` initialisations.
+    ``config.n_restarts`` initialisations.  Restarts fan out over
+    ``config.n_jobs`` worker processes; the reduction compares in
+    restart order, so the result is identical for any ``n_jobs``.
     """
     config = config or EMConfig()
-    best: Optional[FittedHMM] = None
-    for restart in range(config.n_restarts):
-        rng = np.random.default_rng(config.seed + restart)
-        pi, transition, emission, c = hmm_initial_parameters(seq, n_hidden, rng)
-        model = HiddenMarkovModel(pi, transition, emission, c)
-        logliks: List[float] = []
-        converged = False
-        prior = (config.loss_prior_losses, config.loss_prior_observations)
-        for iteration in range(config.max_iter):
-            new_model, loglik = model.em_step(
-                seq, min_prob=config.min_prob, loss_prior=prior
-            )
-            logliks.append(loglik)
-            if iteration < config.freeze_loss_iters:
-                # Warm start: learn dynamics before the loss channel.
-                new_model = HiddenMarkovModel(
-                    new_model.pi, new_model.transition, new_model.emission, c
-                )
-            elif (
-                max_param_change(model.parameters(), new_model.parameters())
-                < config.tol
-            ):
-                model = new_model
-                converged = True
-                break
-            model = new_model
-        fitted = FittedHMM(
-            model=model,
-            virtual_delay_pmf=model.virtual_delay_pmf(seq),
-            log_likelihoods=logliks + [model.log_likelihood(seq)],
-            converged=converged,
-            n_iter=len(logliks),
-        )
-        if best is None or fitted.log_likelihood > best.log_likelihood:
+    require_losses(seq, "fit_hmm")
+    tasks = [(seq, n_hidden, config, r) for r in range(config.n_restarts)]
+    fits = parallel_map(_fit_hmm_restart, tasks, n_jobs=config.n_jobs)
+    best = fits[0]
+    for fitted in fits[1:]:
+        if fitted.log_likelihood > best.log_likelihood:
             best = fitted
     return best
 

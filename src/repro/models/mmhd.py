@@ -22,6 +22,22 @@ the flattened ``N*M``-state chain, transition update from the ``xi`` sums
 ``Ĝ(m) = P(D_t = m | loss)`` from eq. (5).  With ``N = 1`` the model
 degenerates to an observable Markov chain over delay symbols, as noted in
 Section V-B.
+
+Fast path
+---------
+At an *observed* step the state is confined to the ``N`` states sharing
+the observed symbol, so the forward/backward recursions only ever need
+``N``-vectors there — not ``N*M``-vectors — and the transition work is an
+``N×N`` sub-block of the flattened matrix, selected by the (previous,
+current) symbol pair.  The default E-step (:meth:`~MarkovModelHiddenDimension
+._estep`) exploits this: recursions run on support-restricted vectors,
+and the ``xi`` transition statistics are accumulated by batching all
+consecutive-step pairs with the same symbol pair into one BLAS product
+(the pair groups are precomputed once per fit in
+:class:`~repro.models.base.SymbolIndex`).  With a typical ~1-5% loss rate
+nearly every step takes the restricted branch.  The dense textbook
+implementation is kept (``EMConfig.fast_path=False``) as the reference
+the test suite cross-checks against.
 """
 
 from __future__ import annotations
@@ -35,12 +51,33 @@ from repro.models.base import (
     EMConfig,
     FittedModel,
     ObservationSequence,
+    SymbolIndex,
     floor_and_normalize,
     max_param_change,
+    require_losses,
 )
 from repro.models.initialization import mmhd_initial_parameters
+from repro.parallel import parallel_map, restart_rng
 
 __all__ = ["MarkovModelHiddenDimension", "fit_mmhd"]
+
+
+class _EStepStats:
+    """Sufficient statistics of one E-pass, shared by both E-step paths.
+
+    ``loss_mass[m]`` / ``total_mass[m]`` are the expected symbol-``m``
+    counts over loss instants / all instants (the eq. 8 numerator and
+    denominator); ``loss_mass`` normalised is the eq. (5) posterior.
+    """
+
+    __slots__ = ("gamma0", "xi_sum", "loss_mass", "total_mass", "loglik")
+
+    def __init__(self, gamma0, xi_sum, loss_mass, total_mass, loglik):
+        self.gamma0 = gamma0
+        self.xi_sum = xi_sum
+        self.loss_mass = loss_mass
+        self.total_mass = total_mass
+        self.loglik = loglik
 
 
 class MarkovModelHiddenDimension:
@@ -105,8 +142,15 @@ class MarkovModelHiddenDimension:
         """All parameter arrays, for convergence checks."""
         return (self.pi, self.transition, self.loss_given_symbol)
 
+    def _symbol_cols(self) -> List[np.ndarray]:
+        """Flattened-state indices of each symbol: ``cols[m] = m + M*h``."""
+        n_hidden, n_symbols = self.n_hidden, self.n_symbols
+        return [
+            m + n_symbols * np.arange(n_hidden) for m in range(n_symbols)
+        ]
+
     # ------------------------------------------------------------------
-    # Likelihood machinery
+    # Likelihood machinery (dense reference path)
     # ------------------------------------------------------------------
     def _observation_likelihoods(self, symbols0: np.ndarray) -> np.ndarray:
         """Per-step state likelihoods, shape ``(T, N*M)``.
@@ -115,15 +159,17 @@ class MarkovModelHiddenDimension:
         by survival ``1 - c_m``; loss: every state weighted by ``c_d``.
         """
         n_steps = len(symbols0)
-        state_sym = self.state_symbol
         likes = np.zeros((n_steps, self.n_states))
         lost = symbols0 == LOSS
-        likes[lost] = self.loss_given_symbol[state_sym][None, :]
+        likes[lost] = self.loss_given_symbol[self.state_symbol][None, :]
         observed_idx = np.flatnonzero(~lost)
+        observed_syms = symbols0[observed_idx]
         survive = 1.0 - self.loss_given_symbol
-        for t in observed_idx:
-            m = symbols0[t]
-            likes[t, state_sym == m] = survive[m]
+        n_symbols = self.n_symbols
+        for h in range(self.n_hidden):
+            likes[observed_idx, h * n_symbols + observed_syms] = survive[
+                observed_syms
+            ]
         return likes
 
     def _forward_backward(self, likes: np.ndarray):
@@ -160,7 +206,7 @@ class MarkovModelHiddenDimension:
     # EM (Appendix B)
     # ------------------------------------------------------------------
     def _expectations(self, seq: ObservationSequence):
-        """E-step: ``(gamma, xi_sum, loglik)`` with scaled recursions."""
+        """Dense E-step: ``(gamma, xi_sum, loglik)`` with scaled recursions."""
         symbols0 = seq.zero_based()
         likes = self._observation_likelihoods(symbols0)
         alpha, beta, scales, loglik = self._forward_backward(likes)
@@ -174,46 +220,292 @@ class MarkovModelHiddenDimension:
         n_steps = gamma.shape[0]
         return gamma.reshape(n_steps, self.n_hidden, self.n_symbols).sum(axis=1)
 
+    def _estep_dense(self, index: SymbolIndex) -> _EStepStats:
+        """Reference E-step over the full ``(T, N*M)`` arrays."""
+        likes = self._observation_likelihoods(index.symbols0)
+        alpha, beta, scales, loglik = self._forward_backward(likes)
+        gamma = alpha * beta
+        weighted = likes[1:] * beta[1:] / scales[1:, None]
+        xi_sum = self.transition * (alpha[:-1].T @ weighted)
+        symbol_occ = self._symbol_occupancy(gamma)
+        loss_mass = symbol_occ[index.lost].sum(axis=0)
+        total_mass = symbol_occ.sum(axis=0)
+        return _EStepStats(gamma[0], xi_sum, loss_mass, total_mass, loglik)
+
+    def _structured_transition_blocks(self):
+        """Per-(symbol, symbol) views of the transition matrix, likelihood-scaled.
+
+        Returns ``(T_oo, T_ol, T_lo, T_ll)``:
+
+        * ``T_oo[mp][m]`` — ``(N, N)``: observed ``mp`` -> observed ``m``,
+          destination scaled by ``1 - c_m``;
+        * ``T_ol[mp]`` — ``(N, N*M)``: observed ``mp`` -> loss, columns
+          scaled by ``c_d``;
+        * ``T_lo[m]`` — ``(N*M, N)``: loss -> observed ``m``, scaled by
+          ``1 - c_m``;
+        * ``T_ll`` — ``(N*M, N*M)``: loss -> loss, columns scaled by ``c_d``.
+        """
+        n_hidden, n_symbols, n_states = self.n_hidden, self.n_symbols, self.n_states
+        survive = 1.0 - self.loss_given_symbol
+        c_state = self.loss_given_symbol[self.state_symbol]
+        a4 = self.transition.reshape(n_hidden, n_symbols, n_hidden, n_symbols)
+        # (M_from, M_to, N_from, N_to), destination-survival folded in.
+        t_oo_arr = np.ascontiguousarray(
+            a4.transpose(1, 3, 0, 2) * survive[None, :, None, None]
+        )
+        t_oo = [
+            [t_oo_arr[mp, m] for m in range(n_symbols)] for mp in range(n_symbols)
+        ]
+        t_ol = [
+            np.ascontiguousarray(a4[:, mp].reshape(n_hidden, n_states))
+            * c_state[None, :]
+            for mp in range(n_symbols)
+        ]
+        t_lo = [
+            np.ascontiguousarray(a4[:, :, :, m].reshape(n_states, n_hidden))
+            * survive[m]
+            for m in range(n_symbols)
+        ]
+        t_ll = self.transition * c_state[None, :]
+        return t_oo, t_ol, t_lo, t_ll
+
+    def _estep_fast(self, index: SymbolIndex) -> _EStepStats:
+        """Support-restricted E-step (see module docstring).
+
+        Identical statistics to :meth:`_estep_dense` up to floating-point
+        round-off; asymptotically ``O(T N^2 + L (NM)^2)`` instead of
+        ``O(T (NM)^2)`` for ``L`` loss instants.
+        """
+        n_hidden, n_symbols, n_states = self.n_hidden, self.n_symbols, self.n_states
+        symbols = index.symbol_list
+        n_steps = len(symbols)
+        n_losses = index.n_losses
+        cols = self._symbol_cols()
+        t_oo, t_ol, t_lo, t_ll = self._structured_transition_blocks()
+        survive = 1.0 - self.loss_given_symbol
+        c_state = self.loss_given_symbol[self.state_symbol]
+
+        scales = np.empty(n_steps)
+        alpha_obs = np.zeros((n_steps, n_hidden))
+        beta_obs = np.zeros((n_steps, n_hidden))
+        alpha_loss = np.empty((n_losses, n_states))
+        beta_loss = np.empty((n_losses, n_states))
+
+        # Forward pass.
+        m0 = symbols[0]
+        if m0 >= 0:
+            state = self.pi[cols[m0]] * survive[m0]
+        else:
+            state = self.pi * c_state
+        total = state.sum()
+        if total <= 0:
+            raise FloatingPointError("zero likelihood at t=0")
+        scales[0] = total
+        prev = state / total
+        prev_m = m0
+        loss_ptr = 0
+        if m0 >= 0:
+            alpha_obs[0] = prev
+        else:
+            alpha_loss[0] = prev
+            loss_ptr = 1
+        for t in range(1, n_steps):
+            m = symbols[t]
+            if m >= 0:
+                if prev_m >= 0:
+                    state = prev @ t_oo[prev_m][m]
+                else:
+                    state = prev @ t_lo[m]
+            else:
+                if prev_m >= 0:
+                    state = prev @ t_ol[prev_m]
+                else:
+                    state = prev @ t_ll
+            total = state.sum()
+            if total <= 0:
+                raise FloatingPointError(f"zero likelihood at t={t}")
+            scales[t] = total
+            prev = state / total
+            if m >= 0:
+                alpha_obs[t] = prev
+            else:
+                alpha_loss[loss_ptr] = prev
+                loss_ptr += 1
+            prev_m = m
+
+        # Backward pass (beta rows, support-restricted like alpha).
+        last_m = symbols[n_steps - 1]
+        loss_ptr = n_losses - 1
+        if last_m >= 0:
+            nxt = np.ones(n_hidden)
+            beta_obs[n_steps - 1] = nxt
+        else:
+            nxt = np.ones(n_states)
+            beta_loss[loss_ptr] = nxt
+            loss_ptr -= 1
+        next_m = last_m
+        for t in range(n_steps - 2, -1, -1):
+            m = symbols[t]
+            scale = scales[t + 1]
+            if m >= 0:
+                if next_m >= 0:
+                    row = t_oo[m][next_m] @ nxt / scale
+                else:
+                    row = t_ol[m] @ nxt / scale
+                beta_obs[t] = row
+            else:
+                if next_m >= 0:
+                    row = t_lo[next_m] @ nxt / scale
+                else:
+                    row = t_ll @ nxt / scale
+                beta_loss[loss_ptr] = row
+                loss_ptr -= 1
+            nxt = row
+            next_m = m
+
+        # Occupancies.
+        gamma_loss = alpha_loss * beta_loss
+        obs_vals = np.einsum("ij,ij->i", alpha_obs, beta_obs)
+        if symbols[0] >= 0:
+            gamma0 = np.zeros(n_states)
+            gamma0[cols[symbols[0]]] = alpha_obs[0] * beta_obs[0]
+        else:
+            gamma0 = gamma_loss[0]
+        loss_mass = (
+            gamma_loss.reshape(n_losses, n_hidden, n_symbols).sum(axis=(0, 1))
+            if n_losses
+            else np.zeros(n_symbols)
+        )
+        observed_mass = np.bincount(
+            index.observed_symbols,
+            weights=obs_vals[index.observed_idx],
+            minlength=n_symbols,
+        )
+        total_mass = loss_mass + observed_mass
+
+        # Transition statistics, batched per (symbol, symbol) pair group.
+        xi_sum = np.zeros((n_states, n_states))
+        oo, ol, lo, ll = index.pair_groups()
+        inv_scales = 1.0 / scales
+        loss_rank = index.loss_rank
+        for (mp, m), ts in oo.items():
+            a = alpha_obs[ts - 1]
+            b = beta_obs[ts] * inv_scales[ts][:, None]
+            xi_sum[np.ix_(cols[mp], cols[m])] += t_oo[mp][m] * (a.T @ b)
+        for mp, ts in ol.items():
+            a = alpha_obs[ts - 1]
+            b = beta_loss[loss_rank[ts]] * inv_scales[ts][:, None]
+            xi_sum[cols[mp], :] += t_ol[mp] * (a.T @ b)
+        for m, ts in lo.items():
+            a = alpha_loss[loss_rank[ts - 1]]
+            b = beta_obs[ts] * inv_scales[ts][:, None]
+            xi_sum[:, cols[m]] += t_lo[m] * (a.T @ b)
+        if len(ll):
+            a = alpha_loss[loss_rank[ll - 1]]
+            b = beta_loss[loss_rank[ll]] * inv_scales[ll][:, None]
+            xi_sum += t_ll * (a.T @ b)
+
+        loglik = float(np.log(scales).sum())
+        return _EStepStats(gamma0, xi_sum, loss_mass, total_mass, loglik)
+
+    def _estep(self, index: SymbolIndex, fast: bool = True) -> _EStepStats:
+        """One E-pass; ``fast`` selects the support-restricted path."""
+        return self._estep_fast(index) if fast else self._estep_dense(index)
+
+    def _maximize(
+        self,
+        stats: _EStepStats,
+        min_prob: float,
+        loss_prior: Tuple[float, float],
+    ) -> "MarkovModelHiddenDimension":
+        """M-step of Appendix B from one E-pass's statistics."""
+        pi = floor_and_normalize(stats.gamma0, min_prob)
+        transition = floor_and_normalize(stats.xi_sum, min_prob)
+        prior_losses, prior_observations = loss_prior
+        # eq. (8): expected losses with symbol m over expected symbol-m count.
+        loss_given_symbol = (stats.loss_mass + prior_losses) / np.maximum(
+            stats.total_mass + prior_losses + prior_observations, 1e-300
+        )
+        loss_given_symbol = np.clip(loss_given_symbol, min_prob, 1.0 - min_prob)
+        return MarkovModelHiddenDimension(
+            pi, transition, loss_given_symbol, self.n_symbols
+        )
+
     def em_step(
         self,
         seq: ObservationSequence,
         min_prob: float = 1e-10,
         loss_prior=(0.0, 0.0),
+        index: Optional[SymbolIndex] = None,
+        fast: bool = True,
     ):
         """One EM iteration (maximisation step of Appendix B).
 
         ``loss_prior = (a, b)`` applies a Beta(a, b)-style MAP update to
         ``c`` (see :class:`~repro.models.base.EMConfig`); ``(0, 0)`` is
-        the plain MLE of the paper.  Returns
+        the plain MLE of the paper.  ``index`` reuses a precomputed
+        :class:`SymbolIndex` across iterations.  Returns
         ``(new_model, loglik_of_current_model)``.
         """
-        gamma, xi_sum, loglik = self._expectations(seq)
-        pi = floor_and_normalize(gamma[0], min_prob)
-        transition = floor_and_normalize(xi_sum, min_prob)
-        # eq. (8): expected losses with symbol m over expected symbol-m count.
-        symbol_occ = self._symbol_occupancy(gamma)
-        lost = seq.losses
-        loss_mass = symbol_occ[lost].sum(axis=0)
-        total_mass = symbol_occ.sum(axis=0)
-        prior_losses, prior_observations = loss_prior
-        loss_given_symbol = (loss_mass + prior_losses) / np.maximum(
-            total_mass + prior_losses + prior_observations, 1e-300
-        )
-        loss_given_symbol = np.clip(loss_given_symbol, min_prob, 1.0 - min_prob)
-        model = MarkovModelHiddenDimension(
-            pi, transition, loss_given_symbol, self.n_symbols
-        )
-        return model, loglik
+        require_losses(seq, "em_step")
+        if index is None:
+            index = SymbolIndex(seq)
+        stats = self._estep(index, fast=fast)
+        return self._maximize(stats, min_prob, loss_prior), stats.loglik
 
-    def virtual_delay_pmf(self, seq: ObservationSequence) -> np.ndarray:
+    def virtual_delay_pmf(
+        self,
+        seq: ObservationSequence,
+        index: Optional[SymbolIndex] = None,
+        fast: bool = True,
+    ) -> np.ndarray:
         """Eq. (5): ``Ĝ(m) = P(D_t = m | loss)`` under this model."""
-        gamma, _, _ = self._expectations(seq)
-        symbol_occ = self._symbol_occupancy(gamma)
-        mass = symbol_occ[seq.losses].sum(axis=0)
-        total = mass.sum()
-        if total <= 0:
-            raise ValueError("no losses in the observation sequence")
-        return mass / total
+        require_losses(seq, "virtual_delay_pmf")
+        if index is None:
+            index = SymbolIndex(seq)
+        stats = self._estep(index, fast=fast)
+        return stats.loss_mass / stats.loss_mass.sum()
+
+
+def _fit_mmhd_restart(task) -> "FittedMMHD":
+    """One EM run from one random initialisation (parallel-map worker)."""
+    seq, n_hidden, config, restart = task
+    rng = restart_rng(config.seed, restart)
+    pi, transition, c = mmhd_initial_parameters(
+        seq, n_hidden, rng, data_driven=config.data_driven_init
+    )
+    model = MarkovModelHiddenDimension(pi, transition, c, seq.n_symbols)
+    index = SymbolIndex(seq)
+    logliks: List[float] = []
+    converged = False
+    prior = (config.loss_prior_losses, config.loss_prior_observations)
+    for iteration in range(config.max_iter):
+        stats = model._estep(index, fast=config.fast_path)
+        new_model = model._maximize(stats, config.min_prob, prior)
+        logliks.append(stats.loglik)
+        if iteration < config.freeze_loss_iters:
+            # Warm start: learn dynamics before the loss channel.
+            new_model = MarkovModelHiddenDimension(
+                new_model.pi, new_model.transition, c, seq.n_symbols
+            )
+        elif (
+            max_param_change(model.parameters(), new_model.parameters())
+            < config.tol
+        ):
+            model = new_model
+            converged = True
+            break
+        model = new_model
+    # One final E-pass yields both the trailing log-likelihood and the
+    # eq. (5) posterior — the seed ran two separate full passes here.
+    final_stats = model._estep(index, fast=config.fast_path)
+    return FittedMMHD(
+        model=model,
+        virtual_delay_pmf=final_stats.loss_mass / final_stats.loss_mass.sum(),
+        log_likelihoods=logliks + [final_stats.loglik],
+        converged=converged,
+        n_iter=len(logliks),
+    )
 
 
 def fit_mmhd(
@@ -221,44 +513,20 @@ def fit_mmhd(
     n_hidden: int,
     config: Optional[EMConfig] = None,
 ) -> "FittedMMHD":
-    """Fit an MMHD by EM, with optional random restarts."""
+    """Fit an MMHD by EM, with optional random restarts.
+
+    Restarts are independent EM runs and fan out over
+    ``config.n_jobs`` worker processes; the best final log-likelihood
+    wins, compared in restart order, so the result is identical for any
+    ``n_jobs``.
+    """
     config = config or EMConfig()
-    best: Optional[FittedMMHD] = None
-    for restart in range(config.n_restarts):
-        rng = np.random.default_rng(config.seed + restart)
-        pi, transition, c = mmhd_initial_parameters(
-            seq, n_hidden, rng, data_driven=config.data_driven_init
-        )
-        model = MarkovModelHiddenDimension(pi, transition, c, seq.n_symbols)
-        logliks: List[float] = []
-        converged = False
-        prior = (config.loss_prior_losses, config.loss_prior_observations)
-        for iteration in range(config.max_iter):
-            new_model, loglik = model.em_step(
-                seq, min_prob=config.min_prob, loss_prior=prior
-            )
-            logliks.append(loglik)
-            if iteration < config.freeze_loss_iters:
-                # Warm start: learn dynamics before the loss channel.
-                new_model = MarkovModelHiddenDimension(
-                    new_model.pi, new_model.transition, c, seq.n_symbols
-                )
-            elif (
-                max_param_change(model.parameters(), new_model.parameters())
-                < config.tol
-            ):
-                model = new_model
-                converged = True
-                break
-            model = new_model
-        fitted = FittedMMHD(
-            model=model,
-            virtual_delay_pmf=model.virtual_delay_pmf(seq),
-            log_likelihoods=logliks + [model.log_likelihood(seq)],
-            converged=converged,
-            n_iter=len(logliks),
-        )
-        if best is None or fitted.log_likelihood > best.log_likelihood:
+    require_losses(seq, "fit_mmhd")
+    tasks = [(seq, n_hidden, config, r) for r in range(config.n_restarts)]
+    fits = parallel_map(_fit_mmhd_restart, tasks, n_jobs=config.n_jobs)
+    best = fits[0]
+    for fitted in fits[1:]:
+        if fitted.log_likelihood > best.log_likelihood:
             best = fitted
     return best
 

@@ -18,6 +18,7 @@ import numpy as np
 from repro.models.base import EMConfig, FittedModel, ObservationSequence
 from repro.models.hmm import fit_hmm
 from repro.models.mmhd import fit_mmhd
+from repro.parallel import parallel_map, resolve_n_jobs
 
 __all__ = ["ModelSelection", "bic", "select_n_hidden"]
 
@@ -72,11 +73,25 @@ class ModelSelection:
         return "\n".join(lines)
 
 
+def _fit_candidate(task):
+    """Fit one candidate model order (parallel-map worker).
+
+    The candidate fit runs its restarts serially: the parallelism budget
+    is spent across candidates, never nested inside a worker.
+    """
+    seq, n_hidden, model, config, serial_inner = task
+    fit = fit_mmhd if model == "mmhd" else fit_hmm
+    if serial_inner and config is not None:
+        config = config.replace(n_jobs=1)
+    return fit(seq, n_hidden=n_hidden, config=config)
+
+
 def select_n_hidden(
     seq: ObservationSequence,
     candidates: Sequence[int] = (1, 2, 3, 4),
     model: str = "mmhd",
     config: Optional[EMConfig] = None,
+    n_jobs: int = 1,
 ) -> ModelSelection:
     """Fit each candidate ``N`` and pick the BIC-minimal one.
 
@@ -84,14 +99,20 @@ def select_n_hidden(
     records BIC therefore prefers small ``N`` unless extra hidden structure
     genuinely pays for itself — consistent with the paper's observation
     that the inferred distributions barely change with ``N``.
+
+    ``n_jobs`` fans the candidate fits out over worker processes
+    (``-1`` = all CPUs); each candidate's result depends only on the
+    shared ``config``, so the selection is identical for every value.
     """
     if not candidates:
         raise ValueError("need at least one candidate N")
-    fit = fit_mmhd if model == "mmhd" else fit_hmm
+    serial_inner = resolve_n_jobs(n_jobs) > 1
+    tasks = [(seq, int(n_hidden), model, config, serial_inner)
+             for n_hidden in candidates]
+    fitted_models = parallel_map(_fit_candidate, tasks, n_jobs=n_jobs)
     fits: Dict[int, FittedModel] = {}
     bics: Dict[int, float] = {}
-    for n_hidden in candidates:
-        fitted = fit(seq, n_hidden=n_hidden, config=config)
+    for (_, n_hidden, _, _, _), fitted in zip(tasks, fitted_models):
         fits[n_hidden] = fitted
         bics[n_hidden] = bic(fitted, seq)
     return ModelSelection(fits, bics)

@@ -96,3 +96,21 @@ class TestConsistency:
         assert unknown.ratios[0] == known.ratios[0]
         assert unknown.label == "unknown P"
         assert known.label == "known P"
+
+
+class TestParallelSweeps:
+    def test_correctness_parallel_matches_serial(self, trace, fast_config):
+        kwargs = dict(expected_dcl=True, durations=[30.0, 60.0], n_reps=3,
+                      config=fast_config, seed=4)
+        serial = correctness_vs_duration(trace, n_jobs=1, **kwargs)
+        parallel = correctness_vs_duration(trace, n_jobs=2, **kwargs)
+        assert serial.ratios == parallel.ratios
+
+    def test_consistency_parallel_matches_serial(self, trace, fast_config):
+        observation = trace.observation()
+        kwargs = dict(reference_accepts_dcl=True, durations=[60.0],
+                      probe_interval=trace.probe_interval, n_reps=3,
+                      config=fast_config, seed=4)
+        serial = consistency_vs_duration(observation, n_jobs=1, **kwargs)
+        parallel = consistency_vs_duration(observation, n_jobs=2, **kwargs)
+        assert serial.ratios == parallel.ratios

@@ -50,3 +50,46 @@ class TestRunScenario:
                          warmup=2.0)
         assert a.trace.loss_rate == b.trace.loss_rate
         assert (a.trace.lost == b.trace.lost).all()
+
+
+def _loss_rate_summary(result):
+    return {"seed": result.seed, "loss_rate": result.loss_rate,
+            "n_probes": len(result.trace)}
+
+
+class TestRunScenarioSweep:
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        from repro.experiments.runner import run_scenario_sweep
+        kwargs = dict(seeds=[0, 1, 2], duration=5.0, warmup=1.0)
+        return (
+            run_scenario_sweep(strong_dcl_scenario, n_jobs=1, **kwargs),
+            run_scenario_sweep(strong_dcl_scenario, n_jobs=2, **kwargs),
+        )
+
+    def test_one_result_per_seed_in_order(self, sweeps):
+        serial, _ = sweeps
+        assert [r.seed for r in serial] == [0, 1, 2]
+
+    def test_parallel_matches_serial(self, sweeps):
+        serial, parallel = sweeps
+        for a, b in zip(serial, parallel):
+            assert a.trace.loss_rate == b.trace.loss_rate
+            assert (a.trace.lost == b.trace.lost).all()
+
+    def test_live_state_stripped_on_both_paths(self, sweeps):
+        for sweep in sweeps:
+            for result in sweep:
+                assert result.built.network is None
+                # ...but the scoring surface survives.
+                assert result.built.dcl_link == "r2->r3"
+                assert result.built.max_queuing_delays
+
+    def test_custom_reduce(self):
+        from repro.experiments.runner import run_scenario_sweep
+        summaries = run_scenario_sweep(
+            strong_dcl_scenario, seeds=[0, 1], duration=5.0, warmup=1.0,
+            reduce=_loss_rate_summary, n_jobs=2,
+        )
+        assert [s["seed"] for s in summaries] == [0, 1]
+        assert all(s["n_probes"] > 0 for s in summaries)

@@ -133,3 +133,25 @@ class TestVirtualDelayPosterior:
         expected = emission[0] * c
         expected /= expected.sum()
         np.testing.assert_allclose(pmf, expected, atol=1e-9)
+
+
+class TestLossFreeGuards:
+    """Loss-free sequences fail fast with an actionable message."""
+
+    def test_em_step_raises_with_loss_count(self):
+        model = simple_model()
+        seq = ObservationSequence([1, 2, 3, 2], n_symbols=3)
+        with pytest.raises(ValueError, match="0 losses in 4 observations"):
+            model.em_step(seq)
+
+    def test_fit_raises_before_any_em_work(self):
+        seq = ObservationSequence([1, 2, 3, 2, 1], n_symbols=3)
+        with pytest.raises(ValueError, match="fit_hmm requires lost probes"):
+            fit_hmm(seq, n_hidden=2)
+
+    def test_sequence_with_losses_unaffected(self):
+        model = simple_model()
+        seq = ObservationSequence([1, LOSS, 3, 2], n_symbols=3)
+        pmf = model.virtual_delay_pmf(seq)
+        assert pmf.shape == (3,)
+        assert pmf.sum() == pytest.approx(1.0)

@@ -138,3 +138,31 @@ class TestEMFit:
         seq = ObservationSequence([1, 2, 3], n_symbols=3)
         with pytest.raises(ValueError):
             model.virtual_delay_pmf(seq)
+
+
+class TestLossFreeGuards:
+    """Loss-free sequences fail fast with an actionable message."""
+
+    def test_em_step_raises_with_loss_count(self):
+        model = uniform_mmhd()
+        seq = ObservationSequence([1, 2, 3, 2], n_symbols=3)
+        with pytest.raises(ValueError, match="0 losses in 4 observations"):
+            model.em_step(seq)
+
+    def test_fit_raises_before_any_em_work(self):
+        seq = ObservationSequence([1, 2, 3, 2, 1], n_symbols=3)
+        with pytest.raises(ValueError, match="fit_mmhd requires lost probes"):
+            fit_mmhd(seq, n_hidden=2)
+
+    def test_posterior_message_names_the_operation(self):
+        model = uniform_mmhd()
+        seq = ObservationSequence([1, 2, 3], n_symbols=3)
+        with pytest.raises(ValueError, match="virtual_delay_pmf"):
+            model.virtual_delay_pmf(seq)
+
+    def test_sequence_with_losses_unaffected(self):
+        model = uniform_mmhd()
+        seq = ObservationSequence([1, LOSS, 3, 2], n_symbols=3)
+        pmf = model.virtual_delay_pmf(seq)
+        assert pmf.shape == (3,)
+        assert pmf.sum() == pytest.approx(1.0)

@@ -1,0 +1,137 @@
+"""Tests of the shared parallel-execution layer (``repro.parallel``)."""
+
+import itertools
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    STREAM_BOOTSTRAP,
+    STREAM_RESTART,
+    STREAM_SELECTION,
+    STREAM_SWEEP,
+    parallel_map,
+    resolve_n_jobs,
+    restart_rng,
+    seed_sequence,
+    task_rng,
+    task_seed,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _first_draw(args):
+    base_seed, key = args
+    return float(task_rng(base_seed, *key).random())
+
+
+class TestResolveNJobs:
+    def test_serial_values(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+
+    def test_all_cpus(self):
+        expected = os.cpu_count() or 1
+        assert resolve_n_jobs(-1) == expected
+        assert resolve_n_jobs(0) == expected
+
+    def test_explicit_count_taken_literally(self):
+        assert resolve_n_jobs(3) == 3
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            resolve_n_jobs(-2)
+
+
+class TestParallelMap:
+    def test_serial_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], n_jobs=1) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(23))
+        assert parallel_map(_square, items, n_jobs=2) == [i * i for i in items]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(17))
+        serial = parallel_map(_square, items, n_jobs=1)
+        parallel = parallel_map(_square, items, n_jobs=3)
+        assert serial == parallel
+
+    def test_explicit_chunksize(self):
+        items = list(range(10))
+        out = parallel_map(_square, items, n_jobs=2, chunksize=3)
+        assert out == [i * i for i in items]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], n_jobs=4) == []
+
+    def test_single_item_runs_in_process(self):
+        # No pool should be involved: unpicklable closures must work.
+        acc = []
+        assert parallel_map(lambda x: acc.append(x) or x, [5], n_jobs=4) == [5]
+        assert acc == [5]
+
+
+class TestTaskSeeding:
+    def test_deterministic(self):
+        assert task_seed(42, STREAM_RESTART, 3) == task_seed(42, STREAM_RESTART, 3)
+        a = task_rng(42, STREAM_RESTART, 3).random(4)
+        b = task_rng(42, STREAM_RESTART, 3).random(4)
+        assert np.array_equal(a, b)
+
+    def test_no_collisions_across_streams_and_indices(self):
+        """The old ``seed + index`` convention collided across layers
+        (restart 3 of seed 10 was restart 0 of seed 13); the spawn-key
+        scheme must keep every (seed, stream, index) cell distinct."""
+        streams = (STREAM_RESTART, STREAM_BOOTSTRAP, STREAM_SWEEP,
+                   STREAM_SELECTION)
+        seeds = set()
+        for base, stream, index in itertools.product(
+                range(4), streams, range(8)):
+            seeds.add(task_seed(base, stream, index))
+        assert len(seeds) == 4 * len(streams) * 8
+
+    def test_restart_replicate_grid_distinct_draws(self):
+        """Restarts x replicates must see distinct RNG streams even when
+        base seeds are consecutive (the bootstrap uses seed + attempt)."""
+        draws = [
+            _first_draw((base, (STREAM_RESTART, restart)))
+            for base in range(6)      # consecutive replicate seeds
+            for restart in range(1, 5)
+        ]
+        assert len(set(draws)) == len(draws)
+
+    def test_spawn_key_tuple_roundtrip(self):
+        ss = seed_sequence(7, 2, 5)
+        assert ss.entropy == 7
+        assert ss.spawn_key == (2, 5)
+
+
+class TestRestartRng:
+    def test_restart_zero_is_legacy_stream(self):
+        """Restart 0 must be bit-identical to ``default_rng(seed)`` so
+        single-restart fits reproduce earlier releases exactly."""
+        a = restart_rng(123, 0).random(8)
+        b = np.random.default_rng(123).random(8)
+        assert np.array_equal(a, b)
+
+    def test_later_restarts_use_spawned_streams(self):
+        spawned = restart_rng(123, 1).random(8)
+        legacy_plus_one = np.random.default_rng(124).random(8)
+        assert not np.array_equal(spawned, legacy_plus_one)
+
+    def test_restarts_distinct(self):
+        draws = {float(restart_rng(0, r).random()) for r in range(10)}
+        assert len(draws) == 10
+
+    def test_consistent_in_workers(self):
+        """The same (seed, key) must yield the same stream no matter
+        which process materialises it."""
+        args = [(11, (STREAM_RESTART, r)) for r in range(4)]
+        serial = parallel_map(_first_draw, args, n_jobs=1)
+        parallel = parallel_map(_first_draw, args, n_jobs=2)
+        assert serial == parallel
