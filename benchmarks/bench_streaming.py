@@ -1,0 +1,213 @@
+"""Streaming-monitor benchmark: warm-start wins and multi-path throughput.
+
+Times the online identification subsystem on synthetic strong-DCL probe
+streams (:mod:`repro.experiments.streams` — no simulator in the loop, so
+the numbers isolate the fitting/testing pipeline):
+
+* ``cold_window_seconds`` / ``warm_window_seconds`` — per-window latency
+  of :func:`repro.streaming.tracker.analyze_window` with the warm-start
+  chain disabled vs enabled, on the *same* window sequence.  A cold
+  window pays the full multi-restart EM; a warm window starts from the
+  previous window's parameters and converges in a handful of iterations.
+  ``warm_speedup`` is the headline number and is asserted to be >= 3x at
+  quick scale.
+* ``throughput_single_jobs`` / ``throughput_multi_jobs`` — end-to-end
+  probes/second of :class:`repro.streaming.scheduler.MultiPathMonitor`
+  over several concurrent paths with ``n_jobs=1`` vs a worker pool.  The
+  multi-path speedup only exceeds 1 on multi-core machines; ``cpu_count``
+  is recorded so readers can interpret it.
+
+Writes ``benchmarks/output/BENCH_streaming.json``.  ``--check-baseline``
+compares the fresh warm-window latency against the committed JSON and
+exits non-zero on a >2x regression (results go to a ``.check.json``
+sidecar so the committed baseline is never clobbered by CI).
+
+Run: ``PYTHONPATH=src python benchmarks/bench_streaming.py``
+(``REPRO_BENCH_SCALE=paper`` for full horizons).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import common  # noqa: E402
+from repro.experiments.streams import strong_dcl_stream  # noqa: E402
+from repro.parallel import shutdown_pools  # noqa: E402
+from repro.streaming.scheduler import MultiPathMonitor  # noqa: E402
+from repro.streaming.tracker import MonitorConfig, analyze_window  # noqa: E402
+from repro.streaming.windows import iter_windows  # noqa: E402
+
+BASELINE_PATH = common.OUTPUT_DIR / "BENCH_streaming.json"
+#: CI may only tolerate this much slowdown of the guarded warm timing.
+MAX_REGRESSION = 2.0
+#: The acceptance bar: warm-started windows must fit at least this much
+#: faster than cold multi-restart windows at quick scale.
+MIN_WARM_SPEEDUP = 3.0
+
+COLD_RESTARTS = 4
+N_PATHS = 4
+MULTI_JOBS = 4
+
+if common.SCALE == "paper":
+    WINDOW, HOP = 3000, 1500      # one paper minute, 50% overlap
+    STREAM_PROBES = 24_000
+    THROUGHPUT_PROBES = 12_000
+else:
+    WINDOW, HOP = 1500, 750
+    STREAM_PROBES = 9_000
+    THROUGHPUT_PROBES = 4_500
+
+
+def monitor_config() -> MonitorConfig:
+    return MonitorConfig(
+        window=WINDOW, hop=HOP, n_hidden=2, gate_stationarity=False,
+        em=common.em_config().replace(n_restarts=COLD_RESTARTS, n_jobs=1),
+    )
+
+
+def bench_window_latency(config: MonitorConfig):
+    """Per-window analyze_window latency: warm chain vs always-cold."""
+    windows = list(iter_windows(strong_dcl_stream(STREAM_PROBES, seed=11),
+                                WINDOW, HOP))
+    # Warm chain: first window is cold by construction and excluded.
+    warm = None
+    warm_times, warm_iters = [], []
+    for pw in windows:
+        start = time.perf_counter()
+        analysis = analyze_window(pw.observation, warm, config,
+                                  window_index=pw.index)
+        elapsed = time.perf_counter() - start
+        assert analysis.analyzed, analysis.reason
+        if analysis.warm_used:
+            warm_times.append(elapsed)
+            warm_iters.append(analysis.n_iter)
+        warm = analysis.warm_state
+    assert warm_times, "warm chain never engaged"
+
+    cold_times, cold_iters = [], []
+    for pw in windows[1:]:
+        start = time.perf_counter()
+        analysis = analyze_window(pw.observation, None, config,
+                                  window_index=pw.index)
+        cold_times.append(time.perf_counter() - start)
+        cold_iters.append(analysis.n_iter)
+    return {
+        "n_windows": len(windows),
+        "n_warm_windows": len(warm_times),
+        "cold_window_seconds": round(float(np.mean(cold_times)), 4),
+        "warm_window_seconds": round(float(np.mean(warm_times)), 4),
+        "cold_mean_iters": round(float(np.mean(cold_iters)), 1),
+        "warm_mean_iters": round(float(np.mean(warm_iters)), 1),
+        "warm_speedup": round(float(np.mean(cold_times) /
+                                    np.mean(warm_times)), 3),
+    }
+
+
+def bench_throughput(config: MonitorConfig, n_jobs: int) -> float:
+    """Probes/second through the multi-path monitor, end to end."""
+    streams = {
+        f"path-{i}": list(strong_dcl_stream(THROUGHPUT_PROBES, seed=30 + i))
+        for i in range(N_PATHS)
+    }
+    monitor = MultiPathMonitor(config, n_jobs=n_jobs)
+    if n_jobs != 1:
+        # Fork the worker pool outside the timed region (steady state).
+        warm_cfg = MonitorConfig(
+            window=WINDOW, hop=HOP, n_hidden=2, gate_stationarity=False,
+            em=config.em.replace(max_iter=1, n_restarts=1),
+        )
+        MultiPathMonitor(warm_cfg, n_jobs=n_jobs).run_streams({
+            path: stream[:WINDOW] for path, stream in streams.items()
+        })
+    start = time.perf_counter()
+    events = monitor.run_streams(streams)
+    elapsed = time.perf_counter() - start
+    assert events, "throughput run produced no events"
+    return N_PATHS * THROUGHPUT_PROBES / elapsed
+
+
+def run_benchmark() -> dict:
+    config = monitor_config()
+    latency = bench_window_latency(config)
+    single = bench_throughput(config, n_jobs=1)
+    multi = bench_throughput(config, n_jobs=MULTI_JOBS)
+    report = {
+        "scale": common.SCALE,
+        "cpu_count": os.cpu_count(),
+        "window": WINDOW,
+        "hop": HOP,
+        "cold_restarts": COLD_RESTARTS,
+        "em_tol": common.EM_TOL,
+        "em_max_iter": common.EM_MAX_ITER,
+        **latency,
+        "n_paths": N_PATHS,
+        "throughput_probes_per_path": THROUGHPUT_PROBES,
+        "multi_n_jobs": MULTI_JOBS,
+        "throughput_single_jobs": round(single, 1),
+        "throughput_multi_jobs": round(multi, 1),
+        "multi_path_speedup": round(multi / single, 3),
+    }
+    assert report["warm_speedup"] >= MIN_WARM_SPEEDUP, (
+        f"warm-start speedup {report['warm_speedup']}x is below the "
+        f"{MIN_WARM_SPEEDUP}x bar"
+    )
+    return report
+
+
+def check_baseline(report: dict) -> int:
+    if not BASELINE_PATH.exists():
+        print(f"no committed baseline at {BASELINE_PATH}; skipping check")
+        return 0
+    baseline = json.loads(BASELINE_PATH.read_text())
+    if baseline.get("scale") != report["scale"]:
+        print(f"baseline scale {baseline.get('scale')!r} != "
+              f"current {report['scale']!r}; skipping check")
+        return 0
+    old = baseline["warm_window_seconds"]
+    new = report["warm_window_seconds"]
+    ratio = new / old
+    print(f"warm window fit: baseline {old:.3f}s, now {new:.3f}s "
+          f"({ratio:.2f}x)")
+    if ratio > MAX_REGRESSION:
+        print(f"FAIL: warm-window latency regressed more than "
+              f"{MAX_REGRESSION:.0f}x vs the committed baseline")
+        return 1
+    print("OK: within the regression budget")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="compare against the committed JSON instead of replacing it",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark()
+    shutdown_pools()
+    print(json.dumps(report, indent=2))
+
+    if args.check_baseline:
+        status = check_baseline(report)
+        out = BASELINE_PATH.with_suffix(".check.json")
+    else:
+        status = 0
+        out = BASELINE_PATH
+    common.OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[written to {out}]")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

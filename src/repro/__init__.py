@@ -34,6 +34,11 @@ The package is organised as:
     Scenario builders and harnesses reproducing every table and figure of
     the paper's evaluation (see DESIGN.md for the index).
 
+``repro.streaming``
+    Online identification: sliding probe windows, warm-started EM fits,
+    hysteresis verdict tracking, and a multi-path monitor scheduler (the
+    ``repro monitor`` CLI).
+
 Quickstart::
 
     from repro import experiments, core
@@ -44,7 +49,7 @@ Quickstart::
     print(report.summary())
 """
 
-from repro import core, experiments, measurement, models, netsim
+from repro import core, experiments, measurement, models, netsim, streaming
 from repro.core.identify import IdentificationReport, identify
 from repro.version import __version__
 
@@ -57,4 +62,5 @@ __all__ = [
     "measurement",
     "models",
     "netsim",
+    "streaming",
 ]

@@ -8,19 +8,25 @@ Commands mirror the workflow a measurement operator runs:
 * ``bound`` — estimate the dominant link's maximum queuing delay;
 * ``clock`` — remove clock skew from a measured observation;
 * ``pinpoint`` — locate the dominant link from an archived trace (NPZ,
-  which carries the per-hop records that stand in for TTL probing).
+  which carries the per-hop records that stand in for TTL probing);
+* ``monitor`` — stream one or more observations through the online
+  identification subsystem and emit JSONL verdict events (tails files
+  with ``--follow``, reads stdin with ``-``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+import time
+from typing import Iterator, List, Optional
 
 from repro.core.identify import IdentifyConfig, estimate_bound, identify
 from repro.core.pinpoint import pinpoint_dominant_link
 from repro.measurement.clock import remove_clock_effects
 from repro.measurement.traceio import (
+    iter_observation,
     load_observation,
     load_trace,
     save_observation,
@@ -130,6 +136,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pinpoint.add_argument("trace", help="trace NPZ from 'simulate --trace-out'")
     _add_identify_options(pinpoint)
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="stream observations through the online monitor (JSONL events)",
+    )
+    monitor.add_argument(
+        "inputs", nargs="*",
+        help="observation CSVs to monitor ('-' reads stdin); each input "
+             "is tracked as its own path",
+    )
+    monitor.add_argument("--follow", action="store_true",
+                         help="keep tailing the input files for appended "
+                              "probes instead of stopping at EOF")
+    monitor.add_argument("--window", type=int, default=3000,
+                         help="probes per sliding window (default 3000)")
+    monitor.add_argument("--hop", type=int, default=None,
+                         help="probes between window starts (default "
+                              "window/2: 50%% overlap)")
+    monitor.add_argument("--confirm", type=int, default=3,
+                         help="K of K-of-N verdict hysteresis (default 3)")
+    monitor.add_argument("--memory", type=int, default=5,
+                         help="N of K-of-N verdict hysteresis (default 5)")
+    monitor.add_argument("--no-stationarity-gate", action="store_true",
+                         help="analyse every window, even nonstationary ones")
+    monitor.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for multi-path fits "
+                              "(-1 = all CPUs; default 1)")
+    monitor.add_argument("--max-windows", type=int, default=None,
+                         help="stop after this many emitted window events")
+    monitor.add_argument("--demo", type=int, default=None, metavar="N",
+                         help="also monitor a synthetic N-probe strong-DCL "
+                              "stream (no input file needed)")
+    monitor.add_argument("--seed", type=int, default=0,
+                         help="seed for --demo stream generation")
+    _add_identify_options(monitor)
     return parser
 
 
@@ -192,6 +233,89 @@ def _cmd_pinpoint(args) -> int:
     return 0 if report.located else 1
 
 
+def _follow_lines(path: str, poll: float = 0.5) -> Iterator[str]:
+    """Yield a file's lines forever, sleeping at EOF (``tail -f``)."""
+    with open(path) as handle:
+        while True:
+            line = handle.readline()
+            if line:
+                yield line
+            else:
+                time.sleep(poll)
+
+
+def _monitor_streams(args) -> dict:
+    streams = {}
+    for spec in args.inputs:
+        if spec == "-":
+            streams["stdin"] = iter_observation(sys.stdin)
+        elif args.follow:
+            streams[spec] = iter_observation(_follow_lines(spec))
+        else:
+            streams[spec] = iter_observation(spec)
+    if args.demo:
+        from repro.experiments.streams import strong_dcl_stream
+
+        streams["demo"] = strong_dcl_stream(args.demo, seed=args.seed)
+    if not streams:
+        raise SystemExit(
+            "monitor: provide at least one observation CSV, '-', or --demo N"
+        )
+    return streams
+
+
+def _cmd_monitor(args) -> int:
+    from repro.streaming import MonitorConfig, MultiPathMonitor
+
+    config = MonitorConfig(
+        window=args.window,
+        hop=args.hop,
+        n_symbols=args.symbols,
+        n_hidden=args.hidden,
+        model=args.model,
+        beta0=args.beta0,
+        beta1=args.beta1,
+        confirm=args.confirm,
+        memory=args.memory,
+        gate_stationarity=not args.no_stationarity_gate,
+    )
+    monitor = MultiPathMonitor(config, n_jobs=args.jobs)
+    iterators = {path: iter(s) for path, s in _monitor_streams(args).items()}
+
+    emitted = 0
+
+    def emit(events) -> bool:
+        """Print events as JSONL; True once --max-windows is reached."""
+        nonlocal emitted
+        for event in events:
+            print(json.dumps(event.to_dict()), flush=True)
+            emitted += 1
+            if args.max_windows is not None and emitted >= args.max_windows:
+                return True
+        return False
+
+    burst = config.hop
+    try:
+        while iterators:
+            exhausted = []
+            for path, iterator in iterators.items():
+                for _ in range(burst):
+                    try:
+                        send_time, delay = next(iterator)
+                    except StopIteration:
+                        exhausted.append(path)
+                        break
+                    monitor.ingest(path, send_time, delay)
+            for path in exhausted:
+                del iterators[path]
+            if emit(monitor.drain()):
+                return 0
+        emit(monitor.finish())
+    except KeyboardInterrupt:  # pragma: no cover - interactive tail mode
+        emit(monitor.drain())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -201,6 +325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bound": _cmd_bound,
         "clock": _cmd_clock,
         "pinpoint": _cmd_pinpoint,
+        "monitor": _cmd_monitor,
     }
     return handlers[args.command](args)
 

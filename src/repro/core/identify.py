@@ -15,7 +15,7 @@ probe record:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.bounds import (
     DelayBound,
@@ -30,7 +30,14 @@ from repro.core.virtual_delay import hmm_distribution, mmhd_distribution
 from repro.models.base import EMConfig, FittedModel
 from repro.netsim.trace import PathObservation, ProbeTrace
 
-__all__ = ["IdentifyConfig", "IdentificationReport", "identify", "estimate_bound"]
+__all__ = [
+    "IdentifyConfig",
+    "IdentificationReport",
+    "identify",
+    "estimate_bound",
+    "evaluate_distribution",
+    "verdict_from_tests",
+]
 
 
 class IdentifyConfig:
@@ -100,11 +107,7 @@ class IdentificationReport:
     @property
     def verdict(self) -> str:
         """The strongest accepted hypothesis: strong, weak, or none."""
-        if self.sdcl.accepted:
-            return "strong"
-        if self.wdcl.accepted:
-            return "weak"
-        return "none"
+        return verdict_from_tests(self.sdcl, self.wdcl)
 
     @property
     def dominant_link_exists(self) -> bool:
@@ -126,6 +129,32 @@ class IdentificationReport:
             f"verdict: {self.verdict} dominant congested link",
         ]
         return "\n".join(lines)
+
+
+def evaluate_distribution(
+    distribution: DelayDistribution,
+    config: IdentifyConfig,
+) -> Tuple[TestResult, TestResult]:
+    """Run both hypothesis tests on an estimated ``Ĝ``.
+
+    The single place the SDCL/WDCL parameters are applied — shared by the
+    batch :func:`identify` pipeline and the streaming per-window tracker,
+    so the two can never drift apart on test configuration.
+    """
+    sdcl = sdcl_test(distribution, tolerance=config.tolerance)
+    wdcl = wdcl_test(
+        distribution, config.beta0, config.beta1, tolerance=config.tolerance
+    )
+    return sdcl, wdcl
+
+
+def verdict_from_tests(sdcl: TestResult, wdcl: TestResult) -> str:
+    """The strongest accepted hypothesis: ``strong`` | ``weak`` | ``none``."""
+    if sdcl.accepted:
+        return "strong"
+    if wdcl.accepted:
+        return "weak"
+    return "none"
 
 
 def _as_observation(data, config: IdentifyConfig) -> PathObservation:
@@ -161,10 +190,7 @@ def identify(
     distribution, fitted = estimator(
         observation, discretizer, n_hidden=config.n_hidden, config=config.em
     )
-    sdcl = sdcl_test(distribution, tolerance=config.tolerance)
-    wdcl = wdcl_test(
-        distribution, config.beta0, config.beta1, tolerance=config.tolerance
-    )
+    sdcl, wdcl = evaluate_distribution(distribution, config)
     return IdentificationReport(
         distribution=distribution,
         sdcl=sdcl,

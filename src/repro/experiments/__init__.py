@@ -1,6 +1,6 @@
 """Reproduction harnesses: scenarios, runners, sweeps, and reporting."""
 
-from repro.experiments import duration, internet, reporting, scenarios
+from repro.experiments import duration, internet, reporting, scenarios, streams
 from repro.experiments.duration import (
     DurationSweep,
     consistency_vs_duration,
@@ -22,6 +22,7 @@ from repro.experiments.scenarios import (
     strong_dcl_scenario,
     weak_dcl_scenario,
 )
+from repro.experiments.streams import level_shift_stream, strong_dcl_stream
 
 __all__ = [
     "BuiltScenario",
@@ -42,6 +43,9 @@ __all__ = [
     "run_internet_experiment",
     "run_scenario",
     "scenarios",
+    "level_shift_stream",
+    "streams",
     "strong_dcl_scenario",
+    "strong_dcl_stream",
     "weak_dcl_scenario",
 ]

@@ -10,10 +10,12 @@ from repro.measurement.pathtools import PcharProber, PcharResult
 from repro.measurement.pipeline import PreparedObservation, prepare_observation
 from repro.measurement.stationarity import (
     WindowSummary,
+    observation_is_stationary,
     select_stationary_segment,
     summarize_windows,
 )
 from repro.measurement.traceio import (
+    iter_observation,
     load_observation,
     load_timestamp_pair,
     load_trace,
@@ -29,7 +31,9 @@ __all__ = [
     "WindowSummary",
     "apply_clock_effects",
     "estimate_clock",
+    "iter_observation",
     "load_observation",
+    "observation_is_stationary",
     "load_timestamp_pair",
     "load_trace",
     "prepare_observation",

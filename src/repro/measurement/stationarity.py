@@ -17,7 +17,12 @@ import numpy as np
 
 from repro.netsim.trace import PathObservation
 
-__all__ = ["WindowSummary", "summarize_windows", "select_stationary_segment"]
+__all__ = [
+    "WindowSummary",
+    "summarize_windows",
+    "select_stationary_segment",
+    "observation_is_stationary",
+]
 
 
 class WindowSummary:
@@ -74,6 +79,33 @@ def _run_is_stationary(
         return False
     loss_center = np.median(losses)
     return bool(np.max(np.abs(losses - loss_center)) <= loss_tolerance)
+
+
+def observation_is_stationary(
+    observation: PathObservation,
+    window: Optional[int] = None,
+    delay_tolerance: float = 0.2,
+    loss_tolerance: float = 0.05,
+) -> bool:
+    """Whether a whole observation passes the stationarity bands.
+
+    The observation is split into ``window``-probe chunks (default: a
+    quarter of the record, so every check sees at least four summaries)
+    and accepted when *all* chunk medians/loss rates stay within the
+    tolerance bands of :func:`select_stationary_segment`.  The streaming
+    verdict tracker gates each sliding window on this check so verdicts
+    are only updated from data the paper's identification method is
+    valid for.
+    """
+    n = len(observation)
+    if n == 0:
+        return False
+    if window is None:
+        window = max(1, n // 4)
+    summaries = summarize_windows(observation, window)
+    if not summaries:
+        return False
+    return _run_is_stationary(summaries, delay_tolerance, loss_tolerance)
 
 
 def select_stationary_segment(

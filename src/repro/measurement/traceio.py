@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict
+from typing import Dict, IO, Iterable, Iterator, Tuple, Union
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.netsim.trace import PathObservation, ProbeRecord, ProbeTrace
 
 __all__ = [
     "save_observation",
+    "iter_observation",
     "load_observation",
     "save_trace",
     "load_trace",
@@ -48,27 +49,54 @@ def save_observation(observation: PathObservation, path) -> Path:
     return path
 
 
+def _iter_rows(handle: IO[str], name: str) -> Iterator[Tuple[float, float]]:
+    reader = csv.reader(handle)
+    header = next(reader, None)
+    if header is None or [h.strip() for h in header[:2]] != ["send_time",
+                                                             "delay"]:
+        raise ValueError(f"{name}: not an observation CSV (bad header)")
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) < 2:
+            raise ValueError(f"{name}:{line_number}: expected 2 columns")
+        cell = row[1].strip().lower()
+        delay = np.nan if cell == LOST_MARKER else float(row[1])
+        yield float(row[0]), delay
+
+
+def iter_observation(source: Union[str, Path, IO[str], Iterable[str]]
+                     ) -> Iterator[Tuple[float, float]]:
+    """Yield ``(send_time, delay)`` pairs from an observation CSV, lazily.
+
+    Losses come out as ``NaN`` delays.  ``source`` is a path, an open
+    text stream (e.g. ``sys.stdin`` for a live probe feed), or any
+    iterable of CSV lines (e.g. a tail-follow generator); non-path
+    sources are read incrementally and never materialised, which is what
+    lets the streaming monitor tail arbitrarily long traces in constant
+    memory.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open(newline="") as handle:
+            yield from _iter_rows(handle, str(path))
+        return
+    yield from _iter_rows(source, getattr(source, "name", "<stream>"))
+
+
 def load_observation(path) -> PathObservation:
-    """Read an observation CSV written by :func:`save_observation`."""
-    path = Path(path)
+    """Read a whole observation CSV written by :func:`save_observation`.
+
+    Eager wrapper over :func:`iter_observation` for callers that want the
+    batch :class:`PathObservation` surface.
+    """
     send_times = []
     delays = []
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is None or [h.strip() for h in header[:2]] != ["send_time",
-                                                                 "delay"]:
-            raise ValueError(f"{path}: not an observation CSV (bad header)")
-        for line_number, row in enumerate(reader, start=2):
-            if not row:
-                continue
-            if len(row) < 2:
-                raise ValueError(f"{path}:{line_number}: expected 2 columns")
-            send_times.append(float(row[0]))
-            cell = row[1].strip().lower()
-            delays.append(np.nan if cell == LOST_MARKER else float(row[1]))
+    for send_time, delay in iter_observation(path):
+        send_times.append(send_time)
+        delays.append(delay)
     if not send_times:
-        raise ValueError(f"{path}: empty observation")
+        raise ValueError(f"{Path(path)}: empty observation")
     return PathObservation(np.array(send_times), np.array(delays))
 
 

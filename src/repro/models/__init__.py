@@ -11,6 +11,7 @@ from repro.models.base import (
     LOSS,
     EMConfig,
     FittedModel,
+    InsufficientLossError,
     ObservationSequence,
 )
 from repro.models.decode import decode_loss_symbols, viterbi_hmm, viterbi_mmhd
@@ -27,6 +28,7 @@ __all__ = [
     "EMConfig",
     "FittedModel",
     "HiddenMarkovModel",
+    "InsufficientLossError",
     "MarkovModelHiddenDimension",
     "ModelSelection",
     "ObservationSequence",

@@ -14,12 +14,23 @@ import numpy as np
 
 __all__ = [
     "LOSS",
+    "InsufficientLossError",
     "ObservationSequence",
     "SymbolIndex",
     "EMConfig",
     "FittedModel",
     "require_losses",
 ]
+
+
+class InsufficientLossError(ValueError):
+    """An estimator needed loss observations but the sequence has none.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working; the streaming layer catches this type
+    specifically so a loss-free window skips cleanly instead of aborting
+    a long-running monitor.
+    """
 
 #: Marker for a lost probe (a delay observation with a missing value).
 LOSS = -1
@@ -334,7 +345,7 @@ def require_losses(seq: ObservationSequence, what: str) -> None:
     deep inside that division with an opaque numerical error.
     """
     if seq.n_losses == 0:
-        raise ValueError(
+        raise InsufficientLossError(
             f"{what} requires lost probes, but the observation sequence has "
             f"0 losses in {len(seq)} observations; the paper's estimators "
             "are posteriors at loss instants and are undefined without them"

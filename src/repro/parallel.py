@@ -46,6 +46,7 @@ __all__ = [
     "STREAM_BOOTSTRAP",
     "STREAM_SWEEP",
     "STREAM_SELECTION",
+    "STREAM_MONITOR",
 ]
 
 T = TypeVar("T")
@@ -56,6 +57,7 @@ STREAM_RESTART = 1
 STREAM_BOOTSTRAP = 2
 STREAM_SWEEP = 3
 STREAM_SELECTION = 4
+STREAM_MONITOR = 5
 
 
 # ----------------------------------------------------------------------

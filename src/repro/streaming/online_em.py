@@ -1,0 +1,255 @@
+"""Online EM: warm-started per-window fits with cold-restart fallback.
+
+A batch fit spends most of its EM iterations travelling from a random
+initialisation to the neighbourhood of the optimum.  Consecutive sliding
+windows of a (locally) stationary probe stream share most of their data,
+so the previous window's fitted parameters land the new window's EM a few
+iterations from convergence — an order of magnitude fewer E-passes than a
+cold multi-restart fit.
+
+:func:`streaming_fit` implements that policy:
+
+* with no usable warm state (first window, shape mismatch) it delegates
+  to the batch fitters (:func:`repro.models.mmhd.fit_mmhd` /
+  :func:`repro.models.hmm.fit_hmm`) with their full random-restart
+  machinery;
+* with a warm state it runs plain EM from those parameters (no
+  loss-channel freeze, no restarts) and returns as soon as the parameter
+  change drops below tolerance;
+* it falls back to the cold path whenever the warm trajectory collapses:
+  a zero-likelihood :class:`FloatingPointError`, a non-finite
+  log-likelihood, or a non-monotone likelihood trail (EM is monotone, so
+  a real decrease signals numerical degeneracy of the inherited
+  parameters).
+
+The warm state itself (:class:`WarmState`) is a plain bundle of parameter
+arrays, picklable so the multi-path scheduler can round-trip it through
+worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import (
+    EMConfig,
+    ObservationSequence,
+    SymbolIndex,
+    max_param_change,
+    require_losses,
+)
+from repro.models.hmm import FittedHMM, HiddenMarkovModel, fit_hmm
+from repro.models.mmhd import FittedMMHD, MarkovModelHiddenDimension, fit_mmhd
+
+__all__ = ["WarmState", "StreamingFitResult", "streaming_fit"]
+
+#: Allowed decrease of the EM log-likelihood trail before the warm
+#: trajectory is declared collapsed, as ``ABS + REL * |loglik|``.  EM is
+#: monotone in its objective, but the M-step's Beta loss prior
+#: (:class:`EMConfig.loss_prior_losses` / ``loss_prior_observations``)
+#: means that objective is the *penalized* likelihood: the raw trail can
+#: dip by a fraction of a nat near convergence.  Genuine degeneracy of
+#: inherited parameters loses tens of nats (or goes non-finite), so a
+#: sub-nat allowance separates the two cleanly.
+_MONOTONE_SLACK_ABS = 0.5
+_MONOTONE_SLACK_REL = 1e-4
+
+
+class WarmState:
+    """Picklable parameter snapshot carried from one window to the next."""
+
+    __slots__ = ("kind", "n_symbols", "n_hidden", "params")
+
+    def __init__(self, kind: str, n_symbols: int, n_hidden: int, params: dict):
+        if kind not in ("mmhd", "hmm"):
+            raise ValueError(f"kind must be 'mmhd' or 'hmm', got {kind!r}")
+        self.kind = kind
+        self.n_symbols = int(n_symbols)
+        self.n_hidden = int(n_hidden)
+        self.params = params
+
+    @classmethod
+    def from_model(cls, model) -> "WarmState":
+        """Snapshot a fitted model's parameters."""
+        if isinstance(model, MarkovModelHiddenDimension):
+            return cls(
+                "mmhd",
+                model.n_symbols,
+                model.n_hidden,
+                {
+                    "pi": model.pi.copy(),
+                    "transition": model.transition.copy(),
+                    "loss_given_symbol": model.loss_given_symbol.copy(),
+                },
+            )
+        if isinstance(model, HiddenMarkovModel):
+            return cls(
+                "hmm",
+                model.n_symbols,
+                model.n_hidden,
+                {
+                    "pi": model.pi.copy(),
+                    "transition": model.transition.copy(),
+                    "emission": model.emission.copy(),
+                    "loss_given_symbol": model.loss_given_symbol.copy(),
+                },
+            )
+        raise TypeError(f"cannot snapshot {type(model).__name__}")
+
+    def build_model(self):
+        """Reconstruct the model object from the snapshot."""
+        p = self.params
+        if self.kind == "mmhd":
+            return MarkovModelHiddenDimension(
+                p["pi"], p["transition"], p["loss_given_symbol"], self.n_symbols
+            )
+        return HiddenMarkovModel(
+            p["pi"], p["transition"], p["emission"], p["loss_given_symbol"]
+        )
+
+    def matches(self, n_symbols: int, n_hidden: int, kind: str) -> bool:
+        """Whether this snapshot can seed a fit of the given shape."""
+        return (
+            self.kind == kind
+            and self.n_symbols == int(n_symbols)
+            and self.n_hidden == int(n_hidden)
+        )
+
+
+class StreamingFitResult:
+    """One window's fit plus how it was obtained.
+
+    Attributes
+    ----------
+    fitted:
+        A :class:`FittedMMHD` / :class:`FittedHMM` — same surface the
+        batch fitters return.
+    warm_used:
+        ``True`` when the returned fit came from the warm trajectory.
+    fallback_reason:
+        Why the warm start was abandoned (``None`` when it was not
+        attempted or succeeded): ``"zero-likelihood"``,
+        ``"non-finite-loglik"``, or ``"non-monotone"``.
+    """
+
+    __slots__ = ("fitted", "warm_used", "fallback_reason")
+
+    def __init__(self, fitted, warm_used: bool, fallback_reason: Optional[str]):
+        self.fitted = fitted
+        self.warm_used = bool(warm_used)
+        self.fallback_reason = fallback_reason
+
+    def warm_state(self) -> WarmState:
+        """Snapshot for the next window of the same path."""
+        return WarmState.from_model(self.fitted.model)
+
+
+def _final_stats(model, index: SymbolIndex, config: EMConfig):
+    """One E-pass returning ``(loglik, loss_symbol_mass)``."""
+    if isinstance(model, MarkovModelHiddenDimension):
+        stats = model._estep(index, fast=config.fast_path)
+        return stats.loglik, stats.loss_mass
+    stats = model._estep(index)
+    return stats.loglik, stats.joint_loss.sum(axis=0)
+
+
+def _warm_em(
+    model,
+    seq: ObservationSequence,
+    config: EMConfig,
+):
+    """EM from given parameters; returns a fitted-model object.
+
+    Raises :class:`FloatingPointError` on zero likelihood; likelihood
+    collapse along the trail is detected by the caller from the returned
+    ``log_likelihoods``.
+    """
+    index = SymbolIndex(seq)
+    prior = (config.loss_prior_losses, config.loss_prior_observations)
+    is_mmhd = isinstance(model, MarkovModelHiddenDimension)
+    logliks: List[float] = []
+    converged = False
+    for _ in range(config.max_iter):
+        if is_mmhd:
+            stats = model._estep(index, fast=config.fast_path)
+        else:
+            stats = model._estep(index)
+        new_model = model._maximize(stats, config.min_prob, prior)
+        logliks.append(stats.loglik)
+        if max_param_change(model.parameters(), new_model.parameters()) < config.tol:
+            model = new_model
+            converged = True
+            break
+        model = new_model
+    loglik, loss_mass = _final_stats(model, index, config)
+    logliks.append(loglik)
+    cls = FittedMMHD if is_mmhd else FittedHMM
+    return cls(
+        model=model,
+        virtual_delay_pmf=loss_mass / loss_mass.sum(),
+        log_likelihoods=logliks,
+        converged=converged,
+        n_iter=len(logliks) - 1,
+    )
+
+
+def _trail_collapsed(logliks: List[float]) -> Optional[str]:
+    trail = np.asarray(logliks, dtype=float)
+    if not np.all(np.isfinite(trail)):
+        return "non-finite-loglik"
+    slack = _MONOTONE_SLACK_ABS + _MONOTONE_SLACK_REL * np.abs(trail[:-1])
+    if np.any(np.diff(trail) < -slack):
+        return "non-monotone"
+    return None
+
+
+def _cold_fit(seq: ObservationSequence, n_hidden: int, config: EMConfig, kind: str):
+    fit = fit_mmhd if kind == "mmhd" else fit_hmm
+    return fit(seq, n_hidden=n_hidden, config=config)
+
+
+def streaming_fit(
+    seq: ObservationSequence,
+    n_hidden: int,
+    config: Optional[EMConfig] = None,
+    kind: str = "mmhd",
+    warm: Optional[WarmState] = None,
+) -> StreamingFitResult:
+    """Fit one window, warm-starting from the previous window if possible.
+
+    Parameters
+    ----------
+    seq:
+        The window's symbolized observation sequence.
+    warm:
+        The previous window's :class:`WarmState`; ``None`` (or a
+        shape-mismatched state) forces a cold multi-restart fit.
+
+    Raises
+    ------
+    InsufficientLossError:
+        When the window contains no lost probes (nothing to estimate);
+        the streaming tracker catches this and skips the window.
+    """
+    if kind not in ("mmhd", "hmm"):
+        raise ValueError(f"kind must be 'mmhd' or 'hmm', got {kind!r}")
+    config = config or EMConfig()
+    require_losses(seq, "streaming_fit")
+    if warm is None or not warm.matches(seq.n_symbols, n_hidden, kind):
+        return StreamingFitResult(
+            _cold_fit(seq, n_hidden, config, kind), False, None
+        )
+    try:
+        fitted = _warm_em(warm.build_model(), seq, config)
+    except FloatingPointError:
+        return StreamingFitResult(
+            _cold_fit(seq, n_hidden, config, kind), False, "zero-likelihood"
+        )
+    collapse = _trail_collapsed(fitted.log_likelihoods)
+    if collapse is not None:
+        return StreamingFitResult(
+            _cold_fit(seq, n_hidden, config, kind), False, collapse
+        )
+    return StreamingFitResult(fitted, True, None)

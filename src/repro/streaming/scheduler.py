@@ -1,0 +1,204 @@
+"""Multi-path monitor: many concurrent path monitors over one worker pool.
+
+A production monitor watches many paths at once.  Per-window fits are the
+only expensive step, and windows of *different* paths are independent, so
+the scheduler batches them through :func:`repro.parallel.parallel_map`
+(the PR-1 process pool) while each path's windows stay strictly ordered —
+warm-start chaining needs window ``n``'s parameters before window
+``n + 1`` can fit.
+
+Flow control is bounded at both ends:
+
+* each path holds at most ``max_pending`` completed-but-unfitted windows;
+  when ingestion outruns fitting the *oldest* pending window is dropped
+  (a live monitor prefers recency) and counted in :attr:`MultiPathMonitor
+  .dropped_windows`;
+* emitted events land in a bounded ring (:attr:`MultiPathMonitor.events`)
+  in addition to being returned from :meth:`drain`, so a slow consumer
+  can always catch up on the recent history without unbounded growth.
+
+Determinism: :func:`~repro.streaming.tracker.analyze_window` is a pure
+function of ``(observation, warm state, config, window index)`` and
+results are applied in path order, so event streams are identical for
+every ``n_jobs``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.parallel import parallel_map
+from repro.streaming.online_em import WarmState
+from repro.streaming.tracker import (
+    MonitorConfig,
+    VerdictEvent,
+    VerdictTracker,
+    WindowAnalysis,
+    analyze_window,
+)
+from repro.streaming.windows import ProbeWindow, SlidingWindowAssembler
+
+__all__ = ["MultiPathMonitor"]
+
+
+def _analyze_task(task) -> WindowAnalysis:
+    """Fit + test one window (parallel-map worker; must stay top-level)."""
+    observation, warm, config, window_index = task
+    return analyze_window(observation, warm, config, window_index=window_index)
+
+
+class _PathState:
+    """Everything one monitored path carries between drains."""
+
+    __slots__ = ("assembler", "tracker", "warm", "pending", "dropped")
+
+    def __init__(self, config: MonitorConfig, max_pending: int):
+        self.assembler = SlidingWindowAssembler(config.window, config.hop)
+        self.tracker = VerdictTracker(config.confirm, config.memory)
+        self.warm: Optional[WarmState] = None
+        self.pending: Deque[ProbeWindow] = deque(maxlen=max_pending)
+        self.dropped = 0
+
+
+class MultiPathMonitor:
+    """Concurrent sliding-window monitors over many paths.
+
+    Parameters
+    ----------
+    config:
+        Shared :class:`MonitorConfig` for every path.
+    n_jobs:
+        Worker processes for the per-drain fit fan-out (``1`` = serial,
+        ``-1`` = all CPUs).  Results are identical at any value.
+    max_pending:
+        Per-path backlog bound; overflow drops the oldest pending window.
+    max_events:
+        Size of the retained event ring (:attr:`events`).
+    """
+
+    def __init__(
+        self,
+        config: Optional[MonitorConfig] = None,
+        n_jobs: int = 1,
+        max_pending: int = 8,
+        max_events: int = 1024,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.config = config or MonitorConfig()
+        self.n_jobs = n_jobs
+        self.max_pending = int(max_pending)
+        self.events: Deque[VerdictEvent] = deque(maxlen=max_events)
+        self._paths: Dict[str, _PathState] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _state(self, path: str) -> _PathState:
+        state = self._paths.get(path)
+        if state is None:
+            state = _PathState(self.config, self.max_pending)
+            self._paths[path] = state
+        return state
+
+    def ingest(self, path: str, send_time: float, delay: float) -> None:
+        """Push one probe record for one path (cheap; never fits)."""
+        state = self._state(path)
+        probe_window = state.assembler.push(send_time, delay)
+        if probe_window is not None:
+            if len(state.pending) == state.pending.maxlen:
+                state.dropped += 1
+            state.pending.append(probe_window)
+
+    @property
+    def n_pending(self) -> int:
+        """Completed windows waiting for a :meth:`drain`."""
+        return sum(len(s.pending) for s in self._paths.values())
+
+    @property
+    def dropped_windows(self) -> Dict[str, int]:
+        """Per-path count of windows dropped to backlog pressure."""
+        return {path: s.dropped for path, s in self._paths.items()
+                if s.dropped}
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def _drain_round(self) -> List[VerdictEvent]:
+        """Fit at most one pending window per path, in parallel."""
+        batch: List[Tuple[str, ProbeWindow]] = []
+        for path, state in self._paths.items():
+            if state.pending:
+                batch.append((path, state.pending.popleft()))
+        if not batch:
+            return []
+        tasks = [
+            (pw.observation, self._paths[path].warm, self.config, pw.index)
+            for path, pw in batch
+        ]
+        analyses = parallel_map(_analyze_task, tasks, n_jobs=self.n_jobs)
+        events = []
+        for (path, pw), analysis in zip(batch, analyses):
+            state = self._paths[path]
+            if analysis.warm_state is not None:
+                state.warm = analysis.warm_state
+            event = state.tracker.event_for(path, pw, analysis)
+            self.events.append(event)
+            events.append(event)
+        return events
+
+    def drain(self) -> List[VerdictEvent]:
+        """Fit every pending window; returns the new events in order.
+
+        Windows of different paths fit concurrently; a path with several
+        pending windows takes one round per window so warm-start chaining
+        stays sequential within the path.
+        """
+        events: List[VerdictEvent] = []
+        while True:
+            round_events = self._drain_round()
+            if not round_events:
+                return events
+            events.extend(round_events)
+
+    def finish(self) -> List[VerdictEvent]:
+        """Flush trailing partial windows for every path, then drain."""
+        for state in self._paths.values():
+            tail = state.assembler.tail()
+            if tail is not None:
+                state.pending.append(tail)
+        return self.drain()
+
+    # ------------------------------------------------------------------
+    # Convenience driver
+    # ------------------------------------------------------------------
+    def run_streams(
+        self,
+        streams: Mapping[str, Iterable[Tuple[float, float]]],
+        drain_every: Optional[int] = None,
+    ) -> List[VerdictEvent]:
+        """Interleave several record streams and monitor them to the end.
+
+        Pulls ``drain_every`` records (default: one hop) from each stream
+        in round-robin, draining between bursts — the synchronous stand-in
+        for feeds that arrive concurrently in a live deployment.
+        """
+        burst = drain_every or self.config.hop
+        iterators = {path: iter(stream) for path, stream in streams.items()}
+        events: List[VerdictEvent] = []
+        while iterators:
+            exhausted = []
+            for path, iterator in iterators.items():
+                for _ in range(burst):
+                    try:
+                        send_time, delay = next(iterator)
+                    except StopIteration:
+                        exhausted.append(path)
+                        break
+                    self.ingest(path, send_time, delay)
+            for path in exhausted:
+                del iterators[path]
+            events.extend(self.drain())
+        events.extend(self.finish())
+        return events

@@ -1,0 +1,403 @@
+"""Per-window verdict tracking: analysis, hysteresis, and path monitors.
+
+Each completed sliding window runs the same procedure as the batch
+pipeline — discretize, fit (warm-started; :mod:`repro.streaming
+.online_em`), run the SDCL/WDCL tests, bound ``Q_k`` — but a live monitor
+must not flap its verdict every time one noisy window lands on the other
+side of a test threshold.  :class:`VerdictTracker` therefore applies
+K-of-N hysteresis: the *stable* verdict only switches to a value that
+appeared in at least ``confirm`` of the last ``memory`` analysed windows.
+
+Windows the method is not valid for are skipped rather than fatal:
+
+* loss-free windows raise :class:`~repro.models.base
+  .InsufficientLossError` inside the fit and become ``status="skipped"``,
+  ``reason="no-losses"`` events;
+* windows failing the :func:`~repro.measurement.stationarity
+  .observation_is_stationary` gate are skipped as ``nonstationary``;
+* degenerate windows (no surviving probes, zero queuing range) are
+  skipped as ``degenerate``.
+
+Skipped windows emit events (so downstream consumers see the monitor is
+alive) but neither update the hysteresis state nor the warm-start
+parameters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.core.discretize import DelayDiscretizer
+from repro.core.distributions import DelayDistribution
+from repro.core.identify import (
+    IdentifyConfig,
+    evaluate_distribution,
+    verdict_from_tests,
+)
+from repro.measurement.stationarity import observation_is_stationary
+from repro.models.base import EMConfig, InsufficientLossError
+from repro.netsim.trace import PathObservation
+from repro.parallel import STREAM_MONITOR, task_seed
+from repro.streaming.online_em import WarmState, streaming_fit
+from repro.streaming.windows import ProbeWindow, SlidingWindowAssembler
+
+__all__ = [
+    "MonitorConfig",
+    "WindowAnalysis",
+    "VerdictEvent",
+    "VerdictTracker",
+    "PathMonitor",
+    "analyze_window",
+]
+
+
+class MonitorConfig:
+    """Knobs of the streaming monitor.
+
+    Defaults target the paper's probing rate (20 ms period, 50 probes/s):
+    a 3000-probe window is one minute of path state, hopped by half a
+    window so congestion transitions are never split across a boundary,
+    and 3-of-5 hysteresis means a verdict change needs ~1.5 min of
+    consistent evidence before it is surfaced.
+
+    Parameters
+    ----------
+    window, hop:
+        Sliding-window geometry in probes (``hop`` defaults to
+        ``window // 2``).
+    confirm, memory:
+        K-of-N hysteresis: the stable verdict switches to a value seen in
+        at least ``confirm`` of the last ``memory`` analysed windows.
+    gate_stationarity:
+        Skip windows that fail the stationarity bands (the identification
+        method assumes stationarity over the analysed record).
+    """
+
+    def __init__(
+        self,
+        window: int = 3000,
+        hop: Optional[int] = None,
+        n_symbols: int = 5,
+        n_hidden: int = 2,
+        model: str = "mmhd",
+        beta0: float = 0.06,
+        beta1: float = 0.0,
+        tolerance: float = 1e-3,
+        confirm: int = 3,
+        memory: int = 5,
+        gate_stationarity: bool = True,
+        stationarity_window: Optional[int] = None,
+        delay_tolerance: float = 0.2,
+        loss_tolerance: float = 0.05,
+        em: Optional[EMConfig] = None,
+    ):
+        if model not in ("mmhd", "hmm"):
+            raise ValueError(f"model must be 'mmhd' or 'hmm', got {model!r}")
+        if confirm < 1 or memory < confirm:
+            raise ValueError(
+                f"need 1 <= confirm <= memory, got confirm={confirm}, "
+                f"memory={memory}"
+            )
+        self.window = int(window)
+        self.hop = int(hop) if hop is not None else self.window // 2
+        self.n_symbols = int(n_symbols)
+        self.n_hidden = int(n_hidden)
+        self.model = model
+        self.beta0 = float(beta0)
+        self.beta1 = float(beta1)
+        self.tolerance = float(tolerance)
+        self.confirm = int(confirm)
+        self.memory = int(memory)
+        self.gate_stationarity = bool(gate_stationarity)
+        self.stationarity_window = stationarity_window
+        self.delay_tolerance = float(delay_tolerance)
+        self.loss_tolerance = float(loss_tolerance)
+        self.em = em or EMConfig()
+
+    def identify_config(self) -> IdentifyConfig:
+        """The equivalent batch-pipeline configuration."""
+        return IdentifyConfig(
+            n_symbols=self.n_symbols,
+            n_hidden=self.n_hidden,
+            model=self.model,
+            beta0=self.beta0,
+            beta1=self.beta1,
+            tolerance=self.tolerance,
+            em=self.em,
+        )
+
+
+class WindowAnalysis:
+    """Everything one window's analysis produced (picklable)."""
+
+    __slots__ = (
+        "status",
+        "reason",
+        "verdict",
+        "g_pmf",
+        "d_star",
+        "bound_seconds",
+        "loss_rate",
+        "log_likelihood",
+        "n_iter",
+        "warm_used",
+        "fallback_reason",
+        "warm_state",
+    )
+
+    def __init__(
+        self,
+        status: str,
+        reason: Optional[str] = None,
+        verdict: Optional[str] = None,
+        g_pmf: Optional[np.ndarray] = None,
+        d_star: Optional[int] = None,
+        bound_seconds: Optional[float] = None,
+        loss_rate: float = 0.0,
+        log_likelihood: Optional[float] = None,
+        n_iter: Optional[int] = None,
+        warm_used: bool = False,
+        fallback_reason: Optional[str] = None,
+        warm_state: Optional[WarmState] = None,
+    ):
+        self.status = status
+        self.reason = reason
+        self.verdict = verdict
+        self.g_pmf = g_pmf
+        self.d_star = d_star
+        self.bound_seconds = bound_seconds
+        self.loss_rate = float(loss_rate)
+        self.log_likelihood = log_likelihood
+        self.n_iter = n_iter
+        self.warm_used = bool(warm_used)
+        self.fallback_reason = fallback_reason
+        self.warm_state = warm_state
+
+    @property
+    def analyzed(self) -> bool:
+        """Whether the window produced a verdict (vs being skipped)."""
+        return self.status == "ok"
+
+
+def analyze_window(
+    observation: PathObservation,
+    warm: Optional[WarmState],
+    config: MonitorConfig,
+    window_index: int = 0,
+) -> WindowAnalysis:
+    """Run the identification procedure on one window (pure function).
+
+    Stateless by design: everything it needs arrives as arguments and
+    everything it learned (including the next warm state) leaves in the
+    returned :class:`WindowAnalysis`, which is what lets the multi-path
+    scheduler run it in worker processes.
+
+    Cold fits get a per-window seed derived from ``(em.seed,
+    STREAM_MONITOR, window_index)`` so fallback refits are deterministic
+    but decorrelated across windows.
+    """
+    loss_rate = observation.loss_rate
+    if config.gate_stationarity:
+        if not observation_is_stationary(
+            observation,
+            window=config.stationarity_window,
+            delay_tolerance=config.delay_tolerance,
+            loss_tolerance=config.loss_tolerance,
+        ):
+            return WindowAnalysis(
+                "skipped", reason="nonstationary", loss_rate=loss_rate
+            )
+    try:
+        discretizer = DelayDiscretizer.from_observation(
+            observation, config.n_symbols
+        )
+        seq = discretizer.observation_sequence(observation)
+    except InsufficientLossError:  # pragma: no cover - defensive ordering
+        return WindowAnalysis("skipped", reason="no-losses", loss_rate=loss_rate)
+    except ValueError as exc:
+        return WindowAnalysis(
+            "skipped", reason=f"degenerate: {exc}", loss_rate=loss_rate
+        )
+    em = config.em.replace(
+        seed=task_seed(config.em.seed, STREAM_MONITOR, window_index),
+        n_jobs=1,
+    )
+    try:
+        result = streaming_fit(
+            seq, config.n_hidden, config=em, kind=config.model, warm=warm
+        )
+    except InsufficientLossError:
+        return WindowAnalysis("skipped", reason="no-losses", loss_rate=loss_rate)
+    fitted = result.fitted
+    distribution = DelayDistribution(
+        fitted.virtual_delay_pmf,
+        discretizer=discretizer,
+        label=f"{config.model.upper()} window {window_index}",
+    )
+    identify_config = config.identify_config()
+    sdcl, wdcl = evaluate_distribution(distribution, identify_config)
+    verdict = verdict_from_tests(sdcl, wdcl)
+    bound_seconds = None
+    if verdict != "none":
+        accepted = sdcl if sdcl.accepted else wdcl
+        bound_symbol = min(accepted.d_star, discretizer.n_symbols)
+        bound_seconds = discretizer.queuing_upper_edge(bound_symbol)
+    return WindowAnalysis(
+        "ok",
+        verdict=verdict,
+        g_pmf=np.asarray(fitted.virtual_delay_pmf, dtype=float),
+        d_star=int((sdcl if sdcl.accepted else wdcl).d_star),
+        bound_seconds=bound_seconds,
+        loss_rate=loss_rate,
+        log_likelihood=float(fitted.log_likelihood),
+        n_iter=int(fitted.n_iter),
+        warm_used=result.warm_used,
+        fallback_reason=result.fallback_reason,
+        warm_state=result.warm_state(),
+    )
+
+
+class VerdictEvent:
+    """One JSONL-able monitor event: a window's outcome plus stable state."""
+
+    __slots__ = (
+        "path",
+        "window_index",
+        "probe_range",
+        "time_range",
+        "analysis",
+        "stable_verdict",
+        "changed",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        probe_window: ProbeWindow,
+        analysis: WindowAnalysis,
+        stable_verdict: Optional[str],
+        changed: bool,
+    ):
+        self.path = path
+        self.window_index = probe_window.index
+        self.probe_range = (probe_window.start, probe_window.stop)
+        self.time_range = probe_window.time_range
+        self.analysis = analysis
+        self.stable_verdict = stable_verdict
+        self.changed = bool(changed)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON projection (the ``repro monitor`` JSONL schema)."""
+        a = self.analysis
+        return {
+            "path": self.path,
+            "window": self.window_index,
+            "probe_range": list(self.probe_range),
+            "time_range": [round(t, 6) for t in self.time_range],
+            "status": a.status,
+            "reason": a.reason,
+            "verdict": a.verdict,
+            "stable_verdict": self.stable_verdict,
+            "changed": self.changed,
+            "g_pmf": None if a.g_pmf is None else [round(float(p), 6)
+                                                   for p in a.g_pmf],
+            "d_star": a.d_star,
+            "bound_seconds": None if a.bound_seconds is None
+            else round(float(a.bound_seconds), 6),
+            "loss_rate": round(a.loss_rate, 6),
+            "log_likelihood": None if a.log_likelihood is None
+            else round(a.log_likelihood, 4),
+            "n_iter": a.n_iter,
+            "warm_start": a.warm_used,
+            "fallback_reason": a.fallback_reason,
+        }
+
+
+class VerdictTracker:
+    """K-of-N hysteresis over per-window verdicts."""
+
+    def __init__(self, confirm: int, memory: int):
+        if confirm < 1 or memory < confirm:
+            raise ValueError(
+                f"need 1 <= confirm <= memory, got {confirm}, {memory}"
+            )
+        self.confirm = int(confirm)
+        self.memory = int(memory)
+        self.recent: Deque[str] = deque(maxlen=memory)
+        self.stable_verdict: Optional[str] = None
+
+    def update(self, verdict: str) -> bool:
+        """Record one analysed window's verdict; returns stable-changed."""
+        self.recent.append(verdict)
+        if sum(v == verdict for v in self.recent) >= self.confirm:
+            if verdict != self.stable_verdict:
+                self.stable_verdict = verdict
+                return True
+        return False
+
+    def event_for(
+        self, path: str, probe_window: ProbeWindow, analysis: WindowAnalysis
+    ) -> VerdictEvent:
+        """Fold one analysis into the hysteresis state; emit the event."""
+        changed = False
+        if analysis.analyzed:
+            changed = self.update(analysis.verdict)
+        return VerdictEvent(
+            path, probe_window, analysis, self.stable_verdict, changed
+        )
+
+
+class PathMonitor:
+    """One path's full streaming stack: windows -> warm fits -> verdicts.
+
+    Single-process convenience; the multi-path scheduler
+    (:class:`repro.streaming.scheduler.MultiPathMonitor`) composes the
+    same pieces with the fits fanned over a worker pool.
+    """
+
+    def __init__(self, config: Optional[MonitorConfig] = None,
+                 path: str = "path"):
+        self.config = config or MonitorConfig()
+        self.path = path
+        self.assembler = SlidingWindowAssembler(self.config.window,
+                                                self.config.hop)
+        self.tracker = VerdictTracker(self.config.confirm, self.config.memory)
+        self.warm: Optional[WarmState] = None
+
+    def _process(self, probe_window: ProbeWindow) -> VerdictEvent:
+        analysis = analyze_window(
+            probe_window.observation, self.warm, self.config,
+            window_index=probe_window.index,
+        )
+        if analysis.warm_state is not None:
+            self.warm = analysis.warm_state
+        return self.tracker.event_for(self.path, probe_window, analysis)
+
+    def ingest(self, send_time: float, delay: float) -> Optional[VerdictEvent]:
+        """Push one probe record; returns an event when a window completes."""
+        probe_window = self.assembler.push(send_time, delay)
+        if probe_window is None:
+            return None
+        return self._process(probe_window)
+
+    def finish(self) -> Optional[VerdictEvent]:
+        """Analyse the trailing partial window at end-of-stream, if any."""
+        probe_window = self.assembler.tail()
+        if probe_window is None:
+            return None
+        return self._process(probe_window)
+
+    def run(self, records) -> List[VerdictEvent]:
+        """Drive the monitor over an iterable of ``(send_time, delay)``."""
+        events = []
+        for send_time, delay in records:
+            event = self.ingest(send_time, delay)
+            if event is not None:
+                events.append(event)
+        final = self.finish()
+        if final is not None:
+            events.append(final)
+        return events

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.measurement.traceio import (
+    iter_observation,
     load_observation,
     load_timestamp_pair,
     load_trace,
@@ -53,6 +54,59 @@ class TestObservationCsv:
         path.write_text("send_time,delay\n0.0,LOST\n0.02,0.05\n")
         loaded = load_observation(path)
         assert loaded.lost[0] and not loaded.lost[1]
+
+
+class TestIterObservation:
+    def test_matches_eager_load(self, observation, tmp_path):
+        path = save_observation(observation, tmp_path / "obs.csv")
+        records = list(iter_observation(path))
+        loaded = load_observation(path)
+        np.testing.assert_allclose([t for t, _ in records],
+                                   loaded.send_times)
+        np.testing.assert_allclose([d for _, d in records], loaded.delays)
+
+    def test_losses_are_nan(self, observation, tmp_path):
+        path = save_observation(observation, tmp_path / "obs.csv")
+        delays = [d for _, d in iter_observation(path)]
+        assert np.isnan(delays[1])
+        assert not np.isnan(delays[0])
+
+    def test_reads_open_stream(self, observation, tmp_path):
+        path = save_observation(observation, tmp_path / "obs.csv")
+        with open(path) as handle:
+            records = list(iter_observation(handle))
+        assert len(records) == 4
+
+    def test_reads_iterable_of_lines(self):
+        lines = iter(["send_time,delay\n", "0.0,0.05\n", "0.02,lost\n"])
+        records = list(iter_observation(lines))
+        assert records[0] == (0.0, 0.05)
+        assert np.isnan(records[1][1])
+
+    def test_is_lazy(self):
+        """Rows come out before (and without) the source being exhausted."""
+        def endless():
+            yield "send_time,delay\n"
+            i = 0
+            while True:
+                yield f"{i * 0.02},0.05\n"
+                i += 1
+
+        iterator = iter_observation(endless())
+        assert next(iterator) == (0.0, 0.05)
+        assert next(iterator) == (0.02, 0.05)
+
+    def test_bad_header_rejected_on_first_pull(self):
+        iterator = iter_observation(iter(["time,rtt\n", "0.0,0.05\n"]))
+        with pytest.raises(ValueError, match="bad header"):
+            next(iterator)
+
+    def test_error_names_stream_and_line(self):
+        lines = iter(["send_time,delay\n", "0.0,0.05\n", "0.02\n"])
+        iterator = iter_observation(lines)
+        next(iterator)
+        with pytest.raises(ValueError, match="<stream>:3"):
+            next(iterator)
 
 
 class TestTraceNpz:

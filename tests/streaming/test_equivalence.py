@@ -1,0 +1,99 @@
+"""Streaming-vs-batch equivalence on stationary traces.
+
+The streaming subsystem is an incremental re-packaging of the batch
+pipeline, so on a stationary trace the two must agree: a window fed
+through :func:`repro.streaming.tracker.analyze_window` (warm-started or
+not) has to reproduce the verdict, the virtual-queuing-delay pmf ``G``,
+and the ``Q_k`` bound that :func:`repro.core.identify.identify` computes
+on the same probes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import IdentifyConfig, identify
+from repro.experiments.streams import strong_dcl_stream
+from repro.models.base import EMConfig
+from repro.netsim.trace import PathObservation
+from repro.streaming import MonitorConfig, PathMonitor
+
+EM = EMConfig(tol=1e-3, max_iter=200, seed=7)
+
+
+def observation_from(records):
+    send_times, delays = zip(*records)
+    return PathObservation(np.array(send_times), np.array(delays))
+
+
+@pytest.fixture(scope="module")
+def stream_records():
+    return list(strong_dcl_stream(2400, seed=3))
+
+
+def batch_report(records):
+    config = IdentifyConfig(n_hidden=1, em=EM)
+    return identify(observation_from(records), config)
+
+
+class TestSingleWindow:
+    def test_whole_stream_as_one_window_matches_batch(self, stream_records):
+        n = len(stream_records)
+        config = MonitorConfig(window=n, hop=n, n_hidden=1,
+                               gate_stationarity=False, em=EM)
+        monitor = PathMonitor(config)
+        events = monitor.run(stream_records)
+        assert len(events) == 1
+        event = events[0]
+        report = batch_report(stream_records)
+        assert event.analysis.verdict == report.verdict == "strong"
+        np.testing.assert_allclose(event.analysis.g_pmf,
+                                   report.distribution.pmf, atol=1e-6)
+        accepted = report.sdcl if report.sdcl.accepted else report.wdcl
+        assert event.analysis.d_star == accepted.d_star
+
+
+class TestSlidingWindows:
+    def test_final_window_matches_batch_on_same_probes(self, stream_records):
+        config = MonitorConfig(window=800, hop=800, n_hidden=1,
+                               gate_stationarity=False, em=EM)
+        monitor = PathMonitor(config)
+        events = monitor.run(stream_records)
+        final = events[-1]
+        start, stop = final.probe_range
+        report = batch_report(stream_records[start:stop])
+        # The final window was warm-started from earlier windows; the
+        # batch fit is cold — on a stationary trace they must land on
+        # the same estimate.
+        assert final.analysis.warm_used
+        assert final.analysis.verdict == report.verdict
+        np.testing.assert_allclose(final.analysis.g_pmf,
+                                   report.distribution.pmf, atol=1e-3)
+
+    def test_bound_matches_batch_discretization(self, stream_records):
+        config = MonitorConfig(window=800, hop=800, n_hidden=1,
+                               gate_stationarity=False, em=EM)
+        monitor = PathMonitor(config)
+        events = monitor.run(stream_records)
+        for event in events:
+            analysis = event.analysis
+            if not analysis.analyzed or analysis.verdict == "none":
+                continue
+            # The per-window bound is the upper edge of the accepted
+            # test's d* symbol: positive and no larger than the window's
+            # own maximum queuing delay estimate can justify.
+            assert analysis.bound_seconds > 0
+            start, stop = event.probe_range
+            window_obs = observation_from(stream_records[start:stop])
+            delays = window_obs.delays
+            q_range = (np.nanmax(delays) - np.nanmin(delays))
+            assert analysis.bound_seconds <= q_range * (1 + 1e-9)
+
+    def test_stationary_trace_verdict_is_stable_throughout(
+            self, stream_records):
+        config = MonitorConfig(window=800, hop=400, n_hidden=1, confirm=2,
+                               memory=3, gate_stationarity=False, em=EM)
+        monitor = PathMonitor(config)
+        events = monitor.run(stream_records)
+        verdicts = {e.analysis.verdict for e in events if e.analysis.analyzed}
+        assert verdicts == {"strong"}
+        assert events[-1].stable_verdict == "strong"

@@ -1,0 +1,114 @@
+"""Tests for the multi-path monitor scheduler."""
+
+import json
+
+import pytest
+
+from repro.experiments.streams import strong_dcl_stream
+from repro.models.base import EMConfig
+from repro.streaming.scheduler import MultiPathMonitor
+from repro.streaming.tracker import MonitorConfig, PathMonitor
+
+FAST_EM = EMConfig(tol=1e-3, max_iter=100, seed=7)
+
+
+def fast_config(**overrides):
+    defaults = dict(window=600, hop=300, n_hidden=1, confirm=2, memory=3,
+                    gate_stationarity=False, em=FAST_EM)
+    defaults.update(overrides)
+    return MonitorConfig(**defaults)
+
+
+def event_dicts(events):
+    return [json.dumps(e.to_dict(), sort_keys=True) for e in events]
+
+
+class TestDeterminism:
+    def test_identical_events_for_any_n_jobs(self):
+        streams = {f"p{i}": list(strong_dcl_stream(1500, seed=20 + i))
+                   for i in range(3)}
+        serial = MultiPathMonitor(fast_config(), n_jobs=1)
+        pooled = MultiPathMonitor(fast_config(), n_jobs=2)
+        a = event_dicts(serial.run_streams(streams))
+        b = event_dicts(pooled.run_streams(streams))
+        assert a == b
+        assert len(a) > 0
+
+    def test_single_path_matches_path_monitor(self):
+        records = list(strong_dcl_stream(1500, seed=20))
+        multi = MultiPathMonitor(fast_config(), n_jobs=1)
+        multi_events = multi.run_streams({"p0": records})
+        single = PathMonitor(fast_config(), path="p0")
+        single_events = single.run(records)
+        assert event_dicts(multi_events) == event_dicts(single_events)
+
+
+class TestFlowControl:
+    def test_ingest_never_fits(self):
+        monitor = MultiPathMonitor(fast_config(), max_pending=8)
+        for send_time, delay in strong_dcl_stream(1500, seed=20):
+            monitor.ingest("p0", send_time, delay)
+        assert monitor.n_pending == 4  # windows at 600, 900, 1200, 1500
+        assert len(monitor.events) == 0
+
+    def test_backlog_drops_oldest(self):
+        monitor = MultiPathMonitor(fast_config(), max_pending=2)
+        for send_time, delay in strong_dcl_stream(3000, seed=20):
+            monitor.ingest("p0", send_time, delay)
+        # 9 windows complete but only 2 may wait.
+        assert monitor.n_pending == 2
+        assert monitor.dropped_windows == {"p0": 7}
+        events = monitor.drain()
+        # The retained (most recent) windows are the ones analysed.
+        assert [e.window_index for e in events] == [7, 8]
+
+    def test_event_ring_is_bounded(self):
+        monitor = MultiPathMonitor(fast_config(), max_events=2)
+        events = monitor.run_streams(
+            {"p0": list(strong_dcl_stream(1800, seed=20))}
+        )
+        assert len(events) > 2
+        assert len(monitor.events) == 2
+        assert list(monitor.events) == events[-2:]
+
+    def test_finish_flushes_tails(self):
+        monitor = MultiPathMonitor(fast_config())
+        for send_time, delay in strong_dcl_stream(700, seed=20):
+            monitor.ingest("p0", send_time, delay)
+        assert monitor.drain()  # the full window at 600
+        final = monitor.finish()
+        assert len(final) == 1
+        assert final[0].probe_range[1] == 700
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            MultiPathMonitor(fast_config(), max_pending=0)
+
+
+class TestWarmChaining:
+    def test_later_windows_warm_start_per_path(self):
+        monitor = MultiPathMonitor(fast_config(), n_jobs=2)
+        streams = {f"p{i}": list(strong_dcl_stream(1500, seed=20 + i))
+                   for i in range(2)}
+        events = monitor.run_streams(streams)
+        by_path = {}
+        for event in events:
+            by_path.setdefault(event.path, []).append(event)
+        for path_events in by_path.values():
+            analysed = [e for e in path_events if e.analysis.analyzed]
+            assert not analysed[0].analysis.warm_used
+            assert all(e.analysis.warm_used for e in analysed[1:])
+
+    def test_paths_do_not_share_warm_state(self):
+        # One path's verdict stream must be unaffected by monitoring a
+        # second path alongside it.
+        records = list(strong_dcl_stream(1500, seed=20))
+        alone = MultiPathMonitor(fast_config(), n_jobs=1)
+        alone_events = alone.run_streams({"p0": records})
+        paired = MultiPathMonitor(fast_config(), n_jobs=1)
+        paired_events = paired.run_streams({
+            "p0": records,
+            "noise": list(strong_dcl_stream(1500, q_max=0.04, seed=99)),
+        })
+        mine = [e for e in paired_events if e.path == "p0"]
+        assert event_dicts(mine) == event_dicts(alone_events)
