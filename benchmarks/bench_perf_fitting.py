@@ -12,6 +12,12 @@ Times the EM fitting layer on the Table II strong-DCL probe trace:
   records ``cpu_count`` so readers can interpret it.
 * ``hmm_serial`` — 4-restart HMM fit for cross-model context.
 
+The ``telemetry`` section quantifies the observability tax: per-call cost
+of each disabled instrumentation entry point, the number of telemetry
+touches one serial fit actually makes, the resulting disabled-mode
+overhead bound (asserted < 2%), and the measured fit time with metrics
+collection turned on (plus the span-histogram breakdown of that run).
+
 The script asserts the serial and parallel MMHD fits are numerically
 identical before reporting any speedup, then writes
 ``benchmarks/output/BENCH_fitting.json``.  ``--check-baseline`` instead
@@ -37,6 +43,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).parent))
 
 import common  # noqa: E402
+from repro import obs  # noqa: E402
 from repro.core.discretize import DelayDiscretizer  # noqa: E402
 from repro.experiments.runner import run_scenario  # noqa: E402
 from repro.experiments.scenarios import strong_dcl_scenario  # noqa: E402
@@ -49,6 +56,9 @@ PARALLEL_JOBS = 4
 BASELINE_PATH = common.OUTPUT_DIR / "BENCH_fitting.json"
 #: CI may only tolerate this much slowdown of the guarded serial timing.
 MAX_REGRESSION = 2.0
+#: Acceptance bar: instrumentation left compiled into the hot paths may
+#: cost at most this fraction of the serial fit while telemetry is off.
+MAX_DISABLED_OVERHEAD = 0.02
 
 
 def _observation_sequence():
@@ -79,6 +89,96 @@ def _fit_summary(fitted):
         "virtual_delay_pmf": [float(p) for p in fitted.virtual_delay_pmf],
         "n_iter": int(fitted.n_iter),
         "converged": bool(fitted.converged),
+    }
+
+
+def _disabled_call_ns() -> dict:
+    """Per-call cost (ns) of each instrumentation entry point while off."""
+    n = 200_000
+    cases = {
+        "is_enabled": obs.is_enabled,
+        "inc": lambda: obs.inc("repro_bench_total"),
+        "observe": lambda: obs.observe("repro_bench_seconds", 0.1),
+        "emit": lambda: obs.emit("span", name="bench"),
+    }
+    costs = {}
+    for name, fn in cases.items():
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        costs[name] = (time.perf_counter() - start) / n * 1e9
+
+    def spanned():
+        with obs.span("bench"):
+            pass
+
+    start = time.perf_counter()
+    for _ in range(n // 10):
+        spanned()
+    costs["span"] = (time.perf_counter() - start) / (n // 10) * 1e9
+    return {k: round(v, 1) for k, v in costs.items()}
+
+
+def _count_disabled_touches(seq, config) -> int:
+    """How many telemetry call sites one disabled serial fit executes.
+
+    Every disabled-mode site either calls ``obs.is_enabled`` or one of
+    the facade entry points; counting wrappers see them all.
+    """
+    counted = {"n": 0}
+    originals = {}
+
+    def wrap(fn):
+        def counting(*args, **kwargs):
+            counted["n"] += 1
+            return fn(*args, **kwargs)
+        return counting
+
+    for name in ("is_enabled", "inc", "set_gauge", "observe", "emit"):
+        originals[name] = getattr(obs, name)
+        setattr(obs, name, wrap(originals[name]))
+    try:
+        fit_mmhd(seq, n_hidden=2, config=config)
+    finally:
+        for name, fn in originals.items():
+            setattr(obs, name, fn)
+    return counted["n"]
+
+
+def bench_telemetry(seq, serial_config, disabled_fit_seconds) -> dict:
+    """The observability tax: disabled-mode bound + enabled-mode measure."""
+    assert not obs.is_enabled()
+    call_ns = _disabled_call_ns()
+    touches = _count_disabled_touches(seq, serial_config)
+    overhead_seconds = touches * max(call_ns.values()) / 1e9
+    disabled_overhead = overhead_seconds / disabled_fit_seconds
+
+    obs.enable(clear=True)  # metrics only; no event sink
+    try:
+        enabled_seconds, _ = _time(
+            lambda: fit_mmhd(seq, n_hidden=2, config=serial_config)
+        )
+        snapshot = obs.metrics_snapshot()
+    finally:
+        obs.disable()
+        obs.registry().clear()
+    span_key = ("repro_span_seconds", (("name", "em.fit"),))
+    _, _, span_sum, span_count = snapshot["histograms"][span_key]
+
+    return {
+        "disabled_call_ns": call_ns,
+        "disabled_touches_per_fit": touches,
+        "disabled_overhead_fraction": round(disabled_overhead, 6),
+        "disabled_overhead_ok": bool(
+            disabled_overhead < MAX_DISABLED_OVERHEAD
+        ),
+        "enabled_metrics_fit_seconds": round(enabled_seconds, 4),
+        "enabled_overhead_fraction": round(
+            enabled_seconds / disabled_fit_seconds - 1.0, 4),
+        "span_em_fit": {
+            "count": span_count,
+            "total_seconds": round(span_sum, 4),
+        },
     }
 
 
@@ -126,6 +226,14 @@ def run_benchmark() -> dict:
     fast_vs_dense = np.allclose(fit_serial.virtual_delay_pmf,
                                 fit_dense.virtual_delay_pmf, atol=1e-6)
 
+    telemetry = bench_telemetry(seq, serial_fast,
+                                timings["mmhd_serial_fast"])
+    assert telemetry["disabled_overhead_ok"], (
+        f"disabled-telemetry overhead "
+        f"{telemetry['disabled_overhead_fraction']:.2%} exceeds the "
+        f"{MAX_DISABLED_OVERHEAD:.0%} budget"
+    )
+
     return {
         "scale": common.SCALE,
         "cpu_count": os.cpu_count(),
@@ -142,6 +250,7 @@ def run_benchmark() -> dict:
             timings["mmhd_serial_fast"] / timings["mmhd_parallel"], 3),
         "serial_parallel_identical": bool(identical),
         "fast_dense_agree": bool(fast_vs_dense),
+        "telemetry": telemetry,
         "mmhd_fit": _fit_summary(fit_serial),
     }
 

@@ -16,6 +16,9 @@ the numbers isolate the fitting/testing pipeline):
   over several concurrent paths with ``n_jobs=1`` vs a worker pool.  The
   multi-path speedup only exceeds 1 on multi-core machines; ``cpu_count``
   is recorded so readers can interpret it.
+* ``telemetry`` — a metrics-on single-path pass: warm/cold fit counts,
+  fallback reasons, and the span-histogram breakdown of where the
+  monitor's time went (``streaming.fit`` vs cold ``em.fit`` refits).
 
 Writes ``benchmarks/output/BENCH_streaming.json``.  ``--check-baseline``
 compares the fresh warm-window latency against the committed JSON and
@@ -40,6 +43,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).parent))
 
 import common  # noqa: E402
+from repro import obs  # noqa: E402
 from repro.experiments.streams import strong_dcl_stream  # noqa: E402
 from repro.parallel import shutdown_pools  # noqa: E402
 from repro.streaming.scheduler import MultiPathMonitor  # noqa: E402
@@ -135,11 +139,51 @@ def bench_throughput(config: MonitorConfig, n_jobs: int) -> float:
     return N_PATHS * THROUGHPUT_PROBES / elapsed
 
 
+def bench_telemetry(config: MonitorConfig) -> dict:
+    """One metrics-on single-path pass: fit mix + span time breakdown."""
+    obs.enable(clear=True)  # metrics only; no event sink
+    try:
+        monitor = MultiPathMonitor(config, n_jobs=1)
+        events = monitor.run_streams({
+            "path-0": list(strong_dcl_stream(STREAM_PROBES, seed=11))
+        })
+        snapshot = obs.metrics_snapshot()
+        reg = obs.registry()
+        warm = reg.counter_value("repro_streaming_fits_total", mode="warm")
+        cold = reg.counter_value("repro_streaming_fits_total", mode="cold")
+    finally:
+        obs.disable()
+        obs.registry().clear()
+
+    fallbacks = {
+        dict(labels)["reason"]: value
+        for (name, labels), value in snapshot["counters"].items()
+        if name == "repro_streaming_fallbacks_total" and value
+    }
+    spans = {
+        dict(labels)["name"]: {
+            "count": count,
+            "total_seconds": round(total, 4),
+        }
+        for (name, labels), (_, _, total, count)
+        in snapshot["histograms"].items()
+        if name == "repro_span_seconds"
+    }
+    return {
+        "n_windows": len(events),
+        "warm_fits": int(warm),
+        "cold_fits": int(cold),
+        "fallbacks": fallbacks,
+        "span_seconds": spans,
+    }
+
+
 def run_benchmark() -> dict:
     config = monitor_config()
     latency = bench_window_latency(config)
     single = bench_throughput(config, n_jobs=1)
     multi = bench_throughput(config, n_jobs=MULTI_JOBS)
+    telemetry = bench_telemetry(config)
     report = {
         "scale": common.SCALE,
         "cpu_count": os.cpu_count(),
@@ -155,6 +199,7 @@ def run_benchmark() -> dict:
         "throughput_single_jobs": round(single, 1),
         "throughput_multi_jobs": round(multi, 1),
         "multi_path_speedup": round(multi / single, 3),
+        "telemetry": telemetry,
     }
     assert report["warm_speedup"] >= MIN_WARM_SPEEDUP, (
         f"warm-start speedup {report['warm_speedup']}x is below the "

@@ -49,7 +49,13 @@ Quickstart::
     print(report.summary())
 """
 
-from repro import core, experiments, measurement, models, netsim, streaming
+import logging as _logging
+
+# Library convention: repro.* loggers stay silent unless the consumer
+# configures handlers (the CLI's --log-level flag does).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+from repro import core, experiments, measurement, models, netsim, obs, streaming
 from repro.core.identify import IdentificationReport, identify
 from repro.version import __version__
 
@@ -62,5 +68,6 @@ __all__ = [
     "measurement",
     "models",
     "netsim",
+    "obs",
     "streaming",
 ]

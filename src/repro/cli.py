@@ -11,17 +11,28 @@ Commands mirror the workflow a measurement operator runs:
   which carries the per-hop records that stand in for TTL probing);
 * ``monitor`` — stream one or more observations through the online
   identification subsystem and emit JSONL verdict events (tails files
-  with ``--follow``, reads stdin with ``-``).
+  with ``--follow``, reads stdin with ``-``); ``--metrics-file`` /
+  ``--metrics-port`` expose Prometheus metrics, ``--telemetry`` records
+  structured JSONL events;
+* ``stats`` — summarize a telemetry JSONL event file (slowest spans,
+  warm-start and fallback rates, verdict flips).
+
+``--log-level`` (before the subcommand) turns on ``repro.*`` logging to
+stderr; ``--telemetry PATH`` on the analysis commands records the run's
+events for ``repro stats``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 import time
+from pathlib import Path
 from typing import Iterator, List, Optional
 
+from repro import obs
 from repro.core.identify import IdentifyConfig, estimate_bound, identify
 from repro.core.pinpoint import pinpoint_dominant_link
 from repro.measurement.clock import remove_clock_effects
@@ -75,6 +86,12 @@ def _identify_config(args) -> IdentifyConfig:
     )
 
 
+def _add_telemetry_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="record telemetry events (JSONL) to PATH and "
+                             "collect metrics (summarize with 'repro stats')")
+
+
 def _add_identify_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--symbols", type=int, default=5,
                         help="number of delay symbols M (default 5)")
@@ -94,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Dominant congested link identification (IMC 2003).",
     )
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="enable repro.* logging to stderr at this level")
     commands = parser.add_subparsers(dest="command", required=True)
 
     simulate = commands.add_parser(
@@ -113,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ident.add_argument("observation", help="observation CSV")
     _add_identify_options(ident)
+    _add_telemetry_option(ident)
 
     bound = commands.add_parser(
         "bound", help="bound the dominant link's maximum queuing delay"
@@ -124,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "first and use its verdict)")
     bound.add_argument("--bound-symbols", type=int, default=40)
     _add_identify_options(bound)
+    _add_telemetry_option(bound)
 
     clock = commands.add_parser(
         "clock", help="remove clock skew from a measured observation"
@@ -136,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pinpoint.add_argument("trace", help="trace NPZ from 'simulate --trace-out'")
     _add_identify_options(pinpoint)
+    _add_telemetry_option(pinpoint)
 
     monitor = commands.add_parser(
         "monitor",
@@ -165,12 +188,33 @@ def build_parser() -> argparse.ArgumentParser:
                               "(-1 = all CPUs; default 1)")
     monitor.add_argument("--max-windows", type=int, default=None,
                          help="stop after this many emitted window events")
-    monitor.add_argument("--demo", type=int, default=None, metavar="N",
+    monitor.add_argument("--demo", type=int, nargs="?", const=8000,
+                         default=None, metavar="N",
                          help="also monitor a synthetic N-probe strong-DCL "
-                              "stream (no input file needed)")
+                              "stream (no input file needed; bare --demo "
+                              "uses N=8000)")
     monitor.add_argument("--seed", type=int, default=0,
                          help="seed for --demo stream generation")
+    monitor.add_argument("--metrics-file", metavar="PATH", default=None,
+                         help="write Prometheus text metrics to PATH "
+                              "(refreshed after every drain and at exit)")
+    monitor.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="serve /metrics over HTTP on 127.0.0.1:PORT "
+                              "(0 = ephemeral port; URL printed to stderr)")
     _add_identify_options(monitor)
+    _add_telemetry_option(monitor)
+
+    stats = commands.add_parser(
+        "stats", help="summarize a telemetry JSONL event file"
+    )
+    stats.add_argument("events",
+                       help="JSONL file written via --telemetry "
+                            "(or repro.obs.enable)")
+    stats.add_argument("--top", type=int, default=5,
+                       help="slowest spans to list (default 5)")
+    stats.add_argument("--json", action="store_true",
+                       help="print the full summary as JSON")
     return parser
 
 
@@ -264,6 +308,17 @@ def _monitor_streams(args) -> dict:
     return streams
 
 
+def _cmd_stats(args) -> int:
+    from repro.obs.stats import format_summary, summarize_events
+
+    summary = summarize_events(args.events, top=args.top)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
 def _cmd_monitor(args) -> int:
     from repro.streaming import MonitorConfig, MultiPathMonitor
 
@@ -281,6 +336,23 @@ def _cmd_monitor(args) -> int:
     )
     monitor = MultiPathMonitor(config, n_jobs=args.jobs)
     iterators = {path: iter(s) for path, s in _monitor_streams(args).items()}
+
+    if obs.is_enabled():
+        # Zero-valued series make every monitor-relevant metric family
+        # visible to scrapes before the first fallback or verdict flip.
+        obs.schema.preregister(obs.registry())
+    server = None
+    if args.metrics_port is not None:
+        from repro.obs.httpd import MetricsServer
+
+        server = MetricsServer(port=args.metrics_port).start()
+        print(f"metrics: {server.url}", file=sys.stderr)
+
+    def write_metrics() -> None:
+        if args.metrics_file:
+            Path(args.metrics_file).write_text(
+                obs.registry().to_prometheus(), encoding="utf-8"
+            )
 
     emitted = 0
 
@@ -308,17 +380,36 @@ def _cmd_monitor(args) -> int:
                     monitor.ingest(path, send_time, delay)
             for path in exhausted:
                 del iterators[path]
-            if emit(monitor.drain()):
+            stop = emit(monitor.drain())
+            write_metrics()
+            if stop:
                 return 0
         emit(monitor.finish())
     except KeyboardInterrupt:  # pragma: no cover - interactive tail mode
         emit(monitor.drain())
+    finally:
+        write_metrics()
+        if server is not None:
+            server.close()
     return 0
+
+
+def _configure_logging(level: Optional[str]) -> None:
+    if not level:
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(name)s %(levelname)s %(message)s"
+    ))
+    logger = logging.getLogger("repro")
+    logger.addHandler(handler)
+    logger.setLevel(level.upper())
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args.log_level)
     handlers = {
         "simulate": _cmd_simulate,
         "identify": _cmd_identify,
@@ -326,8 +417,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "clock": _cmd_clock,
         "pinpoint": _cmd_pinpoint,
         "monitor": _cmd_monitor,
+        "stats": _cmd_stats,
     }
-    return handlers[args.command](args)
+    # Telemetry turns on when a run asks for an event file or (monitor
+    # only) any metrics output; metrics-only runs pass events=None.
+    telemetry = getattr(args, "telemetry", None)
+    wants_metrics = (
+        getattr(args, "metrics_file", None) is not None
+        or getattr(args, "metrics_port", None) is not None
+    )
+    enabled_here = False
+    if telemetry or wants_metrics:
+        obs.enable(events=telemetry, clear=True)
+        enabled_here = True
+    try:
+        return handlers[args.command](args)
+    finally:
+        if enabled_here:
+            obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - module is exercised via main()

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.netsim.trace import PathObservation
 
 __all__ = [
@@ -99,13 +100,17 @@ def observation_is_stationary(
     """
     n = len(observation)
     if n == 0:
-        return False
-    if window is None:
-        window = max(1, n // 4)
-    summaries = summarize_windows(observation, window)
-    if not summaries:
-        return False
-    return _run_is_stationary(summaries, delay_tolerance, loss_tolerance)
+        stationary = False
+    else:
+        if window is None:
+            window = max(1, n // 4)
+        summaries = summarize_windows(observation, window)
+        stationary = bool(summaries) and _run_is_stationary(
+            summaries, delay_tolerance, loss_tolerance
+        )
+    obs.inc("repro_stationarity_checks_total", 1.0,
+            result="stationary" if stationary else "nonstationary")
+    return stationary
 
 
 def select_stationary_segment(

@@ -22,7 +22,10 @@ from typing import Dict, IO, Iterable, Iterator, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.netsim.trace import PathObservation, ProbeRecord, ProbeTrace
+
+_LOG = obs.get_logger(__name__)
 
 __all__ = [
     "save_observation",
@@ -90,14 +93,24 @@ def load_observation(path) -> PathObservation:
     Eager wrapper over :func:`iter_observation` for callers that want the
     batch :class:`PathObservation` surface.
     """
-    send_times = []
-    delays = []
-    for send_time, delay in iter_observation(path):
-        send_times.append(send_time)
-        delays.append(delay)
-    if not send_times:
-        raise ValueError(f"{Path(path)}: empty observation")
-    return PathObservation(np.array(send_times), np.array(delays))
+    with obs.span("traceio.load"):
+        send_times = []
+        delays = []
+        for send_time, delay in iter_observation(path):
+            send_times.append(send_time)
+            delays.append(delay)
+        if not send_times:
+            raise ValueError(f"{Path(path)}: empty observation")
+        observation = PathObservation(np.array(send_times), np.array(delays))
+    n_losses = int(np.isnan(observation.delays).sum())
+    _LOG.debug("loaded %s: %d probes, %d losses",
+               path, len(observation), n_losses)
+    if obs.is_enabled():
+        obs.inc("repro_probes_loaded_total", float(len(observation)))
+        obs.inc("repro_losses_loaded_total", float(n_losses))
+        obs.emit("traceio.load", path=str(path),
+                 n_probes=len(observation), n_losses=n_losses)
+    return observation
 
 
 def save_trace(trace: ProbeTrace, path) -> Path:

@@ -39,6 +39,8 @@ from repro.models.base import (
     require_losses,
 )
 from repro.models.initialization import hmm_initial_parameters
+from repro.models.telemetry import record_fit, record_restart
+from repro.obs import span
 from repro.parallel import parallel_map, restart_rng
 
 __all__ = ["HiddenMarkovModel", "fit_hmm"]
@@ -324,13 +326,15 @@ def _fit_hmm_restart(task) -> "FittedHMM":
     # eq. (5) posterior — the seed ran two separate full passes here.
     final_stats = model._estep(index)
     loss_symbol_mass = final_stats.joint_loss.sum(axis=0)
-    return FittedHMM(
+    fitted = FittedHMM(
         model=model,
         virtual_delay_pmf=loss_symbol_mass / loss_symbol_mass.sum(),
         log_likelihoods=logliks + [final_stats.loglik],
         converged=converged,
         n_iter=len(logliks),
     )
+    record_restart("hmm", restart, fitted)
+    return fitted
 
 
 def fit_hmm(
@@ -347,13 +351,16 @@ def fit_hmm(
     """
     config = config or EMConfig()
     require_losses(seq, "fit_hmm")
-    tasks = [(seq, n_hidden, config, r) for r in range(config.n_restarts)]
-    fits = parallel_map(_fit_hmm_restart, tasks, n_jobs=config.n_jobs)
-    best = fits[0]
-    for fitted in fits[1:]:
-        if fitted.log_likelihood > best.log_likelihood:
-            best = fitted
-    return best
+    with span("em.fit", model="hmm", n_hidden=n_hidden,
+              n_restarts=config.n_restarts):
+        tasks = [(seq, n_hidden, config, r) for r in range(config.n_restarts)]
+        fits = parallel_map(_fit_hmm_restart, tasks, n_jobs=config.n_jobs)
+        best_restart = 0
+        for restart, fitted in enumerate(fits[1:], start=1):
+            if fitted.log_likelihood > fits[best_restart].log_likelihood:
+                best_restart = restart
+        record_fit("hmm", fits, best_restart)
+        return fits[best_restart]
 
 
 class FittedHMM(FittedModel):

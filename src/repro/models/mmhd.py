@@ -57,6 +57,8 @@ from repro.models.base import (
     require_losses,
 )
 from repro.models.initialization import mmhd_initial_parameters
+from repro.models.telemetry import record_fit, record_restart
+from repro.obs import span
 from repro.parallel import parallel_map, restart_rng
 
 __all__ = ["MarkovModelHiddenDimension", "fit_mmhd"]
@@ -499,13 +501,15 @@ def _fit_mmhd_restart(task) -> "FittedMMHD":
     # One final E-pass yields both the trailing log-likelihood and the
     # eq. (5) posterior — the seed ran two separate full passes here.
     final_stats = model._estep(index, fast=config.fast_path)
-    return FittedMMHD(
+    fitted = FittedMMHD(
         model=model,
         virtual_delay_pmf=final_stats.loss_mass / final_stats.loss_mass.sum(),
         log_likelihoods=logliks + [final_stats.loglik],
         converged=converged,
         n_iter=len(logliks),
     )
+    record_restart("mmhd", restart, fitted)
+    return fitted
 
 
 def fit_mmhd(
@@ -522,13 +526,16 @@ def fit_mmhd(
     """
     config = config or EMConfig()
     require_losses(seq, "fit_mmhd")
-    tasks = [(seq, n_hidden, config, r) for r in range(config.n_restarts)]
-    fits = parallel_map(_fit_mmhd_restart, tasks, n_jobs=config.n_jobs)
-    best = fits[0]
-    for fitted in fits[1:]:
-        if fitted.log_likelihood > best.log_likelihood:
-            best = fitted
-    return best
+    with span("em.fit", model="mmhd", n_hidden=n_hidden,
+              n_restarts=config.n_restarts):
+        tasks = [(seq, n_hidden, config, r) for r in range(config.n_restarts)]
+        fits = parallel_map(_fit_mmhd_restart, tasks, n_jobs=config.n_jobs)
+        best_restart = 0
+        for restart, fitted in enumerate(fits[1:], start=1):
+            if fitted.log_likelihood > fits[best_restart].log_likelihood:
+                best_restart = restart
+        record_fit("mmhd", fits, best_restart)
+        return fits[best_restart]
 
 
 class FittedMMHD(FittedModel):

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.models.base import EMConfig, FittedModel, ObservationSequence
 from repro.models.hmm import fit_hmm
 from repro.models.mmhd import fit_mmhd
@@ -106,13 +107,25 @@ def select_n_hidden(
     """
     if not candidates:
         raise ValueError("need at least one candidate N")
-    serial_inner = resolve_n_jobs(n_jobs) > 1
-    tasks = [(seq, int(n_hidden), model, config, serial_inner)
-             for n_hidden in candidates]
-    fitted_models = parallel_map(_fit_candidate, tasks, n_jobs=n_jobs)
-    fits: Dict[int, FittedModel] = {}
-    bics: Dict[int, float] = {}
-    for (_, n_hidden, _, _, _), fitted in zip(tasks, fitted_models):
-        fits[n_hidden] = fitted
-        bics[n_hidden] = bic(fitted, seq)
-    return ModelSelection(fits, bics)
+    with obs.span("selection.fit", model=model,
+                  candidates=[int(n) for n in candidates]):
+        serial_inner = resolve_n_jobs(n_jobs) > 1
+        tasks = [(seq, int(n_hidden), model, config, serial_inner)
+                 for n_hidden in candidates]
+        fitted_models = parallel_map(_fit_candidate, tasks, n_jobs=n_jobs)
+        fits: Dict[int, FittedModel] = {}
+        bics: Dict[int, float] = {}
+        for (_, n_hidden, _, _, _), fitted in zip(tasks, fitted_models):
+            fits[n_hidden] = fitted
+            bics[n_hidden] = bic(fitted, seq)
+        selection = ModelSelection(fits, bics)
+    obs.inc("repro_selection_total", 1.0, model=model,
+            chosen_n=selection.best_n)
+    obs.emit(
+        "selection.bic",
+        model=model,
+        candidates=sorted(bics),
+        bics={str(n): round(float(bics[n]), 3) for n in sorted(bics)},
+        chosen_n=selection.best_n,
+    )
+    return selection

@@ -1,0 +1,148 @@
+"""Process-safe structured event bus writing JSONL.
+
+Every event is one JSON object on one line with four envelope fields —
+``ts`` (monotonic seconds, comparable across processes on Linux because
+``CLOCK_MONOTONIC`` is system-wide), ``wall`` (Unix epoch seconds),
+``pid``, and ``kind`` — plus kind-specific payload fields (see
+:mod:`repro.obs.schema` for the catalog).
+
+Process safety relies on POSIX append semantics: the sink is opened with
+``O_APPEND`` and each event is a single ``write`` of one line, so lines
+from concurrent worker processes interleave whole, never torn.  The bus
+detects ``fork`` (pid change) and reopens its handle so parent and child
+never share a buffered file position.
+
+The disabled path is a single attribute check per :meth:`emit` — cheap
+enough to leave instrumentation permanently compiled into the hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import IO, Optional, Union
+
+__all__ = ["EventBus", "json_default"]
+
+
+def json_default(value):
+    """Coerce numpy scalars/arrays (and other oddballs) for ``json``.
+
+    ``tolist`` is checked first: numpy arrays also expose ``item``, which
+    raises for any array of size != 1 (scalars round-trip through either).
+    """
+    if hasattr(value, "tolist"):  # numpy array or scalar
+        return value.tolist()
+    if hasattr(value, "item"):  # non-numpy scalar wrappers
+        return value.item()
+    return str(value)
+
+
+class EventBus:
+    """A single JSONL sink with a no-op fast path when disabled."""
+
+    def __init__(self):
+        self.enabled = False
+        self._path: Optional[Path] = None
+        self._stream: Optional[IO[str]] = None
+        self._handle: Optional[IO[str]] = None
+        self._pid: Optional[int] = None
+        self._lock = threading.Lock()
+        self.n_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(self, sink: Union[str, Path, IO[str], None]) -> None:
+        """Point the bus at a JSONL file path or an open text stream.
+
+        ``None`` disables the bus.  Path sinks are opened in append mode
+        (line-atomic across processes); stream sinks (e.g. ``StringIO``
+        in tests) are process-local and are not inherited by workers.
+        """
+        with self._lock:
+            self._close_locked()
+            if sink is None:
+                self.enabled = False
+                return
+            if isinstance(sink, (str, Path)):
+                self._path = Path(sink)
+                self._handle = None  # opened lazily, per process
+            else:
+                self._stream = sink
+            self._pid = os.getpid()
+            self.enabled = True
+
+    def close(self) -> None:
+        """Disable the bus and release any file handle."""
+        with self._lock:
+            self._close_locked()
+            self.enabled = False
+
+    def _close_locked(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+        self._handle = None
+        self._stream = None
+        self._path = None
+        self._pid = None
+
+    @property
+    def path(self) -> Optional[Path]:
+        """The sink path (None for stream sinks or when disabled)."""
+        return self._path
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def _writer(self) -> Optional[IO[str]]:
+        """The current process's sink handle, reopened after a fork."""
+        if self._stream is not None:
+            return self._stream
+        if self._path is None:
+            return None
+        pid = os.getpid()
+        if self._handle is None or pid != self._pid:
+            # After fork the inherited handle shares a file description
+            # with the parent; a fresh O_APPEND handle gives this
+            # process its own (and append stays line-atomic).
+            self._handle = open(self._path, "a", encoding="utf-8")
+            self._pid = pid
+        return self._handle
+
+    def emit(self, kind: str, /, **fields) -> None:
+        """Write one event; silently a no-op when the bus is disabled."""
+        if not self.enabled:
+            return
+        # Envelope keys win over same-named payload fields so a stray
+        # ``kind=`` or ``pid=`` attribute can never corrupt the schema.
+        event = {
+            "ts": time.monotonic(),
+            "wall": time.time(),
+            "pid": os.getpid(),
+            "kind": kind,
+        }
+        for key, value in fields.items():
+            if key not in event:
+                event[key] = value
+        line = json.dumps(event, default=json_default) + "\n"
+        with self._lock:
+            writer = self._writer()
+            if writer is None:  # pragma: no cover - disabled race
+                return
+            try:
+                writer.write(line)
+                writer.flush()
+            except (OSError, ValueError):
+                # A torn-down sink (closed stream at interpreter exit,
+                # full disk) must never take the computation down with
+                # it; telemetry is strictly best-effort.
+                self.enabled = False
+                return
+            self.n_emitted += 1

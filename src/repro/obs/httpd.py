@@ -1,0 +1,94 @@
+"""Metrics scrape endpoint built on ``http.server`` (stdlib only).
+
+``MetricsServer`` serves the process-global registry:
+
+* ``GET /metrics`` — Prometheus text exposition format;
+* ``GET /metrics.json`` — the JSON projection;
+* ``GET /healthz`` — liveness probe (``ok``).
+
+The server runs on a daemon thread so a monitor process exposes its
+state without touching the ingestion loop; ``port=0`` binds an ephemeral
+port (the bound port is in :attr:`MetricsServer.port`).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsServer"]
+
+
+def _make_handler(registry: MetricsRegistry):
+    class Handler(BaseHTTPRequestHandler):
+        def _send(self, body: bytes, content_type: str) -> None:
+            self.send_response(200)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path.split("?")[0] == "/metrics":
+                self._send(registry.to_prometheus().encode(),
+                           "text/plain; version=0.0.4; charset=utf-8")
+            elif self.path.split("?")[0] == "/metrics.json":
+                import json
+
+                self._send(json.dumps(registry.to_json()).encode(),
+                           "application/json")
+            elif self.path.split("?")[0] == "/healthz":
+                self._send(b"ok\n", "text/plain")
+            else:
+                self.send_error(404, "unknown path (try /metrics)")
+
+        def log_message(self, *args):  # pragma: no cover - silence stderr
+            pass
+
+    return Handler
+
+
+class MetricsServer:
+    """A background scrape endpoint over a metrics registry."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 port: int = 0, host: str = "127.0.0.1"):
+        if registry is None:
+            from repro import obs
+
+            registry = obs.registry()
+        self._server = ThreadingHTTPServer((host, port),
+                                           _make_handler(registry))
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The scrape URL of the text endpoint."""
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

@@ -1,0 +1,330 @@
+"""Counters, gauges, and histograms with snapshot merge and exporters.
+
+A :class:`MetricsRegistry` is a flat map from ``(name, labels)`` to a
+sample.  Three metric kinds cover everything the identification stack
+needs:
+
+* **counter** — monotone totals (fits run, windows skipped, probes
+  loaded); merged across workers by summing;
+* **gauge** — last-observed values (pending windows, stream lag); merged
+  by last-writer-wins in task order, so merges stay deterministic;
+* **histogram** — fixed-bucket latency distributions (span durations,
+  window lag); merged by summing bucket counts.
+
+The registry is designed around the :func:`repro.parallel.parallel_map`
+fan-out: a worker runs its task between two :meth:`snapshot` calls, the
+:meth:`delta` of the pair travels back with the task result, and the
+parent :meth:`merge`\\ s the deltas *in task order* — so the merged state
+is identical for every worker count (the telemetry analogue of the
+parallel layer's determinism contract).
+
+Exporters render the Prometheus text exposition format
+(:meth:`to_prometheus`) and a JSON projection (:meth:`to_json`).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["DEFAULT_BUCKETS", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds, in seconds.  Spans range from
+#: sub-millisecond (a warm streaming fit at tiny windows) to tens of
+#: seconds (paper-scale multi-restart fits), hence the wide log spacing.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: sample key: (metric name, tuple of sorted (label, value) pairs)
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, object]) -> _Key:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Iterable[Tuple[str, str]]) -> str:
+    pairs = [f'{k}="{_escape_label(v)}"' for k, v in labels]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Histogram:
+    """Fixed-bucket histogram sample: cumulative export, additive merge."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # final slot: +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    def copy(self) -> "_Histogram":
+        other = _Histogram(self.buckets)
+        other.counts = list(self.counts)
+        other.total = self.total
+        other.count = self.count
+        return other
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[_Key, float] = {}
+        self._gauges: Dict[_Key, float] = {}
+        self._histograms: Dict[_Key, _Histogram] = {}
+        self._help: Dict[str, str] = {}
+        self._buckets: Dict[str, Tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def describe(self, name: str, help_text: str,
+                 buckets: Optional[Tuple[float, ...]] = None) -> None:
+        """Attach HELP text (and histogram buckets) to a metric family."""
+        with self._lock:
+            self._help[name] = help_text
+            if buckets is not None:
+                self._buckets[name] = tuple(buckets)
+
+    def inc(self, name: str, amount: float = 1.0, /, **labels) -> None:
+        """Add ``amount`` to a counter (creating it at 0 first)."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount} for {name}")
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float, /, **labels) -> None:
+        """Set a gauge to its latest observed value."""
+        with self._lock:
+            self._gauges[_key(name, labels)] = float(value)
+
+    def observe(self, name: str, value: float, /, **labels) -> None:
+        """Record one histogram observation."""
+        key = _key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = _Histogram(self._buckets.get(name, DEFAULT_BUCKETS))
+                self._histograms[key] = hist
+            hist.observe(float(value))
+
+    def clear(self) -> None:
+        """Drop every sample (HELP/bucket descriptions survive)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, /, **labels) -> float:
+        """Current value of one counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0.0)
+
+    def gauge_value(self, name: str, /, **labels) -> Optional[float]:
+        """Current value of one gauge (None when never set)."""
+        with self._lock:
+            return self._gauges.get(_key(name, labels))
+
+    def histogram_count(self, name: str, /, **labels) -> int:
+        """Number of observations of one histogram."""
+        with self._lock:
+            hist = self._histograms.get(_key(name, labels))
+            return 0 if hist is None else hist.count
+
+    def family_names(self) -> List[str]:
+        """Sorted names of every metric family with at least one sample."""
+        with self._lock:
+            names = {name for name, _ in self._counters}
+            names.update(name for name, _ in self._gauges)
+            names.update(name for name, _ in self._histograms)
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # Snapshots: the parallel_map worker round-trip
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A picklable copy of every sample (for delta/merge)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    key: (hist.buckets, list(hist.counts), hist.total,
+                          hist.count)
+                    for key, hist in self._histograms.items()
+                },
+            }
+
+    def delta(self, before: dict) -> dict:
+        """What changed since ``before`` (an earlier :meth:`snapshot`).
+
+        Counters and histograms subtract; gauges keep only keys whose
+        value differs from (or did not exist in) the earlier snapshot.
+        """
+        now = self.snapshot()
+        counters = {
+            key: value - before["counters"].get(key, 0.0)
+            for key, value in now["counters"].items()
+            if value != before["counters"].get(key, 0.0)
+        }
+        gauges = {
+            key: value
+            for key, value in now["gauges"].items()
+            if before["gauges"].get(key) != value
+        }
+        histograms = {}
+        for key, (buckets, counts, total, count) in now["histograms"].items():
+            prev = before["histograms"].get(key)
+            if prev is None:
+                histograms[key] = (buckets, counts, total, count)
+                continue
+            _, prev_counts, prev_total, prev_count = prev
+            if count != prev_count:
+                histograms[key] = (
+                    buckets,
+                    [a - b for a, b in zip(counts, prev_counts)],
+                    total - prev_total,
+                    count - prev_count,
+                )
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge(self, delta: dict) -> None:
+        """Fold a worker's :meth:`delta` into this registry.
+
+        Addition commutes, and gauges are last-writer-wins — callers
+        merge deltas in task order, which makes the merged registry
+        independent of which worker ran which task.
+        """
+        with self._lock:
+            for key, value in delta["counters"].items():
+                self._counters[key] = self._counters.get(key, 0.0) + value
+            for key, value in delta["gauges"].items():
+                self._gauges[key] = value
+            for key, (buckets, counts, total, count) in delta[
+                    "histograms"].items():
+                hist = self._histograms.get(key)
+                if hist is None:
+                    hist = _Histogram(tuple(buckets))
+                    self._histograms[key] = hist
+                hist.counts = [a + b for a, b in zip(hist.counts, counts)]
+                hist.total += total
+                hist.count += count
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def _grouped(self, samples: Dict[_Key, object]) -> Dict[str, list]:
+        families: Dict[str, list] = {}
+        for (name, labels), value in samples.items():
+            families.setdefault(name, []).append((labels, value))
+        for rows in families.values():
+            rows.sort(key=lambda row: row[0])
+        return families
+
+    def to_prometheus(self) -> str:
+        """Render every sample in the Prometheus text exposition format."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = {k: h.copy() for k, h in self._histograms.items()}
+            help_text = dict(self._help)
+        lines: List[str] = []
+
+        def header(name: str, kind: str) -> None:
+            text = help_text.get(name)
+            if text:
+                lines.append(f"# HELP {name} {text}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        for name, rows in sorted(self._grouped(counters).items()):
+            header(name, "counter")
+            for labels, value in rows:
+                lines.append(
+                    f"{name}{_format_labels(labels)} {_format_value(value)}"
+                )
+        for name, rows in sorted(self._grouped(gauges).items()):
+            header(name, "gauge")
+            for labels, value in rows:
+                lines.append(
+                    f"{name}{_format_labels(labels)} {_format_value(value)}"
+                )
+        for name, rows in sorted(self._grouped(histograms).items()):
+            header(name, "histogram")
+            for labels, hist in rows:
+                cumulative = 0
+                for edge, count in zip(
+                        list(hist.buckets) + [math.inf],
+                        hist.counts):
+                    cumulative += count
+                    le = (("le", _format_value(edge)),)
+                    lines.append(
+                        f"{name}_bucket{_format_labels(labels + le)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{_format_value(hist.total)}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(labels)} {hist.count}"
+                )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def to_json(self) -> dict:
+        """A JSON-able projection of every sample."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = {k: h.copy() for k, h in self._histograms.items()}
+
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (name, labels), value in sorted(counters.items()):
+            out["counters"].setdefault(name, []).append(
+                {"labels": dict(labels), "value": value}
+            )
+        for (name, labels), value in sorted(gauges.items()):
+            out["gauges"].setdefault(name, []).append(
+                {"labels": dict(labels), "value": value}
+            )
+        for (name, labels), hist in sorted(histograms.items()):
+            out["histograms"].setdefault(name, []).append({
+                "labels": dict(labels),
+                "buckets": list(hist.buckets),
+                "counts": list(hist.counts),
+                "sum": hist.total,
+                "count": hist.count,
+            })
+        return out

@@ -1,0 +1,143 @@
+"""Telemetry catalog: event kinds, metric names, validation.
+
+One module is the source of truth for what the instrumentation emits, so
+the README table, the ``repro stats`` summarizer, the exporter
+preregistration, and the tests all agree.
+
+Event envelope (every event): ``ts`` (monotonic seconds), ``wall``
+(epoch seconds), ``pid``, ``kind``.  Kind-specific payloads are listed
+in :data:`EVENT_KINDS`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "EVENT_KINDS",
+    "METRICS",
+    "MONITOR_SERIES",
+    "validate_event",
+    "preregister",
+]
+
+#: kind -> (description, required payload fields)
+EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    "span": (
+        "A timed block finished",
+        ("name", "span", "parent", "dur_ms"),
+    ),
+    "em.restart": (
+        "One EM restart finished (per-iteration loglik trajectory)",
+        ("model", "restart", "n_iter", "converged", "loglik", "logliks"),
+    ),
+    "em.fit": (
+        "A multi-restart fit reduced to its winner",
+        ("model", "n_restarts", "best_restart", "restart_logliks",
+         "loglik_dispersion"),
+    ),
+    "selection.bic": (
+        "BIC model-order selection outcome",
+        ("model", "candidates", "bics", "chosen_n"),
+    ),
+    "streaming.fit": (
+        "One window fit finished (warm or cold)",
+        ("model", "warm_used", "fallback_reason", "n_iter", "loglik"),
+    ),
+    "window": (
+        "One monitor window resolved (analyzed or skipped)",
+        ("path", "window", "status", "reason", "verdict", "stable_verdict",
+         "changed"),
+    ),
+    "traceio.load": (
+        "An observation file was loaded",
+        ("path", "n_probes", "n_losses"),
+    ),
+}
+
+#: (name, type, labels, help) for every metric family the stack emits.
+METRICS: List[Tuple[str, str, Tuple[str, ...], str]] = [
+    ("repro_span_seconds", "histogram", ("name",),
+     "Duration of timed spans, by span name."),
+    ("repro_em_fits_total", "counter", ("model",),
+     "Completed multi-restart EM fits."),
+    ("repro_em_restarts_total", "counter", ("model",),
+     "Individual EM restarts run."),
+    ("repro_em_iterations_total", "counter", ("model",),
+     "EM iterations summed over restarts."),
+    ("repro_em_nonconverged_total", "counter", ("model",),
+     "Restarts that hit max_iter before the parameter tolerance."),
+    ("repro_em_restart_wins_total", "counter", ("restart",),
+     "Which restart index produced the winning log-likelihood."),
+    ("repro_selection_total", "counter", ("model", "chosen_n"),
+     "BIC model-order selections, by chosen hidden-state count."),
+    ("repro_streaming_fits_total", "counter", ("mode",),
+     "Per-window streaming fits, by mode (warm or cold)."),
+    ("repro_streaming_fallbacks_total", "counter", ("reason",),
+     "Warm-start trajectories abandoned for a cold refit."),
+    ("repro_windows_total", "counter", (),
+     "Monitor windows that reached analysis."),
+    ("repro_windows_skipped_total", "counter", ("reason",),
+     "Monitor windows skipped, by reason."),
+    ("repro_windows_dropped_total", "counter", (),
+     "Pending windows dropped to backlog pressure."),
+    ("repro_window_verdicts_total", "counter", ("verdict",),
+     "Per-window verdicts from analyzed windows."),
+    ("repro_verdict_changes_total", "counter", (),
+     "Stable-verdict flips after hysteresis."),
+    ("repro_window_lag_seconds", "histogram", (),
+     "Wall-clock lag from window assembly to verdict emission."),
+    ("repro_pending_windows", "gauge", (),
+     "Completed windows waiting for a fit."),
+    ("repro_probes_loaded_total", "counter", (),
+     "Probe records loaded from observation files."),
+    ("repro_losses_loaded_total", "counter", (),
+     "Loss records loaded from observation files."),
+    ("repro_stationarity_checks_total", "counter", ("result",),
+     "Stationarity-gate evaluations, by outcome."),
+]
+
+#: Series the monitor preregisters at zero so scrapes (and the CI
+#: telemetry job) always see the families, even before the first
+#: fallback or verdict flip.  (name, label dicts to pre-create).
+MONITOR_SERIES: List[Tuple[str, List[dict]]] = [
+    ("repro_streaming_fits_total",
+     [{"mode": "warm"}, {"mode": "cold"}]),
+    ("repro_streaming_fallbacks_total",
+     [{"reason": "zero-likelihood"}, {"reason": "non-finite-loglik"},
+      {"reason": "non-monotone"}]),
+    ("repro_windows_total", [{}]),
+    ("repro_windows_skipped_total",
+     [{"reason": "nonstationary"}, {"reason": "no-losses"},
+      {"reason": "degenerate"}]),
+    ("repro_windows_dropped_total", [{}]),
+    ("repro_window_verdicts_total",
+     [{"verdict": "strong"}, {"verdict": "weak"}, {"verdict": "none"}]),
+    ("repro_verdict_changes_total", [{}]),
+]
+
+
+def validate_event(event: dict) -> List[str]:
+    """Schema problems of one decoded event (empty list = valid)."""
+    problems = []
+    for field in ("ts", "wall", "pid", "kind"):
+        if field not in event:
+            problems.append(f"missing envelope field {field!r}")
+    kind = event.get("kind")
+    if kind not in EVENT_KINDS:
+        problems.append(f"unknown kind {kind!r}")
+        return problems
+    _, required = EVENT_KINDS[kind]
+    for field in required:
+        if field not in event:
+            problems.append(f"{kind}: missing field {field!r}")
+    return problems
+
+
+def preregister(registry) -> None:
+    """Describe every family and create the monitor's zero-valued series."""
+    for name, kind, _labels, help_text in METRICS:
+        registry.describe(name, help_text)
+    for name, label_sets in MONITOR_SERIES:
+        for labels in label_sets:
+            registry.inc(name, 0.0, **labels)

@@ -1,0 +1,81 @@
+"""Span-based timing: nested, ids, emitted as events + histograms.
+
+``span("em.fit", model="mmhd")`` times a block, assigns it a span id
+unique within the process, links it to the enclosing span (a
+thread-local stack provides nesting), and on exit
+
+* emits a ``kind="span"`` event — ``name``, ``span``, ``parent``,
+  ``dur_ms``, plus the keyword attributes — on the event bus, and
+* observes the duration into the ``repro_span_seconds`` histogram,
+  labelled by span name.
+
+When telemetry is disabled the context manager yields immediately —
+no clock reads, no id allocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["span", "current_span_id", "SPAN_SECONDS"]
+
+#: Histogram fed by every completed span, labelled ``name=<span name>``.
+SPAN_SECONDS = "repro_span_seconds"
+
+_local = threading.local()
+_ids = itertools.count(1)
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_span_id() -> Optional[str]:
+    """Id of the innermost active span on this thread (None outside)."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def _next_span_id() -> str:
+    return f"{os.getpid():x}-{next(_ids):x}"
+
+
+@contextmanager
+def span(name: str, **attrs) -> Iterator[Optional[str]]:
+    """Time a block as a named span; yields the span id (None if off).
+
+    Import cycle note: the facade is imported lazily so
+    ``repro.obs.spans`` can be imported on its own.
+    """
+    from repro import obs
+
+    if not obs.is_enabled():
+        yield None
+        return
+    span_id = _next_span_id()
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    stack.append(span_id)
+    start = time.monotonic()
+    try:
+        yield span_id
+    finally:
+        duration = time.monotonic() - start
+        stack.pop()
+        obs.observe(SPAN_SECONDS, duration, name=name)
+        obs.emit(
+            "span",
+            name=name,
+            span=span_id,
+            parent=parent,
+            dur_ms=round(duration * 1e3, 3),
+            **attrs,
+        )

@@ -1,0 +1,222 @@
+"""Summarize a telemetry JSONL event file (the ``repro stats`` command).
+
+Reads events written by the :mod:`repro.obs.events` bus — possibly from
+several processes and several runs appended to one file — and reduces
+them to the questions an operator actually asks:
+
+* where did the time go? (per-span-name totals, slowest single spans)
+* how healthy is the streaming monitor? (warm-start hit rate, fallback
+  rate by reason, skipped windows by reason, verdict flips)
+* how is EM behaving? (restarts, non-monotone trajectories, restart
+  win dispersion)
+
+Lines that fail to parse are counted, not fatal — a live file may end in
+a torn line while a writer is mid-append.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+__all__ = ["summarize_events", "format_summary"]
+
+
+def _iter_events(source: Union[str, Path, Iterable[str]]):
+    if isinstance(source, (str, Path)):
+        with Path(source).open(encoding="utf-8") as handle:
+            yield from _iter_events(handle)
+        return
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            yield None  # counted as unparseable by the caller
+
+
+def summarize_events(source: Union[str, Path, Iterable[str]],
+                     top: int = 5) -> dict:
+    """Aggregate a JSONL event stream into one summary dict."""
+    n_events = 0
+    n_bad = 0
+    by_kind: Dict[str, int] = {}
+    span_totals: Dict[str, dict] = {}
+    slowest: List[dict] = []
+    fits = {"warm": 0, "cold": 0}
+    fallbacks: Dict[str, int] = {}
+    windows = {"analyzed": 0, "skipped": 0, "flips": 0}
+    skip_reasons: Dict[str, int] = {}
+    verdicts: Dict[str, int] = {}
+    em = {"restarts": 0, "nonconverged": 0, "fits": 0}
+    nonmonotone_restarts = 0
+    dispersions: List[float] = []
+
+    for event in _iter_events(source):
+        if event is None:
+            n_bad += 1
+            continue
+        n_events += 1
+        kind = event.get("kind", "?")
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if kind == "span":
+            name = event.get("name", "?")
+            dur_ms = float(event.get("dur_ms", 0.0))
+            entry = span_totals.setdefault(
+                name, {"count": 0, "total_ms": 0.0, "max_ms": 0.0})
+            entry["count"] += 1
+            entry["total_ms"] += dur_ms
+            entry["max_ms"] = max(entry["max_ms"], dur_ms)
+            slowest.append({"name": name, "dur_ms": dur_ms,
+                            "span": event.get("span")})
+        elif kind == "streaming.fit":
+            mode = "warm" if event.get("warm_used") else "cold"
+            fits[mode] += 1
+            reason = event.get("fallback_reason")
+            if reason:
+                fallbacks[reason] = fallbacks.get(reason, 0) + 1
+        elif kind == "window":
+            if event.get("status") == "ok":
+                windows["analyzed"] += 1
+                verdict = event.get("verdict") or "?"
+                verdicts[verdict] = verdicts.get(verdict, 0) + 1
+            else:
+                windows["skipped"] += 1
+                reason = str(event.get("reason") or "?").split(":")[0]
+                skip_reasons[reason] = skip_reasons.get(reason, 0) + 1
+            if event.get("changed"):
+                windows["flips"] += 1
+        elif kind == "em.restart":
+            em["restarts"] += 1
+            if not event.get("converged", True):
+                em["nonconverged"] += 1
+            logliks = event.get("logliks") or []
+            if any(b < a for a, b in zip(logliks, logliks[1:])):
+                nonmonotone_restarts += 1
+        elif kind == "em.fit":
+            em["fits"] += 1
+            dispersion = event.get("loglik_dispersion")
+            if dispersion is not None:
+                dispersions.append(float(dispersion))
+
+    slowest.sort(key=lambda s: s["dur_ms"], reverse=True)
+    total_fits = fits["warm"] + fits["cold"]
+    n_windows = windows["analyzed"] + windows["skipped"]
+    return {
+        "n_events": n_events,
+        "n_unparseable": n_bad,
+        "by_kind": dict(sorted(by_kind.items())),
+        "spans": {
+            "by_name": {
+                name: {
+                    "count": entry["count"],
+                    "total_ms": round(entry["total_ms"], 3),
+                    "mean_ms": round(entry["total_ms"] / entry["count"], 3),
+                    "max_ms": round(entry["max_ms"], 3),
+                }
+                for name, entry in sorted(span_totals.items())
+            },
+            "slowest": slowest[:top],
+        },
+        "streaming": {
+            "fits": total_fits,
+            "warm": fits["warm"],
+            "cold": fits["cold"],
+            "warm_rate": round(fits["warm"] / total_fits, 4)
+            if total_fits else None,
+            "fallbacks": dict(sorted(fallbacks.items())),
+            "fallback_rate": round(sum(fallbacks.values()) / total_fits, 4)
+            if total_fits else None,
+        },
+        "windows": {
+            "total": n_windows,
+            "analyzed": windows["analyzed"],
+            "skipped": windows["skipped"],
+            "skip_reasons": dict(sorted(skip_reasons.items())),
+            "verdicts": dict(sorted(verdicts.items())),
+            "verdict_flips": windows["flips"],
+        },
+        "em": {
+            "fits": em["fits"],
+            "restarts": em["restarts"],
+            "nonconverged_restarts": em["nonconverged"],
+            "nonmonotone_restarts": nonmonotone_restarts,
+            "max_loglik_dispersion": round(max(dispersions), 4)
+            if dispersions else None,
+        },
+    }
+
+
+def format_summary(summary: dict) -> str:
+    """Render :func:`summarize_events` output for a terminal."""
+    lines = [
+        f"events: {summary['n_events']}"
+        + (f" ({summary['n_unparseable']} unparseable)"
+           if summary["n_unparseable"] else ""),
+    ]
+    if summary["by_kind"]:
+        kinds = ", ".join(f"{k}={v}" for k, v in summary["by_kind"].items())
+        lines.append(f"  by kind: {kinds}")
+
+    spans = summary["spans"]
+    if spans["by_name"]:
+        lines.append("spans (total time, by name):")
+        ordered = sorted(spans["by_name"].items(),
+                         key=lambda item: item[1]["total_ms"], reverse=True)
+        for name, entry in ordered:
+            lines.append(
+                f"  {name}: {entry['count']}x, total {entry['total_ms']:.1f} "
+                f"ms, mean {entry['mean_ms']:.1f} ms, max {entry['max_ms']:.1f} ms"
+            )
+        lines.append("slowest spans:")
+        for entry in spans["slowest"]:
+            lines.append(f"  {entry['dur_ms']:.1f} ms  {entry['name']}"
+                         f"  [{entry.get('span')}]")
+
+    streaming = summary["streaming"]
+    if streaming["fits"]:
+        lines.append(
+            f"streaming fits: {streaming['fits']} "
+            f"(warm {streaming['warm']}, cold {streaming['cold']}, "
+            f"warm rate {streaming['warm_rate']:.0%})"
+        )
+        if streaming["fallbacks"]:
+            reasons = ", ".join(f"{k}={v}"
+                                for k, v in streaming["fallbacks"].items())
+            lines.append(
+                f"  fallbacks: {reasons} "
+                f"(rate {streaming['fallback_rate']:.1%})"
+            )
+
+    windows = summary["windows"]
+    if windows["total"]:
+        lines.append(
+            f"windows: {windows['total']} "
+            f"(analyzed {windows['analyzed']}, skipped {windows['skipped']})"
+        )
+        if windows["skip_reasons"]:
+            reasons = ", ".join(f"{k}={v}"
+                                for k, v in windows["skip_reasons"].items())
+            lines.append(f"  skip reasons: {reasons}")
+        if windows["verdicts"]:
+            verdicts = ", ".join(f"{k}={v}"
+                                 for k, v in windows["verdicts"].items())
+            lines.append(f"  verdicts: {verdicts}")
+        lines.append(f"  stable-verdict flips: {windows['verdict_flips']}")
+
+    em = summary["em"]
+    if em["restarts"] or em["fits"]:
+        lines.append(
+            f"EM: {em['fits']} fits, {em['restarts']} restarts "
+            f"({em['nonconverged_restarts']} hit max_iter, "
+            f"{em['nonmonotone_restarts']} non-monotone)"
+        )
+        if em["max_loglik_dispersion"] is not None:
+            lines.append(
+                f"  max restart loglik dispersion: "
+                f"{em['max_loglik_dispersion']:.4f}"
+            )
+    return "\n".join(lines)

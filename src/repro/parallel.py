@@ -34,6 +34,10 @@ from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from repro import obs
+
+_LOG = obs.get_logger(__name__)
+
 __all__ = [
     "resolve_n_jobs",
     "parallel_map",
@@ -163,6 +167,32 @@ def _default_chunksize(n_items: int, n_workers: int) -> int:
     return max(1, -(-n_items // (4 * n_workers)))
 
 
+class _TelemetryTask:
+    """Carry the parent's telemetry config into a worker and ship back
+    the per-task metric delta.
+
+    The worker replays the parent's config (so instrumented code inside
+    ``fn`` records normally), snapshots its registry around the task,
+    and returns ``(result, delta)``.  The parent merges the deltas in
+    task order, which keeps merged metrics identical for every
+    ``n_jobs`` — the telemetry extension of the determinism contract.
+    Event sinks backed by a file path work directly from workers
+    (append is line-atomic); stream sinks stay parent-local.
+    """
+
+    __slots__ = ("fn", "config")
+
+    def __init__(self, fn: Callable, config: dict):
+        self.fn = fn
+        self.config = config
+
+    def __call__(self, item):
+        obs.apply_config(self.config)
+        before = obs.metrics_snapshot()
+        result = self.fn(item)
+        return result, obs.metrics_delta(before)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -183,8 +213,23 @@ def parallel_map(
     pool = _get_pool(n_workers)
     if chunksize is None:
         chunksize = _default_chunksize(len(items), n_workers)
+    with_telemetry = obs.is_enabled()
+    task_fn: Callable = (
+        _TelemetryTask(fn, obs.current_config()) if with_telemetry else fn
+    )
     try:
-        return list(pool.map(fn, items, chunksize=chunksize))
+        mapped = list(pool.map(task_fn, items, chunksize=chunksize))
     except BrokenProcessPool:  # pragma: no cover - worker crash recovery
         _POOLS.pop(n_workers, None)
+        _LOG.warning(
+            "worker pool (n_workers=%d) broke; rerunning %d task(s) serially",
+            n_workers, len(items),
+        )
         return [fn(item) for item in items]
+    if not with_telemetry:
+        return mapped
+    results: List[R] = []
+    for result, delta in mapped:
+        obs.merge_worker_metrics(delta)
+        results.append(result)
+    return results

@@ -33,6 +33,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.models.base import (
     EMConfig,
     ObservationSequence,
@@ -42,6 +43,8 @@ from repro.models.base import (
 )
 from repro.models.hmm import FittedHMM, HiddenMarkovModel, fit_hmm
 from repro.models.mmhd import FittedMMHD, MarkovModelHiddenDimension, fit_mmhd
+
+_LOG = obs.get_logger(__name__)
 
 __all__ = ["WarmState", "StreamingFitResult", "streaming_fit"]
 
@@ -210,6 +213,29 @@ def _cold_fit(seq: ObservationSequence, n_hidden: int, config: EMConfig, kind: s
     return fit(seq, n_hidden=n_hidden, config=config)
 
 
+def _record(kind: str, result: "StreamingFitResult") -> "StreamingFitResult":
+    """Telemetry for one finished window fit (warm-rate and fallbacks)."""
+    if result.fallback_reason is not None:
+        _LOG.info("warm start abandoned (%s); cold refit used",
+                  result.fallback_reason)
+    if not obs.is_enabled():
+        return result
+    obs.inc("repro_streaming_fits_total", 1.0,
+            mode="warm" if result.warm_used else "cold")
+    if result.fallback_reason is not None:
+        obs.inc("repro_streaming_fallbacks_total", 1.0,
+                reason=result.fallback_reason)
+    obs.emit(
+        "streaming.fit",
+        model=kind,
+        warm_used=result.warm_used,
+        fallback_reason=result.fallback_reason,
+        n_iter=int(result.fitted.n_iter),
+        loglik=round(float(result.fitted.log_likelihood), 6),
+    )
+    return result
+
+
 def streaming_fit(
     seq: ObservationSequence,
     n_hidden: int,
@@ -237,19 +263,21 @@ def streaming_fit(
         raise ValueError(f"kind must be 'mmhd' or 'hmm', got {kind!r}")
     config = config or EMConfig()
     require_losses(seq, "streaming_fit")
-    if warm is None or not warm.matches(seq.n_symbols, n_hidden, kind):
-        return StreamingFitResult(
-            _cold_fit(seq, n_hidden, config, kind), False, None
-        )
-    try:
-        fitted = _warm_em(warm.build_model(), seq, config)
-    except FloatingPointError:
-        return StreamingFitResult(
-            _cold_fit(seq, n_hidden, config, kind), False, "zero-likelihood"
-        )
-    collapse = _trail_collapsed(fitted.log_likelihoods)
-    if collapse is not None:
-        return StreamingFitResult(
-            _cold_fit(seq, n_hidden, config, kind), False, collapse
-        )
-    return StreamingFitResult(fitted, True, None)
+    with obs.span("streaming.fit", model=kind):
+        if warm is None or not warm.matches(seq.n_symbols, n_hidden, kind):
+            return _record(kind, StreamingFitResult(
+                _cold_fit(seq, n_hidden, config, kind), False, None
+            ))
+        try:
+            fitted = _warm_em(warm.build_model(), seq, config)
+        except FloatingPointError:
+            return _record(kind, StreamingFitResult(
+                _cold_fit(seq, n_hidden, config, kind), False,
+                "zero-likelihood"
+            ))
+        collapse = _trail_collapsed(fitted.log_likelihoods)
+        if collapse is not None:
+            return _record(kind, StreamingFitResult(
+                _cold_fit(seq, n_hidden, config, kind), False, collapse
+            ))
+        return _record(kind, StreamingFitResult(fitted, True, None))

@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.parallel import parallel_map
 from repro.streaming.online_em import WarmState
 from repro.streaming.tracker import (
@@ -40,6 +41,8 @@ from repro.streaming.tracker import (
 from repro.streaming.windows import ProbeWindow, SlidingWindowAssembler
 
 __all__ = ["MultiPathMonitor"]
+
+_LOG = obs.get_logger(__name__)
 
 
 def _analyze_task(task) -> WindowAnalysis:
@@ -109,7 +112,14 @@ class MultiPathMonitor:
         if probe_window is not None:
             if len(state.pending) == state.pending.maxlen:
                 state.dropped += 1
+                _LOG.warning(
+                    "path %r backlog full (max_pending=%d); dropping oldest "
+                    "pending window %d",
+                    path, self.max_pending, state.pending[0].index,
+                )
+                obs.inc("repro_windows_dropped_total")
             state.pending.append(probe_window)
+            obs.set_gauge("repro_pending_windows", self.n_pending)
 
     @property
     def n_pending(self) -> int:
@@ -146,6 +156,7 @@ class MultiPathMonitor:
             event = state.tracker.event_for(path, pw, analysis)
             self.events.append(event)
             events.append(event)
+        obs.set_gauge("repro_pending_windows", self.n_pending)
         return events
 
     def drain(self) -> List[VerdictEvent]:

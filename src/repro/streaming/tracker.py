@@ -25,11 +25,13 @@ parameters.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Deque, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.discretize import DelayDiscretizer
 from repro.core.distributions import DelayDistribution
 from repro.core.identify import (
@@ -52,6 +54,8 @@ __all__ = [
     "PathMonitor",
     "analyze_window",
 ]
+
+_LOG = obs.get_logger(__name__)
 
 
 class MonitorConfig:
@@ -271,6 +275,7 @@ class VerdictEvent:
         "analysis",
         "stable_verdict",
         "changed",
+        "lag_seconds",
     )
 
     def __init__(
@@ -288,6 +293,12 @@ class VerdictEvent:
         self.analysis = analysis
         self.stable_verdict = stable_verdict
         self.changed = bool(changed)
+        assembled_at = getattr(probe_window, "assembled_at", None)
+        #: wall-clock delay from window assembly to verdict emission
+        self.lag_seconds: Optional[float] = (
+            None if assembled_at is None
+            else max(0.0, time.monotonic() - assembled_at)
+        )
 
     def to_dict(self) -> dict:
         """Plain-JSON projection (the ``repro monitor`` JSONL schema)."""
@@ -313,7 +324,56 @@ class VerdictEvent:
             "n_iter": a.n_iter,
             "warm_start": a.warm_used,
             "fallback_reason": a.fallback_reason,
+            "lag_ms": None if self.lag_seconds is None
+            else round(self.lag_seconds * 1e3, 3),
         }
+
+
+def _skip_label(reason: Optional[str]) -> str:
+    """Metric label for a skip reason (``"degenerate: msg"`` and friends
+    collapse to their prefix so label cardinality stays bounded)."""
+    return str(reason or "unknown").split(":")[0].strip()
+
+
+def _record_window(event: VerdictEvent) -> None:
+    """Telemetry for one resolved window (analyzed or skipped)."""
+    a = event.analysis
+    if not a.analyzed:
+        _LOG.info(
+            "window %d on path %r skipped: %s",
+            event.window_index, event.path, a.reason,
+        )
+    elif event.changed:
+        _LOG.info(
+            "path %r stable verdict changed to %r at window %d",
+            event.path, event.stable_verdict, event.window_index,
+        )
+    if not obs.is_enabled():
+        return
+    if a.analyzed:
+        obs.inc("repro_windows_total")
+        obs.inc("repro_window_verdicts_total", 1.0, verdict=a.verdict)
+        if event.changed:
+            obs.inc("repro_verdict_changes_total")
+    else:
+        obs.inc("repro_windows_skipped_total", 1.0,
+                reason=_skip_label(a.reason))
+    if event.lag_seconds is not None:
+        obs.observe("repro_window_lag_seconds", event.lag_seconds)
+    obs.emit(
+        "window",
+        path=event.path,
+        window=event.window_index,
+        status=a.status,
+        reason=a.reason,
+        verdict=a.verdict,
+        stable_verdict=event.stable_verdict,
+        changed=event.changed,
+        warm_used=a.warm_used,
+        fallback_reason=a.fallback_reason,
+        lag_ms=None if event.lag_seconds is None
+        else round(event.lag_seconds * 1e3, 3),
+    )
 
 
 class VerdictTracker:
@@ -345,9 +405,11 @@ class VerdictTracker:
         changed = False
         if analysis.analyzed:
             changed = self.update(analysis.verdict)
-        return VerdictEvent(
+        event = VerdictEvent(
             path, probe_window, analysis, self.stable_verdict, changed
         )
+        _record_window(event)
+        return event
 
 
 class PathMonitor:

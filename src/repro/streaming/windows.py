@@ -13,6 +13,7 @@ records, so memory stays O(window) no matter how long the monitor runs.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Deque, Iterable, Iterator, Optional, Tuple
 
@@ -35,17 +36,24 @@ class ProbeWindow:
     observation:
         The window's records as the estimator-facing
         :class:`PathObservation`.
+    assembled_at:
+        ``time.monotonic()`` at window completion — the reference point
+        for the assembly-to-verdict lag the monitor reports.
     """
 
-    __slots__ = ("index", "start", "stop", "observation")
+    __slots__ = ("index", "start", "stop", "observation", "assembled_at")
 
     def __init__(
-        self, index: int, start: int, stop: int, observation: PathObservation
+        self, index: int, start: int, stop: int, observation: PathObservation,
+        assembled_at: Optional[float] = None,
     ):
         self.index = int(index)
         self.start = int(start)
         self.stop = int(stop)
         self.observation = observation
+        self.assembled_at = (
+            time.monotonic() if assembled_at is None else float(assembled_at)
+        )
 
     @property
     def time_range(self) -> Tuple[float, float]:

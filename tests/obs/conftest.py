@@ -1,0 +1,18 @@
+"""Shared guards for telemetry tests.
+
+Telemetry state is process-global; every test in this package runs
+against a known-off, empty registry and leaves it that way.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def telemetry_reset():
+    obs.disable()
+    obs.registry().clear()
+    yield
+    obs.disable()
+    obs.registry().clear()

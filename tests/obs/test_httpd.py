@@ -1,0 +1,79 @@
+"""Tests for the HTTP metrics scrape endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.httpd import MetricsServer
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def server():
+    registry = MetricsRegistry()
+    registry.describe("repro_windows_total", "Windows analysed.")
+    registry.inc("repro_windows_total", 4.0)
+    registry.observe("repro_span_seconds", 0.02, name="em.fit")
+    srv = MetricsServer(registry=registry, port=0).start()
+    yield srv
+    srv.close()
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read()
+
+
+class TestMetricsServer:
+    def test_ephemeral_port_is_bound_and_in_url(self, server):
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}/metrics"
+
+    def test_metrics_endpoint_serves_prometheus_text(self, server):
+        status, headers, body = get(server.url)
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        assert "# TYPE repro_windows_total counter" in text
+        assert "repro_windows_total 4" in text
+        assert 'repro_span_seconds_bucket{name="em.fit",le="+Inf"} 1' in text
+
+    def test_json_endpoint(self, server):
+        base = server.url.rsplit("/", 1)[0]
+        status, headers, body = get(f"{base}/metrics.json")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["counters"]["repro_windows_total"][0]["value"] == 4.0
+
+    def test_healthz(self, server):
+        base = server.url.rsplit("/", 1)[0]
+        status, _, body = get(f"{base}/healthz")
+        assert status == 200
+        assert body == b"ok\n"
+
+    def test_unknown_path_is_404(self, server):
+        base = server.url.rsplit("/", 1)[0]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get(f"{base}/nope")
+        assert excinfo.value.code == 404
+
+    def test_scrape_reflects_live_updates(self):
+        registry = MetricsRegistry()
+        srv = MetricsServer(registry=registry, port=0).start()
+        try:
+            registry.inc("repro_windows_total")
+            _, _, body = get(srv.url)
+            assert "repro_windows_total 1" in body.decode()
+            registry.inc("repro_windows_total")
+            _, _, body = get(srv.url)
+            assert "repro_windows_total 2" in body.decode()
+        finally:
+            srv.close()
+
+    def test_close_is_idempotent(self):
+        srv = MetricsServer(registry=MetricsRegistry(), port=0).start()
+        srv.close()
+        srv.close()

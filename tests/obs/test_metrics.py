@@ -1,0 +1,217 @@
+"""Unit tests for the metrics registry, exporters, and snapshot merging."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+def parse_prometheus(text):
+    """Parse the text exposition format into {type: ..., samples: {...}}.
+
+    A deliberately independent mini-parser: if the exporter drifts from
+    the format, this fails rather than agreeing with the bug.
+    """
+    types = {}
+    helps = {}
+    samples = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            helps[name] = help_text
+            continue
+        assert not line.startswith("#"), f"unknown comment line: {line!r}"
+        name_labels, value = line.rsplit(" ", 1)
+        samples[name_labels] = float(value.replace("+Inf", "inf"))
+    return {"types": types, "helps": helps, "samples": samples}
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("c_total")
+        reg.inc("c_total", 2.5)
+        assert reg.counter_value("c_total") == pytest.approx(3.5)
+
+    def test_labels_are_order_insensitive(self):
+        reg = MetricsRegistry()
+        reg.inc("c_total", 1.0, a="x", b="y")
+        reg.inc("c_total", 1.0, b="y", a="x")
+        assert reg.counter_value("c_total", a="x", b="y") == 2.0
+
+    def test_label_values_are_stringified(self):
+        reg = MetricsRegistry()
+        reg.inc("c_total", 1.0, n=3)
+        assert reg.counter_value("c_total", n="3") == 1.0
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="only go up"):
+            reg.inc("c_total", -1.0)
+
+    def test_reserved_looking_label_names_pass_through(self):
+        # `name` is positional-only in the API precisely so a label can
+        # use it (span histograms are labelled name=<span name>).
+        reg = MetricsRegistry()
+        reg.inc("c_total", 1.0, name="em.fit")
+        assert reg.counter_value("c_total", name="em.fit") == 1.0
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("nope_total") == 0.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 4)
+        reg.set_gauge("g", 2)
+        assert reg.gauge_value("g") == 2.0
+
+    def test_unset_gauge_is_none(self):
+        assert MetricsRegistry().gauge_value("g") is None
+
+
+class TestHistograms:
+    def test_bucketing_and_totals(self):
+        reg = MetricsRegistry()
+        reg.describe("h_seconds", "test", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            reg.observe("h_seconds", value)
+        assert reg.histogram_count("h_seconds") == 4
+        snap = reg.snapshot()
+        buckets, counts, total, count = snap["histograms"][("h_seconds", ())]
+        assert buckets == (0.1, 1.0)
+        assert counts == [1, 2, 1]  # <=0.1, <=1.0, +Inf
+        assert total == pytest.approx(6.05)
+        assert count == 4
+
+    def test_default_buckets_cover_span_range(self):
+        reg = MetricsRegistry()
+        reg.observe("h_seconds", 0.0005)
+        reg.observe("h_seconds", 29.0)
+        snap = reg.snapshot()
+        buckets, counts, _, _ = snap["histograms"][("h_seconds", ())]
+        assert buckets == DEFAULT_BUCKETS
+        assert counts[0] == 1  # sub-ms lands in the first bucket
+        assert counts[-2] == 1  # 29 s fits under the 30 s edge
+        assert counts[-1] == 0  # nothing overflowed to +Inf
+
+
+class TestSnapshotDeltaMerge:
+    def test_delta_contains_only_changes(self):
+        reg = MetricsRegistry()
+        reg.inc("a_total")
+        reg.set_gauge("g", 1.0)
+        before = reg.snapshot()
+        reg.inc("b_total", 2.0)
+        reg.observe("h_seconds", 0.2)
+        delta = reg.delta(before)
+        assert list(delta["counters"]) == [("b_total", ())]
+        assert delta["gauges"] == {}  # unchanged gauge not carried
+        assert list(delta["histograms"]) == [("h_seconds", ())]
+
+    def test_merge_of_split_work_equals_inline_work(self):
+        # The parallel_map contract: running tasks elsewhere and merging
+        # their deltas in task order reproduces the single-process state.
+        def run_task(reg, task_id):
+            reg.inc("fits_total", 1.0, model="mmhd")
+            reg.set_gauge("pending", float(task_id))
+            reg.observe("dur_seconds", 0.1 * (task_id + 1))
+
+        inline = MetricsRegistry()
+        for task_id in range(4):
+            run_task(inline, task_id)
+
+        parent = MetricsRegistry()
+        deltas = []
+        for task_id in range(4):
+            worker = MetricsRegistry()  # each task sees a fresh delta base
+            before = worker.snapshot()
+            run_task(worker, task_id)
+            deltas.append(worker.delta(before))
+        for delta in deltas:
+            parent.merge(delta)
+
+        assert parent.snapshot() == inline.snapshot()
+
+    def test_gauge_merge_is_last_writer_in_task_order(self):
+        parent = MetricsRegistry()
+        for value in (3.0, 7.0):
+            worker = MetricsRegistry()
+            before = worker.snapshot()
+            worker.set_gauge("pending", value)
+            parent.merge(worker.delta(before))
+        assert parent.gauge_value("pending") == 7.0
+
+    def test_snapshot_is_picklable_and_json_safe_keys(self):
+        import pickle
+
+        reg = MetricsRegistry()
+        reg.inc("a_total", 1.0, model="hmm")
+        reg.observe("h_seconds", 0.3)
+        blob = pickle.dumps(reg.snapshot())
+        assert pickle.loads(blob) == reg.snapshot()
+
+
+class TestExporters:
+    def test_prometheus_round_trip(self):
+        reg = MetricsRegistry()
+        reg.describe("fits_total", "Fits run.")
+        reg.inc("fits_total", 3.0, model="mmhd")
+        reg.set_gauge("pending", 2.0)
+        reg.describe("dur_seconds", "Durations.", buckets=(0.1, 1.0))
+        reg.observe("dur_seconds", 0.05)
+        reg.observe("dur_seconds", 0.5)
+
+        parsed = parse_prometheus(reg.to_prometheus())
+        assert parsed["types"] == {"fits_total": "counter",
+                                   "pending": "gauge",
+                                   "dur_seconds": "histogram"}
+        assert parsed["helps"]["fits_total"] == "Fits run."
+        samples = parsed["samples"]
+        assert samples['fits_total{model="mmhd"}'] == 3.0
+        assert samples["pending"] == 2.0
+        # Histogram buckets are cumulative and end at +Inf.
+        assert samples['dur_seconds_bucket{le="0.1"}'] == 1.0
+        assert samples['dur_seconds_bucket{le="1"}'] == 2.0
+        assert samples['dur_seconds_bucket{le="+Inf"}'] == 2.0
+        assert samples["dur_seconds_sum"] == pytest.approx(0.55)
+        assert samples["dur_seconds_count"] == 2.0
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.inc("c_total", 1.0, reason='say "hi"\nback\\slash')
+        text = reg.to_prometheus()
+        assert '\\"hi\\"' in text
+        assert "\\n" in text
+        assert "\\\\slash" in text
+        assert text.count("\n") == len(text.splitlines())
+
+    def test_empty_registry_exports_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_json_projection(self):
+        reg = MetricsRegistry()
+        reg.inc("fits_total", 2.0, model="hmm")
+        reg.observe("dur_seconds", 0.2)
+        out = json.loads(json.dumps(reg.to_json()))  # must be JSON-able
+        assert out["counters"]["fits_total"] == [
+            {"labels": {"model": "hmm"}, "value": 2.0}
+        ]
+        hist = out["histograms"]["dur_seconds"][0]
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(0.2)
+        assert len(hist["counts"]) == len(hist["buckets"]) + 1
+
+    def test_infinity_formats_as_prometheus_inf(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", math.inf)
+        assert "g +Inf" in reg.to_prometheus()

@@ -1,0 +1,83 @@
+"""Tests for the telemetry catalog: validation and preregistration."""
+
+from repro.obs import schema
+from repro.obs.metrics import MetricsRegistry
+
+
+def minimal_event(kind):
+    _, required = schema.EVENT_KINDS[kind]
+    event = {"ts": 1.0, "wall": 2.0, "pid": 3, "kind": kind}
+    event.update({field: None for field in required})
+    return event
+
+
+class TestValidateEvent:
+    def test_every_cataloged_kind_has_a_valid_minimal_event(self):
+        for kind in schema.EVENT_KINDS:
+            assert schema.validate_event(minimal_event(kind)) == []
+
+    def test_missing_envelope_field(self):
+        event = minimal_event("span")
+        del event["pid"]
+        assert schema.validate_event(event) == ["missing envelope field 'pid'"]
+
+    def test_unknown_kind(self):
+        problems = schema.validate_event(
+            {"ts": 1.0, "wall": 2.0, "pid": 3, "kind": "mystery"}
+        )
+        assert problems == ["unknown kind 'mystery'"]
+
+    def test_missing_payload_field(self):
+        event = minimal_event("streaming.fit")
+        del event["fallback_reason"]
+        assert schema.validate_event(event) == [
+            "streaming.fit: missing field 'fallback_reason'"
+        ]
+
+
+class TestCatalogConsistency:
+    def test_metric_names_follow_prometheus_conventions(self):
+        for name, kind, _labels, help_text in schema.METRICS:
+            assert name.startswith("repro_")
+            assert kind in ("counter", "gauge", "histogram")
+            assert help_text.endswith(".")
+            if kind == "counter":
+                assert name.endswith("_total"), name
+            if kind == "histogram":
+                assert name.endswith("_seconds"), name
+
+    def test_monitor_series_reference_cataloged_families(self):
+        cataloged = {name: labels for name, _, labels, _ in schema.METRICS}
+        for name, label_sets in schema.MONITOR_SERIES:
+            assert name in cataloged
+            for labels in label_sets:
+                assert set(labels) == set(cataloged[name])
+
+
+class TestPreregister:
+    def test_creates_zero_valued_monitor_series(self):
+        registry = MetricsRegistry()
+        schema.preregister(registry)
+        assert registry.counter_value(
+            "repro_streaming_fallbacks_total", reason="non-monotone") == 0.0
+        assert registry.counter_value(
+            "repro_window_verdicts_total", verdict="strong") == 0.0
+        families = registry.family_names()
+        for name, _ in schema.MONITOR_SERIES:
+            assert name in families
+
+    def test_scrape_sees_families_before_first_increment(self):
+        registry = MetricsRegistry()
+        schema.preregister(registry)
+        text = registry.to_prometheus()
+        assert 'repro_streaming_fallbacks_total{reason="zero-likelihood"} 0' \
+            in text
+        assert "# HELP repro_windows_total" in text
+        assert "# TYPE repro_window_verdicts_total counter" in text
+
+    def test_preregister_is_idempotent(self):
+        registry = MetricsRegistry()
+        schema.preregister(registry)
+        registry.inc("repro_windows_total", 3.0)
+        schema.preregister(registry)  # inc(0) must not reset anything
+        assert registry.counter_value("repro_windows_total") == 3.0

@@ -1,0 +1,76 @@
+"""Unit tests for nested span timing."""
+
+import io
+import json
+
+from repro import obs
+from repro.obs.schema import validate_event
+
+
+def stream_events(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestDisabled:
+    def test_yields_none_and_records_nothing(self):
+        with obs.span("em.fit", model="mmhd") as span_id:
+            assert span_id is None
+            assert obs.current_span_id() is None
+        assert obs.registry().histogram_count(obs.SPAN_SECONDS,
+                                              name="em.fit") == 0
+
+
+class TestEnabled:
+    def test_span_event_and_histogram(self):
+        stream = io.StringIO()
+        obs.enable(events=stream)
+        with obs.span("em.fit", model="mmhd", n_restarts=3) as span_id:
+            assert span_id is not None
+        (event,) = stream_events(stream)
+        assert validate_event(event) == []
+        assert event["name"] == "em.fit"
+        assert event["span"] == span_id
+        assert event["parent"] is None
+        assert event["dur_ms"] >= 0.0
+        assert event["model"] == "mmhd"
+        assert event["n_restarts"] == 3
+        assert obs.registry().histogram_count(obs.SPAN_SECONDS,
+                                              name="em.fit") == 1
+
+    def test_nesting_links_parent_ids(self):
+        stream = io.StringIO()
+        obs.enable(events=stream)
+        with obs.span("outer") as outer_id:
+            assert obs.current_span_id() == outer_id
+            with obs.span("inner") as inner_id:
+                assert obs.current_span_id() == inner_id
+        assert obs.current_span_id() is None
+        inner, outer = stream_events(stream)  # inner closes first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer_id
+        assert outer["name"] == "outer"
+        assert outer["parent"] is None
+        assert inner_id != outer_id
+
+    def test_stack_unwinds_on_exception(self):
+        obs.enable()
+        try:
+            with obs.span("fails"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert obs.current_span_id() is None
+        # The failed span still recorded its duration.
+        assert obs.registry().histogram_count(obs.SPAN_SECONDS,
+                                              name="fails") == 1
+
+    def test_span_ids_are_unique_and_pid_scoped(self):
+        import os
+
+        obs.enable()
+        ids = set()
+        for _ in range(5):
+            with obs.span("x") as span_id:
+                ids.add(span_id)
+        assert len(ids) == 5
+        assert all(i.startswith(f"{os.getpid():x}-") for i in ids)

@@ -1,0 +1,106 @@
+"""Tests for the ``repro stats`` summarizer against a golden fixture."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.schema import validate_event
+from repro.obs.stats import format_summary, summarize_events
+
+GOLDEN = Path(__file__).parent / "data" / "telemetry_golden.jsonl"
+
+GOLDEN_TEXT = """\
+events: 12 (1 unparseable)
+  by kind: em.fit=1, em.restart=2, span=3, streaming.fit=3, window=3
+spans (total time, by name):
+  em.fit: 2x, total 200.0 ms, mean 100.0 ms, max 120.0 ms
+  streaming.fit: 1x, total 5.5 ms, mean 5.5 ms, max 5.5 ms
+slowest spans:
+  120.0 ms  em.fit  [1-1]
+  80.0 ms  em.fit  [1-2]
+  5.5 ms  streaming.fit  [1-3]
+streaming fits: 3 (warm 2, cold 1, warm rate 67%)
+  fallbacks: non-monotone=1 (rate 33.3%)
+windows: 3 (analyzed 2, skipped 1)
+  skip reasons: degenerate=1
+  verdicts: strong=2
+  stable-verdict flips: 1
+EM: 1 fits, 2 restarts (1 hit max_iter, 1 non-monotone)
+  max restart loglik dispersion: 0.5000"""
+
+
+class TestGoldenFixture:
+    def test_fixture_events_are_schema_valid(self):
+        import json
+
+        lines = GOLDEN.read_text().splitlines()
+        parsed = []
+        for line in lines:
+            try:
+                parsed.append(json.loads(line))
+            except json.JSONDecodeError:
+                pass
+        assert len(parsed) == 12  # the 13th line is deliberately torn
+        for event in parsed:
+            assert validate_event(event) == [], event
+
+    def test_summary_numbers(self):
+        summary = summarize_events(GOLDEN)
+        assert summary["n_events"] == 12
+        assert summary["n_unparseable"] == 1
+        assert summary["by_kind"] == {
+            "em.fit": 1, "em.restart": 2, "span": 3,
+            "streaming.fit": 3, "window": 3,
+        }
+        assert summary["spans"]["by_name"]["em.fit"] == {
+            "count": 2, "total_ms": 200.0, "mean_ms": 100.0, "max_ms": 120.0,
+        }
+        assert [s["dur_ms"] for s in summary["spans"]["slowest"]] == [
+            120.0, 80.0, 5.5,
+        ]
+        assert summary["streaming"] == {
+            "fits": 3, "warm": 2, "cold": 1,
+            "warm_rate": pytest.approx(0.6667),
+            "fallbacks": {"non-monotone": 1},
+            "fallback_rate": pytest.approx(0.3333),
+        }
+        assert summary["windows"] == {
+            "total": 3, "analyzed": 2, "skipped": 1,
+            "skip_reasons": {"degenerate": 1},
+            "verdicts": {"strong": 2},
+            "verdict_flips": 1,
+        }
+        assert summary["em"] == {
+            "fits": 1, "restarts": 2, "nonconverged_restarts": 1,
+            "nonmonotone_restarts": 1,
+            "max_loglik_dispersion": 0.5,
+        }
+
+    def test_formatted_output_is_stable(self):
+        assert format_summary(summarize_events(GOLDEN)) == GOLDEN_TEXT
+
+    def test_top_limits_slowest_list(self):
+        summary = summarize_events(GOLDEN, top=1)
+        assert [s["dur_ms"] for s in summary["spans"]["slowest"]] == [120.0]
+
+
+class TestEdgeCases:
+    def test_accepts_an_iterable_of_lines(self):
+        lines = ['{"ts": 1, "wall": 1, "pid": 1, "kind": "window", '
+                 '"status": "ok", "verdict": "weak", "changed": false}']
+        summary = summarize_events(lines)
+        assert summary["windows"]["verdicts"] == {"weak": 1}
+
+    def test_empty_file_summarizes_to_zeroes(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        summary = summarize_events(empty)
+        assert summary["n_events"] == 0
+        assert summary["streaming"]["warm_rate"] is None
+        assert summary["em"]["max_loglik_dispersion"] is None
+        assert format_summary(summary) == "events: 0"
+
+    def test_blank_lines_are_ignored(self):
+        summary = summarize_events(["", "  ", "\n"])
+        assert summary["n_events"] == 0
+        assert summary["n_unparseable"] == 0

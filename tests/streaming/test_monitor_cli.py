@@ -107,5 +107,5 @@ class TestEvents:
             "path", "window", "probe_range", "time_range", "status",
             "reason", "verdict", "stable_verdict", "changed", "g_pmf",
             "d_star", "bound_seconds", "loss_rate", "log_likelihood",
-            "n_iter", "warm_start", "fallback_reason",
+            "n_iter", "warm_start", "fallback_reason", "lag_ms",
         }

@@ -20,7 +20,13 @@ def fast_config(**overrides):
 
 
 def event_dicts(events):
-    return [json.dumps(e.to_dict(), sort_keys=True) for e in events]
+    """Comparable projections: drop wall-clock timing (inherently noisy)."""
+    dicts = []
+    for e in events:
+        d = e.to_dict()
+        d.pop("lag_ms", None)
+        dicts.append(json.dumps(d, sort_keys=True))
+    return dicts
 
 
 class TestDeterminism:

@@ -1,11 +1,15 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 from repro.measurement.traceio import load_observation, save_observation
 from repro.netsim.trace import PathObservation
+from repro.obs.schema import validate_event
 
 
 def strong_csv(tmp_path, n=2000, q_k=0.1, seed=0):
@@ -36,6 +40,27 @@ class TestParser:
         parser.parse_args(["bound", "obs.csv", "--verdict", "strong"])
         parser.parse_args(["clock", "obs.csv", "--out", "y.csv"])
         parser.parse_args(["pinpoint", "trace.npz"])
+        parser.parse_args(["monitor", "obs.csv"])
+        parser.parse_args(["stats", "events.jsonl", "--top", "3", "--json"])
+
+    def test_bare_demo_defaults_to_8000_probes(self):
+        parser = build_parser()
+        assert parser.parse_args(["monitor", "--demo"]).demo == 8000
+        assert parser.parse_args(["monitor", "--demo", "500"]).demo == 500
+        assert parser.parse_args(["monitor", "x.csv"]).demo is None
+
+    def test_telemetry_and_metrics_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "monitor", "--demo", "--telemetry", "t.jsonl",
+            "--metrics-file", "m.prom", "--metrics-port", "0",
+        ])
+        assert args.telemetry == "t.jsonl"
+        assert args.metrics_file == "m.prom"
+        assert args.metrics_port == 0
+        assert parser.parse_args(["identify", "x.csv"]).telemetry is None
+        assert parser.parse_args(
+            ["--log-level", "info", "identify", "x.csv"]).log_level == "info"
 
     def test_unknown_scenario_exits(self, tmp_path):
         with pytest.raises(SystemExit):
@@ -80,6 +105,73 @@ class TestCommands:
         late = np.nanmean(repaired.delays[-300:])
         assert abs(late - early) < 0.005
 
+class TestTelemetry:
+    MONITOR_ARGS = [
+        "monitor", "--demo", "1500", "--window", "600", "--hop", "300",
+        "--hidden", "1", "--no-stationarity-gate", "--max-windows", "3",
+    ]
+
+    def test_monitor_metrics_file_has_required_series(self, tmp_path, capsys):
+        prom = tmp_path / "out.prom"
+        code = main(self.MONITOR_ARGS + ["--metrics-file", str(prom)])
+        assert code == 0
+        assert not obs.is_enabled()  # main() turns its telemetry back off
+        text = prom.read_text()
+        # Preregistration guarantees the series the CI job scrapes for,
+        # even before the first fallback or verdict flip.
+        assert 'repro_streaming_fallbacks_total{reason="non-monotone"}' in text
+        assert 'repro_window_verdicts_total{verdict="strong"}' in text
+        assert "# TYPE repro_windows_total counter" in text
+        # Windows actually ran, and stdout stayed pure JSONL.
+        events = [json.loads(line)
+                  for line in capsys.readouterr().out.splitlines()]
+        assert len(events) == 3
+        assert all("verdict" in event for event in events)
+
+    def test_monitor_metrics_port_prints_scrape_url(self, tmp_path, capsys):
+        code = main(self.MONITOR_ARGS + ["--metrics-port", "0"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "metrics: http://127.0.0.1:" in err
+
+    def test_telemetry_file_then_stats(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        code = main(self.MONITOR_ARGS + ["--telemetry", str(events_path)])
+        assert code == 0
+        capsys.readouterr()
+        events = [json.loads(line)
+                  for line in events_path.read_text().splitlines()]
+        assert events
+        for event in events:
+            assert validate_event(event) == [], event
+        assert {"span", "streaming.fit", "window"} <= {
+            e["kind"] for e in events
+        }
+
+        assert main(["stats", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out
+        assert "windows:" in out
+
+        assert main(["stats", str(events_path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_events"] == len(events)
+        assert summary["windows"]["total"] >= 3
+
+    def test_identify_telemetry_records_em_events(self, tmp_path, capsys):
+        csv_path = strong_csv(tmp_path)
+        events_path = tmp_path / "events.jsonl"
+        code = main(["identify", str(csv_path), "--hidden", "1",
+                     "--telemetry", str(events_path)])
+        assert code == 0
+        kinds = [json.loads(line)["kind"]
+                 for line in events_path.read_text().splitlines()]
+        assert "em.fit" in kinds
+        assert "em.restart" in kinds
+        assert "span" in kinds
+
+
+class TestSlowCommands:
     @pytest.mark.slow
     def test_simulate_then_identify_then_pinpoint(self, tmp_path, capsys):
         obs_path = tmp_path / "sim.csv"

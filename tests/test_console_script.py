@@ -1,0 +1,42 @@
+"""Smoke tests for the packaged ``repro`` console entry point."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def load_pyproject():
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11
+        import pytest
+
+        pytest.skip("tomllib unavailable")
+    return tomllib.loads((REPO / "pyproject.toml").read_text())
+
+
+class TestEntryPoint:
+    def test_pyproject_declares_the_script(self):
+        project = load_pyproject()["project"]
+        assert project["scripts"] == {"repro": "repro.cli:main"}
+
+    def test_target_resolves_to_a_callable(self):
+        module_name, _, attr = "repro.cli:main".partition(":")
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert callable(getattr(module, attr))
+
+    def test_python_m_repro_help(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert result.returncode == 0
+        for command in ("simulate", "identify", "monitor", "stats"):
+            assert command in result.stdout
