@@ -1,16 +1,28 @@
-"""Fitting-performance benchmark: serial fast path vs dense vs parallel.
+"""Fitting-performance benchmark: E-step engines, fast path, parallelism.
 
 Times the EM fitting layer on the Table II strong-DCL probe trace:
 
 * ``mmhd_serial_fast`` — 4-restart MMHD fit, one process, structured
-  (support-restricted) E-step.  This is the number the CI smoke guards.
+  (support-restricted) E-step, **sequential engine**.  This is the
+  number the CI smoke guards, pinned to ``backend="sequential"`` so it
+  stays comparable to baselines committed before the batched engine.
 * ``mmhd_serial_dense`` — same fit with ``fast_path=False``: the dense
   reference E-step, computation-equivalent to the pre-optimisation code.
-  ``fast_path_speedup`` is the single-core win of this PR.
+  ``fast_path_speedup`` is the single-core win of the fast-path PR.
 * ``mmhd_parallel`` — same fit with ``n_jobs=4`` restart fan-out.
   ``parallel_speedup`` only exceeds 1 on multi-core machines; the JSON
   records ``cpu_count`` so readers can interpret it.
 * ``hmm_serial`` — 4-restart HMM fit for cross-model context.
+
+The ``backend_matrix`` section is the sequential-vs-batched-vs-pool
+comparison at the default 8-restart configuration: per model it times
+the sequential per-restart engine ("before"), the batched
+restart-stacked engine ("after"), and the composed pool+batch fan-out,
+asserts the two engines pick the identical winning restart (tolerance
+zero on the argmax) with final log-likelihoods within 1e-9 relative,
+and reports ``batched_speedup``.  ``--min-batched-speedup X`` turns
+that number into a CI gate: exit non-zero if the HMM batched speedup
+drops below ``X`` or the engines diverge numerically.
 
 The ``telemetry`` section quantifies the observability tax: per-call cost
 of each disabled instrumentation entry point, the number of telemetry
@@ -47,12 +59,17 @@ from repro import obs  # noqa: E402
 from repro.core.discretize import DelayDiscretizer  # noqa: E402
 from repro.experiments.runner import run_scenario  # noqa: E402
 from repro.experiments.scenarios import strong_dcl_scenario  # noqa: E402
-from repro.models.hmm import fit_hmm  # noqa: E402
-from repro.models.mmhd import fit_mmhd  # noqa: E402
+from repro.models.base import SymbolIndex  # noqa: E402
+from repro.models.batched import batched_restart_fits  # noqa: E402
+from repro.models.hmm import _fit_hmm_restart, fit_hmm  # noqa: E402
+from repro.models.mmhd import _fit_mmhd_restart, fit_mmhd  # noqa: E402
 from repro.parallel import shutdown_pools  # noqa: E402
 
 N_RESTARTS = 4
 PARALLEL_JOBS = 4
+#: Restart count of the backend matrix — the default multi-restart
+#: configuration the batched-engine speedup target is stated against.
+MATRIX_RESTARTS = 8
 BASELINE_PATH = common.OUTPUT_DIR / "BENCH_fitting.json"
 #: CI may only tolerate this much slowdown of the guarded serial timing.
 MAX_REGRESSION = 2.0
@@ -182,13 +199,85 @@ def bench_telemetry(seq, serial_config, disabled_fit_seconds) -> dict:
     }
 
 
+def bench_backend_matrix(seq) -> dict:
+    """Sequential vs batched vs pool at the default restart count.
+
+    The sequential and batched engines run restart by restart through
+    their internal entry points, which yields the per-restart fits both
+    timings *and* the identity checks need — identical winning restart
+    (tolerance 0 on the argmax), final log-likelihood within 1e-9
+    relative, and matching delay PMFs.  The pool row is the composed
+    fan-out (each worker batching its restart shard) through the public
+    fitter.
+    """
+    matrix = {"n_restarts": MATRIX_RESTARTS, "pool_n_jobs": PARALLEL_JOBS}
+    workers = {"hmm": _fit_hmm_restart, "mmhd": _fit_mmhd_restart}
+    fitters = {"hmm": fit_hmm, "mmhd": fit_mmhd}
+    base = common.em_config().replace(n_restarts=MATRIX_RESTARTS, n_jobs=1)
+    for kind in ("hmm", "mmhd"):
+        seq_config = base.replace(backend="sequential")
+
+        def run_sequential(config=seq_config, worker=workers[kind]):
+            index = SymbolIndex(seq)
+            return [worker((seq, 2, config, r, index))
+                    for r in range(MATRIX_RESTARTS)]
+
+        sequential_seconds, seq_fits = _time(run_sequential)
+        batched_seconds, batched_fits = _time(
+            lambda: batched_restart_fits(
+                kind, seq, 2, base.replace(backend="batched")
+            )
+        )
+        pool_seconds, _ = _time(
+            lambda: fitters[kind](seq, n_hidden=2, config=base.replace(
+                backend="batched", n_jobs=PARALLEL_JOBS))
+        )
+        seq_logliks = np.array([f.log_likelihood for f in seq_fits])
+        batched_logliks = np.array([f.log_likelihood for f in batched_fits])
+        winner = int(seq_logliks.argmax())
+        same_winner = winner == int(batched_logliks.argmax())
+        loglik_rel_diff = float(np.max(
+            np.abs(batched_logliks - seq_logliks) / np.abs(seq_logliks)
+        ))
+        pmf_agree = np.allclose(
+            seq_fits[winner].virtual_delay_pmf,
+            batched_fits[winner].virtual_delay_pmf,
+            rtol=1e-9, atol=1e-12,
+        )
+        matrix[kind] = {
+            "sequential_seconds": round(sequential_seconds, 4),
+            "batched_seconds": round(batched_seconds, 4),
+            "pool_seconds": round(pool_seconds, 4),
+            "batched_speedup": round(sequential_seconds / batched_seconds, 3),
+            "pool_speedup": round(sequential_seconds / pool_seconds, 3),
+            "best_restart": winner,
+            "best_restart_identical": bool(same_winner),
+            "loglik_rel_diff": loglik_rel_diff,
+            "pmf_agree": bool(pmf_agree),
+        }
+        assert same_winner, f"{kind}: engines picked different winning restarts"
+        assert loglik_rel_diff <= 1e-9, (
+            f"{kind}: backends diverged numerically "
+            f"(rel diff {loglik_rel_diff:.2e})"
+        )
+        assert pmf_agree, f"{kind}: delay PMFs diverged between backends"
+    return matrix
+
+
 def run_benchmark() -> dict:
     seq = _observation_sequence()
     base = common.em_config().replace(n_restarts=N_RESTARTS)
 
-    serial_fast = base.replace(n_jobs=1, fast_path=True)
-    serial_dense = base.replace(n_jobs=1, fast_path=False)
-    parallel = base.replace(n_jobs=PARALLEL_JOBS, fast_path=True)
+    # The legacy cases pin backend="sequential": their committed
+    # baselines predate the batched engine, and the CI regression guard
+    # on mmhd_serial_fast must keep measuring the same code path.  The
+    # batched engine gets its own before/after matrix below.
+    serial_fast = base.replace(n_jobs=1, fast_path=True,
+                               backend="sequential")
+    serial_dense = base.replace(n_jobs=1, fast_path=False,
+                                backend="sequential")
+    parallel = base.replace(n_jobs=PARALLEL_JOBS, fast_path=True,
+                            backend="sequential")
 
     # Warm the worker pool and the numpy/BLAS caches outside the timed
     # region, so the parallel number reflects steady-state fan-out (not
@@ -197,6 +286,8 @@ def run_benchmark() -> dict:
     fit_mmhd(seq, n_hidden=2, config=parallel.replace(**warm))
     fit_mmhd(seq, n_hidden=2, config=serial_fast.replace(**warm))
     fit_mmhd(seq, n_hidden=2, config=serial_dense.replace(**warm))
+    fit_mmhd(seq, n_hidden=2, config=parallel.replace(
+        backend="batched", **warm))
 
     cases = {
         "mmhd_serial_fast": lambda: fit_mmhd(seq, n_hidden=2,
@@ -234,6 +325,8 @@ def run_benchmark() -> dict:
         f"{MAX_DISABLED_OVERHEAD:.0%} budget"
     )
 
+    backend_matrix = bench_backend_matrix(seq)
+
     return {
         "scale": common.SCALE,
         "cpu_count": os.cpu_count(),
@@ -250,6 +343,7 @@ def run_benchmark() -> dict:
             timings["mmhd_serial_fast"] / timings["mmhd_parallel"], 3),
         "serial_parallel_identical": bool(identical),
         "fast_dense_agree": bool(fast_vs_dense),
+        "backend_matrix": backend_matrix,
         "telemetry": telemetry,
         "mmhd_fit": _fit_summary(fit_serial),
     }
@@ -277,11 +371,34 @@ def check_baseline(report: dict) -> int:
     return 0
 
 
+def check_batched_speedup(report: dict, minimum: float) -> int:
+    """CI gate on the batched engine: numeric divergence already raised
+    inside :func:`bench_backend_matrix`; here only speed can fail."""
+    status = 0
+    for kind in ("hmm", "mmhd"):
+        speedup = report["backend_matrix"][kind]["batched_speedup"]
+        print(f"{kind}: batched engine speedup {speedup:.2f}x "
+              f"(minimum {minimum:.2f}x)")
+    hmm_speedup = report["backend_matrix"]["hmm"]["batched_speedup"]
+    if hmm_speedup < minimum:
+        print(f"FAIL: HMM batched speedup {hmm_speedup:.2f}x is below "
+              f"the {minimum:.2f}x floor")
+        status = 1
+    else:
+        print("OK: batched engine meets the speedup floor")
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--check-baseline", action="store_true",
         help="compare against the committed JSON instead of replacing it",
+    )
+    parser.add_argument(
+        "--min-batched-speedup", type=float, metavar="X",
+        help="exit non-zero if the HMM batched/sequential speedup in the "
+             "backend matrix falls below X",
     )
     args = parser.parse_args(argv)
 
@@ -289,11 +406,13 @@ def main(argv=None) -> int:
     shutdown_pools()
     print(json.dumps(report, indent=2))
 
+    status = 0
+    if args.min_batched_speedup is not None:
+        status |= check_batched_speedup(report, args.min_batched_speedup)
     if args.check_baseline:
-        status = check_baseline(report)
+        status |= check_baseline(report)
         out = BASELINE_PATH.with_suffix(".check.json")
     else:
-        status = 0
         out = BASELINE_PATH
     common.OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2) + "\n")

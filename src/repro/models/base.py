@@ -8,7 +8,8 @@ models index symbols ``0..M-1``; the public surface keeps the paper's
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import os
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -227,7 +228,25 @@ class EMConfig:
         dense reference E-step (``False``) computes the same quantities
         the textbook way; it exists for cross-checking and benchmarking
         and agrees with the fast path to floating-point round-off.
+    backend:
+        E-step execution engine for multi-restart fits.  ``"sequential"``
+        runs one forward-backward per restart (the classic per-restart
+        loop); ``"batched"`` stacks all restarts of a fit into ``(R, ...)``
+        parameter tensors and runs ONE forward-backward over the batch,
+        so the Python time loop executes ``T`` batched matmul steps
+        instead of ``R x T`` scalar matvecs (restarts that converge are
+        masked out of the batch, frozen, until all finish).  ``"auto"``
+        (default) picks by the documented heuristic in
+        :mod:`repro.models.batched`: batched for small state widths,
+        sequential for wide ones.  ``None`` reads the
+        ``REPRO_EM_BACKEND`` environment variable (falling back to
+        ``"auto"``).  Both backends produce the same winning restart and
+        agree on every statistic to floating-point round-off; with
+        ``n_jobs > 1`` they compose — each pool worker runs its restart
+        shard through the selected engine.
     """
+
+    BACKENDS = ("auto", "batched", "sequential")
 
     def __init__(
         self,
@@ -242,6 +261,7 @@ class EMConfig:
         loss_prior_observations: float = 50.0,
         n_jobs: int = 1,
         fast_path: bool = True,
+        backend: Optional[str] = None,
     ):
         if tol <= 0:
             raise ValueError(f"tol must be positive, got {tol}")
@@ -266,6 +286,13 @@ class EMConfig:
             raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
         self.n_jobs = 1 if n_jobs is None else int(n_jobs)
         self.fast_path = bool(fast_path)
+        if backend is None:
+            backend = os.environ.get("REPRO_EM_BACKEND") or "auto"
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"backend must be one of {self.BACKENDS}, got {backend!r}"
+            )
+        self.backend = backend
 
     def replace(self, **overrides) -> "EMConfig":
         """A copy of this config with the given fields overridden.
@@ -286,6 +313,7 @@ class EMConfig:
             loss_prior_observations=self.loss_prior_observations,
             n_jobs=self.n_jobs,
             fast_path=self.fast_path,
+            backend=self.backend,
         )
         unknown = set(overrides) - set(fields)
         if unknown:
@@ -355,12 +383,15 @@ def require_losses(seq: ObservationSequence, what: str) -> None:
 def floor_and_normalize(matrix: np.ndarray, min_prob: float) -> np.ndarray:
     """Clamp probabilities to at least ``min_prob`` and renormalise rows.
 
-    Works for 1-D (distributions) and 2-D (stochastic matrices, row-wise).
+    Works for 1-D (distributions), 2-D (stochastic matrices, row-wise)
+    and batched stacks thereof (normalisation is over the last axis), so
+    the batched E-step engine applies the identical M-step flooring to a
+    whole restart stack at once.
     """
     floored = np.maximum(matrix, min_prob)
     if floored.ndim == 1:
         return floored / floored.sum()
-    return floored / floored.sum(axis=1, keepdims=True)
+    return floored / floored.sum(axis=-1, keepdims=True)
 
 
 def max_param_change(old: Sequence[np.ndarray], new: Sequence[np.ndarray]) -> float:

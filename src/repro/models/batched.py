@@ -1,0 +1,923 @@
+"""Batched restart-stacked E-step engine for the HMM/MMHD fitters.
+
+A multi-restart EM fit runs ``R`` independent forward-backward
+recursions over the same observation sequence.  The sequential engine
+(:func:`repro.models.hmm._fit_hmm_restart` and its MMHD twin) pays the
+interpreted Python time loop once per restart: ``R x T`` tiny
+``(N,) @ (N, N)`` matvecs dominated by call overhead, not FLOPs.  This
+module stacks all restarts of one fit into parameter tensors
+(``pi: (R, N)``, ``transition: (R, N, N)``, ``emission: (R, N, M)``)
+and runs ONE forward-backward over the stack, so the time loop executes
+``T`` batched ``(R, 1, N) @ (R, N, N)`` matmul steps instead — the
+classic Baum-Welch batching opportunity.
+
+Parity with the sequential engine
+---------------------------------
+``np.matmul`` computes every batch row independently of the others, so
+each restart's trajectory through the batched recursions depends only on
+its own parameters — never on which other restarts share the stack.
+That is what keeps the repo's determinism contract intact: a fit sharded
+over ``n_jobs`` pool workers (each worker batching its restart shard)
+produces bit-identical per-restart results for every worker count, and
+restarts that converge are *masked out* of the active batch (frozen, not
+recomputed) without perturbing the survivors.  Relative to the
+sequential engine the final log-likelihoods agree to floating-point
+round-off (different BLAS reduction orders), and the winning restart is
+identical — both are asserted by the benchmark and the property tests.
+
+Backend-selection heuristic
+---------------------------
+``EMConfig.backend="auto"`` resolves per fit via :func:`resolve_backend`:
+
+* **batched** when the recursion state width (``N`` for the HMM,
+  ``N * M`` for the MMHD) is at most :data:`BATCHED_STATE_LIMIT`.  Small
+  widths mean each sequential step is interpreter-bound, so stacking
+  restarts multiplies useful work per Python step at no extra cost.
+* **sequential** beyond the limit: wide-state matvecs are already
+  BLAS-bound, and an ``R``-fold batch only grows the working set past
+  cache for no interpreter savings.
+
+The engines compose with the process pool: ``n_jobs > 1`` splits the
+restarts into contiguous shards (:func:`repro.parallel.shard_items`) and
+each worker batches its own shard, so pool parallelism and in-process
+batching multiply rather than compete.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.models.base import (
+    EMConfig,
+    ObservationSequence,
+    SymbolIndex,
+    floor_and_normalize,
+)
+from repro.models.hmm import FittedHMM, HiddenMarkovModel
+from repro.models.initialization import (
+    hmm_initial_parameters,
+    mmhd_initial_parameters,
+)
+from repro.models.mmhd import FittedMMHD, MarkovModelHiddenDimension
+from repro.models.telemetry import record_fit, record_restart
+from repro.parallel import parallel_map, resolve_n_jobs, restart_rng, shard_items
+
+__all__ = [
+    "BATCHED_STATE_LIMIT",
+    "resolve_backend",
+    "batched_restart_fits",
+    "run_hedged_fit",
+]
+
+#: Largest recursion state width (N for HMM, N*M for MMHD) the "auto"
+#: backend still batches.  Below it the sequential per-step matvec is
+#: interpreter-bound and batching is close to free; above it the matvec
+#: is BLAS-bound and a restart stack mostly grows the working set.
+BATCHED_STATE_LIMIT = 64
+
+
+def resolve_backend(
+    config: EMConfig, kind: str, n_hidden: int, n_symbols: int
+) -> str:
+    """Concrete E-step engine for one fit.
+
+    An explicit ``config.backend`` wins; ``"auto"`` applies the
+    state-width heuristic documented in the module docstring.
+    """
+    if config.backend != "auto":
+        return config.backend
+    width = int(n_hidden) if kind == "hmm" else int(n_hidden) * int(n_symbols)
+    return "batched" if width <= BATCHED_STATE_LIMIT else "sequential"
+
+
+class _BatchZeroLikelihood(Exception):
+    """A forward pass hit zero total likelihood on some batch rows.
+
+    ``rows`` holds *batch-local* row indices; the driver maps them back
+    to restart rows and decides between a hard
+    :class:`FloatingPointError` (normal restarts) and a soft retirement
+    (the hedged warm row).
+    """
+
+    def __init__(self, t: int, rows: np.ndarray):
+        super().__init__(f"zero likelihood at t={t}")
+        self.t = int(t)
+        self.rows = np.asarray(rows)
+
+
+# ----------------------------------------------------------------------
+# Shared recursions
+# ----------------------------------------------------------------------
+def _row_loglik(scales: np.ndarray) -> np.ndarray:
+    """Per-row ``sum(log(scales))`` over a time-major ``(T, K)`` array.
+
+    Each row is summed over contiguous memory so numpy's pairwise
+    reduction applies with blocking that depends only on ``T`` — making
+    the result independent of the batch width ``K`` and bit-identical
+    to the sequential engine's 1-D ``np.log(scales).sum()``.  (A plain
+    ``sum(axis=0)`` over the strided time axis falls back to naive
+    left-to-right accumulation and diverges in the last ulps.)
+    """
+    return np.log(np.ascontiguousarray(scales.T)).sum(axis=1)
+
+
+def _check_scales(scales: np.ndarray) -> None:
+    """Deferred zero-likelihood detection over a ``(T, K)`` scale array.
+
+    The forward loops run with divide/invalid errors suppressed: a row
+    that hits zero total likelihood poisons only its own lane with NaN
+    (row independence), so one vectorised check after the pass replaces
+    a per-step ``min()`` — about a third of the old loop cost.  NaN
+    scales fail ``> 0`` and are reported alongside exact zeros.
+    """
+    bad = ~(scales > 0)
+    if bad.any():
+        rows = np.flatnonzero(bad.any(axis=0))
+        t = int(bad.any(axis=1).argmax())
+        raise _BatchZeroLikelihood(t, rows)
+
+
+def _batched_forward_backward(pi, transition, likes):
+    """Scaled forward-backward over a restart stack.
+
+    ``likes`` is time-major ``(T, K, n)`` so each step's slice is
+    contiguous; ``pi`` is ``(K, n)`` and ``transition`` ``(K, n, n)``.
+    Returns ``(alpha, beta, scales, loglik)`` with ``alpha`` normalised
+    per step so ``gamma = alpha * beta`` directly, matching the
+    sequential recursions row for row.
+
+    The hot loops write through preallocated ``out=`` targets (each
+    ``alpha[t]`` / ``beta[t]`` slice is contiguous, so the matmul lands
+    directly in the output array), and the backward pass folds the
+    ``1/scales`` factor into the likelihoods once, vectorised, instead
+    of dividing inside the loop.
+    """
+    n_steps, n_rows, n = likes.shape
+    alpha = np.empty_like(likes)
+    scales = np.empty((n_steps, n_rows))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        state = pi * likes[0]
+        total = np.add.reduce(state, axis=1)
+        scales[0] = total
+        np.divide(state, total[:, None], out=alpha[0])
+        for t in range(1, n_steps):
+            state = alpha[t]
+            np.matmul(alpha[t - 1][:, None, :], transition,
+                      out=state.reshape(n_rows, 1, n))
+            state *= likes[t]
+            total = np.add.reduce(state, axis=1)
+            scales[t] = total
+            state /= total[:, None]
+        _check_scales(scales)
+        beta = np.empty_like(likes)
+        beta[n_steps - 1] = 1.0
+        scaled = likes[1:] / scales[1:, :, None]
+        buf = np.empty((n_rows, n, 1))
+        for t in range(n_steps - 2, -1, -1):
+            np.multiply(scaled[t], beta[t + 1], out=buf[:, :, 0])
+            np.matmul(transition, buf, out=beta[t].reshape(n_rows, n, 1))
+    return alpha, beta, scales, _row_loglik(scales)
+
+
+class _EStepAux:
+    """Per-fit constants shared by every batched E-pass.
+
+    Everything derivable from the symbols alone — the
+    :class:`SymbolIndex`, the observed-symbol one-hot matrix the scatter
+    sums contract against, the MMHD support columns — is computed once
+    per fit, mirroring what the sequential engine caches per restart.
+    """
+
+    def __init__(self, kind: str, index: SymbolIndex, config: EMConfig,
+                 n_hidden: int):
+        self.kind = kind
+        self.index = index
+        self.n_hidden = int(n_hidden)
+        self.n_symbols = index.n_symbols
+        onehot = np.zeros((len(index), index.n_symbols))
+        onehot[index.observed_idx, index.observed_symbols] = 1.0
+        self.onehot = onehot
+        self.fast = bool(config.fast_path)
+        if kind == "mmhd":
+            self.n_states = self.n_hidden * self.n_symbols
+            self.state_symbol = np.tile(np.arange(self.n_symbols), self.n_hidden)
+            self.cols = [
+                m + self.n_symbols * np.arange(self.n_hidden)
+                for m in range(self.n_symbols)
+            ]
+
+
+# ----------------------------------------------------------------------
+# HMM restart stack
+# ----------------------------------------------------------------------
+class _HMMStats:
+    """Per-row sufficient statistics of one batched HMM E-pass."""
+
+    __slots__ = ("gamma0", "xi_sum", "joint_obs", "joint_loss", "loglik")
+
+    def __init__(self, gamma0, xi_sum, joint_obs, joint_loss, loglik):
+        self.gamma0 = gamma0
+        self.xi_sum = xi_sum
+        self.joint_obs = joint_obs
+        self.joint_loss = joint_loss
+        self.loglik = loglik
+
+
+class _HMMBatch:
+    """A stack of K HMM parameter sets, one batch row per restart."""
+
+    kind = "hmm"
+    __slots__ = ("pi", "transition", "emission", "loss_c")
+
+    def __init__(self, pi, transition, emission, loss_c):
+        self.pi = pi
+        self.transition = transition
+        self.emission = emission
+        self.loss_c = loss_c
+
+    @classmethod
+    def from_models(cls, models: Sequence[HiddenMarkovModel]) -> "_HMMBatch":
+        return cls(
+            np.stack([m.pi for m in models]),
+            np.stack([m.transition for m in models]),
+            np.stack([m.emission for m in models]),
+            np.stack([m.loss_given_symbol for m in models]),
+        )
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.pi)
+
+    def param_arrays(self):
+        return (self.pi, self.transition, self.emission, self.loss_c)
+
+    def rows(self, idx) -> "_HMMBatch":
+        return _HMMBatch(
+            self.pi[idx], self.transition[idx],
+            self.emission[idx], self.loss_c[idx],
+        )
+
+    def set_rows(self, idx, sub: "_HMMBatch") -> None:
+        self.pi[idx] = sub.pi
+        self.transition[idx] = sub.transition
+        self.emission[idx] = sub.emission
+        self.loss_c[idx] = sub.loss_c
+
+    def extract(self, row: int) -> HiddenMarkovModel:
+        return HiddenMarkovModel(
+            self.pi[row], self.transition[row],
+            self.emission[row], self.loss_c[row],
+        )
+
+    def estep(self, aux: _EStepAux) -> _HMMStats:
+        index = aux.index
+        n_rows, n_hidden = self.pi.shape
+        survive = 1.0 - self.loss_c                       # (K, M)
+        weighted = self.emission * survive[:, None, :]    # (K, N, M)
+        likes = np.empty((len(index), n_rows, n_hidden))
+        syms = index.observed_symbols
+        likes[index.observed_idx] = weighted[:, :, syms].transpose(2, 0, 1)
+        loss_like = np.matmul(self.emission, self.loss_c[:, :, None])[:, :, 0]
+        likes[index.loss_idx] = loss_like[None, :, :]
+        alpha, beta, scales, loglik = _batched_forward_backward(
+            self.pi, self.transition, likes
+        )
+        gamma = alpha * beta
+        weighted_b = likes[1:] * beta[1:] / scales[1:, :, None]
+        xi_sum = self.transition * np.matmul(
+            alpha[:-1].transpose(1, 2, 0), weighted_b.transpose(1, 0, 2)
+        )
+        # Expected (state, symbol) counts over observed instants: the
+        # sequential engine's scatter-add becomes one batched GEMM
+        # against the shared one-hot symbol matrix.
+        joint_obs = np.matmul(gamma.transpose(1, 2, 0), aux.onehot)
+        gamma_loss_total = gamma[index.loss_idx].sum(axis=0)       # (K, N)
+        joint_loss = (
+            (gamma_loss_total / loss_like)[:, :, None]
+            * self.emission
+            * self.loss_c[:, None, :]
+        )
+        return _HMMStats(gamma[0], xi_sum, joint_obs, joint_loss, loglik)
+
+    def maximize(self, stats: _HMMStats, min_prob, prior) -> "_HMMBatch":
+        pi = floor_and_normalize(stats.gamma0, min_prob)
+        transition = floor_and_normalize(stats.xi_sum, min_prob)
+        joint_total = stats.joint_obs + stats.joint_loss
+        emission = floor_and_normalize(joint_total, min_prob)
+        symbol_mass = joint_total.sum(axis=1)
+        loss_mass = stats.joint_loss.sum(axis=1)
+        prior_losses, prior_observations = prior
+        loss_c = (loss_mass + prior_losses) / np.maximum(
+            symbol_mass + prior_losses + prior_observations, 1e-300
+        )
+        loss_c = np.clip(loss_c, min_prob, 1.0 - min_prob)
+        return _HMMBatch(pi, transition, emission, loss_c)
+
+    @staticmethod
+    def loss_symbol_mass(stats: _HMMStats):
+        return stats.joint_loss.sum(axis=1)
+
+
+# ----------------------------------------------------------------------
+# MMHD restart stack
+# ----------------------------------------------------------------------
+class _MMHDStats:
+    """Per-row sufficient statistics of one batched MMHD E-pass."""
+
+    __slots__ = ("gamma0", "xi_sum", "loss_mass", "total_mass", "loglik")
+
+    def __init__(self, gamma0, xi_sum, loss_mass, total_mass, loglik):
+        self.gamma0 = gamma0
+        self.xi_sum = xi_sum
+        self.loss_mass = loss_mass
+        self.total_mass = total_mass
+        self.loglik = loglik
+
+
+class _MMHDBatch:
+    """A stack of K MMHD parameter sets, one batch row per restart."""
+
+    kind = "mmhd"
+    __slots__ = ("pi", "transition", "loss_c", "n_symbols")
+
+    def __init__(self, pi, transition, loss_c, n_symbols):
+        self.pi = pi
+        self.transition = transition
+        self.loss_c = loss_c
+        self.n_symbols = int(n_symbols)
+
+    @classmethod
+    def from_models(
+        cls, models: Sequence[MarkovModelHiddenDimension]
+    ) -> "_MMHDBatch":
+        return cls(
+            np.stack([m.pi for m in models]),
+            np.stack([m.transition for m in models]),
+            np.stack([m.loss_given_symbol for m in models]),
+            models[0].n_symbols,
+        )
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.pi)
+
+    def param_arrays(self):
+        return (self.pi, self.transition, self.loss_c)
+
+    def rows(self, idx) -> "_MMHDBatch":
+        return _MMHDBatch(
+            self.pi[idx], self.transition[idx], self.loss_c[idx],
+            self.n_symbols,
+        )
+
+    def set_rows(self, idx, sub: "_MMHDBatch") -> None:
+        self.pi[idx] = sub.pi
+        self.transition[idx] = sub.transition
+        self.loss_c[idx] = sub.loss_c
+
+    def extract(self, row: int) -> MarkovModelHiddenDimension:
+        return MarkovModelHiddenDimension(
+            self.pi[row], self.transition[row], self.loss_c[row],
+            self.n_symbols,
+        )
+
+    def _structured_blocks(self, aux: _EStepAux):
+        """Batched per-(symbol, symbol) transition blocks.
+
+        The stacked analogue of
+        :meth:`MarkovModelHiddenDimension._structured_transition_blocks`:
+        ``t_oo`` is ``(K, M_from, M_to, N, N)``, ``t_ol`` is
+        ``(K, M, N, S)``, ``t_lo`` is ``(K, M, S, N)``, ``t_ll`` is
+        ``(K, S, S)``, all with destination likelihoods folded in.
+        """
+        n_rows = self.n_rows
+        n_hidden, n_symbols = aux.n_hidden, aux.n_symbols
+        n_states = aux.n_states
+        survive = 1.0 - self.loss_c                       # (K, M)
+        c_state = self.loss_c[:, aux.state_symbol]        # (K, S)
+        a4 = self.transition.reshape(
+            n_rows, n_hidden, n_symbols, n_hidden, n_symbols
+        )
+        t_oo = (
+            np.ascontiguousarray(a4.transpose(0, 2, 4, 1, 3))
+            * survive[:, None, :, None, None]
+        )
+        t_ol = (
+            np.ascontiguousarray(a4.transpose(0, 2, 1, 3, 4)).reshape(
+                n_rows, n_symbols, n_hidden, n_states
+            )
+            * c_state[:, None, None, :]
+        )
+        t_lo = (
+            np.ascontiguousarray(a4.transpose(0, 4, 1, 2, 3)).reshape(
+                n_rows, n_symbols, n_states, n_hidden
+            )
+            * survive[:, :, None, None]
+        )
+        t_ll = self.transition * c_state[:, None, :]
+        return t_oo, t_ol, t_lo, t_ll, survive, c_state
+
+    def _estep_fast(self, aux: _EStepAux) -> _MMHDStats:
+        """Support-restricted batched E-pass (see the MMHD fast path).
+
+        Mirrors :meth:`MarkovModelHiddenDimension._estep_fast` step for
+        step: ``N``-vectors at observed instants, ``N*M``-vectors at
+        losses, with every recursion lifted to a leading batch axis.
+        """
+        index = aux.index
+        n_rows = self.n_rows
+        n_hidden, n_symbols = aux.n_hidden, aux.n_symbols
+        n_states = aux.n_states
+        symbols = index.symbol_list
+        n_steps = len(symbols)
+        n_losses = index.n_losses
+        cols = aux.cols
+        t_oo, t_ol, t_lo, t_ll, survive, c_state = self._structured_blocks(aux)
+
+        scales = np.empty((n_steps, n_rows))
+        alpha_obs = np.zeros((n_steps, n_rows, n_hidden))
+        beta_obs = np.zeros((n_steps, n_rows, n_hidden))
+        alpha_loss = np.empty((n_losses, n_rows, n_states))
+        beta_loss = np.empty((n_losses, n_rows, n_states))
+
+        # Forward pass.  As in :func:`_batched_forward_backward`, each
+        # step's matmul writes straight into its (contiguous) output row
+        # and zero-likelihood detection is deferred out of the loop.
+        m0 = symbols[0]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if m0 >= 0:
+                state = self.pi[:, cols[m0]] * survive[:, m0][:, None]
+            else:
+                state = self.pi * c_state
+            total = np.add.reduce(state, axis=1)
+            scales[0] = total
+            prev = state / total[:, None]
+            prev_m = m0
+            loss_ptr = 0
+            if m0 >= 0:
+                alpha_obs[0] = prev
+            else:
+                alpha_loss[0] = prev
+                loss_ptr = 1
+            for t in range(1, n_steps):
+                m = symbols[t]
+                if m >= 0:
+                    block = t_oo[:, prev_m, m] if prev_m >= 0 else t_lo[:, m]
+                    dest = alpha_obs[t]
+                else:
+                    block = t_ol[:, prev_m] if prev_m >= 0 else t_ll
+                    dest = alpha_loss[loss_ptr]
+                    loss_ptr += 1
+                np.matmul(prev[:, None, :], block,
+                          out=dest.reshape(n_rows, 1, -1))
+                total = np.add.reduce(dest, axis=1)
+                scales[t] = total
+                dest /= total[:, None]
+                prev = dest
+                prev_m = m
+            _check_scales(scales)
+
+            # Backward pass.
+            last_m = symbols[n_steps - 1]
+            loss_ptr = n_losses - 1
+            if last_m >= 0:
+                nxt = np.ones((n_rows, n_hidden))
+                beta_obs[n_steps - 1] = nxt
+            else:
+                nxt = np.ones((n_rows, n_states))
+                beta_loss[loss_ptr] = nxt
+                loss_ptr -= 1
+            next_m = last_m
+            for t in range(n_steps - 2, -1, -1):
+                m = symbols[t]
+                if m >= 0:
+                    block = t_oo[:, m, next_m] if next_m >= 0 else t_ol[:, m]
+                    dest = beta_obs[t]
+                else:
+                    block = t_lo[:, next_m] if next_m >= 0 else t_ll
+                    dest = beta_loss[loss_ptr]
+                    loss_ptr -= 1
+                np.matmul(block, nxt[:, :, None],
+                          out=dest.reshape(n_rows, -1, 1))
+                dest /= scales[t + 1][:, None]
+                nxt = dest
+                next_m = m
+
+        # Occupancies.
+        gamma_loss = alpha_loss * beta_loss                 # (L, K, S)
+        obs_vals = (alpha_obs * beta_obs).sum(axis=2)       # (T, K)
+        if m0 >= 0:
+            gamma0 = np.zeros((n_rows, n_states))
+            gamma0[:, cols[m0]] = alpha_obs[0] * beta_obs[0]
+        else:
+            gamma0 = gamma_loss[0]
+        loss_mass = (
+            gamma_loss.reshape(n_losses, n_rows, n_hidden, n_symbols)
+            .sum(axis=(0, 2))
+            if n_losses
+            else np.zeros((n_rows, n_symbols))
+        )
+        observed_mass = np.matmul(obs_vals.T[:, None, :], aux.onehot)[:, 0]
+        total_mass = loss_mass + observed_mass
+
+        # Transition statistics, batched per (symbol, symbol) pair group.
+        xi_sum = np.zeros((n_rows, n_states, n_states))
+        oo, ol, lo, ll = index.pair_groups()
+        inv_scales = 1.0 / scales
+        loss_rank = index.loss_rank
+        kix = np.arange(n_rows)
+        for (mp, m), ts in oo.items():
+            a = alpha_obs[ts - 1]
+            b = beta_obs[ts] * inv_scales[ts][:, :, None]
+            prod = np.matmul(a.transpose(1, 2, 0), b.transpose(1, 0, 2))
+            xi_sum[np.ix_(kix, cols[mp], cols[m])] += t_oo[:, mp, m] * prod
+        for mp, ts in ol.items():
+            a = alpha_obs[ts - 1]
+            b = beta_loss[loss_rank[ts]] * inv_scales[ts][:, :, None]
+            prod = np.matmul(a.transpose(1, 2, 0), b.transpose(1, 0, 2))
+            xi_sum[:, cols[mp], :] += t_ol[:, mp] * prod
+        for m, ts in lo.items():
+            a = alpha_loss[loss_rank[ts - 1]]
+            b = beta_obs[ts] * inv_scales[ts][:, :, None]
+            prod = np.matmul(a.transpose(1, 2, 0), b.transpose(1, 0, 2))
+            xi_sum[:, :, cols[m]] += t_lo[:, m] * prod
+        if len(ll):
+            a = alpha_loss[loss_rank[ll - 1]]
+            b = beta_loss[loss_rank[ll]] * inv_scales[ll][:, :, None]
+            xi_sum += t_ll * np.matmul(
+                a.transpose(1, 2, 0), b.transpose(1, 0, 2)
+            )
+
+        loglik = _row_loglik(scales)
+        return _MMHDStats(gamma0, xi_sum, loss_mass, total_mass, loglik)
+
+    def _estep_dense(self, aux: _EStepAux) -> _MMHDStats:
+        """Reference batched E-pass over full ``(T, K, N*M)`` arrays."""
+        index = aux.index
+        n_rows = self.n_rows
+        n_hidden, n_symbols = aux.n_hidden, aux.n_symbols
+        n_steps = len(index)
+        c_state = self.loss_c[:, aux.state_symbol]
+        survive = 1.0 - self.loss_c
+        likes = np.zeros((n_steps, n_rows, aux.n_states))
+        likes[index.loss_idx] = c_state[None, :, :]
+        syms = index.observed_symbols
+        observed_survive = survive[:, syms].T             # (T_obs, K)
+        for h in range(n_hidden):
+            likes[index.observed_idx, :, h * n_symbols + syms] = observed_survive
+        alpha, beta, scales, loglik = _batched_forward_backward(
+            self.pi, self.transition, likes
+        )
+        gamma = alpha * beta
+        weighted = likes[1:] * beta[1:] / scales[1:, :, None]
+        xi_sum = self.transition * np.matmul(
+            alpha[:-1].transpose(1, 2, 0), weighted.transpose(1, 0, 2)
+        )
+        symbol_occ = gamma.reshape(
+            n_steps, n_rows, n_hidden, n_symbols
+        ).sum(axis=2)
+        loss_mass = symbol_occ[index.loss_idx].sum(axis=0)
+        total_mass = symbol_occ.sum(axis=0)
+        return _MMHDStats(gamma[0], xi_sum, loss_mass, total_mass, loglik)
+
+    def estep(self, aux: _EStepAux) -> _MMHDStats:
+        return self._estep_fast(aux) if aux.fast else self._estep_dense(aux)
+
+    def maximize(self, stats: _MMHDStats, min_prob, prior) -> "_MMHDBatch":
+        pi = floor_and_normalize(stats.gamma0, min_prob)
+        transition = floor_and_normalize(stats.xi_sum, min_prob)
+        prior_losses, prior_observations = prior
+        loss_c = (stats.loss_mass + prior_losses) / np.maximum(
+            stats.total_mass + prior_losses + prior_observations, 1e-300
+        )
+        loss_c = np.clip(loss_c, min_prob, 1.0 - min_prob)
+        return _MMHDBatch(pi, transition, loss_c, self.n_symbols)
+
+    @staticmethod
+    def loss_symbol_mass(stats: _MMHDStats):
+        return stats.loss_mass
+
+
+_BATCH_TYPES = {"hmm": _HMMBatch, "mmhd": _MMHDBatch}
+_FITTED_TYPES = {"hmm": FittedHMM, "mmhd": FittedMMHD}
+
+
+def _row_param_change(old, new) -> np.ndarray:
+    """Per-row max absolute parameter change between two batches."""
+    change = np.zeros(old.n_rows)
+    for a, b in zip(old.param_arrays(), new.param_arrays()):
+        np.maximum(
+            change,
+            np.abs(a - b).reshape(old.n_rows, -1).max(axis=1),
+            out=change,
+        )
+    return change
+
+
+def _initial_model(kind, seq, n_hidden, config, restart):
+    """One restart's initial model, on the same RNG stream the
+    sequential engine uses (so both backends start identically)."""
+    rng = restart_rng(config.seed, restart)
+    if kind == "hmm":
+        pi, transition, emission, c = hmm_initial_parameters(seq, n_hidden, rng)
+        return HiddenMarkovModel(pi, transition, emission, c)
+    pi, transition, c = mmhd_initial_parameters(
+        seq, n_hidden, rng, data_driven=config.data_driven_init
+    )
+    return MarkovModelHiddenDimension(pi, transition, c, seq.n_symbols)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+class _BatchedEM:
+    """EM over a restart stack with convergence masking.
+
+    Each :meth:`step` runs one batched E+M iteration over the *active*
+    rows only: rows whose parameters have converged are frozen in the
+    stack and never recomputed (row independence of the batched ops
+    means removing them cannot perturb the survivors).  Per-row freeze
+    periods reproduce the sequential warm start, and ``soft_rows`` (the
+    hedged warm row) survive a zero-likelihood forward pass as a
+    retirement instead of a :class:`FloatingPointError`.
+    """
+
+    def __init__(self, batch, aux: _EStepAux, config: EMConfig,
+                 freeze_iters: Sequence[int], soft_rows=()):
+        self.batch = batch
+        self.aux = aux
+        self.config = config
+        self.freeze_iters = np.asarray(freeze_iters, dtype=int)
+        self.soft_rows = frozenset(int(r) for r in soft_rows)
+        n_rows = batch.n_rows
+        self.active = np.arange(n_rows)
+        self.trails: List[List[float]] = [[] for _ in range(n_rows)]
+        self.converged = np.zeros(n_rows, dtype=bool)
+        self.failed: set = set()
+        self.iteration = 0
+        self.frozen_c = batch.loss_c.copy()
+        self.batch_iterations = 0
+        self.active_row_iterations = 0
+        self.prior = (config.loss_prior_losses, config.loss_prior_observations)
+
+    def step(self) -> bool:
+        """One batched EM iteration; ``False`` once there is no work."""
+        if self.iteration >= self.config.max_iter or not len(self.active):
+            return False
+        while True:
+            if not len(self.active):
+                return False
+            sub = self.batch.rows(self.active)
+            try:
+                stats = sub.estep(self.aux)
+            except _BatchZeroLikelihood as exc:
+                self._retire_failed(exc)
+                continue
+            break
+        new_sub = sub.maximize(stats, self.config.min_prob, self.prior)
+        for k, row in enumerate(self.active):
+            self.trails[row].append(float(stats.loglik[k]))
+        # Warm start: rows still inside their freeze period keep the
+        # initial loss channel and skip the convergence check, exactly
+        # like the sequential loop's freeze branch.
+        frozen = self.iteration < self.freeze_iters[self.active]
+        if np.any(frozen):
+            new_sub.loss_c[frozen] = self.frozen_c[self.active[frozen]]
+        newly_converged = ~frozen & (
+            _row_param_change(sub, new_sub) < self.config.tol
+        )
+        self.batch.set_rows(self.active, new_sub)
+        self.converged[self.active[newly_converged]] = True
+        self.batch_iterations += 1
+        self.active_row_iterations += len(self.active)
+        self.active = self.active[~newly_converged]
+        self.iteration += 1
+        return True
+
+    def _retire_failed(self, exc: _BatchZeroLikelihood) -> None:
+        rows = self.active[exc.rows]
+        if any(int(r) not in self.soft_rows for r in rows):
+            raise FloatingPointError(f"zero likelihood at t={exc.t}")
+        for r in rows:
+            self.failed.add(int(r))
+        self.active = self.active[~np.isin(self.active, rows)]
+
+    def retire(self, row: int) -> None:
+        """Drop a row from the batch without marking it converged."""
+        self.active = self.active[self.active != row]
+
+    def run(self) -> None:
+        while self.step():
+            pass
+
+
+def _finalize(kind, batch, aux, trails, converged, rows=None):
+    """One trailing batched E-pass -> fitted models for ``rows``.
+
+    Like the sequential engines, the final pass yields both the trailing
+    log-likelihood and the eq. (5) posterior in a single sweep.
+    """
+    idx = np.arange(batch.n_rows) if rows is None else np.asarray(rows)
+    sub = batch.rows(idx)
+    stats = sub.estep(aux)
+    mass = sub.loss_symbol_mass(stats)
+    fitted_cls = _FITTED_TYPES[kind]
+    fits = []
+    for k, row in enumerate(idx):
+        row_mass = mass[k]
+        fits.append(fitted_cls(
+            model=sub.extract(k),
+            virtual_delay_pmf=row_mass / row_mass.sum(),
+            log_likelihoods=trails[row] + [float(stats.loglik[k])],
+            converged=bool(converged[row]),
+            n_iter=len(trails[row]),
+        ))
+    return fits
+
+
+def _run_shard(kind, seq, n_hidden, config, restarts,
+               index: Optional[SymbolIndex] = None):
+    """Drive one batch of restarts to completion.
+
+    Returns ``(fits, info)`` with ``fits`` in restart order and ``info``
+    carrying the occupancy accounting for the ``em.backend`` event.
+    """
+    if index is None:
+        index = SymbolIndex(seq)
+    aux = _EStepAux(kind, index, config, n_hidden)
+    models = [
+        _initial_model(kind, seq, n_hidden, config, r) for r in restarts
+    ]
+    batch = _BATCH_TYPES[kind].from_models(models)
+    driver = _BatchedEM(
+        batch, aux, config, [config.freeze_loss_iters] * len(restarts)
+    )
+    try:
+        driver.run()
+        fits = _finalize(kind, batch, aux, driver.trails, driver.converged)
+    except _BatchZeroLikelihood as exc:
+        raise FloatingPointError(f"zero likelihood at t={exc.t}") from None
+    for restart, fitted in zip(restarts, fits):
+        record_restart(kind, restart, fitted)
+    info = {
+        "rows": len(restarts),
+        "batch_iterations": driver.batch_iterations,
+        "active_row_iterations": driver.active_row_iterations,
+    }
+    return fits, info
+
+
+def _shard_worker(task):
+    """Batch one restart shard (parallel-map worker)."""
+    kind, seq, n_hidden, config, restarts = task
+    return _run_shard(kind, seq, n_hidden, config, restarts)
+
+
+def batched_restart_fits(kind, seq: ObservationSequence, n_hidden: int,
+                         config: EMConfig,
+                         index: Optional[SymbolIndex] = None):
+    """All restarts of one fit through the batched engine.
+
+    With ``config.n_jobs > 1`` the restarts split into contiguous shards
+    and each pool worker batches its own shard — pool parallelism and
+    batching compose.  Returns the fitted models in restart order; the
+    caller performs the best-of reduction.
+    """
+    n_restarts = config.n_restarts
+    n_shards = min(resolve_n_jobs(config.n_jobs), n_restarts)
+    restarts = list(range(n_restarts))
+    if n_shards <= 1:
+        fits, info = _run_shard(kind, seq, n_hidden, config, restarts,
+                                index=index)
+        infos = [info]
+    else:
+        shards = shard_items(restarts, n_shards)
+        tasks = [(kind, seq, n_hidden, config, shard) for shard in shards]
+        mapped = parallel_map(_shard_worker, tasks, n_jobs=n_shards,
+                              chunksize=1)
+        fits = [f for shard_fits, _ in mapped for f in shard_fits]
+        infos = [info for _, info in mapped]
+    record_backend(kind, "batched", n_shards=len(infos), infos=infos)
+    return fits
+
+
+def record_backend(kind: str, backend: str, n_shards: int,
+                   infos: Sequence[dict]) -> None:
+    """Per-backend telemetry for one fit: counter + ``em.backend`` event.
+
+    ``occupancy`` is the fraction of batch-row slots that did useful
+    work; ``masked_savings`` is the complement — E-step work skipped
+    because converged restarts were masked out of their batch.  The
+    sequential engine reports occupancy 1.0 by construction.
+    """
+    if not obs.is_enabled():
+        return
+    rows = sum(i["rows"] for i in infos)
+    batch_iterations = sum(i["batch_iterations"] for i in infos)
+    active = sum(i["active_row_iterations"] for i in infos)
+    slots = sum(i["rows"] * i["batch_iterations"] for i in infos)
+    occupancy = active / slots if slots else 1.0
+    obs.inc("repro_em_backend_fits_total", 1.0, model=kind, backend=backend)
+    obs.observe("repro_em_batch_occupancy_ratio", occupancy, model=kind)
+    obs.inc("repro_em_masked_iterations_total", float(slots - active),
+            model=kind)
+    obs.emit(
+        "em.backend",
+        model=kind,
+        backend=backend,
+        n_restarts=rows,
+        n_shards=int(n_shards),
+        batch_iterations=batch_iterations,
+        occupancy=round(occupancy, 6),
+        masked_savings=round(1.0 - occupancy, 6),
+    )
+
+
+# ----------------------------------------------------------------------
+# Hedged streaming fit
+# ----------------------------------------------------------------------
+def run_hedged_fit(kind, seq: ObservationSequence, n_hidden: int,
+                   config: EMConfig, warm_model,
+                   trail_problem: Callable[[List[float]], Optional[str]],
+                   index: Optional[SymbolIndex] = None):
+    """Race a warm-started row against cold restarts in one batch.
+
+    One batched EM drives the warm row (no loss-channel freeze, like the
+    sequential warm path) and ``config.n_restarts`` cold rows together.
+    If the warm trajectory survives — no zero likelihood, no trail
+    collapse per ``trail_problem`` — the fit returns as soon as that row
+    converges, abandoning the cold rows after only the few iterations
+    the warm row needed.  If the warm trajectory collapses, the cold
+    rows are already part-way to convergence, so the fallback no longer
+    pays warm-then-cold latency in sequence.
+
+    Returns ``(fitted, warm_used, fallback_reason)`` matching the
+    sequential policy in :func:`repro.streaming.online_em.streaming_fit`.
+    """
+    if index is None:
+        index = SymbolIndex(seq)
+    aux = _EStepAux(kind, index, config, n_hidden)
+    models = [warm_model] + [
+        _initial_model(kind, seq, n_hidden, config, r)
+        for r in range(config.n_restarts)
+    ]
+    batch = _BATCH_TYPES[kind].from_models(models)
+    freeze = [0] + [config.freeze_loss_iters] * config.n_restarts
+    driver = _BatchedEM(batch, aux, config, freeze, soft_rows={0})
+    reason = None
+
+    def finalize_warm():
+        """Fitted warm row, or ``(None, reason)`` if its trail fails."""
+        try:
+            fits = _finalize(kind, batch, aux, driver.trails,
+                             driver.converged, rows=[0])
+        except _BatchZeroLikelihood:
+            return None, "zero-likelihood"
+        problem = trail_problem(fits[0].log_likelihoods)
+        if problem is not None:
+            return None, problem
+        return fits[0], None
+
+    while True:
+        progressed = driver.step()
+        if reason is None:
+            if 0 in driver.failed:
+                reason = "zero-likelihood"
+            elif driver.trails[0]:
+                problem = trail_problem(driver.trails[0])
+                if problem is not None:
+                    reason = problem
+                    driver.retire(0)
+                elif driver.converged[0]:
+                    fitted, fail = finalize_warm()
+                    if fitted is not None:
+                        return fitted, True, None
+                    reason = fail
+        if not progressed:
+            break
+
+    if reason is None:
+        # max_iter exhausted with the warm trajectory intact: the
+        # sequential policy still prefers the healthy warm fit.
+        fitted, fail = finalize_warm()
+        if fitted is not None:
+            return fitted, True, None
+        reason = fail
+
+    cold_rows = list(range(1, batch.n_rows))
+    try:
+        fits = _finalize(kind, batch, aux, driver.trails, driver.converged,
+                         rows=cold_rows)
+    except _BatchZeroLikelihood as exc:
+        raise FloatingPointError(f"zero likelihood at t={exc.t}") from None
+    for restart, fitted in enumerate(fits):
+        record_restart(kind, restart, fitted)
+    best_restart = 0
+    for restart, fitted in enumerate(fits[1:], start=1):
+        if fitted.log_likelihood > fits[best_restart].log_likelihood:
+            best_restart = restart
+    record_fit(kind, fits, best_restart)
+    return fits[best_restart], False, reason

@@ -41,7 +41,7 @@ from repro.models.base import (
 from repro.models.initialization import hmm_initial_parameters
 from repro.models.telemetry import record_fit, record_restart
 from repro.obs import span
-from repro.parallel import parallel_map, restart_rng
+from repro.parallel import parallel_map, resolve_n_jobs, restart_rng
 
 __all__ = ["HiddenMarkovModel", "fit_hmm"]
 
@@ -168,9 +168,20 @@ class HiddenMarkovModel:
             beta[t] = transition @ (likes[t + 1] * beta[t + 1]) / scales[t + 1]
         return alpha, beta, scales, float(np.log(scales).sum())
 
-    def log_likelihood(self, seq: ObservationSequence) -> float:
-        """Log-likelihood of the observation sequence under this model."""
-        likes = self._observation_likelihoods(seq.zero_based())
+    def log_likelihood(
+        self,
+        seq: ObservationSequence,
+        index: Optional[SymbolIndex] = None,
+    ) -> float:
+        """Log-likelihood of the observation sequence under this model.
+
+        ``index`` reuses a caller-cached :class:`SymbolIndex` so scoring
+        layers (selection, bootstrap) skip the redundant symbol scan.
+        """
+        if index is not None:
+            likes = self._likelihoods_from_index(index)
+        else:
+            likes = self._observation_likelihoods(seq.zero_based())
         _, _, _, loglik = self._forward_backward(likes)
         return loglik
 
@@ -297,11 +308,12 @@ class HiddenMarkovModel:
 
 def _fit_hmm_restart(task) -> "FittedHMM":
     """One EM run from one random initialisation (parallel-map worker)."""
-    seq, n_hidden, config, restart = task
+    seq, n_hidden, config, restart, index = task
     rng = restart_rng(config.seed, restart)
     pi, transition, emission, c = hmm_initial_parameters(seq, n_hidden, rng)
     model = HiddenMarkovModel(pi, transition, emission, c)
-    index = SymbolIndex(seq)
+    if index is None:
+        index = SymbolIndex(seq)
     logliks: List[float] = []
     converged = False
     prior = (config.loss_prior_losses, config.loss_prior_observations)
@@ -341,20 +353,44 @@ def fit_hmm(
     seq: ObservationSequence,
     n_hidden: int,
     config: Optional[EMConfig] = None,
+    index: Optional[SymbolIndex] = None,
 ) -> "FittedHMM":
     """Fit an HMM by EM, with optional random restarts.
 
     Returns the best fit (by final log-likelihood) across
-    ``config.n_restarts`` initialisations.  Restarts fan out over
-    ``config.n_jobs`` worker processes; the reduction compares in
-    restart order, so the result is identical for any ``n_jobs``.
+    ``config.n_restarts`` initialisations.  ``config.backend`` selects
+    the E-step engine: the batched engine stacks all restarts into one
+    forward-backward (:mod:`repro.models.batched`), the sequential
+    engine runs one recursion per restart.  Either way restarts fan out
+    over ``config.n_jobs`` worker processes and the reduction compares
+    in restart order, so the result is identical for any ``n_jobs``.
+    ``index`` reuses a caller-cached :class:`SymbolIndex`.
     """
     config = config or EMConfig()
     require_losses(seq, "fit_hmm")
+    # Imported lazily: batched.py builds on this module's model classes.
+    from repro.models import batched
+
+    backend = batched.resolve_backend(config, "hmm", n_hidden, seq.n_symbols)
     with span("em.fit", model="hmm", n_hidden=n_hidden,
-              n_restarts=config.n_restarts):
-        tasks = [(seq, n_hidden, config, r) for r in range(config.n_restarts)]
-        fits = parallel_map(_fit_hmm_restart, tasks, n_jobs=config.n_jobs)
+              n_restarts=config.n_restarts, backend=backend):
+        if backend == "batched":
+            fits = batched.batched_restart_fits(
+                "hmm", seq, n_hidden, config, index=index
+            )
+        else:
+            serial = (resolve_n_jobs(config.n_jobs) <= 1
+                      or config.n_restarts <= 1)
+            shared = (index or SymbolIndex(seq)) if serial else None
+            tasks = [(seq, n_hidden, config, r, shared)
+                     for r in range(config.n_restarts)]
+            fits = parallel_map(_fit_hmm_restart, tasks, n_jobs=config.n_jobs)
+            batched.record_backend(
+                "hmm", backend,
+                n_shards=min(resolve_n_jobs(config.n_jobs), len(fits)),
+                infos=[{"rows": 1, "batch_iterations": f.n_iter,
+                        "active_row_iterations": f.n_iter} for f in fits],
+            )
         best_restart = 0
         for restart, fitted in enumerate(fits[1:], start=1):
             if fitted.log_likelihood > fits[best_restart].log_likelihood:

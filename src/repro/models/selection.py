@@ -16,7 +16,12 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
-from repro.models.base import EMConfig, FittedModel, ObservationSequence
+from repro.models.base import (
+    EMConfig,
+    FittedModel,
+    ObservationSequence,
+    SymbolIndex,
+)
 from repro.models.hmm import fit_hmm
 from repro.models.mmhd import fit_mmhd
 from repro.parallel import parallel_map, resolve_n_jobs
@@ -77,14 +82,18 @@ class ModelSelection:
 def _fit_candidate(task):
     """Fit one candidate model order (parallel-map worker).
 
-    The candidate fit runs its restarts serially: the parallelism budget
-    is spent across candidates, never nested inside a worker.
+    The candidate fit never nests *pool* parallelism inside a worker
+    (that budget is spent across candidates), but each candidate still
+    batches its own restarts in-process when ``EMConfig.backend``
+    resolves to the batched engine.  All candidates fit the same
+    sequence, so the ``SymbolIndex`` is built once per selection call
+    and shared instead of being rebuilt per candidate order.
     """
-    seq, n_hidden, model, config, serial_inner = task
+    seq, n_hidden, model, config, serial_inner, index = task
     fit = fit_mmhd if model == "mmhd" else fit_hmm
     if serial_inner and config is not None:
         config = config.replace(n_jobs=1)
-    return fit(seq, n_hidden=n_hidden, config=config)
+    return fit(seq, n_hidden=n_hidden, config=config, index=index)
 
 
 def select_n_hidden(
@@ -110,12 +119,13 @@ def select_n_hidden(
     with obs.span("selection.fit", model=model,
                   candidates=[int(n) for n in candidates]):
         serial_inner = resolve_n_jobs(n_jobs) > 1
-        tasks = [(seq, int(n_hidden), model, config, serial_inner)
+        index = SymbolIndex(seq)
+        tasks = [(seq, int(n_hidden), model, config, serial_inner, index)
                  for n_hidden in candidates]
         fitted_models = parallel_map(_fit_candidate, tasks, n_jobs=n_jobs)
         fits: Dict[int, FittedModel] = {}
         bics: Dict[int, float] = {}
-        for (_, n_hidden, _, _, _), fitted in zip(tasks, fitted_models):
+        for (_, n_hidden, _, _, _, _), fitted in zip(tasks, fitted_models):
             fits[n_hidden] = fitted
             bics[n_hidden] = bic(fitted, seq)
         selection = ModelSelection(fits, bics)

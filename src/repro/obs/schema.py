@@ -36,6 +36,11 @@ EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
         ("model", "n_restarts", "best_restart", "restart_logliks",
          "loglik_dispersion"),
     ),
+    "em.backend": (
+        "E-step engine used by one fit (batch occupancy and savings)",
+        ("model", "backend", "n_restarts", "n_shards", "batch_iterations",
+         "occupancy", "masked_savings"),
+    ),
     "selection.bic": (
         "BIC model-order selection outcome",
         ("model", "candidates", "bics", "chosen_n"),
@@ -69,6 +74,12 @@ METRICS: List[Tuple[str, str, Tuple[str, ...], str]] = [
      "Restarts that hit max_iter before the parameter tolerance."),
     ("repro_em_restart_wins_total", "counter", ("restart",),
      "Which restart index produced the winning log-likelihood."),
+    ("repro_em_backend_fits_total", "counter", ("model", "backend"),
+     "Completed fits by E-step engine (batched or sequential)."),
+    ("repro_em_batch_occupancy_ratio", "histogram", ("model",),
+     "Fraction of batch-row slots doing useful work per batched fit."),
+    ("repro_em_masked_iterations_total", "counter", ("model",),
+     "Row iterations skipped because converged restarts were masked."),
     ("repro_selection_total", "counter", ("model", "chosen_n"),
      "BIC model-order selections, by chosen hidden-state count."),
     ("repro_streaming_fits_total", "counter", ("mode",),

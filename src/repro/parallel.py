@@ -21,6 +21,23 @@ bootstrap replicates, model-order candidates, multi-seed scenario sweeps
 Determinism contract: for a pure ``fn``, ``parallel_map(fn, items, n)``
 returns the same list for every ``n``.  The test suite asserts this for
 the HMM/MMHD fits and the bootstrap.
+
+Composition with the batched E-step engine
+------------------------------------------
+EM restarts have two execution engines (see
+:mod:`repro.models.batched`): in-process restart *batching* (stack all
+restarts into one set of parameter tensors and run one batched
+forward-backward) and this module's process pool.  They answer
+different questions — batching amortises Python-loop overhead, the pool
+adds CPUs — and they compose: a fit with ``n_jobs > 1`` splits its
+restarts into contiguous shards (:func:`shard_items`) and each worker
+batches its own shard.  The practical heuristic, also documented on
+``EMConfig.backend``: small state widths (``N`` or ``N*M`` up to a few
+dozen) are interpreter-bound and want the batched engine; very wide
+states are BLAS-bound and the pool alone is the better multiplier.
+Because each batch row is computed independently of its batch-mates,
+per-restart results are bit-identical for every sharding, preserving
+the contract above.
 """
 
 from __future__ import annotations
@@ -41,6 +58,7 @@ _LOG = obs.get_logger(__name__)
 __all__ = [
     "resolve_n_jobs",
     "parallel_map",
+    "shard_items",
     "task_seed",
     "task_rng",
     "seed_sequence",
@@ -165,6 +183,27 @@ atexit.register(shutdown_pools)
 def _default_chunksize(n_items: int, n_workers: int) -> int:
     # ~4 chunks per worker balances scheduling slack against IPC count.
     return max(1, -(-n_items // (4 * n_workers)))
+
+
+def shard_items(items: Sequence[T], n_shards: int) -> List[List[T]]:
+    """Split ``items`` into at most ``n_shards`` contiguous shards.
+
+    Shard sizes differ by at most one (earlier shards take the extra
+    item) and empty shards are never produced.  Contiguity is what lets
+    a sharded consumer reassemble results in item order with a plain
+    concatenation — the batched EM engine relies on this to keep its
+    restart-order best-of reduction independent of the shard count.
+    """
+    items = list(items)
+    n_shards = max(1, min(int(n_shards), len(items)))
+    base, extra = divmod(len(items), n_shards)
+    shards: List[List[T]] = []
+    start = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        shards.append(items[start:start + size])
+        start += size
+    return shards
 
 
 class _TelemetryTask:

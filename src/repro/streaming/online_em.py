@@ -22,6 +22,17 @@ cold multi-restart fit.
   a real decrease signals numerical degeneracy of the inherited
   parameters).
 
+When ``EMConfig.backend`` resolves to the batched E-step engine
+(:mod:`repro.models.batched` — the default at streaming-scale state
+widths), the warm-vs-cold policy runs *hedged*: the warm row and the
+cold restart rows share one batched EM, so a healthy warm trajectory
+still returns after its few iterations (the cold rows are abandoned),
+while a collapsing one falls back to cold restarts that are already
+part-way converged instead of starting from scratch — the fallback no
+longer doubles window latency.  The accept/fallback criteria and the
+returned :class:`StreamingFitResult` are identical to the sequential
+policy.
+
 The warm state itself (:class:`WarmState`) is a plain bundle of parameter
 arrays, picklable so the multi-path scheduler can round-trip it through
 worker processes.
@@ -268,6 +279,16 @@ def streaming_fit(
             return _record(kind, StreamingFitResult(
                 _cold_fit(seq, n_hidden, config, kind), False, None
             ))
+        from repro.models import batched
+
+        backend = batched.resolve_backend(config, kind, n_hidden,
+                                          seq.n_symbols)
+        if backend == "batched":
+            fitted, warm_used, reason = batched.run_hedged_fit(
+                kind, seq, n_hidden, config, warm.build_model(),
+                _trail_collapsed,
+            )
+            return _record(kind, StreamingFitResult(fitted, warm_used, reason))
         try:
             fitted = _warm_em(warm.build_model(), seq, config)
         except FloatingPointError:

@@ -1,0 +1,201 @@
+"""Property tests for the batched restart-stacked E-step engine.
+
+The batched backend promises *parity*, not approximation: same seeds in,
+same trajectories out.  These tests pin that promise against the
+sequential engine for both model families — per-restart log-likelihood
+trails, gamma/xi sufficient statistics, and the winning restart — plus
+the edge cases the masking logic has to get right (all restarts
+converging early, a single-restart batch) and the backend-resolution
+knob itself.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.models import batched
+from repro.models.base import EMConfig, SymbolIndex
+from repro.models.batched import (
+    BATCHED_STATE_LIMIT,
+    _EStepAux,
+    _BATCH_TYPES,
+    batched_restart_fits,
+    resolve_backend,
+)
+from repro.models.hmm import _fit_hmm_restart, fit_hmm
+from repro.models.mmhd import _fit_mmhd_restart, fit_mmhd
+from tests.conftest import make_markov_sequence
+
+KINDS = [
+    ("hmm", fit_hmm, _fit_hmm_restart),
+    ("mmhd", fit_mmhd, _fit_mmhd_restart),
+]
+
+
+@pytest.fixture(scope="module")
+def seq():
+    sequence, _ = make_markov_sequence(n_steps=2500, seed=17)
+    return sequence
+
+
+def sequential_fits(seq, kind, restart_worker, config):
+    index = SymbolIndex(seq)
+    return [
+        restart_worker((seq, 2, config, restart, index))
+        for restart in range(config.n_restarts)
+    ]
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("kind,fit,restart_worker", KINDS)
+    def test_identical_trajectories_and_winner(self, seq, kind, fit,
+                                               restart_worker):
+        config = EMConfig(tol=1e-3, max_iter=30, n_restarts=3, seed=11,
+                          freeze_loss_iters=2)
+        batched_fits = batched_restart_fits(kind, seq, 2, config)
+        seq_fits = sequential_fits(seq, kind, restart_worker, config)
+        assert len(batched_fits) == config.n_restarts
+        for b, s in zip(batched_fits, seq_fits):
+            assert b.n_iter == s.n_iter
+            assert b.converged == s.converged
+            np.testing.assert_allclose(
+                b.log_likelihoods, s.log_likelihoods, rtol=1e-9
+            )
+            np.testing.assert_allclose(
+                b.virtual_delay_pmf, s.virtual_delay_pmf, rtol=1e-9
+            )
+            for pb, ps in zip(b.model.parameters(), s.model.parameters()):
+                np.testing.assert_allclose(pb, ps, rtol=1e-9)
+        # Identical winning restart — tolerance 0 on the argmax.
+        batched_winner = int(np.argmax(
+            [f.log_likelihood for f in batched_fits]
+        ))
+        seq_winner = int(np.argmax([f.log_likelihood for f in seq_fits]))
+        assert batched_winner == seq_winner
+
+    @pytest.mark.parametrize("kind,fit,restart_worker", KINDS)
+    def test_gamma_xi_statistics_match(self, seq, kind, fit, restart_worker):
+        """The batched E-step's sufficient statistics row-match the
+        sequential E-step run model-by-model."""
+        config = EMConfig(n_restarts=3, seed=23)
+        index = SymbolIndex(seq)
+        aux = _EStepAux(kind, index, config, 2)
+        models = [
+            batched._initial_model(kind, seq, 2, config, r)
+            for r in range(3)
+        ]
+        batch = _BATCH_TYPES[kind].from_models(models)
+        stats = batch.estep(aux)
+        for row, model in enumerate(models):
+            if kind == "mmhd":
+                ref = model._estep(index, fast=config.fast_path)
+                np.testing.assert_allclose(stats.loss_mass[row],
+                                           ref.loss_mass, rtol=1e-9)
+                np.testing.assert_allclose(stats.total_mass[row],
+                                           ref.total_mass, rtol=1e-9)
+            else:
+                ref = model._estep(index)
+                np.testing.assert_allclose(stats.joint_obs[row],
+                                           ref.joint_obs, rtol=1e-9)
+                np.testing.assert_allclose(stats.joint_loss[row],
+                                           ref.joint_loss, rtol=1e-9)
+            np.testing.assert_allclose(stats.gamma0[row], ref.gamma0,
+                                       rtol=1e-9)
+            np.testing.assert_allclose(stats.xi_sum[row], ref.xi_sum,
+                                       rtol=1e-9)
+            np.testing.assert_allclose(stats.loglik[row], ref.loglik,
+                                       rtol=1e-12)
+
+    @pytest.mark.parametrize("kind,fit,restart_worker", KINDS)
+    def test_fit_level_parity(self, seq, kind, fit, restart_worker):
+        """End to end through fit_hmm/fit_mmhd with the backend knob."""
+        base = EMConfig(tol=1e-3, max_iter=30, n_restarts=3, seed=5,
+                        freeze_loss_iters=2)
+        b = fit(seq, 2, config=base.replace(backend="batched"))
+        s = fit(seq, 2, config=base.replace(backend="sequential"))
+        assert abs(b.log_likelihood - s.log_likelihood) <= (
+            1e-9 * abs(s.log_likelihood)
+        )
+        assert b.n_iter == s.n_iter
+        np.testing.assert_allclose(b.virtual_delay_pmf,
+                                   s.virtual_delay_pmf, rtol=1e-9)
+
+    @pytest.mark.parametrize("kind,fit,restart_worker", KINDS)
+    def test_all_restarts_converge_early(self, seq, kind, fit,
+                                         restart_worker):
+        """A huge tolerance converges every row on its first unfrozen
+        iteration; the masking bookkeeping must still finalize all."""
+        config = EMConfig(tol=1e6, max_iter=30, n_restarts=3, seed=3,
+                          freeze_loss_iters=1)
+        batched_fits = batched_restart_fits(kind, seq, 2, config)
+        seq_fits = sequential_fits(seq, kind, restart_worker, config)
+        for b, s in zip(batched_fits, seq_fits):
+            assert b.converged and s.converged
+            assert b.n_iter == s.n_iter == 2
+            np.testing.assert_allclose(
+                b.log_likelihoods, s.log_likelihoods, rtol=1e-9
+            )
+
+    @pytest.mark.parametrize("kind,fit,restart_worker", KINDS)
+    def test_single_restart(self, seq, kind, fit, restart_worker):
+        config = EMConfig(tol=1e-3, max_iter=25, n_restarts=1, seed=9,
+                          freeze_loss_iters=2)
+        (b,) = batched_restart_fits(kind, seq, 2, config)
+        (s,) = sequential_fits(seq, kind, restart_worker, config)
+        assert b.n_iter == s.n_iter
+        np.testing.assert_allclose(b.log_likelihoods, s.log_likelihoods,
+                                   rtol=1e-9)
+        np.testing.assert_allclose(b.virtual_delay_pmf,
+                                   s.virtual_delay_pmf, rtol=1e-9)
+
+    @pytest.mark.parametrize("kind,fit,restart_worker", KINDS)
+    def test_sharded_batches_are_bit_identical(self, seq, kind, fit,
+                                               restart_worker):
+        """Batch rows are computed independently, so sharding the batch
+        over workers changes nothing — not even the last ulp."""
+        config = EMConfig(tol=1e-3, max_iter=25, n_restarts=3, seed=13,
+                          freeze_loss_iters=2, backend="batched")
+        f1 = fit(seq, 2, config=config)
+        f4 = fit(seq, 2, config=config.replace(n_jobs=3))
+        assert f1.log_likelihoods == f4.log_likelihoods
+        assert np.array_equal(f1.virtual_delay_pmf, f4.virtual_delay_pmf)
+        for a, b in zip(f1.model.parameters(), f4.model.parameters()):
+            assert np.array_equal(a, b)
+
+
+class TestBackendResolution:
+    def test_auto_uses_state_width(self):
+        config = EMConfig()
+        assert config.backend == "auto"
+        assert resolve_backend(config, "hmm", 4, 5) == "batched"
+        assert resolve_backend(config, "hmm",
+                               BATCHED_STATE_LIMIT + 1, 5) == "sequential"
+        # MMHD width is N*M.
+        assert resolve_backend(config, "mmhd", 4, 5) == "batched"
+        assert resolve_backend(config, "mmhd", 16, 5) == "sequential"
+
+    def test_explicit_backend_wins(self):
+        assert resolve_backend(
+            EMConfig(backend="sequential"), "hmm", 2, 5
+        ) == "sequential"
+        assert resolve_backend(
+            EMConfig(backend="batched"), "mmhd", 16, 5
+        ) == "batched"
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EM_BACKEND", "sequential")
+        assert EMConfig().backend == "sequential"
+        monkeypatch.setenv("REPRO_EM_BACKEND", "batched")
+        assert EMConfig().backend == "batched"
+
+    def test_invalid_backend_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="backend"):
+            EMConfig(backend="gpu")
+        monkeypatch.setenv("REPRO_EM_BACKEND", "gpu")
+        with pytest.raises(ValueError, match="backend"):
+            EMConfig()
+
+    def test_replace_keeps_backend(self):
+        config = EMConfig(backend="sequential")
+        assert config.replace(n_jobs=2).backend == "sequential"

@@ -84,3 +84,47 @@ class TestViterbiHMM:
         assert (path[:3] == path[0]).all()
         assert (path[3:] == path[3]).all()
         assert path[0] != path[3]
+
+
+class TestStructuredViterbi:
+    """The support-restricted MMHD recursion must reproduce the dense
+    reference path exactly — same max, same tie-breaking."""
+
+    def test_matches_dense_on_random_models(self):
+        rng = np.random.default_rng(42)
+        for _ in range(15):
+            n_symbols = int(rng.integers(2, 5))
+            n_hidden = int(rng.integers(1, 4))
+            n_states = n_hidden * n_symbols
+            model = MarkovModelHiddenDimension(
+                rng.dirichlet(np.ones(n_states)),
+                rng.dirichlet(np.ones(n_states), size=n_states),
+                rng.uniform(0.05, 0.4, n_symbols),
+                n_symbols,
+            )
+            symbols = rng.integers(1, n_symbols + 1, 150)
+            symbols[rng.random(150) < 0.25] = LOSS
+            seq = ObservationSequence(symbols, n_symbols=n_symbols)
+            h_fast, s_fast = viterbi_mmhd(model, seq, structured=True)
+            h_ref, s_ref = viterbi_mmhd(model, seq, structured=False)
+            np.testing.assert_array_equal(h_fast, h_ref)
+            np.testing.assert_array_equal(s_fast, s_ref)
+
+    def test_matches_dense_on_fitted_model(self):
+        seq, _ = make_markov_sequence(n_steps=3000, seed=19)
+        fitted = fit_mmhd(seq, n_hidden=2,
+                          config=EMConfig(max_iter=30, tol=1e-3, seed=4))
+        h_fast, s_fast = viterbi_mmhd(fitted.model, seq, structured=True)
+        h_ref, s_ref = viterbi_mmhd(fitted.model, seq, structured=False)
+        np.testing.assert_array_equal(h_fast, h_ref)
+        np.testing.assert_array_equal(s_fast, s_ref)
+
+    def test_loss_heavy_and_no_loss_windows(self):
+        model = sticky_mmhd(stick=0.9)
+        loss_heavy = ObservationSequence([LOSS, LOSS, 2, LOSS], n_symbols=3)
+        no_loss = ObservationSequence([1, 2, 3, 2], n_symbols=3)
+        for seq in (loss_heavy, no_loss):
+            h_fast, s_fast = viterbi_mmhd(model, seq, structured=True)
+            h_ref, s_ref = viterbi_mmhd(model, seq, structured=False)
+            np.testing.assert_array_equal(h_fast, h_ref)
+            np.testing.assert_array_equal(s_fast, s_ref)

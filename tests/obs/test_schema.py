@@ -44,7 +44,9 @@ class TestCatalogConsistency:
             if kind == "counter":
                 assert name.endswith("_total"), name
             if kind == "histogram":
-                assert name.endswith("_seconds"), name
+                # Unit suffix: seconds for timings, ratio for
+                # dimensionless fractions (batch occupancy).
+                assert name.endswith(("_seconds", "_ratio")), name
 
     def test_monitor_series_reference_cataloged_families(self):
         cataloged = {name: labels for name, _, labels, _ in schema.METRICS}
