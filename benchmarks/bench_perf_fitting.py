@@ -417,6 +417,10 @@ def main(argv=None) -> int:
     common.OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[written to {out}]")
+    manifest = common.write_bench_manifest(
+        "fitting", config=common.identify_config(),
+    )
+    print(f"[manifest written to {manifest}]")
     return status
 
 

@@ -251,6 +251,8 @@ def main(argv=None) -> int:
     common.OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[written to {out}]")
+    manifest = common.write_bench_manifest("streaming")
+    print(f"[manifest written to {manifest}]")
     return status
 
 

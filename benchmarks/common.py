@@ -75,6 +75,26 @@ def write_artifact(name: str, text: str) -> Path:
     return path
 
 
+def write_bench_manifest(name: str, config=None, extra=None) -> Path:
+    """Record run provenance for one benchmark next to its BENCH JSON.
+
+    ``BENCH_<name>.manifest.json`` captures the scale, seeds, package
+    versions, and git commit that produced the committed numbers, so a
+    regression flagged by ``compare_bench.py`` can always be traced to
+    the environment difference behind it.
+    """
+    from repro.obs import provenance
+
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / f"BENCH_{name}.manifest.json"
+    provenance.record_run(
+        f"bench:{name}", config=config, out_path=path,
+        extra={"scale": SCALE, "n_jobs": N_JOBS,
+               **(extra or {})},
+    )
+    return path
+
+
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,63 @@
+"""Diff two BENCH_*.json reports and flag regressions.
+
+Thin CLI over :func:`repro.obs.report.diff_bench` — the same comparator
+``repro report`` renders as its benchmarks section — so CI, the
+dashboard, and a developer at a shell all apply identical rules: only
+directional metrics (timings, speedups, throughput, overheads) are
+compared, and a change beyond ``--tolerance`` as a fraction of the
+baseline is a regression (exit code 1) or an improvement (reported,
+exit 0).
+
+Usage::
+
+    python benchmarks/compare_bench.py output/BENCH_fitting.json \
+        new/BENCH_fitting.json --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    from repro.obs.report import diff_bench, load_bench
+except ImportError:  # running without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs.report import diff_bench, load_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative change treated as a regression "
+                             "(default 0.25)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full diff as JSON")
+    args = parser.parse_args(argv)
+
+    diff = diff_bench(load_bench(args.baseline), load_bench(args.current),
+                      tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(f"{diff['checked']} directional metrics checked "
+              f"(tolerance ±{args.tolerance:.0%})")
+        for entry in diff["regressions"]:
+            print(f"  REGRESSION {entry['key']}: "
+                  f"{entry['baseline']:g} -> {entry['current']:g} "
+                  f"({entry['change']:+.1%}, {entry['direction']} is better)")
+        for entry in diff["improvements"]:
+            print(f"  improvement {entry['key']}: "
+                  f"{entry['baseline']:g} -> {entry['current']:g} "
+                  f"({entry['change']:+.1%})")
+        if not diff["regressions"] and not diff["improvements"]:
+            print("  no change beyond tolerance")
+    return 1 if diff["regressions"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

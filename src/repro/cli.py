@@ -13,13 +13,21 @@ Commands mirror the workflow a measurement operator runs:
   identification subsystem and emit JSONL verdict events (tails files
   with ``--follow``, reads stdin with ``-``); ``--metrics-file`` /
   ``--metrics-port`` expose Prometheus metrics, ``--telemetry`` records
-  structured JSONL events;
+  structured JSONL events, ``--alert-rules`` evaluates declarative
+  health rules (exit code 3 once a ``fatal`` rule fires),
+  ``--flight-recorder DIR`` keeps a crash-dumpable ring of recent
+  events, ``--stall-timeout`` arms a progress watchdog, and
+  ``--profile`` captures per-phase cProfile data;
 * ``stats`` — summarize a telemetry JSONL event file (slowest spans,
-  warm-start and fallback rates, verdict flips).
+  warm-start and fallback rates, verdict flips);
+* ``report`` — render telemetry JSONL + ``BENCH_*.json`` artifacts into
+  one self-contained HTML dashboard (with bench-regression checks
+  against a baseline directory).
 
 ``--log-level`` (before the subcommand) turns on ``repro.*`` logging to
 stderr; ``--telemetry PATH`` on the analysis commands records the run's
-events for ``repro stats``.
+events for ``repro stats`` / ``repro report`` and writes a provenance
+manifest next to it (``--manifest`` overrides the location).
 """
 
 from __future__ import annotations
@@ -90,6 +98,14 @@ def _add_telemetry_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="record telemetry events (JSONL) to PATH and "
                              "collect metrics (summarize with 'repro stats')")
+    parser.add_argument("--telemetry-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="rotate the telemetry file to PATH.1 once it "
+                             "exceeds N bytes (default: never rotate)")
+    parser.add_argument("--manifest", metavar="PATH", default=None,
+                        help="write a run-provenance manifest JSON to PATH "
+                             "(default: next to --telemetry as "
+                             "<stem>.manifest.json)")
 
 
 def _add_identify_options(parser: argparse.ArgumentParser) -> None:
@@ -202,6 +218,22 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="PORT",
                          help="serve /metrics over HTTP on 127.0.0.1:PORT "
                               "(0 = ephemeral port; URL printed to stderr)")
+    monitor.add_argument("--alert-rules", metavar="FILE", default=None,
+                         help="evaluate declarative alert rules each drain "
+                              "('default' = the built-in rule set); a fired "
+                              "fatal rule makes the exit code 3")
+    monitor.add_argument("--flight-recorder", metavar="DIR", default=None,
+                         help="keep a ring of recent events and dump it to "
+                              "DIR/crash-<pid>.json on SIGTERM/SIGINT (plus "
+                              "faulthandler tracebacks for hard crashes)")
+    monitor.add_argument("--stall-timeout", type=float, default=None,
+                         metavar="SEC",
+                         help="emit a watchdog.stall event (with the recent "
+                              "event ring) if no pipeline progress happens "
+                              "for SEC seconds")
+    monitor.add_argument("--profile", action="store_true",
+                         help="capture per-phase cProfile data; summarized "
+                              "to stderr and emitted as profile.phase events")
     _add_identify_options(monitor)
     _add_telemetry_option(monitor)
 
@@ -215,6 +247,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slowest spans to list (default 5)")
     stats.add_argument("--json", action="store_true",
                        help="print the full summary as JSON")
+
+    report = commands.add_parser(
+        "report",
+        help="render telemetry + bench artifacts as one HTML dashboard",
+    )
+    report.add_argument("--events", action="append", default=[],
+                        metavar="JSONL",
+                        help="telemetry JSONL file (repeatable)")
+    report.add_argument("--bench", action="append", default=[],
+                        metavar="JSON",
+                        help="BENCH_*.json benchmark report (repeatable)")
+    report.add_argument("--baseline", metavar="DIR", default=None,
+                        help="directory of committed baseline BENCH JSONs "
+                             "to diff each --bench file against (by name)")
+    report.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative change flagged as a bench regression "
+                             "(default 0.25)")
+    report.add_argument("--out", default="report.html",
+                        help="output HTML path (default report.html)")
+    report.add_argument("--title", default="repro run report")
+    report.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any bench regression is flagged")
     return parser
 
 
@@ -235,9 +289,34 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _record_provenance(args, command: str, config, inputs=None) -> None:
+    """Record the run manifest (event + JSON artifact) for one command.
+
+    The artifact is written when ``--manifest`` names a path, or next to
+    ``--telemetry`` as ``<stem>.manifest.json``; the ``run.manifest``
+    event additionally lands in the telemetry stream whenever telemetry
+    is on.  A run with neither flag records nothing.
+    """
+    out = getattr(args, "manifest", None)
+    telemetry = getattr(args, "telemetry", None)
+    if out is None and telemetry:
+        out = Path(telemetry).with_suffix(".manifest.json")
+    if out is None and not obs.is_enabled():
+        return
+    from repro.obs import provenance
+
+    seeds = {}
+    if getattr(args, "demo", None):
+        seeds["demo"] = getattr(args, "seed", 0)
+    provenance.record_run(command, config=config, out_path=out,
+                          inputs=list(inputs or []), seeds=seeds)
+
+
 def _cmd_identify(args) -> int:
     observation = load_observation(args.observation)
-    report = identify(observation, _identify_config(args))
+    config = _identify_config(args)
+    _record_provenance(args, "identify", config, inputs=[args.observation])
+    report = identify(observation, config)
     print(report.summary())
     return 0
 
@@ -245,6 +324,7 @@ def _cmd_identify(args) -> int:
 def _cmd_bound(args) -> int:
     observation = load_observation(args.observation)
     config = _identify_config(args)
+    _record_provenance(args, "bound", config, inputs=[args.observation])
     verdict = args.verdict
     if verdict is None:
         report = identify(observation, config)
@@ -272,7 +352,9 @@ def _cmd_clock(args) -> int:
 
 def _cmd_pinpoint(args) -> int:
     trace = load_trace(args.trace)
-    report = pinpoint_dominant_link(trace, _identify_config(args))
+    config = _identify_config(args)
+    _record_provenance(args, "pinpoint", config, inputs=[args.trace])
+    report = pinpoint_dominant_link(trace, config)
     print(report.summary())
     return 0 if report.located else 1
 
@@ -319,6 +401,27 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.obs import report as report_mod
+
+    data = report_mod.collect_report_data(
+        args.events, args.bench, baseline_dir=args.baseline,
+        tolerance=args.tolerance,
+    )
+    out = report_mod.generate_report(
+        args.events, args.bench, baseline_dir=args.baseline,
+        tolerance=args.tolerance, out=args.out, title=args.title, data=data,
+    )
+    print(f"report written to {out} "
+          f"({data['n_events']} events, {len(data['benches'])} bench "
+          f"report(s), {data['n_regressions']} regression(s))")
+    if args.fail_on_regression and data["n_regressions"]:
+        print(f"report: {data['n_regressions']} bench regression(s) beyond "
+              f"±{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_monitor(args) -> int:
     from repro.streaming import MonitorConfig, MultiPathMonitor
 
@@ -337,6 +440,24 @@ def _cmd_monitor(args) -> int:
     monitor = MultiPathMonitor(config, n_jobs=args.jobs)
     iterators = {path: iter(s) for path, s in _monitor_streams(args).items()}
 
+    recorder = None
+    watchdog = None
+    if args.flight_recorder or args.stall_timeout:
+        from repro.obs.recorder import FlightRecorder, Watchdog
+
+        # Attach before the first event (run.manifest below) so the
+        # ring sees the whole run from the start.
+        recorder = FlightRecorder().attach()
+        if args.flight_recorder:
+            recorder.install_signal_dumps(args.flight_recorder)
+        if args.stall_timeout:
+            watchdog = Watchdog(
+                timeout=args.stall_timeout, recorder=recorder,
+                dump_dir=args.flight_recorder,
+            ).start()
+
+    _record_provenance(args, "monitor", config, inputs=args.inputs)
+
     if obs.is_enabled():
         # Zero-valued series make every monitor-relevant metric family
         # visible to scrapes before the first fallback or verdict flip.
@@ -347,6 +468,20 @@ def _cmd_monitor(args) -> int:
 
         server = MetricsServer(port=args.metrics_port).start()
         print(f"metrics: {server.url}", file=sys.stderr)
+
+    engine = None
+    if args.alert_rules:
+        from repro.obs.alerts import DEFAULT_RULES, AlertEngine, parse_rules
+
+        text = (DEFAULT_RULES if args.alert_rules == "default"
+                else Path(args.alert_rules).read_text(encoding="utf-8"))
+        engine = AlertEngine(parse_rules(text))
+
+    profiler = None
+    if args.profile:
+        from repro.obs import profiling
+
+        profiler = profiling.enable_profiling()
 
     def write_metrics() -> None:
         if args.metrics_file:
@@ -367,6 +502,7 @@ def _cmd_monitor(args) -> int:
         return False
 
     burst = config.hop
+    stop = False
     try:
         while iterators:
             exhausted = []
@@ -382,15 +518,39 @@ def _cmd_monitor(args) -> int:
                 del iterators[path]
             stop = emit(monitor.drain())
             write_metrics()
+            if engine is not None:
+                engine.evaluate()
+            obs.heartbeat()
             if stop:
-                return 0
-        emit(monitor.finish())
+                break
+        if not stop:
+            emit(monitor.finish())
     except KeyboardInterrupt:  # pragma: no cover - interactive tail mode
         emit(monitor.drain())
     finally:
+        if engine is not None:
+            engine.evaluate()
         write_metrics()
+        if profiler is not None:
+            from repro.obs import profiling
+
+            profiling.disable_profiling()
+            profiler.emit_events()
+            formatted = profiler.format()
+            if formatted:
+                print(formatted, file=sys.stderr)
+        if watchdog is not None:
+            watchdog.stop()
+        if recorder is not None:
+            recorder.uninstall_signal_dumps()
+            recorder.detach()
         if server is not None:
             server.close()
+    if engine is not None and engine.fatal_fired:
+        print(f"monitor: fatal alert(s) fired: "
+              f"{', '.join(engine.active_alerts()) or '(resolved)'}",
+              file=sys.stderr)
+        return 3
     return 0
 
 
@@ -418,17 +578,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "pinpoint": _cmd_pinpoint,
         "monitor": _cmd_monitor,
         "stats": _cmd_stats,
+        "report": _cmd_report,
     }
     # Telemetry turns on when a run asks for an event file or (monitor
-    # only) any metrics output; metrics-only runs pass events=None.
+    # only) any metrics/diagnostics output; metrics-only runs pass
+    # events=None, and the flight recorder / watchdog / alert engine /
+    # profiler all ride on the telemetry substrate.
     telemetry = getattr(args, "telemetry", None)
     wants_metrics = (
         getattr(args, "metrics_file", None) is not None
         or getattr(args, "metrics_port", None) is not None
+        or getattr(args, "alert_rules", None) is not None
+        or getattr(args, "flight_recorder", None) is not None
+        or getattr(args, "stall_timeout", None) is not None
+        or getattr(args, "profile", False)
     )
     enabled_here = False
     if telemetry or wants_metrics:
-        obs.enable(events=telemetry, clear=True)
+        obs.enable(events=telemetry, clear=True,
+                   max_bytes=getattr(args, "telemetry_max_bytes", None))
         enabled_here = True
     try:
         return handlers[args.command](args)

@@ -29,6 +29,7 @@ from repro.core.hypothesis import TestResult, sdcl_test, wdcl_test
 from repro.core.virtual_delay import hmm_distribution, mmhd_distribution
 from repro.models.base import EMConfig, FittedModel
 from repro.netsim.trace import PathObservation, ProbeTrace
+from repro.obs.profiling import profile_phase
 
 __all__ = [
     "IdentifyConfig",
@@ -183,14 +184,18 @@ def identify(
     """
     config = config or IdentifyConfig()
     observation = _as_observation(data, config)
-    discretizer = DelayDiscretizer.from_observation(
-        observation, config.n_symbols, propagation_delay=config.propagation_delay
-    )
+    with profile_phase("identify.discretize"):
+        discretizer = DelayDiscretizer.from_observation(
+            observation, config.n_symbols,
+            propagation_delay=config.propagation_delay,
+        )
     estimator = mmhd_distribution if config.model == "mmhd" else hmm_distribution
-    distribution, fitted = estimator(
-        observation, discretizer, n_hidden=config.n_hidden, config=config.em
-    )
-    sdcl, wdcl = evaluate_distribution(distribution, config)
+    with profile_phase("identify.fit"):
+        distribution, fitted = estimator(
+            observation, discretizer, n_hidden=config.n_hidden, config=config.em
+        )
+    with profile_phase("identify.tests"):
+        sdcl, wdcl = evaluate_distribution(distribution, config)
     return IdentificationReport(
         distribution=distribution,
         sdcl=sdcl,

@@ -51,6 +51,7 @@ __all__ = [
     "disable",
     "is_enabled",
     "emit",
+    "heartbeat",
     "inc",
     "set_gauge",
     "observe",
@@ -76,7 +77,8 @@ _ENABLED = False
 # ----------------------------------------------------------------------
 # Switches
 # ----------------------------------------------------------------------
-def enable(events=None, clear: bool = False) -> None:
+def enable(events=None, clear: bool = False,
+           max_bytes: Optional[int] = None) -> None:
     """Turn telemetry on.
 
     Parameters
@@ -87,11 +89,14 @@ def enable(events=None, clear: bool = False) -> None:
         (process-local).  ``None`` collects metrics only.
     clear:
         Drop previously collected metric samples first.
+    max_bytes:
+        Rotate a path sink to ``<name>.1`` once it crosses this size, so
+        long ``monitor --follow`` runs cannot fill the disk.
     """
     global _ENABLED
     if clear:
         _REGISTRY.clear()
-    _BUS.configure(events)
+    _BUS.configure(events, max_bytes=max_bytes)
     _ENABLED = True
 
 
@@ -115,6 +120,20 @@ def emit(kind: str, /, **fields) -> None:
     if not _ENABLED:
         return
     _BUS.emit(kind, **fields)
+
+
+def heartbeat() -> None:
+    """Feed every active watchdog (see :mod:`repro.obs.recorder`).
+
+    Called from progress points of long-running loops (the monitor's
+    drain, ``parallel_map`` completions); reduces to one attribute
+    check when telemetry is off or no watchdog is running.
+    """
+    if not _ENABLED:
+        return
+    from repro.obs import recorder
+
+    recorder.beat_all()
 
 
 def inc(name: str, amount: float = 1.0, /, **labels) -> None:

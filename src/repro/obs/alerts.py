@@ -1,0 +1,292 @@
+"""Declarative alert rules evaluated over the metrics registry.
+
+An operator watching a fleet of monitors does not read raw JSONL; they
+declare what "unhealthy" means and let the engine say when it starts and
+stops.  Rules are one line each::
+
+    <name>: [rate] <metric>{label=value,...} <op> <threshold> [for N] [fatal|warn]
+
+* ``rate`` evaluates the per-second increase of the metric between
+  engine evaluations (counters; the first evaluation only establishes
+  the baseline), otherwise the current value is compared;
+* the metric may be any registry family — counters matching the label
+  *subset* are summed (so ``repro_streaming_fallbacks_total`` with no
+  labels alerts on the total across reasons), gauges take the max over
+  matching series, histograms use their observation count;
+* ``op`` is ``>``, ``>=``, ``<`` or ``<=``;
+* ``for N`` requires the condition on ``N`` consecutive evaluations
+  before firing (default 1), the alert analogue of the verdict
+  tracker's K-of-N hysteresis;
+* ``fatal`` (vs the default ``warn``) makes ``repro monitor`` exit
+  nonzero once the rule has fired.
+
+Transitions emit ``alert.fired`` / ``alert.resolved`` events and bump
+``repro_alerts_fired_total``; a fired alert resolves when its condition
+stops holding.  :data:`DEFAULT_RULES` covers the failure modes the
+streaming subsystem documents: likelihood-collapse fallback bursts,
+window backlog/lag, verdict flapping past the hysteresis, watchdog
+stalls, and pool breaks.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "AlertRule",
+    "AlertEngine",
+    "parse_rules",
+    "DEFAULT_RULES",
+]
+
+#: Built-in rule set for ``repro monitor --alert-rules default``.
+DEFAULT_RULES = """\
+# Warm-start collapse: cold refits driven by zero-likelihood warm fits
+# arriving faster than one every ~3 windows means the path's regime is
+# shifting faster than the monitor can track (or EM is broken).
+likelihood-collapse-burst: rate repro_streaming_fallbacks_total{reason=zero-likelihood} > 0.3 for 2 fatal
+# Any sustained fallback churn (all reasons) is worth a warning.
+fallback-churn: rate repro_streaming_fallbacks_total > 0.5 for 2 warn
+# Verdict flapping beyond what the K-of-N hysteresis should allow.
+verdict-flapping: rate repro_verdict_changes_total > 0.2 for 2 warn
+# Ingestion is outrunning fitting: pending windows being dropped.
+window-backlog: rate repro_windows_dropped_total > 0 for 2 fatal
+# The watchdog saw no pipeline progress within its timeout.
+watchdog-stall: repro_watchdog_stalls_total > 0 fatal
+# The worker pool died and work fell back to serial reruns.
+pool-broken: repro_pool_breaks_total > 0 warn
+"""
+
+_OPS = {
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+_RULE_RE = re.compile(
+    r"^(?P<name>[\w.-]+)\s*:\s*"
+    r"(?:(?P<rate>rate)\s+)?"
+    r"(?P<metric>[A-Za-z_:][\w:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s*"
+    r"(?P<op>>=|<=|>|<)\s*"
+    r"(?P<threshold>[-+]?[\d.]+(?:[eE][-+]?\d+)?)"
+    r"(?:\s+for\s+(?P<for>\d+))?"
+    r"(?:\s+(?P<severity>warn|fatal))?\s*$"
+)
+
+
+class AlertRule:
+    """One declarative rule (see the module docstring for the syntax)."""
+
+    __slots__ = ("name", "metric", "labels", "op", "threshold", "mode",
+                 "for_count", "severity")
+
+    def __init__(
+        self,
+        name: str,
+        metric: str,
+        op: str,
+        threshold: float,
+        labels: Optional[Dict[str, str]] = None,
+        mode: str = "value",
+        for_count: int = 1,
+        severity: str = "warn",
+    ):
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {sorted(_OPS)}, got {op!r}")
+        if mode not in ("value", "rate"):
+            raise ValueError(f"mode must be value or rate, got {mode!r}")
+        if severity not in ("warn", "fatal"):
+            raise ValueError(
+                f"severity must be warn or fatal, got {severity!r}")
+        if for_count < 1:
+            raise ValueError(f"for_count must be >= 1, got {for_count}")
+        self.name = name
+        self.metric = metric
+        self.labels = dict(labels or {})
+        self.op = op
+        self.threshold = float(threshold)
+        self.mode = mode
+        self.for_count = int(for_count)
+        self.severity = severity
+
+    def describe(self) -> str:
+        """The rule back in its one-line syntax."""
+        labels = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        metric = f"{self.metric}{{{labels}}}" if labels else self.metric
+        rate = "rate " if self.mode == "rate" else ""
+        for_part = f" for {self.for_count}" if self.for_count > 1 else ""
+        return (f"{self.name}: {rate}{metric} {self.op} "
+                f"{self.threshold:g}{for_part} {self.severity}")
+
+
+def _parse_labels(text: Optional[str]) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not text or not text.strip():
+        return labels
+    for pair in text.split(","):
+        if "=" not in pair:
+            raise ValueError(f"bad label matcher {pair!r} (want key=value)")
+        key, value = pair.split("=", 1)
+        labels[key.strip()] = value.strip().strip('"')
+    return labels
+
+
+def parse_rules(text: str) -> List[AlertRule]:
+    """Parse a rules file; raises ValueError with the offending line."""
+    rules: List[AlertRule] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _RULE_RE.match(line)
+        if match is None:
+            raise ValueError(f"alert rules line {lineno}: cannot parse {line!r}")
+        rules.append(AlertRule(
+            name=match["name"],
+            metric=match["metric"],
+            op=match["op"],
+            threshold=float(match["threshold"]),
+            labels=_parse_labels(match["labels"]),
+            mode="rate" if match["rate"] else "value",
+            for_count=int(match["for"] or 1),
+            severity=match["severity"] or "warn",
+        ))
+    names = [rule.name for rule in rules]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ValueError(f"duplicate alert rule names: {sorted(duplicates)}")
+    return rules
+
+
+class _RuleState:
+    __slots__ = ("breaches", "active", "last_raw")
+
+    def __init__(self):
+        self.breaches = 0
+        self.active = False
+        self.last_raw: Optional[float] = None
+
+
+class AlertEngine:
+    """Evaluate a rule set against a registry, tracking fire/resolve state.
+
+    Call :meth:`evaluate` periodically (the monitor does so once per
+    drain).  Each call samples the registry once, updates every rule,
+    and returns the transitions that happened — also emitted as
+    ``alert.fired`` / ``alert.resolved`` events.
+    """
+
+    def __init__(self, rules: List[AlertRule], registry=None):
+        if registry is None:
+            from repro import obs
+
+            registry = obs.registry()
+        self.rules = list(rules)
+        self.registry = registry
+        # Pre-create each rule's fired-counter series at zero so scrapes
+        # can tell "never fired" from "not monitored".
+        for rule in self.rules:
+            registry.inc("repro_alerts_fired_total", 0.0,
+                         rule=rule.name, severity=rule.severity)
+        self._states = {rule.name: _RuleState() for rule in self.rules}
+        self._last_time: Optional[float] = None
+        self.n_fired = 0
+        self.n_resolved = 0
+        self.fatal_fired = False
+
+    # ------------------------------------------------------------------
+    # Metric lookup
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _matches(sample_labels, wanted: Dict[str, str]) -> bool:
+        labels = dict(sample_labels)
+        return all(labels.get(k) == v for k, v in wanted.items())
+
+    def _metric_value(self, snapshot: dict, rule: AlertRule) -> Optional[float]:
+        """Current scalar for a rule: None when the family has no samples."""
+        total = None
+        for (name, labels), value in snapshot["counters"].items():
+            if name == rule.metric and self._matches(labels, rule.labels):
+                total = (total or 0.0) + value
+        if total is not None:
+            return total
+        best = None
+        for (name, labels), value in snapshot["gauges"].items():
+            if name == rule.metric and self._matches(labels, rule.labels):
+                best = value if best is None else max(best, value)
+        if best is not None:
+            return best
+        count = None
+        for (name, labels), (_b, _c, _t, n) in snapshot["histograms"].items():
+            if name == rule.metric and self._matches(labels, rule.labels):
+                count = (count or 0) + n
+        return None if count is None else float(count)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, now: Optional[float] = None) -> List[dict]:
+        """One evaluation pass; returns fired/resolved transitions."""
+        from repro import obs
+
+        now = time.monotonic() if now is None else now
+        dt = None if self._last_time is None else now - self._last_time
+        snapshot = self.registry.snapshot()
+        transitions: List[dict] = []
+        for rule in self.rules:
+            state = self._states[rule.name]
+            raw = self._metric_value(snapshot, rule)
+            if rule.mode == "rate":
+                if raw is None or state.last_raw is None or not dt or dt <= 0:
+                    value = None
+                else:
+                    value = (raw - state.last_raw) / dt
+                if raw is not None:
+                    state.last_raw = raw
+            else:
+                value = raw
+            breached = value is not None and _OPS[rule.op](value,
+                                                          rule.threshold)
+            state.breaches = state.breaches + 1 if breached else 0
+            if breached and not state.active \
+                    and state.breaches >= rule.for_count:
+                state.active = True
+                self.n_fired += 1
+                if rule.severity == "fatal":
+                    self.fatal_fired = True
+                self.registry.inc("repro_alerts_fired_total", 1.0,
+                                  rule=rule.name, severity=rule.severity)
+                obs.emit(
+                    "alert.fired",
+                    rule=rule.name,
+                    severity=rule.severity,
+                    value=round(value, 6),
+                    threshold=rule.threshold,
+                    expr=rule.describe(),
+                )
+                transitions.append({"rule": rule.name, "event": "fired",
+                                    "severity": rule.severity,
+                                    "value": value})
+            elif state.active and not breached:
+                state.active = False
+                self.n_resolved += 1
+                obs.emit(
+                    "alert.resolved",
+                    rule=rule.name,
+                    value=None if value is None else round(value, 6),
+                    threshold=rule.threshold,
+                )
+                transitions.append({"rule": rule.name, "event": "resolved",
+                                    "severity": rule.severity,
+                                    "value": value})
+        self._last_time = now
+        return transitions
+
+    def active_alerts(self) -> List[str]:
+        """Names of rules currently firing."""
+        return [rule.name for rule in self.rules
+                if self._states[rule.name].active]

@@ -12,6 +12,20 @@ from concurrent worker processes interleave whole, never torn.  The bus
 detects ``fork`` (pid change) and reopens its handle so parent and child
 never share a buffered file position.
 
+Two optional extensions serve long-running monitors:
+
+* **taps** — in-process subscribers (:meth:`EventBus.add_tap`) that see
+  every event dict as it is emitted, independent of the sink.  The
+  flight recorder (:mod:`repro.obs.recorder`) is a tap; taps also work
+  with no sink configured (metrics-only runs still fill the ring);
+* **rotation** — ``configure(..., max_bytes=N)`` renames the sink to
+  ``<name>.1`` once it crosses ``N`` bytes and starts a fresh file, so
+  ``monitor --follow`` runs cannot fill the disk.  Rotation happens in
+  the process that crosses the threshold (in practice the parent, which
+  emits the bulk of the events); a worker holding a handle to the
+  renamed file keeps appending there harmlessly until its next fork
+  check.
+
 The disabled path is a single attribute check per :meth:`emit` — cheap
 enough to leave instrumentation permanently compiled into the hot paths.
 """
@@ -23,7 +37,7 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import IO, Optional, Union
+from typing import IO, Callable, Optional, Union
 
 __all__ = ["EventBus", "json_default"]
 
@@ -51,18 +65,26 @@ class EventBus:
         self._handle: Optional[IO[str]] = None
         self._pid: Optional[int] = None
         self._lock = threading.Lock()
+        self._max_bytes: Optional[int] = None
+        self._taps: tuple = ()
         self.n_emitted = 0
+        self.n_rotations = 0
 
     # ------------------------------------------------------------------
     # Configuration
     # ------------------------------------------------------------------
-    def configure(self, sink: Union[str, Path, IO[str], None]) -> None:
+    def configure(self, sink: Union[str, Path, IO[str], None],
+                  max_bytes: Optional[int] = None) -> None:
         """Point the bus at a JSONL file path or an open text stream.
 
         ``None`` disables the bus.  Path sinks are opened in append mode
         (line-atomic across processes); stream sinks (e.g. ``StringIO``
         in tests) are process-local and are not inherited by workers.
+        ``max_bytes`` (path sinks only) rotates the file to ``<name>.1``
+        once it crosses that size; taps survive reconfiguration.
         """
+        if max_bytes is not None and int(max_bytes) < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         with self._lock:
             self._close_locked()
             if sink is None:
@@ -71,10 +93,33 @@ class EventBus:
             if isinstance(sink, (str, Path)):
                 self._path = Path(sink)
                 self._handle = None  # opened lazily, per process
+                self._max_bytes = None if max_bytes is None else int(max_bytes)
             else:
                 self._stream = sink
             self._pid = os.getpid()
             self.enabled = True
+
+    # ------------------------------------------------------------------
+    # Taps (in-process subscribers; the flight recorder plugs in here)
+    # ------------------------------------------------------------------
+    def add_tap(self, tap: Callable[[dict], None]) -> None:
+        """Subscribe ``tap`` to every emitted event dict (idempotent).
+
+        Taps fire even when no sink is configured (so a metrics-only run
+        still feeds the flight-recorder ring).  A tap that raises is
+        dropped from that emit silently — observers must never take the
+        computation down.
+        """
+        with self._lock:
+            if tap not in self._taps:
+                self._taps = self._taps + (tap,)
+
+    def remove_tap(self, tap: Callable[[dict], None]) -> None:
+        """Unsubscribe a tap (a no-op when it was never added)."""
+        with self._lock:
+            # Equality, not identity: bound methods compare equal across
+            # re-fetches but are distinct objects.
+            self._taps = tuple(t for t in self._taps if t != tap)
 
     def close(self) -> None:
         """Disable the bus and release any file handle."""
@@ -92,6 +137,7 @@ class EventBus:
         self._stream = None
         self._path = None
         self._pid = None
+        self._max_bytes = None
 
     @property
     def path(self) -> Optional[Path]:
@@ -116,9 +162,35 @@ class EventBus:
             self._pid = pid
         return self._handle
 
+    def _rotate_locked(self, writer: IO[str]) -> None:
+        """Rename the sink to ``<name>.1`` and start a fresh file."""
+        try:
+            writer.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+        self._handle = None
+        backup = self._path.with_name(self._path.name + ".1")
+        try:
+            os.replace(self._path, backup)
+        except OSError:  # pragma: no cover - sink vanished under us
+            return
+        self.n_rotations += 1
+        # Reopen eagerly so the active sink exists even if no further
+        # event is ever emitted (tail -f keeps a file to follow).
+        try:
+            self._handle = open(self._path, "a", encoding="utf-8")
+            self._pid = os.getpid()
+        except OSError:  # pragma: no cover - directory vanished
+            self._handle = None
+
     def emit(self, kind: str, /, **fields) -> None:
-        """Write one event; silently a no-op when the bus is disabled."""
-        if not self.enabled:
+        """Write one event; silently a no-op when the bus is disabled.
+
+        Taps (if any) still fire when no sink is configured, so a
+        metrics-only run keeps feeding the flight-recorder ring.
+        """
+        taps = self._taps
+        if not self.enabled and not taps:
             return
         # Envelope keys win over same-named payload fields so a stray
         # ``kind=`` or ``pid=`` attribute can never corrupt the schema.
@@ -131,6 +203,13 @@ class EventBus:
         for key, value in fields.items():
             if key not in event:
                 event[key] = value
+        for tap in taps:
+            try:
+                tap(event)
+            except Exception:  # noqa: BLE001 - observers never break us
+                pass
+        if not self.enabled:
+            return
         line = json.dumps(event, default=json_default) + "\n"
         with self._lock:
             writer = self._writer()
@@ -139,6 +218,10 @@ class EventBus:
             try:
                 writer.write(line)
                 writer.flush()
+                if (self._max_bytes is not None
+                        and self._path is not None
+                        and writer.tell() >= self._max_bytes):
+                    self._rotate_locked(writer)
             except (OSError, ValueError):
                 # A torn-down sink (closed stream at interpreter exit,
                 # full disk) must never take the computation down with

@@ -1,0 +1,195 @@
+"""Opt-in per-phase profiling: cProfile capture behind a no-op guard.
+
+Spans (PR 3) answer *where the wall-clock went between phases*; this
+module answers *where the CPU went inside one* — which functions
+dominate an E-step, an M-step, a window fit — without paying anything
+when profiling is off (one module-global ``None`` check per phase).
+
+Usage::
+
+    from repro.obs import profiling
+
+    profiling.enable_profiling()
+    ... run fits ...                 # phases wrapped in profile_phase()
+    prof = profiling.disable_profiling()
+    print(prof.to_dict())           # per-phase totals + top functions
+
+The instrumented pipeline phases (``identify.fit``, ``identify.tests``,
+``window.fit``) are wrapped in :func:`profile_phase` at their call
+sites.  ``cProfile`` cannot nest, so an inner phase that opens while an
+outer capture is running records wall-clock only (its functions are
+already inside the outer capture).  Captures happen in the calling
+process: with ``n_jobs > 1`` the parent profiles its own share (the
+scheduler loop, reductions) while worker CPU shows up as pool-wait;
+profile with ``n_jobs=1`` to attribute worker internals.
+
+Each finished phase also lands on the event bus as a ``profile.phase``
+event, which is what ``repro report`` renders as the profile table.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "PhaseProfiler",
+    "enable_profiling",
+    "disable_profiling",
+    "active_profiler",
+    "profile_phase",
+]
+
+_ACTIVE: Optional["PhaseProfiler"] = None
+
+
+def _func_label(func) -> str:
+    """``pstats`` function key -> ``file:line(name)`` (stdlib format)."""
+    filename, lineno, name = func
+    if filename == "~" and lineno == 0:  # built-in
+        return name
+    return f"{filename}:{lineno}({name})"
+
+
+class PhaseProfiler:
+    """Accumulates per-phase cProfile statistics across repeated phases.
+
+    A phase (``identify.fit``, ``window.fit``) may run many times — one
+    per window, one per restart batch — so stats aggregate: call counts
+    and total seconds add up, and the per-function cumulative times sum
+    across captures before the top-``top`` cut.
+    """
+
+    def __init__(self, top: int = 12):
+        if top < 1:
+            raise ValueError(f"top must be >= 1, got {top}")
+        self.top = int(top)
+        #: phase -> {"calls", "total_s", "profiled_calls", "funcs"}
+        self.phases: Dict[str, dict] = {}
+        self._capturing = False
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time (and, when not nested, profile) one phase execution."""
+        entry = self.phases.setdefault(
+            name, {"calls": 0, "total_s": 0.0, "profiled_calls": 0,
+                   "funcs": {}},
+        )
+        profile = None
+        if not self._capturing:
+            self._capturing = True
+            profile = cProfile.Profile()
+            profile.enable()
+        start = time.monotonic()
+        try:
+            yield
+        finally:
+            elapsed = time.monotonic() - start
+            if profile is not None:
+                profile.disable()
+                self._capturing = False
+                self._fold(entry, profile)
+                entry["profiled_calls"] += 1
+            entry["calls"] += 1
+            entry["total_s"] += elapsed
+
+    def _fold(self, entry: dict, profile: cProfile.Profile) -> None:
+        stats = pstats.Stats(profile)
+        funcs = entry["funcs"]
+        for func, (cc, nc, tt, ct, _callers) in stats.stats.items():
+            label = _func_label(func)
+            agg = funcs.get(label)
+            if agg is None:
+                funcs[label] = [nc, ct]
+            else:
+                agg[0] += nc
+                agg[1] += ct
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Per-phase totals plus the top functions by cumulative time."""
+        out = {}
+        for name, entry in sorted(self.phases.items()):
+            top = sorted(
+                entry["funcs"].items(), key=lambda item: item[1][1],
+                reverse=True,
+            )[: self.top]
+            out[name] = {
+                "calls": entry["calls"],
+                "profiled_calls": entry["profiled_calls"],
+                "total_ms": round(entry["total_s"] * 1e3, 3),
+                "top": [
+                    {"func": label, "ncalls": ncalls,
+                     "cum_ms": round(cum * 1e3, 3)}
+                    for label, (ncalls, cum) in top
+                ],
+            }
+        return out
+
+    def emit_events(self) -> None:
+        """One ``profile.phase`` event per phase (for ``repro report``)."""
+        from repro import obs
+
+        for name, entry in self.to_dict().items():
+            obs.emit(
+                "profile.phase",
+                phase=name,
+                calls=entry["calls"],
+                total_ms=entry["total_ms"],
+                top=entry["top"],
+            )
+
+    def format(self, max_funcs: int = 5) -> str:
+        """Terminal rendering: one block per phase, hottest first."""
+        lines: List[str] = []
+        ordered = sorted(self.to_dict().items(),
+                         key=lambda item: item[1]["total_ms"], reverse=True)
+        for name, entry in ordered:
+            lines.append(
+                f"{name}: {entry['calls']} call(s), "
+                f"{entry['total_ms']:.1f} ms total"
+            )
+            for row in entry["top"][:max_funcs]:
+                lines.append(
+                    f"  {row['cum_ms']:9.1f} ms  {row['ncalls']:>8}x  "
+                    f"{row['func']}"
+                )
+        return "\n".join(lines)
+
+
+def enable_profiling(top: int = 12) -> PhaseProfiler:
+    """Install a fresh process-global profiler and return it."""
+    global _ACTIVE
+    _ACTIVE = PhaseProfiler(top=top)
+    return _ACTIVE
+
+
+def disable_profiling() -> Optional[PhaseProfiler]:
+    """Remove the active profiler; returns it (with its data) or None."""
+    global _ACTIVE
+    profiler, _ACTIVE = _ACTIVE, None
+    return profiler
+
+
+def active_profiler() -> Optional[PhaseProfiler]:
+    """The installed profiler, or None when profiling is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def profile_phase(name: str) -> Iterator[None]:
+    """Wrap a pipeline phase; free when profiling is disabled."""
+    profiler = _ACTIVE
+    if profiler is None:
+        yield
+        return
+    with profiler.phase(name):
+        yield

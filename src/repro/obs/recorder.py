@@ -1,0 +1,285 @@
+"""Flight recorder: event ring buffer, crash dumps, stall watchdog.
+
+A long-running monitor fails in ways raw JSONL cannot explain after the
+fact: the process is killed, a pool worker dies, EM wedges on a
+degenerate window.  This module keeps the *recent past* in memory and
+gets it out of the process when something goes wrong:
+
+* :class:`FlightRecorder` — a bounded ring of the last N telemetry
+  events, fed by an event-bus tap (so it works with or without a JSONL
+  sink), dumpable as one JSON file with per-thread Python stacks;
+* signal-triggered **crash dumps** — :meth:`FlightRecorder
+  .install_signal_dumps` writes the ring tail to ``crash-<pid>.json``
+  on SIGTERM/SIGINT (plus a ``faulthandler`` text dump for hard
+  crashes) before the process exits, so a killed monitor leaves its
+  last moments behind;
+* :class:`Watchdog` — detects stalled progress (no :meth:`Watchdog
+  .beat` within ``timeout`` seconds: a wedged EM iteration, a dead pool
+  worker, a stuck input) and emits a ``watchdog.stall`` event carrying
+  the ring tail, optionally writing a dump.
+
+Progress points feed the watchdog through :func:`repro.obs.heartbeat`,
+which fans out to every started watchdog via :func:`beat_all` — the
+monitor drain loop and ``parallel_map`` completions beat it, so "no
+heartbeat" means the pipeline truly made no progress.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import json
+import os
+import signal
+import sys
+import threading
+import time
+import traceback
+from collections import deque
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from repro.obs.events import json_default
+
+__all__ = ["FlightRecorder", "Watchdog", "beat_all"]
+
+#: Watchdogs currently started (fed by :func:`beat_all`).
+_WATCHDOGS: List["Watchdog"] = []
+_WATCHDOGS_LOCK = threading.Lock()
+
+
+def beat_all() -> None:
+    """Feed every started watchdog (the :func:`repro.obs.heartbeat` fan-out)."""
+    for watchdog in list(_WATCHDOGS):
+        watchdog.beat()
+
+
+def _thread_stacks() -> dict:
+    """Current Python stack of every thread, formatted for a dump."""
+    names = {t.ident: t.name for t in threading.enumerate()}
+    stacks = {}
+    for ident, frame in sys._current_frames().items():
+        label = f"{names.get(ident, '?')} ({ident})"
+        stacks[label] = traceback.format_stack(frame)
+    return stacks
+
+
+class FlightRecorder:
+    """A bounded in-memory ring of recent telemetry events.
+
+    Attach it as an event-bus tap (:meth:`attach`) and every emitted
+    event lands in the ring regardless of whether a JSONL sink is
+    configured; :meth:`dump` writes the ring plus thread stacks as one
+    JSON file an operator can read without the dead process.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.ring: deque = deque(maxlen=self.capacity)
+        self._attached = False
+        self._signals: dict = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, event: dict) -> None:
+        """Append one event dict (the tap callable)."""
+        self.ring.append(event)
+
+    def attach(self) -> "FlightRecorder":
+        """Subscribe to the process-global event bus (idempotent)."""
+        from repro import obs
+
+        obs.bus().add_tap(self.record)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the event bus."""
+        from repro import obs
+
+        obs.bus().remove_tap(self.record)
+        self._attached = False
+
+    def tail(self, n: Optional[int] = None) -> List[dict]:
+        """The most recent ``n`` events (all of them when ``n`` is None)."""
+        events = list(self.ring)
+        return events if n is None else events[-int(n):]
+
+    # ------------------------------------------------------------------
+    # Dumps
+    # ------------------------------------------------------------------
+    def dump(self, path: Union[str, Path], reason: str,
+             extra: Optional[dict] = None) -> Path:
+        """Write the ring (plus thread stacks) as one JSON crash dump."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "reason": reason,
+            "wall": time.time(),
+            "pid": os.getpid(),
+            "argv": list(sys.argv),
+            "n_events": len(self.ring),
+            "events": self.tail(),
+            "threads": _thread_stacks(),
+        }
+        if extra:
+            payload.update(extra)
+        path.write_text(
+            json.dumps(payload, indent=2, default=json_default) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def install_signal_dumps(
+        self,
+        directory: Union[str, Path],
+        signals: tuple = (signal.SIGTERM, signal.SIGINT),
+        enable_faulthandler: bool = True,
+    ) -> Path:
+        """Dump the ring to ``crash-<pid>.json`` when a signal kills us.
+
+        The handler writes the dump, restores the previous disposition,
+        and re-raises the signal so the exit status still reports the
+        kill.  ``faulthandler`` additionally covers hard crashes (SIGSEGV
+        and friends) with a text traceback in the same directory.  Only
+        call from the main thread (a CPython signal-API constraint).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if enable_faulthandler:
+            handle = open(directory / f"faulthandler-{os.getpid()}.txt", "w",
+                          encoding="utf-8")
+            faulthandler.enable(file=handle)
+
+        def handler(signum, frame):
+            self.dump(
+                directory / f"crash-{os.getpid()}.json",
+                reason=f"signal {signal.Signals(signum).name}",
+            )
+            previous = self._signals.get(signum, signal.SIG_DFL)
+            signal.signal(signum, previous)
+            os.kill(os.getpid(), signum)
+
+        for signum in signals:
+            self._signals[signum] = signal.getsignal(signum)
+            signal.signal(signum, handler)
+        return directory
+
+    def uninstall_signal_dumps(self) -> None:
+        """Restore the signal dispositions :meth:`install_signal_dumps` replaced."""
+        while self._signals:
+            signum, previous = self._signals.popitem()
+            signal.signal(signum, previous)
+
+
+class Watchdog:
+    """Detect stalled progress and surface the flight-recorder tail.
+
+    A stall is ``timeout`` seconds without a :meth:`beat`.  Detection
+    emits one ``watchdog.stall`` event (carrying the last ``ring_tail``
+    ring events), bumps ``repro_watchdog_stalls_total``, optionally
+    writes a dump into ``dump_dir``, and calls ``on_stall``.  The state
+    re-arms on the next beat, so a monitor that recovers and wedges
+    again is reported again.
+
+    Use as a context manager or call :meth:`start`/:meth:`stop`; checks
+    run on a daemon thread (or call :meth:`check` directly with a fake
+    clock in tests).
+    """
+
+    def __init__(
+        self,
+        timeout: float = 60.0,
+        recorder: Optional[FlightRecorder] = None,
+        ring_tail: int = 50,
+        dump_dir: Optional[Union[str, Path]] = None,
+        on_stall: Optional[Callable[[float], None]] = None,
+        poll: Optional[float] = None,
+    ):
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.timeout = float(timeout)
+        self.recorder = recorder
+        self.ring_tail = int(ring_tail)
+        self.dump_dir = None if dump_dir is None else Path(dump_dir)
+        self.on_stall = on_stall
+        self.poll = float(poll) if poll is not None else min(
+            1.0, self.timeout / 4)
+        self.n_stalls = 0
+        self._last_beat = time.monotonic()
+        self._stalled = False
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def beat(self) -> None:
+        """Record progress; re-arms stall detection."""
+        self._last_beat = time.monotonic()
+        self._stalled = False
+
+    def check(self, now: Optional[float] = None) -> bool:
+        """Evaluate the stall condition once; True if a stall fired."""
+        from repro import obs
+
+        now = time.monotonic() if now is None else now
+        idle = now - self._last_beat
+        if idle < self.timeout or self._stalled:
+            return False
+        self._stalled = True
+        self.n_stalls += 1
+        ring = (self.recorder.tail(self.ring_tail)
+                if self.recorder is not None else [])
+        obs.inc("repro_watchdog_stalls_total")
+        obs.emit(
+            "watchdog.stall",
+            idle_seconds=round(idle, 3),
+            timeout=self.timeout,
+            ring=ring,
+        )
+        if self.recorder is not None and self.dump_dir is not None:
+            self.recorder.dump(
+                self.dump_dir / f"stall-{os.getpid()}-{self.n_stalls}.json",
+                reason=f"watchdog stall after {idle:.1f}s idle",
+                extra={"timeout": self.timeout},
+            )
+        if self.on_stall is not None:
+            try:
+                self.on_stall(idle)
+            except Exception:  # noqa: BLE001 - observers never break us
+                pass
+        return True
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll):
+            self.check()
+
+    def start(self) -> "Watchdog":
+        """Begin watching on a daemon thread; registers for heartbeats."""
+        if self._thread is not None:
+            return self
+        self.beat()
+        self._stop.clear()
+        with _WATCHDOGS_LOCK:
+            _WATCHDOGS.append(self)
+        self._thread = threading.Thread(
+            target=self._run, name="repro-watchdog", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop watching and deregister (idempotent)."""
+        with _WATCHDOGS_LOCK:
+            if self in _WATCHDOGS:
+                _WATCHDOGS.remove(self)
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "Watchdog":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

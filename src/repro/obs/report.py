@@ -1,0 +1,604 @@
+"""``repro report``: a single-file HTML dashboard from telemetry JSONL.
+
+One command turns the artifacts a run leaves behind — telemetry event
+files, ``run.manifest`` provenance, ``BENCH_*.json`` benchmark reports —
+into one self-contained HTML page: no scripts, no external requests, no
+third-party libraries, just inline SVG sparklines and CSS that respects
+``prefers-color-scheme``.  The page answers, in order: what ran (the
+manifests), how it went (summary cards + spans), how EM behaved
+(restart log-likelihoods), what each monitored path concluded (verdict
+strips + lag sparklines), what went wrong (alerts, stalls, pool
+breaks), where the CPU went (profile tables), and whether performance
+regressed against committed baselines (:func:`diff_bench`, shared with
+``benchmarks/compare_bench.py`` and CI).
+
+Verdict colors are status colors — strong DCL is the serious state for
+an operator — and every color is paired with a text label, so nothing
+is readable by hue alone.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.obs import stats
+
+__all__ = ["load_bench", "diff_bench", "collect_report_data",
+           "generate_report"]
+
+# ----------------------------------------------------------------------
+# Benchmark diffing (shared with benchmarks/compare_bench.py and CI)
+# ----------------------------------------------------------------------
+
+
+def load_bench(path: Union[str, Path]) -> dict:
+    """Read one ``BENCH_*.json`` artifact."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _flatten(data, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested dict as dotted keys (bools excluded)."""
+    out: Dict[str, float] = {}
+    for key, value in data.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten(value, prefix=f"{dotted}."))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            out[dotted] = float(value)
+    return out
+
+
+def _direction(key: str) -> Optional[str]:
+    """``lower``/``higher``-is-better, or None for non-directional keys.
+
+    Config echoes (window sizes, restart counts, tolerances) carry no
+    better/worse direction and must not be flagged as regressions.
+    """
+    lowered = key.lower()
+    if "speedup" in lowered or "throughput" in lowered:
+        return "higher"
+    if ("seconds" in lowered or "_ms" in lowered or "_ns" in lowered
+            or "overhead" in lowered or "iters" in lowered):
+        return "lower"
+    return None
+
+
+def diff_bench(baseline: dict, current: dict, tolerance: float = 0.25) -> dict:
+    """Compare two BENCH reports; changes beyond ``tolerance`` are flagged.
+
+    Only *directional* keys participate (timings, speedups, throughput,
+    overheads).  A regression is the current value being worse than the
+    baseline by more than ``tolerance`` as a fraction of the baseline;
+    symmetric improvements are reported too.  Returns ``{"checked",
+    "regressions", "improvements"}`` with per-key detail dicts.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    base = _flatten(baseline)
+    cur = _flatten(current)
+    checked: List[str] = []
+    regressions: List[dict] = []
+    improvements: List[dict] = []
+    for key in sorted(base.keys() & cur.keys()):
+        direction = _direction(key)
+        if direction is None:
+            continue
+        base_value, cur_value = base[key], cur[key]
+        if base_value == 0:
+            continue  # no meaningful relative change
+        rel = (cur_value - base_value) / abs(base_value)
+        worse = rel if direction == "lower" else -rel
+        entry = {
+            "key": key,
+            "baseline": base_value,
+            "current": cur_value,
+            "change": round(rel, 4),
+            "direction": direction,
+        }
+        checked.append(key)
+        if worse > tolerance:
+            regressions.append(entry)
+        elif worse < -tolerance:
+            improvements.append(entry)
+    return {
+        "checked": len(checked),
+        "regressions": regressions,
+        "improvements": improvements,
+    }
+
+
+# ----------------------------------------------------------------------
+# Event collection
+# ----------------------------------------------------------------------
+
+
+def collect_report_data(
+    events_paths: Sequence[Union[str, Path]] = (),
+    bench_paths: Sequence[Union[str, Path]] = (),
+    baseline_dir: Optional[Union[str, Path]] = None,
+    tolerance: float = 0.25,
+) -> dict:
+    """Everything :func:`generate_report` renders, as plain data.
+
+    Reads all event files (tolerating malformed lines), groups the
+    event kinds the dashboard cares about, summarizes via
+    :func:`repro.obs.stats.summarize_events`, and diffs each bench
+    report against a same-named file in ``baseline_dir`` when given.
+    """
+    events: List[dict] = []
+    malformed = 0
+    for path in events_paths:
+        for event in stats._iter_events(path):
+            if event is None:
+                malformed += 1
+            else:
+                events.append(event)
+
+    manifests = [e.get("manifest") or e for e in events
+                 if e.get("kind") == "run.manifest"]
+    windows_by_path: Dict[str, List[dict]] = {}
+    for event in events:
+        if event.get("kind") == "window":
+            key = str(event.get("path") or "?")
+            windows_by_path.setdefault(key, []).append(event)
+    restart_logliks = [
+        float(e["loglik"]) for e in events
+        if e.get("kind") == "em.restart" and e.get("loglik") is not None
+    ]
+    alert_events = [e for e in events
+                    if e.get("kind") in ("alert.fired", "alert.resolved")]
+    stall_events = [e for e in events if e.get("kind") == "watchdog.stall"]
+    pool_events = [e for e in events if e.get("kind") == "pool.broken"]
+    profiles = [e for e in events if e.get("kind") == "profile.phase"]
+
+    benches = []
+    for path in bench_paths:
+        path = Path(path)
+        entry = {"path": str(path), "name": path.name,
+                 "data": load_bench(path), "diff": None, "baseline": None}
+        if baseline_dir is not None:
+            candidate = Path(baseline_dir) / path.name
+            if candidate.exists() and candidate.resolve() != path.resolve():
+                entry["baseline"] = str(candidate)
+                entry["diff"] = diff_bench(
+                    load_bench(candidate), entry["data"],
+                    tolerance=tolerance)
+        benches.append(entry)
+
+    return {
+        "summary": stats.summarize_events(events),
+        "malformed": malformed,
+        "n_events": len(events),
+        "sources": [str(p) for p in events_paths],
+        "manifests": manifests,
+        "windows_by_path": windows_by_path,
+        "restart_logliks": restart_logliks,
+        "alerts": alert_events,
+        "stalls": stall_events,
+        "pool_breaks": pool_events,
+        "profiles": profiles,
+        "benches": benches,
+        "n_regressions": sum(len(b["diff"]["regressions"])
+                             for b in benches if b["diff"]),
+    }
+
+
+# ----------------------------------------------------------------------
+# HTML rendering
+# ----------------------------------------------------------------------
+
+#: Verdict -> (status color light, status color dark, label).  Strong
+#: congestion is the serious state; "none" is the good one.
+_VERDICT_STATUS = {
+    "strong": ("#e34948", "#f25a50", "strong DCL"),
+    "weak": ("#eda100", "#ffb224", "weak DCL"),
+    "none": ("#1baf7a", "#21c58a", "no DCL"),
+    "skipped": ("#d0cfcb", "#52514e", "skipped"),
+}
+
+_CSS = """\
+:root {
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e;
+  --line: #e8e7e3; --card: #ffffff; --series-1: #2a78d6;
+  --bad: #e34948; --warn: #eda100; --good: #1baf7a; --mute: #d0cfcb;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19; --ink: #ffffff; --ink-2: #c3c2b7;
+    --line: #3a3936; --card: #242422; --series-1: #3987e5;
+    --bad: #f25a50; --warn: #ffb224; --good: #21c58a; --mute: #52514e;
+  }
+}
+* { box-sizing: border-box; }
+body { background: var(--surface); color: var(--ink); margin: 0;
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+  padding: 24px; max-width: 1100px; margin-inline: auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.sub { color: var(--ink-2); font-size: 12px; margin-bottom: 16px; }
+.cards { display: flex; flex-wrap: wrap; gap: 10px; }
+.card { background: var(--card); border: 1px solid var(--line);
+  border-radius: 8px; padding: 10px 14px; min-width: 120px; }
+.card .v { font-size: 20px; font-weight: 600; }
+.card .k { color: var(--ink-2); font-size: 11px; text-transform: uppercase;
+  letter-spacing: .04em; }
+table { border-collapse: collapse; width: 100%; background: var(--card);
+  border: 1px solid var(--line); border-radius: 8px; overflow: hidden; }
+th, td { text-align: left; padding: 6px 10px; font-size: 13px;
+  border-top: 1px solid var(--line); }
+th { color: var(--ink-2); font-weight: 500; font-size: 11px;
+  text-transform: uppercase; letter-spacing: .04em; border-top: none; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.pill { display: inline-block; padding: 1px 8px; border-radius: 999px;
+  font-size: 11px; font-weight: 600; color: #0b0b0b; }
+.legend { color: var(--ink-2); font-size: 12px; margin: 6px 0; }
+.legend .sw { display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin: 0 4px 0 10px; vertical-align: baseline; }
+.spark { display: block; }
+.strip rect { stroke: var(--surface); stroke-width: 2px; }
+code { background: var(--card); border: 1px solid var(--line);
+  border-radius: 4px; padding: 0 4px; font-size: 12px; }
+.empty { color: var(--ink-2); font-style: italic; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "–"
+    if isinstance(value, float):
+        return f"{value:,.4g}"
+    return str(value)
+
+
+def _svg_sparkline(values: Sequence[float], width: int = 260,
+                   height: int = 44, label: str = "") -> str:
+    """An inline SVG line sparkline (2px stroke, native title tooltip)."""
+    values = [float(v) for v in values]
+    if len(values) < 2:
+        return '<span class="empty">not enough points</span>'
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 3
+    step = (width - 2 * pad) / (len(values) - 1)
+    points = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
+        for i, v in enumerate(values)
+    )
+    title = (f"{label}: {len(values)} points, "
+             f"min {lo:,.4g}, max {hi:,.4g}")
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="{_esc(title)}">'
+        f"<title>{_esc(title)}</title>"
+        f'<polyline points="{points}" fill="none" '
+        f'stroke="var(--series-1)" stroke-width="2" '
+        f'stroke-linejoin="round" stroke-linecap="round"/></svg>'
+    )
+
+
+def _verdict_color(verdict: str) -> str:
+    mapping = {"strong": "var(--bad)", "weak": "var(--warn)",
+               "none": "var(--good)", "skipped": "var(--mute)"}
+    return mapping.get(verdict, "var(--mute)")
+
+
+def _svg_verdict_strip(windows: Sequence[dict], width: int = 640,
+                       height: int = 26) -> str:
+    """One rect per window, colored by verdict, 2px surface spacers."""
+    if not windows:
+        return '<span class="empty">no windows</span>'
+    n = len(windows)
+    cell = max(width / n, 4.0)
+    width = int(cell * n)
+    rects = []
+    for i, event in enumerate(windows):
+        status = event.get("status")
+        verdict = (str(event.get("verdict"))
+                   if status == "ok" else "skipped")
+        label = _VERDICT_STATUS.get(verdict, _VERDICT_STATUS["skipped"])[2]
+        reason = event.get("reason")
+        tip = f"window {event.get('window', i)}: {label}"
+        if status != "ok" and reason:
+            tip += f" ({reason})"
+        if event.get("changed"):
+            tip += " — stable verdict changed"
+        rects.append(
+            f'<rect x="{i * cell:.1f}" y="0" width="{cell:.1f}" '
+            f'height="{height}" rx="4" fill="{_verdict_color(verdict)}">'
+            f"<title>{_esc(tip)}</title></rect>"
+        )
+    return (
+        f'<svg class="strip" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="verdict per window">{"".join(rects)}</svg>'
+    )
+
+
+def _verdict_legend() -> str:
+    parts = ['<div class="legend">verdicts:']
+    for key in ("strong", "weak", "none", "skipped"):
+        label = _VERDICT_STATUS[key][2]
+        parts.append(
+            f'<span class="sw" style="background:{_verdict_color(key)}">'
+            f"</span>{_esc(label)}"
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def _card(value, key) -> str:
+    return (f'<div class="card"><div class="v">{_esc(value)}</div>'
+            f'<div class="k">{_esc(key)}</div></div>')
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+           numeric: Sequence[int] = ()) -> str:
+    num_attr = ' class="num"'
+    head = "".join(
+        f"<th{num_attr if i in numeric else ''}>{_esc(h)}</th>"
+        for i, h in enumerate(headers)
+    )
+    body = []
+    for row in rows:
+        cells = "".join(
+            f"<td{num_attr if i in numeric else ''}>{cell}</td>"
+            for i, cell in enumerate(row)
+        )
+        body.append(f"<tr>{cells}</tr>")
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(body)}</tbody></table>")
+
+
+def _render_manifests(manifests: Sequence[dict]) -> str:
+    if not manifests:
+        return '<p class="empty">no run.manifest events found</p>'
+    rows = []
+    for m in manifests:
+        packages = m.get("packages") or {}
+        seeds = ", ".join(f"{k}={v}" for k, v in (m.get("seeds") or
+                                                  {}).items()) or "–"
+        sha = m.get("git_sha")
+        rows.append([
+            f"<code>{_esc(m.get('run_id', '?'))}</code>",
+            _esc(m.get("command", "?")),
+            _esc(seeds),
+            _esc(packages.get("repro", "?")),
+            _esc(packages.get("numpy", "?")),
+            _esc(m.get("python", "?")),
+            f"<code>{_esc(sha[:10])}</code>" if sha else "–",
+        ])
+    return _table(
+        ["run", "command", "seeds", "repro", "numpy", "python", "commit"],
+        rows,
+    )
+
+
+def _render_alerts(alerts: Sequence[dict]) -> str:
+    if not alerts:
+        return '<p class="empty">no alerts fired</p>'
+    rows = []
+    for event in alerts:
+        fired = event.get("kind") == "alert.fired"
+        severity = event.get("severity", "warn")
+        color = "var(--bad)" if severity == "fatal" else "var(--warn)"
+        state = (f'<span class="pill" style="background:{color}">'
+                 f"fired {_esc(severity)}</span>" if fired
+                 else f'<span class="pill" style="background:var(--good)">'
+                      f"resolved</span>")
+        rows.append([
+            state,
+            _esc(event.get("rule", "?")),
+            _fmt(event.get("value")),
+            _fmt(event.get("threshold")),
+            _esc(event.get("expr", "")),
+        ])
+    return _table(["state", "rule", "value", "threshold", "expression"],
+                  rows, numeric=(2, 3))
+
+
+def _render_profiles(profiles: Sequence[dict]) -> str:
+    if not profiles:
+        return ('<p class="empty">no profile data (run with '
+                "<code>--profile</code>)</p>")
+    blocks = []
+    for event in sorted(profiles, key=lambda e: -float(e.get("total_ms", 0))):
+        rows = [
+            [_esc(row.get("func", "?")), _fmt(row.get("ncalls")),
+             _fmt(row.get("cum_ms"))]
+            for row in (event.get("top") or [])[:8]
+        ]
+        blocks.append(
+            f"<h3>{_esc(event.get('phase', '?'))} — "
+            f"{_fmt(event.get('calls'))} call(s), "
+            f"{_fmt(event.get('total_ms'))} ms</h3>"
+            + _table(["function", "calls", "cumulative ms"], rows,
+                     numeric=(1, 2))
+        )
+    return "".join(blocks)
+
+
+def _render_bench(entry: dict, tolerance: float) -> str:
+    parts = [f"<h3><code>{_esc(entry['name'])}</code></h3>"]
+    diff = entry["diff"]
+    if diff is None:
+        parts.append('<p class="empty">no baseline to compare against</p>')
+    else:
+        parts.append(
+            f'<p class="sub">vs <code>{_esc(entry["baseline"])}</code> — '
+            f"{diff['checked']} directional metrics checked at "
+            f"±{tolerance:.0%} tolerance</p>"
+        )
+        flagged = (
+            [("regression", "var(--bad)", e) for e in diff["regressions"]]
+            + [("improvement", "var(--good)", e)
+               for e in diff["improvements"]]
+        )
+        if not flagged:
+            parts.append(
+                '<p><span class="pill" style="background:var(--good)">'
+                "ok</span> no change beyond tolerance</p>"
+            )
+        else:
+            rows = [
+                [f'<span class="pill" style="background:{color}">'
+                 f"{label}</span>",
+                 f"<code>{_esc(e['key'])}</code>",
+                 _fmt(e["baseline"]), _fmt(e["current"]),
+                 f"{e['change']:+.1%}",
+                 _esc(f"{e['direction']} is better")]
+                for label, color, e in flagged
+            ]
+            parts.append(_table(
+                ["status", "metric", "baseline", "current", "change",
+                 "direction"], rows, numeric=(2, 3, 4)))
+    return "".join(parts)
+
+
+def generate_report(
+    events_paths: Sequence[Union[str, Path]] = (),
+    bench_paths: Sequence[Union[str, Path]] = (),
+    baseline_dir: Optional[Union[str, Path]] = None,
+    tolerance: float = 0.25,
+    out: Union[str, Path] = "report.html",
+    title: str = "repro run report",
+    data: Optional[dict] = None,
+) -> Path:
+    """Render the dashboard; returns the written path.
+
+    Pass ``data`` (a :func:`collect_report_data` result) to render
+    without re-reading the inputs — the CLI does this to share one
+    collection between the page and the ``--fail-on-regression`` check.
+    """
+    if data is None:
+        data = collect_report_data(
+            events_paths, bench_paths, baseline_dir=baseline_dir,
+            tolerance=tolerance)
+    summary = data["summary"]
+    streaming, windows, em = (summary["streaming"], summary["windows"],
+                              summary["em"])
+
+    cards = [
+        _card(data["n_events"], "events"),
+        _card(windows["analyzed"], "windows analyzed"),
+        _card(windows["skipped"], "windows skipped"),
+        _card("–" if streaming["warm_rate"] is None
+              else f"{streaming['warm_rate']:.0%}", "warm-start rate"),
+        _card(sum(streaming["fallbacks"].values()), "fallbacks"),
+        _card(windows["verdict_flips"], "verdict flips"),
+        _card(summary["alerts"]["fired"], "alerts fired"),
+        _card(summary["stalls"], "stalls"),
+    ]
+    if data["malformed"]:
+        cards.append(_card(data["malformed"], "malformed lines"))
+    if data["benches"]:
+        cards.append(_card(data["n_regressions"], "bench regressions"))
+
+    span_rows = [
+        [f"<code>{_esc(name)}</code>", _fmt(entry["count"]),
+         _fmt(entry["total_ms"]), _fmt(entry["mean_ms"]),
+         _fmt(entry["max_ms"])]
+        for name, entry in sorted(
+            summary["spans"]["by_name"].items(),
+            key=lambda item: -item[1]["total_ms"])
+    ]
+
+    path_blocks = []
+    for path_name, events in sorted(data["windows_by_path"].items()):
+        lags = [float(e["lag_ms"]) for e in events
+                if e.get("lag_ms") is not None]
+        block = [f"<h3>path <code>{_esc(path_name)}</code> — "
+                 f"{len(events)} windows</h3>",
+                 _svg_verdict_strip(events)]
+        if lags:
+            block.append(
+                f'<p class="sub">processing lag (ms) per window:</p>'
+                f"{_svg_sparkline(lags, label='lag ms')}"
+            )
+        path_blocks.append("".join(block))
+
+    stall_rows = [
+        [_fmt(e.get("idle_seconds")), _fmt(e.get("timeout")),
+         _fmt(len(e.get("ring") or []))]
+        for e in data["stalls"]
+    ]
+
+    sections = [
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="sub">sources: '
+        f"{', '.join(f'<code>{_esc(s)}</code>' for s in data['sources']) or '–'}"
+        "</p>",
+        '<div class="cards">' + "".join(cards) + "</div>",
+        "<h2>Provenance</h2>", _render_manifests(data["manifests"]),
+        "<h2>Spans</h2>",
+        _table(["span", "count", "total ms", "mean ms", "max ms"],
+               span_rows, numeric=(1, 2, 3, 4))
+        if span_rows else '<p class="empty">no spans recorded</p>',
+    ]
+
+    sections.append("<h2>EM restarts</h2>")
+    if data["restart_logliks"]:
+        sections.append(
+            f'<p class="sub">final log-likelihood per restart '
+            f"({len(data['restart_logliks'])} restarts, "
+            f"{em['nonmonotone_restarts']} non-monotone, "
+            f"{em['nonconverged_restarts']} hit max_iter):</p>"
+            + _svg_sparkline(data["restart_logliks"], label="loglik")
+        )
+    else:
+        sections.append('<p class="empty">no em.restart events</p>')
+
+    sections.append("<h2>Monitored paths</h2>")
+    if path_blocks:
+        sections.append(_verdict_legend() + "".join(path_blocks))
+    else:
+        sections.append('<p class="empty">no window events</p>')
+
+    sections += ["<h2>Alerts</h2>", _render_alerts(data["alerts"])]
+
+    sections.append("<h2>Watchdog &amp; pool health</h2>")
+    if stall_rows or data["pool_breaks"]:
+        if stall_rows:
+            sections.append(_table(
+                ["idle seconds", "timeout", "ring events captured"],
+                stall_rows, numeric=(0, 1, 2)))
+        for event in data["pool_breaks"]:
+            sections.append(
+                f'<p><span class="pill" style="background:var(--warn)">'
+                f"pool broken</span> {_fmt(event.get('n_workers'))} workers, "
+                f"{_fmt(event.get('n_tasks'))} tasks re-run serially</p>"
+            )
+    else:
+        sections.append('<p class="empty">no stalls, no pool breaks</p>')
+
+    sections += ["<h2>Profile</h2>", _render_profiles(data["profiles"])]
+
+    sections.append("<h2>Benchmarks</h2>")
+    if data["benches"]:
+        for entry in data["benches"]:
+            sections.append(_render_bench(entry, tolerance))
+    else:
+        sections.append('<p class="empty">no bench reports given</p>')
+
+    document = (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        "<body>\n" + "\n".join(sections) + "\n</body></html>\n"
+    )
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(document, encoding="utf-8")
+    return out

@@ -58,6 +58,30 @@ EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
         "An observation file was loaded",
         ("path", "n_probes", "n_losses"),
     ),
+    "run.manifest": (
+        "Provenance manifest of one identify/monitor/bench run",
+        ("run_id", "command", "manifest_path"),
+    ),
+    "watchdog.stall": (
+        "The watchdog saw no heartbeat within its timeout",
+        ("idle_seconds", "timeout", "ring"),
+    ),
+    "alert.fired": (
+        "A declarative alert rule's condition started holding",
+        ("rule", "severity", "value", "threshold"),
+    ),
+    "alert.resolved": (
+        "A previously fired alert rule's condition cleared",
+        ("rule", "value", "threshold"),
+    ),
+    "profile.phase": (
+        "Opt-in cProfile capture of one pipeline phase",
+        ("phase", "calls", "total_ms", "top"),
+    ),
+    "pool.broken": (
+        "The worker pool died mid-map and tasks were rerun serially",
+        ("n_workers", "n_tasks"),
+    ),
 }
 
 #: (name, type, labels, help) for every metric family the stack emits.
@@ -106,6 +130,12 @@ METRICS: List[Tuple[str, str, Tuple[str, ...], str]] = [
      "Loss records loaded from observation files."),
     ("repro_stationarity_checks_total", "counter", ("result",),
      "Stationarity-gate evaluations, by outcome."),
+    ("repro_alerts_fired_total", "counter", ("rule", "severity"),
+     "Alert rules whose condition started holding, by rule name."),
+    ("repro_watchdog_stalls_total", "counter", (),
+     "Watchdog stall detections (no heartbeat within the timeout)."),
+    ("repro_pool_breaks_total", "counter", (),
+     "Worker-pool crashes recovered by a serial rerun."),
 ]
 
 #: Series the monitor preregisters at zero so scrapes (and the CI
@@ -125,6 +155,8 @@ MONITOR_SERIES: List[Tuple[str, List[dict]]] = [
     ("repro_window_verdicts_total",
      [{"verdict": "strong"}, {"verdict": "weak"}, {"verdict": "none"}]),
     ("repro_verdict_changes_total", [{}]),
+    ("repro_watchdog_stalls_total", [{}]),
+    ("repro_pool_breaks_total", [{}]),
 ]
 
 

@@ -10,8 +10,12 @@ them to the questions an operator actually asks:
 * how is EM behaving? (restarts, non-monotone trajectories, restart
   win dispersion)
 
-Lines that fail to parse are counted, not fatal — a live file may end in
-a torn line while a writer is mid-append.
+Malformed lines are counted, not fatal — a live file may end in a torn
+line while a writer is mid-append, a crash can leave a half-flushed
+buffer, and rotation can slice a line in two.  "Malformed" covers all
+of it: invalid JSON, valid JSON that is not an object (``42`` parses
+fine but is not an event), and undecodable bytes (read with
+``errors="replace"`` so one corrupt block cannot kill the summary).
 """
 
 from __future__ import annotations
@@ -24,18 +28,30 @@ __all__ = ["summarize_events", "format_summary"]
 
 
 def _iter_events(source: Union[str, Path, Iterable[str]]):
+    """Yield event dicts from a path / line-iterable; ``None`` per bad line.
+
+    Already-parsed dicts pass straight through, so callers holding
+    in-memory events (the flight-recorder ring, ``repro report``) reuse
+    the same aggregation paths as the JSONL readers.
+    """
     if isinstance(source, (str, Path)):
-        with Path(source).open(encoding="utf-8") as handle:
+        with Path(source).open(encoding="utf-8",
+                               errors="replace") as handle:
             yield from _iter_events(handle)
         return
     for line in source:
+        if isinstance(line, dict):
+            yield line
+            continue
         line = line.strip()
         if not line:
             continue
         try:
-            yield json.loads(line)
-        except json.JSONDecodeError:
-            yield None  # counted as unparseable by the caller
+            event = json.loads(line)
+        except ValueError:  # JSONDecodeError plus torn-surrogate cases
+            yield None  # counted as malformed by the caller
+            continue
+        yield event if isinstance(event, dict) else None
 
 
 def summarize_events(source: Union[str, Path, Iterable[str]],
@@ -54,6 +70,9 @@ def summarize_events(source: Union[str, Path, Iterable[str]],
     em = {"restarts": 0, "nonconverged": 0, "fits": 0}
     nonmonotone_restarts = 0
     dispersions: List[float] = []
+    alerts = {"fired": 0, "resolved": 0}
+    alerts_by_rule: Dict[str, int] = {}
+    n_stalls = 0
 
     for event in _iter_events(source):
         if event is None:
@@ -101,6 +120,14 @@ def summarize_events(source: Union[str, Path, Iterable[str]],
             dispersion = event.get("loglik_dispersion")
             if dispersion is not None:
                 dispersions.append(float(dispersion))
+        elif kind == "alert.fired":
+            alerts["fired"] += 1
+            rule = str(event.get("rule") or "?")
+            alerts_by_rule[rule] = alerts_by_rule.get(rule, 0) + 1
+        elif kind == "alert.resolved":
+            alerts["resolved"] += 1
+        elif kind == "watchdog.stall":
+            n_stalls += 1
 
     slowest.sort(key=lambda s: s["dur_ms"], reverse=True)
     total_fits = fits["warm"] + fits["cold"]
@@ -108,6 +135,13 @@ def summarize_events(source: Union[str, Path, Iterable[str]],
     return {
         "n_events": n_events,
         "n_unparseable": n_bad,
+        "malformed_lines": n_bad,
+        "alerts": {
+            "fired": alerts["fired"],
+            "resolved": alerts["resolved"],
+            "by_rule": dict(sorted(alerts_by_rule.items())),
+        },
+        "stalls": n_stalls,
         "by_kind": dict(sorted(by_kind.items())),
         "spans": {
             "by_name": {
@@ -219,4 +253,15 @@ def format_summary(summary: dict) -> str:
                 f"  max restart loglik dispersion: "
                 f"{em['max_loglik_dispersion']:.4f}"
             )
+
+    alerts = summary.get("alerts") or {}
+    if alerts.get("fired"):
+        rules = ", ".join(f"{k}={v}"
+                          for k, v in alerts.get("by_rule", {}).items())
+        lines.append(
+            f"alerts: {alerts['fired']} fired, "
+            f"{alerts.get('resolved', 0)} resolved ({rules})"
+        )
+    if summary.get("stalls"):
+        lines.append(f"watchdog stalls: {summary['stalls']}")
     return "\n".join(lines)

@@ -264,7 +264,10 @@ def parallel_map(
             "worker pool (n_workers=%d) broke; rerunning %d task(s) serially",
             n_workers, len(items),
         )
+        obs.inc("repro_pool_breaks_total")
+        obs.emit("pool.broken", n_workers=n_workers, n_tasks=len(items))
         return [fn(item) for item in items]
+    obs.heartbeat()  # a completed pool map is pipeline progress
     if not with_telemetry:
         return mapped
     results: List[R] = []

@@ -157,6 +157,7 @@ class MultiPathMonitor:
             self.events.append(event)
             events.append(event)
         obs.set_gauge("repro_pending_windows", self.n_pending)
+        obs.heartbeat()  # a fitted round is pipeline progress
         return events
 
     def drain(self) -> List[VerdictEvent]:

@@ -42,6 +42,7 @@ from repro.core.identify import (
 from repro.measurement.stationarity import observation_is_stationary
 from repro.models.base import EMConfig, InsufficientLossError
 from repro.netsim.trace import PathObservation
+from repro.obs.profiling import profile_phase
 from repro.parallel import STREAM_MONITOR, task_seed
 from repro.streaming.online_em import WarmState, streaming_fit
 from repro.streaming.windows import ProbeWindow, SlidingWindowAssembler
@@ -230,9 +231,10 @@ def analyze_window(
         n_jobs=1,
     )
     try:
-        result = streaming_fit(
-            seq, config.n_hidden, config=em, kind=config.model, warm=warm
-        )
+        with profile_phase("window.fit"):
+            result = streaming_fit(
+                seq, config.n_hidden, config=em, kind=config.model, warm=warm
+            )
     except InsufficientLossError:
         return WindowAnalysis("skipped", reason="no-losses", loss_rate=loss_rate)
     fitted = result.fitted

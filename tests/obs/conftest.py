@@ -9,10 +9,17 @@ import pytest
 from repro import obs
 
 
+def _reset():
+    obs.disable()
+    obs.registry().clear()
+    bus = obs.bus()
+    bus.n_emitted = 0
+    bus.n_rotations = 0
+    bus._taps = ()
+
+
 @pytest.fixture(autouse=True)
 def telemetry_reset():
-    obs.disable()
-    obs.registry().clear()
+    _reset()
     yield
-    obs.disable()
-    obs.registry().clear()
+    _reset()

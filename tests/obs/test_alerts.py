@@ -1,0 +1,202 @@
+"""Tests for the declarative alert rules engine."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.alerts import (
+    DEFAULT_RULES,
+    AlertEngine,
+    AlertRule,
+    parse_rules,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestParse:
+    def test_full_syntax(self):
+        (rule,) = parse_rules(
+            "collapse: rate repro_streaming_fallbacks_total"
+            "{reason=zero-likelihood} > 0.5 for 3 fatal"
+        )
+        assert rule.name == "collapse"
+        assert rule.mode == "rate"
+        assert rule.metric == "repro_streaming_fallbacks_total"
+        assert rule.labels == {"reason": "zero-likelihood"}
+        assert rule.op == ">"
+        assert rule.threshold == 0.5
+        assert rule.for_count == 3
+        assert rule.severity == "fatal"
+
+    def test_defaults_and_comments(self):
+        rules = parse_rules(
+            "# a comment\n"
+            "\n"
+            "backlog: repro_pending_windows >= 10\n"
+        )
+        (rule,) = rules
+        assert rule.mode == "value"
+        assert rule.labels == {}
+        assert rule.for_count == 1
+        assert rule.severity == "warn"
+        assert rule.op == ">="
+
+    def test_bad_line_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_rules("ok: repro_x_total > 1\nnot a rule at all\n")
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ValueError, match="label"):
+            parse_rules("r: repro_x_total{oops} > 1")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_rules("a: repro_x_total > 1\na: repro_x_total > 2\n")
+
+    def test_default_rules_parse(self):
+        rules = parse_rules(DEFAULT_RULES)
+        names = {rule.name for rule in rules}
+        assert "likelihood-collapse-burst" in names
+        assert "watchdog-stall" in names
+        assert any(rule.severity == "fatal" for rule in rules)
+
+    def test_describe_round_trips(self):
+        (rule,) = parse_rules(
+            "r: rate repro_x_total{a=b} > 0.5 for 2 fatal")
+        (again,) = parse_rules(rule.describe())
+        assert again.name == rule.name and again.mode == rule.mode
+        assert again.labels == rule.labels
+        assert again.for_count == rule.for_count
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            AlertRule("r", "m", "!=", 1.0)
+        with pytest.raises(ValueError):
+            AlertRule("r", "m", ">", 1.0, severity="nope")
+        with pytest.raises(ValueError):
+            AlertRule("r", "m", ">", 1.0, for_count=0)
+        with pytest.raises(ValueError):
+            AlertRule("r", "m", ">", 1.0, mode="banana")
+
+
+def engine_for(text, registry):
+    return AlertEngine(parse_rules(text), registry=registry)
+
+
+class TestEvaluate:
+    def test_value_rule_fires_once_and_emits_event(self):
+        sink = io.StringIO()
+        obs.enable(events=sink, clear=True)
+        registry = obs.registry()
+        engine = engine_for("stalls: repro_watchdog_stalls_total > 0 fatal",
+                            registry)
+        assert engine.evaluate(now=0.0) == []  # metric absent: no breach
+        registry.inc("repro_watchdog_stalls_total")
+        (fired,) = engine.evaluate(now=1.0)
+        assert fired["event"] == "fired" and fired["severity"] == "fatal"
+        assert engine.fatal_fired
+        assert engine.active_alerts() == ["stalls"]
+        assert engine.evaluate(now=2.0) == []  # still breached: no refire
+
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        (alert,) = [e for e in events if e["kind"] == "alert.fired"]
+        assert alert["rule"] == "stalls"
+        assert alert["value"] == 1.0 and alert["threshold"] == 0.0
+        key = ("repro_alerts_fired_total",
+               (("rule", "stalls"), ("severity", "fatal")))
+        assert registry.snapshot()["counters"][key] == 1.0
+
+    def test_gauge_rule_resolves_when_value_drops(self):
+        sink = io.StringIO()
+        obs.enable(events=sink, clear=True)
+        registry = obs.registry()
+        engine = engine_for("backlog: repro_pending_windows >= 4", registry)
+        registry.set_gauge("repro_pending_windows", 9.0)
+        (fired,) = engine.evaluate(now=0.0)
+        assert fired["event"] == "fired"
+        registry.set_gauge("repro_pending_windows", 1.0)
+        (resolved,) = engine.evaluate(now=1.0)
+        assert resolved["event"] == "resolved"
+        assert not engine.active_alerts()
+        kinds = [json.loads(line)["kind"]
+                 for line in sink.getvalue().splitlines()]
+        assert kinds == ["alert.fired", "alert.resolved"]
+
+    def test_for_count_needs_consecutive_breaches(self):
+        registry = MetricsRegistry()
+        engine = engine_for("r: repro_pending_windows > 0 for 3", registry)
+        registry.set_gauge("repro_pending_windows", 5.0)
+        assert engine.evaluate(now=0.0) == []
+        assert engine.evaluate(now=1.0) == []
+        registry.set_gauge("repro_pending_windows", 0.0)
+        assert engine.evaluate(now=2.0) == []  # streak broken
+        registry.set_gauge("repro_pending_windows", 5.0)
+        assert engine.evaluate(now=3.0) == []
+        assert engine.evaluate(now=4.0) == []
+        (fired,) = engine.evaluate(now=5.0)
+        assert fired["event"] == "fired"
+
+    def test_label_subset_sums_matching_counters(self):
+        registry = MetricsRegistry()
+        engine = engine_for("all: repro_streaming_fallbacks_total > 2",
+                            registry)
+        registry.inc("repro_streaming_fallbacks_total", 2.0,
+                     reason="zero-likelihood")
+        registry.inc("repro_streaming_fallbacks_total", 2.0,
+                     reason="non-monotone")
+        (fired,) = engine.evaluate(now=0.0)
+        assert fired["value"] == 4.0
+
+    def test_rate_rule_uses_baseline_then_fires_on_burst(self):
+        registry = MetricsRegistry()
+        engine = engine_for(
+            "burst: rate repro_streaming_fallbacks_total"
+            "{reason=zero-likelihood} > 0.3 fatal",
+            registry,
+        )
+        registry.inc("repro_streaming_fallbacks_total", 1.0,
+                     reason="zero-likelihood")
+        # First evaluation only establishes the baseline — never fires.
+        assert engine.evaluate(now=0.0) == []
+        # +1 over 10s = 0.1/s: below threshold.
+        registry.inc("repro_streaming_fallbacks_total", 1.0,
+                     reason="zero-likelihood")
+        assert engine.evaluate(now=10.0) == []
+        # +8 over 10s = 0.8/s: burst.
+        registry.inc("repro_streaming_fallbacks_total", 8.0,
+                     reason="zero-likelihood")
+        (fired,) = engine.evaluate(now=20.0)
+        assert fired["event"] == "fired"
+        assert fired["value"] == pytest.approx(0.8)
+        assert engine.fatal_fired
+
+    def test_injected_likelihood_collapse_burst_fires_default_rule(self):
+        """The acceptance scenario: a warm-start collapse burst (cold
+        refits with fallback_reason=zero-likelihood) trips the built-in
+        fatal rule and lands alert.fired in the telemetry JSONL."""
+        sink = io.StringIO()
+        obs.enable(events=sink, clear=True)
+        engine = AlertEngine(parse_rules(DEFAULT_RULES))
+        engine.evaluate(now=0.0)
+        # Each drain interval sees several collapse fallbacks — the same
+        # counter repro.streaming.online_em bumps on a zero-likelihood
+        # warm fit.  The rule needs two consecutive breaching intervals
+        # ("for 2") on top of the rate baseline, hence three bursts.
+        for now in (10.0, 20.0, 30.0):
+            obs.inc("repro_streaming_fallbacks_total", 6.0,
+                    reason="zero-likelihood")
+            engine.evaluate(now=now)
+        assert engine.fatal_fired
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        fired = [e for e in events if e["kind"] == "alert.fired"]
+        assert any(e["rule"] == "likelihood-collapse-burst" for e in fired)
+
+    def test_histogram_rules_use_observation_count(self):
+        registry = MetricsRegistry()
+        engine = engine_for("obs: repro_window_lag_seconds > 2", registry)
+        for _ in range(3):
+            registry.observe("repro_window_lag_seconds", 0.5)
+        (fired,) = engine.evaluate(now=0.0)
+        assert fired["value"] == 3.0

@@ -4,6 +4,7 @@ import io
 import json
 
 import numpy as np
+import pytest
 
 from repro import obs
 from repro.obs.events import EventBus, json_default
@@ -146,3 +147,98 @@ class TestFacade:
 
         root = logging.getLogger("repro")
         assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestTaps:
+    def test_tap_sees_events_without_any_sink(self):
+        bus = EventBus()
+        seen = []
+        bus.add_tap(seen.append)
+        bus.emit("span", name="x", span="1-1", parent=None, dur_ms=0.5)
+        assert len(seen) == 1
+        assert seen[0]["kind"] == "span"
+        assert {"ts", "wall", "pid"} <= set(seen[0])
+        assert bus.n_emitted == 0  # nothing written: no sink
+
+    def test_tap_and_sink_both_receive(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        bus.configure(stream)
+        seen = []
+        bus.add_tap(seen.append)
+        bus.emit("span", name="x", span="1-1", parent=None, dur_ms=0.5)
+        assert len(seen) == 1
+        assert json.loads(stream.getvalue())["name"] == "x"
+        assert bus.n_emitted == 1
+
+    def test_add_tap_is_idempotent_and_remove_is_safe(self):
+        bus = EventBus()
+        seen = []
+        bus.add_tap(seen.append)
+        bus.add_tap(seen.append)
+        bus.emit("span", name="x")
+        assert len(seen) == 1
+        bus.remove_tap(seen.append)
+        bus.remove_tap(seen.append)  # second removal: no-op
+        bus.emit("span", name="y")
+        assert len(seen) == 1
+
+    def test_tap_exceptions_never_break_emit(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        bus.configure(stream)
+
+        def bad_tap(event):
+            raise RuntimeError("observer bug")
+
+        bus.add_tap(bad_tap)
+        bus.emit("span", name="x")  # must not raise
+        assert bus.n_emitted == 1
+
+
+class TestRotation:
+    def test_sink_rotates_at_max_bytes(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        bus = EventBus()
+        bus.configure(sink, max_bytes=400)
+        for i in range(20):
+            bus.emit("span", name=f"span-{i}", span="1-1", parent=None,
+                     dur_ms=1.0)
+        bus.close()
+        rotated = tmp_path / "events.jsonl.1"
+        assert rotated.exists()
+        assert bus.n_rotations >= 1
+        names = [e["name"] for e in read_events(rotated)]
+        names += [e["name"] for e in read_events(sink)]
+        # Disk usage is bounded, so only a recent contiguous tail
+        # survives — but every retained line is intact JSON, in order,
+        # ending with the newest event.
+        first = int(names[0].split("-")[1])
+        assert names == [f"span-{i}" for i in range(first, 20)]
+        assert sink.stat().st_size <= 400
+
+    def test_rotation_keeps_exactly_one_old_generation(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        bus = EventBus()
+        bus.configure(sink, max_bytes=200)
+        for i in range(60):
+            bus.emit("span", name=f"s{i}", span="1-1", parent=None,
+                     dur_ms=1.0)
+        bus.close()
+        assert bus.n_rotations >= 3
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "events.jsonl", "events.jsonl.1"]
+
+    def test_max_bytes_validation(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.configure(io.StringIO(), max_bytes=0)
+
+    def test_facade_enable_passes_max_bytes(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        obs.enable(events=sink, max_bytes=300)
+        for i in range(20):
+            obs.emit("span", name=f"s{i}", span="1-1", parent=None,
+                     dur_ms=1.0)
+        obs.disable()
+        assert (tmp_path / "events.jsonl.1").exists()

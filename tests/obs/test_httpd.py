@@ -77,3 +77,54 @@ class TestMetricsServer:
         srv = MetricsServer(registry=MetricsRegistry(), port=0).start()
         srv.close()
         srv.close()
+
+
+class TestPreregisteredFamilies:
+    def test_preregistered_families_visible_before_any_activity(self):
+        """A scrape right after monitor startup must already show every
+        monitor-relevant family (at zero), including the diagnostics
+        counters this PR adds — no 'absent vs zero' ambiguity."""
+        from repro.obs import schema
+        from repro.obs.alerts import DEFAULT_RULES, AlertEngine, parse_rules
+
+        registry = MetricsRegistry()
+        schema.preregister(registry)
+        AlertEngine(parse_rules(DEFAULT_RULES), registry=registry)
+        srv = MetricsServer(registry=registry, port=0).start()
+        try:
+            _, _, body = get(srv.url)
+        finally:
+            srv.close()
+        text = body.decode()
+        for family in ("repro_streaming_fallbacks_total",
+                       "repro_windows_dropped_total",
+                       "repro_watchdog_stalls_total",
+                       "repro_pool_breaks_total",
+                       "repro_alerts_fired_total"):
+            assert f"# TYPE {family} counter" in text, family
+
+
+class TestConcurrentScrapes:
+    def test_parallel_scrapes_all_succeed(self, server):
+        import threading
+
+        results = []
+        errors = []
+
+        def scrape():
+            try:
+                status, headers, body = get(server.url)
+                results.append((status, body))
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=scrape) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        assert len(results) == 8
+        bodies = {body for _, body in results}
+        assert all(status == 200 for status, _ in results)
+        assert len(bodies) == 1  # registry unchanged: identical scrapes

@@ -1,0 +1,125 @@
+"""Tests for opt-in per-phase cProfile capture."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import profiling
+from repro.obs.profiling import (
+    PhaseProfiler,
+    active_profiler,
+    disable_profiling,
+    enable_profiling,
+    profile_phase,
+)
+from repro.obs.schema import validate_event
+
+
+@pytest.fixture(autouse=True)
+def profiler_reset():
+    disable_profiling()
+    yield
+    disable_profiling()
+
+
+def busy(n=2000):
+    return sum(i * i for i in range(n))
+
+
+class TestPhaseProfiler:
+    def test_phase_records_calls_functions_and_time(self):
+        profiler = PhaseProfiler(top=5)
+        for _ in range(3):
+            with profiler.phase("identify.fit"):
+                busy()
+        stats = profiler.to_dict()
+        entry = stats["identify.fit"]
+        assert entry["calls"] == 3
+        assert entry["profiled_calls"] == 3
+        assert entry["total_ms"] >= 0.0
+        assert 1 <= len(entry["top"]) <= 5
+        assert all({"func", "ncalls", "cum_ms"} <= set(row)
+                   for row in entry["top"])
+        assert any("busy" in row["func"] for row in entry["top"])
+
+    def test_nested_phase_records_wall_clock_only(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("outer"):
+            with profiler.phase("inner"):
+                busy()
+        stats = profiler.to_dict()
+        assert stats["outer"]["profiled_calls"] == 1
+        assert stats["inner"]["calls"] == 1
+        assert stats["inner"]["profiled_calls"] == 0  # cProfile cannot nest
+        assert stats["inner"]["top"] == []
+
+    def test_top_validation(self):
+        with pytest.raises(ValueError):
+            PhaseProfiler(top=0)
+
+    def test_format_renders_hottest_phase_first(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            busy(100)
+        text = profiler.format()
+        assert "a: 1 call(s)" in text
+        assert "ms total" in text
+
+
+class TestModuleSwitch:
+    def test_profile_phase_is_noop_when_disabled(self):
+        assert active_profiler() is None
+        with profile_phase("identify.fit"):
+            busy(100)
+        assert active_profiler() is None
+
+    def test_enable_capture_disable_round_trip(self):
+        enabled = enable_profiling(top=4)
+        assert active_profiler() is enabled
+        with profile_phase("window.fit"):
+            busy()
+        profiler = disable_profiling()
+        assert profiler is enabled
+        assert active_profiler() is None
+        assert profiler.to_dict()["window.fit"]["calls"] == 1
+
+    def test_emit_events_produces_valid_profile_events(self):
+        sink = io.StringIO()
+        obs.enable(events=sink, clear=True)
+        profiler = enable_profiling()
+        with profile_phase("identify.fit"):
+            busy()
+        disable_profiling()
+        profiler.emit_events()
+        (line,) = [ln for ln in sink.getvalue().splitlines() if ln]
+        event = json.loads(line)
+        assert validate_event(event) == []
+        assert event["kind"] == "profile.phase"
+        assert event["phase"] == "identify.fit"
+        assert event["calls"] == 1
+        assert event["top"]
+
+
+class TestPipelineIntegration:
+    def test_identify_phases_show_up(self):
+        import numpy as np
+
+        from repro.core.identify import IdentifyConfig, identify
+        from repro.models.base import EMConfig
+        from repro.netsim.trace import PathObservation
+
+        rng = np.random.default_rng(0)
+        send = np.arange(1200) * 0.02
+        delays = np.where(rng.random(1200) < 0.2, np.nan,
+                          0.02 + rng.uniform(0, 0.1, 1200))
+        profiler = enable_profiling()
+        identify(PathObservation(send, delays),
+                 IdentifyConfig(n_hidden=1,
+                                em=EMConfig(tol=1e-2, max_iter=20)))
+        disable_profiling()
+        stats = profiler.to_dict()
+        assert {"identify.discretize", "identify.fit",
+                "identify.tests"} <= set(stats)
+        assert stats["identify.fit"]["total_ms"] > 0

@@ -1,0 +1,168 @@
+"""Tests for the flight recorder, crash dumps, and the stall watchdog."""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import FlightRecorder, Watchdog
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(7):
+            recorder.record({"kind": "span", "i": i})
+        assert [e["i"] for e in recorder.tail()] == [4, 5, 6]
+        assert [e["i"] for e in recorder.tail(2)] == [5, 6]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_tap_records_events_even_without_a_sink(self):
+        obs.enable(events=None, clear=True)  # metrics-only telemetry
+        recorder = FlightRecorder().attach()
+        try:
+            obs.emit("span", name="x", span="1-1", parent=None, dur_ms=1.0)
+            obs.emit("window", path="p0", window=0, status="ok")
+        finally:
+            recorder.detach()
+        kinds = [e["kind"] for e in recorder.tail()]
+        assert kinds == ["span", "window"]
+        # detached: further events no longer land
+        obs.emit("span", name="y", span="1-2", parent=None, dur_ms=1.0)
+        assert len(recorder.tail()) == 2
+
+    def test_dump_contains_events_and_thread_stacks(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record({"kind": "span", "name": "em.fit"})
+        path = recorder.dump(tmp_path / "sub" / "dump.json",
+                             reason="unit test", extra={"note": 7})
+        payload = json.loads(path.read_text())
+        assert payload["reason"] == "unit test"
+        assert payload["pid"] == os.getpid()
+        assert payload["note"] == 7
+        assert payload["n_events"] == 1
+        assert payload["events"][0]["name"] == "em.fit"
+        assert payload["threads"]  # at least the test runner's main thread
+        assert any("test_recorder" in "".join(stack)
+                   for stack in payload["threads"].values())
+
+    def test_install_uninstall_restores_dispositions(self, tmp_path):
+        previous = signal.getsignal(signal.SIGTERM)
+        recorder = FlightRecorder()
+        recorder.install_signal_dumps(tmp_path, signals=(signal.SIGTERM,),
+                                      enable_faulthandler=False)
+        try:
+            assert signal.getsignal(signal.SIGTERM) is not previous
+        finally:
+            recorder.uninstall_signal_dumps()
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+
+class TestWatchdog:
+    def test_stall_fires_once_and_rearms_on_beat(self, tmp_path):
+        sink = io.StringIO()
+        obs.enable(events=sink, clear=True)
+        recorder = FlightRecorder()
+        for i in range(5):
+            recorder.record({"kind": "span", "i": i})
+        watchdog = Watchdog(timeout=5.0, recorder=recorder, ring_tail=2,
+                            dump_dir=tmp_path)
+        watchdog._last_beat = 100.0
+
+        assert not watchdog.check(now=104.0)  # still within timeout
+        assert watchdog.check(now=106.0)      # stall fires
+        assert not watchdog.check(now=107.0)  # same episode: no refire
+        watchdog.beat()
+        watchdog._last_beat = 200.0
+        assert watchdog.check(now=300.0)      # new episode after re-arm
+        assert watchdog.n_stalls == 2
+
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        stalls = [e for e in events if e["kind"] == "watchdog.stall"]
+        assert len(stalls) == 2
+        assert stalls[0]["timeout"] == 5.0
+        assert stalls[0]["idle_seconds"] == 6.0
+        assert [e["i"] for e in stalls[0]["ring"]] == [3, 4]
+        key = ("repro_watchdog_stalls_total", ())
+        assert obs.registry().snapshot()["counters"][key] == 2.0
+        dumps = sorted(tmp_path.glob("stall-*.json"))
+        assert len(dumps) == 2
+        assert json.loads(dumps[0].read_text())["timeout"] == 5.0
+
+    def test_on_stall_callback_and_validation(self):
+        with pytest.raises(ValueError):
+            Watchdog(timeout=0)
+        seen = []
+        watchdog = Watchdog(timeout=1.0, on_stall=seen.append)
+        watchdog._last_beat = 0.0
+        watchdog.check(now=2.5)
+        assert seen == [2.5]
+
+    def test_heartbeat_feeds_started_watchdogs(self):
+        obs.enable(events=None, clear=True)
+        watchdog = Watchdog(timeout=60.0, poll=10.0).start()
+        try:
+            watchdog._last_beat = 0.0
+            obs.heartbeat()
+            assert watchdog._last_beat > 0.0
+        finally:
+            watchdog.stop()
+
+    def test_context_manager_starts_and_stops(self):
+        with Watchdog(timeout=60.0, poll=10.0) as watchdog:
+            assert watchdog._thread is not None
+        assert watchdog._thread is None
+
+
+class TestSignalDumpEndToEnd:
+    def test_killed_monitor_leaves_a_crash_dump_with_ring_tail(self,
+                                                               tmp_path):
+        """SIGTERM a live monitor; it must write crash-<pid>.json carrying
+        the recent event ring before dying with the signal's exit code."""
+        dump_dir = tmp_path / "dumps"
+        events_path = tmp_path / "telemetry.jsonl"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "monitor",
+             "--demo", "200000", "--window", "600", "--hop", "300",
+             "--hidden", "1", "--no-stationarity-gate",
+             "--flight-recorder", str(dump_dir),
+             "--telemetry", str(events_path)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            env={**os.environ,
+                 "PYTHONPATH": str(Path(__file__).parents[2] / "src")},
+        )
+        try:
+            deadline = time.monotonic() + 60
+            # Wait until the monitor has demonstrably produced telemetry,
+            # so the ring is non-empty when the signal lands.
+            while time.monotonic() < deadline:
+                if events_path.exists() and events_path.stat().st_size > 0:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail(f"monitor exited early: {proc.returncode}")
+                time.sleep(0.2)
+            else:
+                pytest.fail("monitor produced no telemetry within 60s")
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        assert returncode == -signal.SIGTERM
+        (dump,) = dump_dir.glob("crash-*.json")
+        payload = json.loads(dump.read_text())
+        assert payload["reason"] == "signal SIGTERM"
+        assert payload["n_events"] > 0
+        assert {"ts", "kind"} <= set(payload["events"][-1])
+        assert payload["threads"]

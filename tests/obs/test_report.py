@@ -1,0 +1,215 @@
+"""Tests for bench diffing and the single-file HTML dashboard."""
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    collect_report_data,
+    diff_bench,
+    generate_report,
+    load_bench,
+)
+
+BASE_BENCH = {
+    "scale": "quick",
+    "window": 1500,
+    "n_windows": 11,
+    "warm_window_seconds": 0.8,
+    "cold_window_seconds": 4.6,
+    "warm_speedup": 6.0,
+    "throughput_multi_jobs": 700.0,
+    "telemetry": {"disabled_overhead_fraction": 1e-6},
+}
+
+
+class TestDiffBench:
+    def test_identical_reports_have_no_findings(self):
+        diff = diff_bench(BASE_BENCH, dict(BASE_BENCH), tolerance=0.25)
+        assert diff["regressions"] == [] and diff["improvements"] == []
+        assert diff["checked"] >= 4
+
+    def test_slowed_timing_is_a_regression(self):
+        current = json.loads(json.dumps(BASE_BENCH))
+        current["warm_window_seconds"] = 1.6  # 2x slower
+        diff = diff_bench(BASE_BENCH, current, tolerance=0.25)
+        (reg,) = diff["regressions"]
+        assert reg["key"] == "warm_window_seconds"
+        assert reg["direction"] == "lower"
+        assert reg["change"] == pytest.approx(1.0)
+
+    def test_dropped_speedup_and_throughput_are_regressions(self):
+        current = json.loads(json.dumps(BASE_BENCH))
+        current["warm_speedup"] = 2.0
+        current["throughput_multi_jobs"] = 300.0
+        diff = diff_bench(BASE_BENCH, current, tolerance=0.25)
+        assert {r["key"] for r in diff["regressions"]} == {
+            "warm_speedup", "throughput_multi_jobs"}
+
+    def test_faster_timing_is_an_improvement_not_a_regression(self):
+        current = json.loads(json.dumps(BASE_BENCH))
+        current["cold_window_seconds"] = 2.0
+        diff = diff_bench(BASE_BENCH, current, tolerance=0.25)
+        assert diff["regressions"] == []
+        assert [i["key"] for i in diff["improvements"]] == [
+            "cold_window_seconds"]
+
+    def test_config_echo_keys_are_not_directional(self):
+        current = json.loads(json.dumps(BASE_BENCH))
+        current["window"] = 6000  # config change, not a regression
+        current["n_windows"] = 2
+        diff = diff_bench(BASE_BENCH, current, tolerance=0.25)
+        assert diff["regressions"] == [] and diff["improvements"] == []
+
+    def test_nested_keys_are_dotted(self):
+        current = json.loads(json.dumps(BASE_BENCH))
+        current["telemetry"]["disabled_overhead_fraction"] = 1.0
+        diff = diff_bench(BASE_BENCH, current, tolerance=0.25)
+        (reg,) = diff["regressions"]
+        assert reg["key"] == "telemetry.disabled_overhead_fraction"
+
+    def test_within_tolerance_changes_pass(self):
+        current = json.loads(json.dumps(BASE_BENCH))
+        current["warm_window_seconds"] = 0.9  # +12.5% < 25%
+        diff = diff_bench(BASE_BENCH, current, tolerance=0.25)
+        assert diff["regressions"] == []
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_bench(BASE_BENCH, BASE_BENCH, tolerance=-0.1)
+
+
+def synthetic_telemetry(path):
+    events = [
+        {"ts": 1.0, "wall": 1.0, "pid": 7, "kind": "run.manifest",
+         "run_id": "abc123def456", "command": "monitor",
+         "manifest_path": None,
+         "manifest": {"run_id": "abc123def456", "command": "monitor",
+                      "seeds": {"em": 0}, "python": "3.12.0",
+                      "git_sha": "f" * 40,
+                      "packages": {"repro": "0.5", "numpy": "2.0"}}},
+        {"ts": 1.1, "wall": 1.1, "pid": 7, "kind": "span",
+         "name": "em.fit", "span": "1-1", "parent": None, "dur_ms": 41.0},
+        {"ts": 1.2, "wall": 1.2, "pid": 7, "kind": "em.restart",
+         "model": "mmhd", "restart": 0, "n_iter": 9, "converged": True,
+         "loglik": -120.5, "logliks": [-160.0, -130.0, -120.5]},
+        {"ts": 1.3, "wall": 1.3, "pid": 7, "kind": "em.restart",
+         "model": "mmhd", "restart": 1, "n_iter": 9, "converged": True,
+         "loglik": -118.0, "logliks": [-150.0, -118.0]},
+        {"ts": 2.2, "wall": 2.2, "pid": 7, "kind": "alert.fired",
+         "rule": "likelihood-collapse-burst", "severity": "fatal",
+         "value": 0.8, "threshold": 0.3, "expr": "…"},
+        {"ts": 2.4, "wall": 2.4, "pid": 7, "kind": "alert.resolved",
+         "rule": "likelihood-collapse-burst", "value": 0.0,
+         "threshold": 0.3},
+        {"ts": 2.5, "wall": 2.5, "pid": 7, "kind": "watchdog.stall",
+         "idle_seconds": 12.0, "timeout": 10.0,
+         "ring": [{"kind": "span"}]},
+        {"ts": 2.6, "wall": 2.6, "pid": 7, "kind": "profile.phase",
+         "phase": "window.fit", "calls": 3, "total_ms": 120.0,
+         "top": [{"func": "em.py:10(step)", "ncalls": 12,
+                  "cum_ms": 100.0}]},
+        {"ts": 2.7, "wall": 2.7, "pid": 7, "kind": "pool.broken",
+         "n_workers": 4, "n_tasks": 8},
+    ]
+    for i, verdict in enumerate(["none", "weak", "strong", "strong"]):
+        events.append(
+            {"ts": 3.0 + i, "wall": 3.0 + i, "pid": 7, "kind": "window",
+             "path": "demo", "window": i, "status": "ok",
+             "verdict": verdict, "stable_verdict": verdict,
+             "changed": i == 2, "lag_ms": 10.0 * (i + 1)})
+    events.append(
+        {"ts": 9.0, "wall": 9.0, "pid": 7, "kind": "window",
+         "path": "demo", "window": 4, "status": "skipped",
+         "reason": "no-losses", "verdict": None, "stable_verdict": "strong",
+         "changed": False, "lag_ms": None})
+    lines = [json.dumps(e) for e in events]
+    lines.insert(3, '{"kind": "span", "name": "torn')   # torn tail
+    lines.insert(5, "[1, 2, 3]")                        # non-dict JSON
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return events
+
+
+class TestGenerateReport:
+    def make_benches(self, tmp_path, slow=True):
+        baseline_dir = tmp_path / "baseline"
+        baseline_dir.mkdir()
+        (baseline_dir / "BENCH_x.json").write_text(json.dumps(BASE_BENCH))
+        current = json.loads(json.dumps(BASE_BENCH))
+        if slow:
+            current["warm_window_seconds"] = 2.4  # 3x slower
+        bench_path = tmp_path / "BENCH_x.json"
+        bench_path.write_text(json.dumps(current))
+        return bench_path, baseline_dir
+
+    def test_single_file_html_with_all_sections(self, tmp_path):
+        events_path = tmp_path / "telemetry.jsonl"
+        synthetic_telemetry(events_path)
+        bench_path, baseline_dir = self.make_benches(tmp_path)
+        out = generate_report(
+            [events_path], [bench_path], baseline_dir=baseline_dir,
+            tolerance=0.25, out=tmp_path / "report.html", title="test run",
+        )
+        html_text = out.read_text(encoding="utf-8")
+        # self-contained: no scripts, no external fetches of any kind
+        assert "<script" not in html_text
+        assert "src=" not in html_text
+        assert "http://" not in html_text and "https://" not in html_text
+        assert "@import" not in html_text
+        # every dashboard section rendered
+        for needle in ("Provenance", "Spans", "EM restarts",
+                       "Monitored paths", "Alerts",
+                       "Watchdog &amp; pool health", "Profile",
+                       "Benchmarks"):
+            assert needle in html_text, needle
+        assert "abc123def456" in html_text          # manifest run id
+        assert "em.fit" in html_text                # span table
+        assert "likelihood-collapse-burst" in html_text
+        assert "window.fit" in html_text            # profile table
+        assert "<svg" in html_text and "<polyline" in html_text
+        assert "strong DCL" in html_text            # verdict legend labels
+        assert "prefers-color-scheme: dark" in html_text
+
+    def test_slowed_bench_is_flagged(self, tmp_path):
+        events_path = tmp_path / "telemetry.jsonl"
+        synthetic_telemetry(events_path)
+        bench_path, baseline_dir = self.make_benches(tmp_path, slow=True)
+        data = collect_report_data(
+            [events_path], [bench_path], baseline_dir=baseline_dir,
+            tolerance=0.25)
+        assert data["n_regressions"] == 1
+        assert data["malformed"] == 2
+        out = generate_report(out=tmp_path / "r.html", data=data)
+        html_text = out.read_text(encoding="utf-8")
+        assert "regression" in html_text
+        assert "warm_window_seconds" in html_text
+
+    def test_unslowed_bench_passes(self, tmp_path):
+        bench_path, baseline_dir = self.make_benches(tmp_path, slow=False)
+        data = collect_report_data([], [bench_path],
+                                   baseline_dir=baseline_dir)
+        assert data["n_regressions"] == 0
+
+    def test_report_without_inputs_still_renders(self, tmp_path):
+        out = generate_report(out=tmp_path / "empty.html")
+        text = out.read_text(encoding="utf-8")
+        assert "no run.manifest events" in text
+        assert "no bench reports given" in text
+
+    def test_load_bench_reads_json(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(BASE_BENCH))
+        assert load_bench(path)["scale"] == "quick"
+
+    def test_collect_groups_windows_by_path(self, tmp_path):
+        events_path = tmp_path / "telemetry.jsonl"
+        synthetic_telemetry(events_path)
+        data = collect_report_data([events_path])
+        assert set(data["windows_by_path"]) == {"demo"}
+        assert len(data["windows_by_path"]["demo"]) == 5
+        assert data["restart_logliks"] == [-120.5, -118.0]
+        assert len(data["alerts"]) == 2
+        assert len(data["stalls"]) == 1
+        assert len(data["pool_breaks"]) == 1
+        assert data["summary"]["alerts"]["fired"] == 1
+        assert data["summary"]["stalls"] == 1

@@ -104,3 +104,74 @@ class TestEdgeCases:
         summary = summarize_events(["", "  ", "\n"])
         assert summary["n_events"] == 0
         assert summary["n_unparseable"] == 0
+
+
+class TestMalformedLines:
+    """The satellite fix: torn/corrupt JSONL must be skipped and counted,
+    never crash the summarizer."""
+
+    def test_non_dict_json_lines_are_malformed_not_fatal(self):
+        lines = [
+            '{"kind": "window", "status": "ok", "verdict": "none"}',
+            "42",            # valid JSON, not an event object
+            "[1, 2, 3]",     # likewise
+            '"a string"',
+            '{"kind": "span", "name": "x", "dur_ms": 1.0}',
+        ]
+        summary = summarize_events(lines)
+        assert summary["n_events"] == 2
+        assert summary["malformed_lines"] == 3
+        assert summary["n_unparseable"] == 3  # legacy alias stays in sync
+
+    def test_torn_tail_line_is_counted(self):
+        lines = [
+            '{"kind": "span", "name": "x", "dur_ms": 1.0}',
+            '{"kind": "span", "name": "y", "dur_',  # writer died mid-line
+        ]
+        summary = summarize_events(lines)
+        assert summary["n_events"] == 1
+        assert summary["malformed_lines"] == 1
+
+    def test_corrupt_bytes_in_file_are_tolerated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = b'{"kind": "window", "status": "ok", "verdict": "weak"}\n'
+        path.write_bytes(good + b"\xff\xfe\x00garbage\n" + good)
+        summary = summarize_events(path)
+        assert summary["n_events"] == 2
+        assert summary["malformed_lines"] == 1
+        assert summary["windows"]["analyzed"] == 2
+
+    def test_already_parsed_dicts_pass_through(self):
+        events = [{"kind": "window", "status": "ok", "verdict": "strong"}]
+        summary = summarize_events(events)
+        assert summary["n_events"] == 1
+        assert summary["windows"]["verdicts"] == {"strong": 1}
+
+    def test_malformed_count_not_rendered_when_zero(self):
+        summary = summarize_events(["{\"kind\": \"span\", \"name\": \"x\","
+                                    " \"dur_ms\": 1.0}"])
+        assert "unparseable" not in format_summary(summary)
+
+
+class TestAlertAndStallSummaries:
+    def test_alert_and_stall_events_are_counted_and_rendered(self):
+        lines = [
+            '{"kind": "alert.fired", "rule": "burst", "severity": "fatal"}',
+            '{"kind": "alert.fired", "rule": "lag", "severity": "warn"}',
+            '{"kind": "alert.resolved", "rule": "lag"}',
+            '{"kind": "watchdog.stall", "idle_seconds": 9.0}',
+        ]
+        summary = summarize_events(lines)
+        assert summary["alerts"] == {
+            "fired": 2, "resolved": 1, "by_rule": {"burst": 1, "lag": 1}}
+        assert summary["stalls"] == 1
+        text = format_summary(summary)
+        assert "alerts: 2 fired, 1 resolved" in text
+        assert "watchdog stalls: 1" in text
+
+    def test_quiet_runs_render_no_alert_lines(self):
+        summary = summarize_events(
+            ['{"kind": "span", "name": "x", "dur_ms": 1.0}'])
+        text = format_summary(summary)
+        assert "alerts:" not in text
+        assert "stalls" not in text

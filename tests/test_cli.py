@@ -171,6 +171,113 @@ class TestTelemetry:
         assert "span" in kinds
 
 
+
+class TestObservabilityFlags:
+    def test_monitor_diagnostic_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "monitor", "--demo", "--alert-rules", "default",
+            "--flight-recorder", "dumps", "--stall-timeout", "30",
+            "--profile", "--telemetry-max-bytes", "1000000",
+            "--manifest", "m.json",
+        ])
+        assert args.alert_rules == "default"
+        assert args.flight_recorder == "dumps"
+        assert args.stall_timeout == 30.0
+        assert args.profile
+        assert args.telemetry_max_bytes == 1000000
+        assert args.manifest == "m.json"
+        quiet = parser.parse_args(["monitor", "--demo"])
+        assert quiet.alert_rules is None
+        assert quiet.flight_recorder is None
+        assert quiet.stall_timeout is None
+        assert not quiet.profile
+
+    def test_report_command_parses(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "report", "--events", "a.jsonl", "--events", "b.jsonl",
+            "--bench", "BENCH_x.json", "--baseline", "base",
+            "--tolerance", "0.1", "--out", "r.html",
+            "--title", "t", "--fail-on-regression",
+        ])
+        assert args.events == ["a.jsonl", "b.jsonl"]
+        assert args.bench == ["BENCH_x.json"]
+        assert args.baseline == "base"
+        assert args.tolerance == 0.1
+        assert args.fail_on_regression
+
+
+class TestProvenanceAndReport:
+    def test_telemetry_run_writes_manifest_and_event(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        code = main(TestTelemetry.MONITOR_ARGS
+                    + ["--telemetry", str(events_path)])
+        assert code == 0
+        capsys.readouterr()
+        manifest_path = tmp_path / "events.manifest.json"
+        assert manifest_path.exists()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["command"] == "monitor"
+        assert manifest["config"]["__type__"] == "MonitorConfig"
+        assert manifest["seeds"]["demo"] == 0
+        assert "em" in manifest["seeds"]  # harvested from the EM config
+        events = [json.loads(line)
+                  for line in events_path.read_text().splitlines()]
+        (record,) = [e for e in events if e["kind"] == "run.manifest"]
+        assert record["run_id"] == manifest["run_id"]
+
+    def test_explicit_manifest_path_without_telemetry(self, tmp_path,
+                                                      capsys):
+        csv_path = strong_csv(tmp_path)
+        manifest_path = tmp_path / "run.manifest.json"
+        code = main(["identify", str(csv_path), "--hidden", "1",
+                     "--manifest", str(manifest_path)])
+        assert code == 0
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["command"] == "identify"
+        assert manifest["inputs"] == [str(csv_path)]
+
+    def test_report_command_builds_html_from_monitor_run(self, tmp_path,
+                                                         capsys):
+        events_path = tmp_path / "events.jsonl"
+        assert main(TestTelemetry.MONITOR_ARGS
+                    + ["--telemetry", str(events_path)]) == 0
+        out_path = tmp_path / "report.html"
+        code = main(["report", "--events", str(events_path),
+                     "--out", str(out_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "report written to" in captured.out
+        html_text = out_path.read_text(encoding="utf-8")
+        assert "<svg" in html_text
+        assert "Monitored paths" in html_text
+        assert "Provenance" in html_text
+
+    def test_monitor_with_default_alert_rules_stays_quiet(self, tmp_path,
+                                                          capsys):
+        events_path = tmp_path / "events.jsonl"
+        code = main(TestTelemetry.MONITOR_ARGS
+                    + ["--telemetry", str(events_path),
+                       "--alert-rules", "default"])
+        assert code == 0  # healthy demo run: no fatal alerts
+        capsys.readouterr()
+        kinds = {json.loads(line)["kind"]
+                 for line in events_path.read_text().splitlines()}
+        assert "alert.fired" not in kinds
+
+    def test_monitor_profile_prints_phase_summary(self, tmp_path, capsys):
+        events_path = tmp_path / "events.jsonl"
+        code = main(TestTelemetry.MONITOR_ARGS
+                    + ["--telemetry", str(events_path), "--profile"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "window.fit" in captured.err
+        kinds = [json.loads(line)["kind"]
+                 for line in events_path.read_text().splitlines()]
+        assert "profile.phase" in kinds
+
+
 class TestSlowCommands:
     @pytest.mark.slow
     def test_simulate_then_identify_then_pinpoint(self, tmp_path, capsys):

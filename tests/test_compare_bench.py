@@ -1,0 +1,75 @@
+"""Tests for the standalone bench-comparison CLI used by CI."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).parents[1] / "benchmarks" / "compare_bench.py"
+
+BASE = {
+    "scale": "quick",
+    "warm_window_seconds": 0.8,
+    "warm_speedup": 6.0,
+    "throughput_multi_jobs": 700.0,
+}
+
+
+@pytest.fixture(scope="module")
+def compare_bench():
+    spec = importlib.util.spec_from_file_location("compare_bench", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write(path, data):
+    path.write_text(json.dumps(data), encoding="utf-8")
+    return path
+
+
+class TestCompareBenchCLI:
+    def test_identical_reports_exit_zero(self, compare_bench, tmp_path,
+                                         capsys):
+        baseline = write(tmp_path / "a.json", BASE)
+        current = write(tmp_path / "b.json", BASE)
+        rc = compare_bench.main([str(baseline), str(current)])
+        assert rc == 0
+        assert "no change beyond tolerance" in capsys.readouterr().out
+
+    def test_regression_past_tolerance_exits_nonzero(self, compare_bench,
+                                                     tmp_path, capsys):
+        baseline = write(tmp_path / "a.json", BASE)
+        slowed = dict(BASE, warm_window_seconds=2.4)
+        current = write(tmp_path / "b.json", slowed)
+        rc = compare_bench.main([str(baseline), str(current),
+                                 "--tolerance", "0.25"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "warm_window_seconds" in out
+
+    def test_within_tolerance_passes(self, compare_bench, tmp_path):
+        baseline = write(tmp_path / "a.json", BASE)
+        current = write(tmp_path / "b.json",
+                        dict(BASE, warm_window_seconds=0.9))
+        assert compare_bench.main([str(baseline), str(current)]) == 0
+
+    def test_improvement_exits_zero_and_is_reported(self, compare_bench,
+                                                    tmp_path, capsys):
+        baseline = write(tmp_path / "a.json", BASE)
+        current = write(tmp_path / "b.json", dict(BASE, warm_speedup=12.0))
+        rc = compare_bench.main([str(baseline), str(current)])
+        assert rc == 0
+        assert "improvement" in capsys.readouterr().out
+
+    def test_json_output_is_machine_readable(self, compare_bench, tmp_path,
+                                             capsys):
+        baseline = write(tmp_path / "a.json", BASE)
+        current = write(tmp_path / "b.json",
+                        dict(BASE, warm_window_seconds=2.4))
+        rc = compare_bench.main([str(baseline), str(current), "--json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressions"][0]["key"] == "warm_window_seconds"
