@@ -1,0 +1,288 @@
+"""Fleet-scale drain benchmark: fused mega-batching vs per-window pool.
+
+Measures what the ragged multi-sequence E-step engine buys a multi-path
+monitor on one CPU.  Each fleet tier warms ``n_paths`` concurrent
+monitors (warm states are cloned from a small set of template paths so
+warm-up cost stays flat as fleets grow), ingests one more hop per path,
+and times a single :meth:`MultiPathMonitor.drain` under both engines:
+
+* ``drain_mode="pool"`` — one :func:`analyze_window` task per window,
+  the per-window baseline (``n_jobs=1``: the pure Python-dispatch cost);
+* ``drain_mode="fused"`` — every window of the round stacked into one
+  ragged mega-batch, one batched recursion for the whole fleet.
+
+Both drains run the same kernel per window, so their verdict-event
+streams are byte-identical — asserted here on every tier, which makes
+the benchmark double as an end-to-end parity check.  ``fused_speedup``
+per tier is the headline number; the paper-scale run records it at
+32/128/512 paths with the *default* ``MonitorConfig`` geometry and EM
+settings (the stationarity gate is disabled so every window reaches the
+fit — the expensive case a live deployment provisions for).
+
+Writes ``benchmarks/output/BENCH_monitor.json``.  ``--check-baseline``
+(CI) never clobbers the committed JSON: results go to a ``.check.json``
+sidecar, the committed paper-scale baseline is checked for the 3x
+acceptance record at 128 paths, and — when scales match — the fresh
+speedup must stay within ``MAX_REGRESSION`` of the committed one.
+``--min-fused-speedup X`` additionally gates the largest tier of the
+*current* run.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_monitor_scale.py``
+(``REPRO_BENCH_SCALE=paper`` for the committed fleet sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import common  # noqa: E402
+from repro.experiments.streams import strong_dcl_stream  # noqa: E402
+from repro.models.base import EMConfig  # noqa: E402
+from repro.parallel import shutdown_pools  # noqa: E402
+from repro.streaming.scheduler import MultiPathMonitor  # noqa: E402
+from repro.streaming.tracker import MonitorConfig  # noqa: E402
+
+BASELINE_PATH = common.OUTPUT_DIR / "BENCH_monitor.json"
+#: CI tolerates at most this much erosion of the committed fused speedup.
+MAX_REGRESSION = 2.0
+#: The acceptance bar the committed paper-scale baseline must record at
+#: the 128-path tier (fused drain vs pool drain, default MonitorConfig).
+ACCEPTANCE_FLEET = 128
+ACCEPTANCE_SPEEDUP = 3.0
+
+#: Distinct probe streams; fleet path ``i`` clones template ``i % N``,
+#: so warm-up runs a constant number of cold fits at any fleet size.
+N_STREAMS = 8
+#: Hops ingested (per path) into the timed drain: one sub-round.
+TIMED_HOPS = 1
+
+if common.SCALE == "paper":
+    FLEETS = [32, 128, 512]
+    WINDOW, HOP = 3000, 1500      # MonitorConfig defaults: one paper minute
+else:
+    FLEETS = [8, 32]
+    WINDOW, HOP = 1500, 750
+
+
+def monitor_config() -> MonitorConfig:
+    """Default MonitorConfig at paper scale; shrunk EM budget at quick.
+
+    ``gate_stationarity=False`` is the only non-default: the gate can
+    only *skip* windows, and the benchmark measures the fit path.
+    """
+    em = None
+    if common.SCALE != "paper":
+        em = EMConfig(tol=common.EM_TOL, max_iter=common.EM_MAX_ITER)
+    return MonitorConfig(window=WINDOW, hop=HOP, gate_stationarity=False,
+                         em=em)
+
+
+def event_keys(events) -> list:
+    """Events projected for byte-parity (wall-clock lag excluded)."""
+    keys = []
+    for event in events:
+        payload = event.to_dict()
+        payload.pop("lag_ms", None)
+        keys.append(json.dumps(payload, sort_keys=True))
+    return keys
+
+
+def warm_templates(config: MonitorConfig, streams):
+    """One warmed _PathState per template stream (cold fits, untimed)."""
+    seed_monitor = MultiPathMonitor(config, n_jobs=1, drain_mode="pool")
+    for g, stream in enumerate(streams):
+        for send_time, delay in stream[:WINDOW]:
+            seed_monitor.ingest(f"seed-{g}", send_time, delay)
+    events = seed_monitor.drain()
+    assert len(events) == len(streams), "warm-up drain lost windows"
+    assert all(e.analysis.analyzed for e in events), "warm-up window skipped"
+    return [seed_monitor._paths[f"seed-{g}"] for g in range(len(streams))]
+
+
+def build_fleet(config, templates, n_paths: int,
+                drain_mode: str) -> MultiPathMonitor:
+    """A fleet monitor whose paths clone the warmed template states.
+
+    Reaches into ``_paths`` deliberately: cloning a warmed per-path state
+    (assembler overlap buffer, verdict tracker, warm EM parameters) is
+    what lets the benchmark scale fleets without paying ``n_paths`` cold
+    fits per tier.  Both engines get byte-identical clones, so the
+    comparison — and the parity assertion — is exact.
+    """
+    monitor = MultiPathMonitor(config, n_jobs=1, drain_mode=drain_mode)
+    for i in range(n_paths):
+        monitor._paths[f"path-{i:04d}"] = copy.deepcopy(
+            templates[i % len(templates)])
+    return monitor
+
+
+def bench_fleet(config, templates, streams, n_paths: int) -> dict:
+    """Time one warm drain of ``n_paths`` paths under both engines."""
+    monitors = {
+        mode: build_fleet(config, templates, n_paths, mode)
+        for mode in ("pool", "fused")
+    }
+    tail = [stream[WINDOW:WINDOW + TIMED_HOPS * HOP] for stream in streams]
+    for monitor in monitors.values():
+        for i in range(n_paths):
+            path = f"path-{i:04d}"
+            for send_time, delay in tail[i % len(streams)]:
+                monitor.ingest(path, send_time, delay)
+        assert monitor.n_pending == n_paths * TIMED_HOPS
+
+    elapsed, events = {}, {}
+    for mode, monitor in monitors.items():
+        start = time.perf_counter()
+        events[mode] = monitor.drain()
+        elapsed[mode] = time.perf_counter() - start
+        assert len(events[mode]) == n_paths * TIMED_HOPS, (
+            f"{mode} drain resolved {len(events[mode])} windows, "
+            f"expected {n_paths * TIMED_HOPS}"
+        )
+    assert event_keys(events["pool"]) == event_keys(events["fused"]), (
+        "fused and pool drains diverged — byte-parity contract broken"
+    )
+
+    windows = n_paths * TIMED_HOPS
+    entry = {
+        "paths": n_paths,
+        "windows": windows,
+        "pool_seconds": round(elapsed["pool"], 3),
+        "fused_seconds": round(elapsed["fused"], 3),
+        "pool_throughput_wps": round(windows / elapsed["pool"], 3),
+        "fused_throughput_wps": round(windows / elapsed["fused"], 3),
+        "fused_speedup": round(elapsed["pool"] / elapsed["fused"], 3),
+    }
+    print(f"  fleet {n_paths:4d}: pool {entry['pool_seconds']:8.2f}s  "
+          f"fused {entry['fused_seconds']:7.2f}s  "
+          f"speedup {entry['fused_speedup']:.2f}x", flush=True)
+    return entry
+
+
+def run_benchmark() -> dict:
+    config = monitor_config()
+    probes = WINDOW + TIMED_HOPS * HOP
+    streams = [list(strong_dcl_stream(probes, seed=100 + g))
+               for g in range(N_STREAMS)]
+    print(f"warming {N_STREAMS} template paths "
+          f"(window={WINDOW}, scale={common.SCALE})...", flush=True)
+    templates = warm_templates(config, streams)
+    fleets = {}
+    for n_paths in FLEETS:
+        fleets[str(n_paths)] = bench_fleet(config, templates, streams,
+                                           n_paths)
+    largest = fleets[str(FLEETS[-1])]
+    return {
+        "scale": common.SCALE,
+        "cpu_count": os.cpu_count(),
+        "window": WINDOW,
+        "hop": HOP,
+        "timed_hops": TIMED_HOPS,
+        "n_streams": N_STREAMS,
+        "em_tol": config.em.tol,
+        "em_max_iter": config.em.max_iter,
+        "em_restarts": config.em.n_restarts,
+        "fleets": fleets,
+        "largest_fleet_fused_speedup": largest["fused_speedup"],
+    }
+
+
+def check_baseline(report: dict) -> int:
+    """Gate against the committed JSON (CI path; never clobbers it)."""
+    if not BASELINE_PATH.exists():
+        print(f"no committed baseline at {BASELINE_PATH}; skipping check")
+        return 0
+    baseline = json.loads(BASELINE_PATH.read_text())
+    status = 0
+
+    # The committed paper-scale artifact must itself record the
+    # acceptance number, whatever scale this run used.
+    if baseline.get("scale") == "paper":
+        tier = baseline.get("fleets", {}).get(str(ACCEPTANCE_FLEET))
+        if tier is None:
+            print(f"FAIL: committed baseline has no {ACCEPTANCE_FLEET}-path "
+                  f"tier")
+            status = 1
+        elif tier["fused_speedup"] < ACCEPTANCE_SPEEDUP:
+            print(f"FAIL: committed baseline records "
+                  f"{tier['fused_speedup']}x fused speedup at "
+                  f"{ACCEPTANCE_FLEET} paths, below the "
+                  f"{ACCEPTANCE_SPEEDUP}x acceptance bar")
+            status = 1
+        else:
+            print(f"committed baseline: {tier['fused_speedup']}x at "
+                  f"{ACCEPTANCE_FLEET} paths (>= {ACCEPTANCE_SPEEDUP}x, OK)")
+
+    if baseline.get("scale") != report["scale"]:
+        print(f"baseline scale {baseline.get('scale')!r} != current "
+              f"{report['scale']!r}; skipping live comparison")
+        return status
+    shared = sorted(
+        set(baseline.get("fleets", {})) & set(report["fleets"]), key=int
+    )
+    for fleet in shared:
+        old = baseline["fleets"][fleet]["fused_speedup"]
+        new = report["fleets"][fleet]["fused_speedup"]
+        print(f"fleet {fleet}: fused speedup baseline {old}x, now {new}x")
+        if old / max(new, 1e-9) > MAX_REGRESSION:
+            print(f"FAIL: fused speedup at {fleet} paths eroded more than "
+                  f"{MAX_REGRESSION:.0f}x vs the committed baseline")
+            status = 1
+    if status == 0:
+        print("OK: within the regression budget")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="compare against the committed JSON instead of replacing it",
+    )
+    parser.add_argument(
+        "--min-fused-speedup", type=float, default=None,
+        help="fail unless the largest fleet's fused drain beats the pool "
+             "drain by at least this factor",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark()
+    shutdown_pools()
+    print(json.dumps(report, indent=2))
+
+    status = 0
+    if args.min_fused_speedup is not None:
+        speedup = report["largest_fleet_fused_speedup"]
+        if speedup < args.min_fused_speedup:
+            print(f"FAIL: largest-fleet fused speedup {speedup}x is below "
+                  f"the {args.min_fused_speedup}x bar")
+            status = 1
+        else:
+            print(f"largest-fleet fused speedup {speedup}x "
+                  f">= {args.min_fused_speedup}x (OK)")
+
+    if args.check_baseline:
+        status = check_baseline(report) or status
+        out = BASELINE_PATH.with_suffix(".check.json")
+    else:
+        out = BASELINE_PATH
+    common.OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[written to {out}]")
+    manifest = common.write_bench_manifest(
+        "monitor", extra={"fleets": FLEETS, "timed_hops": TIMED_HOPS},
+    )
+    print(f"[manifest written to {manifest}]")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -202,6 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--jobs", type=int, default=1,
                          help="worker processes for multi-path fits "
                               "(-1 = all CPUs; default 1)")
+    monitor.add_argument("--drain-mode", choices=("auto", "fused", "pool"),
+                         default="auto",
+                         help="drain engine: 'fused' mega-batches each "
+                              "round's warm fits into one ragged batched "
+                              "recursion per model group, 'pool' runs one "
+                              "task per window, 'auto' picks fused when "
+                              "the batched E-step backend applies "
+                              "(default auto); events are identical in "
+                              "every mode")
     monitor.add_argument("--max-windows", type=int, default=None,
                          help="stop after this many emitted window events")
     monitor.add_argument("--demo", type=int, nargs="?", const=8000,
@@ -437,7 +446,8 @@ def _cmd_monitor(args) -> int:
         memory=args.memory,
         gate_stationarity=not args.no_stationarity_gate,
     )
-    monitor = MultiPathMonitor(config, n_jobs=args.jobs)
+    monitor = MultiPathMonitor(config, n_jobs=args.jobs,
+                               drain_mode=args.drain_mode)
     iterators = {path: iter(s) for path, s in _monitor_streams(args).items()}
 
     recorder = None

@@ -15,9 +15,11 @@ import numpy as np
 
 __all__ = [
     "LOSS",
+    "PAD",
     "InsufficientLossError",
     "ObservationSequence",
     "SymbolIndex",
+    "SymbolStack",
     "EMConfig",
     "FittedModel",
     "require_losses",
@@ -35,6 +37,9 @@ class InsufficientLossError(ValueError):
 
 #: Marker for a lost probe (a delay observation with a missing value).
 LOSS = -1
+
+#: Marker for a padded (past-end) slot in a :class:`SymbolStack` row.
+PAD = -2
 
 
 class ObservationSequence:
@@ -172,6 +177,55 @@ class SymbolIndex:
                 ll = ts
         self._pair_groups = (oo, ol, lo, ll)
         return self._pair_groups
+
+
+class SymbolStack:
+    """Padded stack of observation sequences — :class:`SymbolIndex`'s
+    ragged sibling.
+
+    Rows carry sequences of *unequal* length ``T_r``, right-padded to
+    ``t_max`` with :data:`PAD` so a batched recursion can run one
+    time-major loop over the whole stack.  The masks expose which
+    ``(row, step)`` slots are real: the batched E-step engine carries
+    padded lanes through its recursions unchanged (padded scale factors
+    are forced to 1, contributing ``log(1) = 0``) so every per-row
+    statistic stays bit-identical to a solo fit of that row.
+
+    All rows must share ``n_symbols``; mixed alphabets cannot share one
+    parameter stack.
+    """
+
+    def __init__(self, seqs: Sequence["ObservationSequence"]):
+        if not len(seqs):
+            raise ValueError("SymbolStack needs at least one sequence")
+        n_symbols = seqs[0].n_symbols
+        for seq in seqs:
+            if seq.n_symbols != n_symbols:
+                raise ValueError(
+                    f"all stacked sequences must share n_symbols; got "
+                    f"{seq.n_symbols} alongside {n_symbols}"
+                )
+        self.seqs = list(seqs)
+        self.n_symbols = int(n_symbols)
+        self.n_rows = len(self.seqs)
+        self.lengths = np.array([len(s) for s in self.seqs], dtype=int)
+        self.t_max = int(self.lengths.max())
+        symbols0 = np.full((self.n_rows, self.t_max), PAD, dtype=int)
+        for k, seq in enumerate(self.seqs):
+            symbols0[k, : len(seq)] = seq.zero_based()
+        #: zero-based symbols, ``LOSS`` at losses, :data:`PAD` past row end
+        self.symbols0 = symbols0
+        #: boolean ``(n_rows, t_max)`` masks of real / lost / observed slots
+        self.valid = symbols0 != PAD
+        self.lost = symbols0 == LOSS
+        self.observed = symbols0 >= 0
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def row_index(self, row: int) -> "SymbolIndex":
+        """The solo :class:`SymbolIndex` of one stacked row."""
+        return SymbolIndex(self.seqs[row])
 
 
 class EMConfig:

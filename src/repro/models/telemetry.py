@@ -18,7 +18,7 @@ from typing import Sequence
 
 from repro import obs
 
-__all__ = ["record_restart", "record_fit"]
+__all__ = ["record_restart", "record_fit", "record_drain_round"]
 
 #: decimal places kept for log-likelihoods in event payloads — enough to
 #: see non-monotonicity at the EM tolerance, small enough to keep JSONL
@@ -72,4 +72,33 @@ def record_fit(model: str, fits: Sequence, best_restart: int) -> None:
         restart_logliks=logliks,
         loglik_dispersion=round(max(logliks) - min(logliks),
                                 _LOGLIK_DECIMALS) if logliks else 0.0,
+    )
+
+
+def record_drain_round(mode: str, windows: int, groups: int, rows: int,
+                       pad_fraction: float, dur_s: float) -> None:
+    """Telemetry for one multi-path drain round.
+
+    ``pad_fraction`` is the share of mega-batch slots wasted on padding
+    (ragged stacks pad every window to the longest one in its group); a
+    fused drain whose rounds report high pad waste is stacking windows
+    of very unequal length and may be better served by the pool mode.
+    The pool mode runs no mega-batches, so ``groups``/``rows`` are zero
+    and no pad-waste sample is recorded for it.
+    """
+    if not obs.is_enabled():
+        return
+    obs.inc("repro_drain_rounds_total", 1.0, mode=mode)
+    obs.inc("repro_drain_windows_total", float(windows), mode=mode)
+    obs.observe("repro_drain_round_seconds", float(dur_s), mode=mode)
+    if mode == "fused":
+        obs.observe("repro_drain_pad_waste_ratio", float(pad_fraction))
+    obs.emit(
+        "drain.round",
+        mode=mode,
+        windows=int(windows),
+        groups=int(groups),
+        rows=int(rows),
+        pad_fraction=round(float(pad_fraction), 4),
+        dur_ms=round(float(dur_s) * 1e3, 3),
     )

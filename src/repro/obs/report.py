@@ -150,6 +150,7 @@ def collect_report_data(
         float(e["loglik"]) for e in events
         if e.get("kind") == "em.restart" and e.get("loglik") is not None
     ]
+    drain_rounds = [e for e in events if e.get("kind") == "drain.round"]
     alert_events = [e for e in events
                     if e.get("kind") in ("alert.fired", "alert.resolved")]
     stall_events = [e for e in events if e.get("kind") == "watchdog.stall"]
@@ -177,6 +178,7 @@ def collect_report_data(
         "sources": [str(p) for p in events_paths],
         "manifests": manifests,
         "windows_by_path": windows_by_path,
+        "drain_rounds": drain_rounds,
         "restart_logliks": restart_logliks,
         "alerts": alert_events,
         "stalls": stall_events,
@@ -428,6 +430,42 @@ def _render_profiles(profiles: Sequence[dict]) -> str:
     return "".join(blocks)
 
 
+def _render_drain_rounds(rounds: Sequence[dict]) -> str:
+    """Windows-per-round and pad-waste sparklines from drain.round events.
+
+    The windows-per-round trace shows how well the scheduler batches
+    (tall = big mega-batches, flat 1s = singleton rounds); the
+    pad-fraction trace shows how much of those batches was padding.
+    """
+    if not rounds:
+        return ('<p class="empty">no drain.round events (multi-path '
+                "monitor not run, or telemetry disabled)</p>")
+    by_mode: Dict[str, int] = {}
+    total_windows = 0
+    for event in rounds:
+        mode = str(event.get("mode", "?"))
+        by_mode[mode] = by_mode.get(mode, 0) + 1
+        total_windows += int(event.get("windows") or 0)
+    modes = ", ".join(f"{count} {mode}" for mode, count in
+                      sorted(by_mode.items()))
+    parts = [
+        f'<p class="sub">{len(rounds)} drain rounds ({modes}), '
+        f"{total_windows} windows resolved</p>",
+        '<p class="sub">windows fitted per round:</p>',
+        _svg_sparkline([float(e.get("windows") or 0) for e in rounds],
+                       label="windows/round"),
+    ]
+    fused = [e for e in rounds if e.get("mode") == "fused"]
+    if fused:
+        parts.append(
+            '<p class="sub">fused pad waste (fraction of mega-batch '
+            "slots spent on padding):</p>"
+            + _svg_sparkline([float(e.get("pad_fraction") or 0.0)
+                              for e in fused], label="pad fraction")
+        )
+    return "".join(parts)
+
+
 def _render_bench(entry: dict, tolerance: float) -> str:
     parts = [f"<h3><code>{_esc(entry['name'])}</code></h3>"]
     diff = entry["diff"]
@@ -563,6 +601,9 @@ def generate_report(
         sections.append(_verdict_legend() + "".join(path_blocks))
     else:
         sections.append('<p class="empty">no window events</p>')
+
+    sections.append("<h2>Drain efficiency</h2>")
+    sections.append(_render_drain_rounds(data.get("drain_rounds") or []))
 
     sections += ["<h2>Alerts</h2>", _render_alerts(data["alerts"])]
 

@@ -54,6 +54,10 @@ EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
         ("path", "window", "status", "reason", "verdict", "stable_verdict",
          "changed"),
     ),
+    "drain.round": (
+        "One multi-path drain round finished (fused-batch accounting)",
+        ("mode", "windows", "groups", "rows", "pad_fraction", "dur_ms"),
+    ),
     "traceio.load": (
         "An observation file was loaded",
         ("path", "n_probes", "n_losses"),
@@ -124,6 +128,14 @@ METRICS: List[Tuple[str, str, Tuple[str, ...], str]] = [
      "Wall-clock lag from window assembly to verdict emission."),
     ("repro_pending_windows", "gauge", (),
      "Completed windows waiting for a fit."),
+    ("repro_drain_rounds_total", "counter", ("mode",),
+     "Multi-path drain rounds, by drain mode (fused or pool)."),
+    ("repro_drain_windows_total", "counter", ("mode",),
+     "Windows resolved by drain rounds, by drain mode."),
+    ("repro_drain_round_seconds", "histogram", ("mode",),
+     "Wall-clock duration of one multi-path drain round."),
+    ("repro_drain_pad_waste_ratio", "histogram", (),
+     "Fraction of fused mega-batch slots wasted on ragged padding."),
     ("repro_probes_loaded_total", "counter", (),
      "Probe records loaded from observation files."),
     ("repro_losses_loaded_total", "counter", (),
@@ -155,6 +167,10 @@ MONITOR_SERIES: List[Tuple[str, List[dict]]] = [
     ("repro_window_verdicts_total",
      [{"verdict": "strong"}, {"verdict": "weak"}, {"verdict": "none"}]),
     ("repro_verdict_changes_total", [{}]),
+    ("repro_drain_rounds_total",
+     [{"mode": "fused"}, {"mode": "pool"}]),
+    ("repro_drain_windows_total",
+     [{"mode": "fused"}, {"mode": "pool"}]),
     ("repro_watchdog_stalls_total", [{}]),
     ("repro_pool_breaks_total", [{}]),
 ]

@@ -33,6 +33,13 @@ longer doubles window latency.  The accept/fallback criteria and the
 returned :class:`StreamingFitResult` are identical to the sequential
 policy.
 
+At fleet scale the hedging batches *across windows* too:
+:func:`fused_streaming_fits` stacks the warm/cold rows of many windows —
+different paths, different sequence lengths — into one ragged mega-batch
+(:func:`repro.models.batched.run_hedged_fits`), which is what the
+scheduler's fused drain mode runs.  Each window's result stays
+bit-identical to its solo :func:`streaming_fit`.
+
 The warm state itself (:class:`WarmState`) is a plain bundle of parameter
 arrays, picklable so the multi-path scheduler can round-trip it through
 worker processes.
@@ -57,7 +64,12 @@ from repro.models.mmhd import FittedMMHD, MarkovModelHiddenDimension, fit_mmhd
 
 _LOG = obs.get_logger(__name__)
 
-__all__ = ["WarmState", "StreamingFitResult", "streaming_fit"]
+__all__ = [
+    "WarmState",
+    "StreamingFitResult",
+    "streaming_fit",
+    "fused_streaming_fits",
+]
 
 #: Allowed decrease of the EM log-likelihood trail before the warm
 #: trajectory is declared collapsed, as ``ABS + REL * |loglik|``.  EM is
@@ -245,6 +257,56 @@ def _record(kind: str, result: "StreamingFitResult") -> "StreamingFitResult":
         loglik=round(float(result.fitted.log_likelihood), 6),
     )
     return result
+
+
+def fused_streaming_fits(
+    kind: str,
+    seqs: List[ObservationSequence],
+    n_hidden: int,
+    configs: List[EMConfig],
+    warm_states: List[WarmState],
+) -> Tuple[List[StreamingFitResult], dict]:
+    """Hedged warm fits for many windows in one ragged mega-batch.
+
+    The fused counterpart of calling :func:`streaming_fit` once per
+    window when every window has a usable warm state and the batched
+    backend is active: the scheduler's fused drain stacks the windows of
+    all paths sharing ``(kind, n_hidden, n_symbols)`` and runs a single
+    batched recursion over the stack.  Per-window results (and the
+    per-window ``streaming.fit`` telemetry) are bit-identical to the
+    solo calls; ``info`` additionally reports the stack's occupancy and
+    pad-waste accounting for the ``drain.round`` event.
+
+    ``configs`` carry the per-window seeds (``seed`` is the only field
+    allowed to differ); ``warm_states`` must all match the fit shape —
+    the caller routes shape-mismatched or cold windows through the
+    per-window path instead.
+    """
+    if kind not in ("mmhd", "hmm"):
+        raise ValueError(f"kind must be 'mmhd' or 'hmm', got {kind!r}")
+    if not (len(seqs) == len(configs) == len(warm_states)):
+        raise ValueError("fused_streaming_fits needs one config and one "
+                         "warm state per sequence")
+    for seq, warm in zip(seqs, warm_states):
+        require_losses(seq, "fused_streaming_fits")
+        if not warm.matches(seq.n_symbols, n_hidden, kind):
+            raise ValueError(
+                "fused_streaming_fits windows must all have matching warm "
+                "states; route cold windows through streaming_fit"
+            )
+    from repro.models import batched
+
+    with obs.span("streaming.fused_fit", model=kind, windows=len(seqs)):
+        fits, info = batched.run_hedged_fits(
+            kind, seqs, n_hidden, configs,
+            [warm.build_model() for warm in warm_states],
+            _trail_collapsed,
+        )
+        results = [
+            _record(kind, StreamingFitResult(fitted, warm_used, reason))
+            for fitted, warm_used, reason in fits
+        ]
+    return results, info
 
 
 def streaming_fit(

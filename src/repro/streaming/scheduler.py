@@ -1,11 +1,38 @@
-"""Multi-path monitor: many concurrent path monitors over one worker pool.
+"""Multi-path monitor: many concurrent path monitors over one drain engine.
 
 A production monitor watches many paths at once.  Per-window fits are the
 only expensive step, and windows of *different* paths are independent, so
-the scheduler batches them through :func:`repro.parallel.parallel_map`
-(the PR-1 process pool) while each path's windows stay strictly ordered —
-warm-start chaining needs window ``n``'s parameters before window
-``n + 1`` can fit.
+each drain round gathers one ready window per path and resolves them
+together — through one of two engines:
+
+* ``drain_mode="pool"`` fans the windows over
+  :func:`repro.parallel.parallel_map` (the PR-1 process pool), one task
+  per window;
+* ``drain_mode="fused"`` stacks the warm fits of every window sharing
+  ``(model kind, n_hidden, n_symbols)`` into one ragged mega-batch
+  (:func:`repro.streaming.online_em.fused_streaming_fits`) and runs a
+  single batched recursion per group — amortising the per-time-step
+  Python dispatch across the whole fleet.  Windows the mega-batch cannot
+  take (no usable warm state, skipped by the gate, or a sequential
+  backend) fall back to the per-window path inside the same round.  When
+  several groups form, they are sharded over the pool — groups, not
+  windows, are the parallel unit.
+
+``drain_mode="auto"`` (the default) picks ``"fused"`` exactly when the
+batched E-step engine would be used for this config's state width, and
+``"pool"`` otherwise.  Because both engines run the same per-window
+kernel (:func:`repro.models.batched.run_hedged_fits` is the one-window
+case of the fused fit), the emitted verdict-event stream is
+byte-identical across every ``drain_mode`` and every ``n_jobs``.
+
+Ordering guarantee: a :meth:`MultiPathMonitor.drain` resolves windows in
+sub-rounds of one window per path; within a sub-round, paths go in
+insertion order, and a path's own windows always resolve in window-index
+order (warm-start chaining needs window ``n``'s parameters before window
+``n + 1`` can fit).  A single :meth:`_drain_round` now chains up to
+``max_pending`` consecutive sub-rounds, so one backlogged path no longer
+serialises the drain into singleton rounds — the event order is the same
+either way.
 
 Flow control is bounded at both ends:
 
@@ -25,30 +52,47 @@ every ``n_jobs``.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro import obs
+from repro.models.telemetry import record_drain_round
 from repro.parallel import parallel_map
-from repro.streaming.online_em import WarmState
+from repro.streaming.online_em import WarmState, fused_streaming_fits
 from repro.streaming.tracker import (
     MonitorConfig,
     VerdictEvent,
     VerdictTracker,
     WindowAnalysis,
     analyze_window,
+    finish_window,
+    prepare_window,
 )
 from repro.streaming.windows import ProbeWindow, SlidingWindowAssembler
 
-__all__ = ["MultiPathMonitor"]
+__all__ = ["MultiPathMonitor", "DRAIN_MODES"]
 
 _LOG = obs.get_logger(__name__)
+
+#: Accepted ``drain_mode`` values (``"auto"`` resolves per config).
+DRAIN_MODES = ("auto", "fused", "pool")
 
 
 def _analyze_task(task) -> WindowAnalysis:
     """Fit + test one window (parallel-map worker; must stay top-level)."""
     observation, warm, config, window_index = task
     return analyze_window(observation, warm, config, window_index=window_index)
+
+
+def _fused_group_task(task):
+    """Mega-batch fit of one fused group (parallel-map worker; top-level).
+
+    Returns ``(fit results, batch info)`` from
+    :func:`~repro.streaming.online_em.fused_streaming_fits`.
+    """
+    kind, n_hidden, seqs, configs, warms = task
+    return fused_streaming_fits(kind, seqs, n_hidden, configs, warms)
 
 
 class _PathState:
@@ -78,6 +122,12 @@ class MultiPathMonitor:
         Per-path backlog bound; overflow drops the oldest pending window.
     max_events:
         Size of the retained event ring (:attr:`events`).
+    drain_mode:
+        ``"fused"`` mega-batches each round's warm fits into one ragged
+        batched recursion per ``(model, n_hidden, n_symbols)`` group;
+        ``"pool"`` runs one pool task per window; ``"auto"`` (default)
+        uses ``"fused"`` exactly when the batched E-step engine applies
+        to this config.  Event streams are identical in every mode.
     """
 
     def __init__(
@@ -86,14 +136,21 @@ class MultiPathMonitor:
         n_jobs: int = 1,
         max_pending: int = 8,
         max_events: int = 1024,
+        drain_mode: str = "auto",
     ):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if drain_mode not in DRAIN_MODES:
+            raise ValueError(
+                f"drain_mode must be one of {DRAIN_MODES}, got {drain_mode!r}"
+            )
         self.config = config or MonitorConfig()
         self.n_jobs = n_jobs
         self.max_pending = int(max_pending)
+        self.drain_mode = drain_mode
         self.events: Deque[VerdictEvent] = deque(maxlen=max_events)
         self._paths: Dict[str, _PathState] = {}
+        self._n_pending = 0
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -106,7 +163,12 @@ class MultiPathMonitor:
         return state
 
     def ingest(self, path: str, send_time: float, delay: float) -> None:
-        """Push one probe record for one path (cheap; never fits)."""
+        """Push one probe record for one path (cheap; never fits).
+
+        O(1) per probe: the pending-window total is maintained
+        incrementally rather than summed across paths, so per-probe cost
+        stays flat at fleet scale.
+        """
         state = self._state(path)
         probe_window = state.assembler.push(send_time, delay)
         if probe_window is not None:
@@ -118,13 +180,15 @@ class MultiPathMonitor:
                     path, self.max_pending, state.pending[0].index,
                 )
                 obs.inc("repro_windows_dropped_total")
+            else:
+                self._n_pending += 1
             state.pending.append(probe_window)
-            obs.set_gauge("repro_pending_windows", self.n_pending)
+            obs.set_gauge("repro_pending_windows", self._n_pending)
 
     @property
     def n_pending(self) -> int:
         """Completed windows waiting for a :meth:`drain`."""
-        return sum(len(s.pending) for s in self._paths.values())
+        return self._n_pending
 
     @property
     def dropped_windows(self) -> Dict[str, int]:
@@ -135,19 +199,117 @@ class MultiPathMonitor:
     # ------------------------------------------------------------------
     # Fitting
     # ------------------------------------------------------------------
-    def _drain_round(self) -> List[VerdictEvent]:
-        """Fit at most one pending window per path, in parallel."""
+    def _resolve_drain_mode(self) -> str:
+        """The concrete engine this monitor's rounds run on."""
+        if self.drain_mode != "auto":
+            return self.drain_mode
+        from repro.models.batched import resolve_backend
+
+        backend = resolve_backend(
+            self.config.em, self.config.model, self.config.n_hidden,
+            self.config.n_symbols,
+        )
+        return "fused" if backend == "batched" else "pool"
+
+    def _take_round(self) -> List[Tuple[str, ProbeWindow]]:
+        """Pop the oldest pending window of every backlogged path."""
         batch: List[Tuple[str, ProbeWindow]] = []
         for path, state in self._paths.items():
             if state.pending:
                 batch.append((path, state.pending.popleft()))
-        if not batch:
-            return []
-        tasks = [
-            (pw.observation, self._paths[path].warm, self.config, pw.index)
-            for path, pw in batch
+        self._n_pending -= len(batch)
+        return batch
+
+    def _fused_analyses(self, batch):
+        """Resolve one sub-round's windows through the mega-batch engine.
+
+        Windows are prepared (gate + discretize) in the parent, then
+        partitioned: skips resolve immediately; windows without a usable
+        warm state — or whose state width resolves to the sequential
+        engine — take the same per-window path (and pool fan-out) the
+        pool mode uses, so first/cold windows still parallelise; the
+        rest stack into one ragged mega-batch per ``(kind, n_hidden,
+        n_symbols)`` group.  Groups, not windows, shard over the pool.
+
+        Returns ``(analyses, stats)`` with ``analyses`` in batch order.
+        """
+        from repro.models.batched import resolve_backend
+
+        config = self.config
+        prepared = [
+            prepare_window(pw.observation, config, pw.index)
+            for _, pw in batch
         ]
-        analyses = parallel_map(_analyze_task, tasks, n_jobs=self.n_jobs)
+        analyses: List[Optional[WindowAnalysis]] = [None] * len(batch)
+        pool_idx: List[int] = []
+        groups: Dict[Tuple[str, int, int], List[int]] = {}
+        for i, ((path, pw), prep) in enumerate(zip(batch, prepared)):
+            if prep.skip is not None:
+                analyses[i] = prep.skip
+                continue
+            warm = self._paths[path].warm
+            n_symbols = prep.seq.n_symbols
+            if (
+                warm is None
+                or not warm.matches(n_symbols, config.n_hidden, config.model)
+                or resolve_backend(prep.em, config.model, config.n_hidden,
+                                   n_symbols) != "batched"
+            ):
+                pool_idx.append(i)
+                continue
+            groups.setdefault((config.model, config.n_hidden, n_symbols),
+                              []).append(i)
+        if pool_idx:
+            tasks = [
+                (batch[i][1].observation, self._paths[batch[i][0]].warm,
+                 config, batch[i][1].index)
+                for i in pool_idx
+            ]
+            for i, analysis in zip(
+                pool_idx, parallel_map(_analyze_task, tasks,
+                                       n_jobs=self.n_jobs)
+            ):
+                analyses[i] = analysis
+        group_items = list(groups.items())
+        group_tasks = [
+            (
+                kind,
+                n_hidden,
+                [prepared[i].seq for i in idxs],
+                [prepared[i].em for i in idxs],
+                [self._paths[batch[i][0]].warm for i in idxs],
+            )
+            for (kind, n_hidden, _), idxs in group_items
+        ]
+        if len(group_tasks) > 1 and self.n_jobs != 1:
+            outcomes = parallel_map(_fused_group_task, group_tasks,
+                                    n_jobs=self.n_jobs)
+        else:
+            outcomes = [_fused_group_task(task) for task in group_tasks]
+        stats = {"groups": len(group_tasks), "rows": 0, "slots": 0,
+                 "padded": 0.0}
+        for ((_, _, _), idxs), (results, info) in zip(group_items, outcomes):
+            for i, result in zip(idxs, results):
+                analyses[i] = finish_window(prepared[i], result, config,
+                                            window_index=batch[i][1].index)
+            slots = info["rows"] * info["t_max"]
+            stats["rows"] += info["rows"]
+            stats["slots"] += slots
+            stats["padded"] += info["pad_fraction"] * slots
+        return analyses, stats
+
+    def _fit_round(self, batch, mode: str):
+        """Resolve one sub-round's windows; apply results in path order."""
+        if mode == "fused":
+            analyses, stats = self._fused_analyses(batch)
+        else:
+            tasks = [
+                (pw.observation, self._paths[path].warm, self.config,
+                 pw.index)
+                for path, pw in batch
+            ]
+            analyses = parallel_map(_analyze_task, tasks, n_jobs=self.n_jobs)
+            stats = {"groups": 0, "rows": 0, "slots": 0, "padded": 0.0}
         events = []
         for (path, pw), analysis in zip(batch, analyses):
             state = self._paths[path]
@@ -156,16 +318,51 @@ class MultiPathMonitor:
             event = state.tracker.event_for(path, pw, analysis)
             self.events.append(event)
             events.append(event)
-        obs.set_gauge("repro_pending_windows", self.n_pending)
-        obs.heartbeat()  # a fitted round is pipeline progress
+        obs.set_gauge("repro_pending_windows", self._n_pending)
+        obs.heartbeat()  # a fitted sub-round is pipeline progress
+        return events, stats
+
+    def _drain_round(self) -> List[VerdictEvent]:
+        """Up to ``max_pending`` chained sub-rounds of one window per path.
+
+        Sub-round ``k + 1`` sees the warm states sub-round ``k`` wrote,
+        so a backlogged path's consecutive windows warm-chain within one
+        round — in the exact order (and with the exact per-window
+        results) that repeated single-window rounds would produce.
+        """
+        mode = self._resolve_drain_mode()
+        started = time.perf_counter()
+        events: List[VerdictEvent] = []
+        totals = {"windows": 0, "groups": 0, "rows": 0, "slots": 0,
+                  "padded": 0.0}
+        for _ in range(self.max_pending):
+            batch = self._take_round()
+            if not batch:
+                break
+            sub_events, stats = self._fit_round(batch, mode)
+            events.extend(sub_events)
+            totals["windows"] += len(batch)
+            for key in ("groups", "rows", "slots", "padded"):
+                totals[key] += stats[key]
+        if totals["windows"]:
+            record_drain_round(
+                mode,
+                windows=totals["windows"],
+                groups=totals["groups"],
+                rows=totals["rows"],
+                pad_fraction=(totals["padded"] / totals["slots"]
+                              if totals["slots"] else 0.0),
+                dur_s=time.perf_counter() - started,
+            )
         return events
 
     def drain(self) -> List[VerdictEvent]:
         """Fit every pending window; returns the new events in order.
 
         Windows of different paths fit concurrently; a path with several
-        pending windows takes one round per window so warm-start chaining
-        stays sequential within the path.
+        pending windows resolves them oldest-first across chained
+        sub-rounds so warm-start chaining stays sequential within the
+        path (see the module docstring's ordering guarantee).
         """
         events: List[VerdictEvent] = []
         while True:
@@ -179,6 +376,8 @@ class MultiPathMonitor:
         for state in self._paths.values():
             tail = state.assembler.tail()
             if tail is not None:
+                if len(state.pending) < state.pending.maxlen:
+                    self._n_pending += 1
                 state.pending.append(tail)
         return self.drain()
 

@@ -53,7 +53,11 @@ __all__ = [
     "VerdictEvent",
     "VerdictTracker",
     "PathMonitor",
+    "PreparedWindow",
     "analyze_window",
+    "prepare_window",
+    "fit_window",
+    "finish_window",
 ]
 
 _LOG = obs.get_logger(__name__)
@@ -187,18 +191,33 @@ class WindowAnalysis:
         return self.status == "ok"
 
 
-def analyze_window(
+class PreparedWindow:
+    """Stage-1 output of a window analysis: gated and discretized.
+
+    Either ``skip`` carries the terminal :class:`WindowAnalysis` (the
+    window never reaches the fit stage) or ``seq``/``discretizer``/``em``
+    are populated and the window is ready for :func:`fit_window` — or for
+    the scheduler's fused drain, which stacks many prepared windows'
+    fits into one ragged mega-batch.
+    """
+
+    __slots__ = ("skip", "seq", "discretizer", "em", "loss_rate")
+
+    def __init__(self, skip=None, seq=None, discretizer=None, em=None,
+                 loss_rate: float = 0.0):
+        self.skip: Optional[WindowAnalysis] = skip
+        self.seq = seq
+        self.discretizer = discretizer
+        self.em: Optional[EMConfig] = em
+        self.loss_rate = float(loss_rate)
+
+
+def prepare_window(
     observation: PathObservation,
-    warm: Optional[WarmState],
     config: MonitorConfig,
     window_index: int = 0,
-) -> WindowAnalysis:
-    """Run the identification procedure on one window (pure function).
-
-    Stateless by design: everything it needs arrives as arguments and
-    everything it learned (including the next warm state) leaves in the
-    returned :class:`WindowAnalysis`, which is what lets the multi-path
-    scheduler run it in worker processes.
+) -> PreparedWindow:
+    """Stationarity gate + discretization + per-window EM seeding.
 
     Cold fits get a per-window seed derived from ``(em.seed,
     STREAM_MONITOR, window_index)`` so fallback refits are deterministic
@@ -212,8 +231,11 @@ def analyze_window(
             delay_tolerance=config.delay_tolerance,
             loss_tolerance=config.loss_tolerance,
         ):
-            return WindowAnalysis(
-                "skipped", reason="nonstationary", loss_rate=loss_rate
+            return PreparedWindow(
+                skip=WindowAnalysis(
+                    "skipped", reason="nonstationary", loss_rate=loss_rate
+                ),
+                loss_rate=loss_rate,
             )
     try:
         discretizer = DelayDiscretizer.from_observation(
@@ -221,22 +243,70 @@ def analyze_window(
         )
         seq = discretizer.observation_sequence(observation)
     except InsufficientLossError:  # pragma: no cover - defensive ordering
-        return WindowAnalysis("skipped", reason="no-losses", loss_rate=loss_rate)
+        return PreparedWindow(
+            skip=WindowAnalysis(
+                "skipped", reason="no-losses", loss_rate=loss_rate
+            ),
+            loss_rate=loss_rate,
+        )
     except ValueError as exc:
-        return WindowAnalysis(
-            "skipped", reason=f"degenerate: {exc}", loss_rate=loss_rate
+        return PreparedWindow(
+            skip=WindowAnalysis(
+                "skipped", reason=f"degenerate: {exc}", loss_rate=loss_rate
+            ),
+            loss_rate=loss_rate,
+        )
+    if seq.n_losses == 0:
+        # streaming_fit would raise InsufficientLossError; resolving the
+        # skip here lets the fused drain filter such windows up front
+        # while the per-window path produces the identical analysis.
+        return PreparedWindow(
+            skip=WindowAnalysis(
+                "skipped", reason="no-losses", loss_rate=loss_rate
+            ),
+            loss_rate=loss_rate,
         )
     em = config.em.replace(
         seed=task_seed(config.em.seed, STREAM_MONITOR, window_index),
         n_jobs=1,
     )
+    return PreparedWindow(seq=seq, discretizer=discretizer, em=em,
+                          loss_rate=loss_rate)
+
+
+def fit_window(
+    prepared: PreparedWindow,
+    warm: Optional[WarmState],
+    config: MonitorConfig,
+):
+    """Stage 2: the warm-started EM fit of one prepared window.
+
+    Returns the :class:`~repro.streaming.online_em.StreamingFitResult`,
+    or ``None`` when the fit is impossible for lack of losses (resolved
+    to a skip by :func:`finish_window`).
+    """
     try:
         with profile_phase("window.fit"):
-            result = streaming_fit(
-                seq, config.n_hidden, config=em, kind=config.model, warm=warm
+            return streaming_fit(
+                prepared.seq, config.n_hidden, config=prepared.em,
+                kind=config.model, warm=warm,
             )
-    except InsufficientLossError:
-        return WindowAnalysis("skipped", reason="no-losses", loss_rate=loss_rate)
+    except InsufficientLossError:  # pragma: no cover - caught in prepare
+        return None
+
+
+def finish_window(
+    prepared: PreparedWindow,
+    result,
+    config: MonitorConfig,
+    window_index: int = 0,
+) -> WindowAnalysis:
+    """Stage 3: tests, verdict, and the ``Q_k`` bound for one fit."""
+    loss_rate = prepared.loss_rate
+    if result is None:  # pragma: no cover - defensive, see fit_window
+        return WindowAnalysis("skipped", reason="no-losses",
+                              loss_rate=loss_rate)
+    discretizer = prepared.discretizer
     fitted = result.fitted
     distribution = DelayDistribution(
         fitted.virtual_delay_pmf,
@@ -264,6 +334,31 @@ def analyze_window(
         fallback_reason=result.fallback_reason,
         warm_state=result.warm_state(),
     )
+
+
+def analyze_window(
+    observation: PathObservation,
+    warm: Optional[WarmState],
+    config: MonitorConfig,
+    window_index: int = 0,
+) -> WindowAnalysis:
+    """Run the identification procedure on one window (pure function).
+
+    Stateless by design: everything it needs arrives as arguments and
+    everything it learned (including the next warm state) leaves in the
+    returned :class:`WindowAnalysis`, which is what lets the multi-path
+    scheduler run it in worker processes.
+
+    Exactly the composition ``prepare_window -> fit_window ->
+    finish_window``; the fused drain mode runs the same three stages
+    with the middle one batched across windows, which is why the two
+    drain modes agree byte-for-byte.
+    """
+    prepared = prepare_window(observation, config, window_index)
+    if prepared.skip is not None:
+        return prepared.skip
+    result = fit_window(prepared, warm, config)
+    return finish_window(prepared, result, config, window_index)
 
 
 class VerdictEvent:

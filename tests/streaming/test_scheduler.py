@@ -118,3 +118,95 @@ class TestWarmChaining:
         })
         mine = [e for e in paired_events if e.path == "p0"]
         assert event_dicts(mine) == event_dicts(alone_events)
+
+
+class TestDrainModes:
+    def test_byte_identical_events_across_modes_and_jobs(self):
+        """The parity contract: fused, pool, and auto drains emit the
+        same verdict-event stream at every n_jobs."""
+        streams = {f"p{i}": list(strong_dcl_stream(1500, seed=20 + i))
+                   for i in range(3)}
+        expected = None
+        for mode in ("pool", "fused", "auto"):
+            for n_jobs in (1, 2):
+                monitor = MultiPathMonitor(fast_config(), n_jobs=n_jobs,
+                                           drain_mode=mode)
+                got = event_dicts(monitor.run_streams(streams))
+                if expected is None:
+                    expected = got
+                    assert len(got) > 0
+                else:
+                    assert got == expected, (mode, n_jobs)
+
+    def test_fused_matches_pool_for_hmm(self):
+        streams = {f"p{i}": list(strong_dcl_stream(1200, seed=30 + i))
+                   for i in range(2)}
+        config = fast_config(model="hmm", n_hidden=2)
+        pool = MultiPathMonitor(config, drain_mode="pool")
+        fused = MultiPathMonitor(config, drain_mode="fused")
+        assert (event_dicts(pool.run_streams(streams))
+                == event_dicts(fused.run_streams(streams)))
+
+    def test_fused_with_sequential_backend_matches_pool(self):
+        """Every window falls back to the per-window lane, and the
+        events still match."""
+        config = fast_config(em=FAST_EM.replace(backend="sequential"))
+        streams = {"p0": list(strong_dcl_stream(1500, seed=20))}
+        pool = MultiPathMonitor(config, drain_mode="pool")
+        fused = MultiPathMonitor(config, drain_mode="fused")
+        assert (event_dicts(pool.run_streams(streams))
+                == event_dicts(fused.run_streams(streams)))
+
+    def test_auto_resolves_by_backend(self):
+        assert MultiPathMonitor(fast_config())._resolve_drain_mode() == "fused"
+        sequential = fast_config(em=FAST_EM.replace(backend="sequential"))
+        assert (MultiPathMonitor(sequential)._resolve_drain_mode()
+                == "pool")
+        assert (MultiPathMonitor(fast_config(), drain_mode="pool")
+                ._resolve_drain_mode() == "pool")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="drain_mode"):
+            MultiPathMonitor(fast_config(), drain_mode="turbo")
+
+
+class TestBackloggedRounds:
+    def test_single_drain_resolves_full_backlog_with_warm_chaining(self):
+        """One backlogged path drains all its pending windows in one
+        drain(), windows in order and warm-chained across sub-rounds."""
+        monitor = MultiPathMonitor(fast_config(), max_pending=8)
+        for send_time, delay in strong_dcl_stream(1500, seed=20):
+            monitor.ingest("p0", send_time, delay)
+        assert monitor.n_pending == 4
+        events = monitor.drain()
+        assert monitor.n_pending == 0
+        assert [e.window_index for e in events] == [0, 1, 2, 3]
+        analysed = [e for e in events if e.analysis.analyzed]
+        assert not analysed[0].analysis.warm_used
+        assert all(e.analysis.warm_used for e in analysed[1:])
+        # Byte-identical to draining after every probe (no backlog).
+        fresh = MultiPathMonitor(fast_config(), max_pending=8)
+        incremental = []
+        for send_time, delay in strong_dcl_stream(1500, seed=20):
+            fresh.ingest("p0", send_time, delay)
+            incremental.extend(fresh.drain())
+        assert event_dicts(events) == event_dicts(incremental)
+
+    def test_n_pending_counter_stays_true(self):
+        """The incremental counter agrees with the per-path deques
+        through overflow, drains, and end-of-stream tails."""
+        monitor = MultiPathMonitor(fast_config(), max_pending=2)
+
+        def truth():
+            return sum(len(s.pending) for s in monitor._paths.values())
+
+        for send_time, delay in strong_dcl_stream(3000, seed=20):
+            monitor.ingest("p0", send_time, delay)
+        assert monitor.n_pending == truth() == 2
+        monitor.drain()
+        assert monitor.n_pending == truth() == 0
+        for send_time, delay in strong_dcl_stream(700, seed=21):
+            monitor.ingest("p1", send_time, delay)
+        assert monitor.n_pending == truth() == 1
+        assert monitor.finish()  # flushes p0 and p1 tails
+        assert monitor.n_pending == truth() == 0
