@@ -246,6 +246,98 @@ def build_parser() -> argparse.ArgumentParser:
     _add_identify_options(monitor)
     _add_telemetry_option(monitor)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the fleet monitoring service with an HTTP control API",
+    )
+    serve.add_argument(
+        "inputs", nargs="*",
+        help="observation CSVs to pre-register as paths at startup; more "
+             "paths can be added at runtime via POST /paths",
+    )
+    serve.add_argument("--follow", action="store_true",
+                       help="keep tailing the input files for appended "
+                            "probes instead of stopping at EOF")
+    serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="HTTP API port on --host (default 0 = "
+                            "ephemeral; the bound URL prints to stderr)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="HTTP API bind interface (default 127.0.0.1)")
+    serve.add_argument("--window", type=int, default=3000,
+                       help="probes per sliding window (default 3000)")
+    serve.add_argument("--hop", type=int, default=None,
+                       help="probes between window starts (default "
+                            "window/2: 50%% overlap)")
+    serve.add_argument("--confirm", type=int, default=3,
+                       help="K of K-of-N verdict hysteresis (default 3)")
+    serve.add_argument("--memory", type=int, default=5,
+                       help="N of K-of-N verdict hysteresis (default 5)")
+    serve.add_argument("--no-stationarity-gate", action="store_true",
+                       help="analyse every window, even nonstationary ones")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for drain fits "
+                            "(-1 = all CPUs; default 1)")
+    serve.add_argument("--drain-mode", choices=("auto", "fused", "pool"),
+                       default="auto",
+                       help="drain engine (see 'repro monitor --help'); "
+                            "events are identical in every mode")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="per-path pending-window bound (default 64)")
+    serve.add_argument("--demo", type=int, nargs="?", const=8000,
+                       default=None, metavar="N",
+                       help="pre-register synthetic N-probe strong-DCL "
+                            "demo paths (bare --demo uses N=8000)")
+    serve.add_argument("--demo-paths", type=int, default=1, metavar="K",
+                       help="how many demo paths --demo registers "
+                            "(default 1; seeds differ per path)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="base seed for --demo stream generation")
+    serve.add_argument("--backpressure", choices=("off", "shed", "coarsen"),
+                       default="off",
+                       help="overload response past --high-watermark "
+                            "pending windows: shed oldest windows or "
+                            "coarsen the window stride (default off)")
+    serve.add_argument("--high-watermark", type=int, default=64,
+                       metavar="N",
+                       help="fleet-wide pending windows that trigger "
+                            "backpressure (default 64)")
+    serve.add_argument("--low-watermark", type=int, default=None,
+                       metavar="N",
+                       help="backlog the policy drives toward / disengages "
+                            "below (default high/2)")
+    serve.add_argument("--coarsen-factor", type=int, default=2,
+                       help="stride multiplier for --backpressure coarsen "
+                            "(default 2)")
+    serve.add_argument("--interval", type=float, default=0.05, metavar="SEC",
+                       help="sleep between idle service cycles "
+                            "(default 0.05)")
+    serve.add_argument("--max-cycles", type=int, default=None,
+                       help="stop after this many service cycles")
+    serve.add_argument("--exit-when-idle", action="store_true",
+                       help="exit once every source is exhausted and the "
+                            "backlog is drained (for finite demo/replay "
+                            "streams; otherwise serve until SIGTERM)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="do not print verdict events as JSONL to stdout")
+    serve.add_argument("--metrics-file", metavar="PATH", default=None,
+                       help="write Prometheus text metrics to PATH "
+                            "(refreshed after every cycle and at exit)")
+    serve.add_argument("--alert-rules", metavar="FILE", default="default",
+                       help="evaluate declarative alert rules each cycle "
+                            "('default' = the built-in set, including the "
+                            "fatal service-backlog-growth rule; 'none' "
+                            "disables); a fired fatal rule makes the exit "
+                            "code 3")
+    serve.add_argument("--flight-recorder", metavar="DIR", default=None,
+                       help="keep a ring of recent events and dump it to "
+                            "DIR/crash-<pid>.json on SIGTERM/SIGINT")
+    serve.add_argument("--stall-timeout", type=float, default=None,
+                       metavar="SEC",
+                       help="emit a watchdog.stall event if no pipeline "
+                            "progress happens for SEC seconds")
+    _add_identify_options(serve)
+    _add_telemetry_option(serve)
+
     stats = commands.add_parser(
         "stats", help="summarize a telemetry JSONL event file"
     )
@@ -564,6 +656,134 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro.service import (BackpressurePolicy, FleetService, ServiceAPI,
+                               IterableSource, TailSource)
+    from repro.streaming import MonitorConfig
+
+    config = MonitorConfig(
+        window=args.window,
+        hop=args.hop,
+        n_symbols=args.symbols,
+        n_hidden=args.hidden,
+        model=args.model,
+        beta0=args.beta0,
+        beta1=args.beta1,
+        confirm=args.confirm,
+        memory=args.memory,
+        gate_stationarity=not args.no_stationarity_gate,
+    )
+    policy = BackpressurePolicy(
+        mode=args.backpressure,
+        high_watermark=args.high_watermark,
+        low_watermark=args.low_watermark,
+        factor=args.coarsen_factor,
+    )
+
+    engine = None
+    if args.alert_rules and args.alert_rules != "none":
+        from repro.obs.alerts import DEFAULT_RULES, AlertEngine, parse_rules
+
+        text = (DEFAULT_RULES if args.alert_rules == "default"
+                else Path(args.alert_rules).read_text(encoding="utf-8"))
+        engine = AlertEngine(parse_rules(text))
+
+    emit_fn = None
+    if not args.quiet:
+        def emit_fn(payload):
+            print(json.dumps(payload), flush=True)
+
+    service = FleetService(
+        base_config=config,
+        n_jobs=args.jobs,
+        max_pending=args.max_pending,
+        drain_mode=args.drain_mode,
+        backpressure=policy,
+        alert_engine=engine,
+        emit_fn=emit_fn,
+    )
+    for spec in args.inputs:
+        service.register(spec, source=TailSource(spec, follow=args.follow))
+    if args.demo:
+        from repro.experiments.streams import strong_dcl_stream
+
+        for i in range(max(1, args.demo_paths)):
+            service.register(
+                f"demo-{i}",
+                source=IterableSource(
+                    strong_dcl_stream(args.demo, seed=args.seed + i)),
+            )
+
+    # Clean-stop handler first, then the flight recorder's dump handler:
+    # on SIGTERM the recorder dumps its ring, restores this handler and
+    # re-raises, so the loop still winds down and the process exits 0.
+    def _request_stop(signum, frame):  # noqa: ARG001 - signal API
+        service.stop()
+
+    previous = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+
+    recorder = None
+    watchdog = None
+    if args.flight_recorder or args.stall_timeout:
+        from repro.obs.recorder import FlightRecorder, Watchdog
+
+        recorder = FlightRecorder().attach()
+        if args.flight_recorder:
+            recorder.install_signal_dumps(args.flight_recorder)
+        if args.stall_timeout:
+            watchdog = Watchdog(
+                timeout=args.stall_timeout, recorder=recorder,
+                dump_dir=args.flight_recorder,
+            ).start()
+
+    _record_provenance(args, "serve", config, inputs=args.inputs)
+    obs.schema.preregister(obs.registry())
+
+    server = ServiceAPI(service, port=args.port, host=args.host).start()
+    print(f"service: {server.base_url} "
+          f"(paths={len(service.registry)}, "
+          f"backpressure={policy.mode})", file=sys.stderr)
+
+    def write_metrics() -> None:
+        if args.metrics_file:
+            Path(args.metrics_file).write_text(
+                obs.registry().to_prometheus(), encoding="utf-8"
+            )
+
+    try:
+        service.run(
+            interval=args.interval,
+            max_cycles=args.max_cycles,
+            exit_when_idle=args.exit_when_idle,
+        )
+        if engine is not None:
+            engine.evaluate()
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C in a TTY
+        pass
+    finally:
+        server.close()
+        service.close()
+        write_metrics()
+        if watchdog is not None:
+            watchdog.stop()
+        if recorder is not None:
+            recorder.uninstall_signal_dumps()
+            recorder.detach()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    if engine is not None and engine.fatal_fired:
+        print(f"serve: fatal alert(s) fired: "
+              f"{', '.join(engine.active_alerts()) or '(resolved)'}",
+              file=sys.stderr)
+        return 3
+    return 0
+
+
 def _configure_logging(level: Optional[str]) -> None:
     if not level:
         return
@@ -587,6 +807,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "clock": _cmd_clock,
         "pinpoint": _cmd_pinpoint,
         "monitor": _cmd_monitor,
+        "serve": _cmd_serve,
         "stats": _cmd_stats,
         "report": _cmd_report,
     }
@@ -596,7 +817,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # profiler all ride on the telemetry substrate.
     telemetry = getattr(args, "telemetry", None)
     wants_metrics = (
-        getattr(args, "metrics_file", None) is not None
+        args.command == "serve"  # the service always exports its gauges
+        or getattr(args, "metrics_file", None) is not None
         or getattr(args, "metrics_port", None) is not None
         or getattr(args, "alert_rules", None) is not None
         or getattr(args, "flight_recorder", None) is not None

@@ -57,6 +57,11 @@ window-backlog: rate repro_windows_dropped_total > 0 for 2 fatal
 watchdog-stall: repro_watchdog_stalls_total > 0 fatal
 # The worker pool died and work fell back to serial reruns.
 pool-broken: repro_pool_breaks_total > 0 warn
+# Fleet-service backlog growing monotonically: drains cannot keep up
+# with ingest even after backpressure — shed/coarsen is misconfigured
+# or the fleet has outgrown the host.  The gauge rate is windows/s of
+# net growth sustained across three evaluations.
+service-backlog-growth: rate repro_service_backlog_windows > 2 for 3 fatal
 """
 
 _OPS = {

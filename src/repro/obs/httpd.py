@@ -1,49 +1,189 @@
-"""Metrics scrape endpoint built on ``http.server`` (stdlib only).
+"""Embedded HTTP servers built on ``http.server`` (stdlib only).
 
-``MetricsServer`` serves the process-global registry:
+Two layers:
 
-* ``GET /metrics`` — Prometheus text exposition format;
-* ``GET /metrics.json`` — the JSON projection;
-* ``GET /healthz`` — liveness probe (``ok``).
+* :class:`RoutingHTTPServer` — a small route-table server (method +
+  ``/paths/{id}``-style patterns, JSON helpers, a per-request observer
+  hook) shared by every HTTP surface the stack exposes;
+* :class:`MetricsServer` — the scrape endpoint over a metrics registry:
 
-The server runs on a daemon thread so a monitor process exposes its
-state without touching the ingestion loop; ``port=0`` binds an ephemeral
-port (the bound port is in :attr:`MetricsServer.port`).
+  - ``GET /metrics`` — Prometheus text exposition format;
+  - ``GET /metrics.json`` — the JSON projection;
+  - ``GET /healthz`` — liveness probe (``ok``).
+
+The fleet service API (:class:`repro.service.api.ServiceAPI`) builds on
+the same base and mounts the metrics routes alongside its own.
+
+Servers run on a daemon thread so serving never touches the ingestion
+loop; ``port=0`` binds an ephemeral port (the bound port is in
+:attr:`RoutingHTTPServer.port`).  :meth:`RoutingHTTPServer.close` is
+idempotent and safe at any lifecycle point — it stops the serve loop,
+joins the thread, and closes the listening socket, so a SIGTERM'd
+monitor exits without leaking the port (no dangling-port flakes when CI
+reuses addresses).
 """
 
 from __future__ import annotations
 
+import json
+import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["MetricsServer"]
+__all__ = [
+    "HTTPError",
+    "Request",
+    "Response",
+    "RoutingHTTPServer",
+    "MetricsServer",
+    "json_response",
+    "text_response",
+    "metrics_routes",
+]
 
 
-def _make_handler(registry: MetricsRegistry):
+class HTTPError(Exception):
+    """Raise inside a route handler to produce a JSON error response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+
+class Request:
+    """What a route handler receives: path params, query, body."""
+
+    __slots__ = ("method", "path", "params", "query", "body")
+
+    def __init__(self, method: str, path: str, params: dict, query: str,
+                 body: bytes):
+        self.method = method
+        self.path = path
+        self.params = params
+        self.query = query
+        self.body = body
+
+    def json(self) -> dict:
+        """Decode the request body as a JSON object (400 on garbage)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "request body must be a JSON object")
+        return payload
+
+
+#: (status, content type, body bytes) — what a route handler returns.
+Response = Tuple[int, str, bytes]
+
+
+def json_response(payload, status: int = 200) -> Response:
+    """A JSON route response."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    return status, "application/json", body
+
+
+def text_response(text: str, status: int = 200,
+                  content_type: str = "text/plain") -> Response:
+    """A plain-text route response."""
+    return status, content_type, text.encode("utf-8")
+
+
+def _compile_pattern(pattern: str) -> "re.Pattern":
+    """``/paths/{id}`` -> anchored regex with named groups."""
+    parts = []
+    for piece in re.split(r"(\{\w+\})", pattern):
+        if piece.startswith("{") and piece.endswith("}"):
+            parts.append(f"(?P<{piece[1:-1]}>[^/]+)")
+        else:
+            parts.append(re.escape(piece))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+class _Route:
+    __slots__ = ("method", "pattern", "regex", "handler")
+
+    def __init__(self, method: str, pattern: str,
+                 handler: Callable[[Request], Response]):
+        self.method = method.upper()
+        self.pattern = pattern
+        self.regex = _compile_pattern(pattern)
+        self.handler = handler
+
+
+def _make_handler(routes: List[_Route], observer):
     class Handler(BaseHTTPRequestHandler):
-        def _send(self, body: bytes, content_type: str) -> None:
-            self.send_response(200)
+        def _respond(self, status: int, content_type: str,
+                     body: bytes) -> None:
+            self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
-            self.wfile.write(body)
+            if self.command != "HEAD":
+                self.wfile.write(body)
+
+        def _dispatch(self) -> None:
+            started = time.perf_counter()
+            path, _, query = self.path.partition("?")
+            matched_pattern = path
+            try:
+                body = b""
+                length = int(self.headers.get("Content-Length") or 0)
+                if length:
+                    body = self.rfile.read(length)
+                route, params = self._find(path)
+                if route is None:
+                    raise HTTPError(
+                        404, f"no route for {self.command} {path}")
+                matched_pattern = route.pattern
+                request = Request(self.command, path, params, query, body)
+                status, content_type, payload = route.handler(request)
+            except HTTPError as exc:
+                status = exc.status
+                _, content_type, payload = json_response(
+                    {"error": exc.message}, status=exc.status)
+            except Exception as exc:  # noqa: BLE001 - surfaced as a 500
+                status = 500
+                _, content_type, payload = json_response(
+                    {"error": f"{type(exc).__name__}: {exc}"}, status=500)
+            try:
+                self._respond(status, content_type, payload)
+            except (BrokenPipeError, ConnectionResetError):
+                # Client went away mid-write (e.g. it closed after the
+                # error status line without draining the body).  The
+                # request was still handled, so it is still observed.
+                pass
+            if observer is not None:
+                observer(matched_pattern, self.command, status,
+                         time.perf_counter() - started)
+
+        def _find(self, path: str):
+            allowed = False
+            for route in routes:
+                match = route.regex.match(path)
+                if match is None:
+                    continue
+                allowed = True
+                if route.method == self.command or (
+                        route.method == "GET" and self.command == "HEAD"):
+                    return route, match.groupdict()
+            if allowed:
+                raise HTTPError(405, f"method {self.command} not allowed "
+                                     f"for {path}")
+            return None, {}
 
         def do_GET(self):  # noqa: N802 - http.server API
-            if self.path.split("?")[0] == "/metrics":
-                self._send(registry.to_prometheus().encode(),
-                           "text/plain; version=0.0.4; charset=utf-8")
-            elif self.path.split("?")[0] == "/metrics.json":
-                import json
+            self._dispatch()
 
-                self._send(json.dumps(registry.to_json()).encode(),
-                           "application/json")
-            elif self.path.split("?")[0] == "/healthz":
-                self._send(b"ok\n", "text/plain")
-            else:
-                self.send_error(404, "unknown path (try /metrics)")
+        do_HEAD = do_POST = do_DELETE = do_PUT = do_GET  # noqa: N815
 
         def log_message(self, *args):  # pragma: no cover - silence stderr
             pass
@@ -51,7 +191,105 @@ def _make_handler(registry: MetricsRegistry):
     return Handler
 
 
-class MetricsServer:
+class RoutingHTTPServer:
+    """A background HTTP server over a route table.
+
+    Parameters
+    ----------
+    routes:
+        ``(method, pattern, handler)`` triples; patterns may carry
+        ``{name}`` segments exposed via :attr:`Request.params`, and
+        handlers return ``(status, content_type, body_bytes)`` or raise
+        :class:`HTTPError`.
+    observer:
+        Optional ``(route_pattern, method, status, dur_s)`` callback
+        invoked after every request (the service API hangs its
+        ``repro_service_http_*`` metrics off this).
+    """
+
+    def __init__(self, routes, port: int = 0, host: str = "127.0.0.1",
+                 observer=None):
+        compiled = [_Route(method, pattern, handler)
+                    for method, pattern, handler in routes]
+        self._server = ThreadingHTTPServer(
+            (host, port), _make_handler(compiled, observer))
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def host(self) -> str:
+        """The bound interface."""
+        return self._server.server_address[0]
+
+    @property
+    def base_url(self) -> str:
+        """``http://host:port`` of the bound socket."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released the socket."""
+        return self._closed
+
+    def start(self) -> "RoutingHTTPServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name=f"repro-httpd-{self.port}", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket.
+
+        Idempotent and safe at any point of the lifecycle: before
+        :meth:`start`, after a previous close, or from a SIGTERM
+        handler.  The serve thread is joined (so no request is mid-write
+        when the socket dies) and the listening socket is closed (so the
+        port is immediately rebindable — no dangling-port CI flakes).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._server.server_close()
+
+
+def metrics_routes(registry: MetricsRegistry) -> list:
+    """The scrape routes, mountable on any :class:`RoutingHTTPServer`."""
+
+    def metrics(_request: Request) -> Response:
+        return text_response(registry.to_prometheus(),
+                             content_type="text/plain; version=0.0.4; "
+                                          "charset=utf-8")
+
+    def metrics_json(_request: Request) -> Response:
+        return json_response(registry.to_json())
+
+    def healthz(_request: Request) -> Response:
+        return text_response("ok\n")
+
+    return [
+        ("GET", "/metrics", metrics),
+        ("GET", "/metrics.json", metrics_json),
+        ("GET", "/healthz", healthz),
+    ]
+
+
+class MetricsServer(RoutingHTTPServer):
     """A background scrape endpoint over a metrics registry."""
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
@@ -60,35 +298,14 @@ class MetricsServer:
             from repro import obs
 
             registry = obs.registry()
-        self._server = ThreadingHTTPServer((host, port),
-                                           _make_handler(registry))
-        self._server.daemon_threads = True
-        self._thread: Optional[threading.Thread] = None
-
-    @property
-    def port(self) -> int:
-        """The bound TCP port (useful with ``port=0``)."""
-        return self._server.server_address[1]
+        super().__init__(metrics_routes(registry), port=port, host=host)
 
     @property
     def url(self) -> str:
         """The scrape URL of the text endpoint."""
-        host, port = self._server.server_address[:2]
-        return f"http://{host}:{port}/metrics"
+        return f"{self.base_url}/metrics"
 
     def start(self) -> "MetricsServer":
         """Serve on a daemon thread; returns self for chaining."""
-        self._thread = threading.Thread(
-            target=self._server.serve_forever, name="repro-metrics",
-            daemon=True,
-        )
-        self._thread.start()
+        super().start()
         return self
-
-    def close(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
-        self._server.shutdown()
-        self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None

@@ -86,6 +86,22 @@ EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
         "The worker pool died mid-map and tasks were rerun serially",
         ("n_workers", "n_tasks"),
     ),
+    "service.path": (
+        "A fleet-service path registry transition",
+        ("path", "action", "generation"),
+    ),
+    "service.shed": (
+        "Backpressure shed pending windows fleet-wide",
+        ("policy", "backlog", "shed", "paths"),
+    ),
+    "service.coarsen": (
+        "Backpressure changed the fleet's window stride",
+        ("policy", "backlog", "action", "factor", "paths"),
+    ),
+    "service.round": (
+        "One fleet-service loop cycle finished",
+        ("cycle", "ingested", "dropped", "windows", "backlog", "dur_ms"),
+    ),
 }
 
 #: (name, type, labels, help) for every metric family the stack emits.
@@ -148,6 +164,28 @@ METRICS: List[Tuple[str, str, Tuple[str, ...], str]] = [
      "Watchdog stall detections (no heartbeat within the timeout)."),
     ("repro_pool_breaks_total", "counter", (),
      "Worker-pool crashes recovered by a serial rerun."),
+    ("repro_service_paths", "gauge", ("status",),
+     "Registered fleet-service paths, by registry status."),
+    ("repro_service_records_total", "counter", (),
+     "Probe records accepted by the fleet service."),
+    ("repro_service_records_dropped_total", "counter", ("reason",),
+     "Probe records dropped at the service boundary, by reason."),
+    ("repro_service_backlog_windows", "gauge", (),
+     "Fleet-wide pending windows awaiting a drain (O(1) scheduler "
+     "counter)."),
+    ("repro_service_rounds_total", "counter", (),
+     "Fleet-service loop cycles completed."),
+    ("repro_service_windows_total", "counter", (),
+     "Windows resolved by fleet-service drain cycles."),
+    ("repro_service_shed_windows_total", "counter", (),
+     "Pending windows shed by the backpressure policy."),
+    ("repro_service_coarsen_total", "counter", ("action",),
+     "Backpressure window-stride transitions (coarsen or restore)."),
+    ("repro_service_http_requests_total", "counter",
+     ("route", "method", "code"),
+     "Fleet-service HTTP API requests, by route and status code."),
+    ("repro_service_http_seconds", "histogram", ("route",),
+     "Fleet-service HTTP API request latency, by route."),
 ]
 
 #: Series the monitor preregisters at zero so scrapes (and the CI
@@ -173,6 +211,15 @@ MONITOR_SERIES: List[Tuple[str, List[dict]]] = [
      [{"mode": "fused"}, {"mode": "pool"}]),
     ("repro_watchdog_stalls_total", [{}]),
     ("repro_pool_breaks_total", [{}]),
+    ("repro_service_records_total", [{}]),
+    ("repro_service_records_dropped_total",
+     [{"reason": "unregistered"}, {"reason": "paused"},
+      {"reason": "stale-generation"}]),
+    ("repro_service_rounds_total", [{}]),
+    ("repro_service_windows_total", [{}]),
+    ("repro_service_shed_windows_total", [{}]),
+    ("repro_service_coarsen_total",
+     [{"action": "coarsen"}, {"action": "restore"}]),
 ]
 
 

@@ -1,0 +1,162 @@
+"""The fleet service's HTTP control/verdict API (stdlib only).
+
+Mounted on :class:`repro.obs.httpd.RoutingHTTPServer` alongside the
+metrics scrape routes, so one port serves both the control plane and
+Prometheus:
+
+====== ========================== =====================================
+Method Route                      Meaning
+====== ========================== =====================================
+GET    ``/paths``                 Registered paths with status, config
+                                  overrides, backlog and latest verdict
+POST   ``/paths``                 Register a path (JSON body: ``id``,
+                                  optional ``config`` overrides,
+                                  ``paused``, ``source``)
+DELETE ``/paths/{id}``            Deregister (pending windows dropped)
+POST   ``/paths/{id}/pause``      Stop admitting the path's records
+POST   ``/paths/{id}/resume``     Re-admit the path's records
+GET    ``/verdicts/{id}``         Latest verdict, Q_k bound, window lag
+                                  and recent history for one path
+GET    ``/fleet``                 Fleet rollup: verdict histogram,
+                                  backlog, drain occupancy, backpressure
+GET    ``/metrics``               Prometheus exposition (also
+                                  ``/metrics.json``, ``/healthz``)
+====== ========================== =====================================
+
+``POST /paths`` source bindings (``"source"`` in the body):
+
+* ``{"kind": "demo", "n": 4000, "seed": 7}`` — synthetic netsim stream
+  (:func:`repro.experiments.streams.strong_dcl_stream`);
+* ``{"kind": "file", "path": "obs.csv", "follow": true}`` — tail an
+  observation CSV (``follow`` keeps polling for appends).
+
+Errors come back as ``{"error": ...}`` JSON: 400 for malformed bodies,
+404 for unknown paths, 409 for duplicate registration.  Every request
+lands in ``repro_service_http_requests_total`` and the per-route
+``repro_service_http_seconds`` histogram via the server's observer
+hook.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import obs
+from repro.obs.httpd import (HTTPError, Request, Response,
+                             RoutingHTTPServer, json_response,
+                             metrics_routes)
+from repro.service.ingest import IngestSource, IterableSource, TailSource
+from repro.service.loop import FleetService
+
+__all__ = ["ServiceAPI", "build_source"]
+
+
+def build_source(spec: Optional[dict]) -> Optional[IngestSource]:
+    """An ingest source from its JSON spec (``None`` spec -> no source)."""
+    if spec is None:
+        return None
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise HTTPError(400, "source must be an object with a 'kind'")
+    kind = spec["kind"]
+    if kind == "demo":
+        from repro.experiments.streams import strong_dcl_stream
+
+        n = int(spec.get("n", 4000))
+        seed = int(spec.get("seed", 0))
+        if n < 1:
+            raise HTTPError(400, "demo source needs n >= 1")
+        return IterableSource(strong_dcl_stream(n, seed=seed))
+    if kind == "file":
+        path = spec.get("path")
+        if not path:
+            raise HTTPError(400, "file source needs a 'path'")
+        try:
+            return TailSource(path, follow=bool(spec.get("follow", False)))
+        except OSError as exc:
+            raise HTTPError(400, f"cannot open source file: {exc}")
+    raise HTTPError(400, f"unknown source kind {kind!r} "
+                         "(want 'demo' or 'file')")
+
+
+class ServiceAPI(RoutingHTTPServer):
+    """The fleet service's HTTP surface (control + verdicts + metrics)."""
+
+    def __init__(self, service: FleetService, port: int = 0,
+                 host: str = "127.0.0.1", registry=None):
+        self.service = service
+        if registry is None:
+            registry = obs.registry()
+        routes = [
+            ("GET", "/paths", self._get_paths),
+            ("POST", "/paths", self._post_paths),
+            ("DELETE", "/paths/{id}", self._delete_path),
+            ("POST", "/paths/{id}/pause", self._pause_path),
+            ("POST", "/paths/{id}/resume", self._resume_path),
+            ("GET", "/verdicts/{id}", self._get_verdict),
+            ("GET", "/fleet", self._get_fleet),
+        ] + metrics_routes(registry)
+        super().__init__(routes, port=port, host=host,
+                         observer=self._observe)
+
+    @staticmethod
+    def _observe(route: str, method: str, status: int, dur_s: float) -> None:
+        obs.inc("repro_service_http_requests_total",
+                route=route, method=method, code=str(status))
+        obs.observe("repro_service_http_seconds", dur_s, route=route)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _get_paths(self, _request: Request) -> Response:
+        return json_response({"paths": self.service.path_snapshot()})
+
+    def _post_paths(self, request: Request) -> Response:
+        body = request.json()
+        path = body.get("id")
+        if not path or not isinstance(path, str):
+            raise HTTPError(400, "body must carry a non-empty string 'id'")
+        overrides = body.get("config") or {}
+        if not isinstance(overrides, dict):
+            raise HTTPError(400, "'config' must be an object of overrides")
+        source = build_source(body.get("source"))
+        try:
+            entry = self.service.register(
+                path, overrides=overrides,
+                paused=bool(body.get("paused", False)), source=source)
+        except ValueError as exc:
+            if source is not None:
+                source.close()
+            status = 409 if "already" in str(exc) else 400
+            raise HTTPError(status, str(exc))
+        return json_response(entry, status=201)
+
+    def _delete_path(self, request: Request) -> Response:
+        try:
+            entry = self.service.deregister(request.params["id"])
+        except KeyError as exc:
+            raise HTTPError(404, str(exc.args[0]))
+        return json_response(entry)
+
+    def _pause_path(self, request: Request) -> Response:
+        try:
+            entry = self.service.pause(request.params["id"])
+        except KeyError as exc:
+            raise HTTPError(404, str(exc.args[0]))
+        return json_response(entry)
+
+    def _resume_path(self, request: Request) -> Response:
+        try:
+            entry = self.service.resume(request.params["id"])
+        except KeyError as exc:
+            raise HTTPError(404, str(exc.args[0]))
+        return json_response(entry)
+
+    def _get_verdict(self, request: Request) -> Response:
+        snapshot = self.service.verdict_snapshot(request.params["id"])
+        if snapshot is None:
+            raise HTTPError(
+                404, f"path {request.params['id']!r} is not registered")
+        return json_response(snapshot)
+
+    def _get_fleet(self, _request: Request) -> Response:
+        return json_response(self.service.fleet_snapshot())

@@ -1,0 +1,166 @@
+"""Fleet-wide backpressure: shed pending windows or coarsen the stride.
+
+A service loop that ingests faster than it drains accumulates pending
+windows without bound; left alone that is an OOM with a long fuse.  The
+policy watches the scheduler's O(1) backlog counter after every ingest
+burst and, past a high watermark, does one of two things:
+
+* ``shed`` — drop the *oldest* pending windows, round-robin across
+  paths in registration order, until the backlog is back at the low
+  watermark.  Recent windows (the ones an operator is waiting on)
+  survive; the dropped ones are enumerated in a ``service.shed`` event
+  so the gap in each verdict stream is attributable, not mysterious.
+* ``coarsen`` — multiply every path's window stride (assembler hop) by
+  ``factor``, capped at the window length, so fewer windows are emitted
+  per probe while overload lasts; the original strides are restored
+  once the backlog falls below the low watermark.  No window that *was*
+  emitted is dropped, so every produced verdict still matches the
+  offline run — the stream just samples time more coarsely.
+
+Both decisions are deterministic functions of the backlog and the path
+set — never of wall-clock time — so a replayed overload sheds the same
+windows.  Every transition emits an event and bumps the preregistered
+``repro_service_shed_windows_total`` / ``repro_service_coarsen_total``
+counters, and the loop re-exports the backlog gauge the alert rule
+``service-backlog-growth`` watches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import obs
+
+__all__ = ["BackpressurePolicy", "POLICIES"]
+
+#: Valid ``BackpressurePolicy(mode=...)`` values.
+POLICIES = ("off", "shed", "coarsen")
+
+
+class BackpressurePolicy:
+    """Watermark-driven overload response for a fleet monitor.
+
+    Parameters
+    ----------
+    mode:
+        ``"off"`` (never intervene), ``"shed"`` or ``"coarsen"``.
+    high_watermark:
+        Backlog (pending windows fleet-wide) at which the policy
+        engages.
+    low_watermark:
+        Backlog the policy drives toward (shed) or below which it
+        disengages (coarsen restore).  Defaults to half the high
+        watermark.
+    factor:
+        Stride multiplier for ``coarsen`` mode.
+    """
+
+    def __init__(self, mode: str = "off", high_watermark: int = 64,
+                 low_watermark: Optional[int] = None, factor: int = 2):
+        if mode not in POLICIES:
+            raise ValueError(f"mode must be one of {POLICIES}, got {mode!r}")
+        if high_watermark < 1:
+            raise ValueError("high_watermark must be >= 1")
+        if low_watermark is None:
+            low_watermark = high_watermark // 2
+        if not 0 <= low_watermark < high_watermark:
+            raise ValueError(
+                f"low_watermark must be in [0, high_watermark), got "
+                f"{low_watermark} vs {high_watermark}")
+        if factor < 2:
+            raise ValueError("factor must be >= 2")
+        self.mode = mode
+        self.high_watermark = int(high_watermark)
+        self.low_watermark = int(low_watermark)
+        self.factor = int(factor)
+        #: Original per-path hops while a coarsen is in force.
+        self._saved_hops: Optional[Dict[str, int]] = None
+        self.n_shed_windows = 0
+        self.n_coarsens = 0
+        self.n_restores = 0
+
+    @property
+    def coarsened(self) -> bool:
+        """Whether a coarsened stride is currently in force."""
+        return self._saved_hops is not None
+
+    def apply(self, monitor) -> dict:
+        """One policy evaluation against the monitor's current backlog.
+
+        Returns an accounting dict (``{"shed": n, "coarsened": bool,
+        "restored": bool}``) the service folds into its round event.
+        """
+        outcome = {"shed": 0, "coarsened": False, "restored": False}
+        if self.mode == "off":
+            return outcome
+        backlog = monitor.n_pending
+        if self.mode == "shed":
+            if backlog > self.high_watermark:
+                dropped = monitor.shed_oldest(backlog - self.low_watermark)
+                self.n_shed_windows += len(dropped)
+                outcome["shed"] = len(dropped)
+                obs.inc("repro_service_shed_windows_total",
+                        float(len(dropped)))
+                obs.emit(
+                    "service.shed",
+                    policy=self.mode,
+                    backlog=backlog,
+                    shed=len(dropped),
+                    paths=sorted({path for path, _ in dropped}),
+                )
+            return outcome
+        # coarsen
+        if backlog > self.high_watermark and self._saved_hops is None:
+            self._saved_hops = monitor.path_hops()
+            windows = monitor.path_windows()
+            for path, hop in self._saved_hops.items():
+                monitor.set_path_hop(
+                    path, min(windows[path], hop * self.factor))
+            self.n_coarsens += 1
+            outcome["coarsened"] = True
+            obs.inc("repro_service_coarsen_total", action="coarsen")
+            obs.emit(
+                "service.coarsen",
+                policy=self.mode,
+                backlog=backlog,
+                action="coarsen",
+                factor=self.factor,
+                paths=sorted(self._saved_hops),
+            )
+        elif backlog <= self.low_watermark and self._saved_hops is not None:
+            restored = self._restore(monitor)
+            outcome["restored"] = True
+            obs.emit(
+                "service.coarsen",
+                policy=self.mode,
+                backlog=backlog,
+                action="restore",
+                factor=self.factor,
+                paths=restored,
+            )
+        return outcome
+
+    def _restore(self, monitor) -> list:
+        """Put saved strides back (paths deregistered meanwhile skipped)."""
+        restored = []
+        for path, hop in (self._saved_hops or {}).items():
+            if monitor.has_path(path):
+                monitor.set_path_hop(path, hop)
+                restored.append(path)
+        self._saved_hops = None
+        self.n_restores += 1
+        obs.inc("repro_service_coarsen_total", action="restore")
+        return sorted(restored)
+
+    def snapshot(self) -> dict:
+        """The JSON projection ``GET /fleet`` serves."""
+        return {
+            "mode": self.mode,
+            "high_watermark": self.high_watermark,
+            "low_watermark": self.low_watermark,
+            "factor": self.factor,
+            "coarsened": self.coarsened,
+            "n_shed_windows": self.n_shed_windows,
+            "n_coarsens": self.n_coarsens,
+            "n_restores": self.n_restores,
+        }

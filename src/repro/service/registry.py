@@ -1,0 +1,217 @@
+"""Runtime path registry: register/deregister/pause with generations.
+
+The one-shot monitor fixes its path set at startup; a long-running fleet
+service must add and remove paths while drains are in flight.  The
+registry is the control-plane half of that: it owns *which* paths exist,
+their lifecycle status, and their per-path config overrides, while the
+scheduler (:class:`repro.streaming.scheduler.MultiPathMonitor`) owns the
+data-plane state (assemblers, warm fits, hysteresis).
+
+Two invariants make runtime churn deterministic:
+
+* **Generations** — every ``(path id, registration)`` pair gets a
+  monotonically increasing generation number that survives
+  deregistration.  An ingest source bound at registration time carries
+  its generation; once the path is deregistered (or re-registered,
+  bumping the generation) late records from the old incarnation are
+  dropped with reason ``stale-generation`` — never silently mixed into
+  the new incarnation's windows.
+* **Status gating at the boundary** — a paused path drops records at
+  admission (reason ``paused``) rather than buffering them, so resuming
+  never replays a burst of stale probes into the window assembler.
+
+Per-path overrides are plain dicts over :class:`~repro.streaming.tracker
+.MonitorConfig` fields (``{"window": 1500, "model": "hmm"}``); the
+registry materialises the merged config once at registration.  Overriding
+``window`` without ``hop`` re-derives the 50%-overlap default rather
+than inheriting the base config's now-mismatched stride.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.streaming.tracker import MonitorConfig
+
+__all__ = [
+    "ACTIVE",
+    "PAUSED",
+    "PathEntry",
+    "PathRegistry",
+    "merge_config",
+    "CONFIG_OVERRIDE_FIELDS",
+]
+
+#: Registry lifecycle states.
+ACTIVE = "active"
+PAUSED = "paused"
+
+#: MonitorConfig constructor fields a per-path override may set.
+CONFIG_OVERRIDE_FIELDS = (
+    "window", "hop", "n_symbols", "n_hidden", "model", "beta0", "beta1",
+    "tolerance", "confirm", "memory", "gate_stationarity",
+    "stationarity_window", "delay_tolerance", "loss_tolerance",
+)
+
+
+def merge_config(base: MonitorConfig, overrides: Optional[dict]
+                 ) -> MonitorConfig:
+    """The base config with per-path overrides applied (validated).
+
+    Returns ``base`` itself when there is nothing to override, so the
+    common no-override fleet shares one config object (and the fused
+    drain groups every path together).
+    """
+    if not overrides:
+        return base
+    unknown = sorted(set(overrides) - set(CONFIG_OVERRIDE_FIELDS))
+    if unknown:
+        raise ValueError(
+            f"unknown config override(s) {unknown}; valid fields: "
+            f"{sorted(CONFIG_OVERRIDE_FIELDS)}"
+        )
+    values = {field: getattr(base, field)
+              for field in CONFIG_OVERRIDE_FIELDS}
+    if "window" in overrides and "hop" not in overrides:
+        values["hop"] = None  # re-derive the 50%-overlap default
+    values.update(overrides)
+    return MonitorConfig(em=base.em, **values)
+
+
+class PathEntry:
+    """One registered path's control-plane state."""
+
+    __slots__ = ("path", "generation", "status", "overrides", "config",
+                 "registered_at", "n_records", "n_dropped")
+
+    def __init__(self, path: str, generation: int, config: MonitorConfig,
+                 overrides: Optional[dict] = None, status: str = ACTIVE):
+        self.path = path
+        self.generation = int(generation)
+        self.status = status
+        self.overrides = dict(overrides or {})
+        self.config = config
+        self.registered_at = time.time()
+        self.n_records = 0
+        self.n_dropped = 0
+
+    def to_dict(self) -> dict:
+        """The JSON projection the HTTP API serves."""
+        return {
+            "path": self.path,
+            "generation": self.generation,
+            "status": self.status,
+            "overrides": dict(self.overrides),
+            "registered_at": round(self.registered_at, 3),
+            "n_records": self.n_records,
+            "n_dropped": self.n_dropped,
+        }
+
+
+class PathRegistry:
+    """Register/deregister/pause paths at runtime (control plane only).
+
+    The registry never touches monitor state; the fleet service composes
+    the two (``register`` -> ``monitor.add_path``, ``deregister`` ->
+    ``monitor.remove_path``) under its own lock.
+    """
+
+    def __init__(self, base_config: Optional[MonitorConfig] = None):
+        self.base_config = base_config or MonitorConfig()
+        self._entries: Dict[str, PathEntry] = {}
+        #: Highest generation ever issued per path id (survives
+        #: deregistration — the stale-record guarantee hangs off this).
+        self._generations: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def register(self, path: str, overrides: Optional[dict] = None,
+                 paused: bool = False) -> PathEntry:
+        """Add a path; raises ``ValueError`` when it already exists."""
+        if not path:
+            raise ValueError("path id must be non-empty")
+        if path in self._entries:
+            raise ValueError(f"path {path!r} is already registered")
+        config = merge_config(self.base_config, overrides)
+        generation = self._generations.get(path, 0) + 1
+        self._generations[path] = generation
+        entry = PathEntry(path, generation, config, overrides=overrides,
+                          status=PAUSED if paused else ACTIVE)
+        self._entries[path] = entry
+        return entry
+
+    def deregister(self, path: str) -> PathEntry:
+        """Remove a path; raises ``KeyError`` when unknown.
+
+        The generation counter is retained, so a later ``register`` of
+        the same id starts a new generation and the old incarnation's
+        late records stay identifiable (and droppable).
+        """
+        entry = self._entries.pop(path, None)
+        if entry is None:
+            raise KeyError(f"path {path!r} is not registered")
+        return entry
+
+    def pause(self, path: str) -> PathEntry:
+        """Stop admitting the path's records (idempotent)."""
+        entry = self._require(path)
+        entry.status = PAUSED
+        return entry
+
+    def resume(self, path: str) -> PathEntry:
+        """Re-admit the path's records (idempotent)."""
+        entry = self._require(path)
+        entry.status = ACTIVE
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _require(self, path: str) -> PathEntry:
+        entry = self._entries.get(path)
+        if entry is None:
+            raise KeyError(f"path {path!r} is not registered")
+        return entry
+
+    def get(self, path: str) -> Optional[PathEntry]:
+        """The entry, or ``None`` when the path is not registered."""
+        return self._entries.get(path)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[PathEntry]:
+        """Registered entries in registration order."""
+        return list(self._entries.values())
+
+    def counts(self) -> Dict[str, int]:
+        """``{status: n}`` over registered paths (both statuses present)."""
+        counts = {ACTIVE: 0, PAUSED: 0}
+        for entry in self._entries.values():
+            counts[entry.status] = counts.get(entry.status, 0) + 1
+        return counts
+
+    def admit(self, path: str, generation: Optional[int] = None
+              ) -> Optional[str]:
+        """Admission check for one record: ``None`` to accept, else the
+        drop reason (``unregistered`` / ``stale-generation`` /
+        ``paused``).
+
+        ``generation`` is the generation the record's source was bound
+        to; ``None`` means "the current incarnation, whatever it is"
+        (direct pushes).  The check order makes the drop reason
+        deterministic: existence, then generation, then status.
+        """
+        entry = self._entries.get(path)
+        if entry is None:
+            return "unregistered"
+        if generation is not None and generation != entry.generation:
+            return "stale-generation"
+        if entry.status != ACTIVE:
+            return "paused"
+        return None

@@ -98,9 +98,11 @@ def _fused_group_task(task):
 class _PathState:
     """Everything one monitored path carries between drains."""
 
-    __slots__ = ("assembler", "tracker", "warm", "pending", "dropped")
+    __slots__ = ("config", "assembler", "tracker", "warm", "pending",
+                 "dropped")
 
     def __init__(self, config: MonitorConfig, max_pending: int):
+        self.config = config
         self.assembler = SlidingWindowAssembler(config.window, config.hop)
         self.tracker = VerdictTracker(config.confirm, config.memory)
         self.warm: Optional[WarmState] = None
@@ -151,6 +153,10 @@ class MultiPathMonitor:
         self.events: Deque[VerdictEvent] = deque(maxlen=max_events)
         self._paths: Dict[str, _PathState] = {}
         self._n_pending = 0
+        #: Accounting of the most recent non-empty :meth:`_drain_round`
+        #: (mode, windows, groups, rows, pad_fraction, dur_s) — the
+        #: fleet service surfaces it under ``GET /fleet``.
+        self.last_drain: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -161,6 +167,99 @@ class MultiPathMonitor:
             state = _PathState(self.config, self.max_pending)
             self._paths[path] = state
         return state
+
+    def add_path(self, path: str,
+                 config: Optional[MonitorConfig] = None) -> None:
+        """Explicitly register a path, optionally with its own config.
+
+        Paths also auto-register on first :meth:`ingest` with the shared
+        config; this entry point is for the fleet service's runtime
+        registry, which supports per-path config overrides.  Per-path
+        configs still fuse: windows group by ``(model, n_hidden,
+        n_symbols)``, so only paths whose overrides change those keys
+        split into separate mega-batches.
+        """
+        if path in self._paths:
+            raise ValueError(f"path {path!r} is already monitored")
+        self._paths[path] = _PathState(config or self.config,
+                                       self.max_pending)
+
+    def remove_path(self, path: str) -> int:
+        """Drop one path and its backlog; returns the discarded windows.
+
+        Removal is immediate and deterministic: pending windows of the
+        path never resolve, its warm state and hysteresis history are
+        discarded, and a later :meth:`add_path` of the same name starts
+        from scratch (the service layer's generation counters keep late
+        records of the old incarnation out).
+        """
+        state = self._paths.pop(path, None)
+        if state is None:
+            raise KeyError(f"path {path!r} is not monitored")
+        discarded = len(state.pending)
+        self._n_pending -= discarded
+        obs.set_gauge("repro_pending_windows", self._n_pending)
+        return discarded
+
+    def has_path(self, path: str) -> bool:
+        """Whether the path currently holds monitor state."""
+        return path in self._paths
+
+    def path_names(self) -> List[str]:
+        """Monitored paths in insertion (drain) order."""
+        return list(self._paths)
+
+    def shed_oldest(self, n_windows: int) -> List[Tuple[str, int]]:
+        """Drop up to ``n_windows`` oldest pending windows fleet-wide.
+
+        The backpressure shed primitive: one round-robin pass order —
+        paths in insertion order, each losing its oldest pending window
+        before any path loses a second — so the shed set is a
+        deterministic function of the backlog, never of wall-clock
+        timing.  Returns the ``(path, window_index)`` pairs shed.
+        """
+        shed: List[Tuple[str, int]] = []
+        while len(shed) < n_windows:
+            progressed = False
+            for path, state in self._paths.items():
+                if len(shed) >= n_windows:
+                    break
+                if state.pending:
+                    window = state.pending.popleft()
+                    state.dropped += 1
+                    self._n_pending -= 1
+                    shed.append((path, window.index))
+                    progressed = True
+            if not progressed:
+                break
+        if shed:
+            obs.set_gauge("repro_pending_windows", self._n_pending)
+        return shed
+
+    def path_hops(self) -> Dict[str, int]:
+        """Current window stride of every path (for stride coarsening)."""
+        return {path: state.assembler.hop
+                for path, state in self._paths.items()}
+
+    def path_windows(self) -> Dict[str, int]:
+        """Window length of every path (the cap for stride coarsening)."""
+        return {path: state.assembler.window
+                for path, state in self._paths.items()}
+
+    def set_path_hop(self, path: str, hop: int) -> None:
+        """Change one path's window stride in place.
+
+        Takes effect from the next emitted window (the assembler
+        schedules window ``n + 1`` when it emits window ``n``); the
+        coarsen backpressure policy uses this to trade verdict cadence
+        for drain load without losing the overlap buffer.
+        """
+        state = self._paths[path]
+        if not 1 <= hop <= state.assembler.window:
+            raise ValueError(
+                f"hop must lie in 1..{state.assembler.window}, got {hop}"
+            )
+        state.assembler.hop = int(hop)
 
     def ingest(self, path: str, send_time: float, delay: float) -> None:
         """Push one probe record for one path (cheap; never fits).
@@ -189,6 +288,11 @@ class MultiPathMonitor:
     def n_pending(self) -> int:
         """Completed windows waiting for a :meth:`drain`."""
         return self._n_pending
+
+    @property
+    def pending_windows(self) -> Dict[str, int]:
+        """Per-path count of completed windows awaiting a drain."""
+        return {path: len(s.pending) for path, s in self._paths.items()}
 
     @property
     def dropped_windows(self) -> Dict[str, int]:
@@ -235,10 +339,9 @@ class MultiPathMonitor:
         """
         from repro.models.batched import resolve_backend
 
-        config = self.config
         prepared = [
-            prepare_window(pw.observation, config, pw.index)
-            for _, pw in batch
+            prepare_window(pw.observation, self._paths[path].config, pw.index)
+            for path, pw in batch
         ]
         analyses: List[Optional[WindowAnalysis]] = [None] * len(batch)
         pool_idx: List[int] = []
@@ -247,7 +350,9 @@ class MultiPathMonitor:
             if prep.skip is not None:
                 analyses[i] = prep.skip
                 continue
-            warm = self._paths[path].warm
+            state = self._paths[path]
+            config = state.config
+            warm = state.warm
             n_symbols = prep.seq.n_symbols
             if (
                 warm is None
@@ -262,7 +367,7 @@ class MultiPathMonitor:
         if pool_idx:
             tasks = [
                 (batch[i][1].observation, self._paths[batch[i][0]].warm,
-                 config, batch[i][1].index)
+                 self._paths[batch[i][0]].config, batch[i][1].index)
                 for i in pool_idx
             ]
             for i, analysis in zip(
@@ -290,7 +395,8 @@ class MultiPathMonitor:
                  "padded": 0.0}
         for ((_, _, _), idxs), (results, info) in zip(group_items, outcomes):
             for i, result in zip(idxs, results):
-                analyses[i] = finish_window(prepared[i], result, config,
+                analyses[i] = finish_window(prepared[i], result,
+                                            self._paths[batch[i][0]].config,
                                             window_index=batch[i][1].index)
             slots = info["rows"] * info["t_max"]
             stats["rows"] += info["rows"]
@@ -304,8 +410,8 @@ class MultiPathMonitor:
             analyses, stats = self._fused_analyses(batch)
         else:
             tasks = [
-                (pw.observation, self._paths[path].warm, self.config,
-                 pw.index)
+                (pw.observation, self._paths[path].warm,
+                 self._paths[path].config, pw.index)
                 for path, pw in batch
             ]
             analyses = parallel_map(_analyze_task, tasks, n_jobs=self.n_jobs)
@@ -345,14 +451,24 @@ class MultiPathMonitor:
             for key in ("groups", "rows", "slots", "padded"):
                 totals[key] += stats[key]
         if totals["windows"]:
+            pad_fraction = (totals["padded"] / totals["slots"]
+                            if totals["slots"] else 0.0)
+            dur_s = time.perf_counter() - started
+            self.last_drain = {
+                "mode": mode,
+                "windows": totals["windows"],
+                "groups": totals["groups"],
+                "rows": totals["rows"],
+                "pad_fraction": round(pad_fraction, 6),
+                "dur_s": round(dur_s, 6),
+            }
             record_drain_round(
                 mode,
                 windows=totals["windows"],
                 groups=totals["groups"],
                 rows=totals["rows"],
-                pad_fraction=(totals["padded"] / totals["slots"]
-                              if totals["slots"] else 0.0),
-                dur_s=time.perf_counter() - started,
+                pad_fraction=pad_fraction,
+                dur_s=dur_s,
             )
         return events
 

@@ -1,12 +1,14 @@
-"""Tests for the HTTP metrics scrape endpoint."""
+"""Tests for the routing HTTP server and the metrics scrape endpoint."""
 
 import json
+import socket
 import urllib.error
 import urllib.request
 
 import pytest
 
-from repro.obs.httpd import MetricsServer
+from repro.obs.httpd import (HTTPError, MetricsServer, RoutingHTTPServer,
+                             json_response)
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -77,6 +79,119 @@ class TestMetricsServer:
         srv = MetricsServer(registry=MetricsRegistry(), port=0).start()
         srv.close()
         srv.close()
+
+
+class TestRoutingServer:
+    def routes(self, observed=None):
+        def echo(request):
+            return json_response({"id": request.params["id"],
+                                  "method": request.method})
+
+        def boom(_request):
+            raise HTTPError(418, "teapot")
+
+        def crash(_request):
+            raise RuntimeError("kaboom")
+
+        return [
+            ("GET", "/things/{id}", echo),
+            ("POST", "/things/{id}", echo),
+            ("GET", "/boom", boom),
+            ("GET", "/crash", crash),
+        ]
+
+    def test_path_params_and_methods(self):
+        srv = RoutingHTTPServer(self.routes(), port=0).start()
+        try:
+            _, _, body = get(f"{srv.base_url}/things/42")
+            assert json.loads(body) == {"id": "42", "method": "GET"}
+            req = urllib.request.Request(f"{srv.base_url}/things/seven",
+                                         data=b"", method="POST")
+            with urllib.request.urlopen(req, timeout=5) as response:
+                assert json.loads(response.read())["method"] == "POST"
+        finally:
+            srv.close()
+
+    def test_wrong_method_is_405_and_unknown_is_404(self):
+        srv = RoutingHTTPServer(self.routes(), port=0).start()
+        try:
+            req = urllib.request.Request(f"{srv.base_url}/boom",
+                                         data=b"", method="POST")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(req, timeout=5)
+            assert excinfo.value.code == 405
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(f"{srv.base_url}/nowhere")
+            assert excinfo.value.code == 404
+        finally:
+            srv.close()
+
+    def test_http_error_and_crash_become_json_errors(self):
+        srv = RoutingHTTPServer(self.routes(), port=0).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(f"{srv.base_url}/boom")
+            assert excinfo.value.code == 418
+            assert json.loads(excinfo.value.read())["error"] == "teapot"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get(f"{srv.base_url}/crash")
+            assert excinfo.value.code == 500
+            assert "kaboom" in json.loads(excinfo.value.read())["error"]
+        finally:
+            srv.close()
+
+    def test_observer_sees_route_pattern_and_status(self):
+        seen = []
+        srv = RoutingHTTPServer(
+            self.routes(), port=0,
+            observer=lambda *args: seen.append(args)).start()
+        try:
+            get(f"{srv.base_url}/things/42")
+            with pytest.raises(urllib.error.HTTPError):
+                get(f"{srv.base_url}/boom")
+        finally:
+            srv.close()
+        assert [(route, method, status) for route, method, status, _ in
+                seen] == [("/things/{id}", "GET", 200), ("/boom", "GET", 418)]
+        assert all(dur >= 0 for *_rest, dur in seen)
+
+
+class TestShutdown:
+    def test_close_joins_thread_and_releases_the_port(self):
+        """The shutdown satellite: after close() the serve thread is
+        gone and the exact port is immediately rebindable — no
+        dangling-port CI flakes."""
+        import threading
+
+        srv = MetricsServer(registry=MetricsRegistry(), port=0).start()
+        port = srv.port
+        thread_names = lambda: {t.name for t in threading.enumerate()}  # noqa: E731
+        assert f"repro-httpd-{port}" in thread_names()
+        srv.close()
+        assert f"repro-httpd-{port}" not in thread_names()
+        rebound = socket.socket()
+        try:
+            rebound.bind(("127.0.0.1", port))  # raises if port leaked
+        finally:
+            rebound.close()
+
+    def test_close_before_start_is_safe(self):
+        srv = MetricsServer(registry=MetricsRegistry(), port=0)
+        srv.close()
+        assert srv.closed
+
+    def test_start_after_close_raises(self):
+        srv = MetricsServer(registry=MetricsRegistry(), port=0)
+        srv.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            srv.start()
+
+    def test_requests_fail_cleanly_after_close(self):
+        srv = MetricsServer(registry=MetricsRegistry(), port=0).start()
+        url = srv.url
+        srv.close()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url, timeout=2)
 
 
 class TestPreregisteredFamilies:

@@ -1,0 +1,55 @@
+"""Shared fixtures/helpers for the fleet-service tests.
+
+Telemetry state is process-global; every test here runs against a
+known-off, empty registry and leaves it that way (mirrors
+``tests/obs/conftest.py``).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.models.base import EMConfig
+from repro.streaming.tracker import MonitorConfig
+
+FAST_EM = EMConfig(tol=1e-3, max_iter=100, seed=7)
+
+
+def fast_config(**overrides):
+    """The small/fast MonitorConfig the streaming tests standardise on."""
+    defaults = dict(window=600, hop=300, n_hidden=1, confirm=2, memory=3,
+                    gate_stationarity=False, em=FAST_EM)
+    defaults.update(overrides)
+    return MonitorConfig(**defaults)
+
+
+def payload_keys(payloads):
+    """Byte-comparable projections of event dicts (wall-clock lag dropped)."""
+    keys = []
+    for payload in payloads:
+        d = dict(payload)
+        d.pop("lag_ms", None)
+        keys.append(json.dumps(d, sort_keys=True))
+    return keys
+
+
+def event_keys(events):
+    """Same projection for offline ``VerdictEvent`` objects."""
+    return payload_keys(e.to_dict() for e in events)
+
+
+def _reset():
+    obs.disable()
+    obs.registry().clear()
+    bus = obs.bus()
+    bus.n_emitted = 0
+    bus.n_rotations = 0
+    bus._taps = ()
+
+
+@pytest.fixture(autouse=True)
+def telemetry_reset():
+    _reset()
+    yield
+    _reset()

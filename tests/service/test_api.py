@@ -1,0 +1,234 @@
+"""Tests for the fleet service's HTTP control/verdict API."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.service import FleetService, ServiceAPI
+
+from tests.service.conftest import fast_config
+
+
+@pytest.fixture
+def served():
+    service = FleetService(base_config=fast_config())
+    api = ServiceAPI(service, port=0).start()
+    yield service, api
+    api.close()
+    service.close()
+
+
+def request(url, method="GET", body=None):
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(req, timeout=10) as response:
+        return response.status, json.loads(response.read() or b"{}")
+
+
+def error_of(url, method="GET", body=None):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        request(url, method=method, body=body)
+    exc = excinfo.value
+    return exc.code, json.loads(exc.read())
+
+
+class TestPathsEndpoints:
+    def test_register_list_deregister_roundtrip(self, served):
+        service, api = served
+        status, entry = request(f"{api.base_url}/paths", method="POST",
+                                body={"id": "pA"})
+        assert status == 201
+        assert entry["generation"] == 1
+        assert entry["status"] == "active"
+
+        _, listing = request(f"{api.base_url}/paths")
+        assert [p["path"] for p in listing["paths"]] == ["pA"]
+
+        status, gone = request(f"{api.base_url}/paths/pA", method="DELETE")
+        assert status == 200
+        assert gone["discarded_windows"] == 0
+        _, listing = request(f"{api.base_url}/paths")
+        assert listing["paths"] == []
+
+    def test_duplicate_registration_is_409(self, served):
+        _, api = served
+        request(f"{api.base_url}/paths", method="POST", body={"id": "pA"})
+        code, payload = error_of(f"{api.base_url}/paths", method="POST",
+                                 body={"id": "pA"})
+        assert code == 409
+        assert "already registered" in payload["error"]
+
+    def test_missing_id_is_400(self, served):
+        _, api = served
+        code, payload = error_of(f"{api.base_url}/paths", method="POST",
+                                 body={"config": {}})
+        assert code == 400
+        assert "id" in payload["error"]
+
+    def test_bad_json_body_is_400(self, served):
+        _, api = served
+        req = urllib.request.Request(f"{api.base_url}/paths",
+                                     data=b"not json{", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_bad_config_override_is_400(self, served):
+        _, api = served
+        code, payload = error_of(
+            f"{api.base_url}/paths", method="POST",
+            body={"id": "pA", "config": {"widnow": 900}})
+        assert code == 400
+        assert "unknown config override" in payload["error"]
+
+    def test_unknown_source_kind_is_400(self, served):
+        _, api = served
+        code, payload = error_of(
+            f"{api.base_url}/paths", method="POST",
+            body={"id": "pA", "source": {"kind": "carrier-pigeon"}})
+        assert code == 400
+        assert "carrier-pigeon" in payload["error"]
+
+    def test_delete_unknown_path_is_404(self, served):
+        _, api = served
+        code, _ = error_of(f"{api.base_url}/paths/ghost", method="DELETE")
+        assert code == 404
+
+    def test_pause_resume_over_http(self, served):
+        service, api = served
+        request(f"{api.base_url}/paths", method="POST", body={"id": "pA"})
+        status, entry = request(f"{api.base_url}/paths/pA/pause",
+                                method="POST")
+        assert status == 200
+        assert entry["status"] == "paused"
+        assert service.ingest("pA", 0.0, 0.02) == "paused"
+        _, entry = request(f"{api.base_url}/paths/pA/resume", method="POST")
+        assert entry["status"] == "active"
+        assert service.ingest("pA", 0.02, 0.02) is None
+
+    def test_file_source_registration(self, served, tmp_path):
+        service, api = served
+        csv = tmp_path / "obs.csv"
+        csv.write_text("send_time,delay\n0.0,0.021\n0.02,0.022\n")
+        status, _ = request(
+            f"{api.base_url}/paths", method="POST",
+            body={"id": "pF", "source": {"kind": "file", "path": str(csv)}})
+        assert status == 201
+        service.step()
+        assert service.registry.get("pF").n_records == 2
+
+    def test_missing_source_file_is_400(self, served, tmp_path):
+        _, api = served
+        code, _ = error_of(
+            f"{api.base_url}/paths", method="POST",
+            body={"id": "pF",
+                  "source": {"kind": "file",
+                             "path": str(tmp_path / "ghost.csv")}})
+        assert code == 400
+
+
+class TestVerdictAndFleet:
+    def test_demo_source_flows_to_verdicts_and_fleet(self, served):
+        service, api = served
+        status, _ = request(
+            f"{api.base_url}/paths", method="POST",
+            body={"id": "demo",
+                  "source": {"kind": "demo", "n": 1800, "seed": 7}})
+        assert status == 201
+        service.run(exit_when_idle=True, interval=0.0)
+
+        _, verdict = request(f"{api.base_url}/verdicts/demo")
+        assert verdict["latest"]["window"] == 4
+        assert set(verdict["latest"]) >= {"g_pmf", "d_star", "bound_seconds",
+                                          "stable_verdict", "lag_ms"}
+        assert len(verdict["recent"]) == 5
+
+        _, fleet = request(f"{api.base_url}/fleet")
+        assert fleet["paths"] == {"active": 1, "paused": 0}
+        assert fleet["backlog"] == 0
+        assert sum(fleet["verdicts"].values()) == 1
+        assert fleet["windows"] == 5
+
+    def test_verdict_unknown_path_is_404(self, served):
+        _, api = served
+        code, _ = error_of(f"{api.base_url}/verdicts/ghost")
+        assert code == 404
+
+    def test_fleet_works_before_any_cycle(self, served):
+        _, api = served
+        _, fleet = request(f"{api.base_url}/fleet")
+        assert fleet["cycle"] == 0
+        assert fleet["backlog"] == 0
+
+
+class TestMetricsMount:
+    def test_metrics_routes_served_alongside_api(self, served):
+        _, api = served
+        req = urllib.request.Request(f"{api.base_url}/metrics")
+        with urllib.request.urlopen(req, timeout=10) as response:
+            assert response.status == 200
+        req = urllib.request.Request(f"{api.base_url}/healthz")
+        with urllib.request.urlopen(req, timeout=10) as response:
+            assert response.read() == b"ok\n"
+
+    def test_http_requests_land_in_service_metrics(self):
+        obs.enable(clear=True)
+        try:
+            service = FleetService(base_config=fast_config())
+            api = ServiceAPI(service, port=0).start()
+            try:
+                request(f"{api.base_url}/paths", method="POST",
+                        body={"id": "pA"})
+                request(f"{api.base_url}/paths")
+                error_of(f"{api.base_url}/verdicts/ghost")
+            finally:
+                api.close()
+            counters = obs.registry().snapshot()["counters"]
+            assert counters[("repro_service_http_requests_total",
+                             (("code", "201"), ("method", "POST"),
+                              ("route", "/paths")))] == 1
+            assert counters[("repro_service_http_requests_total",
+                             (("code", "200"), ("method", "GET"),
+                              ("route", "/paths")))] == 1
+            assert counters[("repro_service_http_requests_total",
+                             (("code", "404"), ("method", "GET"),
+                              ("route", "/verdicts/{id}")))] == 1
+            histograms = obs.registry().snapshot()["histograms"]
+            routes = {labels for (name, labels) in histograms
+                      if name == "repro_service_http_seconds"}
+            assert (("route", "/paths"),) in routes
+        finally:
+            obs.disable()
+
+
+class TestConcurrentReadsDuringDrain:
+    def test_fleet_reads_do_not_block_on_the_mutation_lock(self, served):
+        """GET endpoints read the published cache: they answer while the
+        service holds its mutation lock mid-drain."""
+        import threading
+
+        service, api = served
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def hold_lock():
+            with service._lock:
+                acquired.set()
+                release.wait(timeout=10)
+
+        holder = threading.Thread(target=hold_lock)
+        holder.start()
+        try:
+            assert acquired.wait(timeout=5)
+            status, fleet = request(f"{api.base_url}/fleet")
+            assert status == 200
+            status, listing = request(f"{api.base_url}/paths")
+            assert status == 200
+        finally:
+            release.set()
+            holder.join(timeout=5)

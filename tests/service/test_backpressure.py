@@ -1,0 +1,133 @@
+"""Tests for the shed/coarsen backpressure policies."""
+
+import pytest
+
+from repro.experiments.streams import strong_dcl_stream
+from repro.service.backpressure import BackpressurePolicy
+from repro.streaming.scheduler import MultiPathMonitor
+
+from tests.service.conftest import fast_config
+
+
+def loaded_monitor(n_paths=2, n_records=3000, max_pending=64):
+    """A monitor with a real backlog: windows assembled, nothing drained."""
+    monitor = MultiPathMonitor(fast_config(), max_pending=max_pending)
+    for i in range(n_paths):
+        for send_time, delay in strong_dcl_stream(n_records, seed=30 + i):
+            monitor.ingest(f"p{i}", send_time, delay)
+    return monitor
+
+
+class TestValidation:
+    def test_bad_mode_raises(self):
+        with pytest.raises(ValueError, match="mode"):
+            BackpressurePolicy(mode="panic")
+
+    def test_watermark_ordering_enforced(self):
+        with pytest.raises(ValueError, match="low_watermark"):
+            BackpressurePolicy(mode="shed", high_watermark=4,
+                               low_watermark=4)
+
+    def test_low_watermark_defaults_to_half(self):
+        policy = BackpressurePolicy(mode="shed", high_watermark=10)
+        assert policy.low_watermark == 5
+
+    def test_factor_must_be_at_least_two(self):
+        with pytest.raises(ValueError, match="factor"):
+            BackpressurePolicy(mode="coarsen", factor=1)
+
+
+class TestOffMode:
+    def test_off_never_intervenes(self):
+        monitor = loaded_monitor()
+        backlog = monitor.n_pending
+        assert backlog > 0
+        outcome = BackpressurePolicy(mode="off", high_watermark=1).apply(
+            monitor)
+        assert outcome == {"shed": 0, "coarsened": False, "restored": False}
+        assert monitor.n_pending == backlog
+
+
+class TestShed:
+    def test_sheds_down_to_low_watermark(self):
+        monitor = loaded_monitor()  # 2 paths x 9 windows = 18 pending
+        assert monitor.n_pending == 18
+        policy = BackpressurePolicy(mode="shed", high_watermark=8,
+                                    low_watermark=4)
+        outcome = policy.apply(monitor)
+        assert outcome["shed"] == 14
+        assert monitor.n_pending == 4
+        assert policy.n_shed_windows == 14
+
+    def test_shed_below_watermark_is_a_noop(self):
+        monitor = loaded_monitor()
+        policy = BackpressurePolicy(mode="shed", high_watermark=100)
+        assert policy.apply(monitor)["shed"] == 0
+        assert monitor.n_pending == 18
+
+    def test_shed_is_deterministic_and_oldest_first(self):
+        """Two identical backlogs shed the identical window set: oldest
+        windows first, round-robin across paths in insertion order."""
+        shed_sets = []
+        for _ in range(2):
+            monitor = loaded_monitor()
+            policy = BackpressurePolicy(mode="shed", high_watermark=8,
+                                        low_watermark=4)
+            policy.apply(monitor)
+            shed = monitor  # the drop happened via monitor.shed_oldest
+            remaining = {path: [w.index for w in state.pending]
+                         for path, state in shed._paths.items()}
+            shed_sets.append(remaining)
+        assert shed_sets[0] == shed_sets[1]
+        # Oldest-first: survivors are the most recent windows per path.
+        assert shed_sets[0] == {"p0": [7, 8], "p1": [7, 8]}
+
+
+class TestCoarsen:
+    def test_coarsens_then_restores(self):
+        monitor = loaded_monitor()
+        policy = BackpressurePolicy(mode="coarsen", high_watermark=8,
+                                    low_watermark=4, factor=2)
+        outcome = policy.apply(monitor)
+        assert outcome["coarsened"]
+        assert policy.coarsened
+        assert monitor.path_hops() == {"p0": 600, "p1": 600}
+        assert policy.n_coarsens == 1
+        # Still overloaded: no re-coarsen on repeated evaluations.
+        assert not policy.apply(monitor)["coarsened"]
+        assert monitor.path_hops() == {"p0": 600, "p1": 600}
+        monitor.drain()
+        assert monitor.n_pending == 0
+        outcome = policy.apply(monitor)
+        assert outcome["restored"]
+        assert not policy.coarsened
+        assert monitor.path_hops() == {"p0": 300, "p1": 300}
+        assert policy.n_restores == 1
+
+    def test_coarsen_caps_hop_at_window(self):
+        monitor = loaded_monitor()
+        policy = BackpressurePolicy(mode="coarsen", high_watermark=8,
+                                    factor=4)
+        policy.apply(monitor)
+        # hop 300 * 4 = 1200 capped at the 600-probe window.
+        assert monitor.path_hops() == {"p0": 600, "p1": 600}
+
+    def test_restore_skips_deregistered_paths(self):
+        monitor = loaded_monitor()
+        policy = BackpressurePolicy(mode="coarsen", high_watermark=8,
+                                    low_watermark=4)
+        policy.apply(monitor)
+        monitor.remove_path("p0")
+        monitor.drain()
+        outcome = policy.apply(monitor)
+        assert outcome["restored"]
+        assert monitor.path_hops() == {"p1": 300}
+
+    def test_snapshot_reflects_state(self):
+        policy = BackpressurePolicy(mode="coarsen", high_watermark=8)
+        snapshot = policy.snapshot()
+        assert snapshot["mode"] == "coarsen"
+        assert snapshot["high_watermark"] == 8
+        assert snapshot["low_watermark"] == 4
+        assert not snapshot["coarsened"]
+        assert snapshot["n_shed_windows"] == 0

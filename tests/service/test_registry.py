@@ -1,0 +1,154 @@
+"""Tests for the runtime path registry (generations, overrides, admission)."""
+
+import pytest
+
+from repro.service.registry import (ACTIVE, PAUSED, PathRegistry,
+                                    merge_config)
+
+from tests.service.conftest import fast_config
+
+
+class TestLifecycle:
+    def test_register_and_len(self):
+        reg = PathRegistry(fast_config())
+        entry = reg.register("pA")
+        assert entry.path == "pA"
+        assert entry.status == ACTIVE
+        assert entry.generation == 1
+        assert "pA" in reg
+        assert len(reg) == 1
+
+    def test_register_duplicate_raises(self):
+        reg = PathRegistry(fast_config())
+        reg.register("pA")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("pA")
+
+    def test_register_empty_id_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PathRegistry(fast_config()).register("")
+
+    def test_deregister_unknown_raises(self):
+        with pytest.raises(KeyError):
+            PathRegistry(fast_config()).deregister("ghost")
+
+    def test_register_paused(self):
+        reg = PathRegistry(fast_config())
+        assert reg.register("pA", paused=True).status == PAUSED
+
+    def test_pause_resume_idempotent(self):
+        reg = PathRegistry(fast_config())
+        reg.register("pA")
+        assert reg.pause("pA").status == PAUSED
+        assert reg.pause("pA").status == PAUSED
+        assert reg.resume("pA").status == ACTIVE
+        assert reg.resume("pA").status == ACTIVE
+
+    def test_counts_always_carry_both_statuses(self):
+        reg = PathRegistry(fast_config())
+        assert reg.counts() == {ACTIVE: 0, PAUSED: 0}
+        reg.register("pA")
+        reg.register("pB", paused=True)
+        assert reg.counts() == {ACTIVE: 1, PAUSED: 1}
+
+    def test_entries_in_registration_order(self):
+        reg = PathRegistry(fast_config())
+        for name in ("pC", "pA", "pB"):
+            reg.register(name)
+        assert [e.path for e in reg.entries()] == ["pC", "pA", "pB"]
+
+
+class TestGenerations:
+    def test_generation_survives_deregistration(self):
+        reg = PathRegistry(fast_config())
+        assert reg.register("pA").generation == 1
+        reg.deregister("pA")
+        assert reg.register("pA").generation == 2
+        reg.deregister("pA")
+        assert reg.register("pA").generation == 3
+
+    def test_generations_are_per_path(self):
+        reg = PathRegistry(fast_config())
+        reg.register("pA")
+        reg.deregister("pA")
+        reg.register("pA")
+        assert reg.register("pB").generation == 1
+
+
+class TestAdmission:
+    def test_active_path_admits(self):
+        reg = PathRegistry(fast_config())
+        reg.register("pA")
+        assert reg.admit("pA") is None
+        assert reg.admit("pA", generation=1) is None
+
+    def test_unregistered_drops(self):
+        reg = PathRegistry(fast_config())
+        assert reg.admit("ghost") == "unregistered"
+
+    def test_paused_drops(self):
+        reg = PathRegistry(fast_config())
+        reg.register("pA", paused=True)
+        assert reg.admit("pA") == "paused"
+
+    def test_stale_generation_drops_deterministically(self):
+        """Late records from a deregistered incarnation never leak into
+        the re-registered path's windows."""
+        reg = PathRegistry(fast_config())
+        reg.register("pA")
+        reg.deregister("pA")
+        assert reg.admit("pA", generation=1) == "unregistered"
+        reg.register("pA")  # generation 2
+        assert reg.admit("pA", generation=1) == "stale-generation"
+        assert reg.admit("pA", generation=2) is None
+
+    def test_stale_beats_paused_in_reason_order(self):
+        reg = PathRegistry(fast_config())
+        reg.register("pA")
+        reg.deregister("pA")
+        reg.register("pA", paused=True)
+        assert reg.admit("pA", generation=1) == "stale-generation"
+        assert reg.admit("pA", generation=2) == "paused"
+
+
+class TestConfigOverrides:
+    def test_no_overrides_shares_the_base_object(self):
+        """Identity matters: shared config keeps the fused drain grouping
+        every no-override path into one mega-batch."""
+        base = fast_config()
+        assert merge_config(base, None) is base
+        assert merge_config(base, {}) is base
+
+    def test_override_fields_apply(self):
+        base = fast_config()
+        merged = merge_config(base, {"window": 900, "hop": 450,
+                                     "confirm": 3})
+        assert (merged.window, merged.hop, merged.confirm) == (900, 450, 3)
+        assert merged.n_hidden == base.n_hidden
+        assert merged.em is base.em
+
+    def test_window_override_rederives_hop(self):
+        merged = merge_config(fast_config(), {"window": 1000})
+        assert merged.hop == 500  # 50% overlap, not the base's 300
+
+    def test_unknown_override_raises(self):
+        with pytest.raises(ValueError, match="unknown config override"):
+            merge_config(fast_config(), {"widnow": 900})
+
+    def test_registry_materialises_merged_config(self):
+        reg = PathRegistry(fast_config())
+        entry = reg.register("pA", overrides={"window": 800})
+        assert entry.config.window == 800
+        assert entry.overrides == {"window": 800}
+        plain = reg.register("pB")
+        assert plain.config is reg.base_config
+
+    def test_to_dict_projection(self):
+        reg = PathRegistry(fast_config())
+        payload = reg.register("pA", overrides={"confirm": 3}).to_dict()
+        assert payload["path"] == "pA"
+        assert payload["generation"] == 1
+        assert payload["status"] == ACTIVE
+        assert payload["overrides"] == {"confirm": 3}
+        assert payload["n_records"] == 0
+        assert payload["n_dropped"] == 0
