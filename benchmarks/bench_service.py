@@ -21,6 +21,11 @@ criteria name:
   service loop drains in a background thread; p50/p99 in ms.  Reads hit
   the published snapshot cache, so they must not stretch with drain
   time.
+* **Tracing overhead**: the same fleet run timed with record-to-verdict
+  tracing disabled vs enabled (best of ``TRACE_REPEATS`` each).  The
+  tracing layer promises to be near-zero-cost; ``--max-trace-overhead``
+  (CI passes 0.05) fails the run when enabling it costs more than that
+  fraction of wall clock.
 
 Writes ``benchmarks/output/BENCH_service.json``.  ``--check-baseline``
 (CI) never clobbers the committed JSON: results go to a ``.check.json``
@@ -48,6 +53,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 import common  # noqa: E402
 from repro.experiments.streams import strong_dcl_stream  # noqa: E402
+from repro.obs import trace as trace_mod  # noqa: E402
 from repro.models.base import EMConfig  # noqa: E402
 from repro.parallel import shutdown_pools  # noqa: E402
 from repro.service import (BackpressurePolicy, FleetService,  # noqa: E402
@@ -72,6 +78,9 @@ TIMED_HOPS = 2
 OVERLOAD_HOPS = 6
 #: Requests per endpoint in the API-latency section.
 API_REQUESTS = 64
+#: Timed runs per arm (tracing off / on); the best of each arm is
+#: compared so scheduler noise cannot masquerade as tracing cost.
+TRACE_REPEATS = 3
 
 if common.SCALE == "paper":
     FLEETS = [32, 128]
@@ -246,6 +255,55 @@ def bench_api(config, templates, streams) -> dict:
     return entry
 
 
+def bench_trace_overhead(config, templates, streams) -> dict:
+    """Fleet run timed with tracing off vs on: best-of-N each arm.
+
+    Tracing-on runs attach a :class:`~repro.obs.trace.TraceStore` so the
+    whole pipeline pays its full freight — ingest stamping, stage
+    histograms, ring retention.  Telemetry stays off either way (the CI
+    default), so this isolates the tracing layer itself.
+    """
+    n_paths = FLEETS[0]
+
+    def timed_run(traced: bool) -> float:
+        if traced:
+            trace_mod.enable_tracing()
+        else:
+            trace_mod.disable_tracing()
+        kwargs = {"trace_store": trace_mod.TraceStore()} if traced else {}
+        service = build_service(config, templates, streams, n_paths,
+                                TIMED_HOPS, **kwargs)
+        start = time.perf_counter()
+        service.run(exit_when_idle=True, interval=0.0)
+        elapsed = time.perf_counter() - start
+        assert service.n_windows == n_paths * TIMED_HOPS, (
+            "trace-overhead run lost windows"
+        )
+        service.close()
+        return elapsed
+
+    disabled, enabled = [], []
+    try:
+        # Alternate arms so thermal / cache drift hits both equally.
+        for _ in range(TRACE_REPEATS):
+            disabled.append(timed_run(traced=False))
+            enabled.append(timed_run(traced=True))
+    finally:
+        trace_mod.disable_tracing()
+    best_off, best_on = min(disabled), min(enabled)
+    overhead = max(0.0, best_on / best_off - 1.0)
+    entry = {
+        "paths": n_paths,
+        "repeats": TRACE_REPEATS,
+        "disabled_seconds": round(best_off, 3),
+        "enabled_seconds": round(best_on, 3),
+        "trace_overhead_fraction": round(overhead, 4),
+    }
+    print(f"  trace overhead ({n_paths} paths): off {best_off:.2f}s, "
+          f"on {best_on:.2f}s -> {overhead:.1%}", flush=True)
+    return entry
+
+
 def run_benchmark() -> dict:
     config = monitor_config()
     probes = WINDOW + max(TIMED_HOPS, OVERLOAD_HOPS) * HOP
@@ -260,6 +318,7 @@ def run_benchmark() -> dict:
                                            n_paths)
     overload = bench_overload(config, templates, streams)
     api = bench_api(config, templates, streams)
+    trace_overhead = bench_trace_overhead(config, templates, streams)
     largest = fleets[str(FLEETS[-1])]
     return {
         "scale": common.SCALE,
@@ -273,6 +332,7 @@ def run_benchmark() -> dict:
         "fleets": fleets,
         "overload": overload,
         "api": api,
+        "trace_overhead": trace_overhead,
         "largest_fleet_paths": FLEETS[-1],
         "largest_fleet_throughput_rps": largest["ingest_throughput_rps"],
     }
@@ -328,6 +388,11 @@ def main(argv=None) -> int:
         "--check-baseline", action="store_true",
         help="compare against the committed JSON instead of replacing it",
     )
+    parser.add_argument(
+        "--max-trace-overhead", type=float, default=None, metavar="FRAC",
+        help="fail when enabling tracing costs more than this fraction "
+             "of wall clock (CI passes 0.05)",
+    )
     args = parser.parse_args(argv)
 
     report = run_benchmark()
@@ -335,8 +400,17 @@ def main(argv=None) -> int:
     print(json.dumps(report, indent=2))
 
     status = 0
+    if args.max_trace_overhead is not None:
+        fraction = report["trace_overhead"]["trace_overhead_fraction"]
+        if fraction > args.max_trace_overhead:
+            print(f"FAIL: tracing overhead {fraction:.1%} exceeds the "
+                  f"{args.max_trace_overhead:.0%} gate")
+            status = 1
+        else:
+            print(f"tracing overhead {fraction:.1%} within the "
+                  f"{args.max_trace_overhead:.0%} gate (OK)")
     if args.check_baseline:
-        status = check_baseline(report)
+        status = check_baseline(report) or status
         out = BASELINE_PATH.with_suffix(".check.json")
     else:
         out = BASELINE_PATH

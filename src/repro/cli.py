@@ -243,6 +243,11 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--profile", action="store_true",
                          help="capture per-phase cProfile data; summarized "
                               "to stderr and emitted as profile.phase events")
+    monitor.add_argument("--trace", action="store_true",
+                         help="stamp every window with record-to-verdict "
+                              "trace timestamps (trace.window events + "
+                              "repro_trace_stage_seconds histograms); "
+                              "verdict output is byte-identical either way")
     _add_identify_options(monitor)
     _add_telemetry_option(monitor)
 
@@ -335,6 +340,16 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SEC",
                        help="emit a watchdog.stall event if no pipeline "
                             "progress happens for SEC seconds")
+    serve.add_argument("--trace", action="store_true",
+                       help="record per-verdict latency traces (ingest -> "
+                            "window-close -> queue -> fit -> publish), "
+                            "served at GET /traces/{id}; verdict streams "
+                            "are byte-identical either way")
+    serve.add_argument("--slo", metavar="FILE", default=None,
+                       help="declare SLOs evaluated each cycle ('default' "
+                            "= the built-in set, e.g. verdict freshness); "
+                            "burn-rate rules compile onto the alert engine "
+                            "and status serves at GET /slo")
     _add_identify_options(serve)
     _add_telemetry_option(serve)
 
@@ -540,6 +555,10 @@ def _cmd_monitor(args) -> int:
     )
     monitor = MultiPathMonitor(config, n_jobs=args.jobs,
                                drain_mode=args.drain_mode)
+    if args.trace:
+        from repro.obs import trace as trace_mod
+
+        trace_mod.enable_tracing()
     iterators = {path: iter(s) for path, s in _monitor_streams(args).items()}
 
     recorder = None
@@ -648,6 +667,10 @@ def _cmd_monitor(args) -> int:
             recorder.detach()
         if server is not None:
             server.close()
+        if args.trace:
+            from repro.obs import trace as trace_mod
+
+            trace_mod.disable_tracing()
     if engine is not None and engine.fatal_fired:
         print(f"monitor: fatal alert(s) fired: "
               f"{', '.join(engine.active_alerts()) or '(resolved)'}",
@@ -682,13 +705,43 @@ def _cmd_serve(args) -> int:
         factor=args.coarsen_factor,
     )
 
-    engine = None
+    slo_eval = None
+    if args.slo and args.slo != "none":
+        from repro.obs.slo import DEFAULT_SLOS, SLOEvaluator, parse_slos
+
+        slo_text = (DEFAULT_SLOS if args.slo == "default"
+                    else Path(args.slo).read_text(encoding="utf-8"))
+        slo_eval = SLOEvaluator(parse_slos(slo_text))
+
+    rules = []
     if args.alert_rules and args.alert_rules != "none":
-        from repro.obs.alerts import DEFAULT_RULES, AlertEngine, parse_rules
+        from repro.obs.alerts import DEFAULT_RULES, parse_rules
 
         text = (DEFAULT_RULES if args.alert_rules == "default"
                 else Path(args.alert_rules).read_text(encoding="utf-8"))
-        engine = AlertEngine(parse_rules(text))
+        rules = parse_rules(text)
+    if slo_eval is not None:
+        # Declared SLOs always alert, even with --alert-rules none.
+        rules = rules + slo_eval.alert_rules()
+    engine = None
+    if rules:
+        from repro.obs.alerts import AlertEngine
+
+        engine = AlertEngine(rules)
+
+    trace_store = None
+    if args.trace:
+        from repro.obs import trace as trace_mod
+
+        trace_mod.enable_tracing()
+        trace_store = trace_mod.TraceStore()
+
+    # The service always keeps queryable history of its own gauges —
+    # GET /query is what makes the /fleet sparklines and incident
+    # forensics possible, and the store is bounded by construction.
+    from repro.obs.tsdb import TimeSeriesStore
+
+    tsdb = TimeSeriesStore()
 
     emit_fn = None
     if not args.quiet:
@@ -703,6 +756,9 @@ def _cmd_serve(args) -> int:
         backpressure=policy,
         alert_engine=engine,
         emit_fn=emit_fn,
+        tsdb=tsdb,
+        trace_store=trace_store,
+        slo=slo_eval,
     )
     for spec in args.inputs:
         service.register(spec, source=TailSource(spec, follow=args.follow))
@@ -769,6 +825,10 @@ def _cmd_serve(args) -> int:
         server.close()
         service.close()
         write_metrics()
+        if args.trace:
+            from repro.obs import trace as trace_mod
+
+            trace_mod.disable_tracing()
         if watchdog is not None:
             watchdog.stop()
         if recorder is not None:
@@ -824,6 +884,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         or getattr(args, "flight_recorder", None) is not None
         or getattr(args, "stall_timeout", None) is not None
         or getattr(args, "profile", False)
+        or getattr(args, "trace", False)
+        or getattr(args, "slo", None) is not None
     )
     enabled_here = False
     if telemetry or wants_metrics:

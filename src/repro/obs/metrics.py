@@ -28,7 +28,7 @@ import math
 import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["DEFAULT_BUCKETS", "MetricsRegistry"]
+__all__ = ["DEFAULT_BUCKETS", "MetricsRegistry", "histogram_quantiles"]
 
 #: Default histogram bucket upper bounds, in seconds.  Spans range from
 #: sub-millisecond (a warm streaming fit at tiny windows) to tens of
@@ -63,6 +63,43 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def histogram_quantiles(buckets: Iterable[float], counts: Iterable[int],
+                        qs: Iterable[float]) -> List[float]:
+    """Estimate quantiles from fixed-bucket histogram counts.
+
+    Uses linear interpolation within the bucket that contains each
+    target rank (the Prometheus ``histogram_quantile`` convention).
+    Observations in the +Inf overflow bucket clamp to the last finite
+    edge, and an empty histogram yields ``nan`` for every quantile —
+    callers never have to special-case either.
+    """
+    edges = list(buckets)
+    counts = list(counts)
+    total = sum(counts)
+    out: List[float] = []
+    for q in qs:
+        if total == 0:
+            out.append(math.nan)
+            continue
+        rank = q * total
+        cumulative = 0
+        value = edges[-1] if edges else math.nan
+        for i, count in enumerate(counts):
+            if count == 0:
+                continue
+            if cumulative + count >= rank:
+                if i >= len(edges):  # +Inf bucket: clamp to last edge
+                    value = edges[-1] if edges else math.nan
+                else:
+                    lo = 0.0 if i == 0 else edges[i - 1]
+                    hi = edges[i]
+                    value = lo + (hi - lo) * (rank - cumulative) / count
+                break
+            cumulative += count
+        out.append(value)
+    return out
+
+
 class _Histogram:
     """Fixed-bucket histogram sample: cumulative export, additive merge."""
 
@@ -90,6 +127,9 @@ class _Histogram:
         other.total = self.total
         other.count = self.count
         return other
+
+    def quantile(self, q: float) -> float:
+        return histogram_quantiles(self.buckets, self.counts, (q,))[0]
 
 
 class MetricsRegistry:
@@ -320,11 +360,14 @@ class MetricsRegistry:
                 {"labels": dict(labels), "value": value}
             )
         for (name, labels), hist in sorted(histograms.items()):
+            p50, p95, p99 = histogram_quantiles(
+                hist.buckets, hist.counts, (0.5, 0.95, 0.99))
             out["histograms"].setdefault(name, []).append({
                 "labels": dict(labels),
                 "buckets": list(hist.buckets),
                 "counts": list(hist.counts),
                 "sum": hist.total,
                 "count": hist.count,
+                "quantiles": {"p50": p50, "p95": p95, "p99": p99},
             })
         return out

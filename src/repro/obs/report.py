@@ -151,6 +151,8 @@ def collect_report_data(
         if e.get("kind") == "em.restart" and e.get("loglik") is not None
     ]
     drain_rounds = [e for e in events if e.get("kind") == "drain.round"]
+    trace_windows = [e for e in events if e.get("kind") == "trace.window"]
+    slo_events = [e for e in events if e.get("kind") == "slo.status"]
     alert_events = [e for e in events
                     if e.get("kind") in ("alert.fired", "alert.resolved")]
     stall_events = [e for e in events if e.get("kind") == "watchdog.stall"]
@@ -179,6 +181,8 @@ def collect_report_data(
         "manifests": manifests,
         "windows_by_path": windows_by_path,
         "drain_rounds": drain_rounds,
+        "trace_windows": trace_windows,
+        "slo_events": slo_events,
         "restart_logliks": restart_logliks,
         "alerts": alert_events,
         "stalls": stall_events,
@@ -466,6 +470,73 @@ def _render_drain_rounds(rounds: Sequence[dict]) -> str:
     return "".join(parts)
 
 
+def _render_traces(trace_windows: Sequence[dict],
+                   trace_summary: dict) -> str:
+    """Per-stage latency table + record-to-verdict sparkline from
+    ``trace.window`` events.
+
+    The table answers "which stage dominates" (queue-wait vs E-step vs
+    publish); the sparkline shows freshness drift over the run.
+    """
+    if not trace_windows:
+        return ('<p class="empty">no trace.window events (run with '
+                "<code>--trace</code>)</p>")
+    stage_rows = []
+    for stage in ("ingest", "queue", "fit", "publish", "total"):
+        entry = (trace_summary.get("stages") or {}).get(stage)
+        if entry:
+            stage_rows.append([
+                f"<code>{_esc(stage)}</code>", _fmt(entry["count"]),
+                _fmt(entry["mean_ms"]), _fmt(entry["max_ms"]),
+            ])
+    parts = [
+        f'<p class="sub">{len(trace_windows)} traced verdicts</p>',
+        _table(["stage", "count", "mean ms", "max ms"], stage_rows,
+               numeric=(1, 2, 3)),
+    ]
+    totals = [float((e.get("stages") or {}).get("total") or 0.0) * 1000.0
+              for e in trace_windows
+              if (e.get("stages") or {}).get("total") is not None]
+    if totals:
+        parts.append(
+            '<p class="sub">record-to-verdict total (ms) per traced '
+            "window:</p>" + _svg_sparkline(totals, label="total ms"))
+    return "".join(parts)
+
+
+def _render_slos(slo_events: Sequence[dict]) -> str:
+    """Latest budget status per SLO plus fast-burn sparklines."""
+    if not slo_events:
+        return ('<p class="empty">no slo.status events (run the service '
+                "with <code>--slo</code>)</p>")
+    by_slo: Dict[str, List[dict]] = {}
+    for event in slo_events:
+        by_slo.setdefault(str(event.get("slo") or "?"), []).append(event)
+    rows = []
+    sparks = []
+    for name, events in sorted(by_slo.items()):
+        last = events[-1]
+        breaching = bool(last.get("breaching"))
+        color = "var(--bad)" if breaching else "var(--good)"
+        state = (f'<span class="pill" style="background:{color}">'
+                 f"{'breaching' if breaching else 'ok'}</span>")
+        remaining = last.get("budget_remaining")
+        rows.append([
+            f"<code>{_esc(name)}</code>", state,
+            _fmt(last.get("burn_fast")), _fmt(last.get("burn_slow")),
+            "–" if remaining is None else f"{float(remaining):.1%}",
+        ])
+        burns = [float(e.get("burn_fast") or 0.0) for e in events]
+        if len(burns) >= 2:
+            sparks.append(
+                f'<p class="sub">fast-window burn rate, '
+                f"<code>{_esc(name)}</code> (&gt;1 eats budget):</p>"
+                + _svg_sparkline(burns, label=f"{name} burn"))
+    return (_table(["slo", "state", "fast burn", "slow burn",
+                    "budget remaining"], rows, numeric=(2, 3, 4))
+            + "".join(sparks))
+
+
 def _render_bench(entry: dict, tolerance: float) -> str:
     parts = [f"<h3><code>{_esc(entry['name'])}</code></h3>"]
     diff = entry["diff"]
@@ -604,6 +675,13 @@ def generate_report(
 
     sections.append("<h2>Drain efficiency</h2>")
     sections.append(_render_drain_rounds(data.get("drain_rounds") or []))
+
+    sections.append("<h2>Record-to-verdict latency</h2>")
+    sections.append(_render_traces(data.get("trace_windows") or [],
+                                   summary.get("traces") or {}))
+
+    sections.append("<h2>SLOs</h2>")
+    sections.append(_render_slos(data.get("slo_events") or []))
 
     sections += ["<h2>Alerts</h2>", _render_alerts(data["alerts"])]
 

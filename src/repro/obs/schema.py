@@ -102,6 +102,14 @@ EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
         "One fleet-service loop cycle finished",
         ("cycle", "ingested", "dropped", "windows", "backlog", "dur_ms"),
     ),
+    "trace.window": (
+        "Per-stage record-to-verdict latency breakdown of one window",
+        ("path", "window", "stages"),
+    ),
+    "slo.status": (
+        "One SLO evaluation pass (burn rates and remaining budget)",
+        ("slo", "burn_fast", "burn_slow", "budget_remaining", "breaching"),
+    ),
 }
 
 #: (name, type, labels, help) for every metric family the stack emits.
@@ -186,6 +194,19 @@ METRICS: List[Tuple[str, str, Tuple[str, ...], str]] = [
      "Fleet-service HTTP API requests, by route and status code."),
     ("repro_service_http_seconds", "histogram", ("route",),
      "Fleet-service HTTP API request latency, by route."),
+    ("repro_trace_stage_seconds", "histogram", ("stage",),
+     "Per-stage record-to-verdict latency decomposition."),
+    ("repro_record_to_verdict_seconds", "histogram", (),
+     "Freshness of published verdicts: last record to verdict."),
+    ("repro_traces_total", "counter", (),
+     "Record-to-verdict traces finalized at verdict publication."),
+    ("repro_slo_burn_rate", "gauge", ("slo", "window"),
+     "Error-budget burn rate per SLO, by alerting window (fast/slow)."),
+    ("repro_slo_burn_rate_min", "gauge", ("slo",),
+     "Minimum of the fast/slow burn rates (the both-windows-burning "
+     "condition the compiled alert rules watch)."),
+    ("repro_slo_budget_remaining", "gauge", ("slo",),
+     "Unconsumed error-budget fraction over the SLO window."),
 ]
 
 #: Series the monitor preregisters at zero so scrapes (and the CI
@@ -220,6 +241,7 @@ MONITOR_SERIES: List[Tuple[str, List[dict]]] = [
     ("repro_service_shed_windows_total", [{}]),
     ("repro_service_coarsen_total",
      [{"action": "coarsen"}, {"action": "restore"}]),
+    ("repro_traces_total", [{}]),
 ]
 
 
@@ -240,10 +262,20 @@ def validate_event(event: dict) -> List[str]:
     return problems
 
 
+#: Histogram families whose durations sit well under the default 1ms
+#: bucket floor (queue waits, publish hops) — preregistered with the
+#: tracing layer's finer bucket edges.
+_FINE_HISTOGRAMS = ("repro_trace_stage_seconds",
+                    "repro_record_to_verdict_seconds")
+
+
 def preregister(registry) -> None:
     """Describe every family and create the monitor's zero-valued series."""
+    from repro.obs.trace import STAGE_BUCKETS
+
     for name, kind, _labels, help_text in METRICS:
-        registry.describe(name, help_text)
+        buckets = STAGE_BUCKETS if name in _FINE_HISTOGRAMS else None
+        registry.describe(name, help_text, buckets=buckets)
     for name, label_sets in MONITOR_SERIES:
         for labels in label_sets:
             registry.inc(name, 0.0, **labels)

@@ -1,0 +1,340 @@
+"""Declarative SLOs compiled to burn-rate alert rules.
+
+An alert on an instantaneous threshold pages on blips; an alert on a
+raw error budget pages hours late.  The standard middle ground is
+**multi-window burn-rate alerting**: watch how fast the error budget is
+being consumed over a fast and a slow window and page only when *both*
+burn — fast catches the onset, slow proves it is not a blip.  This
+module implements that on top of the existing
+:class:`repro.obs.alerts.AlertEngine`, driven by the histograms the
+tracing layer already records.
+
+One SLO per line::
+
+    <name>: p<q> <metric>{label=value,...} < <threshold>[s|ms] over <dur>[s|m|h] budget <pct>% [fatal|warn]
+
+e.g. :data:`DEFAULT_SLOS`'s
+``verdict-freshness: p95 repro_record_to_verdict_seconds < 2s over 5m budget 5% warn``.
+
+Semantics:
+
+* a **good event** is a histogram observation ``<= threshold``; the
+  threshold is snapped to the nearest histogram bucket edge (fixed
+  buckets are all the registry keeps), and the snapped value is what
+  :meth:`SLO.describe` reports;
+* the **budget** is the tolerated bad-event fraction over ``over``; the
+  ``p<q>`` quantile is tracked and reported alongside (current value
+  via :func:`repro.obs.metrics.histogram_quantiles`).  When ``budget``
+  is omitted it defaults to ``100 - q`` percent — i.e. ``p95 < 2s``
+  alone means "at most 5% of events over 2s";
+* **burn rate** over a window = (bad fraction in the window) / budget;
+  1.0 consumes exactly the budget by the end of the SLO period.  The
+  evaluator maintains a fast window (``over``/12, the Google SRE
+  convention) and the slow window (``over``), publishes
+  ``repro_slo_burn_rate{slo,window}`` plus their minimum as
+  ``repro_slo_burn_rate_min{slo}``, and each SLO compiles to one rule
+  ``slo-burn-<name>: repro_slo_burn_rate_min{slo=<name>} > 1 for 2``.
+  Because gauges alert on the max over matching series, the minimum
+  gauge *is* the both-windows-burning condition — no engine changes
+  needed;
+* ``repro_slo_budget_remaining{slo}`` tracks the unconsumed budget
+  fraction over the slow window (1 = untouched, 0 = exhausted,
+  negative = overrun), surfaced at ``GET /slo`` and in the report.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.alerts import AlertRule
+from repro.obs.metrics import histogram_quantiles
+
+__all__ = ["SLO", "SLOEvaluator", "parse_slos", "DEFAULT_SLOS"]
+
+#: Built-in SLOs for ``repro serve --slo default``.
+DEFAULT_SLOS = """\
+# Verdict freshness: the record-to-verdict latency the tracing layer
+# measures.  At most 5% of published verdicts may take over 2 seconds
+# from last probe record to publication, judged over 5 minutes.
+verdict-freshness: p95 repro_record_to_verdict_seconds < 2s over 5m budget 5% warn
+# Control-plane responsiveness: fleet API requests must stay snappy.
+api-latency: p99 repro_service_http_seconds < 250ms over 5m budget 1% warn
+"""
+
+_DUR_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0}
+
+_SLO_RE = re.compile(
+    r"^(?P<name>[\w.-]+)\s*:\s*"
+    r"p(?P<q>\d+(?:\.\d+)?)\s+"
+    r"(?P<metric>[A-Za-z_:][\w:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s*"
+    r"<\s*(?P<threshold>[\d.]+(?:[eE][-+]?\d+)?)(?P<tunit>ms|s)?\s+"
+    r"over\s+(?P<window>[\d.]+)(?P<wunit>[smh])?\s*"
+    r"(?:budget\s+(?P<budget>[\d.]+)\s*%)?"
+    r"(?:\s+(?P<severity>warn|fatal))?\s*$"
+)
+
+
+def _parse_labels(text: Optional[str]) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not text or not text.strip():
+        return labels
+    for pair in text.split(","):
+        if "=" not in pair:
+            raise ValueError(f"bad label matcher {pair!r} (want key=value)")
+        key, value = pair.split("=", 1)
+        labels[key.strip()] = value.strip().strip('"')
+    return labels
+
+
+class SLO:
+    """One parsed objective (see the module docstring for the syntax)."""
+
+    __slots__ = ("name", "quantile", "metric", "labels", "threshold",
+                 "window", "budget", "severity")
+
+    def __init__(self, name: str, quantile: float, metric: str,
+                 threshold: float, window: float, budget: float,
+                 labels: Optional[Dict[str, str]] = None,
+                 severity: str = "warn"):
+        if not 0 < quantile < 100:
+            raise ValueError(f"quantile must be in (0, 100), got {quantile}")
+        if not 0 < budget <= 1:
+            raise ValueError(f"budget must be in (0, 1], got {budget}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if severity not in ("warn", "fatal"):
+            raise ValueError(
+                f"severity must be warn or fatal, got {severity!r}")
+        self.name = name
+        self.quantile = float(quantile)
+        self.metric = metric
+        self.labels = dict(labels or {})
+        self.threshold = float(threshold)
+        self.window = float(window)
+        self.budget = float(budget)
+        self.severity = severity
+
+    def describe(self) -> str:
+        """The objective back in its one-line syntax (seconds units)."""
+        labels = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        metric = f"{self.metric}{{{labels}}}" if labels else self.metric
+        return (f"{self.name}: p{self.quantile:g} {metric} "
+                f"< {self.threshold:g}s over {self.window:g}s "
+                f"budget {self.budget * 100:g}% {self.severity}")
+
+    def alert_rule(self) -> AlertRule:
+        """The compiled burn-rate rule for the alert engine."""
+        return AlertRule(
+            name=f"slo-burn-{self.name}",
+            metric="repro_slo_burn_rate_min",
+            op=">",
+            threshold=1.0,
+            labels={"slo": self.name},
+            for_count=2,
+            severity=self.severity,
+        )
+
+
+def parse_slos(text: str) -> List[SLO]:
+    """Parse an SLO file; raises ValueError with the offending line."""
+    slos: List[SLO] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SLO_RE.match(line)
+        if match is None:
+            raise ValueError(f"SLO line {lineno}: cannot parse {line!r}")
+        threshold = float(match["threshold"])
+        if match["tunit"] == "ms":
+            threshold /= 1000.0
+        window = float(match["window"]) * _DUR_UNITS[match["wunit"] or "s"]
+        quantile = float(match["q"])
+        budget = (float(match["budget"]) / 100.0 if match["budget"]
+                  else (100.0 - quantile) / 100.0)
+        slos.append(SLO(
+            name=match["name"],
+            quantile=quantile,
+            metric=match["metric"],
+            threshold=threshold,
+            window=window,
+            budget=budget,
+            labels=_parse_labels(match["labels"]),
+            severity=match["severity"] or "warn",
+        ))
+    names = [slo.name for slo in slos]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ValueError(f"duplicate SLO names: {sorted(duplicates)}")
+    return slos
+
+
+class _SLOState:
+    __slots__ = ("samples", "last_good", "last_bad")
+
+    def __init__(self):
+        # (monotonic ts, good delta, bad delta) per evaluation
+        self.samples: deque = deque()
+        self.last_good: Optional[float] = None
+        self.last_bad: Optional[float] = None
+
+
+class SLOEvaluator:
+    """Track error budgets and publish burn-rate gauges.
+
+    Call :meth:`evaluate` periodically (the fleet service does so once
+    per cycle, *before* the alert engine so the compiled burn rules see
+    fresh gauges).  Good/bad counts come from histogram bucket-count
+    deltas between evaluations — no per-observation work on the hot
+    path.
+    """
+
+    def __init__(self, slos: List[SLO], registry=None):
+        if registry is None:
+            from repro import obs
+
+            registry = obs.registry()
+        self.slos = list(slos)
+        self.registry = registry
+        self._states = {slo.name: _SLOState() for slo in self.slos}
+        self._status: Dict[str, dict] = {}
+
+    def alert_rules(self) -> List[AlertRule]:
+        """The compiled burn-rate rules, one per SLO."""
+        return [slo.alert_rule() for slo in self.slos]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _matches(sample_labels, wanted: Dict[str, str]) -> bool:
+        labels = dict(sample_labels)
+        return all(labels.get(k) == v for k, v in wanted.items())
+
+    def _good_bad(self, snapshot: dict, slo: SLO
+                  ) -> Tuple[float, float, Optional[float]]:
+        """Cumulative (good, bad, current p_q) across matching series."""
+        good = bad = 0.0
+        merged_counts: Optional[List[float]] = None
+        buckets: Tuple[float, ...] = ()
+        for (name, labels), (bks, counts, _total, _count) in \
+                snapshot["histograms"].items():
+            if name != slo.metric or not self._matches(labels, slo.labels):
+                continue
+            # Snap the threshold to the first bucket edge >= threshold:
+            # observations in that bucket are counted good.
+            cut = len(bks)
+            for i, edge in enumerate(bks):
+                if edge >= slo.threshold:
+                    cut = i + 1
+                    break
+            good += sum(counts[:cut])
+            bad += sum(counts[cut:])
+            if merged_counts is None or tuple(bks) == buckets:
+                if merged_counts is None:
+                    buckets = tuple(bks)
+                    merged_counts = list(counts)
+                else:
+                    merged_counts = [a + b for a, b in
+                                     zip(merged_counts, counts)]
+        current_q = None
+        if merged_counts is not None and sum(merged_counts):
+            current_q = histogram_quantiles(
+                buckets, merged_counts, (slo.quantile / 100.0,))[0]
+        return good, bad, current_q
+
+    @staticmethod
+    def _window_fraction(samples: deque, horizon: float, now: float
+                         ) -> Tuple[float, float]:
+        good = bad = 0.0
+        for ts, dgood, dbad in samples:
+            if now - ts <= horizon:
+                good += dgood
+                bad += dbad
+        return good, bad
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: Optional[float] = None) -> Dict[str, dict]:
+        """One pass: update windows, publish gauges, emit ``slo.status``."""
+        from repro import obs
+
+        now = time.monotonic() if now is None else float(now)
+        snapshot = self.registry.snapshot()
+        for slo in self.slos:
+            state = self._states[slo.name]
+            good, bad, current_q = self._good_bad(snapshot, slo)
+            if state.last_good is None:
+                dgood = dbad = 0.0
+            else:
+                dgood = max(0.0, good - state.last_good)
+                dbad = max(0.0, bad - state.last_bad)
+            state.last_good, state.last_bad = good, bad
+            state.samples.append((now, dgood, dbad))
+            while state.samples and now - state.samples[0][0] > slo.window:
+                state.samples.popleft()
+
+            fast_horizon = slo.window / 12.0
+            burns = {}
+            for window_name, horizon in (("fast", fast_horizon),
+                                         ("slow", slo.window)):
+                wgood, wbad = self._window_fraction(
+                    state.samples, horizon, now)
+                total = wgood + wbad
+                fraction = (wbad / total) if total else 0.0
+                burns[window_name] = fraction / slo.budget
+            slow_good, slow_bad = self._window_fraction(
+                state.samples, slo.window, now)
+            slow_total = slow_good + slow_bad
+            consumed = ((slow_bad / slow_total) / slo.budget
+                        if slow_total else 0.0)
+            remaining = 1.0 - consumed
+            burn_min = min(burns["fast"], burns["slow"])
+
+            self.registry.set_gauge("repro_slo_burn_rate",
+                                    burns["fast"], slo=slo.name,
+                                    window="fast")
+            self.registry.set_gauge("repro_slo_burn_rate",
+                                    burns["slow"], slo=slo.name,
+                                    window="slow")
+            self.registry.set_gauge("repro_slo_burn_rate_min",
+                                    burn_min, slo=slo.name)
+            self.registry.set_gauge("repro_slo_budget_remaining",
+                                    remaining, slo=slo.name)
+
+            status = {
+                "slo": slo.name,
+                "objective": slo.describe(),
+                "threshold_s": slo.threshold,
+                "window_s": slo.window,
+                "budget": slo.budget,
+                "good": slow_good,
+                "bad": slow_bad,
+                "bad_fraction": ((slow_bad / slow_total)
+                                 if slow_total else 0.0),
+                "burn_fast": burns["fast"],
+                "burn_slow": burns["slow"],
+                "burn_min": burn_min,
+                "budget_remaining": remaining,
+                "current_quantile": current_q,
+                "breaching": burn_min > 1.0,
+            }
+            self._status[slo.name] = status
+            obs.emit(
+                "slo.status",
+                slo=slo.name,
+                burn_fast=round(burns["fast"], 6),
+                burn_slow=round(burns["slow"], 6),
+                budget_remaining=round(remaining, 6),
+                breaching=status["breaching"],
+            )
+        return dict(self._status)
+
+    def status(self) -> List[dict]:
+        """Latest per-SLO status rows (for ``GET /slo`` and the report)."""
+        return [self._status.get(slo.name, {
+            "slo": slo.name,
+            "objective": slo.describe(),
+            "breaching": False,
+        }) for slo in self.slos]

@@ -9,6 +9,10 @@ them to the questions an operator actually asks:
   rate by reason, skipped windows by reason, verdict flips)
 * how is EM behaving? (restarts, non-monotone trajectories, restart
   win dispersion)
+* what did the fleet service do? (rounds, ingest/drop volume, peak
+  backlog, backpressure sheds and stride changes)
+* where do verdict-seconds go? (``trace.window`` per-stage latency
+  aggregates, SLO breach counts)
 
 Malformed lines are counted, not fatal — a live file may end in a torn
 line while a writer is mid-append, a crash can leave a half-flushed
@@ -73,6 +77,14 @@ def summarize_events(source: Union[str, Path, Iterable[str]],
     alerts = {"fired": 0, "resolved": 0}
     alerts_by_rule: Dict[str, int] = {}
     n_stalls = 0
+    service = {"rounds": 0, "ingested": 0, "dropped": 0, "windows": 0,
+               "max_backlog": 0, "shed_windows": 0}
+    coarsen: Dict[str, int] = {}
+    path_actions: Dict[str, int] = {}
+    n_traces = 0
+    trace_stages: Dict[str, dict] = {}
+    slo = {"evaluations": 0, "breaches": 0}
+    slo_breaching: Dict[str, int] = {}
 
     for event in _iter_events(source):
         if event is None:
@@ -128,6 +140,35 @@ def summarize_events(source: Union[str, Path, Iterable[str]],
             alerts["resolved"] += 1
         elif kind == "watchdog.stall":
             n_stalls += 1
+        elif kind == "service.round":
+            service["rounds"] += 1
+            service["ingested"] += int(event.get("ingested") or 0)
+            service["dropped"] += int(event.get("dropped") or 0)
+            service["windows"] += int(event.get("windows") or 0)
+            service["max_backlog"] = max(service["max_backlog"],
+                                         int(event.get("backlog") or 0))
+        elif kind == "service.shed":
+            service["shed_windows"] += int(event.get("shed") or 0)
+        elif kind == "service.coarsen":
+            action = str(event.get("action") or "?")
+            coarsen[action] = coarsen.get(action, 0) + 1
+        elif kind == "service.path":
+            action = str(event.get("action") or "?")
+            path_actions[action] = path_actions.get(action, 0) + 1
+        elif kind == "trace.window":
+            n_traces += 1
+            for stage, dur in (event.get("stages") or {}).items():
+                entry = trace_stages.setdefault(
+                    stage, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+                entry["count"] += 1
+                entry["total_s"] += float(dur)
+                entry["max_s"] = max(entry["max_s"], float(dur))
+        elif kind == "slo.status":
+            slo["evaluations"] += 1
+            if event.get("breaching"):
+                slo["breaches"] += 1
+                name = str(event.get("slo") or "?")
+                slo_breaching[name] = slo_breaching.get(name, 0) + 1
 
     slowest.sort(key=lambda s: s["dur_ms"], reverse=True)
     total_fits = fits["warm"] + fits["cold"]
@@ -180,6 +221,33 @@ def summarize_events(source: Union[str, Path, Iterable[str]],
             "nonmonotone_restarts": nonmonotone_restarts,
             "max_loglik_dispersion": round(max(dispersions), 4)
             if dispersions else None,
+        },
+        "service": {
+            "rounds": service["rounds"],
+            "ingested": service["ingested"],
+            "dropped": service["dropped"],
+            "windows": service["windows"],
+            "max_backlog": service["max_backlog"],
+            "shed_windows": service["shed_windows"],
+            "coarsen": dict(sorted(coarsen.items())),
+            "path_actions": dict(sorted(path_actions.items())),
+        },
+        "traces": {
+            "count": n_traces,
+            "stages": {
+                stage: {
+                    "count": entry["count"],
+                    "mean_ms": round(
+                        entry["total_s"] / entry["count"] * 1000.0, 3),
+                    "max_ms": round(entry["max_s"] * 1000.0, 3),
+                }
+                for stage, entry in sorted(trace_stages.items())
+            },
+        },
+        "slo": {
+            "evaluations": slo["evaluations"],
+            "breaches": slo["breaches"],
+            "breaching_by_slo": dict(sorted(slo_breaching.items())),
         },
     }
 
@@ -253,6 +321,49 @@ def format_summary(summary: dict) -> str:
                 f"  max restart loglik dispersion: "
                 f"{em['max_loglik_dispersion']:.4f}"
             )
+
+    service = summary.get("service") or {}
+    if service.get("rounds"):
+        lines.append(
+            f"service: {service['rounds']} rounds, "
+            f"ingested {service['ingested']}, dropped {service['dropped']}, "
+            f"windows {service['windows']}, "
+            f"max backlog {service['max_backlog']}"
+        )
+        if service.get("shed_windows") or service.get("coarsen"):
+            parts = []
+            if service.get("shed_windows"):
+                parts.append(f"shed {service['shed_windows']} windows")
+            if service.get("coarsen"):
+                parts.append("stride " + ", ".join(
+                    f"{k}={v}" for k, v in service["coarsen"].items()))
+            lines.append("  backpressure: " + "; ".join(parts))
+        if service.get("path_actions"):
+            actions = ", ".join(f"{k}={v}"
+                                for k, v in service["path_actions"].items())
+            lines.append(f"  path actions: {actions}")
+
+    traces = summary.get("traces") or {}
+    if traces.get("count"):
+        lines.append(f"record-to-verdict traces: {traces['count']}")
+        # Fixed stage order (pipeline order), not alphabetical.
+        for stage in ("ingest", "queue", "fit", "publish", "total"):
+            entry = traces["stages"].get(stage)
+            if entry:
+                lines.append(
+                    f"  {stage}: mean {entry['mean_ms']:.1f} ms, "
+                    f"max {entry['max_ms']:.1f} ms ({entry['count']}x)"
+                )
+
+    slo = summary.get("slo") or {}
+    if slo.get("evaluations"):
+        line = (f"SLO evaluations: {slo['evaluations']} "
+                f"({slo['breaches']} breaching")
+        if slo.get("breaching_by_slo"):
+            line += ": " + ", ".join(
+                f"{k}={v}" for k, v in slo["breaching_by_slo"].items())
+        line += ")"
+        lines.append(line)
 
     alerts = summary.get("alerts") or {}
     if alerts.get("fired"):

@@ -1,0 +1,162 @@
+"""A bounded in-memory time-series store over the metrics registry.
+
+The metrics registry answers "what is the value *now*"; operators
+debugging a slow-verdict incident need "what was it over the last ten
+minutes".  :class:`TimeSeriesStore` closes that gap without any external
+dependency: the fleet service flushes the registry into it once per
+cycle, and ``GET /query?series=…&since=…`` serves the history that
+powers the ``/fleet`` and ``repro report`` sparklines.
+
+Layout: one fixed-interval ring per series.
+
+* **hi-res ring** — the last ``retention`` samples at ``interval``
+  spacing (defaults: 600 × 1 s = 10 minutes);
+* **lo-res ring** — every ``downsample`` hi-res samples are averaged
+  into one coarse point kept for ``lores_retention`` slots (defaults:
+  360 × 10 s = a further hour of context).
+
+Memory is bounded by construction: at most ``max_series`` series ×
+(``retention`` + ``lores_retention``) points; series beyond the cap are
+counted in :attr:`TimeSeriesStore.dropped_series` and skipped, never
+grown.  Collection is idempotent within an interval — callers can flush
+every cycle regardless of the cycle rate.
+
+Series keys are the Prometheus-style ``name{label="value",...}`` form
+(no labels → bare name).  Histogram families expand into ``:count``,
+``:p50``, ``:p95`` and ``:p99`` sub-series via the shared
+:func:`repro.obs.metrics.histogram_quantiles` helper, so freshness
+percentiles are queryable history like any gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import histogram_quantiles
+
+__all__ = ["TimeSeriesStore", "series_key"]
+
+
+def series_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """The canonical ``name{k="v",...}`` key for one series."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class _Ring:
+    __slots__ = ("hires", "lores", "pending")
+
+    def __init__(self, retention: int, lores_retention: int):
+        self.hires: deque = deque(maxlen=retention)
+        self.lores: deque = deque(maxlen=lores_retention)
+        self.pending: List[Tuple[float, float]] = []
+
+
+class TimeSeriesStore:
+    """Fixed-interval rings with retention and downsampling."""
+
+    def __init__(self, interval: float = 1.0, retention: int = 600,
+                 downsample: int = 10, lores_retention: int = 360,
+                 max_series: int = 512):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.retention = int(retention)
+        self.downsample = max(1, int(downsample))
+        self.lores_retention = int(lores_retention)
+        self.max_series = int(max_series)
+        self.dropped_series = 0
+        self._lock = threading.Lock()
+        self._series: Dict[str, _Ring] = {}
+        self._last_flush: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def collect(self, registry, now: Optional[float] = None) -> bool:
+        """Flush one sample of every registry series into the rings.
+
+        Returns False (and does nothing) when called again within the
+        same interval, so per-cycle callers self-throttle to the store's
+        resolution no matter how fast the service loop spins.
+        """
+        now = time.time() if now is None else float(now)
+        with self._lock:
+            if (self._last_flush is not None
+                    and now - self._last_flush < self.interval):
+                return False
+            self._last_flush = now
+        snapshot = registry.snapshot()
+        points: List[Tuple[str, float]] = []
+        for (name, labels), value in snapshot["counters"].items():
+            points.append((series_key(name, labels), float(value)))
+        for (name, labels), value in snapshot["gauges"].items():
+            points.append((series_key(name, labels), float(value)))
+        for (name, labels), (buckets, counts, _total, count) in \
+                snapshot["histograms"].items():
+            key = series_key(name, labels)
+            points.append((f"{key}:count", float(count)))
+            if count:
+                p50, p95, p99 = histogram_quantiles(
+                    buckets, counts, (0.5, 0.95, 0.99))
+                points.append((f"{key}:p50", p50))
+                points.append((f"{key}:p95", p95))
+                points.append((f"{key}:p99", p99))
+        with self._lock:
+            for key, value in points:
+                self._store(key, now, value)
+        return True
+
+    def _store(self, key: str, ts: float, value: float) -> None:
+        ring = self._series.get(key)
+        if ring is None:
+            if len(self._series) >= self.max_series:
+                self.dropped_series += 1
+                return
+            ring = _Ring(self.retention, self.lores_retention)
+            self._series[key] = ring
+        ring.hires.append((ts, value))
+        ring.pending.append((ts, value))
+        if len(ring.pending) >= self.downsample:
+            mean = sum(v for _, v in ring.pending) / len(ring.pending)
+            ring.lores.append((ring.pending[-1][0], mean))
+            ring.pending = []
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def series_names(self) -> List[str]:
+        """Sorted keys of every retained series."""
+        with self._lock:
+            return sorted(self._series)
+
+    def query(self, series: str, since: Optional[float] = None) -> dict:
+        """History for a series key or a whole metric family.
+
+        ``series`` matches exact keys, or — when it names a family —
+        every key of that family (``repro_service_backlog_windows``
+        matches all its label combinations and histogram sub-series).
+        ``since`` is a wall-clock lower bound; older lo-res points fill
+        in history beyond the hi-res ring.
+        """
+        out: Dict[str, List[List[float]]] = {}
+        with self._lock:
+            for key, ring in self._series.items():
+                family = key.split("{", 1)[0].split(":", 1)[0]
+                if key != series and family != series:
+                    continue
+                oldest_hires = ring.hires[0][0] if ring.hires else None
+                points = [
+                    (ts, value) for ts, value in ring.lores
+                    if oldest_hires is None or ts < oldest_hires
+                ]
+                points.extend(ring.hires)
+                if since is not None:
+                    points = [p for p in points if p[0] >= since]
+                out[key] = [[ts, value] for ts, value in points]
+        return {"series": out, "interval": self.interval}

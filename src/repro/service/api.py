@@ -19,6 +19,15 @@ GET    ``/verdicts/{id}``         Latest verdict, Q_k bound, window lag
                                   and recent history for one path
 GET    ``/fleet``                 Fleet rollup: verdict histogram,
                                   backlog, drain occupancy, backpressure
+GET    ``/traces``                Slowest record-to-verdict exemplars
+                                  fleet-wide (404 when tracing is off)
+GET    ``/traces/{id}``           Recent per-stage latency waterfalls of
+                                  one path (404 when tracing is off)
+GET    ``/query``                 Time-series history
+                                  (``?series=<name>&since=<unix ts>``;
+                                  404 without an attached store)
+GET    ``/slo``                   Error-budget status of every declared
+                                  SLO (404 without an evaluator)
 GET    ``/metrics``               Prometheus exposition (also
                                   ``/metrics.json``, ``/healthz``)
 ====== ========================== =====================================
@@ -39,6 +48,7 @@ hook.
 
 from __future__ import annotations
 
+import urllib.parse
 from typing import Optional
 
 from repro import obs
@@ -94,6 +104,10 @@ class ServiceAPI(RoutingHTTPServer):
             ("POST", "/paths/{id}/resume", self._resume_path),
             ("GET", "/verdicts/{id}", self._get_verdict),
             ("GET", "/fleet", self._get_fleet),
+            ("GET", "/traces", self._get_traces),
+            ("GET", "/traces/{id}", self._get_path_traces),
+            ("GET", "/query", self._get_query),
+            ("GET", "/slo", self._get_slo),
         ] + metrics_routes(registry)
         super().__init__(routes, port=port, host=host,
                          observer=self._observe)
@@ -160,3 +174,48 @@ class ServiceAPI(RoutingHTTPServer):
 
     def _get_fleet(self, _request: Request) -> Response:
         return json_response(self.service.fleet_snapshot())
+
+    # ------------------------------------------------------------------
+    # Observability surfaces (tracing, history, SLOs)
+    # ------------------------------------------------------------------
+    def _get_traces(self, _request: Request) -> Response:
+        store = self.service.trace_store
+        if store is None:
+            raise HTTPError(404, "tracing is not enabled "
+                                 "(start the service with --trace)")
+        return json_response({"slowest": store.slowest(),
+                              "paths": store.paths()})
+
+    def _get_path_traces(self, request: Request) -> Response:
+        store = self.service.trace_store
+        if store is None:
+            raise HTTPError(404, "tracing is not enabled "
+                                 "(start the service with --trace)")
+        path = request.params["id"]
+        traces = store.path_traces(path)
+        if not traces and self.service.verdict_snapshot(path) is None:
+            raise HTTPError(404, f"path {path!r} is not registered")
+        return json_response({"path": path, "traces": traces})
+
+    def _get_query(self, request: Request) -> Response:
+        tsdb = self.service.tsdb
+        if tsdb is None:
+            raise HTTPError(404, "no time-series store is attached")
+        params = urllib.parse.parse_qs(request.query)
+        series = (params.get("series") or [None])[0]
+        if not series:
+            return json_response({"series_names": tsdb.series_names()})
+        since = (params.get("since") or [None])[0]
+        if since is not None:
+            try:
+                since = float(since)
+            except ValueError:
+                raise HTTPError(400, f"bad 'since' value {since!r}")
+        return json_response(tsdb.query(series, since=since))
+
+    def _get_slo(self, _request: Request) -> Response:
+        evaluator = self.service.slo
+        if evaluator is None:
+            raise HTTPError(404, "no SLOs are declared "
+                                 "(start the service with --slo)")
+        return json_response({"slos": evaluator.status()})

@@ -68,6 +68,9 @@ class FleetService:
         burst: Optional[int] = None,
         alert_engine=None,
         emit_fn=None,
+        tsdb=None,
+        trace_store=None,
+        slo=None,
     ):
         self.registry = PathRegistry(base_config)
         self.monitor = MultiPathMonitor(
@@ -82,6 +85,16 @@ class FleetService:
         self.alert_engine = alert_engine
         #: Optional per-event sink (the CLI writes JSONL through this).
         self.emit_fn = emit_fn
+        #: Optional :class:`repro.obs.tsdb.TimeSeriesStore` flushed from
+        #: the metrics registry once per cycle (self-throttled).
+        self.tsdb = tsdb
+        #: Optional :class:`repro.obs.trace.TraceStore` retaining
+        #: finalized record-to-verdict traces for ``GET /traces/{id}``.
+        self.trace_store = trace_store
+        #: Optional :class:`repro.obs.slo.SLOEvaluator`, run each cycle
+        #: before the alert engine so compiled burn-rate rules see
+        #: fresh gauges.
+        self.slo = slo
         self._lock = threading.RLock()
         self._cache_lock = threading.Lock()
         #: path -> (source, generation bound at attach time)
@@ -136,6 +149,8 @@ class FleetService:
             if bound is not None:
                 bound[0].close()
             self._history.pop(path, None)
+            if self.trace_store is not None:
+                self.trace_store.forget(path)
             self._emit_path_event(path, "deregister", entry.generation)
             self._refresh_cache()
             out = entry.to_dict()
@@ -246,6 +261,10 @@ class FleetService:
                 obs.inc("repro_service_windows_total", float(len(events)))
             obs.heartbeat()
             self._refresh_cache()
+        if self.slo is not None:
+            self.slo.evaluate()
+        if self.tsdb is not None:
+            self.tsdb.collect(obs.registry())
         if self.alert_engine is not None:
             self.alert_engine.evaluate()
         return {
@@ -322,6 +341,9 @@ class FleetService:
             history = self._history.get(event.path)
             if history is not None:
                 history.append(payload)
+            if self.trace_store is not None \
+                    and getattr(event, "trace", None) is not None:
+                self.trace_store.add(event.trace)
             if self.emit_fn is not None:
                 self.emit_fn(payload)
 

@@ -322,6 +322,13 @@ class MultiPathMonitor:
             if state.pending:
                 batch.append((path, state.pending.popleft()))
         self._n_pending -= len(batch)
+        if batch and any(pw.trace is not None for _, pw in batch):
+            # Tracing on: the ready-queue wait ends here for every
+            # window of the sub-round (they leave the queue together).
+            now = time.monotonic()
+            for _, pw in batch:
+                if pw.trace is not None:
+                    pw.trace.drain_started = now
         return batch
 
     def _fused_analyses(self, batch):
@@ -406,6 +413,14 @@ class MultiPathMonitor:
 
     def _fit_round(self, batch, mode: str):
         """Resolve one sub-round's windows; apply results in path order."""
+        traces = [pw.trace for _, pw in batch if pw.trace is not None]
+        if traces:
+            # Windows resolved together share the batch's E-step span:
+            # the per-window ``fit`` stage answers "how long was this
+            # window inside the solver", not solver-seconds consumed.
+            started = time.monotonic()
+            for trace in traces:
+                trace.fit_started = started
         if mode == "fused":
             analyses, stats = self._fused_analyses(batch)
         else:
@@ -416,6 +431,10 @@ class MultiPathMonitor:
             ]
             analyses = parallel_map(_analyze_task, tasks, n_jobs=self.n_jobs)
             stats = {"groups": 0, "rows": 0, "slots": 0, "padded": 0.0}
+        if traces:
+            ended = time.monotonic()
+            for trace in traces:
+                trace.fit_ended = ended
         events = []
         for (path, pw), analysis in zip(batch, analyses):
             state = self._paths[path]

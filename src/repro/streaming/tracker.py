@@ -373,6 +373,7 @@ class VerdictEvent:
         "stable_verdict",
         "changed",
         "lag_seconds",
+        "trace",
     )
 
     def __init__(
@@ -390,12 +391,18 @@ class VerdictEvent:
         self.analysis = analysis
         self.stable_verdict = stable_verdict
         self.changed = bool(changed)
+        now = time.monotonic()
         assembled_at = getattr(probe_window, "assembled_at", None)
         #: wall-clock delay from window assembly to verdict emission
         self.lag_seconds: Optional[float] = (
             None if assembled_at is None
-            else max(0.0, time.monotonic() - assembled_at)
+            else max(0.0, now - assembled_at)
         )
+        # The trace rides next to the payload, never inside to_dict():
+        # verdict streams stay byte-identical with tracing on or off.
+        self.trace = getattr(probe_window, "trace", None)
+        if self.trace is not None:
+            self.trace.finalize(path, probe_window.index, now)
 
     def to_dict(self) -> dict:
         """Plain-JSON projection (the ``repro monitor`` JSONL schema)."""

@@ -20,6 +20,7 @@ from typing import Deque, Iterable, Iterator, Optional, Tuple
 import numpy as np
 
 from repro.netsim.trace import PathObservation
+from repro.obs import trace as _trace
 
 __all__ = ["ProbeWindow", "SlidingWindowAssembler", "iter_windows"]
 
@@ -39,9 +40,15 @@ class ProbeWindow:
     assembled_at:
         ``time.monotonic()`` at window completion — the reference point
         for the assembly-to-verdict lag the monitor reports.
+    trace:
+        A :class:`repro.obs.trace.WindowTrace` stamped by the assembler
+        when record-to-verdict tracing is on, ``None`` otherwise.  Rides
+        next to the payload — never inside it — so verdict streams stay
+        byte-identical with tracing on or off.
     """
 
-    __slots__ = ("index", "start", "stop", "observation", "assembled_at")
+    __slots__ = ("index", "start", "stop", "observation", "assembled_at",
+                 "trace")
 
     def __init__(
         self, index: int, start: int, stop: int, observation: PathObservation,
@@ -54,6 +61,7 @@ class ProbeWindow:
         self.assembled_at = (
             time.monotonic() if assembled_at is None else float(assembled_at)
         )
+        self.trace = None
 
     @property
     def time_range(self) -> Tuple[float, float]:
@@ -92,6 +100,8 @@ class SlidingWindowAssembler:
         self.hop = hop
         self._send_times: Deque[float] = deque(maxlen=window)
         self._delays: Deque[float] = deque(maxlen=window)
+        self._ingest_times: Deque[float] = deque(maxlen=window)
+        self._last_stamp = 0.0
         self._n_pushed = 0
         self._n_windows = 0
         self._next_emit_at = window
@@ -117,6 +127,12 @@ class SlidingWindowAssembler:
                 np.array(self._send_times), np.array(self._delays)
             ),
         )
+        if _trace._TRACING and self._ingest_times:
+            probe_window.trace = _trace.WindowTrace(
+                ingest_first=self._ingest_times[0],
+                ingest_last=self._ingest_times[-1],
+                assembled_at=probe_window.assembled_at,
+            )
         self._n_windows += 1
         self._next_emit_at = stop + self.hop
         self._last_emit_stop = stop
@@ -131,6 +147,15 @@ class SlidingWindowAssembler:
         self._send_times.append(float(send_time))
         self._delays.append(float(delay))
         self._n_pushed += 1
+        if _trace._TRACING:
+            # Ingest stamps come from the monotonic clock, clamped
+            # non-decreasing — records arriving out of send-time order
+            # (or duplicated) still trace monotonically.
+            stamp = time.monotonic()
+            if stamp < self._last_stamp:
+                stamp = self._last_stamp
+            self._last_stamp = stamp
+            self._ingest_times.append(stamp)
         if self._n_pushed >= self._next_emit_at:
             return self._emit()
         return None

@@ -7,10 +7,12 @@ against a known-off, empty registry and leaves it that way.
 import pytest
 
 from repro import obs
+from repro.obs import trace as trace_mod
 
 
 def _reset():
     obs.disable()
+    trace_mod.disable_tracing()
     obs.registry().clear()
     bus = obs.bus()
     bus.n_emitted = 0

@@ -1,0 +1,193 @@
+"""Declarative SLOs: parsing, burn-rate math, compiled alert rules."""
+
+import pytest
+
+from repro.obs.alerts import AlertEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import DEFAULT_SLOS, SLO, SLOEvaluator, parse_slos
+
+
+class TestParsing:
+    def test_default_slos_parse(self):
+        slos = parse_slos(DEFAULT_SLOS)
+        assert [s.name for s in slos] == ["verdict-freshness", "api-latency"]
+        fresh = slos[0]
+        assert fresh.quantile == 95.0
+        assert fresh.metric == "repro_record_to_verdict_seconds"
+        assert fresh.threshold == 2.0
+        assert fresh.window == 300.0
+        assert fresh.budget == pytest.approx(0.05)
+        assert fresh.severity == "warn"
+
+    def test_ms_threshold_and_hour_window(self):
+        (slo,) = parse_slos("api: p99 lat_seconds < 250ms over 1h fatal")
+        assert slo.threshold == pytest.approx(0.25)
+        assert slo.window == 3600.0
+        assert slo.severity == "fatal"
+        # budget defaults to (100 - q)%
+        assert slo.budget == pytest.approx(0.01)
+
+    def test_label_matchers(self):
+        (slo,) = parse_slos(
+            'q: p50 repro_trace_stage_seconds{stage=queue} < 50ms over 5m')
+        assert slo.labels == {"stage": "queue"}
+
+    def test_comments_and_blanks_are_skipped(self):
+        assert parse_slos("# nothing\n\n   \n") == []
+
+    def test_bad_line_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="SLO line 1"):
+            parse_slos("not an slo")
+
+    def test_duplicate_names_rejected(self):
+        text = ("a: p95 m < 1s over 5m\n"
+                "a: p99 m < 2s over 5m\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_slos(text)
+
+    def test_describe_round_trips_through_parser(self):
+        for slo in parse_slos(DEFAULT_SLOS):
+            (reparsed,) = parse_slos(slo.describe())
+            assert reparsed.describe() == slo.describe()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="quantile"):
+            SLO("x", 0.0, "m", 1.0, 60.0, 0.05)
+        with pytest.raises(ValueError, match="budget"):
+            SLO("x", 95.0, "m", 1.0, 60.0, 0.0)
+        with pytest.raises(ValueError, match="severity"):
+            SLO("x", 95.0, "m", 1.0, 60.0, 0.05, severity="page")
+
+
+class TestCompiledRules:
+    def test_rule_watches_the_min_burn_gauge(self):
+        (slo,) = parse_slos("fresh: p95 m < 1s over 5m budget 10% fatal")
+        rule = slo.alert_rule()
+        assert rule.name == "slo-burn-fresh"
+        assert rule.metric == "repro_slo_burn_rate_min"
+        assert rule.labels == {"slo": "fresh"}
+        assert rule.threshold == 1.0
+        assert rule.severity == "fatal"
+
+    def test_breach_fires_through_the_alert_engine(self):
+        registry = MetricsRegistry()
+        (slo,) = parse_slos(
+            "fresh: p95 lat_seconds < 1s over 60s budget 10%")
+        evaluator = SLOEvaluator([slo], registry=registry)
+        engine = AlertEngine(evaluator.alert_rules(), registry=registry)
+        # Every observation is bad -> burn = 1/0.1 = 10 in both windows.
+        evaluator.evaluate(now=0.0)
+        for step in range(1, 4):
+            registry.observe("lat_seconds", 5.0)
+            evaluator.evaluate(now=float(step))
+            engine.evaluate(now=float(step))
+        assert "slo-burn-fresh" in engine.active_alerts()
+
+
+def _evaluator(text="fresh: p95 lat_seconds < 1s over 120s budget 50%"):
+    registry = MetricsRegistry()
+    (slo,) = parse_slos(text)
+    return SLOEvaluator([slo], registry=registry), registry
+
+
+class TestEvaluator:
+    def test_no_traffic_means_zero_burn(self):
+        evaluator, _ = _evaluator()
+        status = evaluator.evaluate(now=0.0)["fresh"]
+        assert status["burn_fast"] == 0.0
+        assert status["burn_slow"] == 0.0
+        assert status["budget_remaining"] == 1.0
+        assert not status["breaching"]
+
+    def test_all_good_traffic_keeps_budget_full(self):
+        evaluator, registry = _evaluator()
+        evaluator.evaluate(now=0.0)
+        for step in range(1, 4):
+            registry.observe("lat_seconds", 0.01)
+            status = evaluator.evaluate(now=float(step))["fresh"]
+        assert status["bad"] == 0.0
+        assert status["budget_remaining"] == 1.0
+        assert not status["breaching"]
+
+    def test_bad_fraction_drives_burn_rate(self):
+        # Half the traffic is bad against a 50% budget: burn = 1.0
+        # exactly — on the edge, not breaching.
+        evaluator, registry = _evaluator()
+        evaluator.evaluate(now=0.0)
+        registry.observe("lat_seconds", 0.01)
+        registry.observe("lat_seconds", 9.0)
+        status = evaluator.evaluate(now=1.0)["fresh"]
+        assert status["bad_fraction"] == pytest.approx(0.5)
+        assert status["burn_slow"] == pytest.approx(1.0)
+        assert not status["breaching"]
+
+    def test_all_bad_traffic_breaches(self):
+        evaluator, registry = _evaluator()
+        evaluator.evaluate(now=0.0)
+        registry.observe("lat_seconds", 9.0)
+        status = evaluator.evaluate(now=1.0)["fresh"]
+        assert status["burn_slow"] == pytest.approx(2.0)
+        assert status["breaching"]
+        assert status["budget_remaining"] == pytest.approx(-1.0)
+
+    def test_burn_gauges_are_published(self):
+        evaluator, registry = _evaluator()
+        evaluator.evaluate(now=0.0)
+        registry.observe("lat_seconds", 9.0)
+        evaluator.evaluate(now=1.0)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges[("repro_slo_burn_rate_min",
+                       (("slo", "fresh"),))] == pytest.approx(2.0)
+        assert gauges[("repro_slo_burn_rate",
+                       (("slo", "fresh"),
+                        ("window", "fast")))] == pytest.approx(2.0)
+
+    def test_old_samples_age_out_of_the_window(self):
+        evaluator, registry = _evaluator(
+            "fresh: p95 lat_seconds < 1s over 60s budget 50%")
+        evaluator.evaluate(now=0.0)
+        registry.observe("lat_seconds", 9.0)
+        evaluator.evaluate(now=1.0)
+        assert evaluator.evaluate(now=1.5)["fresh"]["breaching"]
+        # 100s later the bad sample has left the 60s window.
+        status = evaluator.evaluate(now=101.0)["fresh"]
+        assert status["burn_slow"] == 0.0
+        assert not status["breaching"]
+
+    def test_current_quantile_is_reported(self):
+        evaluator, registry = _evaluator()
+        for _ in range(20):
+            registry.observe("lat_seconds", 0.003)
+        status = evaluator.evaluate(now=0.0)["fresh"]
+        # All observations sit in the (0.0025, 0.005] default bucket;
+        # interpolation keeps the estimate inside it.
+        assert 0.0025 < status["current_quantile"] <= 0.005
+
+    def test_status_before_any_evaluation_is_quiet(self):
+        evaluator, _ = _evaluator()
+        (row,) = evaluator.status()
+        assert row["slo"] == "fresh"
+        assert not row["breaching"]
+
+    def test_label_matchers_select_series(self):
+        registry = MetricsRegistry()
+        (slo,) = parse_slos(
+            "q: p95 stage_seconds{stage=queue} < 1s over 60s budget 50%")
+        evaluator = SLOEvaluator([slo], registry=registry)
+        evaluator.evaluate(now=0.0)
+        registry.observe("stage_seconds", 9.0, stage="fit")  # ignored
+        registry.observe("stage_seconds", 9.0, stage="queue")
+        status = evaluator.evaluate(now=1.0)["q"]
+        assert status["bad"] == 1.0
+
+    def test_emits_slo_status_events(self):
+        from repro import obs
+
+        obs.enable()
+        events = []
+        obs.bus().add_tap(lambda e: events.append(e))
+        evaluator, _ = _evaluator()
+        evaluator.evaluate(now=0.0)
+        kinds = [e["kind"] for e in events]
+        assert kinds == ["slo.status"]
+        assert events[0]["slo"] == "fresh"

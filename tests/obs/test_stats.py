@@ -10,8 +10,10 @@ from repro.obs.stats import format_summary, summarize_events
 GOLDEN = Path(__file__).parent / "data" / "telemetry_golden.jsonl"
 
 GOLDEN_TEXT = """\
-events: 12 (1 unparseable)
-  by kind: em.fit=1, em.restart=2, span=3, streaming.fit=3, window=3
+events: 20 (1 unparseable)
+  by kind: em.fit=1, em.restart=2, service.coarsen=1, service.path=1, \
+service.round=2, service.shed=1, slo.status=1, span=3, streaming.fit=3, \
+trace.window=2, window=3
 spans (total time, by name):
   em.fit: 2x, total 200.0 ms, mean 100.0 ms, max 120.0 ms
   streaming.fit: 1x, total 5.5 ms, mean 5.5 ms, max 5.5 ms
@@ -26,7 +28,17 @@ windows: 3 (analyzed 2, skipped 1)
   verdicts: strong=2
   stable-verdict flips: 1
 EM: 1 fits, 2 restarts (1 hit max_iter, 1 non-monotone)
-  max restart loglik dispersion: 0.5000"""
+  max restart loglik dispersion: 0.5000
+service: 2 rounds, ingested 2000, dropped 5, windows 3, max backlog 7
+  backpressure: shed 4 windows; stride coarsen=1
+  path actions: register=1
+record-to-verdict traces: 2
+  ingest: mean 1000.0 ms, max 1200.0 ms (2x)
+  queue: mean 20.0 ms, max 30.0 ms (2x)
+  fit: mean 60.0 ms, max 70.0 ms (2x)
+  publish: mean 2.0 ms, max 3.0 ms (2x)
+  total: mean 90.0 ms, max 110.0 ms (2x)
+SLO evaluations: 1 (1 breaching: verdict-freshness=1)"""
 
 
 class TestGoldenFixture:
@@ -40,17 +52,19 @@ class TestGoldenFixture:
                 parsed.append(json.loads(line))
             except json.JSONDecodeError:
                 pass
-        assert len(parsed) == 12  # the 13th line is deliberately torn
+        assert len(parsed) == 20  # the last line is deliberately torn
         for event in parsed:
             assert validate_event(event) == [], event
 
     def test_summary_numbers(self):
         summary = summarize_events(GOLDEN)
-        assert summary["n_events"] == 12
+        assert summary["n_events"] == 20
         assert summary["n_unparseable"] == 1
         assert summary["by_kind"] == {
-            "em.fit": 1, "em.restart": 2, "span": 3,
-            "streaming.fit": 3, "window": 3,
+            "em.fit": 1, "em.restart": 2, "service.coarsen": 1,
+            "service.path": 1, "service.round": 2, "service.shed": 1,
+            "slo.status": 1, "span": 3, "streaming.fit": 3,
+            "trace.window": 2, "window": 3,
         }
         assert summary["spans"]["by_name"]["em.fit"] == {
             "count": 2, "total_ms": 200.0, "mean_ms": 100.0, "max_ms": 120.0,
@@ -74,6 +88,20 @@ class TestGoldenFixture:
             "fits": 1, "restarts": 2, "nonconverged_restarts": 1,
             "nonmonotone_restarts": 1,
             "max_loglik_dispersion": 0.5,
+        }
+        assert summary["service"] == {
+            "rounds": 2, "ingested": 2000, "dropped": 5, "windows": 3,
+            "max_backlog": 7, "shed_windows": 4,
+            "coarsen": {"coarsen": 1},
+            "path_actions": {"register": 1},
+        }
+        assert summary["traces"]["count"] == 2
+        assert summary["traces"]["stages"]["queue"] == {
+            "count": 2, "mean_ms": 20.0, "max_ms": 30.0,
+        }
+        assert summary["slo"] == {
+            "evaluations": 1, "breaches": 1,
+            "breaching_by_slo": {"verdict-freshness": 1},
         }
 
     def test_formatted_output_is_stable(self):
@@ -175,3 +203,52 @@ class TestAlertAndStallSummaries:
         text = format_summary(summary)
         assert "alerts:" not in text
         assert "stalls" not in text
+
+
+class TestServiceAndTraceSummaries:
+    def test_service_rounds_aggregate(self):
+        lines = [
+            '{"kind": "service.round", "cycle": 1, "ingested": 10, '
+            '"dropped": 1, "windows": 2, "backlog": 5, "dur_ms": 3.0}',
+            '{"kind": "service.round", "cycle": 2, "ingested": 20, '
+            '"dropped": 0, "windows": 0, "backlog": 1, "dur_ms": 2.0}',
+        ]
+        summary = summarize_events(lines)
+        assert summary["service"]["rounds"] == 2
+        assert summary["service"]["ingested"] == 30
+        assert summary["service"]["max_backlog"] == 5
+        assert "service: 2 rounds" in format_summary(summary)
+
+    def test_trace_stage_aggregates_skip_missing_stages(self):
+        lines = [
+            '{"kind": "trace.window", "path": "p", "window": 0, '
+            '"stages": {"ingest": 0.5, "total": 0.6}}',
+            '{"kind": "trace.window", "path": "p", "window": 1, '
+            '"stages": {"ingest": 1.5, "queue": 0.1, "total": 1.8}}',
+        ]
+        summary = summarize_events(lines)
+        stages = summary["traces"]["stages"]
+        assert stages["ingest"]["count"] == 2
+        assert stages["ingest"]["mean_ms"] == 1000.0
+        assert stages["queue"]["count"] == 1
+        text = format_summary(summary)
+        assert "record-to-verdict traces: 2" in text
+
+    def test_non_breaching_slo_status_renders_zero_breaches(self):
+        lines = [
+            '{"kind": "slo.status", "slo": "x", "burn_fast": 0.1, '
+            '"burn_slow": 0.2, "budget_remaining": 0.9, '
+            '"breaching": false}',
+        ]
+        summary = summarize_events(lines)
+        assert summary["slo"] == {"evaluations": 1, "breaches": 0,
+                                  "breaching_by_slo": {}}
+        assert "SLO evaluations: 1 (0 breaching)" in format_summary(summary)
+
+    def test_quiet_runs_render_no_service_lines(self):
+        summary = summarize_events(
+            ['{"kind": "span", "name": "x", "dur_ms": 1.0}'])
+        text = format_summary(summary)
+        assert "service:" not in text
+        assert "traces" not in text
+        assert "SLO" not in text

@@ -1,0 +1,149 @@
+"""The bounded in-memory time-series store behind ``GET /query``."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tsdb import TimeSeriesStore, series_key
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.inc("requests_total", 3.0, route="/fleet")
+    registry.set_gauge("backlog", 7.0)
+    return registry
+
+
+class TestSeriesKey:
+    def test_bare_name_without_labels(self):
+        assert series_key("backlog", ()) == "backlog"
+
+    def test_labelled_key(self):
+        key = series_key("requests_total", (("route", "/fleet"),))
+        assert key == 'requests_total{route="/fleet"}'
+
+
+class TestCollect:
+    def test_counters_and_gauges_become_points(self):
+        store = TimeSeriesStore(interval=1.0)
+        assert store.collect(_registry(), now=100.0)
+        result = store.query("backlog")
+        assert result["series"]["backlog"] == [[100.0, 7.0]]
+
+    def test_collect_self_throttles_within_interval(self):
+        store = TimeSeriesStore(interval=1.0)
+        registry = _registry()
+        assert store.collect(registry, now=100.0)
+        assert not store.collect(registry, now=100.5)
+        assert store.collect(registry, now=101.0)
+        assert len(store.query("backlog")["series"]["backlog"]) == 2
+
+    def test_histograms_expand_to_count_and_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (0.002, 0.002, 0.002, 0.02):
+            registry.observe("lat_seconds", value)
+        store = TimeSeriesStore()
+        store.collect(registry, now=10.0)
+        names = store.series_names()
+        assert "lat_seconds:count" in names
+        assert "lat_seconds:p50" in names
+        assert "lat_seconds:p95" in names
+        assert "lat_seconds:p99" in names
+        count = store.query("lat_seconds:count")["series"]
+        assert count["lat_seconds:count"] == [[10.0, 4.0]]
+
+    def test_empty_histogram_gets_count_but_no_quantiles(self):
+        registry = MetricsRegistry()
+        registry.observe("lat_seconds", 1.0)
+        snap_registry = MetricsRegistry()
+        # Describe-only family: no observations, no histogram series at
+        # all — nothing to store, nothing to crash on.
+        store = TimeSeriesStore()
+        store.collect(snap_registry, now=1.0)
+        assert store.series_names() == []
+
+    def test_max_series_cap_counts_drops(self):
+        store = TimeSeriesStore(max_series=1)
+        store.collect(_registry(), now=1.0)
+        assert len(store.series_names()) == 1
+        assert store.dropped_series == 1
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(interval=0.0)
+
+
+class TestQuery:
+    def test_family_query_matches_labels_and_subseries(self):
+        registry = MetricsRegistry()
+        registry.inc("requests_total", 1.0, route="/fleet")
+        registry.inc("requests_total", 2.0, route="/slo")
+        store = TimeSeriesStore()
+        store.collect(registry, now=5.0)
+        result = store.query("requests_total")
+        assert set(result["series"]) == {
+            'requests_total{route="/fleet"}',
+            'requests_total{route="/slo"}',
+        }
+
+    def test_family_query_matches_histogram_subseries(self):
+        registry = MetricsRegistry()
+        registry.observe("lat_seconds", 0.01)
+        store = TimeSeriesStore()
+        store.collect(registry, now=5.0)
+        result = store.query("lat_seconds")
+        assert "lat_seconds:count" in result["series"]
+        assert "lat_seconds:p99" in result["series"]
+
+    def test_since_filters_old_points(self):
+        store = TimeSeriesStore(interval=1.0)
+        registry = _registry()
+        store.collect(registry, now=100.0)
+        store.collect(registry, now=101.0)
+        store.collect(registry, now=102.0)
+        points = store.query("backlog", since=101.0)["series"]["backlog"]
+        assert [ts for ts, _ in points] == [101.0, 102.0]
+
+    def test_unknown_series_returns_empty(self):
+        store = TimeSeriesStore()
+        assert store.query("nope")["series"] == {}
+
+    def test_interval_is_reported(self):
+        assert TimeSeriesStore(interval=2.5).query("x")["interval"] == 2.5
+
+
+class TestRetentionAndDownsampling:
+    def test_hires_ring_is_bounded(self):
+        store = TimeSeriesStore(interval=1.0, retention=3,
+                                downsample=100, lores_retention=10)
+        registry = _registry()
+        for i in range(6):
+            store.collect(registry, now=100.0 + i)
+        points = store.query("backlog")["series"]["backlog"]
+        assert [ts for ts, _ in points] == [103.0, 104.0, 105.0]
+
+    def test_lores_extends_history_past_hires(self):
+        # retention=2 hi-res slots, downsample every 2 samples: old means
+        # survive in the lo-res ring and come back in family queries.
+        store = TimeSeriesStore(interval=1.0, retention=2, downsample=2,
+                                lores_retention=8)
+        registry = MetricsRegistry()
+        for i in range(6):
+            registry.set_gauge("g", float(i))
+            store.collect(registry, now=100.0 + i)
+        points = store.query("g")["series"]["g"]
+        timestamps = [ts for ts, _ in points]
+        # hi-res keeps 104/105; lo-res means at 101 (avg 0,1) and 103
+        # (avg 2,3) fill in the older history, in order.
+        assert timestamps == [101.0, 103.0, 104.0, 105.0]
+        assert points[0][1] == pytest.approx(0.5)
+        assert points[1][1] == pytest.approx(2.5)
+
+    def test_ten_minutes_of_history_at_one_hertz(self):
+        # The acceptance shape: >= 10 minutes of per-second history.
+        store = TimeSeriesStore()  # defaults: 600 x 1s + 360 x 10s
+        registry = _registry()
+        for i in range(700):
+            store.collect(registry, now=1000.0 + i)
+        points = store.query("backlog")["series"]["backlog"]
+        span = points[-1][0] - points[0][0]
+        assert span >= 600.0

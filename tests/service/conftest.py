@@ -11,6 +11,7 @@ import pytest
 
 from repro import obs
 from repro.models.base import EMConfig
+from repro.obs import trace as trace_mod
 from repro.streaming.tracker import MonitorConfig
 
 FAST_EM = EMConfig(tol=1e-3, max_iter=100, seed=7)
@@ -41,6 +42,7 @@ def event_keys(events):
 
 def _reset():
     obs.disable()
+    trace_mod.disable_tracing()
     obs.registry().clear()
     bus = obs.bus()
     bus.n_emitted = 0

@@ -133,3 +133,62 @@ class TestStreamSource:
                 assert source.poll(4) == [(0.0, 0.021)]
         finally:
             os.close(write_fd)
+
+
+class TestIngestLatencyStamping:
+    """Ingest stamps feed the tracing layer's ``ingest`` stage: they come
+    from the monotonic clock at admission, so they must stay ordered even
+    when the *send times* in the feed are out of order or duplicated
+    (reordered probes, replayed rows)."""
+
+    @staticmethod
+    def _drive(source, window=4):
+        from repro.streaming.windows import SlidingWindowAssembler
+
+        assembler = SlidingWindowAssembler(window=window, hop=window)
+        emitted = []
+        while not source.exhausted:
+            for send_time, delay in source.poll(64):
+                completed = assembler.push(send_time, delay)
+                if completed is not None:
+                    emitted.append(completed)
+        return assembler, emitted
+
+    def test_tail_source_out_of_order_send_times_stamp_monotone(
+            self, tmp_path):
+        from repro.obs.trace import enable_tracing
+
+        csv = tmp_path / "obs.csv"
+        # send_times go 3, 1, 2, 1 — thoroughly out of order.
+        csv.write_text("3.0,0.021\n1.0,0.022\n2.0,0.023\n1.0,0.024\n")
+        enable_tracing()
+        assembler, emitted = self._drive(TailSource(csv))
+        stamps = list(assembler._ingest_times)
+        assert stamps == sorted(stamps)
+        assert len(emitted) == 1
+        trace = emitted[0].trace
+        assert trace is not None
+        assert trace.ingest_first <= trace.ingest_last <= trace.assembled_at
+
+    def test_stream_source_duplicate_records_stamp_monotone(self):
+        from repro.obs.trace import enable_tracing
+
+        stream = io.StringIO("0.0,0.021\n" * 8)  # 8 identical rows
+        enable_tracing()
+        assembler, emitted = self._drive(StreamSource(stream, name="dup"),
+                                         window=4)
+        stamps = list(assembler._ingest_times)
+        assert stamps == sorted(stamps)
+        assert len(emitted) == 2
+        # Both windows' traces are internally and mutually ordered.
+        first, second = (w.trace for w in emitted)
+        assert first.ingest_last <= second.ingest_first or \
+            first.ingest_last <= second.ingest_last
+        for trace in (first, second):
+            assert trace.stages()["ingest"] >= 0.0
+
+    def test_stamps_not_collected_when_tracing_off(self, tmp_path):
+        csv = tmp_path / "obs.csv"
+        csv.write_text("0.0,0.021\n1.0,0.022\n")
+        assembler, _ = self._drive(TailSource(csv))
+        assert list(assembler._ingest_times) == []

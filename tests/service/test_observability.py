@@ -1,0 +1,219 @@
+"""The observability surfaces: /traces, /query, /slo, byte parity.
+
+The tentpole guarantees: per-verdict stage breakdowns behind
+``GET /traces/{id}``, queryable metric history behind ``GET /query``,
+error-budget status behind ``GET /slo`` — and verdict streams that stay
+byte-identical with tracing on or off.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.slo import SLOEvaluator, parse_slos
+from repro.obs.trace import TraceStore, enable_tracing
+from repro.obs.tsdb import TimeSeriesStore
+from repro.service import FleetService, ServiceAPI
+
+from tests.service.conftest import fast_config, payload_keys
+
+
+def request(url):
+    with urllib.request.urlopen(
+            urllib.request.Request(url), timeout=10) as response:
+        return response.status, json.loads(response.read() or b"{}")
+
+
+def error_of(url):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        request(url)
+    exc = excinfo.value
+    return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture
+def bare_api():
+    """A service with none of the observability attachments."""
+    service = FleetService(base_config=fast_config())
+    api = ServiceAPI(service, port=0).start()
+    yield service, api
+    api.close()
+    service.close()
+
+
+@pytest.fixture
+def observed_api():
+    """A service with tracing, a TSDB, and SLOs all attached."""
+    enable_tracing()
+    slo_eval = SLOEvaluator(parse_slos(
+        "verdict-freshness: p95 repro_record_to_verdict_seconds "
+        "< 2s over 5m budget 5%"))
+    service = FleetService(
+        base_config=fast_config(),
+        tsdb=TimeSeriesStore(interval=0.0001),
+        trace_store=TraceStore(),
+        slo=slo_eval,
+    )
+    api = ServiceAPI(service, port=0).start()
+    yield service, api
+    api.close()
+    service.close()
+
+
+def _run_demo(service, path="demo", n=1800, seed=7):
+    from repro.service.api import build_source
+
+    service.register(path, source=build_source(
+        {"kind": "demo", "n": n, "seed": seed}))
+    service.run(exit_when_idle=True, interval=0.0)
+
+
+class TestRoutesWithoutAttachments:
+    def test_traces_404_when_tracing_off(self, bare_api):
+        _, api = bare_api
+        code, payload = error_of(f"{api.base_url}/traces")
+        assert code == 404
+        assert "--trace" in payload["error"]
+        code, _ = error_of(f"{api.base_url}/traces/any")
+        assert code == 404
+
+    def test_query_404_without_store(self, bare_api):
+        _, api = bare_api
+        code, payload = error_of(f"{api.base_url}/query?series=x")
+        assert code == 404
+        assert "time-series" in payload["error"]
+
+    def test_slo_404_without_evaluator(self, bare_api):
+        _, api = bare_api
+        code, payload = error_of(f"{api.base_url}/slo")
+        assert code == 404
+        assert "--slo" in payload["error"]
+
+
+class TestTracesEndpoint:
+    def test_per_verdict_stage_breakdown(self, observed_api):
+        service, api = observed_api
+        _run_demo(service)
+        status, payload = request(f"{api.base_url}/traces/demo")
+        assert status == 200
+        assert payload["path"] == "demo"
+        traces = payload["traces"]
+        assert len(traces) == 5  # one per published window
+        for trace in traces:
+            stages = trace["stages"]
+            assert set(stages) >= {"ingest", "queue", "fit", "publish",
+                                   "total"}
+            assert all(v >= 0.0 for v in stages.values())
+            assert trace["stamps"]["published_at"] is not None
+        assert [t["window"] for t in traces] == [0, 1, 2, 3, 4]
+
+    def test_fleet_slowest_exemplars(self, observed_api):
+        service, api = observed_api
+        _run_demo(service)
+        _, payload = request(f"{api.base_url}/traces")
+        assert payload["paths"] == ["demo"]
+        slowest = payload["slowest"]
+        assert slowest
+        totals = [t["stages"]["total"] for t in slowest]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_unknown_path_is_404(self, observed_api):
+        _, api = observed_api
+        code, _ = error_of(f"{api.base_url}/traces/ghost")
+        assert code == 404
+
+    def test_registered_but_untraced_path_is_empty_not_404(
+            self, observed_api):
+        service, api = observed_api
+        service.register("quiet")
+        status, payload = request(f"{api.base_url}/traces/quiet")
+        assert status == 200
+        assert payload["traces"] == []
+
+
+class TestQueryEndpoint:
+    def test_history_is_served_after_cycles(self, observed_api):
+        service, api = observed_api
+        obs.enable()
+        _run_demo(service)
+        _, names = request(f"{api.base_url}/query")
+        assert "repro_service_backlog_windows" in names["series_names"]
+        _, payload = request(
+            f"{api.base_url}/query?series=repro_service_rounds_total")
+        series = payload["series"]["repro_service_rounds_total"]
+        assert len(series) >= 1
+        assert series[-1][1] >= 1.0
+
+    def test_family_query_includes_quantile_subseries(self, observed_api):
+        service, api = observed_api
+        obs.enable()
+        _run_demo(service)
+        _, payload = request(
+            f"{api.base_url}/query?series=repro_record_to_verdict_seconds")
+        keys = set(payload["series"])
+        assert "repro_record_to_verdict_seconds:count" in keys
+        assert "repro_record_to_verdict_seconds:p95" in keys
+
+    def test_bad_since_is_400(self, observed_api):
+        _, api = observed_api
+        code, payload = error_of(f"{api.base_url}/query?series=x&since=nope")
+        assert code == 400
+        assert "since" in payload["error"]
+
+
+class TestSLOEndpoint:
+    def test_budget_status_rows(self, observed_api):
+        service, api = observed_api
+        obs.enable()
+        _run_demo(service)
+        _, payload = request(f"{api.base_url}/slo")
+        (row,) = payload["slos"]
+        assert row["slo"] == "verdict-freshness"
+        assert "burn_fast" in row
+        assert "budget_remaining" in row
+        # Fast windows on a demo stream: verdicts land well under 2s.
+        assert not row["breaching"]
+
+
+class TestByteParity:
+    """The load-bearing invariant: tracing must never change what the
+    service publishes, only annotate it."""
+
+    def _verdict_stream(self, traced: bool):
+        if traced:
+            enable_tracing()
+        service = FleetService(
+            base_config=fast_config(),
+            trace_store=TraceStore() if traced else None,
+        )
+        try:
+            _run_demo(service)
+            snapshot = service.verdict_snapshot("demo")
+            return payload_keys(snapshot["recent"])
+        finally:
+            service.close()
+
+    def test_verdict_streams_identical_with_tracing_on_and_off(self):
+        plain = self._verdict_stream(traced=False)
+        from repro.obs.trace import disable_tracing
+
+        disable_tracing()
+        traced = self._verdict_stream(traced=True)
+        assert len(plain) == 5
+        assert plain == traced
+
+    def test_verdict_payloads_never_leak_trace_keys(self):
+        enable_tracing()
+        service = FleetService(base_config=fast_config(),
+                               trace_store=TraceStore())
+        try:
+            _run_demo(service)
+            snapshot = service.verdict_snapshot("demo")
+            for payload in snapshot["recent"]:
+                assert "trace" not in payload
+                assert "stages" not in payload
+        finally:
+            service.close()
