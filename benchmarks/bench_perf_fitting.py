@@ -24,6 +24,16 @@ and reports ``batched_speedup``.  ``--min-batched-speedup X`` turns
 that number into a CI gate: exit non-zero if the HMM batched speedup
 drops below ``X`` or the engines diverge numerically.
 
+The ``kernel_matrix`` section compares the per-row E-step kernels
+inside the batch engine on the HMM fit (hidden width 2, where the
+blocked kernel is the ``auto`` default): the per-time-step ``loop``
+kernel (``backend="batched"``), the blocked scan kernel
+(``backend="blocked"``) at float64 and float32, and the numba kernel
+(``backend="compiled"``) when numba is importable.  All float64 kernels
+must pick the identical winning restart with log-likelihoods within
+1e-9 relative; ``--min-blocked-speedup X`` gates
+``blocked_speedup = batched_seconds / blocked_seconds`` in CI.
+
 The ``telemetry`` section quantifies the observability tax: per-call cost
 of each disabled instrumentation entry point, the number of telemetry
 touches one serial fit actually makes, the resulting disabled-mode
@@ -61,6 +71,7 @@ from repro.experiments.runner import run_scenario  # noqa: E402
 from repro.experiments.scenarios import strong_dcl_scenario  # noqa: E402
 from repro.models.base import SymbolIndex  # noqa: E402
 from repro.models.batched import batched_restart_fits  # noqa: E402
+from repro.models.compiled import HAVE_NUMBA  # noqa: E402
 from repro.models.hmm import _fit_hmm_restart, fit_hmm  # noqa: E402
 from repro.models.mmhd import _fit_mmhd_restart, fit_mmhd  # noqa: E402
 from repro.parallel import shutdown_pools  # noqa: E402
@@ -264,6 +275,66 @@ def bench_backend_matrix(seq) -> dict:
     return matrix
 
 
+def bench_kernel_matrix(seq) -> dict:
+    """Loop vs blocked vs compiled per-row kernels on the HMM fit.
+
+    All rows go through :func:`batched_restart_fits` so the only thing
+    that varies is the forward–backward kernel (and, for the float32
+    row, the recursion dtype).  Float64 kernels are reassociations of
+    the same arithmetic: identical winning restart, log-likelihoods
+    within 1e-9 relative.  The float32 row is reported with its own
+    looser agreement figure rather than asserted against the float64
+    bar.
+    """
+    base = common.em_config().replace(n_restarts=MATRIX_RESTARTS, n_jobs=1)
+    rows = {
+        "batched": base.replace(backend="batched"),
+        "blocked": base.replace(backend="blocked"),
+        "blocked_float32": base.replace(backend="blocked", dtype="float32"),
+    }
+    if HAVE_NUMBA:
+        rows["compiled"] = base.replace(backend="compiled")
+    matrix = {"n_restarts": MATRIX_RESTARTS, "numba_available": HAVE_NUMBA}
+    timings = {name: float("inf") for name in rows}
+    fits = {}
+    for _ in range(REPS):
+        for name, config in rows.items():
+            elapsed, fitted = _time(
+                lambda c=config: batched_restart_fits(
+                    "hmm", seq, 2, c, backend=c.backend)
+            )
+            timings[name] = min(timings[name], elapsed)
+            fits[name] = fitted
+
+    ref_logliks = np.array([f.log_likelihood for f in fits["batched"]])
+    winner = int(ref_logliks.argmax())
+    for name, kernel_fits in fits.items():
+        logliks = np.array([f.log_likelihood for f in kernel_fits])
+        rel_diff = float(np.max(
+            np.abs(logliks - ref_logliks) / np.abs(ref_logliks)
+        ))
+        same_winner = winner == int(logliks.argmax())
+        matrix[name] = {
+            "seconds": round(timings[name], 4),
+            "best_restart_identical": bool(same_winner),
+            "loglik_rel_diff": rel_diff,
+        }
+        if name != "blocked_float32":
+            assert same_winner, (
+                f"{name}: kernel picked a different winning restart"
+            )
+            assert rel_diff <= 1e-9, (
+                f"{name}: kernel diverged from the loop reference "
+                f"(rel diff {rel_diff:.2e})"
+            )
+    matrix["blocked_speedup"] = round(
+        timings["batched"] / timings["blocked"], 3)
+    if HAVE_NUMBA:
+        matrix["compiled_speedup"] = round(
+            timings["batched"] / timings["compiled"], 3)
+    return matrix
+
+
 def run_benchmark() -> dict:
     seq = _observation_sequence()
     base = common.em_config().replace(n_restarts=N_RESTARTS)
@@ -326,6 +397,7 @@ def run_benchmark() -> dict:
     )
 
     backend_matrix = bench_backend_matrix(seq)
+    kernel_matrix = bench_kernel_matrix(seq)
 
     return {
         "scale": common.SCALE,
@@ -344,6 +416,7 @@ def run_benchmark() -> dict:
         "serial_parallel_identical": bool(identical),
         "fast_dense_agree": bool(fast_vs_dense),
         "backend_matrix": backend_matrix,
+        "kernel_matrix": kernel_matrix,
         "telemetry": telemetry,
         "mmhd_fit": _fit_summary(fit_serial),
     }
@@ -389,6 +462,20 @@ def check_batched_speedup(report: dict, minimum: float) -> int:
     return status
 
 
+def check_blocked_speedup(report: dict, minimum: float) -> int:
+    """CI gate on the blocked kernel: divergence already raised inside
+    :func:`bench_kernel_matrix`; here only speed can fail."""
+    speedup = report["kernel_matrix"]["blocked_speedup"]
+    print(f"hmm: blocked kernel speedup {speedup:.2f}x "
+          f"(minimum {minimum:.2f}x)")
+    if speedup < minimum:
+        print(f"FAIL: blocked kernel speedup {speedup:.2f}x is below "
+              f"the {minimum:.2f}x floor")
+        return 1
+    print("OK: blocked kernel meets the speedup floor")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -400,6 +487,11 @@ def main(argv=None) -> int:
         help="exit non-zero if the HMM batched/sequential speedup in the "
              "backend matrix falls below X",
     )
+    parser.add_argument(
+        "--min-blocked-speedup", type=float, metavar="X",
+        help="exit non-zero if the HMM blocked/loop kernel speedup in "
+             "the kernel matrix falls below X",
+    )
     args = parser.parse_args(argv)
 
     report = run_benchmark()
@@ -409,6 +501,8 @@ def main(argv=None) -> int:
     status = 0
     if args.min_batched_speedup is not None:
         status |= check_batched_speedup(report, args.min_batched_speedup)
+    if args.min_blocked_speedup is not None:
+        status |= check_blocked_speedup(report, args.min_blocked_speedup)
     if args.check_baseline:
         status |= check_baseline(report)
         out = BASELINE_PATH.with_suffix(".check.json")

@@ -289,18 +289,44 @@ class EMConfig:
         parameter tensors and runs ONE forward-backward over the batch,
         so the Python time loop executes ``T`` batched matmul steps
         instead of ``R x T`` scalar matvecs (restarts that converge are
-        masked out of the batch, frozen, until all finish).  ``"auto"``
+        masked out of the batch, frozen, until all finish).
+        ``"blocked"`` is the batched engine with the blocked scan
+        kernel: per-step operators for a whole block of B time steps are
+        composed with batched matmuls, cutting the Python-level dispatch
+        count from ``T`` to roughly ``B + 3 T / B`` per E-pass.
+        ``"compiled"`` selects the optional numba kernel and falls back
+        gracefully (to the blocked or loop kernel) when numba is not
+        installed — it is never a hard dependency.  ``"auto"``
         (default) picks by the documented heuristic in
-        :mod:`repro.models.batched`: batched for small state widths,
-        sequential for wide ones.  ``None`` reads the
-        ``REPRO_EM_BACKEND`` environment variable (falling back to
-        ``"auto"``).  Both backends produce the same winning restart and
-        agree on every statistic to floating-point round-off; with
-        ``n_jobs > 1`` they compose — each pool worker runs its restart
-        shard through the selected engine.
+        :mod:`repro.models.batched`: blocked for narrow state widths,
+        batched for moderate ones, sequential for wide ones.  ``None``
+        reads the ``REPRO_EM_BACKEND`` environment variable (falling
+        back to ``"auto"``).  All engines produce the same winning
+        restart and agree on every statistic to floating-point
+        round-off; with ``n_jobs > 1`` they compose — each pool worker
+        runs its restart shard through the selected engine.
+    dtype:
+        Floating-point width of the forward-backward recursions.
+        ``"float64"`` (default) is the reference arithmetic;
+        ``"float32"`` halves the recursion bandwidth, and the batched
+        driver automatically demotes a fit back to float64 (visible in
+        the ``em.backend`` telemetry event and the
+        ``repro_em_dtype_fallback_total`` counter) when the narrower
+        scales hit zero likelihood or underflow.  Model parameters and
+        M-step statistics stay float64 either way.  ``None`` reads the
+        ``REPRO_EM_DTYPE`` environment variable (falling back to
+        ``"float64"``).
+    block_size:
+        Time-block length B of the blocked scan kernel.  ``None``
+        (default) auto-tunes: restart stacks balance the B scan steps
+        against the ``3 T / B`` boundary steps from the sequence length,
+        while ragged mega-batches pin a fixed default so per-row results
+        never depend on batch composition.  Reads the
+        ``REPRO_EM_BLOCK_SIZE`` environment variable when ``None``.
     """
 
-    BACKENDS = ("auto", "batched", "sequential")
+    BACKENDS = ("auto", "batched", "blocked", "compiled", "sequential")
+    DTYPES = ("float64", "float32")
 
     def __init__(
         self,
@@ -316,6 +342,8 @@ class EMConfig:
         n_jobs: int = 1,
         fast_path: bool = True,
         backend: Optional[str] = None,
+        dtype: Optional[str] = None,
+        block_size: Optional[int] = None,
     ):
         if tol <= 0:
             raise ValueError(f"tol must be positive, got {tol}")
@@ -347,6 +375,21 @@ class EMConfig:
                 f"backend must be one of {self.BACKENDS}, got {backend!r}"
             )
         self.backend = backend
+        if dtype is None:
+            dtype = os.environ.get("REPRO_EM_DTYPE") or "float64"
+        if dtype not in self.DTYPES:
+            raise ValueError(
+                f"dtype must be one of {self.DTYPES}, got {dtype!r}"
+            )
+        self.dtype = dtype
+        if block_size is None:
+            env_block = os.environ.get("REPRO_EM_BLOCK_SIZE")
+            block_size = int(env_block) if env_block else None
+        if block_size is not None and int(block_size) < 1:
+            raise ValueError(
+                f"block_size must be >= 1 or None, got {block_size}"
+            )
+        self.block_size = None if block_size is None else int(block_size)
 
     def replace(self, **overrides) -> "EMConfig":
         """A copy of this config with the given fields overridden.
@@ -368,6 +411,8 @@ class EMConfig:
             n_jobs=self.n_jobs,
             fast_path=self.fast_path,
             backend=self.backend,
+            dtype=self.dtype,
+            block_size=self.block_size,
         )
         unknown = set(overrides) - set(fields)
         if unknown:

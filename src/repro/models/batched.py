@@ -45,17 +45,46 @@ lengths — into one mega-batch (:func:`run_hedged_fits`) with one
 recursion per drain round instead of one pool task per window, without
 perturbing a single verdict.
 
+Blocked scan kernel
+-------------------
+Even fully batched, the recursions above execute ``T`` Python-level
+matmul steps per E-pass, and on a 1-CPU host that dispatch floor — not
+FLOPs — dominates the fit.  :func:`_blocked_forward_backward` removes
+it: time is processed in blocks of ``B`` steps, each block's per-row
+step operators (``transition * diag(likes[t])``) are built with one
+vectorised multiply, the within-block operator prefix (suffix, for the
+backward pass) products are computed by a scan of ``B`` batched matmuls
+*across all blocks simultaneously*, and only the ``T / B`` block
+boundaries chain sequentially.  Per-step ``alpha``/``beta``/``scales``
+are reconstructed exactly from the composed operators, with power-of-two
+rescaling (exact in floating point) keeping the scaled-recursion
+numerics intact.  Python dispatches per pass drop from ``T`` to about
+``B + 3 T / B``.  Padded operators are the identity, which applies
+bitwise-exactly, so ragged rows keep the carried-padding semantics and
+per-row results stay independent of batch composition (the ragged
+kernel additionally pins a fixed block size for the same reason).
+
 Backend-selection heuristic
 ---------------------------
 ``EMConfig.backend="auto"`` resolves per fit via :func:`resolve_backend`:
 
-* **batched** when the recursion state width (``N`` for the HMM,
-  ``N * M`` for the MMHD) is at most :data:`BATCHED_STATE_LIMIT`.  Small
-  widths mean each sequential step is interpreter-bound, so stacking
-  restarts multiplies useful work per Python step at no extra cost.
+* **blocked** when the recursion state width (``N`` for the HMM,
+  ``N * M`` for the MMHD) is at most :data:`BLOCKED_STATE_LIMIT`.  The
+  blocked scan pays ``N^3`` operator-composition FLOPs to save
+  dispatches, a trade measured to win up to width 4 (about 3x at
+  width 2) and lose from width 6 on a 1-CPU host.
+* **batched** when the width is at most :data:`BATCHED_STATE_LIMIT`.
+  Small widths mean each sequential step is interpreter-bound, so
+  stacking restarts multiplies useful work per Python step at no extra
+  cost.
 * **sequential** beyond the limit: wide-state matvecs are already
   BLAS-bound, and an ``R``-fold batch only grows the working set past
   cache for no interpreter savings.
+
+``backend="compiled"`` routes the batched engine through the optional
+numba kernels (:mod:`repro.models.compiled`) and falls back to the
+blocked or loop kernel — recorded in the ``em.backend`` event — when
+numba is absent.
 
 The engines compose with the process pool: ``n_jobs > 1`` splits the
 restarts into contiguous shards (:func:`repro.parallel.shard_items`) and
@@ -65,11 +94,13 @@ batching multiply rather than compete.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.models import compiled
 from repro.models.base import (
     EMConfig,
     ObservationSequence,
@@ -87,8 +118,11 @@ from repro.models.telemetry import record_fit, record_restart
 from repro.parallel import parallel_map, resolve_n_jobs, restart_rng, shard_items
 
 __all__ = [
+    "BATCH_BACKENDS",
     "BATCHED_STATE_LIMIT",
+    "BLOCKED_STATE_LIMIT",
     "resolve_backend",
+    "resolve_block_size",
     "batched_restart_fits",
     "run_hedged_fit",
     "run_hedged_fits",
@@ -99,6 +133,39 @@ __all__ = [
 #: interpreter-bound and batching is close to free; above it the matvec
 #: is BLAS-bound and a restart stack mostly grows the working set.
 BATCHED_STATE_LIMIT = 64
+
+#: Largest state width the "auto" backend routes through the blocked
+#: scan kernel.  The scan composes ``(N, N)`` operators, an ``N``-fold
+#: FLOP inflation over the loop kernel's matvecs, so it only pays while
+#: the loop is dispatch-bound: measured on the 1-CPU bench workload the
+#: blocked kernel is ~3x faster at width 2, ~1.7x at width 4, breaks
+#: even near width 6 and is ~2x *slower* at width 10 (the MMHD dense
+#: width for M=5), which fixes the cutoff at 4.
+BLOCKED_STATE_LIMIT = 4
+
+#: Backends served by the batched restart-stack engine (as opposed to
+#: the per-restart sequential loop).  Streaming layers use membership
+#: here to decide whether the hedged/fused drain machinery applies.
+BATCH_BACKENDS = frozenset({"batched", "blocked", "compiled"})
+
+#: Fixed block size of the *ragged* blocked kernel.  Auto-tuning from
+#: the stack's ``t_max`` would make a row's operator-composition order
+#: depend on which other windows share its mega-batch, breaking the
+#: fused-equals-solo bit-identity contract; a pinned default keeps every
+#: batch composition on the same arithmetic.
+RAGGED_BLOCK_SIZE = 64
+
+#: Scan steps between power-of-two rescales of the composed operators.
+#: Rescaling is exact (and provably cannot change the reconstructed
+#: values outside under/overflow), so the cadence is purely a range
+#: safety knob: float64 survives 16 steps of even likelihood ~1e-18,
+#: float32's narrow exponent needs the tighter cadence.
+_RESCALE_EVERY = {np.dtype(np.float64): 16, np.dtype(np.float32): 4}
+
+#: Elements per (steps, K, N, N) operator buffer above which the blocked
+#: kernel processes time in chunks of whole blocks, bounding peak memory
+#: (~32 MB per float64 buffer) at paper-scale T for wide states.
+_CHUNK_ELEMENTS = 1 << 22
 
 
 def resolve_backend(
@@ -112,7 +179,52 @@ def resolve_backend(
     if config.backend != "auto":
         return config.backend
     width = int(n_hidden) if kind == "hmm" else int(n_hidden) * int(n_symbols)
+    if width <= BLOCKED_STATE_LIMIT:
+        return "blocked"
     return "batched" if width <= BATCHED_STATE_LIMIT else "sequential"
+
+
+def resolve_block_size(n_steps: Optional[int] = None,
+                       width: int = 2) -> int:
+    """Auto-tuned time-block length B for the blocked scan kernel.
+
+    One E-pass costs about ``B`` Python-level scan steps plus ``3 T / B``
+    boundary-chain steps, minimised near ``B = sqrt(3 T)``; the nearest
+    power of two in ``[32, 256]`` captures that optimum to within a few
+    percent on the measured workloads.  Wide states cap at 128 so the
+    ``(B, K, N, N)`` scan working set stays cache-resident.  Without a
+    sequence length (the ragged mega-batch case) the fixed
+    :data:`RAGGED_BLOCK_SIZE` applies — see its docstring.
+    """
+    if n_steps is None:
+        return RAGGED_BLOCK_SIZE
+    target = math.sqrt(3.0 * max(int(n_steps), 1))
+    block = 32
+    while block < 256 and (block * 2) / target < target / block:
+        block *= 2
+    if width > BLOCKED_STATE_LIMIT:
+        block = min(block, 128)
+    return block
+
+
+def _resolve_kernel(backend: str, width: int):
+    """Concrete forward-backward kernel for a batched-family backend.
+
+    Returns ``(kernel, fallback_reason)``.  ``"compiled"`` degrades
+    gracefully when numba is absent — to the blocked kernel where the
+    state is narrow enough for it to pay, else to the loop kernel — and
+    the reason string surfaces in the ``em.backend`` event so a fleet
+    operator can see the degradation instead of silently losing it.
+    """
+    if backend == "compiled":
+        if compiled.HAVE_NUMBA:
+            return "compiled", None
+        if width <= BLOCKED_STATE_LIMIT:
+            return "blocked", "numba-missing"
+        return "loop", "numba-missing"
+    if backend == "blocked":
+        return "blocked", None
+    return "loop", None
 
 
 class _BatchZeroLikelihood(Exception):
@@ -124,10 +236,20 @@ class _BatchZeroLikelihood(Exception):
     (the hedged warm row).
     """
 
-    def __init__(self, t: int, rows: np.ndarray):
-        super().__init__(f"zero likelihood at t={t}")
+    def __init__(self, t: int, rows: np.ndarray, first_bad_t=None):
+        detail = ""
+        if first_bad_t:
+            listed = sorted(first_bad_t.items())[:8]
+            detail = " (" + ", ".join(
+                f"row {r}: t={tt}" for r, tt in listed
+            ) + (", ..." if len(first_bad_t) > 8 else "") + ")"
+        super().__init__(f"zero likelihood at t={t}{detail}")
         self.t = int(t)
         self.rows = np.asarray(rows)
+        #: Per batch-local row, the row's own first poisoned time step —
+        #: the actual collapse point of that restart (the shared ``t``
+        #: is only the earliest across rows).
+        self.first_bad_t = dict(first_bad_t or {})
 
 
 # ----------------------------------------------------------------------
@@ -142,8 +264,15 @@ def _row_loglik(scales: np.ndarray) -> np.ndarray:
     to the sequential engine's 1-D ``np.log(scales).sum()``.  (A plain
     ``sum(axis=0)`` over the strided time axis falls back to naive
     left-to-right accumulation and diverges in the last ulps.)
+
+    Float32 scales are upcast before the log-sum: the recursion may run
+    narrow, but accumulating ``T`` log terms in float32 would waste most
+    of the achievable likelihood precision for free.  (For float64 input
+    the cast is the identity, preserving bit-parity.)
     """
-    return np.log(np.ascontiguousarray(scales.T)).sum(axis=1)
+    return np.log(
+        np.ascontiguousarray(scales.T, dtype=np.float64)
+    ).sum(axis=1)
 
 
 def _check_scales(scales: np.ndarray) -> None:
@@ -158,11 +287,48 @@ def _check_scales(scales: np.ndarray) -> None:
     bad = ~(scales > 0)
     if bad.any():
         rows = np.flatnonzero(bad.any(axis=0))
-        t = int(bad.any(axis=1).argmax())
-        raise _BatchZeroLikelihood(t, rows)
+        # argmax over the time axis gives each poisoned row its own
+        # first bad step — the row's actual collapse point.  (NaN
+        # poisons everything downstream of the first zero, so the first
+        # step is the informative one.)
+        first_bad = bad[:, rows].argmax(axis=0)
+        first_bad_t = {int(r): int(t) for r, t in zip(rows, first_bad)}
+        raise _BatchZeroLikelihood(int(first_bad.min()), rows, first_bad_t)
 
 
-def _batched_forward_backward(pi, transition, likes):
+class _Workspace:
+    """Per-fit scratch-array cache shared across EM iterations.
+
+    Every E-pass of one fit needs the same ``alpha``/``beta``/``buf``/
+    ``scales`` (and, blocked, operator/prefix) arrays; reallocating them
+    each iteration costs an allocator round-trip and a page-fault sweep
+    per buffer per pass.  :meth:`get` hands out views of flat buffers
+    that are only (re)allocated when a request grows past the cached
+    capacity or changes dtype — the first iteration sizes everything for
+    the full batch, and later iterations (whose active row count only
+    shrinks under convergence masking) slice the same memory.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self):
+        self._buffers: dict = {}
+
+    def get(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        buf = self._buffers.get(name)
+        if buf is None or buf.dtype != np.dtype(dtype) or buf.size < size:
+            buf = np.empty(size, dtype=dtype)
+            self._buffers[name] = buf
+        return buf[:size].reshape(shape)
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+def _batched_forward_backward(pi, transition, likes, workspace=None):
     """Scaled forward-backward over a restart stack.
 
     ``likes`` is time-major ``(T, K, n)`` so each step's slice is
@@ -175,12 +341,16 @@ def _batched_forward_backward(pi, transition, likes):
     ``alpha[t]`` / ``beta[t]`` slice is contiguous, so the matmul lands
     directly in the output array), and the backward pass folds the
     ``1/scales`` factor into the likelihoods once, vectorised, instead
-    of dividing inside the loop.
+    of dividing inside the loop.  ``workspace`` reuses one fit's
+    buffers across iterations; the returned arrays are views into it,
+    valid until the next pass.
     """
     n_steps, n_rows, n = likes.shape
-    alpha = np.empty_like(likes)
-    scales = np.empty((n_steps, n_rows))
-    with np.errstate(divide="ignore", invalid="ignore"):
+    ws = workspace if workspace is not None else _Workspace()
+    dtype = likes.dtype
+    alpha = ws.get("alpha", likes.shape, dtype)
+    scales = ws.get("scales", (n_steps, n_rows), dtype)
+    with np.errstate(divide="ignore", invalid="ignore", under="ignore"):
         state = pi * likes[0]
         total = np.add.reduce(state, axis=1)
         scales[0] = total
@@ -194,27 +364,319 @@ def _batched_forward_backward(pi, transition, likes):
             scales[t] = total
             state /= total[:, None]
         _check_scales(scales)
-        beta = np.empty_like(likes)
+        beta = ws.get("beta", likes.shape, dtype)
         beta[n_steps - 1] = 1.0
-        scaled = likes[1:] / scales[1:, :, None]
-        buf = np.empty((n_rows, n, 1))
+        scaled = ws.get("scaled", (n_steps - 1, n_rows, n), dtype)
+        np.divide(likes[1:], scales[1:, :, None], out=scaled)
+        buf = ws.get("buf", (n_rows, n, 1), dtype)
         for t in range(n_steps - 2, -1, -1):
             np.multiply(scaled[t], beta[t + 1], out=buf[:, :, 0])
             np.matmul(transition, buf, out=beta[t].reshape(n_rows, n, 1))
     return alpha, beta, scales, _row_loglik(scales)
 
 
-class _EStepAux:
+def _pad_ops_identity(ops_flat, o0, n_slots, groups, eye, n_steps):
+    """Overwrite ragged rows' padded step operators with the identity.
+
+    ``ops_flat`` holds this chunk's operators for global op indices
+    ``o0 + j``; op ``j`` maps step ``j`` to step ``j + 1``, so a row of
+    length ``L`` owns ops ``0 .. L-2`` and everything from ``L-1`` on is
+    padding.  Applying the identity is bitwise exact (``x * 1 = x``,
+    ``x + 0 = x`` for the non-negative values here), which is what keeps
+    a row's valid-region arithmetic independent of how far the batch is
+    padded — the ragged bit-identity contract.
+    """
+    for t_g, idx in groups:
+        if t_g >= n_steps:
+            continue
+        start = max(t_g - 1 - o0, 0)
+        if start < n_slots:
+            ops_flat[start:n_slots, idx] = eye
+
+
+def _blocked_forward_backward(pi, transition, likes, block_size=None,
+                              lengths=None, workspace=None):
+    """Blocked-scan forward-backward: the dispatch-floor killer.
+
+    Same contract as :func:`_batched_forward_backward` /
+    :func:`_ragged_forward_backward` (returns ``(alpha, beta, scales)``;
+    uniform callers append :func:`_row_loglik`), but the per-step Python
+    loop is replaced by operator composition:
+
+    1. Build every step operator ``transition * diag(likes[t])`` of a
+       chunk with one vectorised multiply.
+    2. Scan: ``B - 1`` batched matmuls compute the within-block operator
+       prefix products of *all* blocks simultaneously, with exact
+       power-of-two rescaling every :data:`_RESCALE_EVERY` steps to keep
+       the products in range (the rescale provably cannot change the
+       reconstructed values — only their intermediate exponents).
+    3. Chain the ``T / B`` block boundaries sequentially (the only
+       genuinely serial part), renormalising at each boundary exactly as
+       the scaled recursion does.
+    4. Reconstruct every in-block ``alpha[t]`` with one batched matmul
+       of the boundary values against the prefix products; per-step
+       ``scales`` fall out of the ratios of unnormalised totals.
+
+    The backward pass mirrors this with suffix products, tracking the
+    cumulative rescale in (exact) log2 space.  Ragged rows pad with
+    identity operators (bitwise-exact application) and their carried
+    ``alpha``/``scales``/``beta`` slots are overwritten with the exact
+    carry semantics of the loop kernel afterwards, so valid-region
+    results never depend on the batch's ``t_max``.  Chunking bounds the
+    operator buffers at :data:`_CHUNK_ELEMENTS` elements without
+    changing any arithmetic (blocks only interact through the boundary
+    chain, which is chunk-oblivious).
+    """
+    n_steps, n_rows, n = likes.shape
+    ws = workspace if workspace is not None else _Workspace()
+    dtype = likes.dtype
+    alpha = ws.get("alpha", likes.shape, dtype)
+    beta = ws.get("beta", likes.shape, dtype)
+    scales = ws.get("scales", (n_steps, n_rows), dtype)
+    n_ops = n_steps - 1
+    groups = _length_groups(np.asarray(lengths)) if lengths is not None \
+        else None
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore",
+                     under="ignore"):
+        state = pi * likes[0]
+        total = np.add.reduce(state, axis=1)
+        scales[0] = total
+        np.divide(state, total[:, None], out=alpha[0])
+        if n_ops == 0:
+            beta[0] = 1.0
+            _check_scales(scales)
+            return alpha, beta, scales
+
+        block = int(block_size) if block_size else resolve_block_size(
+            n_steps if lengths is None else None, n
+        )
+        block = max(1, block)
+        rescale_every = _RESCALE_EVERY.get(np.dtype(dtype), 16)
+        tiny = np.finfo(dtype).tiny
+        eye = np.eye(n, dtype=dtype)
+        n_blocks = -(-n_ops // block)
+        per_block = block * n_rows * n * n
+        chunk_blocks = max(1, _CHUNK_ELEMENTS // per_block)
+
+        # ---- forward: prefix scan + boundary chain + reconstruction
+        cur = alpha[0]
+        for c0 in range(0, n_blocks, chunk_blocks):
+            nb = min(chunk_blocks, n_blocks - c0)
+            o0 = c0 * block
+            o1 = min(o0 + nb * block, n_ops)
+            n_c = o1 - o0
+            n_slots = nb * block
+            ops = ws.get("ops", (nb, block, n_rows, n, n), dtype)
+            ops_flat = ops.reshape(n_slots, n_rows, n, n)
+            np.multiply(transition, likes[1 + o0: 1 + o1, :, None, :],
+                        out=ops_flat[:n_c])
+            if n_slots > n_c:
+                ops_flat[n_c:] = eye
+            if groups is not None:
+                _pad_ops_identity(ops_flat, o0, n_slots, groups, eye,
+                                  n_steps)
+            prefix = ws.get("prefix", (nb, block, n_rows, n, n), dtype)
+            d = ws.get("rescale", (nb, block, n_rows), dtype)
+            d[:] = 1.0
+            prefix[:, 0] = ops[:, 0]
+            for i in range(1, block):
+                np.matmul(prefix[:, i - 1], ops[:, i], out=prefix[:, i])
+                if i % rescale_every == 0:
+                    mx = np.amax(prefix[:, i], axis=(-2, -1))
+                    np.exp2(np.floor(np.log2(np.maximum(mx, tiny))),
+                            out=d[:, i])
+                    prefix[:, i] /= d[:, i, :, None, None]
+            entry = ws.get("entry", (nb, n_rows, n), dtype)
+            for b in range(nb):
+                entry[b] = cur
+                end = (cur[:, None, :] @ prefix[b, block - 1])[:, 0, :]
+                cur = end / np.add.reduce(end, axis=1)[:, None]
+            rec = ws.get("recon", (nb, block, n_rows, 1, n), dtype)
+            np.matmul(entry[:, None, :, None, :], prefix, out=rec)
+            a_hat = rec[:, :, :, 0, :]
+            that = ws.get("totals", (nb, block, n_rows), dtype)
+            np.add.reduce(a_hat, axis=3, out=that)
+            np.divide(a_hat, that[..., None], out=a_hat)
+            alpha[1 + o0: 1 + o1] = a_hat.reshape(-1, n_rows, n)[:n_c]
+            ratio = ws.get("ratio", (nb, block, n_rows), dtype)
+            ratio[:, 0] = that[:, 0]
+            np.divide(that[:, 1:], that[:, :-1], out=ratio[:, 1:])
+            ratio *= d
+            scales[1 + o0: 1 + o1] = ratio.reshape(-1, n_rows)[:n_c]
+        if groups is not None:
+            # Exact carried-padding semantics of the ragged loop kernel.
+            for t_g, idx in groups:
+                if t_g < n_steps:
+                    alpha[t_g:, idx] = alpha[t_g - 1, idx]
+                    scales[t_g:, idx] = 1.0
+        _check_scales(scales)
+
+        # ---- backward: suffix scan with log2-tracked rescale
+        beta[n_steps - 1] = 1.0
+        cur = np.ones((n_rows, n), dtype=dtype)
+        for c0 in range(n_blocks - chunk_blocks + (-n_blocks) % chunk_blocks,
+                        -1, -chunk_blocks):
+            c_lo = max(c0, 0)
+            nb = min(chunk_blocks, n_blocks - c_lo)
+            o0 = c_lo * block
+            o1 = min(o0 + nb * block, n_ops)
+            n_c = o1 - o0
+            n_slots = nb * block
+            ops = ws.get("ops", (nb, block, n_rows, n, n), dtype)
+            ops_flat = ops.reshape(n_slots, n_rows, n, n)
+            sc = ws.get("scaled", (n_c, n_rows, n), dtype)
+            np.divide(likes[1 + o0: 1 + o1],
+                      scales[1 + o0: 1 + o1, :, None], out=sc)
+            np.multiply(transition, sc[:, :, None, :], out=ops_flat[:n_c])
+            if n_slots > n_c:
+                ops_flat[n_c:] = eye
+            if groups is not None:
+                _pad_ops_identity(ops_flat, o0, n_slots, groups, eye,
+                                  n_steps)
+            suffix = ws.get("prefix", (nb, block, n_rows, n, n), dtype)
+            ld = ws.get("logd", (nb, block, n_rows), dtype)
+            suffix[:, block - 1] = ops[:, block - 1]
+            ld[:, block - 1] = 0.0
+            for i in range(block - 2, -1, -1):
+                np.matmul(ops[:, i], suffix[:, i + 1], out=suffix[:, i])
+                if i and i % rescale_every == 0:
+                    mx = np.amax(suffix[:, i], axis=(-2, -1))
+                    di = np.exp2(np.floor(np.log2(np.maximum(mx, tiny))))
+                    suffix[:, i] /= di[:, :, None, None]
+                    np.add(ld[:, i + 1], np.log2(di), out=ld[:, i])
+                else:
+                    ld[:, i] = ld[:, i + 1]
+            bend = ws.get("bend", (nb, n_rows, n), dtype)
+            for b in range(nb - 1, -1, -1):
+                bend[b] = cur
+                nxt = (suffix[b, 0] @ cur[:, :, None])[:, :, 0]
+                cur = nxt * np.exp2(ld[b, 0])[:, None]
+            rec = ws.get("recon", (nb, block, n_rows, n, 1), dtype)
+            np.matmul(suffix, bend[:, None, :, :, None], out=rec)
+            b_hat = rec[:, :, :, :, 0]
+            undo = ws.get("totals", (nb, block, n_rows), dtype)
+            np.exp2(ld, out=undo)
+            b_hat *= undo[..., None]
+            beta[o0:o1] = b_hat.reshape(-1, n_rows, n)[:n_c]
+        if groups is not None:
+            # The ragged loop kernel carries beta leftward so every slot
+            # from the row's last valid step on holds exactly 1.
+            for t_g, idx in groups:
+                if t_g < n_steps:
+                    beta[t_g - 1:, idx] = 1.0
+    return alpha, beta, scales
+
+
+class _KernelState:
+    """Kernel, precision, and workspace state shared by both aux kinds.
+
+    One aux owns one fit's forward-backward configuration: which kernel
+    runs the recursions (``loop`` / ``blocked`` / ``compiled``), at what
+    dtype, with what block size, and against which per-fit
+    :class:`_Workspace`.  The E-step batches stay kernel-oblivious —
+    they hand ``(pi, transition, likes)`` to the aux and get back
+    float64 ``(alpha, beta, scales)`` whatever ran underneath.
+    """
+
+    def _init_kernel(self, config: EMConfig, backend: str, width: int,
+                     n_steps: Optional[int] = None) -> None:
+        self.backend = backend
+        self.width = int(width)
+        self.kernel, self.kernel_fallback = _resolve_kernel(backend, width)
+        self.dtype = np.dtype(
+            np.float32 if config.dtype == "float32" else np.float64
+        )
+        self.block_size = (
+            int(config.block_size) if config.block_size
+            else resolve_block_size(n_steps, width)
+        )
+        self.workspace = _Workspace()
+        self.dtype_fallbacks = 0
+
+    def demote(self) -> bool:
+        """Fall back to float64 after a narrow-precision collapse.
+
+        A zero scale under float32 usually means genuine underflow of
+        the narrow exponent range, not a degenerate model; the driver
+        retries the failed E-pass once at float64 before concluding the
+        likelihood really is zero.  Returns ``True`` exactly when a
+        demotion happened; the count lands in the
+        ``repro_em_dtype_fallback_total`` counter and the ``em.backend``
+        event so the fallback is operator-visible.
+        """
+        if self.dtype == np.float64:
+            return False
+        self.dtype = np.dtype(np.float64)
+        self.dtype_fallbacks += 1
+        if obs.is_enabled():
+            obs.inc("repro_em_dtype_fallback_total", 1.0, model=self.kind)
+        return True
+
+    def _cast_inputs(self, pi, transition, likes):
+        """Narrow the recursion inputs to the working dtype (no-op at
+        float64, preserving bit-parity with the pre-dtype engine)."""
+        if likes.dtype == self.dtype:
+            return pi, transition, likes
+        ws = self.workspace
+        cast = []
+        for name, arr in (("pi_cast", pi), ("transition_cast", transition),
+                          ("likes_cast", likes)):
+            buf = ws.get(name, arr.shape, self.dtype)
+            buf[:] = arr
+            cast.append(buf)
+        return tuple(cast)
+
+    def _widen(self, alpha, beta, scales):
+        """Upcast kernel outputs to float64 views.
+
+        Only the recursions run narrow: the statistics GEMMs and the
+        M-step always accumulate at float64, so a float32 fit trades
+        per-step precision for speed without also degrading the
+        parameter updates.  Exact for float64 input (identity)."""
+        if alpha.dtype == np.float64:
+            return alpha, beta, scales
+        ws = self.workspace
+        wide = []
+        for name, arr in (("alpha64", alpha), ("beta64", beta),
+                          ("scales64", scales)):
+            buf = ws.get(name, arr.shape, np.float64)
+            buf[:] = arr
+            wide.append(buf)
+        return tuple(wide)
+
+    def _compiled_forward_backward(self, pi, transition, likes, lengths):
+        ws = self.workspace
+        n_steps, n_rows, _ = likes.shape
+        alpha = ws.get("alpha", likes.shape, likes.dtype)
+        beta = ws.get("beta", likes.shape, likes.dtype)
+        scales = ws.get("scales", (n_steps, n_rows), likes.dtype)
+        with np.errstate(divide="ignore", invalid="ignore", under="ignore"):
+            compiled.compiled_forward_backward(
+                np.ascontiguousarray(pi), np.ascontiguousarray(transition),
+                np.ascontiguousarray(likes),
+                np.ascontiguousarray(lengths, dtype=np.int64),
+                alpha, beta, scales,
+            )
+        _check_scales(scales)
+        return alpha, beta, scales
+
+
+class _EStepAux(_KernelState):
     """Per-fit constants shared by every batched E-pass.
 
     Everything derivable from the symbols alone — the
     :class:`SymbolIndex`, the observed-symbol one-hot matrix the scatter
     sums contract against, the MMHD support columns — is computed once
     per fit, mirroring what the sequential engine caches per restart.
+    The aux also carries the fit's kernel state (see
+    :class:`_KernelState`); the MMHD *fast* path is its own structured
+    recursion with no dense per-step loop to replace, so there the
+    kernel pins to ``loop`` / float64 and the ``em.backend`` event says
+    so rather than advertising a kernel that never ran.
     """
 
     def __init__(self, kind: str, index: SymbolIndex, config: EMConfig,
-                 n_hidden: int):
+                 n_hidden: int, backend: str = "batched"):
         self.kind = kind
         self.index = index
         self.n_hidden = int(n_hidden)
@@ -223,6 +685,7 @@ class _EStepAux:
         onehot[index.observed_idx, index.observed_symbols] = 1.0
         self.onehot = onehot
         self.fast = bool(config.fast_path)
+        width = self.n_hidden
         if kind == "mmhd":
             self.n_states = self.n_hidden * self.n_symbols
             self.state_symbol = np.tile(np.arange(self.n_symbols), self.n_hidden)
@@ -230,6 +693,41 @@ class _EStepAux:
                 m + self.n_symbols * np.arange(self.n_hidden)
                 for m in range(self.n_symbols)
             ]
+            width = self.n_states
+        self._init_kernel(config, backend, width, n_steps=len(index))
+        if kind == "mmhd" and self.fast:
+            if self.kernel != "loop":
+                self.kernel, self.kernel_fallback = "loop", "fast-path"
+            self.dtype = np.dtype(np.float64)
+
+    def forward_backward(self, pi, transition, likes):
+        """One uniform forward-backward through the fit's kernel.
+
+        Returns float64 ``(alpha, beta, scales, loglik)`` regardless of
+        the working dtype — the loop-kernel float64 path is byte-for-
+        byte the direct :func:`_batched_forward_backward` call it
+        replaced.
+        """
+        pi, transition, likes = self._cast_inputs(pi, transition, likes)
+        if self.kernel == "compiled":
+            n_rows = likes.shape[1]
+            lengths = np.full(n_rows, likes.shape[0])
+            alpha, beta, scales = self._compiled_forward_backward(
+                pi, transition, likes, lengths
+            )
+        elif self.kernel == "blocked":
+            alpha, beta, scales = _blocked_forward_backward(
+                pi, transition, likes, block_size=self.block_size,
+                workspace=self.workspace,
+            )
+        else:
+            alpha, beta, scales, loglik = _batched_forward_backward(
+                pi, transition, likes, workspace=self.workspace
+            )
+            alpha, beta, scales = self._widen(alpha, beta, scales)
+            return alpha, beta, scales, loglik
+        alpha, beta, scales = self._widen(alpha, beta, scales)
+        return alpha, beta, scales, _row_loglik(scales)
 
 
 # ----------------------------------------------------------------------
@@ -304,7 +802,7 @@ class _HMMBatch:
         likes[index.observed_idx] = weighted[:, :, syms].transpose(2, 0, 1)
         loss_like = np.matmul(self.emission, self.loss_c[:, :, None])[:, :, 0]
         likes[index.loss_idx] = loss_like[None, :, :]
-        alpha, beta, scales, loglik = _batched_forward_backward(
+        alpha, beta, scales, loglik = aux.forward_backward(
             self.pi, self.transition, likes
         )
         gamma = alpha * beta
@@ -590,7 +1088,7 @@ class _MMHDBatch:
         observed_survive = survive[:, syms].T             # (T_obs, K)
         for h in range(n_hidden):
             likes[index.observed_idx, :, h * n_symbols + syms] = observed_survive
-        alpha, beta, scales, loglik = _batched_forward_backward(
+        alpha, beta, scales, loglik = aux.forward_backward(
             self.pi, self.transition, likes
         )
         gamma = alpha * beta
@@ -655,6 +1153,23 @@ def _initial_model(kind, seq, n_hidden, config, restart):
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
+def run_estep(batch, aux):
+    """One E-pass with the automatic float32 -> float64 retry.
+
+    At float64 this is exactly ``batch.estep(aux)``.  At float32 a
+    :class:`_BatchZeroLikelihood` triggers one demotion (see
+    :meth:`_KernelState.demote`) and a retry of the same pass at full
+    precision; only a collapse that survives float64 — a genuine zero
+    likelihood — propagates to the driver's retirement logic.
+    """
+    try:
+        return batch.estep(aux)
+    except _BatchZeroLikelihood:
+        if not aux.demote():
+            raise
+        return batch.estep(aux)
+
+
 class _BatchedEM:
     """EM over a restart stack with convergence masking.
 
@@ -694,7 +1209,7 @@ class _BatchedEM:
                 return False
             sub = self.batch.rows(self.active)
             try:
-                stats = sub.estep(self.aux)
+                stats = run_estep(sub, self.aux)
             except _BatchZeroLikelihood as exc:
                 self._retire_failed(exc)
                 continue
@@ -744,7 +1259,7 @@ def _finalize(kind, batch, aux, trails, converged, rows=None):
     """
     idx = np.arange(batch.n_rows) if rows is None else np.asarray(rows)
     sub = batch.rows(idx)
-    stats = sub.estep(aux)
+    stats = run_estep(sub, aux)
     mass = sub.loss_symbol_mass(stats)
     fitted_cls = _FITTED_TYPES[kind]
     fits = []
@@ -761,15 +1276,17 @@ def _finalize(kind, batch, aux, trails, converged, rows=None):
 
 
 def _run_shard(kind, seq, n_hidden, config, restarts,
-               index: Optional[SymbolIndex] = None):
+               index: Optional[SymbolIndex] = None,
+               backend: str = "batched"):
     """Drive one batch of restarts to completion.
 
     Returns ``(fits, info)`` with ``fits`` in restart order and ``info``
-    carrying the occupancy accounting for the ``em.backend`` event.
+    carrying the occupancy and kernel accounting for the ``em.backend``
+    event.
     """
     if index is None:
         index = SymbolIndex(seq)
-    aux = _EStepAux(kind, index, config, n_hidden)
+    aux = _EStepAux(kind, index, config, n_hidden, backend=backend)
     models = [
         _initial_model(kind, seq, n_hidden, config, r) for r in restarts
     ]
@@ -789,18 +1306,33 @@ def _run_shard(kind, seq, n_hidden, config, restarts,
         "batch_iterations": driver.batch_iterations,
         "active_row_iterations": driver.active_row_iterations,
     }
+    info.update(_kernel_info(aux))
     return fits, info
+
+
+def _kernel_info(aux) -> dict:
+    """Kernel accounting keys of one aux for the ``em.backend`` event."""
+    info = {
+        "kernel": aux.kernel,
+        "block_size": aux.block_size if aux.kernel == "blocked" else 0,
+        "dtype": str(aux.dtype),
+        "dtype_fallbacks": aux.dtype_fallbacks,
+    }
+    if aux.kernel_fallback:
+        info["kernel_fallback"] = aux.kernel_fallback
+    return info
 
 
 def _shard_worker(task):
     """Batch one restart shard (parallel-map worker)."""
-    kind, seq, n_hidden, config, restarts = task
-    return _run_shard(kind, seq, n_hidden, config, restarts)
+    kind, seq, n_hidden, config, restarts, backend = task
+    return _run_shard(kind, seq, n_hidden, config, restarts, backend=backend)
 
 
 def batched_restart_fits(kind, seq: ObservationSequence, n_hidden: int,
                          config: EMConfig,
-                         index: Optional[SymbolIndex] = None):
+                         index: Optional[SymbolIndex] = None,
+                         backend: str = "batched"):
     """All restarts of one fit through the batched engine.
 
     With ``config.n_jobs > 1`` the restarts split into contiguous shards
@@ -813,16 +1345,17 @@ def batched_restart_fits(kind, seq: ObservationSequence, n_hidden: int,
     restarts = list(range(n_restarts))
     if n_shards <= 1:
         fits, info = _run_shard(kind, seq, n_hidden, config, restarts,
-                                index=index)
+                                index=index, backend=backend)
         infos = [info]
     else:
         shards = shard_items(restarts, n_shards)
-        tasks = [(kind, seq, n_hidden, config, shard) for shard in shards]
+        tasks = [(kind, seq, n_hidden, config, shard, backend)
+                 for shard in shards]
         mapped = parallel_map(_shard_worker, tasks, n_jobs=n_shards,
                               chunksize=1)
         fits = [f for shard_fits, _ in mapped for f in shard_fits]
         infos = [info for _, info in mapped]
-    record_backend(kind, "batched", n_shards=len(infos), infos=infos)
+    record_backend(kind, backend, n_shards=len(infos), infos=infos)
     return fits
 
 
@@ -834,6 +1367,14 @@ def record_backend(kind: str, backend: str, n_shards: int,
     work; ``masked_savings`` is the complement — E-step work skipped
     because converged restarts were masked out of their batch.  The
     sequential engine reports occupancy 1.0 by construction.
+
+    Kernel accounting rides in optional info keys (absent for the
+    sequential engine, whose per-restart loop is the ``loop`` kernel at
+    float64 by definition): ``kernel`` / ``block_size`` / ``dtype`` are
+    what actually ran — so a float32 fit that demoted reports
+    ``dtype=float64`` with ``dtype_fallbacks > 0``, and a ``compiled``
+    request without numba reports the kernel it degraded to plus a
+    ``kernel_fallback`` reason.
     """
     if not obs.is_enabled():
         return
@@ -842,10 +1383,17 @@ def record_backend(kind: str, backend: str, n_shards: int,
     active = sum(i["active_row_iterations"] for i in infos)
     slots = sum(i["rows"] * i["batch_iterations"] for i in infos)
     occupancy = active / slots if slots else 1.0
+    kernels = {i.get("kernel", "loop") for i in infos}
+    dtypes = {i.get("dtype", "float64") for i in infos}
+    fallbacks = {i["kernel_fallback"] for i in infos
+                 if i.get("kernel_fallback")}
     obs.inc("repro_em_backend_fits_total", 1.0, model=kind, backend=backend)
     obs.observe("repro_em_batch_occupancy_ratio", occupancy, model=kind)
     obs.inc("repro_em_masked_iterations_total", float(slots - active),
             model=kind)
+    extra = {}
+    if fallbacks:
+        extra["kernel_fallback"] = "+".join(sorted(fallbacks))
     obs.emit(
         "em.backend",
         model=kind,
@@ -855,6 +1403,11 @@ def record_backend(kind: str, backend: str, n_shards: int,
         batch_iterations=batch_iterations,
         occupancy=round(occupancy, 6),
         masked_savings=round(1.0 - occupancy, 6),
+        kernel=kernels.pop() if len(kernels) == 1 else "mixed",
+        block_size=max(int(i.get("block_size", 0)) for i in infos),
+        dtype=dtypes.pop() if len(dtypes) == 1 else "mixed",
+        dtype_fallbacks=sum(int(i.get("dtype_fallbacks", 0)) for i in infos),
+        **extra,
     )
 
 
@@ -874,7 +1427,8 @@ def _length_groups(lengths):
     ]
 
 
-def _ragged_forward_backward(pi, transition, likes, lengths):
+def _ragged_forward_backward(pi, transition, likes, lengths,
+                             workspace=None):
     """Scaled forward-backward over rows of unequal length.
 
     Like :func:`_batched_forward_backward`, but ``likes`` rows are only
@@ -888,6 +1442,8 @@ def _ragged_forward_backward(pi, transition, likes, lengths):
     run of that row.
     """
     n_steps, n_rows, n = likes.shape
+    ws = workspace if workspace is not None else _Workspace()
+    dtype = likes.dtype
     lengths = np.asarray(lengths)
     order = np.argsort(lengths, kind="stable")
     sorted_lengths = lengths[order]
@@ -897,9 +1453,9 @@ def _ragged_forward_backward(pi, transition, likes, lengths):
         """Rows already past their end at step ``t`` (length <= t)."""
         return order[: np.searchsorted(sorted_lengths, t, side="right")]
 
-    alpha = np.empty_like(likes)
-    scales = np.empty((n_steps, n_rows))
-    with np.errstate(divide="ignore", invalid="ignore"):
+    alpha = ws.get("alpha", likes.shape, dtype)
+    scales = ws.get("scales", (n_steps, n_rows), dtype)
+    with np.errstate(divide="ignore", invalid="ignore", under="ignore"):
         state = pi * likes[0]
         total = np.add.reduce(state, axis=1)
         scales[0] = total
@@ -919,10 +1475,11 @@ def _ragged_forward_backward(pi, transition, likes, lengths):
         # Padded scales are exactly 1.0, so the uniform checker sees
         # only genuine zeros (always at a valid step of some row).
         _check_scales(scales)
-        beta = np.empty_like(likes)
+        beta = ws.get("beta", likes.shape, dtype)
         beta[n_steps - 1] = 1.0
-        scaled = likes[1:] / scales[1:, :, None]
-        buf = np.empty((n_rows, n, 1))
+        scaled = ws.get("scaled", (n_steps - 1, n_rows, n), dtype)
+        np.divide(likes[1:], scales[1:, :, None], out=scaled)
+        buf = ws.get("buf", (n_rows, n, 1), dtype)
         for t in range(n_steps - 2, -1, -1):
             np.multiply(scaled[t], beta[t + 1], out=buf[:, :, 0])
             np.matmul(transition, buf, out=beta[t].reshape(n_rows, n, 1))
@@ -932,21 +1489,26 @@ def _ragged_forward_backward(pi, transition, likes, lengths):
     return alpha, beta, scales
 
 
-class _RaggedAux:
+class _RaggedAux(_KernelState):
     """Per-mega-batch constants shared by every ragged E-pass.
 
     The ragged analogue of :class:`_EStepAux`: everything derivable from
     the stacked symbols alone is computed once per batch.  Row subsets
     (the driver's active-row masking) slice into these arrays through
-    each sub-batch's ``stack_rows``.
+    each sub-batch's ``stack_rows``.  The kernel state deliberately gets
+    *no* sequence length: the blocked kernel must run at the pinned
+    :data:`RAGGED_BLOCK_SIZE` (or an explicit ``config.block_size``) so
+    a row's arithmetic never depends on its mega-batch's ``t_max`` —
+    the fused-equals-solo byte-identity contract.
     """
 
     def __init__(self, kind: str, stack: SymbolStack, config: EMConfig,
-                 n_hidden: int):
+                 n_hidden: int, backend: str = "batched"):
         self.kind = kind
         self.stack = stack
         self.n_hidden = int(n_hidden)
         self.n_symbols = stack.n_symbols
+        width = self.n_hidden
         if kind == "hmm":
             # Row-major one-hot observed symbols for the joint_obs GEMM.
             onehot = np.zeros((stack.n_rows, stack.t_max, stack.n_symbols))
@@ -958,6 +1520,31 @@ class _RaggedAux:
             self.state_symbol = np.tile(
                 np.arange(self.n_symbols), self.n_hidden
             )
+            width = self.n_states
+        self._init_kernel(config, backend, width, n_steps=None)
+
+    def ragged_forward_backward(self, pi, transition, likes, lengths):
+        """One ragged forward-backward through the batch's kernel.
+
+        Returns float64 ``(alpha, beta, scales)``; the loop-kernel
+        float64 path is byte-for-byte the direct
+        :func:`_ragged_forward_backward` call it replaced.
+        """
+        pi, transition, likes = self._cast_inputs(pi, transition, likes)
+        if self.kernel == "compiled":
+            alpha, beta, scales = self._compiled_forward_backward(
+                pi, transition, likes, lengths
+            )
+        elif self.kernel == "blocked":
+            alpha, beta, scales = _blocked_forward_backward(
+                pi, transition, likes, block_size=self.block_size,
+                lengths=lengths, workspace=self.workspace,
+            )
+        else:
+            alpha, beta, scales = _ragged_forward_backward(
+                pi, transition, likes, lengths, workspace=self.workspace
+            )
+        return self._widen(alpha, beta, scales)
 
 
 class _RaggedHMMBatch(_HMMBatch):
@@ -1002,7 +1589,7 @@ class _RaggedHMMBatch(_HMMBatch):
         lost = stack.lost[rows, :t_act]                   # (K, t_act)
         loss_k, loss_t = np.nonzero(lost)
         likes[loss_t, loss_k] = loss_like[loss_k]
-        alpha, beta, scales = _ragged_forward_backward(
+        alpha, beta, scales = aux.ragged_forward_backward(
             self.pi, self.transition, likes, lengths
         )
         gamma = alpha * beta
@@ -1088,7 +1675,7 @@ class _RaggedMMHDBatch(_MMHDBatch):
         lost = stack.lost[rows, :t_act]
         loss_k, loss_t = np.nonzero(lost)
         likes[loss_t, loss_k] = c_state[loss_k]
-        alpha, beta, scales = _ragged_forward_backward(
+        alpha, beta, scales = aux.ragged_forward_backward(
             self.pi, self.transition, likes, lengths
         )
         gamma = alpha * beta
@@ -1128,14 +1715,15 @@ def _shared_config_key(config: EMConfig):
         config.tol, config.max_iter, config.min_prob, config.n_restarts,
         config.freeze_loss_iters, config.data_driven_init,
         config.loss_prior_losses, config.loss_prior_observations,
-        config.fast_path, config.backend,
+        config.fast_path, config.backend, config.dtype, config.block_size,
     )
 
 
 def run_hedged_fits(kind, seqs: Sequence[ObservationSequence],
                     n_hidden: int, configs: Sequence[EMConfig],
                     warm_models: Sequence,
-                    trail_problem: Callable[[List[float]], Optional[str]]):
+                    trail_problem: Callable[[List[float]], Optional[str]],
+                    backend: str = "batched"):
     """Hedged warm-vs-cold fits for many windows in ONE ragged batch.
 
     Phase one stacks every window's warm row (no loss-channel freeze,
@@ -1182,7 +1770,7 @@ def run_hedged_fits(kind, seqs: Sequence[ObservationSequence],
     # Phase one: every window's warm row, one ragged batch (row w is
     # window w).
     stack = SymbolStack(list(seqs))
-    aux = _RaggedAux(kind, stack, config, n_hidden)
+    aux = _RaggedAux(kind, stack, config, n_hidden, backend=backend)
     batch = _RAGGED_TYPES[kind].from_models(list(warm_models),
                                             np.arange(n_windows))
     driver = _BatchedEM(batch, aux, config, [0] * n_windows,
@@ -1269,6 +1857,7 @@ def run_hedged_fits(kind, seqs: Sequence[ObservationSequence],
         "iter_slots": batch.n_rows * driver.batch_iterations,
         "t_max": stack.t_max,
     }
+    info.update(_kernel_info(aux))
     fallback = sorted(unresolved)
     if fallback:
         cold_seqs: List[ObservationSequence] = []
@@ -1280,7 +1869,8 @@ def run_hedged_fits(kind, seqs: Sequence[ObservationSequence],
                     _initial_model(kind, seqs[w], n_hidden, configs[w], r)
                 )
         cold_stack = SymbolStack(cold_seqs)
-        cold_aux = _RaggedAux(kind, cold_stack, config, n_hidden)
+        cold_aux = _RaggedAux(kind, cold_stack, config, n_hidden,
+                              backend=backend)
         cold_batch = _RAGGED_TYPES[kind].from_models(
             cold_models, np.arange(len(cold_models))
         )
@@ -1312,6 +1902,9 @@ def run_hedged_fits(kind, seqs: Sequence[ObservationSequence],
         info["lengths_sum"] += int(cold_stack.lengths.sum())
         info["slots"] += cold_stack.n_rows * cold_stack.t_max
         info["iter_slots"] += cold_batch.n_rows * cold_driver.batch_iterations
+        info["dtype_fallbacks"] += cold_aux.dtype_fallbacks
+        if str(cold_aux.dtype) != info["dtype"]:
+            info["dtype"] = str(cold_aux.dtype)
 
     slots = info.pop("slots")
     lengths_sum = info.pop("lengths_sum")
@@ -1326,7 +1919,8 @@ def run_hedged_fits(kind, seqs: Sequence[ObservationSequence],
 def run_hedged_fit(kind, seq: ObservationSequence, n_hidden: int,
                    config: EMConfig, warm_model,
                    trail_problem: Callable[[List[float]], Optional[str]],
-                   index: Optional[SymbolIndex] = None):
+                   index: Optional[SymbolIndex] = None,
+                   backend: str = "batched"):
     """Warm-started fit with a lazy cold-restart hedge.
 
     One batched EM drives the warm row (no loss-channel freeze, like the
@@ -1347,6 +1941,7 @@ def run_hedged_fit(kind, seq: ObservationSequence, n_hidden: int,
     """
     del index  # the ragged engine indexes the (single-row) stack itself
     results, _ = run_hedged_fits(
-        kind, [seq], n_hidden, [config], [warm_model], trail_problem
+        kind, [seq], n_hidden, [config], [warm_model], trail_problem,
+        backend=backend,
     )
     return results[0]

@@ -1,0 +1,147 @@
+"""Optional numba-compiled forward-backward kernels.
+
+The batched E-step engines spend nearly the whole fit inside the scaled
+forward-backward recursions; the blocked scan kernel removes the
+Python-level dispatch floor with batched matmuls, and this module offers
+the other route — compile the per-step loop itself.  numba is strictly
+optional: the import is guarded, :data:`HAVE_NUMBA` tells callers
+whether the kernels exist, and :class:`repro.models.batched._EStepAux`
+falls back to the pure-numpy kernels (recording the fallback in the
+``em.backend`` telemetry event) when it is absent.  Nothing in the repo
+ever imports numba unconditionally.
+
+The compiled kernels reproduce the semantics of
+:func:`repro.models.batched._batched_forward_backward` and its ragged
+twin exactly: per-step normalisation of ``alpha`` (so
+``gamma = alpha * beta`` directly), ``scales`` holding the per-step
+totals, padded steps of ragged rows carried with their scale forced to
+1, and zero-likelihood rows poisoning only their own lane (detection is
+deferred to the caller's ``_check_scales``).  Division by a zero total
+follows IEEE inside nopython code — no exception, NaN propagates down
+the row — which is precisely the deferred-detection contract the numpy
+kernels rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "compiled_forward_backward"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common container case
+    njit = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @njit(cache=True)
+    def _forward(pi, transition, likes, lengths, alpha, scales):
+        n_steps, n_rows, n = likes.shape
+        for k in range(n_rows):
+            t_end = lengths[k]
+            total = 0.0
+            for i in range(n):
+                alpha[0, k, i] = pi[k, i] * likes[0, k, i]
+                total += alpha[0, k, i]
+            scales[0, k] = total
+            for i in range(n):
+                alpha[0, k, i] /= total
+            for t in range(1, n_steps):
+                if t >= t_end:
+                    for i in range(n):
+                        alpha[t, k, i] = alpha[t - 1, k, i]
+                    scales[t, k] = 1.0
+                    continue
+                total = 0.0
+                for j in range(n):
+                    acc = 0.0
+                    for i in range(n):
+                        acc += alpha[t - 1, k, i] * transition[k, i, j]
+                    acc *= likes[t, k, j]
+                    alpha[t, k, j] = acc
+                    total += acc
+                scales[t, k] = total
+                for j in range(n):
+                    alpha[t, k, j] /= total
+
+    @njit(cache=True)
+    def _backward(transition, likes, lengths, scales, beta):
+        n_steps, n_rows, n = likes.shape
+        for k in range(n_rows):
+            t_end = lengths[k]
+            for i in range(n):
+                beta[n_steps - 1, k, i] = 1.0
+            for t in range(n_steps - 2, -1, -1):
+                if t + 1 >= t_end:
+                    for i in range(n):
+                        beta[t, k, i] = beta[t + 1, k, i]
+                    continue
+                inv = 1.0 / scales[t + 1, k]
+                for i in range(n):
+                    acc = 0.0
+                    for j in range(n):
+                        acc += (transition[k, i, j] * likes[t + 1, k, j]
+                                * beta[t + 1, k, j])
+                    beta[t, k, i] = acc * inv
+
+
+def compiled_forward_backward(pi, transition, likes, lengths,
+                              alpha, beta, scales):
+    """Numba forward-backward into preallocated ``alpha``/``beta``/``scales``.
+
+    ``lengths`` is the per-row valid length (``n_steps`` for every row
+    of a uniform restart stack); padded steps are carried exactly like
+    :func:`repro.models.batched._ragged_forward_backward`.  Callers must
+    gate on :data:`HAVE_NUMBA` — this raises when numba is missing
+    rather than silently running slow Python loops.
+    """
+    if not HAVE_NUMBA:  # pragma: no cover - defensive; callers gate
+        raise RuntimeError(
+            "numba is not installed; use backend='blocked' or 'batched'"
+        )
+    _forward(pi, transition, likes, lengths, alpha, scales)
+    _backward(transition, likes, lengths, scales, beta)
+    return alpha, beta, scales
+
+
+def _py_reference_forward_backward(pi, transition, likes, lengths,
+                                   alpha, beta, scales):
+    """Pure-python mirror of the compiled kernels, for parity tests.
+
+    Runs the exact loop nest numba compiles, so the (numba-less) test
+    suite can still exercise the kernel semantics — and a numba-enabled
+    run can assert the compiled output matches this reference bitwise.
+    Never used on a hot path.
+    """
+    np_likes = np.asarray(likes)
+    n_steps, n_rows, n = np_likes.shape
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for k in range(n_rows):
+            t_end = int(lengths[k])
+            state = pi[k] * np_likes[0, k]
+            total = state.sum()
+            scales[0, k] = total
+            alpha[0, k] = state / total
+            for t in range(1, n_steps):
+                if t >= t_end:
+                    alpha[t, k] = alpha[t - 1, k]
+                    scales[t, k] = 1.0
+                    continue
+                state = (alpha[t - 1, k] @ transition[k]) * np_likes[t, k]
+                total = state.sum()
+                scales[t, k] = total
+                alpha[t, k] = state / total
+            beta[n_steps - 1, k] = 1.0
+            for t in range(n_steps - 2, -1, -1):
+                if t + 1 >= t_end:
+                    beta[t, k] = beta[t + 1, k]
+                    continue
+                beta[t, k] = transition[k] @ (
+                    np_likes[t + 1, k] * beta[t + 1, k]
+                ) / scales[t + 1, k]
+    return alpha, beta, scales

@@ -374,9 +374,9 @@ def fit_hmm(
     backend = batched.resolve_backend(config, "hmm", n_hidden, seq.n_symbols)
     with span("em.fit", model="hmm", n_hidden=n_hidden,
               n_restarts=config.n_restarts, backend=backend):
-        if backend == "batched":
+        if backend in batched.BATCH_BACKENDS:
             fits = batched.batched_restart_fits(
-                "hmm", seq, n_hidden, config, index=index
+                "hmm", seq, n_hidden, config, index=index, backend=backend
             )
         else:
             serial = (resolve_n_jobs(config.n_jobs) <= 1

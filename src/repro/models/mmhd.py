@@ -548,9 +548,9 @@ def fit_mmhd(
     backend = batched.resolve_backend(config, "mmhd", n_hidden, seq.n_symbols)
     with span("em.fit", model="mmhd", n_hidden=n_hidden,
               n_restarts=config.n_restarts, backend=backend):
-        if backend == "batched":
+        if backend in batched.BATCH_BACKENDS:
             fits = batched.batched_restart_fits(
-                "mmhd", seq, n_hidden, config, index=index
+                "mmhd", seq, n_hidden, config, index=index, backend=backend
             )
         else:
             serial = (resolve_n_jobs(config.n_jobs) <= 1

@@ -296,11 +296,17 @@ def fused_streaming_fits(
             )
     from repro.models import batched
 
+    backend = batched.resolve_backend(
+        configs[0] if configs else EMConfig(), kind, n_hidden,
+        seqs[0].n_symbols if seqs else 0,
+    )
+    if backend not in batched.BATCH_BACKENDS:
+        backend = "batched"
     with obs.span("streaming.fused_fit", model=kind, windows=len(seqs)):
         fits, info = batched.run_hedged_fits(
             kind, seqs, n_hidden, configs,
             [warm.build_model() for warm in warm_states],
-            _trail_collapsed,
+            _trail_collapsed, backend=backend,
         )
         results = [
             _record(kind, StreamingFitResult(fitted, warm_used, reason))
@@ -345,10 +351,10 @@ def streaming_fit(
 
         backend = batched.resolve_backend(config, kind, n_hidden,
                                           seq.n_symbols)
-        if backend == "batched":
+        if backend in batched.BATCH_BACKENDS:
             fitted, warm_used, reason = batched.run_hedged_fit(
                 kind, seq, n_hidden, config, warm.build_model(),
-                _trail_collapsed,
+                _trail_collapsed, backend=backend,
             )
             return _record(kind, StreamingFitResult(fitted, warm_used, reason))
         try:

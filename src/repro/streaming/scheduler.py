@@ -307,13 +307,13 @@ class MultiPathMonitor:
         """The concrete engine this monitor's rounds run on."""
         if self.drain_mode != "auto":
             return self.drain_mode
-        from repro.models.batched import resolve_backend
+        from repro.models.batched import BATCH_BACKENDS, resolve_backend
 
         backend = resolve_backend(
             self.config.em, self.config.model, self.config.n_hidden,
             self.config.n_symbols,
         )
-        return "fused" if backend == "batched" else "pool"
+        return "fused" if backend in BATCH_BACKENDS else "pool"
 
     def _take_round(self) -> List[Tuple[str, ProbeWindow]]:
         """Pop the oldest pending window of every backlogged path."""
@@ -344,7 +344,7 @@ class MultiPathMonitor:
 
         Returns ``(analyses, stats)`` with ``analyses`` in batch order.
         """
-        from repro.models.batched import resolve_backend
+        from repro.models.batched import BATCH_BACKENDS, resolve_backend
 
         prepared = [
             prepare_window(pw.observation, self._paths[path].config, pw.index)
@@ -365,7 +365,7 @@ class MultiPathMonitor:
                 warm is None
                 or not warm.matches(n_symbols, config.n_hidden, config.model)
                 or resolve_backend(prep.em, config.model, config.n_hidden,
-                                   n_symbols) != "batched"
+                                   n_symbols) not in BATCH_BACKENDS
             ):
                 pool_idx.append(i)
                 continue

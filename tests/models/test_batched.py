@@ -168,7 +168,10 @@ class TestBackendResolution:
     def test_auto_uses_state_width(self):
         config = EMConfig()
         assert config.backend == "auto"
-        assert resolve_backend(config, "hmm", 4, 5) == "batched"
+        # Narrow states take the blocked scan kernel.
+        assert resolve_backend(config, "hmm", 2, 5) == "blocked"
+        assert resolve_backend(config, "hmm", 4, 5) == "blocked"
+        assert resolve_backend(config, "hmm", 5, 5) == "batched"
         assert resolve_backend(config, "hmm",
                                BATCHED_STATE_LIMIT + 1, 5) == "sequential"
         # MMHD width is N*M.

@@ -1,0 +1,511 @@
+"""Property tests for the blocked-scan forward-backward kernel.
+
+The blocked kernel replaces the per-time-step Python loop with composed
+operator blocks; these tests pin its contracts:
+
+- numerical parity with the loop kernels for every block-size shape
+  (``B = 1``, ``B`` not dividing ``T``, ``B >= T``, single-step rows),
+  uniform and ragged;
+- the *exact* padded-region carry semantics of the ragged loop kernel,
+  and bitwise independence of a row's results from its batch composition
+  (the fused-equals-solo contract, guaranteed by the pinned ragged block
+  size);
+- float32 operation within tolerance, underflow detection, and the
+  automatic one-shot demotion to float64;
+- workspace reuse (no per-iteration reallocation of the big buffers);
+- graceful degradation of the optional compiled backend when numba is
+  absent, and telemetry that reports what actually ran.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.models import compiled
+from repro.models.base import EMConfig, SymbolIndex, SymbolStack
+from repro.models.batched import (
+    BATCH_BACKENDS,
+    BLOCKED_STATE_LIMIT,
+    RAGGED_BLOCK_SIZE,
+    _batched_forward_backward,
+    _BatchZeroLikelihood,
+    _blocked_forward_backward,
+    _check_scales,
+    _EStepAux,
+    _ragged_forward_backward,
+    _RaggedAux,
+    _resolve_kernel,
+    _Workspace,
+    batched_restart_fits,
+    resolve_backend,
+    resolve_block_size,
+    run_estep,
+    run_hedged_fit,
+    run_hedged_fits,
+)
+from repro.models.hmm import fit_hmm
+from repro.obs.provenance import config_to_dict, em_config_from_dict
+from tests.conftest import make_markov_sequence
+
+RTOL = 1e-9
+
+
+def random_problem(rng, n_steps, n_rows, n):
+    pi = rng.dirichlet(np.ones(n), size=n_rows)
+    transition = rng.dirichlet(np.ones(n), size=(n_rows, n))
+    likes = rng.uniform(0.01, 1.0, size=(n_steps, n_rows, n))
+    return pi, transition, likes
+
+
+def assert_parity(ref, out, rtol=RTOL):
+    for name, a, b in zip(("alpha", "beta", "scales"), ref, out):
+        np.testing.assert_allclose(a, b, rtol=rtol, atol=0.0,
+                                   err_msg=name)
+
+
+class TestUniformParity:
+    @pytest.mark.parametrize("n_steps,n", [(2, 2), (5, 3), (97, 2),
+                                           (256, 2), (513, 4)])
+    def test_matches_loop_kernel_across_block_sizes(self, n_steps, n):
+        rng = np.random.default_rng(n_steps * 10 + n)
+        pi, transition, likes = random_problem(rng, n_steps, 6, n)
+        a, b, s, ll = _batched_forward_backward(pi, transition, likes)
+        ref = (a.copy(), b.copy(), s.copy())
+        ll = ll.copy()
+        # B = 1, B not dividing T, B = T, B > T, and the auto choice.
+        for block in (1, 3, 16, n_steps, 2 * n_steps, None):
+            out = _blocked_forward_backward(pi, transition, likes,
+                                            block_size=block)
+            assert_parity(ref, out)
+            np.testing.assert_allclose(
+                np.log(out[2].T).sum(axis=1), ll, rtol=RTOL
+            )
+
+    def test_single_step_sequence(self):
+        rng = np.random.default_rng(0)
+        pi, transition, likes = random_problem(rng, 1, 4, 2)
+        a, b, s, _ = _batched_forward_backward(pi, transition, likes)
+        out = _blocked_forward_backward(pi, transition, likes, block_size=8)
+        assert_parity((a, b, s), out)
+        assert (out[1] == 1.0).all()
+
+    def test_zero_likelihood_raises_like_loop(self):
+        rng = np.random.default_rng(1)
+        pi, transition, likes = random_problem(rng, 40, 3, 2)
+        likes[25, 1] = 0.0
+        with pytest.raises(_BatchZeroLikelihood) as exc:
+            _blocked_forward_backward(pi, transition, likes, block_size=8)
+        assert 1 in exc.value.first_bad_t
+        assert exc.value.first_bad_t[1] == 25
+
+
+class TestRaggedParity:
+    def lengths_case(self, rng, lengths, n=2, block=7):
+        lengths = np.asarray(lengths)
+        n_rows, t_max = len(lengths), int(lengths.max())
+        pi = rng.dirichlet(np.ones(n), size=n_rows)
+        transition = rng.dirichlet(np.ones(n), size=(n_rows, n))
+        likes = np.zeros((t_max, n_rows, n))
+        for k, t_r in enumerate(lengths):
+            likes[:t_r, k] = rng.uniform(0.01, 1.0, size=(t_r, n))
+        ref = _ragged_forward_backward(pi, transition, likes, lengths)
+        ref = tuple(x.copy() for x in ref)
+        out = _blocked_forward_backward(pi, transition, likes,
+                                        block_size=block, lengths=lengths)
+        return lengths, ref, out
+
+    @pytest.mark.parametrize("lengths", [
+        [40, 23, 7, 40], [64, 1, 33], [5, 5, 5], [129, 64, 2, 100]
+    ])
+    def test_matches_ragged_loop_kernel(self, lengths):
+        rng = np.random.default_rng(sum(lengths))
+        lengths, ref, out = self.lengths_case(rng, lengths)
+        t_max = int(lengths.max())
+        for k, t_r in enumerate(lengths):
+            for a, b in zip(ref, out):
+                np.testing.assert_allclose(a[:t_r, k], b[:t_r, k],
+                                           rtol=RTOL, atol=0.0)
+            # The padded region is *exact*: carried alpha, unit scales
+            # and betas, bit for bit what the loop kernel produces.
+            alpha, beta, scales = out
+            assert np.array_equal(
+                alpha[t_r:, k],
+                np.broadcast_to(alpha[t_r - 1, k], (t_max - t_r, 2)),
+            )
+            assert (scales[t_r:, k] == 1.0).all()
+            assert (beta[t_r - 1:, k] == 1.0).all()
+
+    def test_solo_row_bit_identical_to_fused_stack(self):
+        """A row's results must not depend on its batch's t_max — the
+        contract that keeps fused drains byte-identical to solo fits."""
+        rng = np.random.default_rng(7)
+        lengths = np.array([200, 73, 200, 9, 128])
+        n = 2
+        pi = rng.dirichlet(np.ones(n), size=len(lengths))
+        transition = rng.dirichlet(np.ones(n), size=(len(lengths), n))
+        likes = np.zeros((200, len(lengths), n))
+        for k, t_r in enumerate(lengths):
+            likes[:t_r, k] = rng.uniform(0.01, 1.0, size=(t_r, n))
+        fused = _blocked_forward_backward(
+            pi, transition, likes, block_size=RAGGED_BLOCK_SIZE,
+            lengths=lengths,
+        )
+        fused = tuple(x.copy() for x in fused)
+        for k, t_r in enumerate(lengths):
+            solo = _blocked_forward_backward(
+                pi[k:k + 1], transition[k:k + 1],
+                np.ascontiguousarray(likes[:t_r, k:k + 1]),
+                block_size=RAGGED_BLOCK_SIZE, lengths=np.array([t_r]),
+            )
+            for a, b in zip(fused, solo):
+                assert np.array_equal(a[:t_r, k], b[:, 0]), k
+
+
+class TestFloat32:
+    def test_kernel_tolerance_parity(self):
+        rng = np.random.default_rng(3)
+        pi, transition, likes = random_problem(rng, 400, 4, 2)
+        ref = _batched_forward_backward(pi, transition, likes)[:3]
+        out32 = _blocked_forward_backward(
+            pi.astype(np.float32), transition.astype(np.float32),
+            likes.astype(np.float32), block_size=16,
+        )
+        for a, b in zip(ref, out32):
+            assert b.dtype == np.float32
+            np.testing.assert_allclose(a, b.astype(np.float64), rtol=1e-4)
+
+    def test_float32_underflow_raises(self):
+        """Likelihoods below the float32 range must surface as a
+        zero-likelihood collapse, not silently corrupt the fit."""
+        rng = np.random.default_rng(4)
+        pi, transition, likes = random_problem(rng, 30, 2, 2)
+        likes[10, 0] = 1e-50  # zero after the float32 cast
+        f32 = (pi.astype(np.float32), transition.astype(np.float32),
+               likes.astype(np.float32))
+        with pytest.raises(_BatchZeroLikelihood):
+            _blocked_forward_backward(*f32, block_size=8)
+        # The same problem is fine at float64.
+        _blocked_forward_backward(pi, transition, likes, block_size=8)
+
+    def test_run_estep_demotes_once_then_retries(self):
+        seq, _ = make_markov_sequence(n_steps=300, seed=5)
+        aux = _EStepAux("hmm", SymbolIndex(seq), EMConfig(dtype="float32"),
+                        2, backend="blocked")
+        assert aux.dtype == np.float32
+
+        class FakeBatch:
+            calls = 0
+
+            def estep(self, aux):
+                FakeBatch.calls += 1
+                if aux.dtype == np.float32:
+                    raise _BatchZeroLikelihood(0, np.array([0]))
+                return "recovered"
+
+        assert run_estep(FakeBatch(), aux) == "recovered"
+        assert FakeBatch.calls == 2
+        assert aux.dtype == np.float64
+        assert aux.dtype_fallbacks == 1
+        # Already at float64: the collapse is genuine and propagates.
+        class DeadBatch:
+            def estep(self, aux):
+                raise _BatchZeroLikelihood(3, np.array([1]))
+
+        with pytest.raises(_BatchZeroLikelihood):
+            run_estep(DeadBatch(), aux)
+        assert aux.dtype_fallbacks == 1
+
+    def test_fit_level_tolerance_parity(self):
+        seq, _ = make_markov_sequence(n_steps=1200, seed=23)
+        base = EMConfig(tol=1e-3, max_iter=15, n_restarts=2, seed=9,
+                        freeze_loss_iters=2, backend="blocked")
+        f64 = fit_hmm(seq, 2, config=base)
+        f32 = fit_hmm(seq, 2, config=base.replace(dtype="float32"))
+        assert np.isclose(f32.log_likelihood, f64.log_likelihood,
+                          rtol=1e-2)
+        np.testing.assert_allclose(f32.virtual_delay_pmf,
+                                   f64.virtual_delay_pmf, atol=1e-2)
+
+
+class TestWorkspace:
+    def test_reuses_buffers_across_calls(self):
+        ws = _Workspace()
+        a = ws.get("x", (100, 3), np.float64)
+        b = ws.get("x", (50, 2), np.float64)
+        assert np.shares_memory(a, b)
+        wide = ws.get("x", (200, 3), np.float64)  # grows: reallocates
+        assert not np.shares_memory(a, wide)
+        narrow = ws.get("x", (10,), np.float32)  # dtype change
+        assert narrow.dtype == np.float32
+
+    @pytest.mark.parametrize("kernel_call", ["loop", "blocked"])
+    def test_no_large_allocations_after_warmup(self, monkeypatch,
+                                               kernel_call):
+        """Second pass with a shared workspace must not allocate any
+        full-size buffer — the per-iteration allocation regression."""
+        rng = np.random.default_rng(11)
+        pi, transition, likes = random_problem(rng, 500, 4, 2)
+        ws = _Workspace()
+
+        def run():
+            if kernel_call == "loop":
+                return _batched_forward_backward(pi, transition, likes,
+                                                 workspace=ws)
+            return _blocked_forward_backward(pi, transition, likes,
+                                             block_size=16, workspace=ws)
+
+        run()  # warm the workspace
+        big = []
+        real_empty = np.empty
+
+        def counting_empty(*args, **kwargs):
+            arr = real_empty(*args, **kwargs)
+            if arr.size >= 1024:
+                big.append(arr.size)
+            return arr
+
+        monkeypatch.setattr(np, "empty", counting_empty)
+        run()
+        assert big == []
+
+
+class TestResolution:
+    def test_resolve_block_size(self):
+        # Ragged batches pin to the fixed block size.
+        assert resolve_block_size(None) == RAGGED_BLOCK_SIZE
+        # sqrt(3T) rounded to the measured-best powers of two.
+        assert resolve_block_size(10000, 2) == 128
+        assert resolve_block_size(100, 2) == 32
+        assert resolve_block_size(1, 2) == 32
+        # Wide states cap the scan working set.
+        assert resolve_block_size(100000, 2) == 256
+        assert resolve_block_size(100000, 10) == 128
+
+    def test_resolve_kernel_fallbacks(self):
+        if compiled.HAVE_NUMBA:  # pragma: no cover - container lacks numba
+            assert _resolve_kernel("compiled", 2) == ("compiled", None)
+        else:
+            assert _resolve_kernel("compiled", 2) == ("blocked",
+                                                      "numba-missing")
+            assert _resolve_kernel("compiled", BLOCKED_STATE_LIMIT + 1) == (
+                "loop", "numba-missing")
+        assert _resolve_kernel("blocked", 2) == ("blocked", None)
+        assert _resolve_kernel("batched", 2) == ("loop", None)
+
+    def test_backends_frozen(self):
+        assert {"batched", "blocked", "compiled"} == set(BATCH_BACKENDS)
+        assert resolve_backend(EMConfig(backend="blocked"), "mmhd", 4, 5) \
+            == "blocked"
+
+    def test_config_validation_and_env(self, monkeypatch):
+        with pytest.raises(ValueError, match="dtype"):
+            EMConfig(dtype="float16")
+        with pytest.raises(ValueError, match="block_size"):
+            EMConfig(block_size=0)
+        monkeypatch.setenv("REPRO_EM_DTYPE", "float32")
+        monkeypatch.setenv("REPRO_EM_BLOCK_SIZE", "48")
+        config = EMConfig()
+        assert config.dtype == "float32"
+        assert config.block_size == 48
+        assert config.replace(seed=1).dtype == "float32"
+        monkeypatch.setenv("REPRO_EM_DTYPE", "float128")
+        with pytest.raises(ValueError, match="dtype"):
+            EMConfig()
+
+    def test_provenance_round_trip(self):
+        config = EMConfig(dtype="float32", block_size=96, backend="blocked")
+        restored = em_config_from_dict(config_to_dict(config))
+        assert restored.dtype == "float32"
+        assert restored.block_size == 96
+        assert restored.backend == "blocked"
+
+    def test_check_scales_reports_every_poisoned_row(self):
+        scales = np.ones((6, 4))
+        scales[3, 1] = 0.0
+        scales[1, 3] = np.nan
+        scales[4:, 3] = 0.0
+        with pytest.raises(_BatchZeroLikelihood) as exc:
+            _check_scales(scales)
+        assert exc.value.t == 1
+        assert exc.value.first_bad_t == {1: 3, 3: 1}
+        assert sorted(exc.value.rows.tolist()) == [1, 3]
+
+
+class TestFitParity:
+    @pytest.mark.parametrize("backend", ["blocked", "compiled"])
+    def test_blocked_fit_matches_batched_fit(self, backend):
+        """Same winner, same trajectory length, loglik within parity
+        tolerance — the fit-level acceptance contract (``compiled``
+        degrades to the blocked kernel in numba-less environments)."""
+        seq, _ = make_markov_sequence(n_steps=1500, seed=29)
+        config = EMConfig(tol=1e-3, max_iter=20, n_restarts=3, seed=3,
+                          freeze_loss_iters=2)
+        ref = fit_hmm(seq, 2, config=config.replace(backend="batched"))
+        out = fit_hmm(seq, 2, config=config.replace(backend=backend))
+        assert out.n_iter == ref.n_iter
+        assert np.isclose(out.log_likelihood, ref.log_likelihood,
+                          rtol=RTOL)
+        np.testing.assert_allclose(out.virtual_delay_pmf,
+                                   ref.virtual_delay_pmf, rtol=1e-6)
+
+    def test_hedged_fit_matches_across_kernels(self):
+        seq, _ = make_markov_sequence(n_steps=900, seed=31)
+        config = EMConfig(tol=1e-3, max_iter=15, n_restarts=2, seed=5)
+        cold = fit_hmm(seq, 2, config=config.replace(backend="batched"))
+        results = {}
+        for backend in ("batched", "blocked"):
+            fitted, warm_used, reason = run_hedged_fit(
+                "hmm", seq, 2, config, cold.model, lambda trail: None,
+                backend=backend,
+            )
+            assert warm_used and reason is None
+            results[backend] = fitted
+        assert np.isclose(results["blocked"].log_likelihood,
+                          results["batched"].log_likelihood, rtol=RTOL)
+
+    def test_ragged_kernel_is_pinned_regardless_of_config(self):
+        seq, _ = make_markov_sequence(n_steps=300, seed=2)
+        stack = SymbolStack([seq])
+        aux = _RaggedAux("hmm", stack, EMConfig(), 2, backend="blocked")
+        assert aux.block_size == RAGGED_BLOCK_SIZE
+        explicit = _RaggedAux("hmm", stack, EMConfig(block_size=32), 2,
+                              backend="blocked")
+        assert explicit.block_size == 32
+
+
+class TestTelemetry:
+    def events(self, sink):
+        return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+    def test_backend_event_reports_kernel_dtype_block(self):
+        seq, _ = make_markov_sequence(n_steps=800, seed=41)
+        sink = io.StringIO()
+        obs.enable(events=sink, clear=True)
+        try:
+            config = EMConfig(tol=1e-3, max_iter=5, n_restarts=2, seed=1,
+                              backend="blocked")
+            batched_restart_fits("hmm", seq, 2, config, backend="blocked")
+        finally:
+            obs.disable()
+        (event,) = [e for e in self.events(sink)
+                    if e["kind"] == "em.backend"]
+        assert event["backend"] == "blocked"
+        assert event["kernel"] == "blocked"
+        assert event["dtype"] == "float64"
+        assert event["block_size"] >= 1
+        assert event["dtype_fallbacks"] == 0
+
+    def test_compiled_fallback_is_visible(self):
+        if compiled.HAVE_NUMBA:  # pragma: no cover
+            pytest.skip("numba present: no fallback to observe")
+        seq, _ = make_markov_sequence(n_steps=800, seed=43)
+        sink = io.StringIO()
+        obs.enable(events=sink, clear=True)
+        try:
+            config = EMConfig(tol=1e-3, max_iter=5, n_restarts=2, seed=1,
+                              backend="compiled")
+            batched_restart_fits("hmm", seq, 2, config, backend="compiled")
+        finally:
+            obs.disable()
+        (event,) = [e for e in self.events(sink)
+                    if e["kind"] == "em.backend"]
+        assert event["backend"] == "compiled"
+        assert event["kernel"] == "blocked"
+        assert event["kernel_fallback"] == "numba-missing"
+
+
+class TestCompiledReference:
+    def test_python_reference_matches_loop_kernels(self):
+        rng = np.random.default_rng(13)
+        pi, transition, likes = random_problem(rng, 60, 3, 2)
+        n_steps, n_rows, n = likes.shape
+        alpha = np.empty_like(likes)
+        beta = np.empty_like(likes)
+        scales = np.empty((n_steps, n_rows))
+        compiled._py_reference_forward_backward(
+            pi, transition, likes, np.full(n_rows, n_steps),
+            alpha, beta, scales,
+        )
+        ref = _batched_forward_backward(pi, transition, likes)
+        assert_parity(ref[:3], (alpha, beta, scales), rtol=1e-12)
+
+    def test_python_reference_ragged_carry(self):
+        rng = np.random.default_rng(14)
+        lengths = np.array([50, 20, 1])
+        pi, transition, likes = random_problem(rng, 50, 3, 2)
+        for k, t_r in enumerate(lengths):
+            likes[t_r:, k] = 0.0
+        alpha = np.empty_like(likes)
+        beta = np.empty_like(likes)
+        scales = np.empty((50, 3))
+        compiled._py_reference_forward_backward(
+            pi, transition, likes, lengths, alpha, beta, scales,
+        )
+        ref = _ragged_forward_backward(pi, transition, likes, lengths)
+        for k, t_r in enumerate(lengths):
+            for a, b in zip(ref, (alpha, beta, scales)):
+                np.testing.assert_allclose(a[:t_r, k], b[:t_r, k],
+                                           rtol=1e-12)
+            assert (scales[t_r:, k] == 1.0).all()
+
+    def test_compiled_raises_without_numba(self):
+        if compiled.HAVE_NUMBA:  # pragma: no cover
+            pytest.skip("numba present")
+        with pytest.raises(RuntimeError, match="numba"):
+            compiled.compiled_forward_backward(
+                None, None, None, None, None, None, None
+            )
+
+    @pytest.mark.skipif(not compiled.HAVE_NUMBA,
+                        reason="numba not installed")
+    def test_compiled_matches_python_reference(self):
+        rng = np.random.default_rng(15)
+        pi, transition, likes = random_problem(rng, 80, 4, 2)
+        lengths = np.array([80, 33, 80, 1])
+        ref = tuple(np.empty_like(x) for x in
+                    (likes, likes, likes[:, :, 0]))
+        compiled._py_reference_forward_backward(
+            pi, transition, likes, lengths, *ref
+        )
+        out = tuple(np.empty_like(x) for x in
+                    (likes, likes, likes[:, :, 0]))
+        compiled.compiled_forward_backward(
+            pi, transition, likes, lengths, *out
+        )
+        for a, b in zip(ref, out):
+            np.testing.assert_allclose(a, b, rtol=1e-13)
+
+
+class TestFusedDrainAcrossKernels:
+    def test_hedged_windows_agree_across_kernels(self):
+        """The fused drain's verdict-bearing outputs agree whichever
+        kernel runs the mega-batch (float64)."""
+        seqs = []
+        for i, n_steps in enumerate((700, 450, 700)):
+            seq, _ = make_markov_sequence(n_steps=n_steps, seed=50 + i)
+            seqs.append(seq)
+        config = EMConfig(tol=1e-3, max_iter=12, n_restarts=2, seed=8)
+        warm = [
+            fit_hmm(s, 2, config=config.replace(backend="batched")).model
+            for s in seqs
+        ]
+        outputs = {}
+        for backend in ("batched", "blocked"):
+            results, info = run_hedged_fits(
+                "hmm", seqs, 2, [config] * len(seqs), list(warm),
+                lambda trail: None, backend=backend,
+            )
+            assert info["kernel"] == ("loop" if backend == "batched"
+                                      else "blocked")
+            outputs[backend] = results
+        for (fa, wa, ra), (fb, wb, rb) in zip(outputs["batched"],
+                                              outputs["blocked"]):
+            assert (wa, ra) == (wb, rb)
+            assert fa.n_iter == fb.n_iter
+            assert np.isclose(fa.log_likelihood, fb.log_likelihood,
+                              rtol=RTOL)
+            np.testing.assert_allclose(fa.virtual_delay_pmf,
+                                       fb.virtual_delay_pmf, rtol=1e-6)
