@@ -26,6 +26,10 @@ criteria name:
   tracing layer promises to be near-zero-cost; ``--max-trace-overhead``
   (CI passes 0.05) fails the run when enabling it costs more than that
   fraction of wall clock.
+* **Health overhead**: the same arm-alternating comparison for the
+  model-health layer (one extra diagnostics E-pass per analysed window
+  plus detector updates); ``--max-health-overhead`` (CI passes 0.05)
+  gates it the same way.
 
 Writes ``benchmarks/output/BENCH_service.json``.  ``--check-baseline``
 (CI) never clobbers the committed JSON: results go to a ``.check.json``
@@ -53,6 +57,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 import common  # noqa: E402
 from repro.experiments.streams import strong_dcl_stream  # noqa: E402
+from repro.obs import health as health_mod  # noqa: E402
 from repro.obs import trace as trace_mod  # noqa: E402
 from repro.models.base import EMConfig  # noqa: E402
 from repro.parallel import shutdown_pools  # noqa: E402
@@ -304,6 +309,56 @@ def bench_trace_overhead(config, templates, streams) -> dict:
     return entry
 
 
+def bench_health_overhead(config, templates, streams) -> dict:
+    """Fleet run timed with model health off vs on: best-of-N each arm.
+
+    Health-on runs attach a :class:`~repro.obs.health.HealthStore`, so
+    the run pays the whole layer — the per-window diagnostics E-pass,
+    detector updates, scoring and report retention.  Telemetry stays
+    off (the CI default), isolating the health layer itself.
+    """
+    n_paths = FLEETS[0]
+
+    def timed_run(with_health: bool) -> float:
+        if with_health:
+            health_mod.enable_health()
+        else:
+            health_mod.disable_health()
+        kwargs = {"health_store": health_mod.HealthStore()} \
+            if with_health else {}
+        service = build_service(config, templates, streams, n_paths,
+                                TIMED_HOPS, **kwargs)
+        start = time.perf_counter()
+        service.run(exit_when_idle=True, interval=0.0)
+        elapsed = time.perf_counter() - start
+        assert service.n_windows == n_paths * TIMED_HOPS, (
+            "health-overhead run lost windows"
+        )
+        service.close()
+        return elapsed
+
+    disabled, enabled = [], []
+    try:
+        # Alternate arms so thermal / cache drift hits both equally.
+        for _ in range(TRACE_REPEATS):
+            disabled.append(timed_run(with_health=False))
+            enabled.append(timed_run(with_health=True))
+    finally:
+        health_mod.disable_health()
+    best_off, best_on = min(disabled), min(enabled)
+    overhead = max(0.0, best_on / best_off - 1.0)
+    entry = {
+        "paths": n_paths,
+        "repeats": TRACE_REPEATS,
+        "disabled_seconds": round(best_off, 3),
+        "enabled_seconds": round(best_on, 3),
+        "health_overhead_fraction": round(overhead, 4),
+    }
+    print(f"  health overhead ({n_paths} paths): off {best_off:.2f}s, "
+          f"on {best_on:.2f}s -> {overhead:.1%}", flush=True)
+    return entry
+
+
 def run_benchmark() -> dict:
     config = monitor_config()
     probes = WINDOW + max(TIMED_HOPS, OVERLOAD_HOPS) * HOP
@@ -319,6 +374,7 @@ def run_benchmark() -> dict:
     overload = bench_overload(config, templates, streams)
     api = bench_api(config, templates, streams)
     trace_overhead = bench_trace_overhead(config, templates, streams)
+    health_overhead = bench_health_overhead(config, templates, streams)
     largest = fleets[str(FLEETS[-1])]
     return {
         "scale": common.SCALE,
@@ -333,6 +389,7 @@ def run_benchmark() -> dict:
         "overload": overload,
         "api": api,
         "trace_overhead": trace_overhead,
+        "health_overhead": health_overhead,
         "largest_fleet_paths": FLEETS[-1],
         "largest_fleet_throughput_rps": largest["ingest_throughput_rps"],
     }
@@ -393,6 +450,11 @@ def main(argv=None) -> int:
         help="fail when enabling tracing costs more than this fraction "
              "of wall clock (CI passes 0.05)",
     )
+    parser.add_argument(
+        "--max-health-overhead", type=float, default=None, metavar="FRAC",
+        help="fail when enabling model health costs more than this "
+             "fraction of wall clock (CI passes 0.05)",
+    )
     args = parser.parse_args(argv)
 
     report = run_benchmark()
@@ -409,6 +471,15 @@ def main(argv=None) -> int:
         else:
             print(f"tracing overhead {fraction:.1%} within the "
                   f"{args.max_trace_overhead:.0%} gate (OK)")
+    if args.max_health_overhead is not None:
+        fraction = report["health_overhead"]["health_overhead_fraction"]
+        if fraction > args.max_health_overhead:
+            print(f"FAIL: health overhead {fraction:.1%} exceeds the "
+                  f"{args.max_health_overhead:.0%} gate")
+            status = 1
+        else:
+            print(f"health overhead {fraction:.1%} within the "
+                  f"{args.max_health_overhead:.0%} gate (OK)")
     if args.check_baseline:
         status = check_baseline(report) or status
         out = BASELINE_PATH.with_suffix(".check.json")

@@ -266,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "trace timestamps (trace.window events + "
                               "repro_trace_stage_seconds histograms); "
                               "verdict output is byte-identical either way")
+    monitor.add_argument("--health", action="store_true",
+                         help="score per-window model health (goodness of "
+                              "fit + drift detection; model.health events, "
+                              "repro_model_health gauges); verdict output "
+                              "is byte-identical either way")
     _add_identify_options(monitor)
     _add_telemetry_option(monitor)
 
@@ -363,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "window-close -> queue -> fit -> publish), "
                             "served at GET /traces/{id}; verdict streams "
                             "are byte-identical either way")
+    serve.add_argument("--health", action="store_true",
+                       help="score per-window model health (drift "
+                            "detection + verdict confidence), served at "
+                            "GET /health and /health/{id}; verdict "
+                            "streams are byte-identical either way")
     serve.add_argument("--slo", metavar="FILE", default=None,
                        help="declare SLOs evaluated each cycle ('default' "
                             "= the built-in set, e.g. verdict freshness); "
@@ -577,6 +587,10 @@ def _cmd_monitor(args) -> int:
         from repro.obs import trace as trace_mod
 
         trace_mod.enable_tracing()
+    if args.health:
+        from repro.obs import health as health_mod
+
+        health_mod.enable_health()
     iterators = {path: iter(s) for path, s in _monitor_streams(args).items()}
 
     recorder = None
@@ -689,6 +703,10 @@ def _cmd_monitor(args) -> int:
             from repro.obs import trace as trace_mod
 
             trace_mod.disable_tracing()
+        if args.health:
+            from repro.obs import health as health_mod
+
+            health_mod.disable_health()
     if engine is not None and engine.fatal_fired:
         print(f"monitor: fatal alert(s) fired: "
               f"{', '.join(engine.active_alerts()) or '(resolved)'}",
@@ -754,6 +772,13 @@ def _cmd_serve(args) -> int:
         trace_mod.enable_tracing()
         trace_store = trace_mod.TraceStore()
 
+    health_store = None
+    if args.health:
+        from repro.obs import health as health_mod
+
+        health_mod.enable_health()
+        health_store = health_mod.HealthStore()
+
     # The service always keeps queryable history of its own gauges —
     # GET /query is what makes the /fleet sparklines and incident
     # forensics possible, and the store is bounded by construction.
@@ -777,6 +802,7 @@ def _cmd_serve(args) -> int:
         tsdb=tsdb,
         trace_store=trace_store,
         slo=slo_eval,
+        health_store=health_store,
     )
     for spec in args.inputs:
         service.register(spec, source=TailSource(spec, follow=args.follow))
@@ -847,6 +873,10 @@ def _cmd_serve(args) -> int:
             from repro.obs import trace as trace_mod
 
             trace_mod.disable_tracing()
+        if args.health:
+            from repro.obs import health as health_mod
+
+            health_mod.disable_health()
         if watchdog is not None:
             watchdog.stop()
         if recorder is not None:
@@ -903,6 +933,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         or getattr(args, "stall_timeout", None) is not None
         or getattr(args, "profile", False)
         or getattr(args, "trace", False)
+        or getattr(args, "health", False)
         or getattr(args, "slo", None) is not None
     )
     enabled_here = False

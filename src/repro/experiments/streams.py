@@ -10,9 +10,15 @@ truth rather than the batch traces the simulator produces.  Two shapes:
   strong-DCL signature and is stationary by construction;
 * :func:`level_shift_stream` — the same walk whose queue ceiling jumps
   at a chosen probe index: a nonstationary regime change the monitor's
-  stationarity gate and hysteresis must ride through without flapping.
+  stationarity gate and hysteresis must ride through without flapping;
+* :func:`regime_switch_stream` — the walk switches into a regime the
+  HMM/MMHD model class cannot represent (deterministic two-level dwell,
+  losses decoupled from the queue) while keeping the *marginal* delay
+  range and loss rate in band: the stationarity gate keeps analysing,
+  and only model-health observability (:mod:`repro.obs.health`) can
+  tell the verdicts have lost their footing.
 
-Both are lazy, deterministic in ``seed``, and cheap enough to generate
+All are lazy, deterministic in ``seed``, and cheap enough to generate
 millions of records.
 """
 
@@ -22,7 +28,8 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-__all__ = ["strong_dcl_stream", "level_shift_stream"]
+__all__ = ["strong_dcl_stream", "level_shift_stream",
+           "regime_switch_stream"]
 
 
 def strong_dcl_stream(
@@ -89,3 +96,54 @@ def level_shift_stream(
     )
     yield from first
     yield from second
+
+
+def regime_switch_stream(
+    n: int,
+    switch_at: int,
+    q_max: float = 0.1,
+    base_delay: float = 0.02,
+    interval: float = 0.02,
+    loss_prob: float = 0.7,
+    dwell: int = 40,
+    loss_rate: float = 0.05,
+    jitter: float = 0.004,
+    seed: int = 0,
+) -> Iterator[Tuple[float, float]]:
+    """An *assumption* break rather than a *level* break.
+
+    Before ``switch_at`` the stream is :func:`strong_dcl_stream` — the
+    in-model scenario.  After it, the path enters a regime the paper's
+    model class cannot represent:
+
+    * the queue oscillates between two fixed levels with a
+      **deterministic** dwell of ``dwell`` probes per level — a
+      semi-Markov process whose run-length CV is ~0, unreachable by the
+      geometric/phase-type dwell of an HMM or MMHD;
+    * losses arrive uniformly at rate ``loss_rate`` **independent of
+      the queue**, severing the loss/delay coupling every DCL test
+      leans on (the signature of a remote, non-dominant loss cause).
+
+    The marginal delay range and loss fraction stay comparable to the
+    in-model phase, so the stationarity gate keeps passing windows and
+    the monitor keeps publishing confident-looking verdicts — exactly
+    the failure mode per-path ``model_health`` exists to expose.
+    """
+    if not 0 <= switch_at <= n:
+        raise ValueError(f"switch_at must lie in 0..{n}, got {switch_at}")
+    if dwell < 1:
+        raise ValueError(f"dwell must be >= 1, got {dwell}")
+    yield from strong_dcl_stream(
+        switch_at, q_max=q_max, base_delay=base_delay, interval=interval,
+        loss_prob=loss_prob, seed=seed,
+    )
+    rng = np.random.default_rng(seed + 1)
+    levels = (0.25 * q_max, 0.9 * q_max)
+    for i in range(switch_at, n):
+        send_time = i * interval
+        if rng.random() < loss_rate:
+            yield send_time, float("nan")
+        else:
+            phase = ((i - switch_at) // dwell) % 2
+            queue = levels[phase] + rng.uniform(-jitter, jitter)
+            yield send_time, base_delay + max(0.0, queue)

@@ -62,6 +62,11 @@ pool-broken: repro_pool_breaks_total > 0 warn
 # or the fleet has outgrown the host.  The gauge rate is windows/s of
 # net growth sustained across three evaluations.
 service-backlog-growth: rate repro_service_backlog_windows > 2 for 3 fatal
+# Model assumptions no longer hold on some path: the fleet-minimum
+# model-health score (see repro.obs.health) sat below 0.5 on two
+# consecutive evaluations.  The gauge only exists once health scoring
+# is enabled, so the rule is inert otherwise.
+model-health-degraded: repro_model_health_min < 0.5 for 2 warn
 """
 
 _OPS = {

@@ -7,7 +7,9 @@ third-party libraries, just inline SVG sparklines and CSS that respects
 ``prefers-color-scheme``.  The page answers, in order: what ran (the
 manifests), how it went (summary cards + spans), how EM behaved
 (restart log-likelihoods), what each monitored path concluded (verdict
-strips + lag sparklines), what went wrong (alerts, stalls, pool
+strips + lag sparklines), whether those conclusions are still
+believable (model-health sparklines + violated assumptions), what went
+wrong (alerts, stalls, pool
 breaks), where the CPU went (profile tables), and whether performance
 regressed against committed baselines (:func:`diff_bench`, shared with
 ``benchmarks/compare_bench.py`` and CI).
@@ -152,6 +154,7 @@ def collect_report_data(
     ]
     drain_rounds = [e for e in events if e.get("kind") == "drain.round"]
     trace_windows = [e for e in events if e.get("kind") == "trace.window"]
+    health_events = [e for e in events if e.get("kind") == "model.health"]
     slo_events = [e for e in events if e.get("kind") == "slo.status"]
     alert_events = [e for e in events
                     if e.get("kind") in ("alert.fired", "alert.resolved")]
@@ -182,6 +185,7 @@ def collect_report_data(
         "windows_by_path": windows_by_path,
         "drain_rounds": drain_rounds,
         "trace_windows": trace_windows,
+        "health_events": health_events,
         "slo_events": slo_events,
         "restart_logliks": restart_logliks,
         "alerts": alert_events,
@@ -504,6 +508,55 @@ def _render_traces(trace_windows: Sequence[dict],
     return "".join(parts)
 
 
+def _render_health(health_events: Sequence[dict],
+                   health_summary: dict) -> str:
+    """Per-path health sparkline + the most-violated assumptions.
+
+    The sparkline shows the score trajectory (1.0 = assumptions hold);
+    the table below it names which assumption the detectors blamed, so
+    an operator reads *why* a path's verdicts lost credibility, not
+    just that they did.
+    """
+    if not health_events:
+        return ('<p class="empty">no model.health events (run with '
+                "<code>--health</code>)</p>")
+    by_path: Dict[str, List[dict]] = {}
+    for event in health_events:
+        by_path.setdefault(str(event.get("path") or "?"), []).append(event)
+    parts = []
+    for name, events in sorted(by_path.items()):
+        values = [float(e["health"]) for e in events
+                  if e.get("health") is not None]
+        skipped = sum(1 for e in events if e.get("health") is None)
+        entry = (health_summary.get("by_path") or {}).get(name) or {}
+        sub = f"{len(events)} reports"
+        if entry:
+            sub += (f", min {entry['min']:.2f}, "
+                    f"mean {entry['mean']:.2f}")
+        if skipped:
+            sub += f", {skipped} without evidence"
+        parts.append(
+            f"<h3>path <code>{_esc(name)}</code></h3>"
+            f'<p class="sub">{_esc(sub)} — model health per window '
+            "(1.0 = assumptions hold):</p>"
+            + _svg_sparkline(values, label=f"{name} health"))
+    reasons = health_summary.get("reasons") or {}
+    if reasons:
+        rows = [
+            [f"<code>{_esc(reason)}</code>", _fmt(count)]
+            for reason, count in sorted(reasons.items(),
+                                        key=lambda item: -item[1])
+        ]
+        parts.append('<p class="sub">violated assumptions, by count:</p>'
+                     + _table(["assumption", "windows"], rows, numeric=(1,)))
+    alarms = health_summary.get("drift_alarms") or {}
+    if alarms:
+        counts = ", ".join(f"<code>{_esc(k)}</code>×{v}"
+                           for k, v in sorted(alarms.items()))
+        parts.append(f'<p class="sub">drift alarms: {counts}</p>')
+    return "".join(parts)
+
+
 def _render_slos(slo_events: Sequence[dict]) -> str:
     """Latest budget status per SLO plus fast-burn sparklines."""
     if not slo_events:
@@ -679,6 +732,10 @@ def generate_report(
     sections.append("<h2>Record-to-verdict latency</h2>")
     sections.append(_render_traces(data.get("trace_windows") or [],
                                    summary.get("traces") or {}))
+
+    sections.append("<h2>Model health</h2>")
+    sections.append(_render_health(data.get("health_events") or [],
+                                   summary.get("model_health") or {}))
 
     sections.append("<h2>SLOs</h2>")
     sections.append(_render_slos(data.get("slo_events") or []))

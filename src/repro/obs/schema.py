@@ -111,6 +111,10 @@ EVENT_KINDS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
         "One SLO evaluation pass (burn rates and remaining budget)",
         ("slo", "burn_fast", "burn_slow", "budget_remaining", "breaching"),
     ),
+    "model.health": (
+        "Per-window model-health verdict (goodness of fit + drift)",
+        ("path", "window", "health", "reasons", "alarms"),
+    ),
 }
 
 #: (name, type, labels, help) for every metric family the stack emits.
@@ -211,6 +215,12 @@ METRICS: List[Tuple[str, str, Tuple[str, ...], str]] = [
      "condition the compiled alert rules watch)."),
     ("repro_slo_budget_remaining", "gauge", ("slo",),
      "Unconsumed error-budget fraction over the SLO window."),
+    ("repro_model_health", "gauge", ("path",),
+     "Per-path model-health score in [0, 1] (1 = assumptions hold)."),
+    ("repro_model_health_min", "gauge", (),
+     "Fleet-wide minimum model-health score (alerting surface)."),
+    ("repro_model_drift_alarms_total", "counter", ("detector",),
+     "Drift-detector alarms on model-health inputs, by detector."),
 ]
 
 #: Series the monitor preregisters at zero so scrapes (and the CI
@@ -246,6 +256,12 @@ MONITOR_SERIES: List[Tuple[str, List[dict]]] = [
     ("repro_service_coarsen_total",
      [{"action": "coarsen"}, {"action": "restore"}]),
     ("repro_traces_total", [{}]),
+    # The health *gauges* are deliberately absent: a zero-valued
+    # repro_model_health_min series would instantly trip the
+    # ``model-health-degraded`` (< 0.5) rule before any window ran.
+    ("repro_model_drift_alarms_total",
+     [{"detector": "cusum"}, {"detector": "page-hinkley"},
+      {"detector": "chi-square"}]),
 ]
 
 

@@ -13,6 +13,8 @@ them to the questions an operator actually asks:
   backlog, backpressure sheds and stride changes)
 * where do verdict-seconds go? (``trace.window`` per-stage latency
   aggregates, SLO breach counts)
+* is the model still believable? (``model.health`` per-path min/mean
+  scores, drift-alarm counts, violated assumptions)
 
 Malformed lines are counted, not fatal — a live file may end in a torn
 line while a writer is mid-append, a crash can leave a half-flushed
@@ -85,6 +87,10 @@ def summarize_events(source: Union[str, Path, Iterable[str]],
     trace_stages: Dict[str, dict] = {}
     slo = {"evaluations": 0, "breaches": 0}
     slo_breaching: Dict[str, int] = {}
+    health = {"reports": 0, "no_evidence": 0}
+    health_paths: Dict[str, dict] = {}
+    health_alarms: Dict[str, int] = {}
+    health_reasons: Dict[str, int] = {}
 
     for event in _iter_events(source):
         if event is None:
@@ -169,6 +175,24 @@ def summarize_events(source: Union[str, Path, Iterable[str]],
                 slo["breaches"] += 1
                 name = str(event.get("slo") or "?")
                 slo_breaching[name] = slo_breaching.get(name, 0) + 1
+        elif kind == "model.health":
+            health["reports"] += 1
+            value = event.get("health")
+            if value is None:
+                health["no_evidence"] += 1
+            else:
+                path = str(event.get("path") or "?")
+                entry = health_paths.setdefault(
+                    path, {"count": 0, "sum": 0.0, "min": float(value)})
+                entry["count"] += 1
+                entry["sum"] += float(value)
+                entry["min"] = min(entry["min"], float(value))
+            for detector in event.get("alarms") or []:
+                detector = str(detector)
+                health_alarms[detector] = health_alarms.get(detector, 0) + 1
+            for reason in event.get("reasons") or []:
+                reason = str(reason)
+                health_reasons[reason] = health_reasons.get(reason, 0) + 1
 
     slowest.sort(key=lambda s: s["dur_ms"], reverse=True)
     total_fits = fits["warm"] + fits["cold"]
@@ -248,6 +272,20 @@ def summarize_events(source: Union[str, Path, Iterable[str]],
             "evaluations": slo["evaluations"],
             "breaches": slo["breaches"],
             "breaching_by_slo": dict(sorted(slo_breaching.items())),
+        },
+        "model_health": {
+            "reports": health["reports"],
+            "no_evidence": health["no_evidence"],
+            "by_path": {
+                path: {
+                    "count": entry["count"],
+                    "min": round(entry["min"], 4),
+                    "mean": round(entry["sum"] / entry["count"], 4),
+                }
+                for path, entry in sorted(health_paths.items())
+            },
+            "drift_alarms": dict(sorted(health_alarms.items())),
+            "reasons": dict(sorted(health_reasons.items())),
         },
     }
 
@@ -364,6 +402,26 @@ def format_summary(summary: dict) -> str:
                 f"{k}={v}" for k, v in slo["breaching_by_slo"].items())
         line += ")"
         lines.append(line)
+
+    health = summary.get("model_health") or {}
+    if health.get("reports"):
+        line = f"model health: {health['reports']} reports"
+        if health.get("no_evidence"):
+            line += f" ({health['no_evidence']} without evidence)"
+        lines.append(line)
+        for path, entry in health.get("by_path", {}).items():
+            lines.append(
+                f"  {path}: min {entry['min']:.2f}, "
+                f"mean {entry['mean']:.2f} ({entry['count']}x)"
+            )
+        if health.get("drift_alarms"):
+            alarms = ", ".join(f"{k}={v}"
+                               for k, v in health["drift_alarms"].items())
+            lines.append(f"  drift alarms: {alarms}")
+        if health.get("reasons"):
+            reasons = ", ".join(f"{k}={v}"
+                                for k, v in health["reasons"].items())
+            lines.append(f"  violated assumptions: {reasons}")
 
     alerts = summary.get("alerts") or {}
     if alerts.get("fired"):

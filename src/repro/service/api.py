@@ -23,6 +23,11 @@ GET    ``/traces``                Slowest record-to-verdict exemplars
                                   fleet-wide (404 when tracing is off)
 GET    ``/traces/{id}``           Recent per-stage latency waterfalls of
                                   one path (404 when tracing is off)
+GET    ``/health``                Fleet model-health rollup: latest
+                                  score per path, min/mean (404 when
+                                  health is off)
+GET    ``/health/{id}``           Recent per-window health reports of
+                                  one path (404 when health is off)
 GET    ``/query``                 Time-series history
                                   (``?series=<name>&since=<unix ts>``;
                                   404 without an attached store)
@@ -106,6 +111,8 @@ class ServiceAPI(RoutingHTTPServer):
             ("GET", "/fleet", self._get_fleet),
             ("GET", "/traces", self._get_traces),
             ("GET", "/traces/{id}", self._get_path_traces),
+            ("GET", "/health", self._get_health),
+            ("GET", "/health/{id}", self._get_path_health),
             ("GET", "/query", self._get_query),
             ("GET", "/slo", self._get_slo),
         ] + metrics_routes(registry)
@@ -196,6 +203,24 @@ class ServiceAPI(RoutingHTTPServer):
         if not traces and self.service.verdict_snapshot(path) is None:
             raise HTTPError(404, f"path {path!r} is not registered")
         return json_response({"path": path, "traces": traces})
+
+    def _get_health(self, _request: Request) -> Response:
+        store = self.service.health_store
+        if store is None:
+            raise HTTPError(404, "model health is not enabled "
+                                 "(start the service with --health)")
+        return json_response(store.fleet())
+
+    def _get_path_health(self, request: Request) -> Response:
+        store = self.service.health_store
+        if store is None:
+            raise HTTPError(404, "model health is not enabled "
+                                 "(start the service with --health)")
+        path = request.params["id"]
+        reports = store.path_reports(path)
+        if not reports and self.service.verdict_snapshot(path) is None:
+            raise HTTPError(404, f"path {path!r} is not registered")
+        return json_response({"path": path, "reports": reports})
 
     def _get_query(self, request: Request) -> Response:
         tsdb = self.service.tsdb

@@ -71,6 +71,7 @@ class FleetService:
         tsdb=None,
         trace_store=None,
         slo=None,
+        health_store=None,
     ):
         self.registry = PathRegistry(base_config)
         self.monitor = MultiPathMonitor(
@@ -95,6 +96,9 @@ class FleetService:
         #: before the alert engine so compiled burn-rate rules see
         #: fresh gauges.
         self.slo = slo
+        #: Optional :class:`repro.obs.health.HealthStore` retaining
+        #: per-path model-health reports for ``GET /health``.
+        self.health_store = health_store
         self._lock = threading.RLock()
         self._cache_lock = threading.Lock()
         #: path -> (source, generation bound at attach time)
@@ -151,6 +155,8 @@ class FleetService:
             self._history.pop(path, None)
             if self.trace_store is not None:
                 self.trace_store.forget(path)
+            if self.health_store is not None:
+                self.health_store.forget(path)
             self._emit_path_event(path, "deregister", entry.generation)
             self._refresh_cache()
             out = entry.to_dict()
@@ -344,6 +350,10 @@ class FleetService:
             if self.trace_store is not None \
                     and getattr(event, "trace", None) is not None:
                 self.trace_store.add(event.trace)
+            if self.health_store is not None \
+                    and getattr(event, "health", None) is not None:
+                self.health_store.add(event.health,
+                                      confidence=event.confidence)
             if self.emit_fn is not None:
                 self.emit_fn(payload)
 

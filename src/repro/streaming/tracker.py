@@ -41,7 +41,9 @@ from repro.core.identify import (
 )
 from repro.measurement.stationarity import observation_is_stationary
 from repro.models.base import EMConfig, InsufficientLossError
+from repro.models.diagnostics import compute_window_diagnostics
 from repro.netsim.trace import PathObservation
+from repro.obs import health as health_mod
 from repro.obs.profiling import profile_phase
 from repro.parallel import STREAM_MONITOR, task_seed
 from repro.streaming.online_em import WarmState, streaming_fit
@@ -155,6 +157,7 @@ class WindowAnalysis:
         "warm_used",
         "fallback_reason",
         "warm_state",
+        "diagnostics",
     )
 
     def __init__(
@@ -171,6 +174,7 @@ class WindowAnalysis:
         warm_used: bool = False,
         fallback_reason: Optional[str] = None,
         warm_state: Optional[WarmState] = None,
+        diagnostics=None,
     ):
         self.status = status
         self.reason = reason
@@ -184,6 +188,10 @@ class WindowAnalysis:
         self.warm_used = bool(warm_used)
         self.fallback_reason = fallback_reason
         self.warm_state = warm_state
+        # Goodness-of-fit byproducts (repro.models.diagnostics), present
+        # only when model-health observability is enabled; rides next to
+        # the payload like PR 8's traces, never inside to_dict().
+        self.diagnostics = diagnostics
 
     @property
     def analyzed(self) -> bool:
@@ -321,6 +329,15 @@ def finish_window(
         accepted = sdcl if sdcl.accepted else wdcl
         bound_symbol = min(accepted.d_star, discretizer.n_symbols)
         bound_seconds = discretizer.queuing_upper_edge(bound_symbol)
+    diagnostics = None
+    if health_mod.is_health_enabled():
+        # One dedicated E-pass over the *final* fitted model: the fit
+        # path is untouched, so fused/pool verdict parity holds by
+        # construction whether health is on or off.
+        diagnostics = compute_window_diagnostics(
+            fitted.model, prepared.seq,
+            g_pmf=fitted.virtual_delay_pmf, beta0=config.beta0,
+        )
     return WindowAnalysis(
         "ok",
         verdict=verdict,
@@ -333,6 +350,7 @@ def finish_window(
         warm_used=result.warm_used,
         fallback_reason=result.fallback_reason,
         warm_state=result.warm_state(),
+        diagnostics=diagnostics,
     )
 
 
@@ -374,6 +392,8 @@ class VerdictEvent:
         "changed",
         "lag_seconds",
         "trace",
+        "health",
+        "confidence",
     )
 
     def __init__(
@@ -403,6 +423,10 @@ class VerdictEvent:
         self.trace = getattr(probe_window, "trace", None)
         if self.trace is not None:
             self.trace.finalize(path, probe_window.index, now)
+        # Model health rides the same way: attributes only, stamped by
+        # VerdictTracker.event_for when health scoring is enabled.
+        self.health = None
+        self.confidence: Optional[float] = None
 
     def to_dict(self) -> dict:
         """Plain-JSON projection (the ``repro monitor`` JSONL schema)."""
@@ -492,6 +516,8 @@ class VerdictTracker:
         self.memory = int(memory)
         self.recent: Deque[str] = deque(maxlen=memory)
         self.stable_verdict: Optional[str] = None
+        #: Lazily created per-path health roll-up (health enabled only).
+        self.health: Optional[health_mod.PathHealth] = None
 
     def update(self, verdict: str) -> bool:
         """Record one analysed window's verdict; returns stable-changed."""
@@ -512,6 +538,15 @@ class VerdictTracker:
         event = VerdictEvent(
             path, probe_window, analysis, self.stable_verdict, changed
         )
+        if health_mod.is_health_enabled():
+            if self.health is None:
+                self.health = health_mod.PathHealth()
+            report = self.health.update(
+                getattr(analysis, "diagnostics", None), probe_window.index)
+            report.finalize(path, probe_window.index)
+            event.health = report
+            event.confidence = health_mod.verdict_confidence(
+                report.health, self.recent, self.stable_verdict)
         _record_window(event)
         return event
 

@@ -1,0 +1,146 @@
+"""Goodness-of-fit diagnostics: values in model, guards out of model."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import LOSS, EMConfig, ObservationSequence
+from repro.models.diagnostics import (WindowDiagnostics,
+                                      compute_window_diagnostics)
+from repro.models.hmm import fit_hmm
+from repro.models.mmhd import fit_mmhd
+from tests.conftest import make_markov_sequence
+
+EM = EMConfig(max_iter=30, n_restarts=1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted_window():
+    seq, _ = make_markov_sequence(n_steps=3000, seed=1)
+    fitted = fit_hmm(seq, 2, EM)
+    return fitted, seq
+
+
+class TestInModelValues:
+    def test_ok_with_all_statistics_populated(self, fitted_window):
+        fitted, seq = fitted_window
+        diag = compute_window_diagnostics(
+            fitted.model, seq, g_pmf=fitted.virtual_delay_pmf)
+        assert diag.ok
+        assert diag.n_obs == len(seq)
+        assert diag.n_losses == seq.n_losses
+        assert diag.counts.sum() == pytest.approx(len(seq))
+        assert diag.expected_counts.shape == diag.counts.shape
+        assert diag.dwell_gap is not None and diag.n_runs >= 10
+        assert diag.below_bound_mass is not None
+        assert 0.0 <= diag.below_bound_mass <= 1.0
+
+    def test_mean_loglik_matches_the_model(self, fitted_window):
+        fitted, seq = fitted_window
+        diag = compute_window_diagnostics(fitted.model, seq)
+        expected = fitted.model.log_likelihood(seq) / len(seq)
+        assert diag.mean_loglik == pytest.approx(expected)
+
+    def test_predictive_counts_sum_to_sequence_length(self, fitted_window):
+        fitted, seq = fitted_window
+        diag = compute_window_diagnostics(fitted.model, seq)
+        # Per step the predictive mass over symbols+loss is exactly 1.
+        assert diag.expected_counts.sum() == pytest.approx(len(seq))
+
+    def test_in_model_emission_z_is_moderate(self, fitted_window):
+        fitted, seq = fitted_window
+        diag = compute_window_diagnostics(fitted.model, seq)
+        # The fit saw this very window; its residual z must not look
+        # like drift (the health ramp starts discounting at z=4).
+        assert abs(diag.emission_z) < 4.0
+
+    def test_loss_rate_gap_small_in_model(self, fitted_window):
+        fitted, seq = fitted_window
+        diag = compute_window_diagnostics(fitted.model, seq)
+        assert diag.loss_rate_gap < 0.5
+
+    def test_mmhd_duck_types(self):
+        seq, _ = make_markov_sequence(n_steps=2000, n_symbols=4,
+                                      loss_given_symbol=(0.005, 0.01,
+                                                         0.05, 0.4),
+                                      seed=3)
+        fitted = fit_mmhd(seq, 2, EM)
+        diag = compute_window_diagnostics(
+            fitted.model, seq, g_pmf=fitted.virtual_delay_pmf)
+        assert diag.ok
+        assert diag.counts.size == seq.n_symbols + 1
+        expected = fitted.model.log_likelihood(seq) / len(seq)
+        assert diag.mean_loglik == pytest.approx(expected)
+
+
+class TestOutOfModelShift:
+    def test_emission_break_inflates_the_residual(self, fitted_window):
+        fitted, seq = fitted_window
+        in_model = compute_window_diagnostics(fitted.model, seq)
+        # Score a window drawn from a very different symbol law under
+        # the same fitted model: the residual z must blow up.
+        rng = np.random.default_rng(9)
+        shifted = rng.integers(4, 6, size=len(seq))  # top symbols only
+        lost = rng.random(len(seq)) < 0.02
+        shifted[lost] = LOSS
+        broken = compute_window_diagnostics(
+            fitted.model, ObservationSequence(shifted, seq.n_symbols))
+        assert broken.ok
+        assert broken.emission_z > 10 * max(abs(in_model.emission_z), 1.0)
+        assert broken.mean_loglik < in_model.mean_loglik
+
+
+class TestDegenerateGuards:
+    def test_no_losses_is_not_ok(self, fitted_window):
+        fitted, _ = fitted_window
+        seq = ObservationSequence([1, 2, 3, 2, 1] * 20, n_symbols=5)
+        diag = compute_window_diagnostics(fitted.model, seq)
+        assert not diag.ok
+        assert diag.reason == "no-losses"
+        assert diag.mean_loglik is None
+
+    def test_short_sequences_skip_the_dwell_statistic(self, fitted_window):
+        fitted, _ = fitted_window
+        seq = ObservationSequence([1, LOSS, 2, 2, 1], n_symbols=5)
+        diag = compute_window_diagnostics(fitted.model, seq)
+        assert diag.ok
+        assert diag.dwell_gap is None  # < _MIN_RUNS observed runs
+
+    def test_missing_g_pmf_skips_the_bound_margin(self, fitted_window):
+        fitted, seq = fitted_window
+        diag = compute_window_diagnostics(fitted.model, seq, g_pmf=None)
+        # HMM's virtual_delay_pmf needs a sequence argument, so without
+        # an explicit pmf the bound-margin check is skipped, not wrong.
+        assert diag.ok
+        assert diag.below_bound_mass is None
+
+
+class TestSerialization:
+    def test_to_dict_rounds_and_drops_arrays(self, fitted_window):
+        fitted, seq = fitted_window
+        payload = compute_window_diagnostics(
+            fitted.model, seq, g_pmf=fitted.virtual_delay_pmf).to_dict()
+        assert set(payload) == {
+            "ok", "reason", "n_obs", "n_losses", "n_runs", "mean_loglik",
+            "emission_z", "dwell_gap", "loss_rate_gap", "below_bound_mass",
+        }
+        import json
+        json.dumps(payload)  # arrays stay out of the JSON projection
+
+    def test_diagnostics_are_picklable(self, fitted_window):
+        import pickle
+
+        fitted, seq = fitted_window
+        diag = compute_window_diagnostics(fitted.model, seq)
+        clone = pickle.loads(pickle.dumps(diag))
+        assert clone.ok == diag.ok
+        assert clone.mean_loglik == diag.mean_loglik
+        np.testing.assert_array_equal(clone.counts, diag.counts)
+
+    def test_not_ok_to_dict_is_stable(self):
+        diag = WindowDiagnostics(False, reason="no-losses", n_obs=7)
+        assert diag.to_dict() == {
+            "ok": False, "reason": "no-losses", "n_obs": 7, "n_losses": 0,
+            "n_runs": 0, "mean_loglik": None, "emission_z": None,
+            "dwell_gap": None, "loss_rate_gap": None,
+            "below_bound_mass": None,
+        }

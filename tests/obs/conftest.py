@@ -7,12 +7,14 @@ against a known-off, empty registry and leaves it that way.
 import pytest
 
 from repro import obs
+from repro.obs import health as health_mod
 from repro.obs import trace as trace_mod
 
 
 def _reset():
     obs.disable()
     trace_mod.disable_tracing()
+    health_mod.disable_health()
     obs.registry().clear()
     bus = obs.bus()
     bus.n_emitted = 0

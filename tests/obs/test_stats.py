@@ -10,10 +10,10 @@ from repro.obs.stats import format_summary, summarize_events
 GOLDEN = Path(__file__).parent / "data" / "telemetry_golden.jsonl"
 
 GOLDEN_TEXT = """\
-events: 20 (1 unparseable)
-  by kind: em.fit=1, em.restart=2, service.coarsen=1, service.path=1, \
-service.round=2, service.shed=1, slo.status=1, span=3, streaming.fit=3, \
-trace.window=2, window=3
+events: 23 (1 unparseable)
+  by kind: em.fit=1, em.restart=2, model.health=3, service.coarsen=1, \
+service.path=1, service.round=2, service.shed=1, slo.status=1, span=3, \
+streaming.fit=3, trace.window=2, window=3
 spans (total time, by name):
   em.fit: 2x, total 200.0 ms, mean 100.0 ms, max 120.0 ms
   streaming.fit: 1x, total 5.5 ms, mean 5.5 ms, max 5.5 ms
@@ -38,7 +38,11 @@ record-to-verdict traces: 2
   fit: mean 60.0 ms, max 70.0 ms (2x)
   publish: mean 2.0 ms, max 3.0 ms (2x)
   total: mean 90.0 ms, max 110.0 ms (2x)
-SLO evaluations: 1 (1 breaching: verdict-freshness=1)"""
+SLO evaluations: 1 (1 breaching: verdict-freshness=1)
+model health: 3 reports (1 without evidence)
+  p0: min 0.31, mean 0.64 (2x)
+  drift alarms: cusum=1
+  violated assumptions: insufficient-evidence=1, loglik-shift=1"""
 
 
 class TestGoldenFixture:
@@ -52,16 +56,17 @@ class TestGoldenFixture:
                 parsed.append(json.loads(line))
             except json.JSONDecodeError:
                 pass
-        assert len(parsed) == 20  # the last line is deliberately torn
+        assert len(parsed) == 23  # the last line is deliberately torn
         for event in parsed:
             assert validate_event(event) == [], event
 
     def test_summary_numbers(self):
         summary = summarize_events(GOLDEN)
-        assert summary["n_events"] == 20
+        assert summary["n_events"] == 23
         assert summary["n_unparseable"] == 1
         assert summary["by_kind"] == {
-            "em.fit": 1, "em.restart": 2, "service.coarsen": 1,
+            "em.fit": 1, "em.restart": 2, "model.health": 3,
+            "service.coarsen": 1,
             "service.path": 1, "service.round": 2, "service.shed": 1,
             "slo.status": 1, "span": 3, "streaming.fit": 3,
             "trace.window": 2, "window": 3,
@@ -102,6 +107,12 @@ class TestGoldenFixture:
         assert summary["slo"] == {
             "evaluations": 1, "breaches": 1,
             "breaching_by_slo": {"verdict-freshness": 1},
+        }
+        assert summary["model_health"] == {
+            "reports": 3, "no_evidence": 1,
+            "by_path": {"p0": {"count": 2, "min": 0.31, "mean": 0.64}},
+            "drift_alarms": {"cusum": 1},
+            "reasons": {"insufficient-evidence": 1, "loglik-shift": 1},
         }
 
     def test_formatted_output_is_stable(self):

@@ -11,6 +11,7 @@ import pytest
 
 from repro import obs
 from repro.models.base import EMConfig
+from repro.obs import health as health_mod
 from repro.obs import trace as trace_mod
 from repro.streaming.tracker import MonitorConfig
 
@@ -43,6 +44,7 @@ def event_keys(events):
 def _reset():
     obs.disable()
     trace_mod.disable_tracing()
+    health_mod.disable_health()
     obs.registry().clear()
     bus = obs.bus()
     bus.n_emitted = 0

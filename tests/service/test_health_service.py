@@ -1,0 +1,125 @@
+"""Model health through the fleet service: harvest, HTTP API, churn."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.health import HealthStore, enable_health
+from repro.service import FleetService, ServiceAPI
+
+from tests.service.conftest import fast_config
+
+
+def request(url):
+    with urllib.request.urlopen(
+            urllib.request.Request(url), timeout=10) as response:
+        return response.status, json.loads(response.read() or b"{}")
+
+
+def error_of(url):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        request(url)
+    exc = excinfo.value
+    return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture
+def bare_api():
+    service = FleetService(base_config=fast_config())
+    api = ServiceAPI(service, port=0).start()
+    yield service, api
+    api.close()
+    service.close()
+
+
+@pytest.fixture
+def health_api():
+    enable_health()
+    service = FleetService(base_config=fast_config(),
+                           health_store=HealthStore())
+    api = ServiceAPI(service, port=0).start()
+    yield service, api
+    api.close()
+    service.close()
+
+
+def _run_demo(service, path="demo", n=1800, seed=7):
+    from repro.service.api import build_source
+
+    service.register(path, source=build_source(
+        {"kind": "demo", "n": n, "seed": seed}))
+    service.run(exit_when_idle=True, interval=0.0)
+
+
+class TestRoutesWithoutStore:
+    def test_health_404_when_disabled(self, bare_api):
+        _, api = bare_api
+        code, payload = error_of(f"{api.base_url}/health")
+        assert code == 404
+        assert "--health" in payload["error"]
+        code, _ = error_of(f"{api.base_url}/health/any")
+        assert code == 404
+
+    def test_healthz_liveness_stays_distinct(self, bare_api):
+        # The k8s-style liveness probe predates /health and must not be
+        # shadowed by the model-health surface.
+        _, api = bare_api
+        req = urllib.request.Request(f"{api.base_url}/healthz")
+        with urllib.request.urlopen(req, timeout=10) as response:
+            assert response.status == 200
+            assert response.read() == b"ok\n"
+
+
+class TestHealthEndpoints:
+    def test_fleet_rollup_after_a_run(self, health_api):
+        service, api = health_api
+        _run_demo(service)
+        status, payload = request(f"{api.base_url}/health")
+        assert status == 200
+        assert payload["n_paths"] == 1
+        assert "demo" in payload["paths"]
+        latest = payload["paths"]["demo"]
+        assert set(latest) >= {"path", "window", "health", "reasons",
+                               "alarms", "confidence"}
+
+    def test_per_path_reports_in_window_order(self, health_api):
+        service, api = health_api
+        _run_demo(service)
+        status, payload = request(f"{api.base_url}/health/demo")
+        assert status == 200
+        assert payload["path"] == "demo"
+        reports = payload["reports"]
+        assert len(reports) == 5  # one per published window
+        assert [r["window"] for r in reports] == [0, 1, 2, 3, 4]
+        scored = [r for r in reports if r["health"] is not None]
+        assert scored, "a clean demo stream must produce scored windows"
+        for report in scored:
+            assert 0.0 <= report["health"] <= 1.0
+            assert report["gof"]["ok"] is True
+
+    def test_unknown_path_is_404(self, health_api):
+        _, api = health_api
+        code, _ = error_of(f"{api.base_url}/health/ghost")
+        assert code == 404
+
+    def test_registered_quiet_path_is_empty_not_404(self, health_api):
+        service, api = health_api
+        service.register("quiet")
+        status, payload = request(f"{api.base_url}/health/quiet")
+        assert status == 200
+        assert payload["reports"] == []
+
+
+class TestChurn:
+    def test_deregister_forgets_health(self, health_api):
+        service, api = health_api
+        _run_demo(service)
+        assert service.health_store.paths() == ["demo"]
+        service.deregister("demo")
+        assert service.health_store.paths() == []
+        code, _ = error_of(f"{api.base_url}/health/demo")
+        assert code == 404
+        _, payload = request(f"{api.base_url}/health")
+        assert payload["n_paths"] == 0

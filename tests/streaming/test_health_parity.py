@@ -1,0 +1,111 @@
+"""The health-parity contract: verdict streams are byte-identical with
+model-health scoring on or off, in every drain mode, while the health
+payload itself rides next to the events as attributes only."""
+
+import json
+
+import pytest
+
+from repro.experiments.streams import strong_dcl_stream
+from repro.models.base import EMConfig
+from repro.obs import health as health_mod
+from repro.streaming.scheduler import MultiPathMonitor
+from repro.streaming.tracker import MonitorConfig, PathMonitor
+
+FAST_EM = EMConfig(tol=1e-3, max_iter=100, seed=7)
+
+
+def fast_config(**overrides):
+    defaults = dict(window=600, hop=300, n_hidden=1, confirm=2, memory=3,
+                    gate_stationarity=False, em=FAST_EM)
+    defaults.update(overrides)
+    return MonitorConfig(**defaults)
+
+
+def event_lines(events):
+    dicts = []
+    for e in events:
+        d = e.to_dict()
+        d.pop("lag_ms", None)  # wall-clock, inherently noisy
+        dicts.append(json.dumps(d, sort_keys=True))
+    return dicts
+
+
+@pytest.fixture(autouse=True)
+def health_off_guard():
+    health_mod.disable_health()
+    yield
+    health_mod.disable_health()
+
+
+@pytest.fixture(scope="module")
+def records():
+    return list(strong_dcl_stream(1500, seed=20))
+
+
+class TestByteParity:
+    def test_path_monitor_stream_identical_with_health_on(self, records):
+        baseline = event_lines(PathMonitor(fast_config()).run(records))
+        health_mod.enable_health()
+        with_health = event_lines(PathMonitor(fast_config()).run(records))
+        assert with_health == baseline
+
+    @pytest.mark.parametrize("mode", ["fused", "pool"])
+    def test_drain_modes_identical_with_health_on(self, records, mode):
+        streams = {"p0": records}
+        baseline = event_lines(
+            MultiPathMonitor(fast_config(), drain_mode=mode)
+            .run_streams(streams))
+        health_mod.enable_health()
+        with_health = event_lines(
+            MultiPathMonitor(fast_config(), drain_mode=mode)
+            .run_streams(streams))
+        assert with_health == baseline
+
+    def test_health_payload_never_enters_to_dict(self, records):
+        health_mod.enable_health()
+        events = PathMonitor(fast_config()).run(records)
+        analyzed = [e for e in events if e.analysis.analyzed]
+        assert analyzed
+        for event in analyzed:
+            assert event.health is not None  # the attribute rides along
+            payload = event.to_dict()
+            assert "health" not in payload
+            assert "confidence" not in payload
+
+
+class TestHealthRidesTheEvents:
+    def test_fused_and_pool_agree_on_health_scores(self, records):
+        health_mod.enable_health()
+        streams = {"p0": records}
+
+        def health_lines(mode):
+            events = MultiPathMonitor(fast_config(), drain_mode=mode) \
+                .run_streams(streams)
+            return [json.dumps(e.health.to_dict(), sort_keys=True)
+                    for e in events if e.health is not None]
+
+        fused, pool = health_lines("fused"), health_lines("pool")
+        assert fused and fused == pool
+
+    def test_pool_workers_propagate_the_health_flag(self, records):
+        # Diagnostics are computed inside finish_window, which pool
+        # drains run in worker processes: the flag must survive the
+        # obs-config round-trip or every report degrades to
+        # insufficient-evidence.
+        health_mod.enable_health()
+        monitor = MultiPathMonitor(fast_config(), n_jobs=2,
+                                   drain_mode="pool")
+        events = monitor.run_streams({"p0": records, "p1": records})
+        scored = [e for e in events
+                  if e.health is not None and e.health.health is not None]
+        assert scored
+        for event in scored:
+            assert event.health.gof["ok"] is True
+            assert event.confidence is not None
+
+    def test_health_off_leaves_attributes_none(self, records):
+        events = PathMonitor(fast_config()).run(records)
+        for event in events:
+            assert event.health is None
+            assert event.confidence is None
